@@ -1,0 +1,508 @@
+//! Two-pass assembler.
+
+use crate::Symbols;
+use std::collections::HashMap;
+use std::fmt;
+use xbgp_vm::insn::{op, Insn, Program};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+/// One parsed operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Operand {
+    Reg(u8),
+    Imm(i64),
+    /// `[reg+off]` — the offset may be a symbolic name (resolved in pass 2),
+    /// optionally negated.
+    Mem(u8, OffExpr),
+    /// A not-yet-resolved name (label or symbol).
+    Name(String),
+}
+
+/// A memory-operand offset: literal or `±symbol`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OffExpr {
+    Imm(i16),
+    Sym { name: String, negate: bool },
+}
+
+struct Line {
+    source_line: usize,
+    mnemonic: String,
+    operands: Vec<Operand>,
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()? as i64
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_reg(s: &str) -> Option<u8> {
+    let n = s.strip_prefix('r')?.parse::<u8>().ok()?;
+    (n <= 10).then_some(n)
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let tok = tok.trim();
+    if tok.starts_with('[') {
+        let inner = tok
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| AsmError { line, message: format!("malformed memory operand `{tok}`") })?;
+        let (reg_s, off) = if let Some(i) = inner.find(['+', '-']) {
+            let (r, rest) = inner.split_at(i);
+            let rest = rest.trim();
+            let off = match parse_int(rest) {
+                Some(v) => {
+                    if v < i64::from(i16::MIN) || v > i64::from(i16::MAX) {
+                        return err(line, format!("offset {v} out of i16 range"));
+                    }
+                    OffExpr::Imm(v as i16)
+                }
+                None => {
+                    // Symbolic offset: `+NAME` or `-NAME`.
+                    let (negate, name) = match rest.strip_prefix('-') {
+                        Some(n) => (true, n),
+                        None => (false, rest.strip_prefix('+').unwrap_or(rest)),
+                    };
+                    let name = name.trim();
+                    if name.is_empty()
+                        || !name
+                            .chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        return err(line, format!("bad offset in `{tok}`"));
+                    }
+                    OffExpr::Sym { name: name.to_string(), negate }
+                }
+            };
+            (r.trim(), off)
+        } else {
+            (inner.trim(), OffExpr::Imm(0))
+        };
+        let reg = parse_reg(reg_s)
+            .ok_or_else(|| AsmError { line, message: format!("bad register in `{tok}`") })?;
+        return Ok(Operand::Mem(reg, off));
+    }
+    if let Some(r) = parse_reg(tok) {
+        return Ok(Operand::Reg(r));
+    }
+    if tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        return err(line, format!("invalid register `{tok}` (valid: r0..r10)"));
+    }
+    if let Some(v) = parse_int(tok) {
+        return Ok(Operand::Imm(v));
+    }
+    // `+N` jump offsets.
+    if let Some(rest) = tok.strip_prefix('+') {
+        if let Some(v) = parse_int(rest) {
+            return Ok(Operand::Imm(v));
+        }
+    }
+    Ok(Operand::Name(tok.to_string()))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for marker in [";", "#", "//"] {
+        if let Some(i) = line.find(marker) {
+            end = end.min(i);
+        }
+    }
+    &line[..end]
+}
+
+/// How many slots a mnemonic occupies.
+fn slot_count(mnemonic: &str) -> usize {
+    if mnemonic == "lddw" {
+        2
+    } else {
+        1
+    }
+}
+
+struct MnemonicInfo {
+    /// Base opcode without the SRC bit (which depends on operand kind).
+    kind: MnKind,
+}
+
+enum MnKind {
+    /// ALU op with reg/imm source. `(op_bits, is64)`
+    Alu(u8, bool),
+    /// NEG: unary.
+    Neg(bool),
+    /// Byte swap: `(width, to_big_endian)`.
+    End(i32, bool),
+    /// Conditional jump `(op_bits, is64)`.
+    Jcond(u8, bool),
+    Ja,
+    Call,
+    Exit,
+    /// `ldx` with size bits.
+    Ldx(u8),
+    /// `stx` with size bits.
+    Stx(u8),
+    /// `st` (immediate store) with size bits.
+    St(u8),
+    Lddw,
+}
+
+fn mnemonic_info(m: &str) -> Option<MnemonicInfo> {
+    use MnKind::*;
+    let kind = match m {
+        "add" => Alu(op::ALU_ADD, true),
+        "sub" => Alu(op::ALU_SUB, true),
+        "mul" => Alu(op::ALU_MUL, true),
+        "div" => Alu(op::ALU_DIV, true),
+        "or" => Alu(op::ALU_OR, true),
+        "and" => Alu(op::ALU_AND, true),
+        "lsh" => Alu(op::ALU_LSH, true),
+        "rsh" => Alu(op::ALU_RSH, true),
+        "mod" => Alu(op::ALU_MOD, true),
+        "xor" => Alu(op::ALU_XOR, true),
+        "mov" => Alu(op::ALU_MOV, true),
+        "arsh" => Alu(op::ALU_ARSH, true),
+        "add32" => Alu(op::ALU_ADD, false),
+        "sub32" => Alu(op::ALU_SUB, false),
+        "mul32" => Alu(op::ALU_MUL, false),
+        "div32" => Alu(op::ALU_DIV, false),
+        "or32" => Alu(op::ALU_OR, false),
+        "and32" => Alu(op::ALU_AND, false),
+        "lsh32" => Alu(op::ALU_LSH, false),
+        "rsh32" => Alu(op::ALU_RSH, false),
+        "mod32" => Alu(op::ALU_MOD, false),
+        "xor32" => Alu(op::ALU_XOR, false),
+        "mov32" => Alu(op::ALU_MOV, false),
+        "arsh32" => Alu(op::ALU_ARSH, false),
+        "neg" => Neg(true),
+        "neg32" => Neg(false),
+        "be16" => End(16, true),
+        "be32" => End(32, true),
+        "be64" => End(64, true),
+        "le16" => End(16, false),
+        "le32" => End(32, false),
+        "le64" => End(64, false),
+        "jeq" => Jcond(op::JMP_JEQ, true),
+        "jgt" => Jcond(op::JMP_JGT, true),
+        "jge" => Jcond(op::JMP_JGE, true),
+        "jlt" => Jcond(op::JMP_JLT, true),
+        "jle" => Jcond(op::JMP_JLE, true),
+        "jset" => Jcond(op::JMP_JSET, true),
+        "jne" => Jcond(op::JMP_JNE, true),
+        "jsgt" => Jcond(op::JMP_JSGT, true),
+        "jsge" => Jcond(op::JMP_JSGE, true),
+        "jslt" => Jcond(op::JMP_JSLT, true),
+        "jsle" => Jcond(op::JMP_JSLE, true),
+        "jeq32" => Jcond(op::JMP_JEQ, false),
+        "jgt32" => Jcond(op::JMP_JGT, false),
+        "jge32" => Jcond(op::JMP_JGE, false),
+        "jlt32" => Jcond(op::JMP_JLT, false),
+        "jle32" => Jcond(op::JMP_JLE, false),
+        "jset32" => Jcond(op::JMP_JSET, false),
+        "jne32" => Jcond(op::JMP_JNE, false),
+        "jsgt32" => Jcond(op::JMP_JSGT, false),
+        "jsge32" => Jcond(op::JMP_JSGE, false),
+        "jslt32" => Jcond(op::JMP_JSLT, false),
+        "jsle32" => Jcond(op::JMP_JSLE, false),
+        "ja" => Ja,
+        "call" => Call,
+        "exit" => Exit,
+        "ldxb" => Ldx(op::SIZE_B),
+        "ldxh" => Ldx(op::SIZE_H),
+        "ldxw" => Ldx(op::SIZE_W),
+        "ldxdw" => Ldx(op::SIZE_DW),
+        "stxb" => Stx(op::SIZE_B),
+        "stxh" => Stx(op::SIZE_H),
+        "stxw" => Stx(op::SIZE_W),
+        "stxdw" => Stx(op::SIZE_DW),
+        "stb" => St(op::SIZE_B),
+        "sth" => St(op::SIZE_H),
+        "stw" => St(op::SIZE_W),
+        "stdw" => St(op::SIZE_DW),
+        "lddw" => Lddw,
+        _ => return None,
+    };
+    Some(MnemonicInfo { kind })
+}
+
+/// Assemble with an empty external symbol table.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    assemble_with_symbols(src, &Symbols::new())
+}
+
+/// Assemble `src`, resolving names through `.equ` definitions, labels, and
+/// the provided external symbol table (in that priority order).
+pub fn assemble_with_symbols(src: &str, external: &Symbols) -> Result<Program, AsmError> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut equs: HashMap<String, i64> = HashMap::new();
+    let mut pc = 0usize;
+
+    // Pass 1: tokenize, collect labels (slot addresses) and .equ constants.
+    for (lineno0, raw) in src.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let mut text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Directives.
+        if let Some(rest) = text.strip_prefix(".equ") {
+            let parts: Vec<&str> = rest.splitn(2, ',').map(str::trim).collect();
+            if parts.len() != 2 || parts[0].is_empty() {
+                return err(lineno, ".equ requires `.equ NAME, value`");
+            }
+            let value = match parse_int(parts[1]) {
+                Some(v) => v,
+                None => match equs.get(parts[1]).or_else(|| external.get(parts[1])) {
+                    Some(v) => *v,
+                    None => return err(lineno, format!("unknown value `{}` in .equ", parts[1])),
+                },
+            };
+            equs.insert(parts[0].to_string(), value);
+            continue;
+        }
+        // Labels (possibly followed by an instruction on the same line).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            if labels.insert(label.to_string(), pc).is_some() {
+                return err(lineno, format!("duplicate label `{label}`"));
+            }
+            text = rest[1..].trim();
+            if text.is_empty() {
+                break;
+            }
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m.to_ascii_lowercase(), r.trim()),
+            None => (text.to_ascii_lowercase(), ""),
+        };
+        let operands = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',')
+                .map(|t| parse_operand(t, lineno))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        if mnemonic_info(&mnemonic).is_none() {
+            return err(lineno, format!("unknown mnemonic `{mnemonic}`"));
+        }
+        pc += slot_count(&mnemonic);
+        lines.push(Line { source_line: lineno, mnemonic, operands });
+    }
+
+    // Pass 2: encode.
+    let mut insns: Vec<Insn> = Vec::new();
+    let resolve = |name: &str, lineno: usize| -> Result<i64, AsmError> {
+        if let Some(v) = equs.get(name) {
+            return Ok(*v);
+        }
+        if let Some(v) = external.get(name) {
+            return Ok(*v);
+        }
+        err(lineno, format!("unknown symbol `{name}`"))
+    };
+
+    for line in &lines {
+        let ln = line.source_line;
+        let info = mnemonic_info(&line.mnemonic).expect("validated in pass 1");
+        let cur_pc = insns.len();
+        // Resolve a jump-target operand to a relative i16 offset.
+        let jump_off = |opnd: &Operand| -> Result<i16, AsmError> {
+            let target = match opnd {
+                Operand::Imm(v) => return Ok(i16::try_from(*v).map_err(|_| AsmError {
+                    line: ln,
+                    message: format!("jump offset {v} out of range"),
+                })?),
+                Operand::Name(n) => match labels.get(n.as_str()) {
+                    Some(t) => *t as i64,
+                    None => resolve(n, ln)?,
+                },
+                _ => return err(ln, "expected a label or offset"),
+            };
+            let rel = target - (cur_pc as i64) - 1;
+            i16::try_from(rel).map_err(|_| AsmError {
+                line: ln,
+                message: format!("jump to {target} out of i16 range"),
+            })
+        };
+        let imm_of = |opnd: &Operand| -> Result<i64, AsmError> {
+            match opnd {
+                Operand::Imm(v) => Ok(*v),
+                Operand::Name(n) => resolve(n, ln),
+                _ => err(ln, "expected an immediate or symbol"),
+            }
+        };
+        let imm32_of = |opnd: &Operand| -> Result<i32, AsmError> {
+            let v = imm_of(opnd)?;
+            i32::try_from(v)
+                .or_else(|_| {
+                    // Accept unsigned 32-bit constants like 0xffffffff.
+                    u32::try_from(v).map(|u| u as i32)
+                })
+                .map_err(|_| AsmError { line: ln, message: format!("immediate {v} out of 32-bit range") })
+        };
+        let reg_of = |opnd: &Operand| -> Result<u8, AsmError> {
+            match opnd {
+                Operand::Reg(r) => Ok(*r),
+                _ => err(ln, "expected a register"),
+            }
+        };
+        let mem_of = |opnd: &Operand| -> Result<(u8, i16), AsmError> {
+            match opnd {
+                Operand::Mem(r, OffExpr::Imm(o)) => Ok((*r, *o)),
+                Operand::Mem(r, OffExpr::Sym { name, negate }) => {
+                    let mut v = resolve(name, ln)?;
+                    if *negate {
+                        v = -v;
+                    }
+                    let off = i16::try_from(v).map_err(|_| AsmError {
+                        line: ln,
+                        message: format!("symbolic offset {name}={v} out of i16 range"),
+                    })?;
+                    Ok((*r, off))
+                }
+                _ => err(ln, "expected `[reg+off]`"),
+            }
+        };
+        let want = |n: usize| -> Result<(), AsmError> {
+            if line.operands.len() == n {
+                Ok(())
+            } else {
+                err(
+                    ln,
+                    format!(
+                        "`{}` takes {n} operand(s), got {}",
+                        line.mnemonic,
+                        line.operands.len()
+                    ),
+                )
+            }
+        };
+
+        match info.kind {
+            MnKind::Alu(opb, is64) => {
+                want(2)?;
+                let cls = if is64 { op::CLS_ALU64 } else { op::CLS_ALU };
+                let dst = reg_of(&line.operands[0])?;
+                match &line.operands[1] {
+                    Operand::Reg(src) => {
+                        insns.push(Insn::new(cls | opb | op::SRC_X, dst, *src, 0, 0))
+                    }
+                    other => {
+                        let imm = imm32_of(other)?;
+                        insns.push(Insn::new(cls | opb | op::SRC_K, dst, 0, 0, imm));
+                    }
+                }
+            }
+            MnKind::Neg(is64) => {
+                want(1)?;
+                let cls = if is64 { op::CLS_ALU64 } else { op::CLS_ALU };
+                insns.push(Insn::new(cls | op::ALU_NEG, reg_of(&line.operands[0])?, 0, 0, 0));
+            }
+            MnKind::End(width, to_be) => {
+                want(1)?;
+                let src_bit = if to_be { op::SRC_X } else { op::SRC_K };
+                insns.push(Insn::new(
+                    op::CLS_ALU | op::ALU_END | src_bit,
+                    reg_of(&line.operands[0])?,
+                    0,
+                    0,
+                    width,
+                ));
+            }
+            MnKind::Jcond(opb, is64) => {
+                want(3)?;
+                let cls = if is64 { op::CLS_JMP } else { op::CLS_JMP32 };
+                let dst = reg_of(&line.operands[0])?;
+                let off = jump_off(&line.operands[2])?;
+                match &line.operands[1] {
+                    Operand::Reg(src) => {
+                        insns.push(Insn::new(cls | opb | op::SRC_X, dst, *src, off, 0))
+                    }
+                    other => {
+                        let imm = imm32_of(other)?;
+                        insns.push(Insn::new(cls | opb | op::SRC_K, dst, 0, off, imm));
+                    }
+                }
+            }
+            MnKind::Ja => {
+                want(1)?;
+                let off = jump_off(&line.operands[0])?;
+                insns.push(Insn::new(op::CLS_JMP | op::JMP_JA, 0, 0, off, 0));
+            }
+            MnKind::Call => {
+                want(1)?;
+                let id = imm_of(&line.operands[0])?;
+                let id32 = u32::try_from(id)
+                    .map_err(|_| AsmError { line: ln, message: format!("helper id {id} invalid") })?;
+                insns.push(Insn::new(op::CLS_JMP | op::JMP_CALL, 0, 0, 0, id32 as i32));
+            }
+            MnKind::Exit => {
+                want(0)?;
+                insns.push(Insn::new(op::CLS_JMP | op::JMP_EXIT, 0, 0, 0, 0));
+            }
+            MnKind::Ldx(size) => {
+                want(2)?;
+                let dst = reg_of(&line.operands[0])?;
+                let (src, off) = mem_of(&line.operands[1])?;
+                insns.push(Insn::new(op::CLS_LDX | size | op::MODE_MEM, dst, src, off, 0));
+            }
+            MnKind::Stx(size) => {
+                want(2)?;
+                let (dst, off) = mem_of(&line.operands[0])?;
+                let src = reg_of(&line.operands[1])?;
+                insns.push(Insn::new(op::CLS_STX | size | op::MODE_MEM, dst, src, off, 0));
+            }
+            MnKind::St(size) => {
+                want(2)?;
+                let (dst, off) = mem_of(&line.operands[0])?;
+                let imm = imm32_of(&line.operands[1])?;
+                insns.push(Insn::new(op::CLS_ST | size | op::MODE_MEM, dst, 0, off, imm));
+            }
+            MnKind::Lddw => {
+                want(2)?;
+                let dst = reg_of(&line.operands[0])?;
+                let v = imm_of(&line.operands[1])? as u64;
+                insns.push(Insn::new(op::LDDW, dst, 0, 0, v as u32 as i32));
+                insns.push(Insn::new(0, 0, 0, 0, (v >> 32) as u32 as i32));
+            }
+        }
+    }
+    Ok(Program::new(insns))
+}

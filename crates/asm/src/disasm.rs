@@ -1,0 +1,188 @@
+//! Disassembler: renders a program back into assembler-compatible text.
+//!
+//! The output of [`disassemble`] reassembles to identical bytecode, which
+//! the round-trip tests rely on.
+
+use xbgp_vm::insn::{op, Program};
+
+fn alu_name(opb: u8) -> &'static str {
+    match opb {
+        op::ALU_ADD => "add",
+        op::ALU_SUB => "sub",
+        op::ALU_MUL => "mul",
+        op::ALU_DIV => "div",
+        op::ALU_OR => "or",
+        op::ALU_AND => "and",
+        op::ALU_LSH => "lsh",
+        op::ALU_RSH => "rsh",
+        op::ALU_MOD => "mod",
+        op::ALU_XOR => "xor",
+        op::ALU_MOV => "mov",
+        op::ALU_ARSH => "arsh",
+        _ => "?",
+    }
+}
+
+fn jmp_name(opb: u8) -> &'static str {
+    match opb {
+        op::JMP_JEQ => "jeq",
+        op::JMP_JGT => "jgt",
+        op::JMP_JGE => "jge",
+        op::JMP_JLT => "jlt",
+        op::JMP_JLE => "jle",
+        op::JMP_JSET => "jset",
+        op::JMP_JNE => "jne",
+        op::JMP_JSGT => "jsgt",
+        op::JMP_JSGE => "jsge",
+        op::JMP_JSLT => "jslt",
+        op::JMP_JSLE => "jsle",
+        _ => "?",
+    }
+}
+
+fn size_suffix(opcode: u8) -> &'static str {
+    match opcode & op::SIZE_MASK {
+        op::SIZE_B => "b",
+        op::SIZE_H => "h",
+        op::SIZE_W => "w",
+        _ => "dw",
+    }
+}
+
+fn mem_operand(reg: u8, off: i16) -> String {
+    if off == 0 {
+        format!("[r{reg}]")
+    } else if off > 0 {
+        format!("[r{reg}+{off}]")
+    } else {
+        format!("[r{reg}{off}]")
+    }
+}
+
+fn signed_off(off: i16) -> String {
+    if off >= 0 {
+        format!("+{off}")
+    } else {
+        format!("{off}")
+    }
+}
+
+/// Render `prog` as assembly text, one instruction per line.
+pub fn disassemble(prog: &Program) -> String {
+    let mut out = String::new();
+    let insns = &prog.insns;
+    let mut pc = 0;
+    while pc < insns.len() {
+        let i = insns[pc];
+        let cls = i.class();
+        let line = match cls {
+            op::CLS_ALU | op::CLS_ALU64 => {
+                let suffix = if cls == op::CLS_ALU64 { "" } else { "32" };
+                let opb = i.opcode & op::ALU_OP_MASK;
+                match opb {
+                    op::ALU_NEG => format!("neg{suffix} r{}", i.dst),
+                    op::ALU_END => {
+                        let dir = if i.opcode & op::SRC_X != 0 { "be" } else { "le" };
+                        format!("{dir}{} r{}", i.imm, i.dst)
+                    }
+                    _ => {
+                        if i.opcode & op::SRC_X != 0 {
+                            format!("{}{suffix} r{}, r{}", alu_name(opb), i.dst, i.src)
+                        } else {
+                            format!("{}{suffix} r{}, {}", alu_name(opb), i.dst, i.imm)
+                        }
+                    }
+                }
+            }
+            op::CLS_JMP | op::CLS_JMP32 => {
+                let suffix = if cls == op::CLS_JMP { "" } else { "32" };
+                let opb = i.opcode & op::ALU_OP_MASK;
+                match opb {
+                    op::JMP_JA => format!("ja {}", signed_off(i.offset)),
+                    op::JMP_CALL => format!("call {}", i.imm as u32),
+                    op::JMP_EXIT => "exit".to_string(),
+                    _ => {
+                        if i.opcode & op::SRC_X != 0 {
+                            format!(
+                                "{}{suffix} r{}, r{}, {}",
+                                jmp_name(opb),
+                                i.dst,
+                                i.src,
+                                signed_off(i.offset)
+                            )
+                        } else {
+                            format!(
+                                "{}{suffix} r{}, {}, {}",
+                                jmp_name(opb),
+                                i.dst,
+                                i.imm,
+                                signed_off(i.offset)
+                            )
+                        }
+                    }
+                }
+            }
+            op::CLS_LD => {
+                // lddw pair.
+                let hi = insns.get(pc + 1).map(|h| h.imm as u32).unwrap_or(0);
+                let v = u64::from(i.imm as u32) | (u64::from(hi) << 32);
+                pc += 1;
+                format!("lddw r{}, {:#x}", i.dst, v)
+            }
+            op::CLS_LDX => format!(
+                "ldx{} r{}, {}",
+                size_suffix(i.opcode),
+                i.dst,
+                mem_operand(i.src, i.offset)
+            ),
+            op::CLS_STX => format!(
+                "stx{} {}, r{}",
+                size_suffix(i.opcode),
+                mem_operand(i.dst, i.offset),
+                i.src
+            ),
+            op::CLS_ST => format!(
+                "st{} {}, {}",
+                size_suffix(i.opcode),
+                mem_operand(i.dst, i.offset),
+                i.imm
+            ),
+            _ => format!("; unknown opcode {:#04x}", i.opcode),
+        };
+        out.push_str(&line);
+        out.push('\n');
+        pc += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbgp_vm::insn::build;
+
+    #[test]
+    fn renders_basic_forms() {
+        let prog = Program::new(vec![
+            build::mov_imm(1, 5),
+            build::mov_reg(2, 1),
+            build::ldxw(0, 1, -4),
+            build::stxw(10, 1, -8),
+            build::call(3),
+            build::exit(),
+        ]);
+        let text = disassemble(&prog);
+        assert!(text.contains("mov r1, 5"));
+        assert!(text.contains("mov r2, r1"));
+        assert!(text.contains("ldxw r0, [r1-4]"));
+        assert!(text.contains("stxw [r10-8], r1"));
+        assert!(text.contains("call 3"));
+        assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn zero_offset_memory_operand() {
+        let prog = Program::new(vec![build::ldxb(0, 2, 0), build::exit()]);
+        assert!(disassemble(&prog).contains("ldxb r0, [r2]"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation: the attribute-representation gap (§2.1).
+//!
+//! FIR stores attributes parsed and host-ordered (FRRouting style), so
+//! every xBGP `get_attr` re-encodes to network byte order; WREN stores
+//! the wire form (BIRD style), so `get_attr` is a copy. This bench
+//! measures exactly that conversion cost — the paper's explanation for
+//! the 589-vs-400 integration LoC and part of FRRouting's runtime
+//! overhead.
+
+use bgp_fir::attrs::FirAttrs;
+use bgp_wren::ealist::EaList;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xbgp_wire::attr::Origin;
+use xbgp_wire::{AsPath, PathAttr};
+
+fn wire_attrs() -> Vec<PathAttr> {
+    vec![
+        PathAttr::Origin(Origin::Igp),
+        PathAttr::AsPath(AsPath::sequence(vec![65001, 65002, 65003, 65004])),
+        PathAttr::NextHop(0x0a00_0001),
+        PathAttr::Med(50),
+        PathAttr::LocalPref(100),
+        PathAttr::Communities(vec![0xffff_0001, 0xffff_0002, 0xffff_0003]),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let fir = FirAttrs::from_wire(&wire_attrs()).expect("parses");
+    let wren = EaList::from_wire(&wire_attrs()).expect("parses");
+
+    // get_attr(AS_PATH): FIR re-encodes the parsed path; WREN copies raw.
+    c.bench_function("attr_repr/fir_get_as_path_converts", |b| {
+        b.iter(|| black_box(fir.neutral_payload(2)))
+    });
+    c.bench_function("attr_repr/wren_get_as_path_copies", |b| {
+        b.iter(|| black_box(wren.get(2).map(|e| e.raw.clone())))
+    });
+
+    // get_attr(COMMUNITIES): same asymmetry on a list attribute.
+    c.bench_function("attr_repr/fir_get_communities_converts", |b| {
+        b.iter(|| black_box(fir.neutral_payload(8)))
+    });
+    c.bench_function("attr_repr/wren_get_communities_copies", |b| {
+        b.iter(|| black_box(wren.get(8).map(|e| e.raw.clone())))
+    });
+
+    // Message-boundary parse cost (both pay it, differently).
+    let attrs = wire_attrs();
+    c.bench_function("attr_repr/fir_parse_from_wire", |b| {
+        b.iter(|| black_box(FirAttrs::from_wire(&attrs).unwrap()))
+    });
+    c.bench_function("attr_repr/wren_parse_from_wire", |b| {
+        b.iter(|| black_box(EaList::from_wire(&attrs).unwrap()))
+    });
+
+    // Decision-process accessors: FIR reads a field; WREN decodes lazily.
+    // (The opposite asymmetry — the price WREN pays for cheap get_attr.)
+    c.bench_function("attr_repr/fir_hop_count_field", |b| {
+        b.iter(|| black_box(fir.as_path.hop_count()))
+    });
+    c.bench_function("attr_repr/wren_hop_count_scans_raw", |b| {
+        b.iter(|| black_box(wren.as_path_hops()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation: trie-based (FRRouting-style) versus hash-based (BIRD-style)
+//! ROA stores — the data-structure difference behind the §3.4 result
+//! ("it browses a dedicated trie for validated ROAs each time a prefix
+//! needs to be checked. Our extension uses a hash table as in BIRD").
+//!
+//! Expected shape: hash lookups beat trie walks, increasingly so as the
+//! ROA set grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rpki::{Roa, RoaHashTable, RoaTable, RoaTrie};
+use std::hint::black_box;
+use xbgp_wire::Ipv4Prefix;
+
+fn workload(n_roas: usize, n_queries: usize) -> (Vec<Roa>, Vec<(Ipv4Prefix, u32)>) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let roas: Vec<Roa> = (0..n_roas)
+        .map(|_| {
+            let len = *[8u8, 16, 20, 24].get(rng.gen_range(0..4)).unwrap();
+            let prefix = Ipv4Prefix::new(rng.gen(), len);
+            Roa::new(prefix, len.max(24), rng.gen_range(1..100_000))
+        })
+        .collect();
+    let queries: Vec<(Ipv4Prefix, u32)> = (0..n_queries)
+        .map(|i| {
+            // 75% of queries hit an existing ROA's prefix, like §3.4.
+            if i % 4 != 0 {
+                let r = roas[rng.gen_range(0..roas.len())];
+                (r.prefix, r.asn)
+            } else {
+                (Ipv4Prefix::new(rng.gen(), 24), rng.gen_range(1..100_000))
+            }
+        })
+        .collect();
+    (roas, queries)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_roa_lookup");
+    for n_roas in [1_000usize, 10_000, 100_000] {
+        let (roas, queries) = workload(n_roas, 1_000);
+
+        let mut trie = RoaTrie::new();
+        let mut hash = RoaHashTable::new();
+        for r in &roas {
+            trie.insert(*r);
+            hash.insert(*r);
+        }
+
+        g.bench_with_input(BenchmarkId::new("trie", n_roas), &n_roas, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (p, asn) in &queries {
+                    acc += trie.validate(*p, *asn) as u8 as u64;
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash", n_roas), &n_roas, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (p, asn) in &queries {
+                    acc += hash.validate(*p, *asn) as u8 as u64;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: verifier cost versus program size.
+//!
+//! Verification is a load-time cost (once per manifest), but it bounds
+//! how dynamic extension deployment can be; this bench shows it scales
+//! linearly in program length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use xbgp_vm::insn::build;
+use xbgp_vm::{verify, Program};
+
+/// A verifiable program of roughly `n` instructions: interleaved ALU ops
+/// and short forward jumps.
+fn synth(n: usize) -> Program {
+    let mut insns = Vec::with_capacity(n + 2);
+    insns.push(build::mov_imm(0, 0));
+    while insns.len() < n {
+        insns.push(build::add_imm(0, 1));
+        insns.push(build::jeq_imm(0, -1, 1)); // never taken, valid target
+        insns.push(build::mov_reg(1, 0));
+    }
+    insns.push(build::exit());
+    Program::new(insns)
+}
+
+fn bench(c: &mut Criterion) {
+    let helpers: HashSet<u32> = HashSet::new();
+    let mut g = c.benchmark_group("ablation_verifier");
+    for n in [16usize, 256, 4_096, 65_000] {
+        let prog = synth(n);
+        g.bench_with_input(BenchmarkId::new("verify", n), &prog, |b, prog| {
+            b.iter(|| black_box(verify(prog, &helpers).is_ok()))
+        });
+    }
+    g.finish();
+
+    // The real programs, for scale.
+    for (name, spec) in [
+        ("listing1", xbgp_progs::igp_filter::extension()),
+        ("rov_check", xbgp_progs::origin_validation::extension()),
+    ] {
+        let prog = spec.program().unwrap();
+        let ids: HashSet<u32> = spec.helper_ids().unwrap().into_iter().collect();
+        c.bench_function(&format!("ablation_verifier/{name}"), |b| {
+            b.iter(|| black_box(verify(&prog, &ids).is_ok()))
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

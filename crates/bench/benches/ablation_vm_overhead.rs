@@ -1,0 +1,89 @@
+//! Ablation: what one VM invocation costs at an insertion point.
+//!
+//! The paper's "within 20%" number is the macro consequence of this
+//! micro cost: VMM sandbox setup + interpretation + helper dispatch per
+//! insertion-point call, against a native Rust function call doing the
+//! same work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xbgp_asm::assemble_with_symbols;
+use xbgp_core::api::{abi_symbols, InsertionPoint, NextHopInfo};
+use xbgp_core::host::MockHost;
+use xbgp_core::{ExtensionSpec, Manifest, Vmm, VmmOutcome};
+
+fn vmm_with(src: &str, helpers: &[&str]) -> Vmm {
+    let prog = assemble_with_symbols(src, &abi_symbols()).expect("assembles");
+    let mut m = Manifest::new();
+    m.push(ExtensionSpec::from_program(
+        "bench",
+        "bench",
+        InsertionPoint::BgpOutboundFilter,
+        helpers,
+        &prog,
+    ));
+    Vmm::from_manifest(&m).expect("loads")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut host = MockHost::default();
+    host.nexthop = Some(NextHopInfo { addr: 1, igp_metric: 10, reachable: true });
+
+    // Baseline: the same logic as Listing 1, natively.
+    c.bench_function("vm_overhead/native_filter_logic", |b| {
+        b.iter(|| {
+            let peer_ebgp = black_box(true);
+            let metric = black_box(10u32);
+            black_box(peer_ebgp && metric <= 1000)
+        })
+    });
+
+    // Minimal program: mov + exit (pure VMM + interpreter entry cost).
+    let mut minimal = vmm_with("mov r0, 1\nexit", &[]);
+    c.bench_function("vm_overhead/minimal_program", |b| {
+        b.iter(|| black_box(minimal.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+
+    // Listing 1: two helper calls with struct marshalling.
+    let mut listing1 = vmm_with(
+        xbgp_progs::igp_filter::SOURCE,
+        &["get_peer_info", "get_nexthop", "next"],
+    );
+    c.bench_function("vm_overhead/listing1_filter", |b| {
+        b.iter(|| {
+            let out = listing1.run(InsertionPoint::BgpOutboundFilter, &mut host);
+            assert_eq!(out, VmmOutcome::Fallback); // metric 10 → accepted
+            black_box(out)
+        })
+    });
+
+    // Compute-heavy program: a 1000-iteration loop, isolating pure
+    // interpretation throughput.
+    let loop_src = r"
+        mov r0, 0
+        mov r1, 1000
+    l:  add r0, r1
+        sub r1, 1
+        jne r1, 0, l
+        exit
+    ";
+    let mut looper = vmm_with(loop_src, &[]);
+    c.bench_function("vm_overhead/3000_instruction_loop", |b| {
+        b.iter(|| black_box(looper.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+
+    // The real §3.4 program, per-route cost (Fig. 4's extension-side
+    // increment on the OV use case).
+    let mut rov = Vmm::from_manifest(&xbgp_progs::origin_validation::manifest()).unwrap();
+    let mut rov_host = MockHost::default();
+    rov_host.prefix = Some("10.1.2.0/24".parse().unwrap());
+    let mut path = Vec::new();
+    xbgp_wire::AsPath::sequence(vec![65001, 65002, 65003, 65004]).encode_body(&mut path, 4);
+    rov_host.attrs.push((2, 0x40, path));
+    c.bench_function("vm_overhead/rov_check_per_route", |b| {
+        b.iter(|| black_box(rov.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut rov_host)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 1: CDF of standardization delay of the last 40 BGP RFCs.
+//!
+//! The dataset is static; the bench times the CDF computation and, more
+//! usefully, prints the regenerated figure rows once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xbgp_harness::fig1;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated figure once so `cargo bench` output contains
+    // the actual artifact.
+    println!("{}", fig1::render());
+
+    c.bench_function("fig1/cdf_computation", |b| {
+        b.iter(|| black_box(fig1::cdf()))
+    });
+    c.bench_function("fig1/median", |b| b.iter(|| black_box(fig1::median_delay())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! # xbgp-bench — Criterion benchmarks
+//!
+//! One bench target per paper artifact plus ablations for the design
+//! choices DESIGN.md calls out:
+//!
+//! | bench | regenerates |
+//! |---|---|
+//! | `fig1_cdf` | Fig. 1 (CDF computation over the RFC dataset) |
+//! | `fig4_route_reflection` | Fig. 4, blue series (RR native vs extension, both DUTs) |
+//! | `fig4_origin_validation` | Fig. 4, orange series (OV native vs extension, both DUTs) |
+//! | `ablation_roa_lookup` | why OV behaves as it does: trie vs hash ROA stores |
+//! | `ablation_vm_overhead` | cost of one VM invocation per insertion point |
+//! | `ablation_attr_repr` | FIR's host-order conversion vs WREN's wire-order copy |
+//! | `ablation_verifier` | verifier cost vs program size |
+//!
+//! Run with `cargo bench -p xbgp-bench`. The macro benches use scaled
+//! tables (Criterion needs many iterations); `xbgp-harness --bin fig4`
+//! is the full-size experiment.

@@ -1,0 +1,195 @@
+//! The host-side contract: what a BGP implementation must expose.
+//!
+//! `HostApi` is the boundary between libxbgp and a concrete BGP daemon.
+//! Its methods correspond one-to-one with the host-touching helpers of the
+//! xBGP API; the VMM translates VM-side helper calls (ids, registers,
+//! sandboxed memory) into these calls. Attribute payloads cross this
+//! boundary **in network byte order** — the neutral representation — and
+//! each host converts to and from its internal storage format, exactly as
+//! the paper describes for FRRouting (host-order structs, conversion
+//! needed) and BIRD (wire-order `ea_list`, nearly free).
+//!
+//! A `HostApi` value represents one *execution context* (§2.1): it is
+//! scoped to a single insertion-point invocation and carries hidden host
+//! state (current route, current peer, output buffer) that extension code
+//! can only reach through helpers.
+
+use crate::api::{NextHopInfo, PeerInfo};
+use xbgp_wire::Ipv4Prefix;
+
+/// Host callbacks backing the xBGP helpers for one insertion-point call.
+pub trait HostApi {
+    /// Information about the peer the current message/route concerns.
+    fn peer_info(&self) -> PeerInfo;
+
+    /// Nexthop of the current route, if one is in scope.
+    fn nexthop_info(&self) -> Option<NextHopInfo> {
+        None
+    }
+
+    /// Prefix of the current route, if one is in scope.
+    fn prefix(&self) -> Option<Ipv4Prefix> {
+        None
+    }
+
+    /// Insertion-point argument `idx` (e.g. 0 = raw UPDATE body at the
+    /// receive-message point), as raw network-byte-order bytes.
+    fn arg(&self, _idx: u32) -> Option<&[u8]> {
+        None
+    }
+
+    /// Read attribute `code` of the current route: `(flags, payload)` in
+    /// network byte order.
+    fn get_attr(&self, _code: u8) -> Option<(u8, Vec<u8>)> {
+        None
+    }
+
+    /// Insert or replace attribute `code` on the current route.
+    fn set_attr(&mut self, _code: u8, _flags: u8, _value: &[u8]) -> Result<(), String> {
+        Err("set_attr not available at this insertion point".into())
+    }
+
+    /// Remove attribute `code` from the current route.
+    fn remove_attr(&mut self, _code: u8) -> Result<(), String> {
+        Err("remove_attr not available at this insertion point".into())
+    }
+
+    /// Static configuration / manifest data (router coordinates, AS-pair
+    /// tables, …) looked up by key.
+    fn get_xtra(&self, _key: &str) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Append bytes to the host output buffer (encode-message point).
+    fn write_buf(&mut self, _data: &[u8]) -> Result<(), String> {
+        Err("write_buf not available at this insertion point".into())
+    }
+
+    /// RFC 6811 origin validation against the host's ROA table.
+    /// Returns `ROV_NOT_FOUND` / `ROV_VALID` / `ROV_INVALID`.
+    fn check_origin(&self, _prefix: Ipv4Prefix, _origin_asn: u32) -> u64 {
+        crate::api::ROV_NOT_FOUND
+    }
+
+    /// Install a route into the RIB (uses hidden context arguments; see
+    /// §2.1 "the RIB function leverages such hidden arguments").
+    fn rib_add_route(&mut self, _prefix: Ipv4Prefix, _nexthop: u32) -> Result<(), String> {
+        Err("rib_add_route not available at this insertion point".into())
+    }
+
+    /// Debug output from `ebpf_print`.
+    fn log(&mut self, _msg: &str) {}
+}
+
+/// A configurable mock host used by unit tests in this crate and by the
+/// extension-program tests in `xbgp-progs`.
+#[derive(Debug, Clone)]
+pub struct MockHost {
+    pub peer: PeerInfo,
+    pub nexthop: Option<NextHopInfo>,
+    pub prefix: Option<Ipv4Prefix>,
+    pub args: Vec<Vec<u8>>,
+    /// `(code, flags, payload)` triples, mutated by set/add/remove.
+    pub attrs: Vec<(u8, u8, Vec<u8>)>,
+    pub xtra: Vec<(String, Vec<u8>)>,
+    pub out_buf: Vec<u8>,
+    pub logs: Vec<String>,
+    /// Fixed answer for `check_origin`.
+    pub rov_answer: u64,
+    pub rib: Vec<(Ipv4Prefix, u32)>,
+}
+
+impl Default for MockHost {
+    fn default() -> Self {
+        MockHost {
+            peer: PeerInfo {
+                router_id: 0x0a00_0001,
+                asn: 65001,
+                peer_type: crate::api::PeerType::Ebgp,
+                local_router_id: 0x0a00_0002,
+                local_asn: 65000,
+                flags: 0,
+            },
+            nexthop: None,
+            prefix: None,
+            args: Vec::new(),
+            attrs: Vec::new(),
+            xtra: Vec::new(),
+            out_buf: Vec::new(),
+            logs: Vec::new(),
+            rov_answer: crate::api::ROV_NOT_FOUND,
+            rib: Vec::new(),
+        }
+    }
+}
+
+impl HostApi for MockHost {
+    fn peer_info(&self) -> PeerInfo {
+        self.peer
+    }
+
+    fn nexthop_info(&self) -> Option<NextHopInfo> {
+        self.nexthop
+    }
+
+    fn prefix(&self) -> Option<Ipv4Prefix> {
+        self.prefix
+    }
+
+    fn arg(&self, idx: u32) -> Option<&[u8]> {
+        self.args.get(idx as usize).map(Vec::as_slice)
+    }
+
+    fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
+        self.attrs
+            .iter()
+            .find(|(c, _, _)| *c == code)
+            .map(|(_, f, v)| (*f, v.clone()))
+    }
+
+    fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {
+        match self.attrs.iter_mut().find(|(c, _, _)| *c == code) {
+            Some(slot) => {
+                slot.1 = flags;
+                slot.2 = value.to_vec();
+            }
+            None => self.attrs.push((code, flags, value.to_vec())),
+        }
+        Ok(())
+    }
+
+    fn remove_attr(&mut self, code: u8) -> Result<(), String> {
+        let before = self.attrs.len();
+        self.attrs.retain(|(c, _, _)| *c != code);
+        if self.attrs.len() == before {
+            Err(format!("attribute {code} not present"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn get_xtra(&self, key: &str) -> Option<Vec<u8>> {
+        self.xtra
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn write_buf(&mut self, data: &[u8]) -> Result<(), String> {
+        self.out_buf.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn check_origin(&self, _prefix: Ipv4Prefix, _origin_asn: u32) -> u64 {
+        self.rov_answer
+    }
+
+    fn rib_add_route(&mut self, prefix: Ipv4Prefix, nexthop: u32) -> Result<(), String> {
+        self.rib.push((prefix, nexthop));
+        Ok(())
+    }
+
+    fn log(&mut self, msg: &str) {
+        self.logs.push(msg.to_string());
+    }
+}

@@ -1,0 +1,217 @@
+//! Extension manifests.
+//!
+//! The VMM "is initialized with a manifest containing the extension
+//! bytecodes and the points where they must be inserted. Different
+//! extension codes can be attached to the same insertion point, and the
+//! manifest defines in which order they are executed. The manifest also
+//! lists the different xBGP API functions that the bytecode uses." (§2.1)
+//!
+//! Manifests are plain data (serde-serializable to JSON) so operators can
+//! ship them alongside compiled bytecode. Bytecode travels hex-encoded.
+
+use crate::api::{helper, InsertionPoint};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xbgp_vm::Program;
+
+/// One extension bytecode and where/how to attach it.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ExtensionSpec {
+    /// Human-readable name (diagnostics).
+    pub name: String,
+    /// Extensions with the same `program` share one persistent memory
+    /// space (the GeoLoc use case: four bytecodes, one program).
+    #[serde(default)]
+    pub program: String,
+    /// Where to attach.
+    pub insertion_point: InsertionPoint,
+    /// Helper names this bytecode is allowed to call; the verifier rejects
+    /// any call outside this list.
+    pub helpers: Vec<String>,
+    /// Bytecode, hex-encoded 8-byte slots.
+    #[serde(with = "hex_bytes")]
+    pub bytecode: Vec<u8>,
+}
+
+impl ExtensionSpec {
+    /// Build a spec from an already-assembled program.
+    pub fn from_program(
+        name: impl Into<String>,
+        program_group: impl Into<String>,
+        insertion_point: InsertionPoint,
+        helpers: &[&str],
+        prog: &Program,
+    ) -> ExtensionSpec {
+        ExtensionSpec {
+            name: name.into(),
+            program: program_group.into(),
+            insertion_point,
+            helpers: helpers.iter().map(|s| s.to_string()).collect(),
+            bytecode: prog.to_bytes(),
+        }
+    }
+
+    /// Decode the bytecode into instructions.
+    pub fn program(&self) -> Result<Program, String> {
+        Program::from_bytes(&self.bytecode)
+    }
+
+    /// Resolve the declared helper names to ids; unknown names are errors.
+    pub fn helper_ids(&self) -> Result<Vec<u32>, String> {
+        self.helpers
+            .iter()
+            .map(|n| helper::id_of(n).ok_or_else(|| format!("unknown helper `{n}`")))
+            .collect()
+    }
+}
+
+/// A full manifest: ordered list of extensions plus static configuration
+/// exposed to bytecode through `get_xtra`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Manifest {
+    pub extensions: Vec<ExtensionSpec>,
+    /// Static key → bytes data (router coordinates, AS-pair tables, ROA
+    /// file paths, …), hex-encoded on the wire.
+    #[serde(default)]
+    pub xtra: HashMap<String, HexBlob>,
+}
+
+impl Manifest {
+    pub fn new() -> Manifest {
+        Manifest::default()
+    }
+
+    /// Append an extension (executed after previously added ones attached
+    /// to the same insertion point).
+    pub fn push(&mut self, spec: ExtensionSpec) -> &mut Self {
+        self.extensions.push(spec);
+        self
+    }
+
+    /// Attach static data retrievable with `get_xtra`.
+    pub fn set_xtra(&mut self, key: impl Into<String>, value: Vec<u8>) -> &mut Self {
+        self.xtra.insert(key.into(), HexBlob(value));
+        self
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Manifest, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Byte blob serialized as a hex string.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HexBlob(pub Vec<u8>);
+
+impl Serialize for HexBlob {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&to_hex(&self.0))
+    }
+}
+
+impl<'de> Deserialize<'de> for HexBlob {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        from_hex(&s).map(HexBlob).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Hex encoding used for bytecode and blobs in JSON manifests.
+pub fn to_hex(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Inverse of [`to_hex`].
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err("odd-length hex string".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
+        .collect()
+}
+
+mod hex_bytes {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(data: &[u8], s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&super::to_hex(data))
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<u8>, D::Error> {
+        let s = String::deserialize(d)?;
+        super::from_hex(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbgp_vm::insn::build;
+
+    fn sample() -> Manifest {
+        let prog = Program::new(vec![build::mov_imm(0, 1), build::exit()]);
+        let mut m = Manifest::new();
+        m.push(ExtensionSpec::from_program(
+            "accept_all",
+            "demo",
+            InsertionPoint::BgpInboundFilter,
+            &["next", "get_peer_info"],
+            &prog,
+        ));
+        m.set_xtra("coords", vec![1, 2, 3, 4]);
+        m
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = sample();
+        let json = m.to_json();
+        assert!(json.contains("bgp_inbound_filter"));
+        assert!(json.contains("accept_all"));
+        let back = Manifest::from_json(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn bytecode_decodes_back_to_program() {
+        let m = sample();
+        let prog = m.extensions[0].program().unwrap();
+        assert_eq!(prog.insns.len(), 2);
+    }
+
+    #[test]
+    fn helper_name_resolution() {
+        let m = sample();
+        assert_eq!(m.extensions[0].helper_ids().unwrap(), vec![1, 4]);
+
+        let mut bad = m.extensions[0].clone();
+        bad.helpers.push("no_such_helper".into());
+        assert!(bad.helper_ids().is_err());
+    }
+
+    #[test]
+    fn hex_codec() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x1a]), "00ff1a");
+        assert_eq!(from_hex("00ff1a").unwrap(), vec![0x00, 0xff, 0x1a]);
+        assert!(from_hex("0").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn malformed_json_reports_error() {
+        assert!(Manifest::from_json("{").is_err());
+        assert!(Manifest::from_json(r#"{"extensions":[{"name":"x"}]}"#).is_err());
+    }
+}

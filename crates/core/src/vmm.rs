@@ -1,0 +1,1165 @@
+//! The Virtual Machine Manager (§2.1).
+//!
+//! The VMM is the multiplexer between a host BGP implementation and the
+//! extension bytecodes attached to its insertion points:
+//!
+//! * at load time it decodes each bytecode, resolves the helper names the
+//!   manifest declares, and **verifies** the program against exactly that
+//!   helper set (a call to an undeclared helper is rejected statically);
+//! * at run time, [`Vmm::run`] executes the ordered chain of extensions for
+//!   an insertion point. An extension either produces a result (returned to
+//!   the host), calls `next()` (the VMM runs the following extension, or —
+//!   after the last one — reports [`VmmOutcome::Fallback`] so the host uses
+//!   its native code), or **faults**, in which case the VMM stops it,
+//!   records the error, notifies the host through its logger, and falls
+//!   back to native behaviour;
+//! * it owns the extension memory spaces: a fresh ephemeral heap per
+//!   invocation (`ctx_malloc`, freed automatically on return) and one
+//!   persistent space per *program group* shared by the bytecodes of the
+//!   same xBGP program (`ctx_shared_malloc` / `ctx_shared_get`) but
+//!   unreachable from any other program — eBPF-VM-enforced isolation.
+
+use crate::api::{self, helper, InsertionPoint};
+use crate::host::HostApi;
+use crate::manifest::Manifest;
+use std::collections::HashMap;
+use std::fmt;
+use xbgp_vm::{
+    interp::HelperOutcome, verify, ExecOutcome, HelperDispatcher, MemoryMap, Program, Region,
+    RegionKind, VerifyError, Vm, VmConfig, VmError, HEAP_BASE, SHARED_BASE,
+};
+use xbgp_wire::Ipv4Prefix;
+
+/// Size of the per-invocation ephemeral heap.
+pub const HEAP_SIZE: usize = 16 * 1024;
+/// Size of each program group's persistent shared space.
+pub const SHARED_SIZE: usize = 64 * 1024;
+
+/// Load-time errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmmError {
+    /// Bytecode could not be decoded.
+    BadBytecode { extension: String, reason: String },
+    /// A declared helper name is unknown.
+    UnknownHelperName { extension: String, name: String },
+    /// The verifier rejected the program.
+    Rejected { extension: String, error: VerifyError },
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::BadBytecode { extension, reason } => {
+                write!(f, "extension `{extension}`: bad bytecode: {reason}")
+            }
+            VmmError::UnknownHelperName { extension, name } => {
+                write!(f, "extension `{extension}`: unknown helper `{name}`")
+            }
+            VmmError::Rejected { extension, error } => {
+                write!(f, "extension `{extension}`: rejected by verifier: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}
+
+/// Result of running an insertion point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmmOutcome {
+    /// An extension produced this value; the host must use it instead of
+    /// its native behaviour.
+    Value(u64),
+    /// No extension handled the operation (none attached, all delegated
+    /// with `next()`, or the chain faulted): run the native code.
+    Fallback,
+}
+
+struct Extension {
+    name: String,
+    /// Index into `Vmm::shared` of this extension's program group.
+    shared_idx: usize,
+    prog: Program,
+    runs: u64,
+    errors: u64,
+    /// Pooled sandbox: stack, ephemeral heap and (swapped-in) shared
+    /// regions stay mapped across runs so an invocation costs no
+    /// allocation. The stack is re-zeroed fully and the heap up to the
+    /// previous run's allocation watermark (the buffers are
+    /// per-extension, so residual bytes beyond the watermark are never
+    /// another extension's data).
+    mem: MemoryMap,
+    heap_watermark: usize,
+}
+
+#[derive(Default)]
+struct SharedMeta {
+    /// key → (virtual address, size) inside the group's shared region.
+    allocs: HashMap<u64, (u64, u64)>,
+    used: usize,
+}
+
+struct SharedSpace {
+    group: String,
+    data: Vec<u8>,
+    meta: SharedMeta,
+}
+
+/// Per-extension execution statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtensionStats {
+    pub name: String,
+    pub insertion_point: InsertionPoint,
+    pub runs: u64,
+    pub errors: u64,
+}
+
+/// Dense index of an insertion point into per-point tables.
+fn point_index(p: InsertionPoint) -> usize {
+    match p {
+        InsertionPoint::BgpReceiveMessage => 0,
+        InsertionPoint::BgpInboundFilter => 1,
+        InsertionPoint::BgpDecision => 2,
+        InsertionPoint::BgpOutboundFilter => 3,
+        InsertionPoint::BgpEncodeMessage => 4,
+    }
+}
+
+/// The Virtual Machine Manager. See the module documentation.
+pub struct Vmm {
+    /// Extension storage, indexed by the per-point attachment lists.
+    exts: Vec<(InsertionPoint, Extension)>,
+    /// Ordered extension indices per insertion point (indexed by
+    /// [`point_index`]).
+    attached: [Vec<usize>; 5],
+    shared: Vec<SharedSpace>,
+    xtra: HashMap<String, Vec<u8>>,
+    vm_config: VmConfig,
+    /// Most recent runtime fault, for host diagnostics.
+    last_error: Option<(String, VmError)>,
+}
+
+impl Vmm {
+    /// Load a manifest: decode, resolve helpers, verify, attach.
+    pub fn from_manifest(manifest: &Manifest) -> Result<Vmm, VmmError> {
+        let mut vmm = Vmm {
+            exts: Vec::new(),
+            attached: Default::default(),
+            shared: Vec::new(),
+            xtra: manifest
+                .xtra
+                .iter()
+                .map(|(k, v)| (k.clone(), v.0.clone()))
+                .collect(),
+            vm_config: VmConfig::default(),
+            last_error: None,
+        };
+        for spec in &manifest.extensions {
+            let prog = spec.program().map_err(|reason| VmmError::BadBytecode {
+                extension: spec.name.clone(),
+                reason,
+            })?;
+            let mut ids = std::collections::HashSet::new();
+            for name in &spec.helpers {
+                match helper::id_of(name) {
+                    Some(id) => {
+                        ids.insert(id);
+                    }
+                    None => {
+                        return Err(VmmError::UnknownHelperName {
+                            extension: spec.name.clone(),
+                            name: name.clone(),
+                        })
+                    }
+                }
+            }
+            verify(&prog, &ids).map_err(|error| VmmError::Rejected {
+                extension: spec.name.clone(),
+                error,
+            })?;
+            let idx = vmm.exts.len();
+            let group = if spec.program.is_empty() {
+                spec.name.clone()
+            } else {
+                spec.program.clone()
+            };
+            let shared_idx = match vmm.shared.iter().position(|s| s.group == group) {
+                Some(i) => i,
+                None => {
+                    vmm.shared.push(SharedSpace {
+                        group,
+                        data: vec![0; SHARED_SIZE],
+                        meta: SharedMeta::default(),
+                    });
+                    vmm.shared.len() - 1
+                }
+            };
+            let mut mem = MemoryMap::new();
+            mem.map(Region::new(
+                RegionKind::Stack,
+                xbgp_vm::STACK_BASE,
+                vec![0; xbgp_vm::STACK_SIZE],
+                true,
+            ));
+            mem.map(Region::new(RegionKind::Heap, HEAP_BASE, vec![0; HEAP_SIZE], true));
+            // Shared data is swapped in from the group space per run; an
+            // empty placeholder keeps the region table stable.
+            mem.map(Region::new(RegionKind::Shared, SHARED_BASE, Vec::new(), true));
+            vmm.exts.push((
+                spec.insertion_point,
+                Extension {
+                    name: spec.name.clone(),
+                    shared_idx,
+                    prog,
+                    runs: 0,
+                    errors: 0,
+                    mem,
+                    heap_watermark: 0,
+                },
+            ));
+            vmm.attached[point_index(spec.insertion_point)].push(idx);
+        }
+        Ok(vmm)
+    }
+
+    /// An empty VMM: every insertion point falls back to native code.
+    pub fn empty() -> Vmm {
+        Vmm::from_manifest(&Manifest::new()).expect("empty manifest always loads")
+    }
+
+    /// Override the per-run instruction budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.vm_config = VmConfig { fuel };
+    }
+
+    /// Is any extension attached to `point`? Hosts use this to skip
+    /// building an execution context when nothing is attached.
+    pub fn has_extensions(&self, point: InsertionPoint) -> bool {
+        !self.attached[point_index(point)].is_empty()
+    }
+
+    /// Execute the extension chain for `point` with `host` as the
+    /// execution context.
+    pub fn run(&mut self, point: InsertionPoint, host: &mut dyn HostApi) -> VmmOutcome {
+        let chain_len = self.attached[point_index(point)].len();
+        if chain_len == 0 {
+            return VmmOutcome::Fallback;
+        }
+        for k in 0..chain_len {
+            let idx = self.attached[point_index(point)][k];
+            let ext = &mut self.exts[idx].1;
+            let shared_idx = ext.shared_idx;
+
+            // Refresh the pooled sandbox in place: zero the stack fully,
+            // the heap up to the previous allocation watermark, and swap
+            // the program group's persistent space in.
+            let watermark = ext.heap_watermark;
+            ext.mem
+                .region_of_mut(RegionKind::Stack)
+                .expect("pooled stack region")
+                .data
+                .fill(0);
+            ext.mem
+                .region_of_mut(RegionKind::Heap)
+                .expect("pooled heap region")
+                .data[..watermark]
+                .fill(0);
+            std::mem::swap(
+                &mut ext
+                    .mem
+                    .region_of_mut(RegionKind::Shared)
+                    .expect("pooled shared region")
+                    .data,
+                &mut self.shared[shared_idx].data,
+            );
+
+            let (outcome, heap_used) = {
+                let ext = &mut self.exts[idx].1;
+                // Split borrow: the program and the memory map are
+                // disjoint fields of the extension.
+                let Extension { prog, mem, .. } = ext;
+                let mut dispatcher = Dispatcher {
+                    host,
+                    xtra: &self.xtra,
+                    shared: &mut self.shared[shared_idx].meta,
+                    heap_used: 0,
+                };
+                let vm = Vm::with_config(prog, self.vm_config);
+                let outcome = vm.run(mem, &mut dispatcher, &[]);
+                (outcome, dispatcher.heap_used)
+            };
+
+            // Swap the shared space back regardless of outcome.
+            let ext = &mut self.exts[idx].1;
+            std::mem::swap(
+                &mut ext
+                    .mem
+                    .region_of_mut(RegionKind::Shared)
+                    .expect("pooled shared region")
+                    .data,
+                &mut self.shared[shared_idx].data,
+            );
+            ext.heap_watermark = heap_used;
+            ext.runs += 1;
+            match outcome {
+                Ok(ExecOutcome::Return(v)) => return VmmOutcome::Value(v),
+                Ok(ExecOutcome::Next) => continue,
+                Err(e) => {
+                    // Monitored execution: stop the faulty extension, tell
+                    // the host, and fall back to native behaviour.
+                    ext.errors += 1;
+                    host.log(&format!("xbgp: extension `{}` aborted: {e}", ext.name));
+                    self.last_error = Some((ext.name.clone(), e));
+                    return VmmOutcome::Fallback;
+                }
+            }
+        }
+        VmmOutcome::Fallback
+    }
+
+    /// Read an allocation out of a program group's persistent memory
+    /// (observability: lets hosts/tests inspect what extensions persist,
+    /// e.g. the origin-validation counters of §3.4).
+    pub fn shared_read(&self, group: &str, key: u64) -> Option<Vec<u8>> {
+        let space = self.shared.iter().find(|s| s.group == group)?;
+        let (addr, size) = space.meta.allocs.get(&key)?;
+        let off = (addr - SHARED_BASE) as usize;
+        Some(space.data[off..off + *size as usize].to_vec())
+    }
+
+    /// The most recent runtime fault, if any.
+    pub fn last_error(&self) -> Option<(&str, &VmError)> {
+        self.last_error.as_ref().map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// Execution statistics for every loaded extension.
+    pub fn stats(&self) -> Vec<ExtensionStats> {
+        self.exts
+            .iter()
+            .map(|(point, e)| ExtensionStats {
+                name: e.name.clone(),
+                insertion_point: *point,
+                runs: e.runs,
+                errors: e.errors,
+            })
+            .collect()
+    }
+}
+
+/// Translates helper calls from the VM into `HostApi` calls, mediating all
+/// data movement through the sandboxed memory map.
+struct Dispatcher<'a> {
+    host: &'a mut dyn HostApi,
+    xtra: &'a HashMap<String, Vec<u8>>,
+    shared: &'a mut SharedMeta,
+    heap_used: usize,
+}
+
+impl Dispatcher<'_> {
+    /// Bump-allocate `size` bytes (8-aligned) in the ephemeral heap.
+    fn heap_alloc(&mut self, size: usize) -> Option<u64> {
+        let aligned = (size + 7) & !7;
+        if self.heap_used + aligned > HEAP_SIZE {
+            return None;
+        }
+        let addr = HEAP_BASE + self.heap_used as u64;
+        self.heap_used += aligned;
+        Some(addr)
+    }
+
+    /// Allocate and fill a marshalled struct, returning its address.
+    fn marshal(&mut self, mem: &mut MemoryMap, bytes: &[u8]) -> Result<u64, VmError> {
+        let Some(addr) = self.heap_alloc(bytes.len()) else {
+            return Ok(0);
+        };
+        mem.write_bytes(addr, bytes)?;
+        Ok(addr)
+    }
+}
+
+fn fault(helper: u32, reason: impl Into<String>) -> VmError {
+    VmError::HelperFault { helper, reason: reason.into() }
+}
+
+impl HelperDispatcher for Dispatcher<'_> {
+    fn call(
+        &mut self,
+        id: u32,
+        args: [u64; 5],
+        mem: &mut MemoryMap,
+    ) -> Result<HelperOutcome, VmError> {
+        use HelperOutcome::Value;
+        let out = match id {
+            helper::NEXT => return Ok(HelperOutcome::Next),
+            helper::ARG_LEN => match self.host.arg(args[0] as u32) {
+                Some(a) => Value(a.len() as u64),
+                None => Value(api::XBGP_FAIL),
+            },
+            helper::GET_ARG => {
+                let (idx, dst, cap) = (args[0] as u32, args[1], args[2] as usize);
+                match self.host.arg(idx) {
+                    Some(a) if a.len() <= cap => {
+                        let data = a.to_vec();
+                        mem.write_bytes(dst, &data)?;
+                        Value(data.len() as u64)
+                    }
+                    _ => Value(api::XBGP_FAIL),
+                }
+            }
+            helper::GET_PEER_INFO => {
+                let bytes = self.host.peer_info().to_bytes();
+                Value(self.marshal(mem, &bytes)?)
+            }
+            helper::GET_NEXTHOP => match self.host.nexthop_info() {
+                Some(nh) => Value(self.marshal(mem, &nh.to_bytes())?),
+                None => Value(0),
+            },
+            helper::GET_PREFIX => match self.host.prefix() {
+                Some(p) => {
+                    let mut b = [0u8; api::PREFIX_INFO_SIZE];
+                    b[0..4].copy_from_slice(&p.addr().to_le_bytes());
+                    b[4..8].copy_from_slice(&u32::from(p.len()).to_le_bytes());
+                    Value(self.marshal(mem, &b)?)
+                }
+                None => Value(0),
+            },
+            helper::GET_ATTR => {
+                let (code, dst, cap) = (args[0] as u8, args[1], args[2] as usize);
+                match self.host.get_attr(code) {
+                    Some((_flags, payload)) if payload.len() <= cap => {
+                        mem.write_bytes(dst, &payload)?;
+                        Value(payload.len() as u64)
+                    }
+                    _ => Value(api::XBGP_FAIL),
+                }
+            }
+            helper::SET_ATTR => {
+                let (code, flags, ptr, len) =
+                    (args[0] as u8, args[1] as u8, args[2], args[3] as usize);
+                let data = mem.read_bytes(ptr, len)?;
+                match self.host.set_attr(code, flags, &data) {
+                    Ok(()) => Value(0),
+                    Err(_) => Value(api::XBGP_FAIL),
+                }
+            }
+            helper::ADD_ATTR => {
+                let (code, flags, ptr, len) =
+                    (args[0] as u8, args[1] as u8, args[2], args[3] as usize);
+                if self.host.get_attr(code).is_some() {
+                    Value(api::XBGP_FAIL)
+                } else {
+                    let data = mem.read_bytes(ptr, len)?;
+                    match self.host.set_attr(code, flags, &data) {
+                        Ok(()) => Value(0),
+                        Err(_) => Value(api::XBGP_FAIL),
+                    }
+                }
+            }
+            helper::REMOVE_ATTR => match self.host.remove_attr(args[0] as u8) {
+                Ok(()) => Value(0),
+                Err(_) => Value(api::XBGP_FAIL),
+            },
+            helper::GET_XTRA => {
+                let (key_ptr, key_len, dst, cap) =
+                    (args[0], args[1] as usize, args[2], args[3] as usize);
+                let key_bytes = mem.read_bytes(key_ptr, key_len)?;
+                let key = std::str::from_utf8(&key_bytes)
+                    .map_err(|_| fault(id, "non-UTF-8 xtra key"))?
+                    .to_string();
+                let data = self
+                    .host
+                    .get_xtra(&key)
+                    .or_else(|| self.xtra.get(&key).cloned());
+                match data {
+                    Some(v) if v.len() <= cap => {
+                        mem.write_bytes(dst, &v)?;
+                        Value(v.len() as u64)
+                    }
+                    _ => Value(api::XBGP_FAIL),
+                }
+            }
+            helper::WRITE_BUF => {
+                let (ptr, len) = (args[0], args[1] as usize);
+                let data = mem.read_bytes(ptr, len)?;
+                match self.host.write_buf(&data) {
+                    Ok(()) => Value(len as u64),
+                    Err(_) => Value(api::XBGP_FAIL),
+                }
+            }
+            helper::EBPF_MEMCPY => {
+                let (dst, src, len) = (args[0], args[1], args[2] as usize);
+                mem.copy_within(dst, src, len)?;
+                Value(dst)
+            }
+            helper::BPF_HTONL | helper::BPF_NTOHL => {
+                Value(u64::from((args[0] as u32).swap_bytes()))
+            }
+            helper::BPF_HTONS | helper::BPF_NTOHS => {
+                Value(u64::from((args[0] as u16).swap_bytes()))
+            }
+            helper::EBPF_PRINT => {
+                let (ptr, len) = (args[0], args[1] as usize);
+                let data = mem.read_bytes(ptr, len)?;
+                let msg = String::from_utf8_lossy(&data).into_owned();
+                self.host.log(&msg);
+                Value(0)
+            }
+            helper::CTX_MALLOC => Value(self.heap_alloc(args[0] as usize).unwrap_or(0)),
+            helper::CTX_SHARED_MALLOC => {
+                let (key, size) = (args[0], args[1] as usize);
+                if self.shared.allocs.contains_key(&key) {
+                    Value(0)
+                } else {
+                    let aligned = (size + 7) & !7;
+                    if self.shared.used + aligned > SHARED_SIZE {
+                        Value(0)
+                    } else {
+                        let addr = SHARED_BASE + self.shared.used as u64;
+                        self.shared.used += aligned;
+                        self.shared.allocs.insert(key, (addr, size as u64));
+                        Value(addr)
+                    }
+                }
+            }
+            helper::CTX_SHARED_GET => {
+                Value(self.shared.allocs.get(&args[0]).map(|(a, _)| *a).unwrap_or(0))
+            }
+            helper::RPKI_CHECK_ORIGIN => {
+                let (addr, plen, asn) = (args[0] as u32, args[1] as u8, args[2] as u32);
+                if plen > 32 {
+                    return Err(fault(id, format!("invalid prefix length {plen}")));
+                }
+                Value(self.host.check_origin(Ipv4Prefix::new(addr, plen), asn))
+            }
+            helper::RIB_ADD_ROUTE => {
+                let (addr, plen, nexthop) = (args[0] as u32, args[1] as u8, args[2] as u32);
+                if plen > 32 {
+                    return Err(fault(id, format!("invalid prefix length {plen}")));
+                }
+                match self.host.rib_add_route(Ipv4Prefix::new(addr, plen), nexthop) {
+                    Ok(()) => Value(0),
+                    Err(_) => Value(api::XBGP_FAIL),
+                }
+            }
+            other => return Err(VmError::UnknownHelper { pc: 0, helper: other }),
+        };
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{NextHopInfo, PeerType, EBGP_SESSION, FILTER_REJECT};
+    use crate::host::MockHost;
+    use crate::manifest::ExtensionSpec;
+    use xbgp_asm::assemble_with_symbols;
+
+    fn spec(
+        name: &str,
+        point: InsertionPoint,
+        helpers: &[&str],
+        src: &str,
+    ) -> ExtensionSpec {
+        let prog = assemble_with_symbols(src, &crate::api::abi_symbols()).expect("assembles");
+        ExtensionSpec::from_program(name, "test_group", point, helpers, &prog)
+    }
+
+    fn load(specs: Vec<ExtensionSpec>) -> Vmm {
+        let mut m = Manifest::new();
+        for s in specs {
+            m.push(s);
+        }
+        Vmm::from_manifest(&m).expect("loads")
+    }
+
+    #[test]
+    fn empty_vmm_always_falls_back() {
+        let mut vmm = Vmm::empty();
+        let mut host = MockHost::default();
+        for p in InsertionPoint::ALL {
+            assert_eq!(vmm.run(p, &mut host), VmmOutcome::Fallback);
+            assert!(!vmm.has_extensions(p));
+        }
+    }
+
+    #[test]
+    fn extension_value_is_returned() {
+        let mut vmm = load(vec![spec(
+            "ret7",
+            InsertionPoint::BgpInboundFilter,
+            &[],
+            "mov r0, 7\nexit",
+        )]);
+        let mut host = MockHost::default();
+        assert!(vmm.has_extensions(InsertionPoint::BgpInboundFilter));
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(7)
+        );
+        // Other points still fall back.
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpOutboundFilter, &mut host),
+            VmmOutcome::Fallback
+        );
+    }
+
+    #[test]
+    fn next_chains_to_following_extension_then_native() {
+        let first = spec(
+            "delegate",
+            InsertionPoint::BgpInboundFilter,
+            &["next"],
+            "call next\nexit",
+        );
+        let second = spec(
+            "answer",
+            InsertionPoint::BgpInboundFilter,
+            &[],
+            "mov r0, 42\nexit",
+        );
+        let mut vmm = load(vec![first.clone(), second]);
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(42)
+        );
+
+        // A chain where everyone delegates falls back to native code.
+        let mut vmm = load(vec![first.clone(), first]);
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Fallback
+        );
+    }
+
+    #[test]
+    fn faulting_extension_falls_back_and_is_recorded() {
+        // Dereference an unmapped address.
+        let mut vmm = load(vec![spec(
+            "crasher",
+            InsertionPoint::BgpInboundFilter,
+            &[],
+            "lddw r1, 0x999999999\nldxb r0, [r1]\nexit",
+        )]);
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Fallback
+        );
+        let (name, err) = vmm.last_error().expect("error recorded");
+        assert_eq!(name, "crasher");
+        assert!(matches!(err, VmError::MemFault { .. }));
+        assert_eq!(host.logs.len(), 1, "host notified of the error");
+        assert!(host.logs[0].contains("crasher"));
+        let stats = vmm.stats();
+        assert_eq!(stats[0].runs, 1);
+        assert_eq!(stats[0].errors, 1);
+    }
+
+    #[test]
+    fn runaway_extension_is_stopped() {
+        let mut vmm = load(vec![spec(
+            "spinner",
+            InsertionPoint::BgpDecision,
+            &[],
+            "loop: ja loop",
+        )]);
+        vmm.set_fuel(10_000);
+        let mut host = MockHost::default();
+        assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Fallback);
+        assert!(matches!(vmm.last_error(), Some((_, VmError::FuelExhausted))));
+    }
+
+    #[test]
+    fn verifier_enforces_declared_helpers() {
+        // Program calls get_peer_info but only declares next.
+        let prog = assemble_with_symbols(
+            "call get_peer_info\nexit",
+            &crate::api::abi_symbols(),
+        )
+        .unwrap();
+        let mut m = Manifest::new();
+        m.push(ExtensionSpec::from_program(
+            "sneaky",
+            "g",
+            InsertionPoint::BgpInboundFilter,
+            &["next"],
+            &prog,
+        ));
+        match Vmm::from_manifest(&m) {
+            Err(VmmError::Rejected { extension, error }) => {
+                assert_eq!(extension, "sneaky");
+                assert!(matches!(error, VerifyError::UnknownHelper { .. }));
+            }
+            Ok(_) => panic!("expected rejection, got a loaded VMM"),
+            Err(other) => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_helper_name_in_manifest_rejected() {
+        let prog = assemble_with_symbols("mov r0, 0\nexit", &crate::api::abi_symbols()).unwrap();
+        let mut m = Manifest::new();
+        m.push(ExtensionSpec::from_program(
+            "x",
+            "g",
+            InsertionPoint::BgpInboundFilter,
+            &["frobnicate"],
+            &prog,
+        ));
+        assert!(matches!(
+            Vmm::from_manifest(&m),
+            Err(VmmError::UnknownHelperName { .. })
+        ));
+    }
+
+    #[test]
+    fn peer_info_reaches_extension() {
+        // Return the peer type read through get_peer_info.
+        let src = r"
+            call get_peer_info
+            ldxw r0, [r0+PEER_INFO_OFF_TYPE]
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "peer_type",
+            InsertionPoint::BgpInboundFilter,
+            &["get_peer_info"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        host.peer.peer_type = PeerType::Ebgp;
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(EBGP_SESSION)
+        );
+        host.peer.peer_type = PeerType::Ibgp;
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(0)
+        );
+    }
+
+    #[test]
+    fn nexthop_metric_filter_like_listing_1() {
+        // The paper's Listing 1 shape: reject eBGP routes whose nexthop
+        // IGP metric exceeds 1000, else next().
+        let src = r"
+            .equ MAX_METRIC, 1000
+            call get_peer_info
+            ldxw r6, [r0+PEER_INFO_OFF_TYPE]
+            jeq r6, EBGP_SESSION, ebgp
+            call next
+        ebgp:
+            call get_nexthop
+            jeq r0, 0, reject
+            ldxw r7, [r0+NEXTHOP_OFF_IGP_METRIC]
+            jgt r7, MAX_METRIC, reject
+            call next
+        reject:
+            mov r0, FILTER_REJECT
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "export_igp",
+            InsertionPoint::BgpOutboundFilter,
+            &["get_peer_info", "get_nexthop", "next"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        host.peer.peer_type = PeerType::Ebgp;
+        host.nexthop = Some(NextHopInfo { addr: 1, igp_metric: 2000, reachable: true });
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpOutboundFilter, &mut host),
+            VmmOutcome::Value(FILTER_REJECT)
+        );
+        host.nexthop = Some(NextHopInfo { addr: 1, igp_metric: 10, reachable: true });
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpOutboundFilter, &mut host),
+            VmmOutcome::Fallback
+        );
+        host.peer.peer_type = PeerType::Ibgp;
+        host.nexthop = Some(NextHopInfo { addr: 1, igp_metric: 2000, reachable: true });
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpOutboundFilter, &mut host),
+            VmmOutcome::Fallback,
+            "iBGP sessions are not filtered"
+        );
+    }
+
+    #[test]
+    fn attributes_read_and_written_through_host() {
+        // Read LOCAL_PREF (4 bytes NBO) into the stack, add 10, set it back.
+        let src = r"
+            mov r6, r10
+            sub r6, 8
+            mov r1, ATTR_LOCAL_PREF
+            mov r2, r6
+            mov r3, 4
+            call get_attr
+            jeq r0, -1, fail
+            ldxw r1, [r6]
+            be32 r1            ; wire is big-endian; make it host order
+            add r1, 10
+            be32 r1            ; back to network order
+            stxw [r6], r1
+            mov r1, ATTR_LOCAL_PREF
+            mov r2, ATTR_FLAGS_WELL_KNOWN
+            mov r3, r6
+            mov r4, 4
+            call set_attr
+            mov r0, 0
+            exit
+        fail:
+            mov r0, 1
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "bump_pref",
+            InsertionPoint::BgpInboundFilter,
+            &["get_attr", "set_attr"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        host.attrs.push((5, 0x40, 100u32.to_be_bytes().to_vec()));
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(0)
+        );
+        assert_eq!(host.attrs[0].2, 110u32.to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn add_attr_fails_when_attribute_exists() {
+        let src = r"
+            mov r1, 66
+            mov r2, ATTR_FLAGS_OPT_TRANS
+            mov r3, r10
+            sub r3, 8
+            stdw [r10-8], 0
+            mov r4, 8
+            call add_attr
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "adder",
+            InsertionPoint::BgpReceiveMessage,
+            &["add_attr"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
+            VmmOutcome::Value(0)
+        );
+        assert_eq!(host.attrs.len(), 1);
+        assert_eq!(host.attrs[0].0, 66);
+        // Second add fails: attribute already present.
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
+            VmmOutcome::Value(api::XBGP_FAIL)
+        );
+        assert_eq!(host.attrs.len(), 1);
+    }
+
+    #[test]
+    fn xtra_lookup_prefers_host_then_manifest() {
+        let src = r#"
+            mov r1, r10
+            sub r1, 8
+            stb [r10-8], 107   ; 'k'
+            mov r2, 1
+            mov r3, r10
+            sub r3, 16
+            mov r4, 8
+            call get_xtra
+            jeq r0, -1, missing
+            ldxb r0, [r10-16]
+            exit
+        missing:
+            mov r0, 255
+            exit
+        "#;
+        let prog = assemble_with_symbols(src, &crate::api::abi_symbols()).unwrap();
+        let mut m = Manifest::new();
+        m.push(ExtensionSpec::from_program(
+            "xtra_reader",
+            "g",
+            InsertionPoint::BgpInboundFilter,
+            &["get_xtra"],
+            &prog,
+        ));
+        m.set_xtra("k", vec![9]);
+        let mut vmm = Vmm::from_manifest(&m).unwrap();
+
+        // Manifest data is visible...
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(9)
+        );
+        // ...but host configuration shadows it.
+        host.xtra.push(("k".into(), vec![3]));
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(3)
+        );
+    }
+
+    #[test]
+    fn shared_memory_persists_within_a_group_and_is_isolated_across_groups() {
+        // One extension stores a counter in shared memory; a second
+        // extension of the same group increments it. A third extension in
+        // a different group must not see the allocation.
+        let writer = r"
+            mov r1, 1          ; key
+            mov r2, 8
+            call ctx_shared_malloc
+            jeq r0, 0, already
+            stdw [r0], 100
+            mov r0, 0
+            exit
+        already:
+            mov r1, 1
+            call ctx_shared_get
+            ldxdw r2, [r0]
+            add r2, 1
+            stxdw [r0], r2
+            mov r0, r2
+            exit
+        ";
+        let probe = r"
+            mov r1, 1
+            call ctx_shared_get
+            exit
+        ";
+        let w = spec(
+            "writer",
+            InsertionPoint::BgpInboundFilter,
+            &["ctx_shared_malloc", "ctx_shared_get"],
+            writer,
+        );
+        let probe_prog =
+            assemble_with_symbols(probe, &crate::api::abi_symbols()).unwrap();
+        let other = ExtensionSpec::from_program(
+            "other_group_probe",
+            "another_group",
+            InsertionPoint::BgpOutboundFilter,
+            &["ctx_shared_get"],
+            &probe_prog,
+        );
+        let mut vmm = load(vec![w, other]);
+        let mut host = MockHost::default();
+        // First run allocates and stores 100.
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(0)
+        );
+        // Second run sees the persisted value and increments it.
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(101)
+        );
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(102)
+        );
+        // The other group's probe finds nothing under the same key.
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpOutboundFilter, &mut host),
+            VmmOutcome::Value(0)
+        );
+    }
+
+    #[test]
+    fn ephemeral_heap_is_cleared_between_runs() {
+        // Allocate, write a sentinel, return the previous content: always 0.
+        let src = r"
+            mov r1, 64
+            call ctx_malloc
+            ldxdw r6, [r0]     ; previous content
+            lddw r2, 0xdeadbeefdeadbeef
+            stxdw [r0], r2
+            mov r0, r6
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "heap_probe",
+            InsertionPoint::BgpInboundFilter,
+            &["ctx_malloc"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        for _ in 0..3 {
+            assert_eq!(
+                vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+                VmmOutcome::Value(0),
+                "ephemeral memory must be freed and zeroed after each run"
+            );
+        }
+    }
+
+    #[test]
+    fn write_buf_and_print_reach_host() {
+        let src = r#"
+            stb [r10-4], 0xab
+            stb [r10-3], 0xcd
+            mov r1, r10
+            sub r1, 4
+            mov r2, 2
+            call write_buf
+            mov r1, r10
+            sub r1, 4
+            mov r2, 2
+            call ebpf_print
+            mov r0, 0
+            exit
+        "#;
+        let mut vmm = load(vec![spec(
+            "writer",
+            InsertionPoint::BgpEncodeMessage,
+            &["write_buf", "ebpf_print"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpEncodeMessage, &mut host),
+            VmmOutcome::Value(0)
+        );
+        assert_eq!(host.out_buf, vec![0xab, 0xcd]);
+        assert_eq!(host.logs.len(), 1);
+    }
+
+    #[test]
+    fn byte_order_helpers() {
+        let src = r"
+            mov r1, 0x11223344
+            call bpf_htonl
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "swap",
+            InsertionPoint::BgpDecision,
+            &["bpf_htonl"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpDecision, &mut host),
+            VmmOutcome::Value(u64::from(0x1122_3344u32.swap_bytes()))
+        );
+    }
+
+    #[test]
+    fn rov_helper_consults_host() {
+        let src = r"
+            mov r1, 0x0a000000 ; 10.0.0.0
+            mov r2, 8
+            mov r3, 65001
+            call rpki_check_origin
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "rov",
+            InsertionPoint::BgpInboundFilter,
+            &["rpki_check_origin"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        host.rov_answer = api::ROV_INVALID;
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(api::ROV_INVALID)
+        );
+    }
+
+    #[test]
+    fn get_arg_copies_message_bytes() {
+        let src = r"
+            mov r1, 0          ; arg index
+            call arg_len
+            jeq r0, -1, fail
+            mov r6, r0         ; length
+            mov r1, 0
+            mov r2, r10
+            sub r2, 16
+            mov r3, 16
+            call get_arg
+            jeq r0, -1, fail
+            ldxb r0, [r10-16]  ; first byte of the message
+            exit
+        fail:
+            mov r0, 255
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "arg_reader",
+            InsertionPoint::BgpReceiveMessage,
+            &["get_arg", "arg_len"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        host.args.push(vec![0x42, 1, 2, 3]);
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
+            VmmOutcome::Value(0x42)
+        );
+        // Without an argument the helpers report failure.
+        host.args.clear();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
+            VmmOutcome::Value(255)
+        );
+    }
+
+    #[test]
+    fn prefix_helper_marshals_route_prefix() {
+        let src = r"
+            call get_prefix
+            jeq r0, 0, missing
+            ldxw r1, [r0+PREFIX_OFF_LEN]
+            ldxw r0, [r0+PREFIX_OFF_ADDR]
+            add r0, r1
+            exit
+        missing:
+            mov r0, 0
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "prefix_reader",
+            InsertionPoint::BgpInboundFilter,
+            &["get_prefix"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        host.prefix = Some("10.0.0.0/8".parse().unwrap());
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(0x0a00_0000 + 8)
+        );
+    }
+
+    #[test]
+    fn rib_add_route_uses_hidden_context() {
+        let src = r"
+            mov r1, 0x0a010000
+            mov r2, 16
+            mov r3, 0x0a000001
+            call rib_add_route
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "installer",
+            InsertionPoint::BgpReceiveMessage,
+            &["rib_add_route"],
+            src,
+        )]);
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
+            VmmOutcome::Value(0)
+        );
+        assert_eq!(host.rib, vec![("10.1.0.0/16".parse().unwrap(), 0x0a00_0001)]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Daemon configuration.
+
+use igp::SharedIgp;
+use netsim::LinkId;
+use rpki::Roa;
+use xbgp_core::Manifest;
+use xbgp_wire::Ipv4Prefix;
+
+/// One configured BGP neighbor, reached over a netsim link.
+#[derive(Debug, Clone)]
+pub struct PeerCfg {
+    /// The simulator link this neighbor is reached over.
+    pub link: LinkId,
+    /// The neighbor's address (doubles as its expected BGP identifier).
+    pub peer_addr: u32,
+    /// The neighbor's AS number; equal to ours ⇒ iBGP session.
+    pub peer_asn: u32,
+    /// Treat this iBGP neighbor as a route-reflection client.
+    pub rr_client: bool,
+}
+
+/// Full configuration of one FIR daemon instance.
+pub struct FirConfig {
+    pub asn: u32,
+    /// BGP identifier; also this router's address in the simulation.
+    pub router_id: u32,
+    /// Hold time proposed in OPEN (seconds). Keepalives at a third of the
+    /// negotiated value.
+    pub hold_time_secs: u16,
+    pub peers: Vec<PeerCfg>,
+    /// Enable native RFC 4456 route reflection (ORIGINATOR_ID and
+    /// CLUSTER_LIST handling). Disabled when the paper's §3.2 extension
+    /// provides reflection instead.
+    pub native_rr: bool,
+    /// Cluster id for reflection; defaults to the router id.
+    pub cluster_id: Option<u32>,
+    /// Load these ROAs into FIR's native trie-based origin validation.
+    /// Validation tags routes; it does not discard them (§3.4).
+    pub native_rov: Option<Vec<Roa>>,
+    /// xBGP manifest to load into the VMM.
+    pub xbgp: Option<Manifest>,
+    /// ROAs backing the xBGP `rpki_check_origin` helper (the extension's
+    /// own hash table, per §3.4 — distinct from the native trie).
+    pub xbgp_roas: Option<Vec<Roa>>,
+    /// Link-state IGP this router participates in (nexthop metrics).
+    pub igp: Option<SharedIgp>,
+    /// Routes to originate locally at startup: `(prefix, nexthop)`.
+    pub originate: Vec<(Ipv4Prefix, u32)>,
+    /// LOCAL_PREF assigned to routes learned over eBGP (default 100).
+    pub default_local_pref: u32,
+    /// Static key → value data exposed to extensions via `get_xtra`
+    /// (router coordinates, cluster tables, …) in addition to manifest
+    /// data.
+    pub xtra: Vec<(String, Vec<u8>)>,
+}
+
+impl FirConfig {
+    /// A minimal configuration with mandatory fields; everything else off.
+    pub fn new(asn: u32, router_id: u32) -> FirConfig {
+        FirConfig {
+            asn,
+            router_id,
+            hold_time_secs: 90,
+            peers: Vec::new(),
+            native_rr: false,
+            cluster_id: None,
+            native_rov: None,
+            xbgp: None,
+            xbgp_roas: None,
+            igp: None,
+            originate: Vec::new(),
+            default_local_pref: 100,
+            xtra: Vec::new(),
+        }
+    }
+
+    /// Add a neighbor.
+    pub fn peer(mut self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
+        self.peers.push(PeerCfg { link, peer_addr, peer_asn, rr_client: false });
+        self
+    }
+
+    /// Add a route-reflection client neighbor (iBGP).
+    pub fn rr_client_peer(mut self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
+        self.peers.push(PeerCfg { link, peer_addr, peer_asn, rr_client: true });
+        self
+    }
+}

@@ -1,0 +1,913 @@
+//! The FIR daemon: netsim node, FSM driver, RIB pipeline, xBGP points.
+
+use crate::attrs::{AttrInternTable, FirAttrs};
+use crate::config::FirConfig;
+use crate::rib::{AdjRibIn, AdjRibOut, DecisionCtx, LocRib, RibEntry, RouteSource};
+use crate::session::{FsmState, Session};
+use crate::xbgp_glue::{AttrAccess, FirXbgpCtx};
+use rpki::{RoaHashTable, RoaTable, RoaTrie, RovState};
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xbgp_core::api::{self, InsertionPoint, PeerInfo, PeerType};
+use xbgp_core::{Manifest, Vmm, VmmOutcome};
+use xbgp_wire::attr::encode_attrs;
+use xbgp_wire::{Ipv4Prefix, Message, NotificationMsg, OpenMsg, UpdateMsg};
+use netsim::{LinkId, Node, NodeCtx};
+
+/// Counters and timestamps the harness reads off a daemon.
+#[derive(Debug, Default, Clone)]
+pub struct DaemonStats {
+    pub updates_rx: u64,
+    pub prefixes_rx: u64,
+    pub withdrawals_rx: u64,
+    pub updates_tx: u64,
+    pub prefixes_tx: u64,
+    pub withdrawals_tx: u64,
+    /// Virtual time of the first received UPDATE.
+    pub first_update_rx: Option<u64>,
+    /// Virtual time of the most recent Loc-RIB change.
+    pub last_route_change: Option<u64>,
+    pub sessions_established: u64,
+    pub rov_valid: u64,
+    pub rov_invalid: u64,
+    pub rov_not_found: u64,
+    /// Routes rejected by xBGP filters.
+    pub xbgp_rejected: u64,
+}
+
+/// Timer token layout: `peer_index * 2 + kind`.
+const TIMER_KEEPALIVE: u64 = 0;
+const TIMER_HOLD: u64 = 1;
+
+/// The FIR BGP daemon. See the crate documentation.
+pub struct FirDaemon {
+    cfg: FirConfig,
+    sessions: Vec<Session>,
+    link_to_peer: HashMap<LinkId, usize>,
+    intern: AttrInternTable,
+    adj_in: Vec<AdjRibIn>,
+    loc_rib: LocRib,
+    adj_out: Vec<AdjRibOut>,
+    /// Locally originated routes (always decision candidates).
+    local_routes: HashMap<Ipv4Prefix, RibEntry>,
+    vmm: Vmm,
+    /// FIR's native origin validation: the trie (§3.4).
+    rov_trie: Option<RoaTrie>,
+    /// The xBGP-layer ROA store (hash) for `rpki_check_origin`.
+    xbgp_rov: Option<RoaHashTable>,
+    pub stats: DaemonStats,
+    pub logs: Vec<String>,
+    /// Routes added by extensions via `rib_add_route`.
+    ext_rib_adds: Vec<(Ipv4Prefix, u32)>,
+}
+
+impl FirDaemon {
+    /// Build a daemon from its configuration. Panics on a malformed xBGP
+    /// manifest — configuration errors are fatal at startup, like a daemon
+    /// refusing to start on a bad config file.
+    pub fn new(cfg: FirConfig) -> FirDaemon {
+        let vmm = match &cfg.xbgp {
+            Some(m) => Vmm::from_manifest(m).expect("invalid xBGP manifest"),
+            None => Vmm::from_manifest(&Manifest::new()).expect("empty manifest"),
+        };
+        let rov_trie = cfg.native_rov.as_ref().map(|roas| {
+            let mut t = RoaTrie::new();
+            for r in roas {
+                t.insert(*r);
+            }
+            t
+        });
+        let xbgp_rov = cfg.xbgp_roas.as_ref().map(|roas| {
+            let mut t = RoaHashTable::new();
+            for r in roas {
+                t.insert(*r);
+            }
+            t
+        });
+        let sessions: Vec<Session> = cfg
+            .peers
+            .iter()
+            .map(|p| Session::new(p.clone(), cfg.asn))
+            .collect();
+        let link_to_peer = cfg
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.link, i))
+            .collect();
+        let n = sessions.len();
+        FirDaemon {
+            cfg,
+            sessions,
+            link_to_peer,
+            intern: AttrInternTable::new(),
+            adj_in: (0..n).map(|_| AdjRibIn::default()).collect(),
+            loc_rib: LocRib::default(),
+            adj_out: (0..n).map(|_| AdjRibOut::default()).collect(),
+            local_routes: HashMap::new(),
+            vmm,
+            rov_trie,
+            xbgp_rov,
+            stats: DaemonStats::default(),
+            logs: Vec::new(),
+            ext_rib_adds: Vec::new(),
+        }
+    }
+
+    /// The daemon's Loc-RIB size (for tests and the harness).
+    pub fn loc_rib_len(&self) -> usize {
+        self.loc_rib.len()
+    }
+
+    /// Best route for a prefix, if any.
+    pub fn best_route(&self, prefix: &Ipv4Prefix) -> Option<&RibEntry> {
+        self.loc_rib.get(prefix)
+    }
+
+    /// All Loc-RIB prefixes (sorted, for deterministic assertions).
+    pub fn loc_rib_prefixes(&self) -> Vec<Ipv4Prefix> {
+        let mut v: Vec<Ipv4Prefix> = self.loc_rib.iter().map(|(p, _)| *p).collect();
+        v.sort();
+        v
+    }
+
+    /// Is the session with `peer_addr` established?
+    pub fn session_established(&self, peer_addr: u32) -> bool {
+        self.sessions
+            .iter()
+            .any(|s| s.cfg.peer_addr == peer_addr && s.is_established())
+    }
+
+    /// Distinct interned attribute sets (exposes the attrhash behaviour).
+    pub fn interned_attr_sets(&self) -> usize {
+        self.intern.len()
+    }
+
+    /// xBGP per-extension statistics.
+    pub fn xbgp_stats(&self) -> Vec<xbgp_core::vmm::ExtensionStats> {
+        self.vmm.stats()
+    }
+
+    /// Read a block from an extension program's persistent memory.
+    pub fn xbgp_shared_read(&self, group: &str, key: u64) -> Option<Vec<u8>> {
+        self.vmm.shared_read(group, key)
+    }
+
+    /// The most recent extension fault, formatted, if any.
+    pub fn xbgp_last_error(&self) -> Option<String> {
+        self.vmm.last_error().map(|(n, e)| format!("{n}: {e}"))
+    }
+
+    fn cluster_id(&self) -> u32 {
+        self.cfg.cluster_id.unwrap_or(self.cfg.router_id)
+    }
+
+    fn peer_info_for(&self, idx: usize) -> PeerInfo {
+        let s = &self.sessions[idx];
+        PeerInfo {
+            router_id: s.cfg.peer_addr,
+            asn: s.cfg.peer_asn,
+            peer_type: s.peer_type,
+            local_router_id: self.cfg.router_id,
+            local_asn: self.cfg.asn,
+            flags: if s.cfg.rr_client { api::PEER_FLAG_RR_CLIENT } else { 0 },
+        }
+    }
+
+    /// Marshal a [`PeerInfo`]-shaped blob describing a route's *source*
+    /// (passed as argument 0 to the outbound-filter and encode points).
+    fn source_info_bytes(&self, src: &RouteSource) -> Vec<u8> {
+        let mut flags = 0;
+        if src.rr_client {
+            flags |= api::PEER_FLAG_RR_CLIENT;
+        }
+        if src.local {
+            flags |= api::PEER_FLAG_LOCAL;
+        }
+        let pi = PeerInfo {
+            router_id: src.peer_addr,
+            asn: src.peer_asn,
+            peer_type: src.peer_type,
+            local_router_id: self.cfg.router_id,
+            local_asn: self.cfg.asn,
+            flags,
+        };
+        pi.to_bytes().to_vec()
+    }
+
+    fn igp_metric_to(&self, nexthop: u32) -> u32 {
+        match &self.cfg.igp {
+            Some(igp) => igp.borrow().metric(self.cfg.router_id, nexthop),
+            None => 0,
+        }
+    }
+
+    fn nexthop_info(&self, attrs: &FirAttrs) -> api::NextHopInfo {
+        let metric = self.igp_metric_to(attrs.next_hop);
+        api::NextHopInfo {
+            addr: attrs.next_hop,
+            igp_metric: metric,
+            reachable: metric != u32::MAX,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Session machinery
+    // -----------------------------------------------------------------
+
+    fn send_open(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        let open = OpenMsg::standard(self.cfg.asn, self.cfg.hold_time_secs, self.cfg.router_id);
+        let frame = Message::Open(open).encode(4).expect("OPEN encodes");
+        ctx.send(self.sessions[idx].cfg.link, &frame);
+        self.sessions[idx].state = FsmState::OpenSent;
+    }
+
+    fn send_msg(&mut self, ctx: &mut NodeCtx<'_>, idx: usize, msg: &Message) {
+        let width = self.sessions[idx].asn_width();
+        match msg.encode(width) {
+            Ok(frame) => ctx.send(self.sessions[idx].cfg.link, &frame),
+            Err(e) => self.logs.push(format!("encode error to peer {idx}: {e}")),
+        }
+    }
+
+    fn establish(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        self.sessions[idx].state = FsmState::Established;
+        self.sessions[idx].last_recv = ctx.now();
+        self.stats.sessions_established += 1;
+        let hold = self.sessions[idx].hold_time_ns;
+        if hold > 0 {
+            ctx.set_timer(hold / 3, (idx as u64) * 2 + TIMER_KEEPALIVE);
+            ctx.set_timer(hold / 3, (idx as u64) * 2 + TIMER_HOLD);
+        }
+        // Initial route dump: advertise the whole Loc-RIB to this peer.
+        let routes: Vec<(Ipv4Prefix, RibEntry)> = self
+            .loc_rib
+            .iter()
+            .map(|(p, e)| (*p, e.clone()))
+            .collect();
+        let mut pending = OutboundBatches::default();
+        for (prefix, entry) in routes {
+            self.export_one(idx, prefix, &entry, &mut pending);
+        }
+        self.flush_outbound(ctx, idx, pending);
+    }
+
+    fn teardown(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        if self.sessions[idx].state == FsmState::Idle {
+            return;
+        }
+        self.sessions[idx].reset();
+        self.adj_out[idx] = AdjRibOut::default();
+        let lost = self.adj_in[idx].drain();
+        let mut pending_per_peer: Vec<OutboundBatches> =
+            (0..self.sessions.len()).map(|_| OutboundBatches::default()).collect();
+        for prefix in lost {
+            self.run_decision(ctx, prefix, &mut pending_per_peer);
+        }
+        self.flush_all(ctx, pending_per_peer);
+    }
+
+    // -----------------------------------------------------------------
+    // Inbound pipeline
+    // -----------------------------------------------------------------
+
+    fn handle_update(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        idx: usize,
+        upd: UpdateMsg,
+        raw_body: Vec<u8>,
+    ) {
+        self.stats.updates_rx += 1;
+        if self.stats.first_update_rx.is_none() {
+            self.stats.first_update_rx = Some(ctx.now());
+        }
+
+        let mut pending_per_peer: Vec<OutboundBatches> =
+            (0..self.sessions.len()).map(|_| OutboundBatches::default()).collect();
+
+        // Withdrawals first (RFC 4271 §3.1 ordering within an UPDATE).
+        for prefix in &upd.withdrawn {
+            self.stats.withdrawals_rx += 1;
+            if self.adj_in[idx].remove(prefix).is_some() {
+                self.run_decision(ctx, *prefix, &mut pending_per_peer);
+            }
+        }
+
+        if !upd.nlri.is_empty() {
+            match FirAttrs::from_wire(&upd.attrs) {
+                Ok(attrs) => {
+                    self.install_routes(ctx, idx, attrs, &upd.nlri, raw_body, &mut pending_per_peer)
+                }
+                Err(e) => {
+                    self.logs.push(format!("malformed UPDATE from peer {idx}: {e}"));
+                    self.send_msg(
+                        ctx,
+                        idx,
+                        &Message::Notification(NotificationMsg::from_error(&e)),
+                    );
+                    self.teardown(ctx, idx);
+                    return;
+                }
+            }
+        }
+        self.flush_all(ctx, pending_per_peer);
+    }
+
+    fn install_routes(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        idx: usize,
+        mut attrs: FirAttrs,
+        nlri: &[Ipv4Prefix],
+        raw_body: Vec<u8>,
+        pending_per_peer: &mut [OutboundBatches],
+    ) {
+        let peer_info = self.peer_info_for(idx);
+        let peer_type = self.sessions[idx].peer_type;
+
+        // ① BGP_RECEIVE_MESSAGE: the extension sees the raw message and
+        // may attach attributes to the routes being parsed.
+        if self.vmm.has_extensions(InsertionPoint::BgpReceiveMessage) {
+            let mut hctx = FirXbgpCtx {
+                peer: peer_info,
+                args: vec![raw_body],
+                attrs: AttrAccess::Mut(&mut attrs),
+                prefix: None,
+                nexthop: None,
+                xtra: &self.cfg.xtra,
+                out_buf: None,
+                rov: self.xbgp_rov.as_ref(),
+                rib_adds: &mut self.ext_rib_adds,
+                logs: &mut self.logs,
+            };
+            let _ = self.vmm.run(InsertionPoint::BgpReceiveMessage, &mut hctx);
+        }
+
+        // Sender-side loop detection.
+        if peer_type == PeerType::Ebgp && attrs.as_path.contains(self.cfg.asn) {
+            return; // AS loop: drop silently (RFC 4271 §9.1.2).
+        }
+        if peer_type == PeerType::Ibgp && self.cfg.native_rr {
+            if attrs.originator_id == Some(self.cfg.router_id) {
+                return;
+            }
+            if attrs.cluster_list.contains(&self.cluster_id()) {
+                return;
+            }
+        }
+
+        let source = RouteSource {
+            peer_addr: self.sessions[idx].cfg.peer_addr,
+            peer_asn: self.sessions[idx].cfg.peer_asn,
+            peer_type,
+            rr_client: self.sessions[idx].cfg.rr_client,
+            local: false,
+        };
+        let shared = self.intern.intern(attrs);
+        let inbound_ext = self.vmm.has_extensions(InsertionPoint::BgpInboundFilter);
+        let nexthop = self.nexthop_info(&shared);
+
+        for prefix in nlri {
+            self.stats.prefixes_rx += 1;
+            let mut entry_attrs = Rc::clone(&shared);
+
+            // ② BGP_INBOUND_FILTER (per route, copy-on-write attributes).
+            if inbound_ext {
+                let mut modified = None;
+                let mut hctx = FirXbgpCtx {
+                    peer: peer_info,
+                    args: vec![],
+                    attrs: AttrAccess::Cow { base: &shared, modified: &mut modified },
+                    prefix: Some(*prefix),
+                    nexthop: Some(nexthop),
+                    xtra: &self.cfg.xtra,
+                    out_buf: None,
+                    rov: self.xbgp_rov.as_ref(),
+                    rib_adds: &mut self.ext_rib_adds,
+                    logs: &mut self.logs,
+                };
+                match self.vmm.run(InsertionPoint::BgpInboundFilter, &mut hctx) {
+                    VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
+                        self.stats.xbgp_rejected += 1;
+                        if self.adj_in[idx].remove(prefix).is_some() {
+                            self.run_decision(ctx, *prefix, pending_per_peer);
+                        }
+                        continue;
+                    }
+                    VmmOutcome::Value(_) | VmmOutcome::Fallback => {}
+                }
+                if let Some(m) = modified {
+                    entry_attrs = self.intern.intern(m);
+                }
+            }
+
+            // Native import policy: origin validation tags (never drops).
+            let rov = self.rov_trie.as_ref().map(|trie| {
+                let state = match entry_attrs.as_path.origin_asn() {
+                    Some(origin) => trie.validate(*prefix, origin),
+                    None => RovState::NotFound,
+                };
+                match state {
+                    RovState::Valid => self.stats.rov_valid += 1,
+                    RovState::Invalid => self.stats.rov_invalid += 1,
+                    RovState::NotFound => self.stats.rov_not_found += 1,
+                }
+                state
+            });
+
+            self.adj_in[idx].insert(
+                *prefix,
+                RibEntry { attrs: entry_attrs, source, rov },
+            );
+            self.run_decision(ctx, *prefix, pending_per_peer);
+        }
+
+        // Routes installed by extensions through `rib_add_route`.
+        let adds: Vec<(Ipv4Prefix, u32)> = self.ext_rib_adds.drain(..).collect();
+        for (prefix, nexthop) in adds {
+            let attrs = self.intern.intern(FirAttrs {
+                next_hop: nexthop,
+                ..FirAttrs::default()
+            });
+            self.local_routes.insert(
+                prefix,
+                RibEntry {
+                    attrs,
+                    source: RouteSource::local(self.cfg.router_id, self.cfg.asn),
+                    rov: None,
+                },
+            );
+            self.run_decision(ctx, prefix, pending_per_peer);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Decision process
+    // -----------------------------------------------------------------
+
+    /// Is `candidate` preferred over `best`? Consults the ③ BGP_DECISION
+    /// insertion point before the native RFC 4271 comparison.
+    fn better(&mut self, candidate: &RibEntry, best: &RibEntry) -> bool {
+        if self.vmm.has_extensions(InsertionPoint::BgpDecision) {
+            let best_wire = encode_attrs(&best.attrs.to_wire(), 4);
+            let peer = PeerInfo {
+                router_id: candidate.source.peer_addr,
+                asn: candidate.source.peer_asn,
+                peer_type: candidate.source.peer_type,
+                local_router_id: self.cfg.router_id,
+                local_asn: self.cfg.asn,
+                flags: 0,
+            };
+            let nexthop = self.nexthop_info(&candidate.attrs);
+            let mut hctx = FirXbgpCtx {
+                peer,
+                args: vec![best_wire],
+                attrs: AttrAccess::Read(&candidate.attrs),
+                prefix: None,
+                nexthop: Some(nexthop),
+                xtra: &self.cfg.xtra,
+                out_buf: None,
+                rov: self.xbgp_rov.as_ref(),
+                rib_adds: &mut self.ext_rib_adds,
+                logs: &mut self.logs,
+            };
+            match self.vmm.run(InsertionPoint::BgpDecision, &mut hctx) {
+                VmmOutcome::Value(v) => return v == api::DECISION_PREFER_NEW,
+                VmmOutcome::Fallback => {}
+            }
+        }
+        let igp = &|nh: u32| self.igp_metric_to(nh);
+        let dctx = DecisionCtx { igp_metric: igp, default_local_pref: self.cfg.default_local_pref };
+        crate::rib::native_better(candidate, best, &dctx)
+    }
+
+    /// Recompute the best route for `prefix` and queue the resulting
+    /// advertisements/withdrawals.
+    fn run_decision(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        prefix: Ipv4Prefix,
+        pending_per_peer: &mut [OutboundBatches],
+    ) {
+        // Gather candidates: local routes plus every peer's Adj-RIB-In.
+        let mut best: Option<RibEntry> = self.local_routes.get(&prefix).cloned();
+        for idx in 0..self.sessions.len() {
+            let Some(entry) = self.adj_in[idx].get(&prefix) else {
+                continue;
+            };
+            // Nexthop reachability: iBGP-learned routes need a reachable
+            // nexthop in the IGP.
+            if self.cfg.igp.is_some()
+                && entry.source.peer_type == PeerType::Ibgp
+                && self.igp_metric_to(entry.attrs.next_hop) == u32::MAX
+            {
+                continue;
+            }
+            let entry = entry.clone();
+            best = match best {
+                None => Some(entry),
+                Some(cur) => {
+                    if self.better(&entry, &cur) {
+                        Some(entry)
+                    } else {
+                        Some(cur)
+                    }
+                }
+            };
+        }
+
+        let old = self.loc_rib.get(&prefix);
+        let changed = match (&old, &best) {
+            (None, None) => false,
+            (Some(o), Some(n)) => {
+                !Rc::ptr_eq(&o.attrs, &n.attrs) || o.source != n.source
+            }
+            _ => true,
+        };
+        if !changed {
+            return;
+        }
+        self.stats.last_route_change = Some(ctx.now());
+        match best {
+            Some(entry) => {
+                self.loc_rib.set(prefix, entry.clone());
+                for q in 0..self.sessions.len() {
+                    self.export_one(q, prefix, &entry, &mut pending_per_peer[q]);
+                }
+            }
+            None => {
+                self.loc_rib.remove(&prefix);
+                for q in 0..self.sessions.len() {
+                    if self.sessions[q].is_established() && self.adj_out[q].withdraw(&prefix) {
+                        pending_per_peer[q].withdrawals.push(prefix);
+                    }
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Outbound pipeline
+    // -----------------------------------------------------------------
+
+    /// Export `entry` to peer `q` if policy allows, queueing into `out`.
+    fn export_one(
+        &mut self,
+        q: usize,
+        prefix: Ipv4Prefix,
+        entry: &RibEntry,
+        out: &mut OutboundBatches,
+    ) {
+        if !self.sessions[q].is_established() {
+            return;
+        }
+        // Split horizon: never advertise back to the route's source — and
+        // implicitly withdraw anything previously advertised there (the
+        // peer must not keep a stale copy once it became our best source).
+        if !entry.source.local && entry.source.peer_addr == self.sessions[q].cfg.peer_addr {
+            if self.adj_out[q].withdraw(&prefix) {
+                out.withdrawals.push(prefix);
+            }
+            return;
+        }
+
+        let dest_type = self.sessions[q].peer_type;
+        let src = &entry.source;
+
+        // ④ BGP_OUTBOUND_FILTER: policy. Value forces, Fallback → native.
+        let allowed = if self.vmm.has_extensions(InsertionPoint::BgpOutboundFilter) {
+            let peer_info = self.peer_info_for(q);
+            let nexthop = self.nexthop_info(&entry.attrs);
+            let src_bytes = self.source_info_bytes(src);
+            let mut hctx = FirXbgpCtx {
+                peer: peer_info,
+                args: vec![src_bytes],
+                attrs: AttrAccess::Read(&entry.attrs),
+                prefix: Some(prefix),
+                nexthop: Some(nexthop),
+                xtra: &self.cfg.xtra,
+                out_buf: None,
+                rov: self.xbgp_rov.as_ref(),
+                rib_adds: &mut self.ext_rib_adds,
+                logs: &mut self.logs,
+            };
+            match self.vmm.run(InsertionPoint::BgpOutboundFilter, &mut hctx) {
+                VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
+                    self.stats.xbgp_rejected += 1;
+                    false
+                }
+                VmmOutcome::Value(_) => true,
+                VmmOutcome::Fallback => self.native_export_policy(q, entry),
+            }
+        } else {
+            self.native_export_policy(q, entry)
+        };
+        if !allowed {
+            // If previously advertised, it must now be withdrawn.
+            if self.adj_out[q].withdraw(&prefix) {
+                out.withdrawals.push(prefix);
+            }
+            return;
+        }
+
+        // Mechanism: transform attributes for the session type.
+        let mut a = (*entry.attrs).clone();
+        match dest_type {
+            PeerType::Ebgp => {
+                a.as_path = a.as_path.prepend(self.cfg.asn);
+                a.next_hop = self.cfg.router_id;
+                a.local_pref = None;
+                a.med = None;
+                a.originator_id = None;
+                a.cluster_list.clear();
+            }
+            PeerType::Ibgp => {
+                if a.local_pref.is_none() {
+                    a.local_pref = Some(self.cfg.default_local_pref);
+                }
+                // Native reflection bookkeeping (RFC 4456 §7): only when
+                // native RR owns the feature.
+                if self.cfg.native_rr && !src.local && src.peer_type == PeerType::Ibgp {
+                    if a.originator_id.is_none() {
+                        a.originator_id = Some(src.peer_addr);
+                    }
+                    a.cluster_list.insert(0, self.cluster_id());
+                }
+            }
+        }
+        let transformed = self.intern.intern(a);
+        if self.adj_out[q].advertise(prefix, Rc::clone(&transformed)) {
+            out.push(prefix, transformed, *src);
+        }
+    }
+
+    /// Native (no-extension) export policy decision.
+    fn native_export_policy(&self, q: usize, entry: &RibEntry) -> bool {
+        let dest_type = self.sessions[q].peer_type;
+        let src = &entry.source;
+        match dest_type {
+            PeerType::Ebgp => true,
+            PeerType::Ibgp => {
+                if src.local || src.peer_type == PeerType::Ebgp {
+                    true
+                } else {
+                    // iBGP → iBGP needs reflection.
+                    self.cfg.native_rr
+                        && (src.rr_client || self.sessions[q].cfg.rr_client)
+                }
+            }
+        }
+    }
+
+    /// Send the queued batches for peer `q`.
+    fn flush_outbound(&mut self, ctx: &mut NodeCtx<'_>, q: usize, pending: OutboundBatches) {
+        if !self.sessions[q].is_established() {
+            return;
+        }
+        // Withdrawals: batches of up to ~800 prefixes.
+        for chunk in pending.withdrawals.chunks(800) {
+            let upd = UpdateMsg::withdraw(chunk.to_vec());
+            self.stats.updates_tx += 1;
+            self.stats.withdrawals_tx += chunk.len() as u64;
+            self.send_msg(ctx, q, &Message::Update(upd));
+        }
+        let encode_ext = self.vmm.has_extensions(InsertionPoint::BgpEncodeMessage);
+        for batch in pending.batches {
+            let wire_attrs = batch.attrs.to_wire();
+            // ⑤ BGP_ENCODE_MESSAGE: extensions append raw attribute TLVs.
+            let mut extra = Vec::new();
+            if encode_ext {
+                let peer_info = self.peer_info_for(q);
+                let src_bytes = self.source_info_bytes(&batch.source);
+                let mut hctx = FirXbgpCtx {
+                    peer: peer_info,
+                    args: vec![src_bytes],
+                    attrs: AttrAccess::Read(&batch.attrs),
+                    prefix: batch.prefixes.first().copied(),
+                    nexthop: None,
+                    xtra: &self.cfg.xtra,
+                    out_buf: Some(&mut extra),
+                    rov: self.xbgp_rov.as_ref(),
+                    rib_adds: &mut self.ext_rib_adds,
+                    logs: &mut self.logs,
+                };
+                let _ = self.vmm.run(InsertionPoint::BgpEncodeMessage, &mut hctx);
+            }
+            let width = self.sessions[q].asn_width();
+            // NLRI chunks sized to stay under the 4096-byte frame.
+            for chunk in batch.prefixes.chunks(700) {
+                let upd = UpdateMsg::announce(wire_attrs.clone(), chunk.to_vec());
+                match upd.encode_with_extra(&extra, width) {
+                    Ok(frame) => {
+                        self.stats.updates_tx += 1;
+                        self.stats.prefixes_tx += chunk.len() as u64;
+                        ctx.send(self.sessions[q].cfg.link, &frame);
+                    }
+                    Err(e) => self.logs.push(format!("encode to peer {q} failed: {e}")),
+                }
+            }
+        }
+    }
+
+    fn flush_all(&mut self, ctx: &mut NodeCtx<'_>, pending: Vec<OutboundBatches>) {
+        for (q, batches) in pending.into_iter().enumerate() {
+            if !batches.is_empty() {
+                self.flush_outbound(ctx, q, batches);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Message dispatch
+    // -----------------------------------------------------------------
+
+    fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, idx: usize, frame: Vec<u8>) {
+        self.sessions[idx].last_recv = ctx.now();
+        let width = self.sessions[idx].asn_width();
+        let decoded = match xbgp_wire::msg::deframe(&frame) {
+            Ok((ty, body)) => {
+                Message::decode_body(ty, body, width).map(|m| (m, body.to_vec()))
+            }
+            Err(e) => Err(e),
+        };
+        let (msg, body) = match decoded {
+            Ok(v) => v,
+            Err(e) => {
+                self.logs.push(format!("bad message from peer {idx}: {e}"));
+                self.send_msg(ctx, idx, &Message::Notification(NotificationMsg::from_error(&e)));
+                self.teardown(ctx, idx);
+                return;
+            }
+        };
+        let state = self.sessions[idx].state;
+        match (state, msg) {
+            (FsmState::OpenSent, Message::Open(open)) => {
+                match self.sessions[idx].handle_open(&open, self.cfg.hold_time_secs) {
+                    Ok(()) => self.send_msg(ctx, idx, &Message::Keepalive),
+                    Err(reason) => {
+                        self.logs.push(format!("OPEN rejected from peer {idx}: {reason}"));
+                        self.send_msg(
+                            ctx,
+                            idx,
+                            &Message::Notification(NotificationMsg::new(2, 2)),
+                        );
+                        self.teardown(ctx, idx);
+                    }
+                }
+            }
+            (FsmState::OpenConfirm, Message::Keepalive) => self.establish(ctx, idx),
+            (FsmState::Established, Message::Update(upd)) => {
+                self.handle_update(ctx, idx, upd, body)
+            }
+            (FsmState::Established, Message::Keepalive) => {}
+            (_, Message::Notification(n)) => {
+                self.logs
+                    .push(format!("NOTIFICATION {}/{} from peer {idx}", n.code, n.subcode));
+                self.teardown(ctx, idx);
+            }
+            (state, msg) => {
+                self.logs.push(format!(
+                    "unexpected {:?} in state {state:?} from peer {idx}",
+                    msg.msg_type()
+                ));
+                self.send_msg(ctx, idx, &Message::Notification(NotificationMsg::new(5, 0)));
+                self.teardown(ctx, idx);
+            }
+        }
+    }
+}
+
+/// Outgoing routes grouped by (attribute set, route source) so each group
+/// becomes one UPDATE (modulo NLRI chunking).
+#[derive(Default)]
+struct OutboundBatches {
+    batches: Vec<Batch>,
+    index: HashMap<(usize, u32), usize>,
+    withdrawals: Vec<Ipv4Prefix>,
+}
+
+struct Batch {
+    attrs: Rc<FirAttrs>,
+    source: RouteSource,
+    prefixes: Vec<Ipv4Prefix>,
+}
+
+impl OutboundBatches {
+    fn push(&mut self, prefix: Ipv4Prefix, attrs: Rc<FirAttrs>, source: RouteSource) {
+        let key = (Rc::as_ptr(&attrs) as usize, source.peer_addr);
+        match self.index.get(&key) {
+            Some(&i) => self.batches[i].prefixes.push(prefix),
+            None => {
+                self.index.insert(key, self.batches.len());
+                self.batches.push(Batch { attrs, source, prefixes: vec![prefix] });
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.batches.is_empty() && self.withdrawals.is_empty()
+    }
+}
+
+impl Node for FirDaemon {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Originate local routes.
+        let originate = self.cfg.originate.clone();
+        for (prefix, nexthop) in originate {
+            let attrs = self.intern.intern(FirAttrs {
+                next_hop: nexthop,
+                ..FirAttrs::default()
+            });
+            let entry = RibEntry {
+                attrs,
+                source: RouteSource::local(self.cfg.router_id, self.cfg.asn),
+                rov: None,
+            };
+            self.local_routes.insert(prefix, entry.clone());
+            self.loc_rib.set(prefix, entry);
+        }
+        // Open every configured session.
+        for idx in 0..self.sessions.len() {
+            self.send_open(ctx, idx);
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, data: &[u8]) {
+        let Some(&idx) = self.link_to_peer.get(&link) else {
+            return; // Data on an unconfigured link.
+        };
+        if self.sessions[idx].state == FsmState::Idle {
+            return;
+        }
+        self.sessions[idx].reader.push(data);
+        loop {
+            // The reader is polled through a temporary to satisfy borrow
+            // rules (handle_message needs &mut self).
+            let next = self.sessions[idx].reader.next_frame();
+            match next {
+                Ok(Some(frame)) => self.handle_message(ctx, idx, frame),
+                Ok(None) => break,
+                Err(e) => {
+                    self.logs.push(format!("framing error from peer {idx}: {e}"));
+                    self.send_msg(
+                        ctx,
+                        idx,
+                        &Message::Notification(NotificationMsg::from_error(&e)),
+                    );
+                    self.teardown(ctx, idx);
+                    break;
+                }
+            }
+            if self.sessions[idx].state == FsmState::Idle {
+                break;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        let idx = (token / 2) as usize;
+        let kind = token % 2;
+        if idx >= self.sessions.len() || !self.sessions[idx].is_established() {
+            return;
+        }
+        let hold = self.sessions[idx].hold_time_ns;
+        match kind {
+            TIMER_KEEPALIVE => {
+                self.send_msg(ctx, idx, &Message::Keepalive);
+                ctx.set_timer(hold / 3, token);
+            }
+            _ => {
+                if ctx.now().saturating_sub(self.sessions[idx].last_recv) >= hold {
+                    self.logs.push(format!("hold timer expired for peer {idx}"));
+                    self.send_msg(ctx, idx, &Message::Notification(NotificationMsg::new(4, 0)));
+                    self.teardown(ctx, idx);
+                } else {
+                    ctx.set_timer(hold / 3, token);
+                }
+            }
+        }
+    }
+
+    fn on_link_event(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, up: bool) {
+        let Some(&idx) = self.link_to_peer.get(&link) else {
+            return;
+        };
+        if up {
+            if self.sessions[idx].state == FsmState::Idle {
+                self.send_open(ctx, idx);
+            }
+        } else {
+            self.teardown(ctx, idx);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// Unit tests for the daemon live in `tests/` (integration level) and in
+// the sibling modules; FSM-level tests that need a simulator are in
+// `crates/fir/tests/daemon_e2e.rs`.

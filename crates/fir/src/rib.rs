@@ -1,0 +1,316 @@
+//! The three RFC 4271 RIBs and the native decision process.
+
+use crate::attrs::FirAttrs;
+use rpki::RovState;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xbgp_core::api::PeerType;
+use xbgp_wire::Ipv4Prefix;
+
+/// Where a route was learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteSource {
+    /// Neighbor address / BGP identifier, or the router's own id for
+    /// locally originated routes.
+    pub peer_addr: u32,
+    pub peer_asn: u32,
+    pub peer_type: PeerType,
+    /// The source peer is a route-reflection client.
+    pub rr_client: bool,
+    /// True for locally originated routes.
+    pub local: bool,
+}
+
+impl RouteSource {
+    pub fn local(router_id: u32, asn: u32) -> RouteSource {
+        RouteSource {
+            peer_addr: router_id,
+            peer_asn: asn,
+            peer_type: PeerType::Ibgp,
+            rr_client: false,
+            local: true,
+        }
+    }
+}
+
+/// One route in a RIB: shared attribute set plus provenance.
+#[derive(Debug, Clone)]
+pub struct RibEntry {
+    pub attrs: Rc<FirAttrs>,
+    pub source: RouteSource,
+    /// Origin-validation verdict, when validation is active (§3.4 —
+    /// recorded, never used to discard).
+    pub rov: Option<RovState>,
+}
+
+/// Adj-RIB-In: per-peer accepted routes.
+#[derive(Debug, Default)]
+pub struct AdjRibIn {
+    routes: HashMap<Ipv4Prefix, RibEntry>,
+}
+
+impl AdjRibIn {
+    /// Insert/replace; returns the previous entry if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, entry: RibEntry) -> Option<RibEntry> {
+        self.routes.insert(prefix, entry)
+    }
+
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<RibEntry> {
+        self.routes.remove(prefix)
+    }
+
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&RibEntry> {
+        self.routes.get(prefix)
+    }
+
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    pub fn prefixes(&self) -> impl Iterator<Item = &Ipv4Prefix> {
+        self.routes.keys()
+    }
+
+    /// Drain everything (session teardown).
+    pub fn drain(&mut self) -> Vec<Ipv4Prefix> {
+        let keys: Vec<Ipv4Prefix> = self.routes.keys().copied().collect();
+        self.routes.clear();
+        keys
+    }
+}
+
+/// Loc-RIB: the best route per prefix.
+#[derive(Debug, Default)]
+pub struct LocRib {
+    best: HashMap<Ipv4Prefix, RibEntry>,
+}
+
+impl LocRib {
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&RibEntry> {
+        self.best.get(prefix)
+    }
+
+    pub fn set(&mut self, prefix: Ipv4Prefix, entry: RibEntry) {
+        self.best.insert(prefix, entry);
+    }
+
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<RibEntry> {
+        self.best.remove(prefix)
+    }
+
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &RibEntry)> {
+        self.best.iter()
+    }
+}
+
+/// Adj-RIB-Out: what has been advertised to one peer (prefix → attribute
+/// set actually sent). Used to emit withdraws and suppress duplicates.
+#[derive(Debug, Default)]
+pub struct AdjRibOut {
+    sent: HashMap<Ipv4Prefix, Rc<FirAttrs>>,
+}
+
+impl AdjRibOut {
+    /// Record an advertisement. Returns true if it differs from what was
+    /// previously sent (i.e. must actually go on the wire).
+    pub fn advertise(&mut self, prefix: Ipv4Prefix, attrs: Rc<FirAttrs>) -> bool {
+        match self.sent.get(&prefix) {
+            Some(prev) if Rc::ptr_eq(prev, &attrs) || **prev == *attrs => false,
+            _ => {
+                self.sent.insert(prefix, attrs);
+                true
+            }
+        }
+    }
+
+    /// Record a withdraw. Returns true if the prefix had been advertised.
+    pub fn withdraw(&mut self, prefix: &Ipv4Prefix) -> bool {
+        self.sent.remove(prefix).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sent.is_empty()
+    }
+}
+
+/// Context the native decision process needs beyond the two candidates.
+pub struct DecisionCtx<'a> {
+    /// IGP metric to a nexthop (`u32::MAX` = unreachable/unknown).
+    pub igp_metric: &'a dyn Fn(u32) -> u32,
+    pub default_local_pref: u32,
+}
+
+/// RFC 4271 §9.1 route preference: returns true when `candidate` is
+/// preferred over `best`.
+///
+/// Order: LOCAL_PREF, AS-path length, origin code, MED (compared across
+/// neighbors, "always-compare-med" style, documented deviation), eBGP over
+/// iBGP, IGP metric to nexthop, lowest originator router id, lowest peer
+/// address.
+pub fn native_better(candidate: &RibEntry, best: &RibEntry, ctx: &DecisionCtx<'_>) -> bool {
+    let lp = |e: &RibEntry| e.attrs.local_pref.unwrap_or(ctx.default_local_pref);
+    if lp(candidate) != lp(best) {
+        return lp(candidate) > lp(best);
+    }
+    let hops = |e: &RibEntry| e.attrs.as_path.hop_count();
+    if hops(candidate) != hops(best) {
+        return hops(candidate) < hops(best);
+    }
+    if candidate.attrs.origin != best.attrs.origin {
+        return candidate.attrs.origin < best.attrs.origin;
+    }
+    let med = |e: &RibEntry| e.attrs.med.unwrap_or(0);
+    if med(candidate) != med(best) {
+        return med(candidate) < med(best);
+    }
+    let ebgp = |e: &RibEntry| e.source.peer_type == PeerType::Ebgp && !e.source.local;
+    if ebgp(candidate) != ebgp(best) {
+        return ebgp(candidate);
+    }
+    let metric = |e: &RibEntry| (ctx.igp_metric)(e.attrs.next_hop);
+    if metric(candidate) != metric(best) {
+        return metric(candidate) < metric(best);
+    }
+    let originator = |e: &RibEntry| e.attrs.originator_id.unwrap_or(e.source.peer_addr);
+    if originator(candidate) != originator(best) {
+        return originator(candidate) < originator(best);
+    }
+    candidate.source.peer_addr < best.source.peer_addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbgp_wire::attr::Origin;
+    use xbgp_wire::AsPath;
+
+    fn entry(f: impl FnOnce(&mut FirAttrs), src: RouteSource) -> RibEntry {
+        let mut a = FirAttrs {
+            as_path: AsPath::sequence(vec![1, 2]),
+            next_hop: 1,
+            ..FirAttrs::default()
+        };
+        f(&mut a);
+        RibEntry { attrs: Rc::new(a), source: src, rov: None }
+    }
+
+    fn ebgp_src(addr: u32) -> RouteSource {
+        RouteSource {
+            peer_addr: addr,
+            peer_asn: 65002,
+            peer_type: PeerType::Ebgp,
+            rr_client: false,
+            local: false,
+        }
+    }
+
+    fn ibgp_src(addr: u32) -> RouteSource {
+        RouteSource {
+            peer_addr: addr,
+            peer_asn: 65001,
+            peer_type: PeerType::Ibgp,
+            rr_client: false,
+            local: false,
+        }
+    }
+
+    fn ctx() -> DecisionCtx<'static> {
+        DecisionCtx { igp_metric: &|_| 10, default_local_pref: 100 }
+    }
+
+    #[test]
+    fn local_pref_dominates() {
+        let hi = entry(|a| a.local_pref = Some(200), ibgp_src(5));
+        let lo = entry(
+            |a| {
+                a.local_pref = Some(100);
+                a.as_path = AsPath::sequence(vec![1]);
+            },
+            ibgp_src(6),
+        );
+        assert!(native_better(&hi, &lo, &ctx()));
+        assert!(!native_better(&lo, &hi, &ctx()));
+    }
+
+    #[test]
+    fn shorter_path_wins_then_origin_then_med() {
+        let short = entry(|a| a.as_path = AsPath::sequence(vec![1]), ebgp_src(5));
+        let long = entry(|a| a.as_path = AsPath::sequence(vec![1, 2, 3]), ebgp_src(6));
+        assert!(native_better(&short, &long, &ctx()));
+
+        let igp = entry(|a| a.origin = Origin::Igp, ebgp_src(5));
+        let inc = entry(|a| a.origin = Origin::Incomplete, ebgp_src(6));
+        assert!(native_better(&igp, &inc, &ctx()));
+
+        let lomed = entry(|a| a.med = Some(5), ebgp_src(5));
+        let himed = entry(|a| a.med = Some(50), ebgp_src(6));
+        assert!(native_better(&lomed, &himed, &ctx()));
+    }
+
+    #[test]
+    fn ebgp_beats_ibgp_then_igp_metric_then_tiebreaks() {
+        let e = entry(|_| {}, ebgp_src(5));
+        let i = entry(|_| {}, ibgp_src(4));
+        assert!(native_better(&e, &i, &ctx()));
+
+        let near = entry(|a| a.next_hop = 1, ibgp_src(5));
+        let far = entry(|a| a.next_hop = 2, ibgp_src(6));
+        let dctx = DecisionCtx {
+            igp_metric: &|nh| if nh == 1 { 5 } else { 500 },
+            default_local_pref: 100,
+        };
+        assert!(native_better(&near, &far, &dctx));
+
+        let a = entry(|_| {}, ebgp_src(5));
+        let b = entry(|_| {}, ebgp_src(6));
+        assert!(native_better(&a, &b, &ctx()), "lower peer address wins the final tiebreak");
+    }
+
+    #[test]
+    fn preference_is_asymmetric() {
+        // For any distinct pair, exactly one direction is "better".
+        let a = entry(|a| a.med = Some(1), ebgp_src(5));
+        let b = entry(|a| a.med = Some(2), ebgp_src(6));
+        assert!(native_better(&a, &b, &ctx()) != native_better(&b, &a, &ctx()));
+    }
+
+    #[test]
+    fn adj_rib_out_suppresses_duplicates() {
+        let mut out = AdjRibOut::default();
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let attrs = Rc::new(FirAttrs::default());
+        assert!(out.advertise(p, Rc::clone(&attrs)));
+        assert!(!out.advertise(p, Rc::clone(&attrs)), "same attrs: nothing to send");
+        let different = Rc::new(FirAttrs { med: Some(9), ..FirAttrs::default() });
+        assert!(out.advertise(p, different), "changed attrs must be re-sent");
+        assert!(out.withdraw(&p));
+        assert!(!out.withdraw(&p), "second withdraw is a no-op");
+    }
+
+    #[test]
+    fn adj_rib_in_replace_and_drain() {
+        let mut rib = AdjRibIn::default();
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(rib.insert(p, entry(|_| {}, ebgp_src(5))).is_none());
+        assert!(rib.insert(p, entry(|a| a.med = Some(1), ebgp_src(5))).is_some());
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.drain(), vec![p]);
+        assert!(rib.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-neighbor session state: the RFC 4271 finite state machine.
+//!
+//! FIR models the FSM as an explicit state enum driven by event functions
+//! (FRRouting's `bgp_fsm.c` style). The Connect/Active TCP states collapse
+//! into the link being up — netsim links provide the established stream
+//! TCP would.
+
+use crate::config::PeerCfg;
+use xbgp_core::api::PeerType;
+use xbgp_wire::{MsgReader, OpenMsg};
+
+/// FSM states (TCP-level states are subsumed by link state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmState {
+    /// Link down or session halted.
+    Idle,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPEN received and accepted, waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+/// One neighbor session.
+pub struct Session {
+    pub cfg: PeerCfg,
+    pub state: FsmState,
+    pub reader: MsgReader,
+    /// Negotiated hold time in nanoseconds (0 = timers disabled).
+    pub hold_time_ns: u64,
+    /// Virtual time of the last message from the peer.
+    pub last_recv: u64,
+    /// Whether the peer advertised 4-octet-AS support (always true for the
+    /// daemons in this workspace, but tracked per RFC 6793).
+    pub four_octet_as: bool,
+    /// Session type, fixed by configuration.
+    pub peer_type: PeerType,
+}
+
+impl Session {
+    pub fn new(cfg: PeerCfg, local_asn: u32) -> Session {
+        let peer_type = if cfg.peer_asn == local_asn {
+            PeerType::Ibgp
+        } else {
+            PeerType::Ebgp
+        };
+        Session {
+            cfg,
+            state: FsmState::Idle,
+            reader: MsgReader::new(),
+            hold_time_ns: 0,
+            last_recv: 0,
+            four_octet_as: true,
+            peer_type,
+        }
+    }
+
+    pub fn is_established(&self) -> bool {
+        self.state == FsmState::Established
+    }
+
+    /// ASN width for UPDATE codec on this session.
+    pub fn asn_width(&self) -> usize {
+        if self.four_octet_as {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// Reset to Idle, dropping any partial input.
+    pub fn reset(&mut self) {
+        self.state = FsmState::Idle;
+        self.reader = MsgReader::new();
+        self.hold_time_ns = 0;
+    }
+
+    /// Process a received OPEN: negotiate parameters, move to OpenConfirm.
+    /// Returns an error string when the OPEN is unacceptable (wrong ASN).
+    pub fn handle_open(&mut self, open: &OpenMsg, proposed_hold_secs: u16) -> Result<(), String> {
+        let claimed = open.negotiated_asn();
+        if claimed != self.cfg.peer_asn {
+            return Err(format!(
+                "peer claims AS{claimed}, configured AS{}",
+                self.cfg.peer_asn
+            ));
+        }
+        self.four_octet_as = open.supports_four_octet_as();
+        let hold = open.hold_time.min(proposed_hold_secs);
+        self.hold_time_ns = u64::from(hold) * 1_000_000_000;
+        self.state = FsmState::OpenConfirm;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::LinkId;
+
+    fn cfg() -> PeerCfg {
+        PeerCfg { link: LinkId(0), peer_addr: 9, peer_asn: 65002, rr_client: false }
+    }
+
+    #[test]
+    fn session_type_from_asns() {
+        let s = Session::new(cfg(), 65001);
+        assert_eq!(s.peer_type, PeerType::Ebgp);
+        let s = Session::new(PeerCfg { peer_asn: 65001, ..cfg() }, 65001);
+        assert_eq!(s.peer_type, PeerType::Ibgp);
+    }
+
+    #[test]
+    fn open_negotiates_minimum_hold_time() {
+        let mut s = Session::new(cfg(), 65001);
+        s.state = FsmState::OpenSent;
+        let open = OpenMsg::standard(65002, 30, 9);
+        s.handle_open(&open, 90).unwrap();
+        assert_eq!(s.state, FsmState::OpenConfirm);
+        assert_eq!(s.hold_time_ns, 30_000_000_000);
+    }
+
+    #[test]
+    fn open_with_wrong_asn_rejected() {
+        let mut s = Session::new(cfg(), 65001);
+        let open = OpenMsg::standard(65099, 90, 9);
+        assert!(s.handle_open(&open, 90).is_err());
+        assert_ne!(s.state, FsmState::OpenConfirm);
+    }
+
+    #[test]
+    fn reset_clears_reader_and_state() {
+        let mut s = Session::new(cfg(), 65001);
+        s.state = FsmState::Established;
+        s.reader.push(&[0xff; 10]);
+        s.reset();
+        assert_eq!(s.state, FsmState::Idle);
+        assert_eq!(s.reader.buffered(), 0);
+    }
+}

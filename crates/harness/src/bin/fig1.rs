@@ -1,0 +1,5 @@
+//! Regenerate Fig. 1: the CDF of BGP standardization delays.
+
+fn main() {
+    print!("{}", xbgp_harness::fig1::render());
+}

@@ -1,0 +1,75 @@
+//! Regenerate Fig. 4: relative performance impact of extension bytecode
+//! versus native code, per implementation and use case.
+//!
+//! Usage: fig4 [--routes N] [--runs N] [--seed N] [--use-case rr|ov|all]
+//!             [--dut fir|wren|all]
+
+use xbgp_harness::fig3::{Dut, UseCase};
+use xbgp_harness::fig4::{fig4_cell, paper_reference, Fig4Config};
+
+fn main() {
+    let mut cfg = Fig4Config::default();
+    let mut duts = vec![Dut::Fir, Dut::Wren];
+    let mut cases = vec![UseCase::RouteReflection, UseCase::OriginValidation];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("missing value after {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--routes" => cfg.routes = need(i).parse().expect("--routes N"),
+            "--runs" => cfg.runs = need(i).parse().expect("--runs N"),
+            "--seed" => cfg.seed = need(i).parse().expect("--seed N"),
+            "--use-case" => {
+                cases = match need(i) {
+                    "rr" => vec![UseCase::RouteReflection],
+                    "ov" => vec![UseCase::OriginValidation],
+                    "all" => cases,
+                    other => {
+                        eprintln!("unknown use case `{other}` (rr|ov|all)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--dut" => {
+                duts = match need(i) {
+                    "fir" => vec![Dut::Fir],
+                    "wren" => vec![Dut::Wren],
+                    "all" => duts,
+                    other => {
+                        eprintln!("unknown dut `{other}` (fir|wren|all)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!(
+        "# Fig. 4 — {} routes, {} paired runs per cell (seed {})",
+        cfg.routes, cfg.runs, cfg.seed
+    );
+    for dut in &duts {
+        for case in &cases {
+            eprintln!("running {} / {} ...", dut.name(), case.name());
+            let cell = fig4_cell(*dut, *case, &cfg);
+            println!("\n{} / {}", dut.name(), case.name());
+            println!("  impact: {}", xbgp_harness::stats::render(&cell.summary));
+            println!(
+                "  medians: native {:.2} ms, extension {:.2} ms",
+                cell.median_native_ns / 1e6,
+                cell.median_extension_ns / 1e6
+            );
+            println!("  {}", paper_reference(*dut, *case));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Regenerate the Fig. 5 narrative: datacenter connectivity under the
+//! same-ASN trick versus the xBGP valley-free filter, before and after
+//! the double link failure L10–S1 / L13–S2.
+//!
+//! This binary re-runs the four scenarios of tests/valley_free_e2e.rs and
+//! prints a table instead of asserting.
+
+use bgp_fir::{FirConfig, FirDaemon};
+use netsim::{LinkId, NodeId, Sim, SimConfig};
+use xbgp_progs::valley_free;
+use xbgp_wire::Ipv4Prefix;
+
+const MS: u64 = 1_000_000;
+const SEC: u64 = 1_000_000_000;
+const S1: usize = 0;
+const S2: usize = 1;
+const LEAVES: [usize; 4] = [2, 3, 4, 5];
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+struct Ph;
+impl netsim::Node for Ph {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn build(asns: [u32; 6], xbgp: bool) -> (Sim, Vec<NodeId>, LinkId, LinkId) {
+    let mut sim = Sim::new(SimConfig::default());
+    let nodes: Vec<NodeId> = (0..6).map(|_| sim.add_node(Box::new(Ph))).collect();
+    let ids: [u32; 6] = [201, 202, 110, 111, 112, 113];
+    let mut links = vec![];
+    for leaf in LEAVES {
+        for spine in [S1, S2] {
+            links.push(((leaf, spine), sim.connect(nodes[leaf], nodes[spine], MS)));
+        }
+    }
+    let link = |a: usize, b: usize| -> LinkId {
+        links
+            .iter()
+            .find(|((l, s), _)| (*l == a && *s == b) || (*l == b && *s == a))
+            .expect("link exists")
+            .1
+    };
+    let pairs: Vec<(u32, u32)> = LEAVES
+        .iter()
+        .flat_map(|&l| [(asns[l], asns[S1]), (asns[l], asns[S2])])
+        .collect();
+    let manifest = valley_free::manifest(&pairs, p("10.0.0.0/8"));
+    for i in 0..6 {
+        let mut cfg = FirConfig::new(asns[i], ids[i]);
+        let nbs: Vec<usize> = if i < 2 { LEAVES.to_vec() } else { vec![S1, S2] };
+        for nb in nbs {
+            cfg = cfg.peer(link(i, nb), ids[nb], asns[nb]);
+        }
+        if i == 5 {
+            cfg.originate = vec![(p("10.13.0.0/16"), ids[5])];
+        }
+        if i == S1 {
+            cfg.originate = vec![(p("192.0.2.0/24"), ids[S1])];
+        }
+        if xbgp {
+            cfg.xbgp = Some(manifest.clone());
+        }
+        sim.replace_node(nodes[i], Box::new(FirDaemon::new(cfg)));
+    }
+    let a = link(2, S1);
+    let b = link(5, S2);
+    (sim, nodes, a, b)
+}
+
+fn reaches(sim: &mut Sim, node: NodeId, prefix: &str) -> &'static str {
+    if sim
+        .node_ref::<FirDaemon>(node)
+        .best_route(&p(prefix))
+        .is_some()
+    {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+fn scenario(name: &str, asns: [u32; 6], xbgp: bool) {
+    let (mut sim, nodes, l10s1, l13s2) = build(asns, xbgp);
+    sim.run_until(20 * SEC);
+    let healthy = reaches(&mut sim, nodes[2], "10.13.0.0/16");
+    let ext_at_s2 = reaches(&mut sim, nodes[1], "192.0.2.0/24");
+    sim.set_link_up(l10s1, false);
+    sim.set_link_up(l13s2, false);
+    sim.run_until(90 * SEC);
+    let after = reaches(&mut sim, nodes[2], "10.13.0.0/16");
+    println!(
+        "{name:<34} | {healthy:^18} | {after:^23} | {ext_at_s2:^22}",
+    );
+}
+
+fn main() {
+    println!("# Fig. 5 scenarios — L10's reachability of the prefix below L13");
+    println!(
+        "{:<34} | {:^18} | {:^23} | {:^22}",
+        "configuration", "healthy fabric", "after double failure", "ext. prefix leaks to S2"
+    );
+    println!("{}", "-".repeat(108));
+    scenario(
+        "same-ASN trick (paper default)",
+        [65200, 65200, 65100, 65100, 65110, 65110],
+        false,
+    );
+    scenario(
+        "distinct ASNs, no filter",
+        [65201, 65202, 65101, 65102, 65103, 65104],
+        false,
+    );
+    scenario(
+        "distinct ASNs + xBGP valley-free",
+        [65201, 65202, 65101, 65102, 65103, 65104],
+        true,
+    );
+    println!(
+        "\nThe xBGP row keeps connectivity after the double failure while\n\
+         still blocking external-prefix valleys — §3.3's claim."
+    );
+}

@@ -1,0 +1,50 @@
+//! xbgp-sim — run a declarative network scenario.
+//!
+//! Usage: xbgp-sim <scenario.json>
+//!
+//! See `xbgp_harness::scenario` for the document format. Exit code 0 when
+//! every `expect_route` check passes, 1 otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: xbgp-sim <scenario.json>");
+        return ExitCode::from(2);
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = match xbgp_harness::scenario::parse(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid scenario: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match xbgp_harness::scenario::run(&scenario) {
+        Ok(report) => {
+            println!("scenario: {}", report.name);
+            for (desc, ok) in &report.checks {
+                println!("  [{}] {desc}", if *ok { "PASS" } else { "FAIL" });
+            }
+            println!("final tables:");
+            for (router, n) in &report.tables {
+                println!("  {router:<16} {n} route(s)");
+            }
+            if report.all_passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("scenario failed to run: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

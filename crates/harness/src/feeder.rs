@@ -1,0 +1,122 @@
+//! The upstream router of the Fig. 3 testbed.
+//!
+//! Speaks just enough BGP to establish a session, then blasts a
+//! pre-encoded routing table at the device under test — the role the
+//! RIS-fed FRRouting upstream plays in the paper. Pre-encoding keeps the
+//! feeder's own CPU cost out of the measurement loop.
+
+use netsim::{LinkId, Node, NodeCtx};
+use xbgp_wire::{Message, MsgReader, MsgType, OpenMsg};
+
+/// Upstream feeder node.
+pub struct Feeder {
+    asn: u32,
+    router_id: u32,
+    link: Option<LinkId>,
+    reader: MsgReader,
+    /// Pre-encoded UPDATE frames to send once the session is up.
+    frames: Vec<Vec<u8>>,
+    established: bool,
+    /// Virtual time the first UPDATE was handed to the link.
+    pub first_sent: Option<u64>,
+    pub frames_sent: u64,
+}
+
+impl Feeder {
+    /// `frames` are complete BGP frames (header + body).
+    pub fn new(asn: u32, router_id: u32, frames: Vec<Vec<u8>>) -> Feeder {
+        Feeder {
+            asn,
+            router_id,
+            link: None,
+            reader: MsgReader::new(),
+            frames,
+            established: false,
+            first_sent: None,
+            frames_sent: 0,
+        }
+    }
+
+    fn blast(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.first_sent.is_none() {
+            self.first_sent = Some(ctx.now());
+        }
+        let link = self.link.expect("started");
+        for f in &self.frames {
+            ctx.send(link, f);
+        }
+        self.frames_sent += self.frames.len() as u64;
+        self.frames.clear();
+    }
+}
+
+impl Node for Feeder {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let link = ctx.links()[0];
+        self.link = Some(link);
+        let open = Message::Open(OpenMsg::standard(self.asn, 180, self.router_id));
+        ctx.send(link, &open.encode(4).expect("OPEN encodes"));
+        // Periodic keepalives so the peer's hold timer stays quiet.
+        ctx.set_timer(30_000_000_000, 1);
+    }
+
+    fn on_data(&mut self, ctx: &mut NodeCtx<'_>, _link: LinkId, data: &[u8]) {
+        self.reader.push(data);
+        while let Ok(Some(frame)) = self.reader.next_frame() {
+            match xbgp_wire::msg::deframe(&frame) {
+                Ok((MsgType::Open, _)) => {
+                    let link = self.link.expect("started");
+                    ctx.send(link, &Message::Keepalive.encode(4).expect("encodes"));
+                }
+                Ok((MsgType::Keepalive, _)) if !self.established => {
+                    self.established = true;
+                    self.blast(ctx);
+                }
+                _ => {} // updates reflected back, notifications: ignore
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+        if let Some(link) = self.link {
+            ctx.send(link, &Message::Keepalive.encode(4).expect("encodes"));
+            ctx.set_timer(30_000_000_000, 1);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Sink;
+    use netsim::{Sim, SimConfig};
+    use routegen::{to_updates, TableSpec};
+
+    #[test]
+    fn feeder_and_sink_handshake_directly() {
+        // Feeder wired straight to a sink: the sink must receive the whole
+        // table (sanity for both measurement endpoints).
+        let routes = routegen::generate(&TableSpec::new(500, 1));
+        let frames: Vec<Vec<u8>> = to_updates(&routes, 0x0a00_0001, Some(100))
+            .into_iter()
+            .map(|u| Message::Update(u).encode(4).unwrap())
+            .collect();
+        let mut sim = Sim::new(SimConfig::default());
+        let f = sim.add_node(Box::new(Feeder::new(65001, 1, frames)));
+        let s = sim.add_node(Box::new(Sink::new(65001, 2)));
+        sim.connect(f, s, 1000);
+        sim.run_until(120_000_000_000); // bounded: keepalives re-arm forever
+
+        let last_rx = {
+            let sink: &Sink = sim.node_ref(s);
+            assert_eq!(sink.prefixes_seen(), 500);
+            sink.last_prefix_rx.expect("prefixes received")
+        };
+        let feeder: &Feeder = sim.node_ref(f);
+        assert!(feeder.first_sent.expect("table sent") <= last_rx);
+    }
+}

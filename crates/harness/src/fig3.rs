@@ -1,0 +1,235 @@
+//! The Fig. 3 testbed: upstream feeder → device under test → downstream
+//! sink, with CPU accounting enabled so the DUT's real compute cost
+//! becomes the measured quantity.
+
+use crate::feeder::Feeder;
+use crate::sink::Sink;
+use bgp_fir::{FirConfig, FirDaemon};
+use bgp_wren::{WrenConfig, WrenDaemon};
+use netsim::{Sim, SimConfig};
+use routegen::{to_updates, TableSpec};
+use rpki::Roa;
+use xbgp_core::Manifest;
+use xbgp_progs::{origin_validation, route_reflect};
+use xbgp_wire::Message;
+
+/// Which implementation sits in the middle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dut {
+    Fir,
+    Wren,
+}
+
+impl Dut {
+    pub fn name(self) -> &'static str {
+        match self {
+            Dut::Fir => "xFIR",
+            Dut::Wren => "xWREN",
+        }
+    }
+}
+
+/// Which §3 use case runs on the DUT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseCase {
+    /// §3.2: iBGP chain, the DUT reflects the table.
+    RouteReflection,
+    /// §3.4: eBGP chain, the DUT validates every prefix origin.
+    OriginValidation,
+}
+
+impl UseCase {
+    pub fn name(self) -> &'static str {
+        match self {
+            UseCase::RouteReflection => "Route Reflectors",
+            UseCase::OriginValidation => "Origin Validation",
+        }
+    }
+}
+
+/// One experiment run description.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Spec {
+    pub dut: Dut,
+    pub use_case: UseCase,
+    /// Run the feature as extension bytecode instead of native code.
+    pub extension: bool,
+    /// Table size (the paper used 724k; scale to taste).
+    pub routes: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Measured outcome of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Outcome {
+    /// Paper metric: virtual ns between the upstream's first announcement
+    /// and the last prefix landing at the downstream.
+    pub elapsed_ns: u64,
+    /// Distinct prefixes that reached the sink (sanity check).
+    pub prefixes_delivered: usize,
+    /// Measured CPU ns charged to the DUT.
+    pub dut_cpu_ns: u64,
+}
+
+/// ROA validity mix of §3.4 ("75% of the injected prefixes as valid").
+pub const VALID_FRACTION: f64 = 0.75;
+
+fn make_roas(routes: &[routegen::Route], seed: u64) -> Vec<Roa> {
+    routegen::make_roas(routes, VALID_FRACTION, seed)
+        .into_iter()
+        .map(|e| Roa::new(e.prefix, e.max_len, e.asn))
+        .collect()
+}
+
+/// Run one Fig. 3 experiment.
+pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
+    let table = routegen::generate(&TableSpec::new(spec.routes, spec.seed));
+    let ibgp = spec.use_case == UseCase::RouteReflection;
+
+    // Addresses/ASNs: feeder=1, DUT=2, sink=3.
+    let (feeder_asn, dut_asn, sink_asn) = if ibgp {
+        (65000, 65000, 65000)
+    } else {
+        (65001, 65002, 65003)
+    };
+    let local_pref = ibgp.then_some(100);
+    let updates = to_updates(&table, 1, local_pref);
+    let frames: Vec<Vec<u8>> = updates
+        .into_iter()
+        .map(|u| Message::Update(u).encode(4).expect("update encodes"))
+        .collect();
+
+    let mut sim = Sim::new(SimConfig { cpu_accounting: true });
+    let f = sim.add_node(Box::new(Feeder::new(feeder_asn, 1, frames)));
+    let d = sim.add_node(Box::new(Placeholder));
+    let s = sim.add_node(Box::new(Sink::new(sink_asn, 3)));
+    let l_up = sim.connect(f, d, 100_000); // 0.1 ms links
+    let l_down = sim.connect(d, s, 100_000);
+
+    let (native_roas, ext_roas, manifest): (Option<Vec<Roa>>, Option<Vec<Roa>>, Option<Manifest>) =
+        match (spec.use_case, spec.extension) {
+            (UseCase::RouteReflection, false) => (None, None, None),
+            (UseCase::RouteReflection, true) => (None, None, Some(route_reflect::manifest())),
+            (UseCase::OriginValidation, false) => {
+                (Some(make_roas(&table, spec.seed)), None, None)
+            }
+            (UseCase::OriginValidation, true) => (
+                None,
+                Some(make_roas(&table, spec.seed)),
+                Some(origin_validation::manifest()),
+            ),
+        };
+
+    match spec.dut {
+        Dut::Fir => {
+            let mut cfg = if ibgp {
+                FirConfig::new(dut_asn, 2)
+                    .rr_client_peer(l_up, 1, feeder_asn)
+                    .rr_client_peer(l_down, 3, sink_asn)
+            } else {
+                FirConfig::new(dut_asn, 2)
+                    .peer(l_up, 1, feeder_asn)
+                    .peer(l_down, 3, sink_asn)
+            };
+            cfg.native_rr = ibgp && !spec.extension;
+            cfg.native_rov = native_roas;
+            cfg.xbgp_roas = ext_roas;
+            cfg.xbgp = manifest;
+            sim.replace_node(d, Box::new(FirDaemon::new(cfg)));
+        }
+        Dut::Wren => {
+            let mut cfg = if ibgp {
+                WrenConfig::new(dut_asn, 2)
+                    .rr_client_channel(l_up, 1, feeder_asn)
+                    .rr_client_channel(l_down, 3, sink_asn)
+            } else {
+                WrenConfig::new(dut_asn, 2)
+                    .channel(l_up, 1, feeder_asn)
+                    .channel(l_down, 3, sink_asn)
+            };
+            cfg.rr_enabled = ibgp && !spec.extension;
+            cfg.roa_table = native_roas;
+            cfg.xbgp_roas = ext_roas;
+            cfg.xbgp = manifest;
+            sim.replace_node(d, Box::new(WrenDaemon::new(cfg)));
+        }
+    }
+
+    // Run in bounded virtual-time chunks until the sink has the whole
+    // table. (Keepalive timers re-arm forever, so the event queue never
+    // drains and run-until-idle would not terminate.)
+    const SEC: u64 = 1_000_000_000;
+    let mut deadline = 0u64;
+    loop {
+        deadline += 120 * SEC;
+        sim.run_until(deadline);
+        let seen = {
+            let sink: &Sink = sim.node_ref(s);
+            sink.prefixes_seen()
+        };
+        if seen >= spec.routes {
+            break;
+        }
+        assert!(
+            deadline < 1_000_000 * SEC,
+            "experiment did not converge: {seen}/{} prefixes",
+            spec.routes
+        );
+    }
+
+    let first_sent = {
+        let feeder: &Feeder = sim.node_ref(f);
+        feeder.first_sent.expect("session established, table sent")
+    };
+    let (last_rx, delivered) = {
+        let sink: &Sink = sim.node_ref(s);
+        (
+            sink.last_prefix_rx.expect("table reached the sink"),
+            sink.prefixes_seen(),
+        )
+    };
+    Fig3Outcome {
+        elapsed_ns: last_rx.saturating_sub(first_sent),
+        prefixes_delivered: delivered,
+        dut_cpu_ns: sim.cpu_time(d),
+    }
+}
+
+struct Placeholder;
+impl netsim::Node for Placeholder {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_configurations_deliver_the_full_table() {
+        for dut in [Dut::Fir, Dut::Wren] {
+            for use_case in [UseCase::RouteReflection, UseCase::OriginValidation] {
+                for extension in [false, true] {
+                    let out = run(&Fig3Spec {
+                        dut,
+                        use_case,
+                        extension,
+                        routes: 400,
+                        seed: 7,
+                    });
+                    assert_eq!(
+                        out.prefixes_delivered,
+                        400,
+                        "{} / {} / ext={extension}",
+                        dut.name(),
+                        use_case.name()
+                    );
+                    assert!(out.elapsed_ns > 0);
+                    assert!(out.dut_cpu_ns > 0, "CPU accounting active");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Fig. 4 — relative performance impact of extension bytecode versus
+//! native code.
+//!
+//! For each (implementation × use case) cell the harness runs the Fig. 3
+//! experiment `runs` times with distinct workload seeds, pairing a native
+//! and an extension run per seed, and reports the boxplot of per-seed
+//! relative impacts — the quantity on the paper's y-axis.
+
+use crate::fig3::{self, Dut, Fig3Spec, UseCase};
+use crate::stats::{relative_impact_pct, summarize, Summary};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Config {
+    /// Table size per run (paper: 724k).
+    pub routes: usize,
+    /// Paired runs per cell (paper: 15).
+    pub runs: usize,
+    /// Base seed; run `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config { routes: 50_000, runs: 15, seed: 1 }
+    }
+}
+
+/// One cell of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Cell {
+    pub dut: Dut,
+    pub use_case: UseCase,
+    /// Per-seed relative impacts (%).
+    pub impacts_pct: Vec<f64>,
+    /// Boxplot of `impacts_pct`.
+    pub summary: Summary,
+    /// Median absolute times, for context.
+    pub median_native_ns: f64,
+    pub median_extension_ns: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig4Report {
+    pub config: Fig4Config,
+    pub cells: Vec<Fig4Cell>,
+}
+
+/// Run one cell.
+pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
+    let mut impacts = Vec::with_capacity(cfg.runs);
+    let mut natives = Vec::with_capacity(cfg.runs);
+    let mut extensions = Vec::with_capacity(cfg.runs);
+    for i in 0..cfg.runs {
+        let seed = cfg.seed + i as u64;
+        let native = fig3::run(&Fig3Spec {
+            dut,
+            use_case,
+            extension: false,
+            routes: cfg.routes,
+            seed,
+        });
+        let ext = fig3::run(&Fig3Spec {
+            dut,
+            use_case,
+            extension: true,
+            routes: cfg.routes,
+            seed,
+        });
+        assert_eq!(
+            native.prefixes_delivered, ext.prefixes_delivered,
+            "both variants must deliver the same table"
+        );
+        natives.push(native.elapsed_ns as f64);
+        extensions.push(ext.elapsed_ns as f64);
+        impacts.push(relative_impact_pct(
+            native.elapsed_ns as f64,
+            ext.elapsed_ns as f64,
+        ));
+    }
+    let summary = summarize(&impacts);
+    Fig4Cell {
+        dut,
+        use_case,
+        impacts_pct: impacts,
+        summary,
+        median_native_ns: summarize(&natives).median,
+        median_extension_ns: summarize(&extensions).median,
+    }
+}
+
+/// Run the whole figure: both DUTs × both use cases.
+pub fn fig4_run(cfg: &Fig4Config) -> Fig4Report {
+    let mut cells = Vec::new();
+    for dut in [Dut::Fir, Dut::Wren] {
+        for use_case in [UseCase::RouteReflection, UseCase::OriginValidation] {
+            cells.push(fig4_cell(dut, use_case, cfg));
+        }
+    }
+    Fig4Report { config: *cfg, cells }
+}
+
+/// The paper's qualitative reference values for side-by-side comparison
+/// (medians eyeballed from Fig. 4's boxplots).
+pub fn paper_reference(dut: Dut, use_case: UseCase) -> &'static str {
+    match (dut, use_case) {
+        (Dut::Fir, UseCase::RouteReflection) => "paper xFRR/RR: ≈ +15% (under 20%)",
+        (Dut::Wren, UseCase::RouteReflection) => "paper xBIRD/RR: ≈ +18% (under 20%)",
+        (Dut::Fir, UseCase::OriginValidation) => "paper xFRR/OV: ≈ -10% (extension FASTER)",
+        (Dut::Wren, UseCase::OriginValidation) => "paper xBIRD/OV: ≈ 0% (parity)",
+    }
+}
+
+/// Render the report as the text analogue of Fig. 4.
+pub fn render(report: &Fig4Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Fig. 4 — relative performance impact of extension vs native code\n\
+         # routes per run: {}, paired runs per cell: {}\n",
+        report.config.routes, report.config.runs
+    ));
+    for cell in &report.cells {
+        out.push_str(&format!(
+            "\n{} / {}\n  impact: {}\n  medians: native {:.2} ms, extension {:.2} ms\n  {}\n",
+            cell.dut.name(),
+            cell.use_case.name(),
+            crate::stats::render(&cell.summary),
+            cell.median_native_ns / 1e6,
+            cell.median_extension_ns / 1e6,
+            paper_reference(cell.dut, cell.use_case),
+        ));
+    }
+    out
+}

@@ -1,0 +1,28 @@
+//! # xbgp-harness — experiment driver
+//!
+//! Regenerates every quantitative artifact of the paper:
+//!
+//! * [`fig1`] — the CDF of IETF standardization delays (Fig. 1),
+//! * [`fig3`] — the measurement testbed (Fig. 3): a feeder, a device under
+//!   test, and a sink on a simulated chain, with CPU accounting turned on
+//!   so extension-vs-native compute differences surface as virtual-time
+//!   deltas,
+//! * [`fig4`] — the relative-performance experiment (Fig. 4) over both
+//!   daemons and both use cases,
+//! * [`stats`] — run statistics (boxplot summaries) shared by the
+//!   binaries and benches.
+//!
+//! Binaries: `fig1`, `fig4`, `fig5_scenarios`, `loc_table`.
+
+pub mod feeder;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod scenario;
+pub mod sink;
+pub mod stats;
+
+pub use feeder::Feeder;
+pub use fig3::{Dut, Fig3Outcome, Fig3Spec, UseCase};
+pub use fig4::{fig4_run, Fig4Config, Fig4Report};
+pub use sink::Sink;

@@ -1,0 +1,559 @@
+//! Declarative simulation scenarios.
+//!
+//! `xbgp-sim` (the companion binary) runs a JSON-described network: a set
+//! of FIR/WREN routers, links, xBGP extension presets, and a timeline of
+//! failures and assertions. This is the operator-facing face of the
+//! reproduction — the equivalent of wiring up the paper's VMs, in one
+//! file:
+//!
+//! ```json
+//! {
+//!   "name": "listing1-demo",
+//!   "routers": [
+//!     { "name": "london", "implementation": "fir", "asn": 65000,
+//!       "router_id": "10.0.0.1",
+//!       "originate": ["203.0.113.0/24"] },
+//!     { "name": "berlin", "implementation": "fir", "asn": 65000,
+//!       "router_id": "10.0.0.3",
+//!       "extensions": { "preset": "igp_filter" } },
+//!     { "name": "peer", "implementation": "wren", "asn": 65009,
+//!       "router_id": "10.0.0.9" }
+//!   ],
+//!   "links": [
+//!     { "a": "london", "b": "berlin" },
+//!     { "a": "berlin", "b": "peer" }
+//!   ],
+//!   "igp": { "members": ["london", "berlin"],
+//!            "links": [ { "a": "london", "b": "berlin", "metric": 10 } ] },
+//!   "events": [
+//!     { "at_secs": 5,  "expect_route": { "router": "peer", "prefix": "203.0.113.0/24", "present": true } },
+//!     { "at_secs": 10, "fail_igp_link": { "a": "london", "b": "berlin" } },
+//!     { "at_secs": 11, "flap_link": { "a": "london", "b": "berlin" } },
+//!     { "at_secs": 60, "expect_route": { "router": "peer", "prefix": "203.0.113.0/24", "present": false } }
+//!   ]
+//! }
+//! ```
+
+use bgp_fir::{FirConfig, FirDaemon};
+use bgp_wren::{WrenConfig, WrenDaemon};
+use netsim::{LinkId, NodeId, Sim, SimConfig};
+use serde::Deserialize;
+use std::collections::HashMap;
+use xbgp_core::Manifest;
+use xbgp_wire::prefix::parse_addr;
+use xbgp_wire::Ipv4Prefix;
+
+const SEC: u64 = 1_000_000_000;
+
+/// Top-level scenario document.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Scenario {
+    pub name: String,
+    pub routers: Vec<RouterSpec>,
+    pub links: Vec<LinkSpec>,
+    #[serde(default)]
+    pub igp: Option<IgpSpec>,
+    #[serde(default)]
+    pub events: Vec<Event>,
+    /// Virtual time to run after the last event (seconds).
+    #[serde(default = "default_settle")]
+    pub settle_secs: u64,
+}
+
+fn default_settle() -> u64 {
+    10
+}
+
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct RouterSpec {
+    pub name: String,
+    /// `"fir"` or `"wren"`.
+    pub implementation: String,
+    pub asn: u32,
+    /// Dotted-quad BGP identifier / address.
+    pub router_id: String,
+    #[serde(default)]
+    pub originate: Vec<String>,
+    /// Neighbors (by router name) treated as route-reflection clients.
+    #[serde(default)]
+    pub rr_clients: Vec<String>,
+    /// Enable native RFC 4456 reflection.
+    #[serde(default)]
+    pub native_rr: bool,
+    /// Inline validator-CSV ROA rows for native origin validation.
+    #[serde(default)]
+    pub native_roas_csv: Option<String>,
+    /// xBGP extensions to load.
+    #[serde(default)]
+    pub extensions: Option<ExtensionSpecJson>,
+    /// `get_xtra` configuration (values hex-encoded).
+    #[serde(default)]
+    pub xtra_hex: HashMap<String, String>,
+}
+
+/// Either a bundled preset or a full inline manifest.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ExtensionSpecJson {
+    /// One of: `igp_filter`, `route_reflect`, `origin_validation`,
+    /// `geoloc`, `valley_free`.
+    #[serde(default)]
+    pub preset: Option<String>,
+    /// Parameters for the preset (see `build_manifest`).
+    #[serde(default)]
+    pub params: HashMap<String, serde_json::Value>,
+    /// Full manifest document (as produced by `Manifest::to_json`),
+    /// overriding `preset`.
+    #[serde(default)]
+    pub manifest: Option<serde_json::Value>,
+    /// Validator-CSV ROA rows backing the `rpki_check_origin` helper.
+    #[serde(default)]
+    pub roas_csv: Option<String>,
+}
+
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LinkSpec {
+    pub a: String,
+    pub b: String,
+    /// One-way latency in microseconds (default 100).
+    #[serde(default = "default_latency_us")]
+    pub latency_us: u64,
+}
+
+fn default_latency_us() -> u64 {
+    100
+}
+
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct IgpSpec {
+    pub members: Vec<String>,
+    pub links: Vec<IgpLinkSpec>,
+}
+
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct IgpLinkSpec {
+    pub a: String,
+    pub b: String,
+    pub metric: u32,
+}
+
+/// One timeline entry: exactly one action, at a virtual time.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Event {
+    pub at_secs: u64,
+    #[serde(default)]
+    pub fail_link: Option<LinkRef>,
+    #[serde(default)]
+    pub restore_link: Option<LinkRef>,
+    /// Fail and immediately restore (forces re-export with fresh state).
+    #[serde(default)]
+    pub flap_link: Option<LinkRef>,
+    #[serde(default)]
+    pub fail_igp_link: Option<LinkRef>,
+    #[serde(default)]
+    pub expect_route: Option<ExpectRoute>,
+}
+
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LinkRef {
+    pub a: String,
+    pub b: String,
+}
+
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ExpectRoute {
+    pub router: String,
+    pub prefix: String,
+    pub present: bool,
+}
+
+/// Outcome of a scenario run.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    pub name: String,
+    /// `(description, passed)` per expectation, in timeline order.
+    pub checks: Vec<(String, bool)>,
+    /// Final `(router, table size)` summary.
+    pub tables: Vec<(String, usize)>,
+}
+
+impl ScenarioReport {
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// Build a preset manifest by name.
+fn build_manifest(spec: &ExtensionSpecJson) -> Result<Manifest, String> {
+    if let Some(doc) = &spec.manifest {
+        return Manifest::from_json(&doc.to_string());
+    }
+    let preset = spec.preset.as_deref().ok_or("extensions need `preset` or `manifest`")?;
+    let get_u64 = |key: &str| -> Option<u64> {
+        spec.params.get(key).and_then(serde_json::Value::as_u64)
+    };
+    match preset {
+        "igp_filter" => Ok(xbgp_progs::igp_filter::manifest()),
+        "route_reflect" => Ok(xbgp_progs::route_reflect::manifest()),
+        "origin_validation" => Ok(xbgp_progs::origin_validation::manifest()),
+        "geoloc" => Ok(xbgp_progs::geoloc::manifest(get_u64("max_dist2"))),
+        "valley_free" => {
+            let pairs: Vec<(u32, u32)> = spec
+                .params
+                .get("pairs")
+                .and_then(serde_json::Value::as_array)
+                .ok_or("valley_free needs params.pairs: [[below, above], ...]")?
+                .iter()
+                .map(|p| {
+                    let pair = p.as_array().ok_or("pair must be [below, above]")?;
+                    let below = pair.first().and_then(serde_json::Value::as_u64);
+                    let above = pair.get(1).and_then(serde_json::Value::as_u64);
+                    match (below, above) {
+                        (Some(b), Some(a)) => Ok((b as u32, a as u32)),
+                        _ => Err("pair must be two ASNs".to_string()),
+                    }
+                })
+                .collect::<Result<_, String>>()?;
+            let dc: Ipv4Prefix = spec
+                .params
+                .get("dc_prefix")
+                .and_then(serde_json::Value::as_str)
+                .ok_or("valley_free needs params.dc_prefix")?
+                .parse()
+                .map_err(|e: String| e)?;
+            Ok(xbgp_progs::valley_free::manifest(&pairs, dc))
+        }
+        other => Err(format!("unknown preset `{other}`")),
+    }
+}
+
+struct Placeholder;
+impl netsim::Node for Placeholder {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+enum AnyRouter {
+    Fir,
+    Wren,
+}
+
+/// Run a scenario to completion.
+pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let mut sim = Sim::new(SimConfig::default());
+
+    // Resolve routers.
+    let mut by_name: HashMap<String, (usize, NodeId)> = HashMap::new();
+    let mut nodes = Vec::new();
+    for (i, r) in scenario.routers.iter().enumerate() {
+        let id = sim.add_node(Box::new(Placeholder));
+        if by_name.insert(r.name.clone(), (i, id)).is_some() {
+            return Err(format!("duplicate router name `{}`", r.name));
+        }
+        nodes.push(id);
+    }
+    let addr_of = |name: &str| -> Result<u32, String> {
+        let (i, _) = by_name.get(name).ok_or(format!("unknown router `{name}`"))?;
+        parse_addr(&scenario.routers[*i].router_id)
+    };
+
+    // Links.
+    let mut link_ids: HashMap<(String, String), LinkId> = HashMap::new();
+    let mut links_of: HashMap<String, Vec<(LinkId, String)>> = HashMap::new();
+    for l in &scenario.links {
+        let (_, na) = *by_name.get(&l.a).ok_or(format!("unknown router `{}`", l.a))?;
+        let (_, nb) = *by_name.get(&l.b).ok_or(format!("unknown router `{}`", l.b))?;
+        let id = sim.connect(na, nb, l.latency_us * 1_000);
+        link_ids.insert((l.a.clone(), l.b.clone()), id);
+        link_ids.insert((l.b.clone(), l.a.clone()), id);
+        links_of.entry(l.a.clone()).or_default().push((id, l.b.clone()));
+        links_of.entry(l.b.clone()).or_default().push((id, l.a.clone()));
+    }
+    let find_link = |r: &LinkRef| -> Result<LinkId, String> {
+        link_ids
+            .get(&(r.a.clone(), r.b.clone()))
+            .copied()
+            .ok_or(format!("no link {}–{}", r.a, r.b))
+    };
+
+    // IGP.
+    let shared_igp = match &scenario.igp {
+        Some(spec) => {
+            let mut net = igp::IgpNetwork::new();
+            for m in &spec.members {
+                net.add_router(addr_of(m)?);
+            }
+            for l in &spec.links {
+                net.add_link(addr_of(&l.a)?, addr_of(&l.b)?, l.metric);
+            }
+            Some(igp::shared(net))
+        }
+        None => None,
+    };
+
+    // Instantiate routers.
+    let mut kinds = Vec::new();
+    for r in &scenario.routers {
+        let my_addr = parse_addr(&r.router_id)?;
+        let originate: Vec<(Ipv4Prefix, u32)> = r
+            .originate
+            .iter()
+            .map(|p| p.parse::<Ipv4Prefix>().map(|px| (px, my_addr)))
+            .collect::<Result<_, _>>()?;
+        let manifest = r.extensions.as_ref().map(build_manifest).transpose()?;
+        let xbgp_roas = match r.extensions.as_ref().and_then(|e| e.roas_csv.as_deref()) {
+            Some(csv) => Some(rpki::parse_roa_csv(csv).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        let native_roas = match r.native_roas_csv.as_deref() {
+            Some(csv) => Some(rpki::parse_roa_csv(csv).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        let xtra: Vec<(String, Vec<u8>)> = r
+            .xtra_hex
+            .iter()
+            .map(|(k, v)| {
+                xbgp_core::manifest::from_hex(v).map(|bytes| (k.clone(), bytes))
+            })
+            .collect::<Result<_, _>>()?;
+        let peers: Vec<(LinkId, String)> = links_of.get(&r.name).cloned().unwrap_or_default();
+
+        let (idx, node) = by_name[&r.name];
+        let _ = idx;
+        match r.implementation.as_str() {
+            "fir" => {
+                let mut cfg = FirConfig::new(r.asn, my_addr);
+                for (link, peer_name) in &peers {
+                    let peer_addr = addr_of(peer_name)?;
+                    let peer_asn = scenario.routers[by_name[peer_name].0].asn;
+                    if r.rr_clients.contains(peer_name) {
+                        cfg = cfg.rr_client_peer(*link, peer_addr, peer_asn);
+                    } else {
+                        cfg = cfg.peer(*link, peer_addr, peer_asn);
+                    }
+                }
+                cfg.originate = originate;
+                cfg.native_rr = r.native_rr;
+                cfg.native_rov = native_roas;
+                cfg.xbgp = manifest;
+                cfg.xbgp_roas = xbgp_roas;
+                cfg.igp = shared_igp.clone();
+                cfg.xtra = xtra;
+                sim.replace_node(node, Box::new(FirDaemon::new(cfg)));
+                kinds.push(AnyRouter::Fir);
+            }
+            "wren" => {
+                let mut cfg = WrenConfig::new(r.asn, my_addr);
+                for (link, peer_name) in &peers {
+                    let peer_addr = addr_of(peer_name)?;
+                    let peer_asn = scenario.routers[by_name[peer_name].0].asn;
+                    if r.rr_clients.contains(peer_name) {
+                        cfg = cfg.rr_client_channel(*link, peer_addr, peer_asn);
+                    } else {
+                        cfg = cfg.channel(*link, peer_addr, peer_asn);
+                    }
+                }
+                cfg.originate = originate;
+                cfg.rr_enabled = r.native_rr;
+                cfg.roa_table = native_roas;
+                cfg.xbgp = manifest;
+                cfg.xbgp_roas = xbgp_roas;
+                cfg.igp = shared_igp.clone();
+                cfg.xtra = xtra;
+                sim.replace_node(node, Box::new(WrenDaemon::new(cfg)));
+                kinds.push(AnyRouter::Wren);
+            }
+            other => return Err(format!("unknown implementation `{other}` (fir|wren)")),
+        }
+    }
+
+    // Timeline.
+    let mut checks = Vec::new();
+    let mut events: Vec<&Event> = scenario.events.iter().collect();
+    events.sort_by_key(|e| e.at_secs);
+    let has_route = |sim: &mut Sim, router: &str, prefix: &str| -> Result<bool, String> {
+        let (i, node) = *by_name.get(router).ok_or(format!("unknown router `{router}`"))?;
+        let p: Ipv4Prefix = prefix.parse()?;
+        Ok(match kinds[i] {
+            AnyRouter::Fir => sim.node_ref::<FirDaemon>(node).best_route(&p).is_some(),
+            AnyRouter::Wren => sim.node_ref::<WrenDaemon>(node).best_route(&p).is_some(),
+        })
+    };
+    let mut last = 0u64;
+    for ev in events {
+        sim.run_until(ev.at_secs * SEC);
+        last = ev.at_secs;
+        if let Some(r) = &ev.fail_link {
+            sim.set_link_up(find_link(r)?, false);
+        }
+        if let Some(r) = &ev.restore_link {
+            sim.set_link_up(find_link(r)?, true);
+        }
+        if let Some(r) = &ev.flap_link {
+            let l = find_link(r)?;
+            sim.set_link_up(l, false);
+            sim.run_until(ev.at_secs * SEC + SEC);
+            sim.set_link_up(l, true);
+        }
+        if let Some(r) = &ev.fail_igp_link {
+            let igp = shared_igp.as_ref().ok_or("scenario has no igp section")?;
+            if !igp.borrow_mut().set_link_up(addr_of(&r.a)?, addr_of(&r.b)?, false) {
+                return Err(format!("no IGP link {}–{}", r.a, r.b));
+            }
+        }
+        if let Some(e) = &ev.expect_route {
+            let got = has_route(&mut sim, &e.router, &e.prefix)?;
+            checks.push((
+                format!(
+                    "t={}s: {} {} {}",
+                    ev.at_secs,
+                    e.router,
+                    if e.present { "has" } else { "does not have" },
+                    e.prefix
+                ),
+                got == e.present,
+            ));
+        }
+    }
+    sim.run_until((last + scenario.settle_secs) * SEC);
+
+    // Final tables.
+    let mut tables = Vec::new();
+    for (i, r) in scenario.routers.iter().enumerate() {
+        let node = nodes[i];
+        let n = match kinds[i] {
+            AnyRouter::Fir => sim.node_ref::<FirDaemon>(node).loc_rib_len(),
+            AnyRouter::Wren => sim.node_ref::<WrenDaemon>(node).table_len(),
+        };
+        tables.push((r.name.clone(), n));
+    }
+    Ok(ScenarioReport { name: scenario.name.clone(), checks, tables })
+}
+
+/// Parse a scenario document from JSON.
+pub fn parse(json: &str) -> Result<Scenario, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING1: &str = r#"{
+        "name": "listing1-demo",
+        "routers": [
+            { "name": "london", "implementation": "fir", "asn": 65000,
+              "router_id": "10.0.0.1", "originate": ["203.0.113.0/24"] },
+            { "name": "berlin", "implementation": "fir", "asn": 65000,
+              "router_id": "10.0.0.3",
+              "extensions": { "preset": "igp_filter" } },
+            { "name": "peer", "implementation": "wren", "asn": 65009,
+              "router_id": "10.0.0.9" }
+        ],
+        "links": [
+            { "a": "london", "b": "berlin" },
+            { "a": "berlin", "b": "peer" }
+        ],
+        "igp": {
+            "members": ["london", "berlin", "amsterdam-stub", "newyork-stub"],
+            "links": [
+                { "a": "london", "b": "berlin", "metric": 10 }
+            ]
+        },
+        "events": [
+            { "at_secs": 5,
+              "expect_route": { "router": "peer", "prefix": "203.0.113.0/24", "present": true } },
+            { "at_secs": 10, "fail_igp_link": { "a": "london", "b": "berlin" } },
+            { "at_secs": 11, "flap_link": { "a": "london", "b": "berlin" } },
+            { "at_secs": 60,
+              "expect_route": { "router": "peer", "prefix": "203.0.113.0/24", "present": false } }
+        ]
+    }"#;
+
+    #[test]
+    fn listing1_scenario_runs_and_passes() {
+        // The igp members list includes stub names that are not BGP
+        // routers — resolve only real ones.
+        let mut scenario = parse(LISTING1).expect("parses");
+        scenario.igp.as_mut().unwrap().members.retain(|m| !m.ends_with("-stub"));
+        let report = run(&scenario).expect("runs");
+        assert_eq!(report.checks.len(), 2);
+        assert!(report.all_passed(), "{:?}", report.checks);
+        // After the IGP failure London is unreachable, so berlin's and
+        // peer's tables shrink.
+        let peer_table = report.tables.iter().find(|(n, _)| n == "peer").unwrap();
+        assert_eq!(peer_table.1, 0);
+    }
+
+    #[test]
+    fn mixed_implementations_cross_validate() {
+        let json = r#"{
+            "name": "interop",
+            "routers": [
+                { "name": "a", "implementation": "fir", "asn": 65001,
+                  "router_id": "10.0.0.1", "originate": ["10.1.0.0/16"] },
+                { "name": "b", "implementation": "wren", "asn": 65002,
+                  "router_id": "10.0.0.2", "originate": ["10.2.0.0/16"] }
+            ],
+            "links": [ { "a": "a", "b": "b" } ],
+            "events": [
+                { "at_secs": 5, "expect_route": { "router": "a", "prefix": "10.2.0.0/16", "present": true } },
+                { "at_secs": 5, "expect_route": { "router": "b", "prefix": "10.1.0.0/16", "present": true } }
+            ]
+        }"#;
+        let report = run(&parse(json).unwrap()).unwrap();
+        assert!(report.all_passed(), "{:?}", report.checks);
+        assert!(report.tables.iter().all(|(_, n)| *n == 2));
+    }
+
+    #[test]
+    fn ov_preset_with_roa_csv() {
+        let json = r#"{
+            "name": "ov",
+            "routers": [
+                { "name": "src", "implementation": "fir", "asn": 65001,
+                  "router_id": "10.0.0.1", "originate": ["10.1.0.0/16"] },
+                { "name": "dut", "implementation": "wren", "asn": 65002,
+                  "router_id": "10.0.0.2",
+                  "extensions": { "preset": "origin_validation",
+                                   "roas_csv": "AS65001,10.1.0.0/16,16,test\n" } }
+            ],
+            "links": [ { "a": "src", "b": "dut" } ],
+            "events": [
+                { "at_secs": 5, "expect_route": { "router": "dut", "prefix": "10.1.0.0/16", "present": true } }
+            ]
+        }"#;
+        let report = run(&parse(json).unwrap()).unwrap();
+        assert!(report.all_passed(), "{:?}", report.checks);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let json = r#"{
+            "name": "bad",
+            "routers": [
+                { "name": "a", "implementation": "fir", "asn": 1, "router_id": "10.0.0.1" }
+            ],
+            "links": [ { "a": "a", "b": "ghost" } ]
+        }"#;
+        assert!(run(&parse(json).unwrap()).unwrap_err().contains("ghost"));
+
+        let json = r#"{
+            "name": "bad2",
+            "routers": [
+                { "name": "a", "implementation": "quagga", "asn": 1, "router_id": "10.0.0.1" }
+            ],
+            "links": []
+        }"#;
+        assert!(run(&parse(json).unwrap()).unwrap_err().contains("quagga"));
+    }
+}

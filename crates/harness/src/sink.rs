@@ -1,0 +1,102 @@
+//! The downstream router of the Fig. 3 testbed: receives the table from
+//! the device under test and timestamps its progress.
+
+use netsim::{LinkId, Node, NodeCtx};
+use std::collections::HashSet;
+use xbgp_wire::{Ipv4Prefix, Message, MsgReader, MsgType, OpenMsg, UpdateMsg};
+
+/// Downstream sink node.
+pub struct Sink {
+    asn: u32,
+    router_id: u32,
+    link: Option<LinkId>,
+    reader: MsgReader,
+    seen: HashSet<Ipv4Prefix>,
+    pub updates_rx: u64,
+    /// Virtual time of the first received prefix.
+    pub first_prefix_rx: Option<u64>,
+    /// Virtual time of the most recent received prefix.
+    pub last_prefix_rx: Option<u64>,
+    /// Count of withdrawals received.
+    pub withdrawals_rx: u64,
+    /// Raw attribute sections seen, for tests inspecting wire contents.
+    pub keep_attr_sections: bool,
+    pub attr_sections: Vec<Vec<u8>>,
+}
+
+impl Sink {
+    pub fn new(asn: u32, router_id: u32) -> Sink {
+        Sink {
+            asn,
+            router_id,
+            link: None,
+            reader: MsgReader::new(),
+            seen: HashSet::new(),
+            updates_rx: 0,
+            first_prefix_rx: None,
+            last_prefix_rx: None,
+            withdrawals_rx: 0,
+            keep_attr_sections: false,
+            attr_sections: Vec::new(),
+        }
+    }
+
+    /// Number of distinct prefixes received so far.
+    pub fn prefixes_seen(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl Node for Sink {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let link = ctx.links()[0];
+        self.link = Some(link);
+        let open = Message::Open(OpenMsg::standard(self.asn, 180, self.router_id));
+        ctx.send(link, &open.encode(4).expect("OPEN encodes"));
+        ctx.set_timer(30_000_000_000, 1);
+    }
+
+    fn on_data(&mut self, ctx: &mut NodeCtx<'_>, _link: LinkId, data: &[u8]) {
+        self.reader.push(data);
+        while let Ok(Some(frame)) = self.reader.next_frame() {
+            match xbgp_wire::msg::deframe(&frame) {
+                Ok((MsgType::Open, _)) => {
+                    let link = self.link.expect("started");
+                    ctx.send(link, &Message::Keepalive.encode(4).expect("encodes"));
+                }
+                Ok((MsgType::Update, body)) => {
+                    self.updates_rx += 1;
+                    if self.keep_attr_sections {
+                        if let Ok(attrs) = UpdateMsg::attr_section(body) {
+                            self.attr_sections.push(attrs.to_vec());
+                        }
+                    }
+                    if let Ok(upd) = UpdateMsg::decode_body(body, 4) {
+                        self.withdrawals_rx += upd.withdrawn.len() as u64;
+                        if !upd.nlri.is_empty() {
+                            if self.first_prefix_rx.is_none() {
+                                self.first_prefix_rx = Some(ctx.now());
+                            }
+                            self.last_prefix_rx = Some(ctx.now());
+                            for p in upd.nlri {
+                                self.seen.insert(p);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+        if let Some(link) = self.link {
+            ctx.send(link, &Message::Keepalive.encode(4).expect("encodes"));
+            ctx.set_timer(30_000_000_000, 1);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,99 @@
+//! Run statistics: the five-number summaries behind Fig. 4's boxplots.
+
+/// Five-number summary plus the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+/// Linear-interpolation quantile of a sorted slice (type-7, the common
+/// default of numpy/matplotlib, which the paper's boxplots use).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Summarize a sample. Panics on an empty slice.
+pub fn summarize(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "cannot summarize an empty sample");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in measurements"));
+    Summary {
+        min: sorted[0],
+        q1: quantile(&sorted, 0.25),
+        median: quantile(&sorted, 0.5),
+        q3: quantile(&sorted, 0.75),
+        max: *sorted.last().expect("non-empty"),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+    }
+}
+
+/// Relative impact in percent: `(ext - native) / native * 100` (Fig. 4's
+/// y-axis).
+pub fn relative_impact_pct(native: f64, extension: f64) -> f64 {
+    (extension - native) / native * 100.0
+}
+
+/// Render a summary as a one-line text boxplot.
+pub fn render(s: &Summary) -> String {
+    format!(
+        "min {:+7.2}%  q1 {:+7.2}%  median {:+7.2}%  q3 {:+7.2}%  max {:+7.2}%  (mean {:+7.2}%)",
+        s.min, s.q1, s.median, s.q3, s.max, s.mean
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = summarize(&[0.0, 10.0]);
+        assert_eq!(s.q1, 2.5);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.q3, 7.5);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[42.0]);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn relative_impact() {
+        assert_eq!(relative_impact_pct(100.0, 120.0), 20.0);
+        assert_eq!(relative_impact_pct(100.0, 90.0), -10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,315 @@
+//! # igp — link-state IGP substrate
+//!
+//! The paper's §3.1 use case ("Filtering Routes Based on IGP Costs") needs
+//! a BGP daemon that can ask *what is my IGP cost to this BGP nexthop?*.
+//! In the authors' testbed that answer comes from OSPF/IS-IS; here it comes
+//! from this crate: a link-state database shared by all routers of an AS
+//! (as flooding would synchronize it) plus Dijkstra shortest-path-first
+//! computation with per-source memoization.
+//!
+//! Failing a link (`set_link_up(false)` or `remove_link`) invalidates the
+//! cached SPF trees, so BGP filters immediately observe the post-failure
+//! metrics — exactly the transatlantic-failure scenario of §3.1.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+/// IGP cost type. [`UNREACHABLE`] marks disconnected destinations.
+pub type Metric = u32;
+
+/// Cost reported for nodes the SPF cannot reach.
+pub const UNREACHABLE: Metric = u32::MAX;
+
+/// A shared handle to one AS's link-state database, cloneable across the
+/// simulated routers of that AS (single-threaded simulation).
+pub type SharedIgp = Rc<RefCell<IgpNetwork>>;
+
+/// Build a shared handle.
+pub fn shared(network: IgpNetwork) -> SharedIgp {
+    Rc::new(RefCell::new(network))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LinkState {
+    to: usize,
+    metric: Metric,
+    up: bool,
+}
+
+/// The link-state database and SPF engine.
+#[derive(Debug, Default)]
+pub struct IgpNetwork {
+    /// Router id (an IPv4 address in host order) per node index.
+    ids: Vec<u32>,
+    index: HashMap<u32, usize>,
+    adj: Vec<Vec<LinkState>>,
+    version: u64,
+    /// Memoized SPF trees: source → (version, cost table).
+    cache: RefCell<HashMap<usize, (u64, HashMap<u32, Metric>)>>,
+}
+
+impl IgpNetwork {
+    pub fn new() -> IgpNetwork {
+        IgpNetwork::default()
+    }
+
+    /// Register a router by its id. Idempotent.
+    pub fn add_router(&mut self, id: u32) {
+        if self.index.contains_key(&id) {
+            return;
+        }
+        self.index.insert(id, self.ids.len());
+        self.ids.push(id);
+        self.adj.push(Vec::new());
+        self.version += 1;
+    }
+
+    /// Add a bidirectional link with a symmetric metric. Routers are
+    /// auto-registered.
+    pub fn add_link(&mut self, a: u32, b: u32, metric: Metric) {
+        assert_ne!(a, b, "self-loops are not valid IGP links");
+        self.add_router(a);
+        self.add_router(b);
+        let (ia, ib) = (self.index[&a], self.index[&b]);
+        self.adj[ia].push(LinkState { to: ib, metric, up: true });
+        self.adj[ib].push(LinkState { to: ia, metric, up: true });
+        self.version += 1;
+    }
+
+    /// Set the administrative state of the `a`–`b` link (both directions).
+    /// Returns false if no such link exists.
+    pub fn set_link_up(&mut self, a: u32, b: u32, up: bool) -> bool {
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            return false;
+        };
+        let mut touched = false;
+        for l in &mut self.adj[ia] {
+            if l.to == ib {
+                l.up = up;
+                touched = true;
+            }
+        }
+        for l in &mut self.adj[ib] {
+            if l.to == ia {
+                l.up = up;
+                touched = true;
+            }
+        }
+        if touched {
+            self.version += 1;
+        }
+        touched
+    }
+
+    /// Change the metric of the `a`–`b` link (both directions).
+    pub fn set_metric(&mut self, a: u32, b: u32, metric: Metric) -> bool {
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            return false;
+        };
+        let mut touched = false;
+        for l in &mut self.adj[ia] {
+            if l.to == ib {
+                l.metric = metric;
+                touched = true;
+            }
+        }
+        for l in &mut self.adj[ib] {
+            if l.to == ia {
+                l.metric = metric;
+                touched = true;
+            }
+        }
+        if touched {
+            self.version += 1;
+        }
+        touched
+    }
+
+    /// IGP cost from `from` to `to` ([`UNREACHABLE`] when disconnected or
+    /// unknown). Memoized per source until the topology changes.
+    pub fn metric(&self, from: u32, to: u32) -> Metric {
+        if from == to {
+            return 0;
+        }
+        let Some(&src) = self.index.get(&from) else {
+            return UNREACHABLE;
+        };
+        let mut cache = self.cache.borrow_mut();
+        let entry = cache.get(&src);
+        if let Some((v, table)) = entry {
+            if *v == self.version {
+                return table.get(&to).copied().unwrap_or(UNREACHABLE);
+            }
+        }
+        let table = self.spf(src);
+        let result = table.get(&to).copied().unwrap_or(UNREACHABLE);
+        cache.insert(src, (self.version, table));
+        result
+    }
+
+    /// Full SPF tree from `from`, as router-id → cost.
+    pub fn spf_from(&self, from: u32) -> HashMap<u32, Metric> {
+        match self.index.get(&from) {
+            Some(&src) => self.spf(src),
+            None => HashMap::new(),
+        }
+    }
+
+    fn spf(&self, src: usize) -> HashMap<u32, Metric> {
+        let mut dist: Vec<Metric> = vec![UNREACHABLE; self.ids.len()];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0;
+        heap.push(Reverse((0u64, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > u64::from(dist[u]) {
+                continue;
+            }
+            for l in &self.adj[u] {
+                if !l.up {
+                    continue;
+                }
+                let nd = d + u64::from(l.metric);
+                if nd < u64::from(dist[l.to]) {
+                    dist[l.to] = nd as Metric;
+                    heap.push(Reverse((nd, l.to)));
+                }
+            }
+        }
+        self.ids
+            .iter()
+            .zip(&dist)
+            .filter(|(_, &d)| d != UNREACHABLE)
+            .map(|(&id, &d)| (id, d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The §3.1 ISP: continental links cost 10, transatlantic cost 1000.
+    ///   london — amsterdam (eu), berlin — london, berlin — amsterdam,
+    ///   newyork — london (1000), newyork — amsterdam (1000).
+    fn isp() -> IgpNetwork {
+        let mut n = IgpNetwork::new();
+        let (lon, ams, ber, nyc) = (1, 2, 3, 4);
+        n.add_link(lon, ams, 10);
+        n.add_link(ber, lon, 10);
+        n.add_link(ber, ams, 10);
+        n.add_link(nyc, lon, 1000);
+        n.add_link(nyc, ams, 1000);
+        n
+    }
+
+    #[test]
+    fn shortest_paths_basic() {
+        let n = isp();
+        assert_eq!(n.metric(3, 1), 10); // berlin → london direct
+        assert_eq!(n.metric(3, 4), 1010); // berlin → nyc via either coast hub
+        assert_eq!(n.metric(1, 1), 0);
+    }
+
+    #[test]
+    fn unknown_routers_are_unreachable() {
+        let n = isp();
+        assert_eq!(n.metric(1, 99), UNREACHABLE);
+        assert_eq!(n.metric(99, 1), UNREACHABLE);
+    }
+
+    #[test]
+    fn link_failure_reroutes_and_raises_cost() {
+        // The paper's scenario: both UK-continent links fail; Germany now
+        // reaches London via Amsterdam → NYC → London (transatlantic
+        // detour), making its metric blow past the 1000 threshold.
+        let mut n = isp();
+        assert_eq!(n.metric(3, 1), 10);
+        n.set_link_up(1, 2, false); // london—amsterdam
+        n.set_link_up(3, 1, false); // berlin—london
+        // berlin → amsterdam (10) → nyc (1000) → london (1000).
+        assert_eq!(n.metric(3, 1), 2010);
+    }
+
+    #[test]
+    fn full_partition_is_unreachable() {
+        let mut n = IgpNetwork::new();
+        n.add_link(1, 2, 5);
+        n.add_link(3, 4, 5);
+        assert_eq!(n.metric(1, 3), UNREACHABLE);
+        assert_eq!(n.metric(1, 2), 5);
+    }
+
+    #[test]
+    fn metric_change_invalidates_cache() {
+        let mut n = isp();
+        assert_eq!(n.metric(3, 4), 1010);
+        n.set_metric(4, 1, 50);
+        assert_eq!(n.metric(3, 4), 60);
+    }
+
+    #[test]
+    fn set_state_on_missing_link_reports_false() {
+        let mut n = isp();
+        assert!(!n.set_link_up(1, 99, false));
+        assert!(!n.set_metric(99, 1, 7));
+        // Registered routers but no direct link: adjacency untouched.
+        assert!(!n.set_link_up(3, 4, false) || n.metric(3, 4) == UNREACHABLE);
+    }
+
+    #[test]
+    fn restore_returns_original_metrics() {
+        let mut n = isp();
+        n.set_link_up(1, 2, false);
+        n.set_link_up(3, 1, false);
+        n.set_link_up(1, 2, true);
+        n.set_link_up(3, 1, true);
+        assert_eq!(n.metric(3, 1), 10);
+    }
+
+    proptest! {
+        /// SPF distances satisfy the triangle inequality over direct links.
+        #[test]
+        fn prop_triangle_inequality(edges in proptest::collection::vec((0u32..8, 0u32..8, 1u32..100), 1..20)) {
+            let mut n = IgpNetwork::new();
+            for (a, b, m) in &edges {
+                if a != b {
+                    n.add_link(*a + 1, *b + 1, *m);
+                }
+            }
+            for (a, b, m) in &edges {
+                if a == b { continue; }
+                let d = n.metric(*a + 1, *b + 1);
+                prop_assert!(d <= *m, "direct link {m} but spf distance {d}");
+                // Symmetry for undirected graphs.
+                prop_assert_eq!(d, n.metric(*b + 1, *a + 1));
+            }
+        }
+
+        /// Removing a link never decreases any distance.
+        #[test]
+        fn prop_failure_monotone(edges in proptest::collection::vec((0u32..6, 0u32..6, 1u32..50), 2..15), kill in 0usize..15) {
+            let mut n = IgpNetwork::new();
+            let mut real = Vec::new();
+            for (a, b, m) in &edges {
+                if a != b {
+                    n.add_link(*a + 1, *b + 1, *m);
+                    real.push((*a + 1, *b + 1));
+                }
+            }
+            prop_assume!(!real.is_empty());
+            let before: Vec<Vec<Metric>> = (1..=6).map(|s| (1..=6).map(|t| n.metric(s, t)).collect()).collect();
+            let (ka, kb) = real[kill % real.len()];
+            n.set_link_up(ka, kb, false);
+            for s in 1..=6u32 {
+                for t in 1..=6u32 {
+                    let d = n.metric(s, t);
+                    let b = before[(s - 1) as usize][(t - 1) as usize];
+                    prop_assert!(d >= b, "distance {s}->{t} decreased after failure: {b} -> {d}");
+                }
+            }
+        }
+    }
+}

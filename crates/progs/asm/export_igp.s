@@ -1,0 +1,25 @@
+; §3.1, Listing 1 — an export filter rejecting BGP routes whose nexthop
+; IGP metric is too large. Attached to BGP_OUTBOUND_FILTER.
+;
+; uint64_t export_igp(args) {
+;     nexthop = get_nexthop(); peer = get_peer_info();
+;     if (peer->peer_type != EBGP_SESSION) next();   // no iBGP filtering
+;     if (nexthop->igp_metric <= MAX_METRIC) next(); // accepted here
+;     return FILTER_REJECT;
+; }
+.equ MAX_METRIC, 1000
+
+        call get_peer_info
+        ldxw r6, [r0+PEER_INFO_OFF_TYPE]
+        jeq r6, EBGP_SESSION, ebgp
+        call next                   ; do not filter on iBGP sessions
+ebgp:
+        call get_nexthop
+        jeq r0, 0, reject           ; nexthop unknown: reject
+        ldxw r7, [r0+NEXTHOP_OFF_IGP_METRIC]
+        jgt r7, MAX_METRIC, reject
+        call next                   ; route accepted by this filter;
+                                    ; the next filter decides
+reject:
+        mov r0, FILTER_REJECT
+        exit

@@ -1,0 +1,30 @@
+; GeoLoc bytecode ④ (BGP_ENCODE_MESSAGE): write the GeoLoc attribute over
+; iBGP sessions (paper §2: "it uses write_buf to write the BGP GeoLoc
+; attribute over an iBGP session"). The host implementations do not emit
+; attributes they do not model natively, so this bytecode is what puts
+; GeoLoc on the wire inside the AS.
+.equ GEOLOC_ATTR, 66
+
+        call get_peer_info
+        ldxw r6, [r0+PEER_INFO_OFF_TYPE]
+        jne r6, IBGP_SESSION, out
+        ; Attribute payload → [r10-8].
+        mov r1, GEOLOC_ATTR
+        mov r2, r10
+        sub r2, 8
+        mov r3, 8
+        call get_attr
+        jeq r0, -1, out
+        ; Raw TLV [flags, code, len, payload×8] at [r10-19 .. r10-8).
+        stb [r10-19], ATTR_FLAGS_OPT_TRANS
+        stb [r10-18], GEOLOC_ATTR
+        stb [r10-17], 8
+        ldxdw r1, [r10-8]
+        stxdw [r10-16], r1
+        mov r1, r10
+        sub r1, 19
+        mov r2, 11
+        call write_buf
+out:
+        mov r0, 0
+        exit

@@ -1,0 +1,84 @@
+; GeoLoc bytecode ② (BGP_INBOUND_FILTER): reject routes whose recorded
+; learning location is farther than the configured radius (paper §2:
+; "filtering away routes that are more than x kilometers away").
+;
+; Coordinates are signed milli-degrees; the comparison uses the squared
+; Euclidean distance in coordinate space against the configured
+; "geo_max_dist2" threshold (u64, network byte order) — monotone in
+; distance, no square root needed in extension code.
+.equ GEOLOC_ATTR, 66
+
+        ; Route's GeoLoc attribute → [r10-8] (lat BE u32, lon BE u32).
+        mov r1, GEOLOC_ATTR
+        mov r2, r10
+        sub r2, 8
+        mov r3, 8
+        call get_attr
+        jeq r0, -1, pass            ; no GeoLoc: nothing to check
+        ; Own coordinates, key "geo" → [r10-24].
+        stb [r10-32], 103           ; 'g'
+        stb [r10-31], 101           ; 'e'
+        stb [r10-30], 111           ; 'o'
+        mov r1, r10
+        sub r1, 32
+        mov r2, 3
+        mov r3, r10
+        sub r3, 24
+        mov r4, 8
+        call get_xtra
+        jeq r0, -1, pass
+        ; dlat = route.lat - my.lat (sign-extended 32-bit values)
+        ldxw r6, [r10-8]
+        be32 r6
+        lsh r6, 32
+        arsh r6, 32
+        ldxw r7, [r10-24]
+        be32 r7
+        lsh r7, 32
+        arsh r7, 32
+        sub r6, r7
+        ; dlon = route.lon - my.lon
+        ldxw r7, [r10-4]
+        be32 r7
+        lsh r7, 32
+        arsh r7, 32
+        ldxw r8, [r10-20]
+        be32 r8
+        lsh r8, 32
+        arsh r8, 32
+        sub r7, r8
+        ; squared distance
+        mul r6, r6
+        mul r7, r7
+        add r6, r7
+        ; threshold, key "geo_max_dist2" → [r10-56] (u64 BE).
+        stb [r10-48], 103           ; 'g'
+        stb [r10-47], 101           ; 'e'
+        stb [r10-46], 111           ; 'o'
+        stb [r10-45], 95            ; '_'
+        stb [r10-44], 109           ; 'm'
+        stb [r10-43], 97            ; 'a'
+        stb [r10-42], 120           ; 'x'
+        stb [r10-41], 95            ; '_'
+        stb [r10-40], 100           ; 'd'
+        stb [r10-39], 105           ; 'i'
+        stb [r10-38], 115           ; 's'
+        stb [r10-37], 116           ; 't'
+        stb [r10-36], 50            ; '2'
+        mov r1, r10
+        sub r1, 48
+        mov r2, 13
+        mov r3, r10
+        sub r3, 56
+        mov r4, 8
+        call get_xtra
+        jeq r0, -1, pass
+        ldxdw r9, [r10-56]
+        be64 r9
+        jgt r6, r9, reject          ; too far away
+pass:
+        call next
+        exit
+reject:
+        mov r0, FILTER_REJECT
+        exit

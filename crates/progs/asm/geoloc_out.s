@@ -1,0 +1,16 @@
+; GeoLoc bytecode ③ (BGP_OUTBOUND_FILTER): per the paper, this bytecode
+; "also retrieves the neighbor information and the attribute" — export is
+; never blocked by GeoLoc, the bytecode observes and delegates. Whether
+; the attribute leaves the router is decided by bytecode ④ at the
+; encode-message point (it is written over iBGP sessions only).
+.equ GEOLOC_ATTR, 66
+
+        call get_peer_info
+        ldxw r6, [r0+PEER_INFO_OFF_TYPE]
+        mov r1, GEOLOC_ATTR
+        mov r2, r10
+        sub r2, 8
+        mov r3, 8
+        call get_attr
+        call next
+        exit

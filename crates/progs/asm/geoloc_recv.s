@@ -1,0 +1,46 @@
+; GeoLoc bytecode ① (BGP_RECEIVE_MESSAGE): stamp routes learned over eBGP
+; sessions with this router's coordinates (paper §2, Fig. 2).
+;
+; Uses peer_info to find the session type, get_arg to retrieve the raw
+; UPDATE in network byte order, and add_attr to attach the new attribute.
+.equ GEOLOC_ATTR, 66
+
+        call get_peer_info
+        ldxw r6, [r0+PEER_INFO_OFF_TYPE]
+        jne r6, EBGP_SESSION, out   ; stamp only at eBGP ingress
+        ; Retrieve the raw UPDATE body into ephemeral memory (the paper's
+        ; bytecode reads the message; a sanity check that an UPDATE is in
+        ; scope).
+        mov r1, 4096
+        call ctx_malloc
+        jeq r0, 0, out
+        mov r6, r0
+        mov r1, 0
+        mov r2, r6
+        mov r3, 4096
+        call get_arg
+        jeq r0, -1, out
+        ; Own coordinates from the router configuration, key "geo":
+        ; 8 bytes, lat/lon as signed milli-degrees in network byte order.
+        stb [r10-8], 103            ; 'g'
+        stb [r10-7], 101            ; 'e'
+        stb [r10-6], 111            ; 'o'
+        mov r1, r10
+        sub r1, 8
+        mov r2, 3
+        mov r3, r10
+        sub r3, 16
+        mov r4, 8
+        call get_xtra
+        jeq r0, -1, out
+        ; Attach GeoLoc (optional transitive). add_attr fails harmlessly if
+        ; the attribute is already present (route re-stamped upstream).
+        mov r1, GEOLOC_ATTR
+        mov r2, ATTR_FLAGS_OPT_TRANS
+        mov r3, r10
+        sub r3, 16
+        mov r4, 8
+        call add_attr
+out:
+        mov r0, 0
+        exit

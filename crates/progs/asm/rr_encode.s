@@ -1,0 +1,74 @@
+; Route reflection (§3.2) — encode half: write ORIGINATOR_ID and
+; CLUSTER_LIST on reflected routes (BGP_ENCODE_MESSAGE). With native
+; reflection disabled the host never emits these attributes; this bytecode
+; provides "the support for the ORIGINATOR_ID and CLUSTER_LIST BGP
+; attributes entirely as an extension code".
+
+        call get_peer_info
+        ldxw r6, [r0+PEER_INFO_OFF_TYPE]
+        jne r6, IBGP_SESSION, out   ; only iBGP messages carry these
+        ldxw r9, [r0+PEER_INFO_OFF_LOCAL_ROUTER_ID]
+        ; Source info → [r10-24]; only iBGP-learned, non-local routes are
+        ; reflections.
+        mov r1, 0
+        mov r2, r10
+        sub r2, 24
+        mov r3, 24
+        call get_arg
+        jeq r0, -1, out
+        ldxw r7, [r10-16]
+        jne r7, IBGP_SESSION, out
+        ldxw r8, [r10-4]
+        and r8, PEER_FLAG_LOCAL
+        jne r8, 0, out
+        ; ORIGINATOR_ID payload → [r10-32]: keep an existing value, else
+        ; stamp the source's router id.
+        mov r1, ATTR_ORIGINATOR_ID
+        mov r2, r10
+        sub r2, 32
+        mov r3, 4
+        call get_attr
+        jne r0, -1, orig_ready
+        ldxw r1, [r10-24]           ; source router id (host order)
+        call bpf_htonl
+        stxw [r10-32], r0
+orig_ready:
+        ; TLV [0x80, 9, 4, payload] at [r10-39].
+        stb [r10-39], ATTR_FLAGS_OPT_NON_TRANS
+        stb [r10-38], ATTR_ORIGINATOR_ID
+        stb [r10-37], 4
+        ldxw r1, [r10-32]
+        stxw [r10-36], r1
+        mov r1, r10
+        sub r1, 39
+        mov r2, 7
+        call write_buf
+        ; CLUSTER_LIST TLV: my cluster id prepended to the existing list.
+        mov r1, 512
+        call ctx_malloc
+        jeq r0, 0, out
+        mov r6, r0
+        mov r1, ATTR_CLUSTER_LIST
+        mov r2, r6
+        add r2, 7                   ; old payload lands after the header+id
+        mov r3, 255
+        call get_attr
+        jne r0, -1, have_list
+        mov r0, 0                   ; no existing list
+have_list:
+        mov r7, r0
+        add r7, 4                   ; new payload length
+        jgt r7, 255, out            ; would need extended length: give up
+        stb [r6+0], ATTR_FLAGS_OPT_NON_TRANS
+        stb [r6+1], ATTR_CLUSTER_LIST
+        stxb [r6+2], r7
+        mov r1, r9
+        call bpf_htonl
+        stxw [r6+3], r0
+        mov r1, r6
+        mov r2, r7
+        add r2, 3
+        call write_buf
+out:
+        mov r0, 0
+        exit

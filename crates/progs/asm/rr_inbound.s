@@ -1,0 +1,46 @@
+; Route reflection (§3.2) — inbound half: RFC 4456 loop prevention as
+; extension code. Rejects iBGP routes whose ORIGINATOR_ID is this router
+; or whose CLUSTER_LIST already contains this cluster (cluster id = local
+; router id, the RFC default). Attached to BGP_INBOUND_FILTER.
+
+        call get_peer_info
+        ldxw r6, [r0+PEER_INFO_OFF_TYPE]
+        jne r6, IBGP_SESSION, pass
+        ldxw r9, [r0+PEER_INFO_OFF_LOCAL_ROUTER_ID]
+        ; ORIGINATOR_ID == my router id → the route is my own reflection.
+        mov r1, ATTR_ORIGINATOR_ID
+        mov r2, r10
+        sub r2, 8
+        mov r3, 4
+        call get_attr
+        jeq r0, -1, cluster
+        ldxw r7, [r10-8]
+        be32 r7
+        jeq r7, r9, reject
+cluster:
+        ; CLUSTER_LIST contains my cluster id → loop through this cluster.
+        mov r1, 512
+        call ctx_malloc
+        jeq r0, 0, pass
+        mov r6, r0
+        mov r1, ATTR_CLUSTER_LIST
+        mov r2, r6
+        mov r3, 512
+        call get_attr
+        jeq r0, -1, pass
+        mov r8, r0
+        add r8, r6                  ; end of the list
+        mov r7, r6                  ; cursor
+scan:
+        jge r7, r8, pass
+        ldxw r1, [r7]
+        be32 r1
+        jeq r1, r9, reject
+        add r7, 4
+        ja scan
+pass:
+        call next
+        exit
+reject:
+        mov r0, FILTER_REJECT
+        exit

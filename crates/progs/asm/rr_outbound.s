@@ -1,0 +1,38 @@
+; Route reflection (§3.2) — outbound half: the RFC 4456 reflection rules
+; as extension code, attached to BGP_OUTBOUND_FILTER.
+;
+; Argument 0 is the peer-info blob of the *source* the route was learned
+; from. Reflect iBGP-learned routes when the source or the destination is
+; a configured client; everything else falls back to native policy
+; (which, with native reflection disabled, refuses iBGP → iBGP).
+
+        call get_peer_info
+        ldxw r6, [r0+PEER_INFO_OFF_TYPE]
+        jne r6, IBGP_SESSION, pass  ; eBGP destinations: native policy
+        ldxw r9, [r0+PEER_INFO_OFF_FLAGS]
+        ; Source peer info → [r10-24].
+        mov r1, 0
+        mov r2, r10
+        sub r2, 24
+        mov r3, 24
+        call get_arg
+        jeq r0, -1, pass
+        ldxw r7, [r10-16]           ; source peer_type (offset 8)
+        jne r7, IBGP_SESSION, pass  ; learned over eBGP: native policy
+        ldxw r8, [r10-4]            ; source flags (offset 20)
+        mov r1, r8
+        and r1, PEER_FLAG_LOCAL
+        jne r1, 0, pass             ; locally originated: native policy
+        and r8, PEER_FLAG_RR_CLIENT
+        jne r8, 0, accept           ; learned from a client → reflect to all
+        mov r1, r9
+        and r1, PEER_FLAG_RR_CLIENT
+        jne r1, 0, accept           ; destination is a client → reflect
+        mov r0, FILTER_REJECT       ; non-client → non-client: refuse
+        exit
+accept:
+        mov r0, FILTER_ACCEPT
+        exit
+pass:
+        call next
+        exit

@@ -1,0 +1,155 @@
+; §3.3 — valley-free enforcement for BGP-in-the-datacenter, attached to
+; BGP_INBOUND_FILTER on every fabric router.
+;
+; Configuration (get_xtra):
+;   "vf_pairs"  — N×8 bytes: (below ASN, above ASN) u32 pairs in network
+;                 byte order, one per fabric level-i/level-i+1 adjacency
+;                 (the manifest of eBGP sessions from the paper).
+;   "dc_prefix" — 8 bytes: covering prefix of the fabric's own address
+;                 space (addr u32 BE, length u32 BE). Valley paths toward
+;                 internal destinations are allowed (the paper's escape
+;                 hatch: "this path should remain valid if the final
+;                 destination is a prefix attached below L13").
+;
+; Logic: when a route arrives from a *lower-level* neighbor (it is moving
+; up), reject it if its AS path already contains a down move — i.e. some
+; adjacent pair (x, y) of the path is a configured (below, above) pair,
+; meaning x learned the route from the level above it — unless the
+; destination prefix is inside the datacenter.
+
+        call get_peer_info
+        ldxw r6, [r0+PEER_INFO_OFF_ASN]
+        ldxw r7, [r0+PEER_INFO_OFF_LOCAL_ASN]
+        ; Load the pair table into ephemeral memory.
+        mov r1, 512
+        call ctx_malloc
+        jeq r0, 0, pass
+        mov r8, r0
+        stb [r10-8], 118            ; 'v'
+        stb [r10-7], 102            ; 'f'
+        stb [r10-6], 95             ; '_'
+        stb [r10-5], 112            ; 'p'
+        stb [r10-4], 97             ; 'a'
+        stb [r10-3], 105            ; 'i'
+        stb [r10-2], 114            ; 'r'
+        stb [r10-1], 115            ; 's'
+        mov r1, r10
+        sub r1, 8
+        mov r2, 8
+        mov r3, r8
+        mov r4, 512
+        call get_xtra
+        jeq r0, -1, pass
+        mov r9, r0
+        add r9, r8                  ; end of pair table
+        ; Is the sender below me? Look for (sender, me) in the table.
+        mov r2, r8
+chk_up:
+        jge r2, r9, pass            ; sender is not below me: down moves ok
+        ldxw r1, [r2]
+        be32 r1
+        jne r1, r6, chk_next
+        ldxw r1, [r2+4]
+        be32 r1
+        jeq r1, r7, from_below
+chk_next:
+        add r2, 8
+        ja chk_up
+from_below:
+        ; Internal destination? dc_prefix covering the route: allow.
+        call get_prefix
+        jeq r0, 0, scan_path
+        ldxw r6, [r0+PREFIX_OFF_ADDR]
+        stb [r10-16], 100           ; 'd'
+        stb [r10-15], 99            ; 'c'
+        stb [r10-14], 95            ; '_'
+        stb [r10-13], 112           ; 'p'
+        stb [r10-12], 114           ; 'r'
+        stb [r10-11], 101           ; 'e'
+        stb [r10-10], 102           ; 'f'
+        stb [r10-9], 105            ; 'i'
+        stb [r10-8], 120            ; 'x'
+        mov r1, r10
+        sub r1, 16
+        mov r2, 9
+        mov r3, r10
+        sub r3, 32
+        mov r4, 8
+        call get_xtra
+        jeq r0, -1, scan_path
+        ldxw r1, [r10-32]
+        be32 r1                     ; dc prefix address
+        ldxw r2, [r10-28]
+        be32 r2                     ; dc prefix length
+        jeq r2, 0, pass             ; /0 covers everything
+        mov r3, 32
+        sub r3, r2
+        mov r4, 1
+        lsh r4, r3
+        sub r4, 1                   ; host-bit mask
+        mov r5, r4
+        xor r5, -1
+        and r5, r6                  ; route address masked to dc length
+        jeq r5, r1, pass            ; internal destination: allow valley
+scan_path:
+        ; Reject if any adjacent AS-path pair is a (below, above) pair.
+        mov r1, 512
+        call ctx_malloc
+        jeq r0, 0, pass
+        mov r6, r0
+        mov r1, ATTR_AS_PATH
+        mov r2, r6
+        mov r3, 512
+        call get_attr
+        jeq r0, -1, pass
+        mov r7, r0
+        add r7, r6                  ; end of path
+seg:
+        mov r1, r6
+        add r1, 2
+        jgt r1, r7, pass            ; no further segment header
+        ldxb r2, [r6+1]             ; ASN count
+        mov r3, r2
+        lsh r3, 2
+        add r3, 2                   ; segment byte length
+        mov r4, r6
+        add r4, r3
+        stxdw [r10-40], r4          ; next segment pointer
+        jgt r4, r7, pass            ; truncated: stop scanning
+        ldxb r1, [r6]               ; segment type
+        jne r1, 2, next_seg         ; only SEQUENCEs order their ASNs
+        jlt r2, 2, next_seg
+        ; Iterate adjacent pairs within the sequence.
+        mov r3, r6
+        add r3, 2                   ; first ASN
+        mov r4, r3
+        mov r5, r2
+        sub r5, 2
+        lsh r5, 2
+        add r4, r5                  ; last pair start
+pair:
+        jgt r3, r4, next_seg
+        ldxw r5, [r3]               ; x (raw network order)
+        ldxw r2, [r3+4]             ; y
+        mov r0, r8
+find:
+        jge r0, r9, pair_next
+        ldxw r1, [r0]
+        jne r1, r5, find_next
+        ldxw r1, [r0+4]
+        jeq r1, r2, reject          ; down move found in an upward route
+find_next:
+        add r0, 8
+        ja find
+pair_next:
+        add r3, 4
+        ja pair
+next_seg:
+        ldxdw r6, [r10-40]
+        ja seg
+pass:
+        call next
+        exit
+reject:
+        mov r0, FILTER_REJECT
+        exit

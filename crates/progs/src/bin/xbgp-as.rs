@@ -1,0 +1,80 @@
+//! xbgp-as — command-line eBPF assembler/disassembler for xBGP programs.
+//!
+//! ```console
+//! $ xbgp-as program.s           # assemble → hex bytecode on stdout
+//! $ xbgp-as -d bytecode.hex     # disassemble hex → assembly on stdout
+//! ```
+//!
+//! Assembly resolves the xBGP ABI symbols (helper names, struct offsets,
+//! `FILTER_REJECT`, …), so the input is exactly what `crates/progs/asm`
+//! contains; the hex output is what a `Manifest` JSON carries in its
+//! `bytecode` field.
+
+use std::process::ExitCode;
+use xbgp_asm::{assemble_with_symbols, disassemble};
+use xbgp_core::api::abi_symbols;
+use xbgp_vm::Program;
+
+fn to_hex(data: &[u8]) -> String {
+    data.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    if s.len() % 2 != 0 {
+        return Err("odd-length hex input".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (disasm, path) = match args.as_slice() {
+        [p] => (false, p.clone()),
+        [flag, p] if flag == "-d" => (true, p.clone()),
+        _ => {
+            eprintln!("usage: xbgp-as [-d] <file>");
+            return ExitCode::from(2);
+        }
+    };
+    let input = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if disasm {
+        let bytes = match from_hex(&input) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bad hex: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        match Program::from_bytes(&bytes) {
+            Ok(prog) => {
+                print!("{}", disassemble(&prog));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bad bytecode: {e}");
+                ExitCode::from(1)
+            }
+        }
+    } else {
+        match assemble_with_symbols(&input, &abi_symbols()) {
+            Ok(prog) => {
+                println!("{}", to_hex(&prog.to_bytes()));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::from(1)
+            }
+        }
+    }
+}

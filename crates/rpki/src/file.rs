@@ -1,0 +1,156 @@
+//! ROA file loading.
+//!
+//! The paper's DUT "does not implement the RPKI-Rtr protocol but loads a
+//! file" of validated ROAs (§3.4). This module parses the de-facto
+//! standard CSV export format used by RPKI validators (Routinator,
+//! `rpki-client -c`, the RIPE validator):
+//!
+//! ```csv
+//! ASN,IP Prefix,Max Length,Trust Anchor
+//! AS13335,1.0.0.0/24,24,apnic
+//! AS65001,10.0.0.0/8,16,test
+//! ```
+//!
+//! The trailing trust-anchor column is optional and ignored, comment
+//! lines (`#`) and a header line are tolerated, and the `AS` prefix on
+//! the ASN is optional.
+
+use crate::Roa;
+use std::fmt;
+use xbgp_wire::Ipv4Prefix;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoaFileError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for RoaFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ROA file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RoaFileError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, RoaFileError> {
+    Err(RoaFileError { line, message: message.into() })
+}
+
+/// Parse validator-CSV text into ROAs. IPv6 rows are skipped (this
+/// workspace is IPv4-only, like the paper's experiment).
+pub fn parse_roa_csv(text: &str) -> Result<Vec<Roa>, RoaFileError> {
+    let mut out = Vec::new();
+    for (lineno0, raw) in text.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Tolerate a header row.
+        if lineno == 1 && line.to_ascii_lowercase().contains("prefix") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 3 {
+            return err(lineno, format!("expected `ASN,prefix,maxlen[,ta]`, got `{line}`"));
+        }
+        let asn_field = fields[0].strip_prefix("AS").unwrap_or(fields[0]);
+        let asn: u32 = match asn_field.parse() {
+            Ok(a) => a,
+            Err(e) => return err(lineno, format!("bad ASN `{}`: {e}", fields[0])),
+        };
+        if fields[1].contains(':') {
+            continue; // IPv6 ROA: out of scope
+        }
+        let prefix: Ipv4Prefix = match fields[1].parse() {
+            Ok(p) => p,
+            Err(e) => return err(lineno, format!("bad prefix `{}`: {e}", fields[1])),
+        };
+        let max_len: u8 = match fields[2].parse() {
+            Ok(m) => m,
+            Err(e) => return err(lineno, format!("bad max length `{}`: {e}", fields[2])),
+        };
+        if max_len < prefix.len() || max_len > 32 {
+            return err(
+                lineno,
+                format!("max length {max_len} outside [{}..32]", prefix.len()),
+            );
+        }
+        out.push(Roa::new(prefix, max_len, asn));
+    }
+    Ok(out)
+}
+
+/// Render ROAs back to validator CSV (with header).
+pub fn to_roa_csv(roas: &[Roa]) -> String {
+    let mut out = String::from("ASN,IP Prefix,Max Length,Trust Anchor\n");
+    for r in roas {
+        out.push_str(&format!("AS{},{},{},xbgp\n", r.asn, r.prefix, r.max_len));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RoaHashTable, RoaTable, RovState};
+
+    #[test]
+    fn parses_validator_csv_with_header_and_comments() {
+        let text = "\
+ASN,IP Prefix,Max Length,Trust Anchor
+# a comment
+AS13335,1.0.0.0/24,24,apnic
+65001,10.0.0.0/8,16
+AS65002,2001:db8::/32,48,ripe
+
+AS0,203.0.113.0/24,24,test
+";
+        let roas = parse_roa_csv(text).unwrap();
+        assert_eq!(roas.len(), 3, "IPv6 row skipped, blank/comment ignored");
+        assert_eq!(roas[0].asn, 13335);
+        assert_eq!(roas[0].prefix, "1.0.0.0/24".parse().unwrap());
+        assert_eq!(roas[1].max_len, 16);
+        assert_eq!(roas[2].asn, 0, "AS0 ROAs are legal (RFC 6483)");
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let e = parse_roa_csv("AS1,10.0.0.0/8\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_roa_csv("AS1,10.0.0.0/8,16,ta\nASx,10.0.0.0/8,16\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("ASx"));
+        let e = parse_roa_csv("AS1,10.0.0.0/16,8,ta\n").unwrap_err();
+        assert!(e.to_string().contains("max length"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let roas = vec![
+            Roa::new("10.0.0.0/8".parse().unwrap(), 24, 65001),
+            Roa::new("192.0.2.0/24".parse().unwrap(), 24, 0),
+        ];
+        let text = to_roa_csv(&roas);
+        assert_eq!(parse_roa_csv(&text).unwrap(), roas);
+    }
+
+    #[test]
+    fn loaded_file_drives_validation() {
+        let text = "AS65001,10.0.0.0/8,16,test\n";
+        let mut table = RoaHashTable::new();
+        for r in parse_roa_csv(text).unwrap() {
+            table.insert(r);
+        }
+        assert_eq!(
+            table.validate("10.1.0.0/16".parse().unwrap(), 65001),
+            RovState::Valid
+        );
+        assert_eq!(
+            table.validate("10.1.0.0/16".parse().unwrap(), 65002),
+            RovState::Invalid
+        );
+    }
+}

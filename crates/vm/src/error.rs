@@ -1,0 +1,77 @@
+//! Runtime fault types for the eBPF interpreter.
+
+use std::fmt;
+
+/// A fault raised while executing extension bytecode.
+///
+/// Any of these aborts the program; the Virtual Machine Manager reacts by
+/// falling back to the host implementation's native behaviour and recording
+/// the failure (paper §2.1: "the VMM also monitors their execution and
+/// stops them in case of error").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A memory access fell outside every registered region, crossed a
+    /// region boundary, or wrote to a read-only region.
+    MemFault {
+        /// Virtual address of the access.
+        addr: u64,
+        /// Access width in bytes.
+        size: usize,
+        /// True for a store, false for a load.
+        write: bool,
+    },
+    /// Division or modulo by zero at runtime.
+    DivByZero { pc: usize },
+    /// An opcode the interpreter does not implement (should be unreachable
+    /// for verified programs).
+    BadInstruction { pc: usize, opcode: u8 },
+    /// The fuel budget was exhausted: the program ran too long.
+    FuelExhausted,
+    /// `call` referenced a helper id with no registered implementation.
+    UnknownHelper { pc: usize, helper: u32 },
+    /// A helper function reported a failure.
+    HelperFault { helper: u32, reason: String },
+    /// Shift amount >= operand width with the strict config enabled.
+    BadShift { pc: usize, amount: u64 },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::MemFault { addr, size, write } => write!(
+                f,
+                "memory fault: {} of {size} bytes at {addr:#x}",
+                if *write { "store" } else { "load" }
+            ),
+            VmError::DivByZero { pc } => write!(f, "division by zero at pc {pc}"),
+            VmError::BadInstruction { pc, opcode } => {
+                write!(f, "illegal instruction {opcode:#04x} at pc {pc}")
+            }
+            VmError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            VmError::UnknownHelper { pc, helper } => {
+                write!(f, "unknown helper {helper} called at pc {pc}")
+            }
+            VmError::HelperFault { helper, reason } => {
+                write!(f, "helper {helper} failed: {reason}")
+            }
+            VmError::BadShift { pc, amount } => {
+                write!(f, "oversized shift by {amount} at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_direction() {
+        let e = VmError::MemFault { addr: 0x10, size: 4, write: true };
+        assert!(e.to_string().contains("store"));
+        let e = VmError::MemFault { addr: 0x10, size: 4, write: false };
+        assert!(e.to_string().contains("load"));
+    }
+}

@@ -1,0 +1,674 @@
+//! The eBPF interpreter.
+
+use crate::error::VmError;
+use crate::insn::{op, Program};
+use crate::mem::{MemoryMap, Region, RegionKind};
+use crate::{STACK_BASE, STACK_SIZE};
+
+/// How a program run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The program executed `exit`; r0 is the return value.
+    Return(u64),
+    /// The program called the special `next()` helper, delegating the
+    /// decision to the next extension in the chain (or to the host's
+    /// native code). Paper §2.1.
+    Next,
+}
+
+/// Host-side implementation of the helper functions a program may call.
+///
+/// The dispatcher receives the helper id, the five argument registers
+/// (r1..r5), and the memory map so it can read or write extension memory.
+/// Returning `Err(VmError::HelperFault mapped from NextSignal)` is awkward,
+/// so delegation is signalled with [`HelperOutcome::Next`] instead.
+pub trait HelperDispatcher {
+    /// Execute helper `id`. Return the value for r0, or `Next` to stop the
+    /// program and delegate, or a fault.
+    fn call(
+        &mut self,
+        id: u32,
+        args: [u64; 5],
+        mem: &mut MemoryMap,
+    ) -> Result<HelperOutcome, VmError>;
+}
+
+/// Result of one helper invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelperOutcome {
+    /// Normal return value, placed into r0.
+    Value(u64),
+    /// The `next()` delegation signal: abort execution with
+    /// [`ExecOutcome::Next`].
+    Next,
+}
+
+/// A dispatcher with no helpers, for pure-computation programs and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHelpers;
+
+impl HelperDispatcher for NoHelpers {
+    fn call(
+        &mut self,
+        id: u32,
+        _args: [u64; 5],
+        _mem: &mut MemoryMap,
+    ) -> Result<HelperOutcome, VmError> {
+        Err(VmError::UnknownHelper { pc: 0, helper: id })
+    }
+}
+
+/// Interpreter tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Maximum number of instructions one run may execute before being
+    /// stopped (the paper's "monitors their execution and stops them").
+    pub fuel: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        // Generous enough for a full pass over a 4 KiB message with a
+        // few dozen instructions per byte; tiny compared to a runaway loop.
+        VmConfig { fuel: 1_000_000 }
+    }
+}
+
+/// The virtual machine: a register file plus configuration. The memory map
+/// travels separately so the VMM can prepare it per invocation.
+pub struct Vm<'p> {
+    prog: &'p Program,
+    config: VmConfig,
+}
+
+impl<'p> Vm<'p> {
+    /// Wrap a (verified) program. Run [`crate::verify`] first: the
+    /// interpreter assumes jump targets are in range.
+    pub fn new(prog: &'p Program) -> Vm<'p> {
+        Vm { prog, config: VmConfig::default() }
+    }
+
+    pub fn with_config(prog: &'p Program, config: VmConfig) -> Vm<'p> {
+        Vm { prog, config }
+    }
+
+    /// Execute the program.
+    ///
+    /// `args` pre-loads r1..r5 (insertion-point arguments, usually virtual
+    /// addresses of marshalled structs). A fresh stack region is mapped at
+    /// [`STACK_BASE`] and r10 points one past its end, per eBPF convention.
+    pub fn run(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut dyn HelperDispatcher,
+        args: &[u64],
+    ) -> Result<ExecOutcome, VmError> {
+        assert!(args.len() <= 5, "at most five argument registers");
+        let mut reg = [0u64; 11];
+        for (i, a) in args.iter().enumerate() {
+            reg[i + 1] = *a;
+        }
+        // Fresh stack per run. If the caller pre-mapped one (the VMM pools
+        // stack buffers), it must already be zeroed; otherwise map our own.
+        if mem.region_of(RegionKind::Stack).is_none() {
+            mem.map(Region::new(
+                RegionKind::Stack,
+                STACK_BASE,
+                vec![0; STACK_SIZE],
+                true,
+            ));
+        }
+        reg[10] = STACK_BASE + STACK_SIZE as u64;
+
+        let insns = &self.prog.insns;
+        let mut pc: usize = 0;
+        let mut fuel = self.config.fuel;
+
+        macro_rules! size_of_op {
+            ($opcode:expr) => {
+                match $opcode & op::SIZE_MASK {
+                    op::SIZE_W => 4usize,
+                    op::SIZE_H => 2,
+                    op::SIZE_B => 1,
+                    _ => 8,
+                }
+            };
+        }
+
+        loop {
+            if fuel == 0 {
+                return Err(VmError::FuelExhausted);
+            }
+            fuel -= 1;
+            let insn = insns[pc];
+            let cls = insn.opcode & op::CLS_MASK;
+            match cls {
+                op::CLS_ALU64 | op::CLS_ALU => {
+                    let is64 = cls == op::CLS_ALU64;
+                    let opb = insn.opcode & op::ALU_OP_MASK;
+                    let src_val = if insn.opcode & op::SRC_X != 0 {
+                        reg[insn.src as usize]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let dst = insn.dst as usize;
+                    let d = reg[dst];
+                    let v: u64 = match opb {
+                        op::ALU_ADD => {
+                            if is64 { d.wrapping_add(src_val) } else { (d as u32).wrapping_add(src_val as u32) as u64 }
+                        }
+                        op::ALU_SUB => {
+                            if is64 { d.wrapping_sub(src_val) } else { (d as u32).wrapping_sub(src_val as u32) as u64 }
+                        }
+                        op::ALU_MUL => {
+                            if is64 { d.wrapping_mul(src_val) } else { (d as u32).wrapping_mul(src_val as u32) as u64 }
+                        }
+                        op::ALU_DIV => {
+                            if is64 {
+                                if src_val == 0 { return Err(VmError::DivByZero { pc }); }
+                                d / src_val
+                            } else {
+                                let s = src_val as u32;
+                                if s == 0 { return Err(VmError::DivByZero { pc }); }
+                                u64::from(d as u32 / s)
+                            }
+                        }
+                        op::ALU_MOD => {
+                            if is64 {
+                                if src_val == 0 { return Err(VmError::DivByZero { pc }); }
+                                d % src_val
+                            } else {
+                                let s = src_val as u32;
+                                if s == 0 { return Err(VmError::DivByZero { pc }); }
+                                u64::from(d as u32 % s)
+                            }
+                        }
+                        op::ALU_OR => if is64 { d | src_val } else { u64::from(d as u32 | src_val as u32) },
+                        op::ALU_AND => if is64 { d & src_val } else { u64::from(d as u32 & src_val as u32) },
+                        op::ALU_XOR => if is64 { d ^ src_val } else { u64::from(d as u32 ^ src_val as u32) },
+                        op::ALU_LSH => {
+                            if is64 { d.wrapping_shl(src_val as u32) } else { u64::from((d as u32).wrapping_shl(src_val as u32)) }
+                        }
+                        op::ALU_RSH => {
+                            if is64 { d.wrapping_shr(src_val as u32) } else { u64::from((d as u32).wrapping_shr(src_val as u32)) }
+                        }
+                        op::ALU_ARSH => {
+                            if is64 {
+                                ((d as i64).wrapping_shr(src_val as u32)) as u64
+                            } else {
+                                ((d as u32 as i32).wrapping_shr(src_val as u32)) as u32 as u64
+                            }
+                        }
+                        op::ALU_NEG => {
+                            if is64 { (d as i64).wrapping_neg() as u64 } else { ((d as u32 as i32).wrapping_neg()) as u32 as u64 }
+                        }
+                        op::ALU_MOV => if is64 { src_val } else { u64::from(src_val as u32) },
+                        op::ALU_END => {
+                            // imm selects the width; SRC bit selects
+                            // to-big-endian (X, the common "be16/32/64"
+                            // form on LE machines) vs to-little-endian.
+                            let to_be = insn.opcode & op::SRC_X != 0;
+                            match (insn.imm, to_be) {
+                                (16, true) => u64::from((d as u16).to_be()),
+                                (32, true) => u64::from((d as u32).to_be()),
+                                (64, true) => d.to_be(),
+                                (16, false) => u64::from((d as u16).to_le()),
+                                (32, false) => u64::from((d as u32).to_le()),
+                                (64, false) => d.to_le(),
+                                _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
+                            }
+                        }
+                        _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
+                    };
+                    reg[dst] = v;
+                    pc += 1;
+                }
+                op::CLS_JMP | op::CLS_JMP32 => {
+                    let opb = insn.opcode & op::ALU_OP_MASK;
+                    match opb {
+                        op::JMP_EXIT => return Ok(ExecOutcome::Return(reg[0])),
+                        op::JMP_CALL => {
+                            let args5 = [reg[1], reg[2], reg[3], reg[4], reg[5]];
+                            match helpers.call(insn.imm as u32, args5, mem) {
+                                Ok(HelperOutcome::Value(v)) => {
+                                    reg[0] = v;
+                                    // Caller-saved registers are clobbered,
+                                    // matching eBPF calling convention.
+                                    reg[1] = 0;
+                                    reg[2] = 0;
+                                    reg[3] = 0;
+                                    reg[4] = 0;
+                                    reg[5] = 0;
+                                    pc += 1;
+                                }
+                                Ok(HelperOutcome::Next) => return Ok(ExecOutcome::Next),
+                                Err(VmError::UnknownHelper { helper, .. }) => {
+                                    return Err(VmError::UnknownHelper { pc, helper })
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        op::JMP_JA => {
+                            pc = (pc as i64 + 1 + i64::from(insn.offset)) as usize;
+                        }
+                        _ => {
+                            let is64 = cls == op::CLS_JMP;
+                            let d = reg[insn.dst as usize];
+                            let s = if insn.opcode & op::SRC_X != 0 {
+                                reg[insn.src as usize]
+                            } else {
+                                insn.imm as i64 as u64
+                            };
+                            let (d, s) = if is64 { (d, s) } else { (u64::from(d as u32), u64::from(s as u32)) };
+                            // Signed views are computed lazily: only the
+                            // four signed comparisons need them.
+                            let signed = |v: u64| -> i64 {
+                                if is64 { v as i64 } else { i64::from(v as u32 as i32) }
+                            };
+                            let taken = match opb {
+                                op::JMP_JEQ => d == s,
+                                op::JMP_JNE => d != s,
+                                op::JMP_JGT => d > s,
+                                op::JMP_JGE => d >= s,
+                                op::JMP_JLT => d < s,
+                                op::JMP_JLE => d <= s,
+                                op::JMP_JSET => d & s != 0,
+                                op::JMP_JSGT => signed(d) > signed(s),
+                                op::JMP_JSGE => signed(d) >= signed(s),
+                                op::JMP_JSLT => signed(d) < signed(s),
+                                op::JMP_JSLE => signed(d) <= signed(s),
+                                _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
+                            };
+                            pc = if taken {
+                                (pc as i64 + 1 + i64::from(insn.offset)) as usize
+                            } else {
+                                pc + 1
+                            };
+                        }
+                    }
+                }
+                op::CLS_LD => {
+                    // lddw: verified to have its second slot present.
+                    let lo = insn.imm as u32;
+                    let hi = insns[pc + 1].imm as u32;
+                    reg[insn.dst as usize] = u64::from(lo) | (u64::from(hi) << 32);
+                    pc += 2;
+                }
+                op::CLS_LDX => {
+                    let size = size_of_op!(insn.opcode);
+                    let addr = reg[insn.src as usize].wrapping_add(insn.offset as i64 as u64);
+                    reg[insn.dst as usize] = mem.load(addr, size)?;
+                    pc += 1;
+                }
+                op::CLS_ST => {
+                    let size = size_of_op!(insn.opcode);
+                    let addr = reg[insn.dst as usize].wrapping_add(insn.offset as i64 as u64);
+                    mem.store(addr, size, insn.imm as i64 as u64)?;
+                    pc += 1;
+                }
+                op::CLS_STX => {
+                    let size = size_of_op!(insn.opcode);
+                    let addr = reg[insn.dst as usize].wrapping_add(insn.offset as i64 as u64);
+                    mem.store(addr, size, reg[insn.src as usize])?;
+                    pc += 1;
+                }
+                _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{build, Insn, Program};
+    use crate::verify::verify;
+    use std::collections::HashSet;
+
+    fn run(insns: Vec<Insn>) -> Result<ExecOutcome, VmError> {
+        run_with(insns, &mut NoHelpers, &[])
+    }
+
+    fn run_with(
+        insns: Vec<Insn>,
+        helpers: &mut dyn HelperDispatcher,
+        args: &[u64],
+    ) -> Result<ExecOutcome, VmError> {
+        let prog = Program::new(insns);
+        let mut mem = MemoryMap::new();
+        Vm::new(&prog).run(&mut mem, helpers, args)
+    }
+
+    fn ret(insns: Vec<Insn>) -> u64 {
+        match run(insns).unwrap() {
+            ExecOutcome::Return(v) => v,
+            ExecOutcome::Next => panic!("unexpected next()"),
+        }
+    }
+
+    #[test]
+    fn mov_and_exit() {
+        assert_eq!(ret(vec![build::mov_imm(0, 42), build::exit()]), 42);
+    }
+
+    #[test]
+    fn arithmetic_64() {
+        // r0 = (7 + 3) * 5 - 8 = 42
+        assert_eq!(
+            ret(vec![
+                build::mov_imm(0, 7),
+                build::add_imm(0, 3),
+                Insn::new(op::CLS_ALU64 | op::ALU_MUL | op::SRC_K, 0, 0, 0, 5),
+                Insn::new(op::CLS_ALU64 | op::ALU_SUB | op::SRC_K, 0, 0, 0, 8),
+                build::exit(),
+            ]),
+            42
+        );
+    }
+
+    #[test]
+    fn alu32_truncates() {
+        // 32-bit add of 0xffff_ffff + 1 wraps to 0 and clears the top half.
+        let insns = vec![
+            build::mov_imm(0, -1), // r0 = 0xffff_ffff_ffff_ffff
+            Insn::new(op::CLS_ALU | op::ALU_ADD | op::SRC_K, 0, 0, 0, 1),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), 0);
+    }
+
+    #[test]
+    fn division_and_modulo() {
+        let insns = vec![
+            build::mov_imm(0, 43),
+            Insn::new(op::CLS_ALU64 | op::ALU_DIV | op::SRC_K, 0, 0, 0, 4),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), 10);
+        let insns = vec![
+            build::mov_imm(0, 43),
+            Insn::new(op::CLS_ALU64 | op::ALU_MOD | op::SRC_K, 0, 0, 0, 4),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), 3);
+    }
+
+    #[test]
+    fn runtime_div_by_zero_faults() {
+        let insns = vec![
+            build::mov_imm(0, 1),
+            build::mov_imm(1, 0),
+            Insn::new(op::CLS_ALU64 | op::ALU_DIV | op::SRC_X, 0, 1, 0, 0),
+            build::exit(),
+        ];
+        assert!(matches!(run(insns), Err(VmError::DivByZero { pc: 2 })));
+    }
+
+    #[test]
+    fn signed_ops() {
+        // arsh: -8 >> 1 == -4
+        let insns = vec![
+            build::mov_imm(0, -8),
+            Insn::new(op::CLS_ALU64 | op::ALU_ARSH | op::SRC_K, 0, 0, 0, 1),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns) as i64, -4);
+        // neg
+        let insns = vec![
+            build::mov_imm(0, 5),
+            Insn::new(op::CLS_ALU64 | op::ALU_NEG, 0, 0, 0, 0),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns) as i64, -5);
+    }
+
+    #[test]
+    fn byte_swap() {
+        // be32 of 0x01020304 (LE memory semantics) = 0x04030201 as u32.
+        let insns = vec![
+            build::mov_imm(0, 0x0102_0304),
+            Insn::new(op::CLS_ALU | op::ALU_END | op::SRC_X, 0, 0, 0, 32),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), u64::from(0x0102_0304u32.to_be()));
+        let insns = vec![
+            build::mov_imm(0, 0x0102),
+            Insn::new(op::CLS_ALU | op::ALU_END | op::SRC_X, 0, 0, 0, 16),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), u64::from(0x0102u16.to_be()));
+    }
+
+    #[test]
+    fn lddw_loads_full_64_bits() {
+        let [lo, hi] = build::lddw(0, 0xdead_beef_0bad_f00d);
+        assert_eq!(ret(vec![lo, hi, build::exit()]), 0xdead_beef_0bad_f00d);
+    }
+
+    #[test]
+    fn conditional_jumps() {
+        // if r1 == 7 return 1 else return 0
+        let prog = |arg: u64| {
+            let insns = vec![
+                build::mov_imm(0, 0),
+                build::jne_imm(1, 7, 1),
+                build::mov_imm(0, 1),
+                build::exit(),
+            ];
+            match run_with(insns, &mut NoHelpers, &[arg]).unwrap() {
+                ExecOutcome::Return(v) => v,
+                _ => panic!(),
+            }
+        };
+        assert_eq!(prog(7), 1);
+        assert_eq!(prog(8), 0);
+    }
+
+    #[test]
+    fn jmp32_compares_low_word_only() {
+        // r1 = 0x1_0000_0007; jeq32 r1, 7 must be taken.
+        let [lo, hi] = build::lddw(1, 0x1_0000_0007);
+        let insns = vec![
+            lo,
+            hi,
+            build::mov_imm(0, 0),
+            Insn::new(op::CLS_JMP32 | op::JMP_JEQ | op::SRC_K, 1, 0, 1, 7),
+            build::ja(1),
+            build::mov_imm(0, 1),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), 1);
+    }
+
+    #[test]
+    fn signed_jumps() {
+        // jsgt: -1 > -2 signed.
+        let insns = vec![
+            build::mov_imm(1, -1),
+            build::mov_imm(2, -2),
+            build::mov_imm(0, 0),
+            Insn::new(op::CLS_JMP | op::JMP_JSGT | op::SRC_X, 1, 2, 1, 0),
+            build::ja(1),
+            build::mov_imm(0, 1),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), 1);
+    }
+
+    #[test]
+    fn stack_load_store() {
+        // Store 0x11223344 at [r10-8], load it back.
+        let insns = vec![
+            build::mov_imm(1, 0x1122_3344),
+            build::stxw(10, 1, -8),
+            build::ldxw(0, 10, -8),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), 0x1122_3344);
+    }
+
+    #[test]
+    fn byte_access_on_stack() {
+        let insns = vec![
+            build::stb(10, -1, 0x7f),
+            build::ldxb(0, 10, -1),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), 0x7f);
+    }
+
+    #[test]
+    fn out_of_stack_access_faults() {
+        // One past the stack top.
+        let insns = vec![build::ldxb(0, 10, 0), build::exit()];
+        assert!(matches!(run(insns), Err(VmError::MemFault { .. })));
+        // Below the stack bottom.
+        let insns = vec![build::ldxb(0, 10, -(STACK_SIZE as i16) - 1), build::exit()];
+        assert!(matches!(run(insns), Err(VmError::MemFault { .. })));
+    }
+
+    #[test]
+    fn infinite_loop_is_stopped_by_fuel() {
+        let prog = Program::new(vec![build::ja(-1)]);
+        let mut mem = MemoryMap::new();
+        let vm = Vm::with_config(&prog, VmConfig { fuel: 1000 });
+        assert_eq!(
+            vm.run(&mut mem, &mut NoHelpers, &[]),
+            Err(VmError::FuelExhausted)
+        );
+    }
+
+    #[test]
+    fn loop_with_counter_terminates() {
+        // r0 = sum of 1..=10 computed with a backward jump.
+        let insns = vec![
+            build::mov_imm(0, 0),  // acc
+            build::mov_imm(1, 10), // counter
+            // loop: acc += counter; counter -= 1; if counter != 0 goto loop
+            build::add_reg(0, 1),
+            Insn::new(op::CLS_ALU64 | op::ALU_SUB | op::SRC_K, 1, 0, 0, 1),
+            build::jne_imm(1, 0, -3),
+            build::exit(),
+        ];
+        assert_eq!(ret(insns), 55);
+    }
+
+    struct Doubler;
+    impl HelperDispatcher for Doubler {
+        fn call(
+            &mut self,
+            id: u32,
+            args: [u64; 5],
+            _mem: &mut MemoryMap,
+        ) -> Result<HelperOutcome, VmError> {
+            match id {
+                1 => Ok(HelperOutcome::Value(args[0] * 2)),
+                2 => Ok(HelperOutcome::Next),
+                3 => Err(VmError::HelperFault { helper: 3, reason: "boom".into() }),
+                other => Err(VmError::UnknownHelper { pc: 0, helper: other }),
+            }
+        }
+    }
+
+    #[test]
+    fn helper_call_returns_value_and_clobbers_caller_saved() {
+        let insns = vec![
+            build::mov_imm(1, 21),
+            build::call(1),
+            // r1 must be clobbered to 0 after the call.
+            build::add_reg(0, 1),
+            build::exit(),
+        ];
+        match run_with(insns, &mut Doubler, &[]).unwrap() {
+            ExecOutcome::Return(v) => assert_eq!(v, 42),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn next_helper_short_circuits() {
+        let insns = vec![
+            build::call(2),
+            build::mov_imm(0, 99), // never reached
+            build::exit(),
+        ];
+        assert_eq!(run_with(insns, &mut Doubler, &[]).unwrap(), ExecOutcome::Next);
+    }
+
+    #[test]
+    fn helper_fault_propagates() {
+        let insns = vec![build::call(3), build::exit()];
+        assert!(matches!(
+            run_with(insns, &mut Doubler, &[]),
+            Err(VmError::HelperFault { helper: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_helper_reports_pc() {
+        let insns = vec![build::mov_imm(0, 0), build::call(77), build::exit()];
+        assert_eq!(
+            run_with(insns, &mut Doubler, &[]),
+            Err(VmError::UnknownHelper { pc: 1, helper: 77 })
+        );
+    }
+
+    #[test]
+    fn args_arrive_in_r1_to_r5() {
+        let insns = vec![
+            build::mov_reg(0, 1),
+            build::add_reg(0, 2),
+            build::add_reg(0, 3),
+            build::add_reg(0, 4),
+            build::add_reg(0, 5),
+            build::exit(),
+        ];
+        match run_with(insns, &mut NoHelpers, &[1, 2, 3, 4, 5]).unwrap() {
+            ExecOutcome::Return(v) => assert_eq!(v, 15),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn reading_host_buffer_region() {
+        // Program reads a big-endian u32 from a read-only host buffer whose
+        // address arrives in r1, then byte-swaps it to host order.
+        let prog = Program::new(vec![
+            build::ldxw(0, 1, 0),
+            Insn::new(op::CLS_ALU | op::ALU_END | op::SRC_X, 0, 0, 0, 32),
+            build::exit(),
+        ]);
+        let mut mem = MemoryMap::new();
+        mem.map(Region::new(
+            RegionKind::HostBuf,
+            crate::HOST_BUF_BASE,
+            0xc0a8_0101u32.to_be_bytes().to_vec(), // 192.168.1.1 in NBO
+            false,
+        ));
+        let out = Vm::new(&prog)
+            .run(&mut mem, &mut NoHelpers, &[crate::HOST_BUF_BASE])
+            .unwrap();
+        assert_eq!(out, ExecOutcome::Return(0xc0a8_0101));
+    }
+
+    #[test]
+    fn verified_programs_execute_clean() {
+        // Everything the verifier accepts in its own tests must also run
+        // without BadInstruction.
+        let progs: Vec<Vec<Insn>> = vec![
+            vec![build::mov_imm(0, 0), build::exit()],
+            vec![build::mov_imm(0, 0), build::ja(-2)],
+        ];
+        let helpers: HashSet<u32> = HashSet::new();
+        for insns in progs {
+            let p = Program::new(insns);
+            verify(&p, &helpers).unwrap();
+            let mut mem = MemoryMap::new();
+            let vm = Vm::with_config(&p, VmConfig { fuel: 100 });
+            match vm.run(&mut mem, &mut NoHelpers, &[]) {
+                Ok(_) | Err(VmError::FuelExhausted) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+}

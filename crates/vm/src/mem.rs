@@ -1,0 +1,271 @@
+//! Segmented, bounds-checked memory for extension code.
+//!
+//! The VM never sees host pointers. Instead the host (the Virtual Machine
+//! Manager) registers *regions* — each a `(virtual base, byte buffer,
+//! writability)` triple — before running a program. Every load and store is
+//! resolved against the region table; an access that misses every region,
+//! straddles a region end, or writes to a read-only region raises
+//! [`VmError::MemFault`] and aborts the program.
+
+use crate::error::VmError;
+
+/// What a region is used for (for diagnostics and selective clearing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// The eBPF stack (always present, read-write).
+    Stack,
+    /// Host-marshalled insertion-point arguments.
+    Args,
+    /// Per-invocation scratch heap (`ctx_malloc`), cleared between runs.
+    Heap,
+    /// Per-program persistent heap (`ctx_shared_malloc`).
+    Shared,
+    /// Read-only host data such as the raw BGP message.
+    HostBuf,
+}
+
+/// One mapped region of the extension's virtual address space.
+#[derive(Debug, Clone)]
+pub struct Region {
+    pub base: u64,
+    pub data: Vec<u8>,
+    pub writable: bool,
+    pub kind: RegionKind,
+}
+
+impl Region {
+    pub fn new(kind: RegionKind, base: u64, data: Vec<u8>, writable: bool) -> Region {
+        Region { base, data, writable, kind }
+    }
+
+    fn contains(&self, addr: u64, size: usize) -> bool {
+        addr >= self.base
+            && addr.checked_add(size as u64).is_some_and(|end| {
+                end <= self.base + self.data.len() as u64
+            })
+    }
+}
+
+/// The region table for one program invocation.
+#[derive(Debug, Default)]
+pub struct MemoryMap {
+    regions: Vec<Region>,
+}
+
+impl MemoryMap {
+    pub fn new() -> MemoryMap {
+        MemoryMap { regions: Vec::new() }
+    }
+
+    /// Map a region. Panics if it overlaps an existing one (host bug, not
+    /// extension bug).
+    pub fn map(&mut self, region: Region) {
+        let new_end = region.base + region.data.len() as u64;
+        for r in &self.regions {
+            let end = r.base + r.data.len() as u64;
+            assert!(
+                new_end <= r.base || region.base >= end,
+                "region overlap: [{:#x},{:#x}) vs [{:#x},{:#x})",
+                region.base,
+                new_end,
+                r.base,
+                end
+            );
+        }
+        self.regions.push(region);
+    }
+
+    /// Remove all regions of a kind, returning them (used to reclaim the
+    /// shared heap after a run).
+    pub fn unmap_kind(&mut self, kind: RegionKind) -> Vec<Region> {
+        let mut out = Vec::new();
+        self.regions.retain_mut(|r| {
+            if r.kind == kind {
+                out.push(Region {
+                    base: r.base,
+                    data: std::mem::take(&mut r.data),
+                    writable: r.writable,
+                    kind: r.kind,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Borrow the region of a given kind (first match).
+    pub fn region_of(&self, kind: RegionKind) -> Option<&Region> {
+        self.regions.iter().find(|r| r.kind == kind)
+    }
+
+    /// Mutably borrow the region of a given kind (first match).
+    pub fn region_of_mut(&mut self, kind: RegionKind) -> Option<&mut Region> {
+        self.regions.iter_mut().find(|r| r.kind == kind)
+    }
+
+    fn find(&self, addr: u64, size: usize, write: bool) -> Result<(usize, usize), VmError> {
+        for (idx, r) in self.regions.iter().enumerate() {
+            if r.contains(addr, size) {
+                if write && !r.writable {
+                    return Err(VmError::MemFault { addr, size, write });
+                }
+                return Ok((idx, (addr - r.base) as usize));
+            }
+        }
+        Err(VmError::MemFault { addr, size, write })
+    }
+
+    /// Read `size` bytes at `addr` as a little-endian unsigned integer.
+    pub fn load(&self, addr: u64, size: usize) -> Result<u64, VmError> {
+        let (idx, off) = self.find(addr, size, false)?;
+        let bytes = &self.regions[idx].data[off..off + size];
+        let mut v: u64 = 0;
+        for (i, b) in bytes.iter().enumerate() {
+            v |= u64::from(*b) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Store the low `size` bytes of `value` at `addr`, little-endian.
+    pub fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmError> {
+        let (idx, off) = self.find(addr, size, true)?;
+        let bytes = &mut self.regions[idx].data[off..off + size];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Borrow `len` readable bytes at `addr` (helper-side bulk access).
+    pub fn slice(&self, addr: u64, len: usize) -> Result<&[u8], VmError> {
+        let (idx, off) = self.find(addr, len, false)?;
+        Ok(&self.regions[idx].data[off..off + len])
+    }
+
+    /// Borrow `len` writable bytes at `addr` (helper-side bulk access).
+    pub fn slice_mut(&mut self, addr: u64, len: usize) -> Result<&mut [u8], VmError> {
+        let (idx, off) = self.find(addr, len, true)?;
+        Ok(&mut self.regions[idx].data[off..off + len])
+    }
+
+    /// Copy a host buffer into extension memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), VmError> {
+        self.slice_mut(addr, data.len())?.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copy extension memory out to a host buffer.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, VmError> {
+        Ok(self.slice(addr, len)?.to_vec())
+    }
+
+    /// Copy `len` bytes inside extension memory (the `ebpf_memcpy` helper).
+    pub fn copy_within(&mut self, dst: u64, src: u64, len: usize) -> Result<(), VmError> {
+        let data = self.read_bytes(src, len)?;
+        self.write_bytes(dst, &data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn map_with(base: u64, len: usize, writable: bool) -> MemoryMap {
+        let mut m = MemoryMap::new();
+        m.map(Region::new(RegionKind::Heap, base, vec![0; len], writable));
+        m
+    }
+
+    #[test]
+    fn load_store_round_trip_all_sizes() {
+        let mut m = map_with(0x1000, 64, true);
+        for (size, val) in [(1usize, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+            m.store(0x1000, size, val).unwrap();
+            assert_eq!(m.load(0x1000, size).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = map_with(0, 8, true);
+        m.store(0, 4, 0x0102_0304).unwrap();
+        assert_eq!(m.slice(0, 4).unwrap(), &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let m = map_with(0x1000, 16, true);
+        assert!(m.load(0x0fff, 1).is_err());
+        assert!(m.load(0x1010, 1).is_err());
+        // Straddling the end.
+        assert!(m.load(0x100c, 8).is_err());
+        // Address wraparound must not panic or succeed.
+        assert!(m.load(u64::MAX, 8).is_err());
+    }
+
+    #[test]
+    fn read_only_rejects_stores_but_serves_loads() {
+        let mut m = MemoryMap::new();
+        m.map(Region::new(RegionKind::HostBuf, 0x2000, vec![7; 8], false));
+        assert_eq!(m.load(0x2000, 1).unwrap(), 7);
+        assert!(matches!(
+            m.store(0x2000, 1, 0),
+            Err(VmError::MemFault { write: true, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "region overlap")]
+    fn overlapping_regions_panic() {
+        let mut m = map_with(0x1000, 16, true);
+        m.map(Region::new(RegionKind::Args, 0x1008, vec![0; 16], true));
+    }
+
+    #[test]
+    fn adjacent_regions_do_not_overlap() {
+        let mut m = map_with(0x1000, 16, true);
+        m.map(Region::new(RegionKind::Args, 0x1010, vec![0; 16], true));
+        assert!(m.load(0x1010, 8).is_ok());
+        // But an access crossing the seam is rejected: region isolation.
+        assert!(m.load(0x100c, 8).is_err());
+    }
+
+    #[test]
+    fn unmap_kind_reclaims_buffers() {
+        let mut m = map_with(0x1000, 16, true);
+        m.map(Region::new(RegionKind::Shared, 0x4000, vec![9; 4], true));
+        let shared = m.unmap_kind(RegionKind::Shared);
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared[0].data, vec![9; 4]);
+        assert!(m.load(0x4000, 1).is_err());
+    }
+
+    #[test]
+    fn bulk_copies() {
+        let mut m = map_with(0, 32, true);
+        m.write_bytes(4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_bytes(4, 4).unwrap(), vec![1, 2, 3, 4]);
+        m.copy_within(16, 4, 4).unwrap();
+        assert_eq!(m.read_bytes(16, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert!(m.copy_within(30, 0, 4).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_store_then_load(off in 0u64..56, size in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)], val: u64) {
+            let mut m = map_with(0x1000, 64, true);
+            let masked = if size == 8 { val } else { val & ((1u64 << (8 * size)) - 1) };
+            m.store(0x1000 + off, size, val).unwrap();
+            prop_assert_eq!(m.load(0x1000 + off, size).unwrap(), masked);
+        }
+
+        #[test]
+        fn prop_random_access_never_panics(addr: u64, size in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]) {
+            let m = map_with(0x1000, 64, true);
+            let _ = m.load(addr, size);
+        }
+    }
+}

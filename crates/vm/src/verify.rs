@@ -1,0 +1,381 @@
+//! Static verifier run before any extension bytecode is attached.
+//!
+//! The checks are structural (the style of uBPF's verifier rather than the
+//! Linux kernel's symbolic one): they guarantee the interpreter can never
+//! leave the program text, execute an undefined opcode, touch an invalid
+//! register, or divide by a constant zero. Memory safety is enforced
+//! dynamically by [`crate::mem::MemoryMap`]; termination is enforced
+//! dynamically by the fuel budget.
+
+use crate::insn::{op, Program};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    Empty,
+    TooManyInstructions(usize),
+    /// `pc` holds an opcode outside the implemented ISA.
+    BadOpcode { pc: usize, opcode: u8 },
+    /// A register operand outside r0..r10, or a write to r10.
+    BadRegister { pc: usize, reg: u8 },
+    WriteToFramePointer { pc: usize },
+    /// Jump to a target outside the program or into an `lddw` second slot.
+    BadJumpTarget { pc: usize, target: i64 },
+    /// Constant division/modulo by zero.
+    ConstDivByZero { pc: usize },
+    /// `lddw` missing its second slot or second slot malformed.
+    BadLddw { pc: usize },
+    /// Execution can fall through past the last instruction.
+    FallThrough,
+    /// `call` names a helper the host did not register.
+    UnknownHelper { pc: usize, helper: u32 },
+    /// Constant shift amount ≥ operand width.
+    BadShift { pc: usize },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "empty program"),
+            VerifyError::TooManyInstructions(n) => write!(f, "program too large: {n} slots"),
+            VerifyError::BadOpcode { pc, opcode } => {
+                write!(f, "invalid opcode {opcode:#04x} at pc {pc}")
+            }
+            VerifyError::BadRegister { pc, reg } => write!(f, "invalid register r{reg} at pc {pc}"),
+            VerifyError::WriteToFramePointer { pc } => write!(f, "write to r10 at pc {pc}"),
+            VerifyError::BadJumpTarget { pc, target } => {
+                write!(f, "jump from pc {pc} to invalid target {target}")
+            }
+            VerifyError::ConstDivByZero { pc } => write!(f, "constant division by zero at pc {pc}"),
+            VerifyError::BadLddw { pc } => write!(f, "malformed lddw at pc {pc}"),
+            VerifyError::FallThrough => write!(f, "control can fall through past the program end"),
+            VerifyError::UnknownHelper { pc, helper } => {
+                write!(f, "call to unregistered helper {helper} at pc {pc}")
+            }
+            VerifyError::BadShift { pc } => write!(f, "oversized constant shift at pc {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Maximum program size in slots (same order as kernel eBPF's historic 4k).
+pub const MAX_INSNS: usize = 65_536;
+
+fn valid_alu_op(op_bits: u8) -> bool {
+    matches!(
+        op_bits,
+        op::ALU_ADD
+            | op::ALU_SUB
+            | op::ALU_MUL
+            | op::ALU_DIV
+            | op::ALU_OR
+            | op::ALU_AND
+            | op::ALU_LSH
+            | op::ALU_RSH
+            | op::ALU_NEG
+            | op::ALU_MOD
+            | op::ALU_XOR
+            | op::ALU_MOV
+            | op::ALU_ARSH
+            | op::ALU_END
+    )
+}
+
+fn valid_jmp_op(op_bits: u8, cls: u8) -> bool {
+    match op_bits {
+        op::JMP_JA | op::JMP_CALL | op::JMP_EXIT => cls == op::CLS_JMP,
+        op::JMP_JEQ
+        | op::JMP_JGT
+        | op::JMP_JGE
+        | op::JMP_JSET
+        | op::JMP_JNE
+        | op::JMP_JSGT
+        | op::JMP_JSGE
+        | op::JMP_JLT
+        | op::JMP_JLE
+        | op::JMP_JSLT
+        | op::JMP_JSLE => true,
+        _ => false,
+    }
+}
+
+/// Verify `prog` against the set of helper ids the host will provide.
+///
+/// Returns `Ok(())` when the program is structurally safe to interpret.
+pub fn verify(prog: &Program, known_helpers: &HashSet<u32>) -> Result<(), VerifyError> {
+    let insns = &prog.insns;
+    if insns.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if insns.len() > MAX_INSNS {
+        return Err(VerifyError::TooManyInstructions(insns.len()));
+    }
+
+    // First pass: identify lddw second slots (not directly executable).
+    let mut is_lddw_hi = vec![false; insns.len()];
+    let mut pc = 0;
+    while pc < insns.len() {
+        if insns[pc].opcode == op::LDDW {
+            if pc + 1 >= insns.len() {
+                return Err(VerifyError::BadLddw { pc });
+            }
+            let hi = &insns[pc + 1];
+            if hi.opcode != 0 || hi.dst != 0 || hi.src != 0 || hi.offset != 0 {
+                return Err(VerifyError::BadLddw { pc });
+            }
+            is_lddw_hi[pc + 1] = true;
+            pc += 2;
+        } else {
+            pc += 1;
+        }
+    }
+
+    let check_reg = |pc: usize, reg: u8| -> Result<(), VerifyError> {
+        if reg > 10 {
+            Err(VerifyError::BadRegister { pc, reg })
+        } else {
+            Ok(())
+        }
+    };
+    let check_dst_writable = |pc: usize, reg: u8| -> Result<(), VerifyError> {
+        check_reg(pc, reg)?;
+        if reg == 10 {
+            Err(VerifyError::WriteToFramePointer { pc })
+        } else {
+            Ok(())
+        }
+    };
+
+    for (pc, insn) in insns.iter().enumerate() {
+        if is_lddw_hi[pc] {
+            continue;
+        }
+        let cls = insn.class();
+        match cls {
+            op::CLS_ALU | op::CLS_ALU64 => {
+                let opb = insn.opcode & op::ALU_OP_MASK;
+                if !valid_alu_op(opb) {
+                    return Err(VerifyError::BadOpcode { pc, opcode: insn.opcode });
+                }
+                check_dst_writable(pc, insn.dst)?;
+                if insn.opcode & op::SRC_X != 0 {
+                    check_reg(pc, insn.src)?;
+                }
+                if matches!(opb, op::ALU_DIV | op::ALU_MOD)
+                    && insn.opcode & op::SRC_X == 0
+                    && insn.imm == 0
+                {
+                    return Err(VerifyError::ConstDivByZero { pc });
+                }
+                if matches!(opb, op::ALU_LSH | op::ALU_RSH | op::ALU_ARSH)
+                    && insn.opcode & op::SRC_X == 0
+                {
+                    let width: i64 = if cls == op::CLS_ALU64 { 64 } else { 32 };
+                    if i64::from(insn.imm) >= width || insn.imm < 0 {
+                        return Err(VerifyError::BadShift { pc });
+                    }
+                }
+                if opb == op::ALU_END
+                    && !matches!(insn.imm, 16 | 32 | 64)
+                {
+                    return Err(VerifyError::BadOpcode { pc, opcode: insn.opcode });
+                }
+            }
+            op::CLS_JMP | op::CLS_JMP32 => {
+                let opb = insn.opcode & op::ALU_OP_MASK;
+                if !valid_jmp_op(opb, cls) {
+                    return Err(VerifyError::BadOpcode { pc, opcode: insn.opcode });
+                }
+                match opb {
+                    op::JMP_CALL => {
+                        let helper = insn.imm as u32;
+                        if !known_helpers.contains(&helper) {
+                            return Err(VerifyError::UnknownHelper { pc, helper });
+                        }
+                    }
+                    op::JMP_EXIT => {}
+                    _ => {
+                        // JA and all conditionals: validate target.
+                        let target = pc as i64 + 1 + i64::from(insn.offset);
+                        if target < 0
+                            || target >= insns.len() as i64
+                            || is_lddw_hi[target as usize]
+                        {
+                            return Err(VerifyError::BadJumpTarget { pc, target });
+                        }
+                        if opb != op::JMP_JA {
+                            check_reg(pc, insn.dst)?;
+                            if insn.opcode & op::SRC_X != 0 {
+                                check_reg(pc, insn.src)?;
+                            }
+                        }
+                    }
+                }
+            }
+            op::CLS_LD => {
+                if insn.opcode != op::LDDW {
+                    return Err(VerifyError::BadOpcode { pc, opcode: insn.opcode });
+                }
+                check_dst_writable(pc, insn.dst)?;
+            }
+            op::CLS_LDX => {
+                if insn.opcode & op::MODE_MASK != op::MODE_MEM {
+                    return Err(VerifyError::BadOpcode { pc, opcode: insn.opcode });
+                }
+                check_dst_writable(pc, insn.dst)?;
+                check_reg(pc, insn.src)?;
+            }
+            op::CLS_ST | op::CLS_STX => {
+                if insn.opcode & op::MODE_MASK != op::MODE_MEM {
+                    return Err(VerifyError::BadOpcode { pc, opcode: insn.opcode });
+                }
+                check_reg(pc, insn.dst)?;
+                if cls == op::CLS_STX {
+                    check_reg(pc, insn.src)?;
+                }
+            }
+            _ => unreachable!("class mask covers 0..=7"),
+        }
+    }
+
+    // Fall-through check: the last real instruction must be EXIT or an
+    // unconditional backward JA.
+    let last = insns.len() - 1;
+    let last_real = if is_lddw_hi[last] { last - 1 } else { last };
+    let li = &insns[last_real];
+    let terminal = li.class() == op::CLS_JMP
+        && matches!(li.opcode & op::ALU_OP_MASK, op::JMP_EXIT | op::JMP_JA)
+        && last_real == last;
+    if !terminal {
+        return Err(VerifyError::FallThrough);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{build, Insn};
+
+    fn helpers(ids: &[u32]) -> HashSet<u32> {
+        ids.iter().copied().collect()
+    }
+
+    fn ok(insns: Vec<Insn>) -> Result<(), VerifyError> {
+        verify(&Program::new(insns), &helpers(&[1, 2, 3]))
+    }
+
+    #[test]
+    fn minimal_program_verifies() {
+        assert_eq!(ok(vec![build::mov_imm(0, 0), build::exit()]), Ok(()));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(ok(vec![]), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn fall_through_rejected() {
+        assert_eq!(ok(vec![build::mov_imm(0, 0)]), Err(VerifyError::FallThrough));
+    }
+
+    #[test]
+    fn jump_out_of_range_rejected() {
+        assert!(matches!(
+            ok(vec![build::ja(5), build::exit()]),
+            Err(VerifyError::BadJumpTarget { .. })
+        ));
+        assert!(matches!(
+            ok(vec![build::jeq_imm(0, 0, -3), build::exit()]),
+            Err(VerifyError::BadJumpTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn jump_into_lddw_second_slot_rejected() {
+        let [lo, hi] = build::lddw(1, 42);
+        assert!(matches!(
+            ok(vec![build::ja(1), lo, hi, build::exit()]),
+            Err(VerifyError::BadJumpTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn lddw_missing_half_rejected() {
+        let [lo, _] = build::lddw(1, 42);
+        assert!(matches!(ok(vec![lo]), Err(VerifyError::BadLddw { .. })));
+    }
+
+    #[test]
+    fn write_to_r10_rejected() {
+        assert!(matches!(
+            ok(vec![build::mov_imm(10, 0), build::exit()]),
+            Err(VerifyError::WriteToFramePointer { .. })
+        ));
+    }
+
+    #[test]
+    fn const_div_by_zero_rejected() {
+        let div0 = Insn::new(op::CLS_ALU64 | op::ALU_DIV | op::SRC_K, 1, 0, 0, 0);
+        assert!(matches!(
+            ok(vec![div0, build::exit()]),
+            Err(VerifyError::ConstDivByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_const_shift_rejected() {
+        let sh = Insn::new(op::CLS_ALU64 | op::ALU_LSH | op::SRC_K, 1, 0, 0, 64);
+        assert!(matches!(ok(vec![sh, build::exit()]), Err(VerifyError::BadShift { .. })));
+        let sh32 = Insn::new(op::CLS_ALU | op::ALU_LSH | op::SRC_K, 1, 0, 0, 32);
+        assert!(matches!(ok(vec![sh32, build::exit()]), Err(VerifyError::BadShift { .. })));
+        let fine = Insn::new(op::CLS_ALU64 | op::ALU_LSH | op::SRC_K, 1, 0, 0, 63);
+        assert_eq!(ok(vec![fine, build::exit()]), Ok(()));
+    }
+
+    #[test]
+    fn unknown_helper_rejected() {
+        assert!(matches!(
+            ok(vec![build::call(99), build::exit()]),
+            Err(VerifyError::UnknownHelper { helper: 99, .. })
+        ));
+        assert_eq!(ok(vec![build::call(2), build::exit()]), Ok(()));
+    }
+
+    #[test]
+    fn undefined_opcode_rejected() {
+        let bogus = Insn::new(0xff, 0, 0, 0, 0);
+        assert!(matches!(ok(vec![bogus, build::exit()]), Err(VerifyError::BadOpcode { .. })));
+        let bogus_alu = Insn::new(op::CLS_ALU64 | 0xe0, 0, 0, 0, 0);
+        assert!(matches!(
+            ok(vec![bogus_alu, build::exit()]),
+            Err(VerifyError::BadOpcode { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let i = Insn::new(op::CLS_ALU64 | op::ALU_MOV | op::SRC_X, 3, 12, 0, 0);
+        assert!(matches!(ok(vec![i, build::exit()]), Err(VerifyError::BadRegister { .. })));
+    }
+
+    #[test]
+    fn backward_ja_as_terminal_is_allowed() {
+        // A self-contained loop ending in `ja -n` cannot fall through; the
+        // fuel budget bounds it at runtime.
+        let prog = vec![build::mov_imm(0, 0), build::ja(-2)];
+        assert_eq!(ok(prog), Ok(()));
+    }
+
+    #[test]
+    fn end_requires_valid_width() {
+        let be = Insn::new(op::CLS_ALU | op::ALU_END | op::SRC_X, 1, 0, 0, 16);
+        assert_eq!(ok(vec![be, build::exit()]), Ok(()));
+        let bad = Insn::new(op::CLS_ALU | op::ALU_END | op::SRC_X, 1, 0, 0, 24);
+        assert!(matches!(ok(vec![bad, build::exit()]), Err(VerifyError::BadOpcode { .. })));
+    }
+}

@@ -1,0 +1,116 @@
+//! BGP capabilities advertised in OPEN messages (RFC 5492).
+
+use crate::error::WireError;
+
+/// Capabilities understood by the daemons in this workspace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Multiprotocol extensions for `(AFI, SAFI)` (RFC 4760). Only
+    /// IPv4/unicast (1, 1) is ever negotiated here, but the capability is
+    /// parsed generically.
+    Multiprotocol { afi: u16, safi: u8 },
+    /// Route refresh (RFC 2918).
+    RouteRefresh,
+    /// Four-octet AS numbers (RFC 6793) with the speaker's real ASN.
+    FourOctetAs(u32),
+    /// Anything else, preserved as raw bytes.
+    Unknown { code: u8, value: Vec<u8> },
+}
+
+impl Capability {
+    /// Capability code on the wire.
+    pub fn code(&self) -> u8 {
+        match self {
+            Capability::Multiprotocol { .. } => 1,
+            Capability::RouteRefresh => 2,
+            Capability::FourOctetAs(_) => 65,
+            Capability::Unknown { code, .. } => *code,
+        }
+    }
+
+    /// Encode as a capability TLV (code, length, body).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Capability::Multiprotocol { afi, safi } => {
+                out.extend_from_slice(&[1, 4]);
+                out.extend_from_slice(&afi.to_be_bytes());
+                out.push(0); // reserved
+                out.push(*safi);
+            }
+            Capability::RouteRefresh => out.extend_from_slice(&[2, 0]),
+            Capability::FourOctetAs(asn) => {
+                out.extend_from_slice(&[65, 4]);
+                out.extend_from_slice(&asn.to_be_bytes());
+            }
+            Capability::Unknown { code, value } => {
+                out.push(*code);
+                out.push(value.len() as u8);
+                out.extend_from_slice(value);
+            }
+        }
+    }
+
+    /// Decode one capability TLV, returning it and the octets consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Capability, usize), WireError> {
+        if buf.len() < 2 {
+            return Err(WireError::Truncated { what: "capability header" });
+        }
+        let code = buf[0];
+        let len = usize::from(buf[1]);
+        if buf.len() < 2 + len {
+            return Err(WireError::Truncated { what: "capability body" });
+        }
+        let v = &buf[2..2 + len];
+        let cap = match (code, len) {
+            (1, 4) => Capability::Multiprotocol {
+                afi: u16::from_be_bytes([v[0], v[1]]),
+                safi: v[3],
+            },
+            (2, 0) => Capability::RouteRefresh,
+            (65, 4) => Capability::FourOctetAs(u32::from_be_bytes([v[0], v[1], v[2], v[3]])),
+            _ => Capability::Unknown {
+                code,
+                value: v.to_vec(),
+            },
+        };
+        Ok((cap, 2 + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(c: Capability) -> Capability {
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        let (d, used) = Capability::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        d
+    }
+
+    #[test]
+    fn known_capabilities_round_trip() {
+        for c in [
+            Capability::Multiprotocol { afi: 1, safi: 1 },
+            Capability::RouteRefresh,
+            Capability::FourOctetAs(4_200_000_000),
+            Capability::Unknown { code: 70, value: vec![9, 9] },
+        ] {
+            assert_eq!(round_trip(c.clone()), c);
+        }
+    }
+
+    #[test]
+    fn truncated_capability_rejected() {
+        assert!(Capability::decode(&[65]).is_err());
+        assert!(Capability::decode(&[65, 4, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn unexpected_length_falls_back_to_unknown() {
+        // RouteRefresh with a nonzero-length body is not the known form.
+        let (c, _) = Capability::decode(&[2, 1, 0xaa]).unwrap();
+        assert!(matches!(c, Capability::Unknown { code: 2, .. }));
+    }
+}

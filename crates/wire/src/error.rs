@@ -1,0 +1,122 @@
+//! Error type shared by the wire codec.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding BGP messages.
+///
+/// Each variant maps onto the RFC 4271 NOTIFICATION error space where one
+/// exists; [`WireError::notification_codes`] performs that mapping so a
+/// daemon can answer a malformed message with the correct NOTIFICATION.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The 16-octet marker was not all-ones.
+    BadMarker,
+    /// Header length field outside `[19, 4096]` or inconsistent with type.
+    BadLength(u16),
+    /// Unknown message type octet.
+    BadType(u8),
+    /// Fewer octets available than the structure requires.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        what: &'static str,
+    },
+    /// OPEN carried an unsupported protocol version.
+    UnsupportedVersion(u8),
+    /// OPEN carried an unacceptable hold time (1 or 2 seconds).
+    BadHoldTime(u16),
+    /// A path attribute had inconsistent flags for its type code.
+    AttributeFlags {
+        /// Attribute type code.
+        code: u8,
+        /// Flag octet observed on the wire.
+        flags: u8,
+    },
+    /// A path attribute body had the wrong length for its type code.
+    AttributeLength {
+        /// Attribute type code.
+        code: u8,
+        /// Body length observed on the wire.
+        len: usize,
+    },
+    /// A well-known mandatory attribute is missing from an UPDATE.
+    MissingWellKnown(&'static str),
+    /// ORIGIN attribute carried an undefined value.
+    InvalidOrigin(u8),
+    /// AS_PATH was malformed (bad segment type or truncated segment).
+    MalformedAsPath,
+    /// A prefix length exceeded 32 bits.
+    BadPrefixLength(u8),
+    /// The encoded message would exceed the 4096-octet maximum.
+    TooLong(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMarker => write!(f, "connection not synchronized: bad marker"),
+            WireError::BadLength(l) => write!(f, "bad message length {l}"),
+            WireError::BadType(t) => write!(f, "bad message type {t}"),
+            WireError::Truncated { what } => write!(f, "truncated input while decoding {what}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported BGP version {v}"),
+            WireError::BadHoldTime(h) => write!(f, "unacceptable hold time {h}"),
+            WireError::AttributeFlags { code, flags } => {
+                write!(f, "attribute flags error: code {code}, flags {flags:#04x}")
+            }
+            WireError::AttributeLength { code, len } => {
+                write!(f, "attribute length error: code {code}, len {len}")
+            }
+            WireError::MissingWellKnown(name) => {
+                write!(f, "missing well-known attribute {name}")
+            }
+            WireError::InvalidOrigin(v) => write!(f, "invalid ORIGIN value {v}"),
+            WireError::MalformedAsPath => write!(f, "malformed AS_PATH"),
+            WireError::BadPrefixLength(l) => write!(f, "invalid prefix length {l}"),
+            WireError::TooLong(l) => write!(f, "encoded message length {l} exceeds maximum"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// Map the error to RFC 4271 NOTIFICATION `(error code, subcode)`.
+    pub fn notification_codes(&self) -> (u8, u8) {
+        use WireError::*;
+        match self {
+            BadMarker => (1, 1),
+            BadLength(_) | TooLong(_) => (1, 2),
+            BadType(_) => (1, 3),
+            UnsupportedVersion(_) => (2, 1),
+            BadHoldTime(_) => (2, 6),
+            AttributeFlags { .. } => (3, 4),
+            AttributeLength { .. } => (3, 5),
+            MissingWellKnown(_) => (3, 3),
+            InvalidOrigin(_) => (3, 6),
+            MalformedAsPath => (3, 11),
+            BadPrefixLength(_) => (3, 10),
+            Truncated { .. } => (3, 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::AttributeLength { code: 2, len: 3 };
+        assert!(e.to_string().contains("code 2"));
+        assert!(e.to_string().contains("len 3"));
+    }
+
+    #[test]
+    fn notification_mapping_covers_update_errors() {
+        assert_eq!(WireError::MalformedAsPath.notification_codes(), (3, 11));
+        assert_eq!(
+            WireError::MissingWellKnown("ORIGIN").notification_codes(),
+            (3, 3)
+        );
+        assert_eq!(WireError::BadMarker.notification_codes(), (1, 1));
+    }
+}

@@ -1,0 +1,48 @@
+//! # xbgp-wire — RFC 4271 BGP message codec
+//!
+//! This crate implements the *neutral representation* of BGP messages used
+//! throughout the xBGP reproduction: everything is encoded and decoded in
+//! network byte order, exactly as it appears on the wire. Both host BGP
+//! implementations (`bgp-fir` and `bgp-wren`) translate between this neutral
+//! form and their own internal representations, mirroring how the paper's
+//! xBGP API "always manipulates \[messages and attributes\] in network byte
+//! order (the neutral xBGP representation)".
+//!
+//! The codec covers the message types and path attributes exercised by the
+//! paper's use cases:
+//!
+//! * OPEN (with capabilities, including 4-octet AS numbers),
+//! * UPDATE (withdrawn routes, path attributes, NLRI),
+//! * NOTIFICATION and KEEPALIVE,
+//! * the standard path attributes ORIGIN, AS_PATH, NEXT_HOP,
+//!   MULTI_EXIT_DISC, LOCAL_PREF, ATOMIC_AGGREGATE, AGGREGATOR,
+//!   COMMUNITIES, ORIGINATOR_ID and CLUSTER_LIST,
+//! * arbitrary unknown attributes (such as the GeoLoc attribute from the
+//!   paper's running example), preserved byte-for-byte.
+//!
+//! Incremental framing over a byte stream is provided by [`msg::MsgReader`].
+
+pub mod attr;
+pub mod capability;
+pub mod error;
+pub mod msg;
+pub mod prefix;
+
+pub use attr::{AsPath, AsSegment, AttrCode, AttrFlags, PathAttr, RawAttr, RawAttrIter};
+pub use capability::Capability;
+pub use error::WireError;
+pub use msg::{Message, MsgReader, MsgType, NotificationMsg, OpenMsg, UpdateMsg};
+pub use prefix::Ipv4Prefix;
+
+/// BGP protocol version implemented by every daemon in this workspace.
+pub const BGP_VERSION: u8 = 4;
+
+/// The well-known BGP port. The simulator uses it as the listening "port"
+/// identifier on stream links.
+pub const BGP_PORT: u16 = 179;
+
+/// Maximum BGP message size in octets (RFC 4271 §4.1).
+pub const MAX_MSG_LEN: usize = 4096;
+
+/// Size of the fixed BGP message header (marker + length + type).
+pub const HEADER_LEN: usize = 19;

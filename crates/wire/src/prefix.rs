@@ -1,0 +1,279 @@
+//! IPv4 prefixes and their RFC 4271 wire encoding.
+
+use crate::error::WireError;
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 prefix: a network address plus a mask length.
+///
+/// The address is stored in host byte order; the canonical form keeps every
+/// bit beyond `len` zero, which [`Ipv4Prefix::new`] enforces so that two
+/// prefixes that denote the same network always compare equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Build a prefix, masking off host bits. Panics if `len > 32`.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length must be <= 32");
+        Ipv4Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The all-zero default route `0.0.0.0/0`.
+    pub const DEFAULT: Ipv4Prefix = Ipv4Prefix { addr: 0, len: 0 };
+
+    /// Network address in host byte order (host bits are zero).
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Mask length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default route.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The network mask as a `u32` (e.g. `/24` → `0xffff_ff00`).
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// Does this prefix cover the given host address?
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        addr & Self::mask(self.len) == self.addr
+    }
+
+    /// Does this prefix cover (is equal to or less specific than) `other`?
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        self.len <= other.len && other.addr & Self::mask(self.len) == self.addr
+    }
+
+    /// Number of octets the prefix body occupies on the wire.
+    pub fn wire_octets(&self) -> usize {
+        1 + (usize::from(self.len) + 7) / 8
+    }
+
+    /// Append the RFC 4271 `<length, prefix>` encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.len);
+        let be = self.addr.to_be_bytes();
+        out.extend_from_slice(&be[..(usize::from(self.len) + 7) / 8]);
+    }
+
+    /// Decode one `<length, prefix>` tuple from the front of `buf`,
+    /// returning the prefix and the number of octets consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Ipv4Prefix, usize), WireError> {
+        let len = *buf.first().ok_or(WireError::Truncated { what: "prefix" })?;
+        if len > 32 {
+            return Err(WireError::BadPrefixLength(len));
+        }
+        let nbytes = (usize::from(len) + 7) / 8;
+        if buf.len() < 1 + nbytes {
+            return Err(WireError::Truncated { what: "prefix body" });
+        }
+        let mut be = [0u8; 4];
+        be[..nbytes].copy_from_slice(&buf[1..1 + nbytes]);
+        Ok((Ipv4Prefix::new(u32::from_be_bytes(be), len), 1 + nbytes))
+    }
+
+    /// Decode a packed run of prefixes occupying exactly `buf`.
+    pub fn decode_run(mut buf: &[u8]) -> Result<Vec<Ipv4Prefix>, WireError> {
+        let mut out = Vec::new();
+        while !buf.is_empty() {
+            let (p, used) = Ipv4Prefix::decode(buf)?;
+            out.push(p);
+            buf = &buf[used..];
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", b[0], b[1], b[2], b[3], self.len)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = String;
+
+    /// Parse `"a.b.c.d/len"` (or a bare address, implying `/32`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = match s.split_once('/') {
+            Some((ip, len)) => (
+                ip,
+                len.parse::<u8>().map_err(|e| format!("bad length: {e}"))?,
+            ),
+            None => (s, 32),
+        };
+        if len > 32 {
+            return Err(format!("prefix length {len} out of range"));
+        }
+        let mut octets = [0u8; 4];
+        let mut n = 0;
+        for part in ip.split('.') {
+            if n == 4 {
+                return Err("too many octets".into());
+            }
+            octets[n] = part.parse::<u8>().map_err(|e| format!("bad octet: {e}"))?;
+            n += 1;
+        }
+        if n != 4 {
+            return Err("too few octets".into());
+        }
+        Ok(Ipv4Prefix::new(u32::from_be_bytes(octets), len))
+    }
+}
+
+/// Convenience: format a bare IPv4 address (host byte order) as dotted quad.
+pub fn fmt_addr(addr: u32) -> String {
+    let b = addr.to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+/// Convenience: parse a dotted-quad IPv4 address into host byte order.
+pub fn parse_addr(s: &str) -> Result<u32, String> {
+    let p: Ipv4Prefix = s.parse()?;
+    if p.len() != 32 {
+        return Err("expected a host address, got a prefix".into());
+    }
+    Ok(p.addr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_form_masks_host_bits() {
+        let p = Ipv4Prefix::new(0xc0a8_01ff, 24);
+        assert_eq!(p.addr(), 0xc0a8_0100);
+        assert_eq!(p, Ipv4Prefix::new(0xc0a8_0100, 24));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let p: Ipv4Prefix = "192.168.1.0/24".parse().unwrap();
+        assert_eq!(p.to_string(), "192.168.1.0/24");
+        let host: Ipv4Prefix = "10.0.0.1".parse().unwrap();
+        assert_eq!(host.len(), 32);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("300.0.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0.0/8".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn covers_and_contains() {
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let q: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(p.covers(&q));
+        assert!(!q.covers(&p));
+        assert!(p.covers(&p));
+        assert!(p.contains_addr(0x0a01_0203));
+        assert!(!p.contains_addr(0x0b00_0000));
+    }
+
+    #[test]
+    fn default_route() {
+        assert!(Ipv4Prefix::DEFAULT.is_default());
+        assert!(Ipv4Prefix::DEFAULT.covers(&"10.0.0.0/8".parse().unwrap()));
+        assert_eq!(Ipv4Prefix::mask(0), 0);
+        assert_eq!(Ipv4Prefix::mask(32), u32::MAX);
+    }
+
+    #[test]
+    fn wire_encoding_is_minimal() {
+        let p: Ipv4Prefix = "192.0.2.0/24".parse().unwrap();
+        let mut out = Vec::new();
+        p.encode(&mut out);
+        assert_eq!(out, vec![24, 192, 0, 2]);
+        let (q, used) = Ipv4Prefix::decode(&out).unwrap();
+        assert_eq!(q, p);
+        assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn decode_rejects_bad_length_and_truncation() {
+        assert!(matches!(
+            Ipv4Prefix::decode(&[33, 1, 2, 3, 4, 5]),
+            Err(WireError::BadPrefixLength(33))
+        ));
+        assert!(matches!(
+            Ipv4Prefix::decode(&[24, 192, 0]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Ipv4Prefix::decode(&[]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_run_round_trips_many() {
+        let ps: Vec<Ipv4Prefix> = vec![
+            "0.0.0.0/0".parse().unwrap(),
+            "10.0.0.0/8".parse().unwrap(),
+            "192.0.2.128/25".parse().unwrap(),
+            "203.0.113.7/32".parse().unwrap(),
+        ];
+        let mut buf = Vec::new();
+        for p in &ps {
+            p.encode(&mut buf);
+        }
+        assert_eq!(Ipv4Prefix::decode_run(&buf).unwrap(), ps);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_round_trip(addr: u32, len in 0u8..=32) {
+            let p = Ipv4Prefix::new(addr, len);
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            let (q, used) = Ipv4Prefix::decode(&buf).unwrap();
+            prop_assert_eq!(p, q);
+            prop_assert_eq!(used, buf.len());
+        }
+
+        #[test]
+        fn prop_covers_is_reflexive_and_antisymmetric(addr: u32, len in 0u8..=32) {
+            let p = Ipv4Prefix::new(addr, len);
+            prop_assert!(p.covers(&p));
+            let wider = Ipv4Prefix::new(addr, len / 2);
+            prop_assert!(wider.covers(&p));
+        }
+
+        #[test]
+        fn prop_display_parse_round_trip(addr: u32, len in 0u8..=32) {
+            let p = Ipv4Prefix::new(addr, len);
+            let s = p.to_string();
+            prop_assert_eq!(s.parse::<Ipv4Prefix>().unwrap(), p);
+        }
+    }
+}

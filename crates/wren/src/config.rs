@@ -1,0 +1,71 @@
+//! WREN configuration (BIRD's protocol + channel model).
+
+use igp::SharedIgp;
+use netsim::LinkId;
+use rpki::Roa;
+use xbgp_core::Manifest;
+use xbgp_wire::Ipv4Prefix;
+
+/// One BGP channel: a neighbor and its per-channel policy.
+#[derive(Debug, Clone)]
+pub struct ChannelCfg {
+    pub link: LinkId,
+    /// Neighbor address / expected BGP identifier.
+    pub neighbor: u32,
+    pub neighbor_as: u32,
+    /// iBGP route-reflection client.
+    pub rr_client: bool,
+}
+
+/// Full configuration of one WREN daemon instance.
+pub struct WrenConfig {
+    pub local_as: u32,
+    pub router_id: u32,
+    pub hold_time_secs: u16,
+    pub channels: Vec<ChannelCfg>,
+    /// Native RFC 4456 route reflection.
+    pub rr_enabled: bool,
+    pub rr_cluster_id: Option<u32>,
+    /// ROAs for WREN's native hash-table origin validation (tagging only).
+    pub roa_table: Option<Vec<Roa>>,
+    /// xBGP manifest.
+    pub xbgp: Option<Manifest>,
+    /// ROAs backing the xBGP `rpki_check_origin` helper.
+    pub xbgp_roas: Option<Vec<Roa>>,
+    pub igp: Option<SharedIgp>,
+    /// Locally originated routes: `(prefix, nexthop)`.
+    pub originate: Vec<(Ipv4Prefix, u32)>,
+    pub default_local_pref: u32,
+    /// `get_xtra` configuration data.
+    pub xtra: Vec<(String, Vec<u8>)>,
+}
+
+impl WrenConfig {
+    pub fn new(local_as: u32, router_id: u32) -> WrenConfig {
+        WrenConfig {
+            local_as,
+            router_id,
+            hold_time_secs: 90,
+            channels: Vec::new(),
+            rr_enabled: false,
+            rr_cluster_id: None,
+            roa_table: None,
+            xbgp: None,
+            xbgp_roas: None,
+            igp: None,
+            originate: Vec::new(),
+            default_local_pref: 100,
+            xtra: Vec::new(),
+        }
+    }
+
+    pub fn channel(mut self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {
+        self.channels.push(ChannelCfg { link, neighbor, neighbor_as, rr_client: false });
+        self
+    }
+
+    pub fn rr_client_channel(mut self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {
+        self.channels.push(ChannelCfg { link, neighbor, neighbor_as, rr_client: true });
+        self
+    }
+}

@@ -1,0 +1,852 @@
+//! The WREN daemon: netsim node, channel driver, rtable pipeline,
+//! xBGP insertion points.
+
+use crate::config::WrenConfig;
+use crate::ealist::EaList;
+use crate::proto::{Channel, ConnState};
+use crate::rtable::{RTable, Rte, SrcId, TableChange};
+use crate::xbgp_glue::{EaAccess, WrenXbgpCtx};
+use netsim::{LinkId, Node, NodeCtx};
+use rpki::{RoaHashTable, RoaTable, RovState};
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xbgp_core::api::{self, InsertionPoint, PeerInfo, PeerType};
+use xbgp_core::{Manifest, Vmm, VmmOutcome};
+use xbgp_wire::attr::encode_attrs;
+use xbgp_wire::{Ipv4Prefix, Message, NotificationMsg, OpenMsg, UpdateMsg};
+
+/// Harness-visible counters.
+#[derive(Debug, Default, Clone)]
+pub struct WrenStats {
+    pub updates_rx: u64,
+    pub prefixes_rx: u64,
+    pub withdrawals_rx: u64,
+    pub updates_tx: u64,
+    pub prefixes_tx: u64,
+    pub withdrawals_tx: u64,
+    pub first_update_rx: Option<u64>,
+    pub last_route_change: Option<u64>,
+    pub sessions_established: u64,
+    pub rov_valid: u64,
+    pub rov_invalid: u64,
+    pub rov_not_found: u64,
+    pub xbgp_rejected: u64,
+}
+
+const TK_KEEPALIVE: u64 = 0;
+const TK_HOLD: u64 = 1;
+
+/// The WREN BGP daemon. See the crate documentation.
+pub struct WrenDaemon {
+    cfg: WrenConfig,
+    channels: Vec<Channel>,
+    link_to_channel: HashMap<LinkId, usize>,
+    table: RTable,
+    /// What each channel has been sent: net → advertised attrs.
+    exported: Vec<HashMap<Ipv4Prefix, Rc<EaList>>>,
+    /// Per-channel pending announcements (BIRD's tx event queue): batched
+    /// into shared UPDATEs at flush points so the encode insertion point
+    /// and message framing amortize over routes sharing attributes.
+    txq: Vec<Vec<(Ipv4Prefix, Rc<EaList>, [u8; 24])>>,
+    /// Per-channel pending withdrawals.
+    txq_wd: Vec<Vec<Ipv4Prefix>>,
+    vmm: Vmm,
+    /// WREN's native origin validation: the hash table (§3.4).
+    roa: Option<RoaHashTable>,
+    /// The xBGP-layer ROA store for `rpki_check_origin`.
+    xbgp_rov: Option<RoaHashTable>,
+    pub stats: WrenStats,
+    pub logs: Vec<String>,
+    ext_rib_adds: Vec<(Ipv4Prefix, u32)>,
+}
+
+impl WrenDaemon {
+    /// Build a daemon. Panics on an invalid xBGP manifest (startup-fatal
+    /// configuration error).
+    pub fn new(cfg: WrenConfig) -> WrenDaemon {
+        let vmm = match &cfg.xbgp {
+            Some(m) => Vmm::from_manifest(m).expect("invalid xBGP manifest"),
+            None => Vmm::from_manifest(&Manifest::new()).expect("empty manifest"),
+        };
+        let mk_hash = |roas: &Vec<rpki::Roa>| {
+            let mut t = RoaHashTable::new();
+            for r in roas {
+                t.insert(*r);
+            }
+            t
+        };
+        let roa = cfg.roa_table.as_ref().map(mk_hash);
+        let xbgp_rov = cfg.xbgp_roas.as_ref().map(mk_hash);
+        let channels: Vec<Channel> = cfg
+            .channels
+            .iter()
+            .map(|c| Channel::new(c.clone(), cfg.local_as))
+            .collect();
+        let link_to_channel = cfg
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.link, i))
+            .collect();
+        let n = channels.len();
+        WrenDaemon {
+            cfg,
+            channels,
+            link_to_channel,
+            table: RTable::new(),
+            exported: (0..n).map(|_| HashMap::new()).collect(),
+            txq: (0..n).map(|_| Vec::new()).collect(),
+            txq_wd: (0..n).map(|_| Vec::new()).collect(),
+            vmm,
+            roa,
+            xbgp_rov,
+            stats: WrenStats::default(),
+            logs: Vec::new(),
+            ext_rib_adds: Vec::new(),
+        }
+    }
+
+    /// Number of nets in the table.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Best route for a net.
+    pub fn best_route(&self, net: &Ipv4Prefix) -> Option<&Rte> {
+        self.table.best(net)
+    }
+
+    /// Sorted nets (deterministic assertions).
+    pub fn nets(&self) -> Vec<Ipv4Prefix> {
+        let mut v: Vec<Ipv4Prefix> = self.table.iter_best().map(|(n, _)| *n).collect();
+        v.sort();
+        v
+    }
+
+    pub fn session_established(&self, neighbor: u32) -> bool {
+        self.channels
+            .iter()
+            .any(|c| c.cfg.neighbor == neighbor && c.up())
+    }
+
+    pub fn xbgp_stats(&self) -> Vec<xbgp_core::vmm::ExtensionStats> {
+        self.vmm.stats()
+    }
+
+    /// Read a block from an extension program's persistent memory.
+    pub fn xbgp_shared_read(&self, group: &str, key: u64) -> Option<Vec<u8>> {
+        self.vmm.shared_read(group, key)
+    }
+
+    fn cluster_id(&self) -> u32 {
+        self.cfg.rr_cluster_id.unwrap_or(self.cfg.router_id)
+    }
+
+    fn peer_info(&self, ch: usize) -> PeerInfo {
+        let c = &self.channels[ch];
+        PeerInfo {
+            router_id: c.cfg.neighbor,
+            asn: c.cfg.neighbor_as,
+            peer_type: if c.ibgp { PeerType::Ibgp } else { PeerType::Ebgp },
+            local_router_id: self.cfg.router_id,
+            local_asn: self.cfg.local_as,
+            flags: if c.cfg.rr_client { api::PEER_FLAG_RR_CLIENT } else { 0 },
+        }
+    }
+
+    fn source_info_bytes(&self, rte: &Rte) -> [u8; 24] {
+        let mut flags = 0;
+        if rte.src_rr_client {
+            flags |= api::PEER_FLAG_RR_CLIENT;
+        }
+        if rte.src == SrcId::Local {
+            flags |= api::PEER_FLAG_LOCAL;
+        }
+        let pi = PeerInfo {
+            router_id: rte.src_addr,
+            asn: rte.src_asn,
+            peer_type: if rte.src_ibgp { PeerType::Ibgp } else { PeerType::Ebgp },
+            local_router_id: self.cfg.router_id,
+            local_asn: self.cfg.local_as,
+            flags,
+        };
+        pi.to_bytes()
+    }
+
+    fn igp_metric(&self, nexthop: u32) -> u32 {
+        match &self.cfg.igp {
+            Some(igp) => igp.borrow().metric(self.cfg.router_id, nexthop),
+            None => 0,
+        }
+    }
+
+    fn nexthop_info(&self, ea: &EaList) -> api::NextHopInfo {
+        let nh = ea.next_hop().unwrap_or(0);
+        let metric = self.igp_metric(nh);
+        api::NextHopInfo { addr: nh, igp_metric: metric, reachable: metric != u32::MAX }
+    }
+
+    // -----------------------------------------------------------------
+    // Preference
+    // -----------------------------------------------------------------
+
+    /// Table update using the native comparator (fast path; no extension
+    /// code runs, so the comparator can borrow the table context freely).
+    fn table_update_fast(&mut self, net: Ipv4Prefix, rte: Rte) -> TableChange {
+        let dlp = self.cfg.default_local_pref;
+        let igp = self.cfg.igp.clone();
+        let router_id = self.cfg.router_id;
+        let metric = move |nh: u32| match &igp {
+            Some(g) => g.borrow().metric(router_id, nh),
+            None => 0,
+        };
+        self.table
+            .update(net, rte, &mut |a, b| rte_better_native(a, b, dlp, &metric))
+    }
+
+    /// Preference with the ③ BGP_DECISION point consulted first.
+    fn rte_better(&mut self, a: &Rte, b: &Rte) -> bool {
+        if self.vmm.has_extensions(InsertionPoint::BgpDecision) {
+            let best_wire = encode_attrs(&b.eattrs.to_wire(), 4);
+            let peer = PeerInfo {
+                router_id: a.src_addr,
+                asn: a.src_asn,
+                peer_type: if a.src_ibgp { PeerType::Ibgp } else { PeerType::Ebgp },
+                local_router_id: self.cfg.router_id,
+                local_asn: self.cfg.local_as,
+                flags: 0,
+            };
+            let nexthop = self.nexthop_info(&a.eattrs);
+            let mut hctx = WrenXbgpCtx {
+                peer,
+                args: vec![best_wire],
+                eattrs: EaAccess::Read(&a.eattrs),
+                net: None,
+                nexthop: Some(nexthop),
+                xtra: &self.cfg.xtra,
+                out_buf: None,
+                rov: self.xbgp_rov.as_ref(),
+                rib_adds: &mut self.ext_rib_adds,
+                logs: &mut self.logs,
+            };
+            match self.vmm.run(InsertionPoint::BgpDecision, &mut hctx) {
+                VmmOutcome::Value(v) => return v == api::DECISION_PREFER_NEW,
+                VmmOutcome::Fallback => {}
+            }
+        }
+        let dlp = self.cfg.default_local_pref;
+        let metric = |nh: u32| self.igp_metric(nh);
+        rte_better_native(a, b, dlp, &metric)
+    }
+
+    /// Is this route usable as best (nexthop reachable for iBGP routes)?
+    fn eligible(&self, rte: &Rte) -> bool {
+        if self.cfg.igp.is_none() || !rte.src_ibgp || rte.src == SrcId::Local {
+            return true;
+        }
+        self.igp_metric(rte.eattrs.next_hop().unwrap_or(0)) != u32::MAX
+    }
+
+    /// First eligible route of a net's preference-ordered list.
+    fn best_eligible(&self, net: &Ipv4Prefix) -> Option<Rte> {
+        self.table.routes(net).iter().find(|r| self.eligible(r)).cloned()
+    }
+
+    // -----------------------------------------------------------------
+    // Inbound
+    // -----------------------------------------------------------------
+
+    fn rx_update(&mut self, ctx: &mut NodeCtx<'_>, ch: usize, upd: UpdateMsg, raw_body: Vec<u8>) {
+        self.stats.updates_rx += 1;
+        if self.stats.first_update_rx.is_none() {
+            self.stats.first_update_rx = Some(ctx.now());
+        }
+
+        for net in &upd.withdrawn {
+            self.stats.withdrawals_rx += 1;
+            let change = self.table.withdraw(*net, SrcId::Channel(ch));
+            self.propagate(ctx, *net, change);
+        }
+        if upd.nlri.is_empty() {
+            // Withdraw-only UPDATE: the propagations above may have queued
+            // re-announcements of the new best routes.
+            self.flush_all(ctx);
+            return;
+        }
+
+        let mut eattrs = match EaList::from_wire(&upd.attrs) {
+            Ok(l) => l,
+            Err(e) => {
+                self.logs.push(format!("malformed UPDATE on channel {ch}: {e}"));
+                self.tx(ctx, ch, &Message::Notification(NotificationMsg::from_error(&e)));
+                self.channel_down(ctx, ch);
+                return;
+            }
+        };
+
+        let peer_info = self.peer_info(ch);
+        // ① BGP_RECEIVE_MESSAGE.
+        if self.vmm.has_extensions(InsertionPoint::BgpReceiveMessage) {
+            let mut hctx = WrenXbgpCtx {
+                peer: peer_info,
+                args: vec![raw_body],
+                eattrs: EaAccess::Mut(&mut eattrs),
+                net: None,
+                nexthop: None,
+                xtra: &self.cfg.xtra,
+                out_buf: None,
+                rov: self.xbgp_rov.as_ref(),
+                rib_adds: &mut self.ext_rib_adds,
+                logs: &mut self.logs,
+            };
+            let _ = self.vmm.run(InsertionPoint::BgpReceiveMessage, &mut hctx);
+        }
+
+        let ibgp = self.channels[ch].ibgp;
+        // Loop prevention.
+        if !ibgp && eattrs.as_path_contains(self.cfg.local_as) {
+            return;
+        }
+        if ibgp && self.cfg.rr_enabled {
+            if eattrs.originator_id() == Some(self.cfg.router_id) {
+                return;
+            }
+            if eattrs.cluster_list_contains(self.cluster_id()) {
+                return;
+            }
+        }
+
+        let shared = Rc::new(eattrs);
+        let inbound_ext = self.vmm.has_extensions(InsertionPoint::BgpInboundFilter);
+        let nexthop = self.nexthop_info(&shared);
+        let (src_addr, src_asn, src_rr_client) = {
+            let c = &self.channels[ch];
+            (c.cfg.neighbor, c.cfg.neighbor_as, c.cfg.rr_client)
+        };
+
+        for net in &upd.nlri {
+            self.stats.prefixes_rx += 1;
+            let mut route_attrs = Rc::clone(&shared);
+
+            // ② BGP_INBOUND_FILTER.
+            if inbound_ext {
+                let mut modified = None;
+                let mut hctx = WrenXbgpCtx {
+                    peer: peer_info,
+                    args: vec![],
+                    eattrs: EaAccess::Cow { base: &shared, modified: &mut modified },
+                    net: Some(*net),
+                    nexthop: Some(nexthop),
+                    xtra: &self.cfg.xtra,
+                    out_buf: None,
+                    rov: self.xbgp_rov.as_ref(),
+                    rib_adds: &mut self.ext_rib_adds,
+                    logs: &mut self.logs,
+                };
+                match self.vmm.run(InsertionPoint::BgpInboundFilter, &mut hctx) {
+                    VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
+                        self.stats.xbgp_rejected += 1;
+                        let change = self.table.withdraw(*net, SrcId::Channel(ch));
+                        self.propagate(ctx, *net, change);
+                        continue;
+                    }
+                    _ => {}
+                }
+                if let Some(m) = modified {
+                    route_attrs = Rc::new(m);
+                }
+            }
+
+            // Native origin validation (hash table; tags, never drops).
+            let rov = self.roa.as_ref().map(|table| {
+                let state = match route_attrs.origin_asn() {
+                    Some(origin) => table.validate(*net, origin),
+                    None => RovState::NotFound,
+                };
+                match state {
+                    RovState::Valid => self.stats.rov_valid += 1,
+                    RovState::Invalid => self.stats.rov_invalid += 1,
+                    RovState::NotFound => self.stats.rov_not_found += 1,
+                }
+                state
+            });
+
+            let rte = Rte {
+                src: SrcId::Channel(ch),
+                src_addr,
+                src_asn,
+                src_ibgp: ibgp,
+                src_rr_client,
+                eattrs: route_attrs,
+                rov,
+            };
+            let change = if self.vmm.has_extensions(InsertionPoint::BgpDecision) {
+                self.update_with_decision_ext(*net, rte)
+            } else {
+                self.table_update_fast(*net, rte)
+            };
+            self.propagate(ctx, *net, change);
+        }
+
+        // Extension-installed routes.
+        let adds: Vec<(Ipv4Prefix, u32)> = self.ext_rib_adds.drain(..).collect();
+        for (net, nexthop) in adds {
+            let rte = self.local_rte(nexthop);
+            let change = self.table_update_fast(net, rte);
+            self.propagate(ctx, net, change);
+        }
+        self.flush_all(ctx);
+    }
+
+    fn update_with_decision_ext(&mut self, net: Ipv4Prefix, rte: Rte) -> TableChange {
+        // Slow path: the comparator may run extension code, so the list is
+        // pulled out, compared, and reinserted.
+        let mut routes: Vec<Rte> = self.table.routes(&net).to_vec();
+        routes.retain(|r| r.src != rte.src);
+        let mut pos = routes.len();
+        for (i, incumbent) in routes.iter().enumerate() {
+            if self.rte_better(&rte, incumbent) {
+                pos = i;
+                break;
+            }
+        }
+        routes.insert(pos, rte.clone());
+        // Rebuild the net in the table.
+        let src_order: Vec<Rte> = routes;
+        let old_best_src = self.table.best(&net).map(|r| r.src);
+        self.table.replace_net(net, src_order);
+        let new_best_src = self.table.best(&net).map(|r| r.src);
+        if old_best_src != new_best_src || new_best_src == Some(rte.src) {
+            TableChange::BestChanged
+        } else {
+            TableChange::NoBestChange
+        }
+    }
+
+    fn local_rte(&self, nexthop: u32) -> Rte {
+        let eattrs = EaList::from_wire(&[
+            xbgp_wire::PathAttr::Origin(xbgp_wire::attr::Origin::Igp),
+            xbgp_wire::PathAttr::AsPath(xbgp_wire::AsPath::empty()),
+            xbgp_wire::PathAttr::NextHop(nexthop),
+        ])
+        .expect("local attrs well-formed");
+        Rte {
+            src: SrcId::Local,
+            src_addr: self.cfg.router_id,
+            src_asn: self.cfg.local_as,
+            src_ibgp: true,
+            src_rr_client: false,
+            eattrs: Rc::new(eattrs),
+            rov: None,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Outbound
+    // -----------------------------------------------------------------
+
+    /// React to a table change on `net`: re-announce or withdraw on every
+    /// channel.
+    fn propagate(&mut self, ctx: &mut NodeCtx<'_>, net: Ipv4Prefix, change: TableChange) {
+        match change {
+            TableChange::NoBestChange => {}
+            TableChange::BestChanged | TableChange::NetGone => {
+                self.stats.last_route_change = Some(ctx.now());
+                let best = self.best_eligible(&net);
+                for ch in 0..self.channels.len() {
+                    match &best {
+                        Some(rte) => self.announce_one(ctx, ch, net, rte),
+                        None => self.withdraw_one(ctx, ch, net),
+                    }
+                }
+            }
+        }
+    }
+
+    fn withdraw_one(&mut self, _ctx: &mut NodeCtx<'_>, ch: usize, net: Ipv4Prefix) {
+        if !self.channels[ch].up() {
+            return;
+        }
+        if self.exported[ch].remove(&net).is_some() {
+            self.txq_wd[ch].push(net);
+        }
+    }
+
+    /// Export one route to one channel: policy and transform here, then
+    /// into the channel's tx queue; framing and the encode insertion point
+    /// happen at flush time over whole batches (BIRD's tx event queue).
+    fn announce_one(&mut self, ctx: &mut NodeCtx<'_>, ch: usize, net: Ipv4Prefix, rte: &Rte) {
+        if !self.channels[ch].up() {
+            return;
+        }
+        // Split horizon, with implicit withdraw of a previously advertised
+        // copy (the neighbor became our best source for this net).
+        if rte.src != SrcId::Local && rte.src_addr == self.channels[ch].cfg.neighbor {
+            self.withdraw_one(ctx, ch, net);
+            return;
+        }
+
+        // ④ BGP_OUTBOUND_FILTER.
+        let allowed = if self.vmm.has_extensions(InsertionPoint::BgpOutboundFilter) {
+            let peer_info = self.peer_info(ch);
+            let nexthop = self.nexthop_info(&rte.eattrs);
+            let src_bytes = self.source_info_bytes(rte);
+            let mut hctx = WrenXbgpCtx {
+                peer: peer_info,
+                args: vec![src_bytes.to_vec()],
+                eattrs: EaAccess::Read(&rte.eattrs),
+                net: Some(net),
+                nexthop: Some(nexthop),
+                xtra: &self.cfg.xtra,
+                out_buf: None,
+                rov: self.xbgp_rov.as_ref(),
+                rib_adds: &mut self.ext_rib_adds,
+                logs: &mut self.logs,
+            };
+            match self.vmm.run(InsertionPoint::BgpOutboundFilter, &mut hctx) {
+                VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
+                    self.stats.xbgp_rejected += 1;
+                    false
+                }
+                VmmOutcome::Value(_) => true,
+                VmmOutcome::Fallback => self.export_policy_native(ch, rte),
+            }
+        } else {
+            self.export_policy_native(ch, rte)
+        };
+        if !allowed {
+            self.withdraw_one(ctx, ch, net);
+            return;
+        }
+
+        // Transform for the session type (in-place on a copy of the raw
+        // list — BIRD's export path copies the ea_list too).
+        let ibgp_dest = self.channels[ch].ibgp;
+        let mut out = (*rte.eattrs).clone();
+        if ibgp_dest {
+            if out.local_pref().is_none() {
+                out.set_local_pref(self.cfg.default_local_pref);
+            }
+            if self.cfg.rr_enabled && rte.src != SrcId::Local && rte.src_ibgp {
+                if out.originator_id().is_none() {
+                    out.set(9, 0x80, rte.src_addr.to_be_bytes().to_vec());
+                }
+                out.cluster_list_prepend(self.cluster_id());
+            }
+        } else {
+            out.as_path_prepend(self.cfg.local_as);
+            out.set_next_hop(self.cfg.router_id);
+            out.unset(5);
+            out.unset(4);
+            out.unset(9);
+            out.unset(10);
+        }
+        let out = Rc::new(out);
+
+        // Suppress duplicates.
+        if self.exported[ch].get(&net).is_some_and(|prev| **prev == *out) {
+            return;
+        }
+        self.exported[ch].insert(net, Rc::clone(&out));
+        let src_blob = self.source_info_bytes(rte);
+        self.txq[ch].push((net, out, src_blob));
+        let _ = ctx;
+    }
+
+    /// Drain one channel's tx queue: group by (attributes, source), run
+    /// the ⑤ BGP_ENCODE_MESSAGE point once per group, frame in ≤700-NLRI
+    /// chunks, send.
+    fn flush_channel(&mut self, ctx: &mut NodeCtx<'_>, ch: usize) {
+        if self.txq_wd[ch].is_empty() && self.txq[ch].is_empty() {
+            return;
+        }
+        let withdrawals = std::mem::take(&mut self.txq_wd[ch]);
+        let pending = std::mem::take(&mut self.txq[ch]);
+        if !self.channels[ch].up() {
+            return;
+        }
+        for chunk in withdrawals.chunks(800) {
+            let upd = UpdateMsg::withdraw(chunk.to_vec());
+            self.stats.updates_tx += 1;
+            self.stats.withdrawals_tx += chunk.len() as u64;
+            self.tx(ctx, ch, &Message::Update(upd));
+        }
+
+        // Group by (attrs, source blob), preserving first-seen order.
+        let mut order: Vec<(Rc<EaList>, [u8; 24], Vec<Ipv4Prefix>)> = Vec::new();
+        let mut index: HashMap<(Rc<EaList>, [u8; 24]), usize> = HashMap::new();
+        for (net, out, src) in pending {
+            let key = (Rc::clone(&out), src);
+            match index.get(&key) {
+                Some(&i) => order[i].2.push(net),
+                None => {
+                    index.insert(key, order.len());
+                    order.push((out, src, vec![net]));
+                }
+            }
+        }
+
+        let encode_ext = self.vmm.has_extensions(InsertionPoint::BgpEncodeMessage);
+        let width = self.channels[ch].asn_width();
+        for (out, src, nets) in order {
+            let mut extra = Vec::new();
+            if encode_ext {
+                let peer_info = self.peer_info(ch);
+                let mut hctx = WrenXbgpCtx {
+                    peer: peer_info,
+                    args: vec![src.to_vec()],
+                    eattrs: EaAccess::Read(&out),
+                    net: nets.first().copied(),
+                    nexthop: None,
+                    xtra: &self.cfg.xtra,
+                    out_buf: Some(&mut extra),
+                    rov: self.xbgp_rov.as_ref(),
+                    rib_adds: &mut self.ext_rib_adds,
+                    logs: &mut self.logs,
+                };
+                let _ = self.vmm.run(InsertionPoint::BgpEncodeMessage, &mut hctx);
+            }
+            let wire = out.to_wire();
+            for chunk in nets.chunks(700) {
+                let upd = UpdateMsg::announce(wire.clone(), chunk.to_vec());
+                match upd.encode_with_extra(&extra, width) {
+                    Ok(frame) => {
+                        self.stats.updates_tx += 1;
+                        self.stats.prefixes_tx += chunk.len() as u64;
+                        ctx.send(self.channels[ch].cfg.link, &frame);
+                    }
+                    Err(e) => self.logs.push(format!("encode failed on channel {ch}: {e}")),
+                }
+            }
+        }
+    }
+
+    /// Flush every channel's tx queue.
+    fn flush_all(&mut self, ctx: &mut NodeCtx<'_>) {
+        for ch in 0..self.channels.len() {
+            self.flush_channel(ctx, ch);
+        }
+    }
+
+    fn export_policy_native(&self, ch: usize, rte: &Rte) -> bool {
+        if !self.channels[ch].ibgp {
+            return true;
+        }
+        if rte.src == SrcId::Local || !rte.src_ibgp {
+            return true;
+        }
+        self.cfg.rr_enabled && (rte.src_rr_client || self.channels[ch].cfg.rr_client)
+    }
+
+    /// Full-table dump when a channel comes up.
+    fn feed_channel(&mut self, ctx: &mut NodeCtx<'_>, ch: usize) {
+        let nets: Vec<Ipv4Prefix> = self.table.iter_best().map(|(n, _)| *n).collect();
+        for net in nets {
+            if let Some(rte) = self.best_eligible(&net) {
+                self.announce_one(ctx, ch, net, &rte);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Channel lifecycle and message dispatch
+    // -----------------------------------------------------------------
+
+    fn tx(&mut self, ctx: &mut NodeCtx<'_>, ch: usize, msg: &Message) {
+        let width = self.channels[ch].asn_width();
+        match msg.encode(width) {
+            Ok(frame) => ctx.send(self.channels[ch].cfg.link, &frame),
+            Err(e) => self.logs.push(format!("encode error on channel {ch}: {e}")),
+        }
+    }
+
+    fn start_channel(&mut self, ctx: &mut NodeCtx<'_>, ch: usize) {
+        let open =
+            OpenMsg::standard(self.cfg.local_as, self.cfg.hold_time_secs, self.cfg.router_id);
+        self.channels[ch].conn_state = ConnState::OpenWait;
+        self.tx(ctx, ch, &Message::Open(open));
+    }
+
+    fn channel_up(&mut self, ctx: &mut NodeCtx<'_>, ch: usize) {
+        self.channels[ch].conn_state = ConnState::Up;
+        self.channels[ch].last_rx = ctx.now();
+        self.stats.sessions_established += 1;
+        let hold = self.channels[ch].hold_ns;
+        if hold > 0 {
+            ctx.set_timer(hold / 3, (ch as u64) * 2 + TK_KEEPALIVE);
+            ctx.set_timer(hold / 3, (ch as u64) * 2 + TK_HOLD);
+        }
+        self.feed_channel(ctx, ch);
+        self.flush_all(ctx);
+    }
+
+    fn channel_down(&mut self, ctx: &mut NodeCtx<'_>, ch: usize) {
+        if self.channels[ch].conn_state == ConnState::Down {
+            return;
+        }
+        self.channels[ch].down();
+        self.exported[ch].clear();
+        let changes = self.table.flush_src(SrcId::Channel(ch));
+        for (net, change) in changes {
+            self.propagate(ctx, net, change);
+        }
+        self.flush_all(ctx);
+    }
+
+    fn rx_frame(&mut self, ctx: &mut NodeCtx<'_>, ch: usize, frame: Vec<u8>) {
+        self.channels[ch].last_rx = ctx.now();
+        let width = self.channels[ch].asn_width();
+        let decoded = match xbgp_wire::msg::deframe(&frame) {
+            Ok((ty, body)) => Message::decode_body(ty, body, width).map(|m| (m, body.to_vec())),
+            Err(e) => Err(e),
+        };
+        let (msg, body) = match decoded {
+            Ok(v) => v,
+            Err(e) => {
+                self.logs.push(format!("bad message on channel {ch}: {e}"));
+                self.tx(ctx, ch, &Message::Notification(NotificationMsg::from_error(&e)));
+                self.channel_down(ctx, ch);
+                return;
+            }
+        };
+        match (self.channels[ch].conn_state, msg) {
+            (ConnState::OpenWait, Message::Open(open)) => {
+                match self.channels[ch].accept_open(&open, self.cfg.hold_time_secs) {
+                    Ok(()) => self.tx(ctx, ch, &Message::Keepalive),
+                    Err(reason) => {
+                        self.logs.push(format!("OPEN rejected on channel {ch}: {reason}"));
+                        self.tx(ctx, ch, &Message::Notification(NotificationMsg::new(2, 2)));
+                        self.channel_down(ctx, ch);
+                    }
+                }
+            }
+            (ConnState::KeepaliveWait, Message::Keepalive) => self.channel_up(ctx, ch),
+            (ConnState::Up, Message::Update(upd)) => self.rx_update(ctx, ch, upd, body),
+            (ConnState::Up, Message::Keepalive) => {}
+            (_, Message::Notification(n)) => {
+                self.logs
+                    .push(format!("NOTIFICATION {}/{} on channel {ch}", n.code, n.subcode));
+                self.channel_down(ctx, ch);
+            }
+            (state, msg) => {
+                self.logs.push(format!(
+                    "unexpected {:?} in {state:?} on channel {ch}",
+                    msg.msg_type()
+                ));
+                self.tx(ctx, ch, &Message::Notification(NotificationMsg::new(5, 0)));
+                self.channel_down(ctx, ch);
+            }
+        }
+    }
+}
+
+impl Node for WrenDaemon {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let originate = self.cfg.originate.clone();
+        for (net, nexthop) in originate {
+            let rte = self.local_rte(nexthop);
+            let change = self.table_update_fast(net, rte);
+            self.propagate(ctx, net, change);
+        }
+        self.flush_all(ctx);
+        for ch in 0..self.channels.len() {
+            self.start_channel(ctx, ch);
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, data: &[u8]) {
+        let Some(&ch) = self.link_to_channel.get(&link) else {
+            return;
+        };
+        if self.channels[ch].conn_state == ConnState::Down {
+            return;
+        }
+        self.channels[ch].rx.push(data);
+        loop {
+            match self.channels[ch].rx.next_frame() {
+                Ok(Some(frame)) => self.rx_frame(ctx, ch, frame),
+                Ok(None) => break,
+                Err(e) => {
+                    self.logs.push(format!("framing error on channel {ch}: {e}"));
+                    self.tx(ctx, ch, &Message::Notification(NotificationMsg::from_error(&e)));
+                    self.channel_down(ctx, ch);
+                    break;
+                }
+            }
+            if self.channels[ch].conn_state == ConnState::Down {
+                break;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        let ch = (token / 2) as usize;
+        if ch >= self.channels.len() || !self.channels[ch].up() {
+            return;
+        }
+        let hold = self.channels[ch].hold_ns;
+        if token % 2 == TK_KEEPALIVE {
+            self.tx(ctx, ch, &Message::Keepalive);
+            ctx.set_timer(hold / 3, token);
+        } else if ctx.now().saturating_sub(self.channels[ch].last_rx) >= hold {
+            self.logs.push(format!("hold timer expired on channel {ch}"));
+            self.tx(ctx, ch, &Message::Notification(NotificationMsg::new(4, 0)));
+            self.channel_down(ctx, ch);
+        } else {
+            ctx.set_timer(hold / 3, token);
+        }
+    }
+
+    fn on_link_event(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, up: bool) {
+        let Some(&ch) = self.link_to_channel.get(&link) else {
+            return;
+        };
+        if up {
+            if self.channels[ch].conn_state == ConnState::Down {
+                self.start_channel(ctx, ch);
+            }
+        } else {
+            self.channel_down(ctx, ch);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// WREN's native RFC 4271 §9.1 preference, written over the lazy
+/// `ea_list` accessors. A free function so the fast-path table update can
+/// borrow the table mutably while comparing.
+fn rte_better_native(a: &Rte, b: &Rte, default_local_pref: u32, igp_metric: &dyn Fn(u32) -> u32) -> bool {
+    let lp = |r: &Rte| r.eattrs.local_pref().unwrap_or(default_local_pref);
+    if lp(a) != lp(b) {
+        return lp(a) > lp(b);
+    }
+    let hops = |r: &Rte| r.eattrs.as_path_hops();
+    if hops(a) != hops(b) {
+        return hops(a) < hops(b);
+    }
+    let origin = |r: &Rte| r.eattrs.origin().map(|o| o as u8).unwrap_or(2);
+    if origin(a) != origin(b) {
+        return origin(a) < origin(b);
+    }
+    let med = |r: &Rte| r.eattrs.med().unwrap_or(0);
+    if med(a) != med(b) {
+        return med(a) < med(b);
+    }
+    let ebgp = |r: &Rte| !r.src_ibgp && r.src != SrcId::Local;
+    if ebgp(a) != ebgp(b) {
+        return ebgp(a);
+    }
+    let metric = |r: &Rte| igp_metric(r.eattrs.next_hop().unwrap_or(0));
+    if metric(a) != metric(b) {
+        return metric(a) < metric(b);
+    }
+    let orig_id = |r: &Rte| r.eattrs.originator_id().unwrap_or(r.src_addr);
+    if orig_id(a) != orig_id(b) {
+        return orig_id(a) < orig_id(b);
+    }
+    a.src_addr < b.src_addr
+}

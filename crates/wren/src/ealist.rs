@@ -1,0 +1,372 @@
+//! BIRD-style extended attribute lists.
+//!
+//! An [`EaList`] stores each BGP path attribute as `(code, flags, raw
+//! network-byte-order payload)`, kept sorted by code. Typed information is
+//! decoded on demand by accessors; nothing is parsed up front beyond the
+//! TLV framing. This is the representation the paper credits for BIRD's
+//! cheap xBGP integration: the neutral form *is* the stored form.
+
+use xbgp_wire::attr::{encode_attr_tlv, AttrFlags, Origin};
+use xbgp_wire::{AsPath, PathAttr, WireError};
+
+/// One extended attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ea {
+    pub code: u8,
+    pub flags: u8,
+    /// Raw payload, network byte order.
+    pub raw: Vec<u8>,
+}
+
+/// A code-sorted list of attributes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct EaList {
+    eas: Vec<Ea>,
+}
+
+fn be32(b: &[u8]) -> Option<u32> {
+    Some(u32::from_be_bytes([*b.first()?, *b.get(1)?, *b.get(2)?, *b.get(3)?]))
+}
+
+impl EaList {
+    pub fn new() -> EaList {
+        EaList::default()
+    }
+
+    /// Build from the neutral typed form (message decode boundary).
+    /// Validates the RFC 4271 mandatory attributes.
+    pub fn from_wire(attrs: &[PathAttr]) -> Result<EaList, WireError> {
+        let mut list = EaList::new();
+        for attr in attrs {
+            let mut raw = Vec::new();
+            attr.encode_body(&mut raw, 4);
+            list.set(attr.code(), attr.flags().0, raw);
+        }
+        if list.get(1).is_none() {
+            return Err(WireError::MissingWellKnown("ORIGIN"));
+        }
+        if list.get(3).is_none() {
+            return Err(WireError::MissingWellKnown("NEXT_HOP"));
+        }
+        // AS_PATH must at least parse.
+        AsPath::decode_body(list.get(2).map(|e| e.raw.as_slice()).unwrap_or(&[]), 4)?;
+        Ok(list)
+    }
+
+    /// Find attribute by code.
+    pub fn get(&self, code: u8) -> Option<&Ea> {
+        self.eas
+            .binary_search_by_key(&code, |e| e.code)
+            .ok()
+            .map(|i| &self.eas[i])
+    }
+
+    /// Insert or replace an attribute (BIRD's `ea_set_attr`).
+    pub fn set(&mut self, code: u8, flags: u8, raw: Vec<u8>) {
+        match self.eas.binary_search_by_key(&code, |e| e.code) {
+            Ok(i) => {
+                self.eas[i].flags = flags;
+                self.eas[i].raw = raw;
+            }
+            Err(i) => self.eas.insert(i, Ea { code, flags, raw }),
+        }
+    }
+
+    /// Remove an attribute; true if it was present.
+    pub fn unset(&mut self, code: u8) -> bool {
+        match self.eas.binary_search_by_key(&code, |e| e.code) {
+            Ok(i) => {
+                self.eas.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.eas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.eas.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Ea> {
+        self.eas.iter()
+    }
+
+    // ----- typed accessors (decode on demand) -----
+
+    pub fn origin(&self) -> Option<Origin> {
+        Origin::from_u8(*self.get(1)?.raw.first()?).ok()
+    }
+
+    pub fn as_path(&self) -> AsPath {
+        self.get(2)
+            .and_then(|e| AsPath::decode_body(&e.raw, 4).ok())
+            .unwrap_or_default()
+    }
+
+    /// AS-path hop count without building an [`AsPath`] (scans the raw
+    /// segments, BIRD's `as_path_getlen` style).
+    pub fn as_path_hops(&self) -> usize {
+        let Some(e) = self.get(2) else { return 0 };
+        let mut buf = e.raw.as_slice();
+        let mut hops = 0;
+        while buf.len() >= 2 {
+            let ty = buf[0];
+            let count = usize::from(buf[1]);
+            hops += if ty == 1 { 1 } else { count }; // SET counts one
+            let body = 2 + count * 4;
+            if buf.len() < body {
+                break;
+            }
+            buf = &buf[body..];
+        }
+        hops
+    }
+
+    /// Origin AS: last ASN of the raw path if it ends in a SEQUENCE.
+    pub fn origin_asn(&self) -> Option<u32> {
+        let e = self.get(2)?;
+        let mut buf = e.raw.as_slice();
+        let mut last: Option<u32> = None;
+        while buf.len() >= 2 {
+            let ty = buf[0];
+            let count = usize::from(buf[1]);
+            let body = 2 + count * 4;
+            if buf.len() < body {
+                return None;
+            }
+            last = if ty == 2 && count > 0 {
+                be32(&buf[2 + (count - 1) * 4..])
+            } else {
+                None
+            };
+            buf = &buf[body..];
+        }
+        last
+    }
+
+    /// Does the raw AS path contain `asn`? (loop detection)
+    pub fn as_path_contains(&self, asn: u32) -> bool {
+        let Some(e) = self.get(2) else { return false };
+        let mut buf = e.raw.as_slice();
+        while buf.len() >= 2 {
+            let count = usize::from(buf[1]);
+            let body = 2 + count * 4;
+            if buf.len() < body {
+                return false;
+            }
+            for i in 0..count {
+                if be32(&buf[2 + i * 4..]) == Some(asn) {
+                    return true;
+                }
+            }
+            buf = &buf[body..];
+        }
+        false
+    }
+
+    /// Prepend `asn` to the raw AS path in place (eBGP export).
+    pub fn as_path_prepend(&mut self, asn: u32) {
+        let mut raw = self.get(2).map(|e| e.raw.clone()).unwrap_or_default();
+        if raw.len() >= 2 && raw[0] == 2 && raw[1] < 255 {
+            raw[1] += 1;
+            raw.splice(2..2, asn.to_be_bytes());
+        } else {
+            let mut seg = vec![2u8, 1];
+            seg.extend_from_slice(&asn.to_be_bytes());
+            seg.extend_from_slice(&raw);
+            raw = seg;
+        }
+        self.set(2, AttrFlags::WELL_KNOWN.0, raw);
+    }
+
+    pub fn next_hop(&self) -> Option<u32> {
+        be32(&self.get(3)?.raw)
+    }
+
+    pub fn set_next_hop(&mut self, nh: u32) {
+        self.set(3, AttrFlags::WELL_KNOWN.0, nh.to_be_bytes().to_vec());
+    }
+
+    pub fn med(&self) -> Option<u32> {
+        be32(&self.get(4)?.raw)
+    }
+
+    pub fn local_pref(&self) -> Option<u32> {
+        be32(&self.get(5)?.raw)
+    }
+
+    pub fn set_local_pref(&mut self, lp: u32) {
+        self.set(5, AttrFlags::WELL_KNOWN.0, lp.to_be_bytes().to_vec());
+    }
+
+    pub fn originator_id(&self) -> Option<u32> {
+        be32(&self.get(9)?.raw)
+    }
+
+    pub fn cluster_list(&self) -> Vec<u32> {
+        self.get(10)
+            .map(|e| e.raw.chunks_exact(4).filter_map(be32).collect())
+            .unwrap_or_default()
+    }
+
+    pub fn cluster_list_contains(&self, id: u32) -> bool {
+        self.get(10).is_some_and(|e| {
+            e.raw.chunks_exact(4).any(|c| be32(c) == Some(id))
+        })
+    }
+
+    /// Prepend a cluster id to the raw CLUSTER_LIST.
+    pub fn cluster_list_prepend(&mut self, id: u32) {
+        let mut raw = id.to_be_bytes().to_vec();
+        if let Some(e) = self.get(10) {
+            raw.extend_from_slice(&e.raw);
+        }
+        self.set(10, AttrFlags::OPT_NON_TRANS.0, raw);
+    }
+
+    /// Serialize the attributes WREN understands (codes 1-10) back to the
+    /// neutral typed form for the encoder. Higher codes are extension
+    /// territory and emitted only by the encode-message insertion point,
+    /// mirroring FIR's behaviour so both daemons have identical wire
+    /// semantics.
+    pub fn to_wire(&self) -> Vec<PathAttr> {
+        let mut out = Vec::with_capacity(self.eas.len());
+        for ea in &self.eas {
+            if ea.code > 10 {
+                continue;
+            }
+            let raw = xbgp_wire::attr::RawAttr {
+                flags: AttrFlags(ea.flags),
+                code: ea.code,
+                value: &ea.raw,
+            };
+            if let Ok(attr) = PathAttr::decode(&raw, 4) {
+                out.push(attr);
+            }
+        }
+        out
+    }
+
+    /// Raw TLV encoding of the extension-owned (code > 10) attributes.
+    pub fn extension_tlvs(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for ea in &self.eas {
+            if ea.code > 10 {
+                encode_attr_tlv(&mut out, AttrFlags(ea.flags), ea.code, &ea.raw);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbgp_wire::AsPath;
+
+    fn sample() -> EaList {
+        EaList::from_wire(&[
+            PathAttr::Origin(Origin::Igp),
+            PathAttr::AsPath(AsPath::sequence(vec![65001, 65002])),
+            PathAttr::NextHop(0x0a00_0001),
+            PathAttr::Med(50),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn list_is_sorted_and_searchable() {
+        let l = sample();
+        let codes: Vec<u8> = l.iter().map(|e| e.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        assert_eq!(codes, sorted);
+        assert!(l.get(2).is_some());
+        assert!(l.get(5).is_none());
+    }
+
+    #[test]
+    fn mandatory_attrs_enforced() {
+        assert!(EaList::from_wire(&[PathAttr::NextHop(1)]).is_err());
+        assert!(EaList::from_wire(&[PathAttr::Origin(Origin::Igp)]).is_err());
+    }
+
+    #[test]
+    fn typed_accessors_decode_lazily() {
+        let l = sample();
+        assert_eq!(l.origin(), Some(Origin::Igp));
+        assert_eq!(l.next_hop(), Some(0x0a00_0001));
+        assert_eq!(l.med(), Some(50));
+        assert_eq!(l.local_pref(), None);
+        assert_eq!(l.as_path_hops(), 2);
+        assert_eq!(l.origin_asn(), Some(65002));
+        assert!(l.as_path_contains(65001));
+        assert!(!l.as_path_contains(7));
+    }
+
+    #[test]
+    fn raw_prepend_matches_typed_prepend() {
+        let mut l = sample();
+        l.as_path_prepend(65000);
+        assert_eq!(l.as_path_hops(), 3);
+        assert_eq!(
+            l.as_path(),
+            AsPath::sequence(vec![65000, 65001, 65002]),
+            "raw in-place prepend must equal the typed operation"
+        );
+        // Prepending onto an empty path creates a fresh segment.
+        let mut empty = EaList::new();
+        empty.as_path_prepend(7);
+        assert_eq!(empty.as_path(), AsPath::sequence(vec![7]));
+    }
+
+    #[test]
+    fn set_and_unset() {
+        let mut l = sample();
+        l.set_local_pref(300);
+        assert_eq!(l.local_pref(), Some(300));
+        l.set(66, 0xc0, vec![1, 2, 3]);
+        assert_eq!(l.get(66).unwrap().raw, vec![1, 2, 3]);
+        assert!(l.unset(66));
+        assert!(!l.unset(66));
+    }
+
+    #[test]
+    fn cluster_list_operations_on_raw_bytes() {
+        let mut l = sample();
+        assert!(l.cluster_list().is_empty());
+        l.cluster_list_prepend(7);
+        l.cluster_list_prepend(9);
+        assert_eq!(l.cluster_list(), vec![9, 7]);
+        assert!(l.cluster_list_contains(7));
+        assert!(!l.cluster_list_contains(8));
+    }
+
+    #[test]
+    fn to_wire_round_trips_known_attrs_and_hides_extensions() {
+        let mut l = sample();
+        l.set(66, 0xc0, vec![9, 9]);
+        let wire = l.to_wire();
+        assert_eq!(wire.len(), 4, "codes 1-4 emitted, 66 withheld");
+        let back = EaList::from_wire(&wire).unwrap();
+        assert_eq!(back.next_hop(), l.next_hop());
+        assert_eq!(back.as_path(), l.as_path());
+        // Extension attrs are available as raw TLVs for the encode point.
+        let tlvs = l.extension_tlvs();
+        assert_eq!(tlvs, vec![0xc0, 66, 2, 9, 9]);
+    }
+
+    #[test]
+    fn malformed_as_path_in_from_wire_rejected() {
+        // Craft an Unknown-carried AS_PATH? Not possible through typed
+        // attrs; instead verify accessor robustness on a corrupt raw path.
+        let mut l = sample();
+        l.set(2, 0x40, vec![2, 200, 1, 2, 3]); // claims 200 ASNs, has 1
+        assert_eq!(l.origin_asn(), None);
+        assert!(!l.as_path_contains(1));
+    }
+}

@@ -1,0 +1,290 @@
+//! BIRD-style routing table: one table, per-net route lists.
+//!
+//! Instead of materialized per-peer Adj-RIB-Ins, WREN keeps all routes for
+//! a prefix in a single preference-ordered list, each route tagged with
+//! its source channel (BIRD's `rte` / `net` structures). The best route is
+//! simply the head of the list.
+
+use crate::ealist::EaList;
+use rpki::RovState;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xbgp_wire::Ipv4Prefix;
+
+/// Identifies where a route entered the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcId {
+    /// Channel (peer) index.
+    Channel(usize),
+    /// Locally originated.
+    Local,
+}
+
+/// One route (BIRD's `rte`).
+#[derive(Debug, Clone)]
+pub struct Rte {
+    pub src: SrcId,
+    /// Source peer address and ASN (0 for local routes).
+    pub src_addr: u32,
+    pub src_asn: u32,
+    /// Source session was iBGP.
+    pub src_ibgp: bool,
+    /// Source peer is a reflection client.
+    pub src_rr_client: bool,
+    pub eattrs: Rc<EaList>,
+    /// Origin-validation verdict when validation is active.
+    pub rov: Option<RovState>,
+}
+
+/// The routing table.
+#[derive(Debug, Default)]
+pub struct RTable {
+    nets: HashMap<Ipv4Prefix, Vec<Rte>>,
+}
+
+/// Outcome of a table update, used to drive re-export.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TableChange {
+    /// The best route changed (announce to peers).
+    BestChanged,
+    /// A non-best position changed; nothing to re-announce.
+    NoBestChange,
+    /// The net lost its last route (withdraw from peers).
+    NetGone,
+}
+
+impl RTable {
+    pub fn new() -> RTable {
+        RTable::default()
+    }
+
+    /// Insert or replace the route from `src` for `net`, keeping the list
+    /// preference-ordered via `better` (a strict "candidate beats
+    /// incumbent" predicate).
+    pub fn update(
+        &mut self,
+        net: Ipv4Prefix,
+        rte: Rte,
+        better: &mut dyn FnMut(&Rte, &Rte) -> bool,
+    ) -> TableChange {
+        let list = self.nets.entry(net).or_default();
+        let old_best_was_src = list.first().map(|r| r.src == rte.src).unwrap_or(false);
+        list.retain(|r| r.src != rte.src);
+        // Insertion sort position: first slot whose occupant loses to us.
+        let pos = list
+            .iter()
+            .position(|incumbent| better(&rte, incumbent))
+            .unwrap_or(list.len());
+        list.insert(pos, rte);
+        if pos == 0 || old_best_was_src {
+            TableChange::BestChanged
+        } else {
+            TableChange::NoBestChange
+        }
+    }
+
+    /// Remove the route from `src` for `net`, if any.
+    pub fn withdraw(&mut self, net: Ipv4Prefix, src: SrcId) -> TableChange {
+        let Some(list) = self.nets.get_mut(&net) else {
+            return TableChange::NoBestChange;
+        };
+        let Some(pos) = list.iter().position(|r| r.src == src) else {
+            return TableChange::NoBestChange;
+        };
+        list.remove(pos);
+        if list.is_empty() {
+            self.nets.remove(&net);
+            TableChange::NetGone
+        } else if pos == 0 {
+            TableChange::BestChanged
+        } else {
+            TableChange::NoBestChange
+        }
+    }
+
+    /// Remove every route from `src`, returning the nets whose best route
+    /// was affected and whether each net is now empty.
+    pub fn flush_src(&mut self, src: SrcId) -> Vec<(Ipv4Prefix, TableChange)> {
+        let mut changed = Vec::new();
+        let mut empty = Vec::new();
+        for (net, list) in self.nets.iter_mut() {
+            if let Some(pos) = list.iter().position(|r| r.src == src) {
+                list.remove(pos);
+                if list.is_empty() {
+                    empty.push(*net);
+                    changed.push((*net, TableChange::NetGone));
+                } else if pos == 0 {
+                    changed.push((*net, TableChange::BestChanged));
+                }
+            }
+        }
+        for net in empty {
+            self.nets.remove(&net);
+        }
+        changed
+    }
+
+    /// The best (head) route for a net.
+    pub fn best(&self, net: &Ipv4Prefix) -> Option<&Rte> {
+        self.nets.get(net).and_then(|l| l.first())
+    }
+
+    /// All routes for a net, best first.
+    pub fn routes(&self, net: &Ipv4Prefix) -> &[Rte] {
+        self.nets.get(net).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate `(net, best route)`.
+    pub fn iter_best(&self) -> impl Iterator<Item = (&Ipv4Prefix, &Rte)> {
+        self.nets
+            .iter()
+            .filter_map(|(net, list)| list.first().map(|r| (net, r)))
+    }
+
+    /// Number of nets with at least one route.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Replace a net's whole route list (used by the slow path where the
+    /// comparator may run extension code and thus cannot borrow the table).
+    pub fn replace_net(&mut self, net: Ipv4Prefix, routes: Vec<Rte>) {
+        if routes.is_empty() {
+            self.nets.remove(&net);
+        } else {
+            self.nets.insert(net, routes);
+        }
+    }
+
+    /// Re-sort one net after preference inputs changed (e.g. IGP metrics).
+    pub fn resort(
+        &mut self,
+        net: &Ipv4Prefix,
+        better: &mut dyn FnMut(&Rte, &Rte) -> bool,
+    ) -> TableChange {
+        let Some(list) = self.nets.get_mut(net) else {
+            return TableChange::NoBestChange;
+        };
+        let old_best = list.first().map(|r| r.src);
+        // Stable selection sort by the strict predicate.
+        let mut sorted: Vec<Rte> = Vec::with_capacity(list.len());
+        for rte in list.drain(..) {
+            let pos = sorted
+                .iter()
+                .position(|s| better(&rte, s))
+                .unwrap_or(sorted.len());
+            sorted.insert(pos, rte);
+        }
+        *list = sorted;
+        if list.first().map(|r| r.src) != old_best {
+            TableChange::BestChanged
+        } else {
+            TableChange::NoBestChange
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbgp_wire::attr::Origin;
+    use xbgp_wire::{AsPath, PathAttr};
+
+    fn ea(hops: usize) -> Rc<EaList> {
+        Rc::new(
+            EaList::from_wire(&[
+                PathAttr::Origin(Origin::Igp),
+                PathAttr::AsPath(AsPath::sequence((0..hops as u32).map(|i| 100 + i).collect())),
+                PathAttr::NextHop(1),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn rte(ch: usize, hops: usize) -> Rte {
+        Rte {
+            src: SrcId::Channel(ch),
+            src_addr: ch as u32,
+            src_asn: 65000,
+            src_ibgp: false,
+            src_rr_client: false,
+            eattrs: ea(hops),
+            rov: None,
+        }
+    }
+
+    fn shorter(a: &Rte, b: &Rte) -> bool {
+        a.eattrs.as_path_hops() < b.eattrs.as_path_hops()
+    }
+
+    #[test]
+    fn best_is_head_and_updates_report_changes() {
+        let mut t = RTable::new();
+        let net: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(t.update(net, rte(0, 3), &mut shorter), TableChange::BestChanged);
+        // Worse route from another channel: no best change.
+        assert_eq!(t.update(net, rte(1, 5), &mut shorter), TableChange::NoBestChange);
+        assert_eq!(t.routes(&net).len(), 2);
+        // Better route: takes the head.
+        assert_eq!(t.update(net, rte(2, 1), &mut shorter), TableChange::BestChanged);
+        assert_eq!(t.best(&net).unwrap().src, SrcId::Channel(2));
+    }
+
+    #[test]
+    fn replacing_the_best_routes_own_entry_reports_change() {
+        let mut t = RTable::new();
+        let net: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        t.update(net, rte(0, 1), &mut shorter);
+        t.update(net, rte(1, 5), &mut shorter);
+        // Channel 0 re-announces with a worse path: best flips to ch 1...
+        assert_eq!(t.update(net, rte(0, 9), &mut shorter), TableChange::BestChanged);
+        assert_eq!(t.best(&net).unwrap().src, SrcId::Channel(1));
+    }
+
+    #[test]
+    fn withdraw_semantics() {
+        let mut t = RTable::new();
+        let net: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        t.update(net, rte(0, 1), &mut shorter);
+        t.update(net, rte(1, 2), &mut shorter);
+        assert_eq!(t.withdraw(net, SrcId::Channel(1)), TableChange::NoBestChange);
+        assert_eq!(t.withdraw(net, SrcId::Channel(1)), TableChange::NoBestChange);
+        assert_eq!(t.withdraw(net, SrcId::Channel(0)), TableChange::NetGone);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn flush_src_reports_affected_nets() {
+        let mut t = RTable::new();
+        let n1: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let n2: Ipv4Prefix = "11.0.0.0/8".parse().unwrap();
+        t.update(n1, rte(0, 1), &mut shorter);
+        t.update(n1, rte(1, 2), &mut shorter);
+        t.update(n2, rte(0, 1), &mut shorter);
+        let mut changes = t.flush_src(SrcId::Channel(0));
+        changes.sort_by_key(|(n, _)| *n);
+        assert_eq!(
+            changes,
+            vec![(n1, TableChange::BestChanged), (n2, TableChange::NetGone)]
+        );
+        assert_eq!(t.best(&n1).unwrap().src, SrcId::Channel(1));
+        assert!(t.best(&n2).is_none());
+    }
+
+    #[test]
+    fn resort_reorders_after_predicate_change() {
+        let mut t = RTable::new();
+        let net: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        t.update(net, rte(0, 2), &mut shorter);
+        t.update(net, rte(1, 4), &mut shorter);
+        // Invert the predicate: longer is better now.
+        let mut longer = |a: &Rte, b: &Rte| a.eattrs.as_path_hops() > b.eattrs.as_path_hops();
+        assert_eq!(t.resort(&net, &mut longer), TableChange::BestChanged);
+        assert_eq!(t.best(&net).unwrap().src, SrcId::Channel(1));
+        assert_eq!(t.resort(&net, &mut longer), TableChange::NoBestChange);
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared topology helpers for the integration tests.
+
+use netsim::{NodeId, Sim, SimConfig};
+use xbgp_wire::Ipv4Prefix;
+
+pub const MS: u64 = 1_000_000;
+pub const SEC: u64 = 1_000_000_000;
+
+pub fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+/// Stand-in node used while wiring topologies; must be replaced before the
+/// simulation starts.
+pub struct Placeholder;
+
+impl netsim::Node for Placeholder {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A simulator plus `n` placeholder nodes.
+pub fn sim_with_nodes(n: usize) -> (Sim, Vec<NodeId>) {
+    let mut sim = Sim::new(SimConfig::default());
+    let nodes = (0..n).map(|_| sim.add_node(Box::new(Placeholder))).collect();
+    (sim, nodes)
+}

@@ -1,0 +1,129 @@
+//! Property tests: the two daemons' internal attribute representations
+//! are observationally equivalent at the xBGP boundary.
+//!
+//! FIR parses to host-order structs; WREN keeps wire-order `ea_list`s.
+//! For any attribute set, both must (a) re-encode to the same neutral
+//! typed form and (b) answer `get_attr` with byte-identical payloads —
+//! otherwise "the same bytecode on both implementations" would silently
+//! mean different inputs.
+
+use bgp_fir::attrs::FirAttrs;
+use bgp_wren::ealist::EaList;
+use proptest::prelude::*;
+use xbgp_wire::attr::Origin;
+use xbgp_wire::{AsPath, AsSegment, PathAttr};
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(1u32..1_000_000, 1..6).prop_map(AsSegment::Sequence),
+            proptest::collection::vec(1u32..1_000_000, 1..4).prop_map(AsSegment::Set),
+        ],
+        0..3,
+    )
+    .prop_map(|segments| AsPath { segments })
+}
+
+/// A well-formed attribute vector (mandatory attributes present, no
+/// duplicates — the representations may canonicalize duplicates
+/// differently, which the wire codec already rejects upstream).
+fn arb_attrs() -> impl Strategy<Value = Vec<PathAttr>> {
+    (
+        prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)],
+        arb_as_path(),
+        any::<u32>(),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::collection::vec(any::<u32>(), 0..5),
+        proptest::option::of(any::<u32>()),
+        proptest::collection::vec(any::<u32>(), 0..4),
+        proptest::option::of((11u8..=200, proptest::collection::vec(any::<u8>(), 0..32))),
+    )
+        .prop_map(
+            |(origin, path, nh, med, lp, comms, orig_id, cluster, unknown)| {
+                let mut attrs = vec![
+                    PathAttr::Origin(origin),
+                    PathAttr::AsPath(path),
+                    PathAttr::NextHop(nh),
+                ];
+                if let Some(m) = med {
+                    attrs.push(PathAttr::Med(m));
+                }
+                if let Some(l) = lp {
+                    attrs.push(PathAttr::LocalPref(l));
+                }
+                if !comms.is_empty() {
+                    attrs.push(PathAttr::Communities(comms));
+                }
+                if let Some(o) = orig_id {
+                    attrs.push(PathAttr::OriginatorId(o));
+                }
+                if !cluster.is_empty() {
+                    attrs.push(PathAttr::ClusterList(cluster));
+                }
+                if let Some((code, value)) = unknown {
+                    attrs.push(PathAttr::Unknown {
+                        flags: xbgp_wire::AttrFlags::OPT_TRANS,
+                        code,
+                        value,
+                    });
+                }
+                attrs
+            },
+        )
+}
+
+proptest! {
+    /// Both representations re-encode the natively understood attributes
+    /// to the same typed set (ordering canonicalized by attribute code).
+    #[test]
+    fn to_wire_agrees(attrs in arb_attrs()) {
+        let fir = FirAttrs::from_wire(&attrs).expect("fir parses");
+        let wren = EaList::from_wire(&attrs).expect("wren parses");
+        let mut f = fir.to_wire();
+        let mut w = wren.to_wire();
+        f.sort_by_key(PathAttr::code);
+        w.sort_by_key(PathAttr::code);
+        prop_assert_eq!(f, w);
+    }
+
+    /// `get_attr` payloads (the bytes extension code actually sees) are
+    /// identical across implementations for every attribute code.
+    #[test]
+    fn neutral_payloads_agree(attrs in arb_attrs()) {
+        let fir = FirAttrs::from_wire(&attrs).expect("fir parses");
+        let wren = EaList::from_wire(&attrs).expect("wren parses");
+        for code in 1u8..=200 {
+            let f = fir.neutral_payload(code).map(|(_, v)| v);
+            let w = wren.get(code).map(|e| e.raw.clone());
+            prop_assert_eq!(f, w, "attribute code {}", code);
+        }
+    }
+
+    /// Decision-relevant accessors agree: hop count, origin ASN, loop
+    /// detection — the inputs to best-path selection.
+    #[test]
+    fn decision_accessors_agree(attrs in arb_attrs(), probe: u32) {
+        let fir = FirAttrs::from_wire(&attrs).expect("fir parses");
+        let wren = EaList::from_wire(&attrs).expect("wren parses");
+        prop_assert_eq!(fir.as_path.hop_count(), wren.as_path_hops());
+        prop_assert_eq!(fir.as_path.origin_asn(), wren.origin_asn());
+        prop_assert_eq!(fir.as_path.contains(probe), wren.as_path_contains(probe));
+        prop_assert_eq!(fir.med, wren.med());
+        prop_assert_eq!(fir.local_pref, wren.local_pref());
+        prop_assert_eq!(fir.originator_id, wren.originator_id());
+        prop_assert_eq!(fir.cluster_list.clone(), wren.cluster_list());
+    }
+
+    /// eBGP export transforms agree: prepending the local ASN through
+    /// FIR's typed path and WREN's raw in-place splice yields the same
+    /// wire bytes.
+    #[test]
+    fn prepend_transforms_agree(attrs in arb_attrs(), asn in 1u32..100_000) {
+        let fir = FirAttrs::from_wire(&attrs).expect("fir parses");
+        let mut wren = EaList::from_wire(&attrs).expect("wren parses");
+        let typed = fir.as_path.prepend(asn);
+        wren.as_path_prepend(asn);
+        prop_assert_eq!(typed, wren.as_path());
+    }
+}
