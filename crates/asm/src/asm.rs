@@ -70,10 +70,13 @@ fn parse_reg(s: &str) -> Option<u8> {
 fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
     let tok = tok.trim();
     if tok.starts_with('[') {
-        let inner = tok
-            .strip_prefix('[')
-            .and_then(|t| t.strip_suffix(']'))
-            .ok_or_else(|| AsmError { line, message: format!("malformed memory operand `{tok}`") })?;
+        let inner =
+            tok.strip_prefix('[')
+                .and_then(|t| t.strip_suffix(']'))
+                .ok_or_else(|| AsmError {
+                    line,
+                    message: format!("malformed memory operand `{tok}`"),
+                })?;
         let (reg_s, off) = if let Some(i) = inner.find(['+', '-']) {
             let (r, rest) = inner.split_at(i);
             let rest = rest.trim();
@@ -92,9 +95,7 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
                     };
                     let name = name.trim();
                     if name.is_empty()
-                        || !name
-                            .chars()
-                            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
                     {
                         return err(line, format!("bad offset in `{tok}`"));
                     }
@@ -291,9 +292,7 @@ pub fn assemble_with_symbols(src: &str, external: &Symbols) -> Result<Program, A
             let (label, rest) = text.split_at(colon);
             let label = label.trim();
             if label.is_empty()
-                || !label
-                    .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
             {
                 break;
             }
@@ -345,10 +344,12 @@ pub fn assemble_with_symbols(src: &str, external: &Symbols) -> Result<Program, A
         // Resolve a jump-target operand to a relative i16 offset.
         let jump_off = |opnd: &Operand| -> Result<i16, AsmError> {
             let target = match opnd {
-                Operand::Imm(v) => return Ok(i16::try_from(*v).map_err(|_| AsmError {
-                    line: ln,
-                    message: format!("jump offset {v} out of range"),
-                })?),
+                Operand::Imm(v) => {
+                    return i16::try_from(*v).map_err(|_| AsmError {
+                        line: ln,
+                        message: format!("jump offset {v} out of range"),
+                    })
+                }
                 Operand::Name(n) => match labels.get(n.as_str()) {
                     Some(t) => *t as i64,
                     None => resolve(n, ln)?,
@@ -375,7 +376,10 @@ pub fn assemble_with_symbols(src: &str, external: &Symbols) -> Result<Program, A
                     // Accept unsigned 32-bit constants like 0xffffffff.
                     u32::try_from(v).map(|u| u as i32)
                 })
-                .map_err(|_| AsmError { line: ln, message: format!("immediate {v} out of 32-bit range") })
+                .map_err(|_| AsmError {
+                    line: ln,
+                    message: format!("immediate {v} out of 32-bit range"),
+                })
         };
         let reg_of = |opnd: &Operand| -> Result<u8, AsmError> {
             match opnd {
@@ -469,8 +473,10 @@ pub fn assemble_with_symbols(src: &str, external: &Symbols) -> Result<Program, A
             MnKind::Call => {
                 want(1)?;
                 let id = imm_of(&line.operands[0])?;
-                let id32 = u32::try_from(id)
-                    .map_err(|_| AsmError { line: ln, message: format!("helper id {id} invalid") })?;
+                let id32 = u32::try_from(id).map_err(|_| AsmError {
+                    line: ln,
+                    message: format!("helper id {id} invalid"),
+                })?;
                 insns.push(Insn::new(op::CLS_JMP | op::JMP_CALL, 0, 0, 0, id32 as i32));
             }
             MnKind::Exit => {

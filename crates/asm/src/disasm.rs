@@ -129,24 +129,15 @@ pub fn disassemble(prog: &Program) -> String {
                 pc += 1;
                 format!("lddw r{}, {:#x}", i.dst, v)
             }
-            op::CLS_LDX => format!(
-                "ldx{} r{}, {}",
-                size_suffix(i.opcode),
-                i.dst,
-                mem_operand(i.src, i.offset)
-            ),
-            op::CLS_STX => format!(
-                "stx{} {}, r{}",
-                size_suffix(i.opcode),
-                mem_operand(i.dst, i.offset),
-                i.src
-            ),
-            op::CLS_ST => format!(
-                "st{} {}, {}",
-                size_suffix(i.opcode),
-                mem_operand(i.dst, i.offset),
-                i.imm
-            ),
+            op::CLS_LDX => {
+                format!("ldx{} r{}, {}", size_suffix(i.opcode), i.dst, mem_operand(i.src, i.offset))
+            }
+            op::CLS_STX => {
+                format!("stx{} {}, r{}", size_suffix(i.opcode), mem_operand(i.dst, i.offset), i.src)
+            }
+            op::CLS_ST => {
+                format!("st{} {}, {}", size_suffix(i.opcode), mem_operand(i.dst, i.offset), i.imm)
+            }
             _ => format!("; unknown opcode {:#04x}", i.opcode),
         };
         out.push_str(&line);

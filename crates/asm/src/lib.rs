@@ -57,7 +57,7 @@ where
 mod tests {
     use super::*;
     use xbgp_vm::insn::{build, op};
-    use xbgp_vm::{ExecOutcome, MemoryMap, NoHelpers, Program, Vm};
+    use xbgp_vm::{ExecOutcome, MemoryMap, NoHelpers, Vm};
 
     fn run(src: &str) -> u64 {
         let prog = assemble(src).expect("assembles");
@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn byte_swaps() {
-        assert_eq!(
-            run("mov r0, 0x01020304\nbe32 r0\nexit"),
-            u64::from(0x0102_0304u32.to_be())
-        );
+        assert_eq!(run("mov r0, 0x01020304\nbe32 r0\nexit"), u64::from(0x0102_0304u32.to_be()));
         assert_eq!(run("mov r0, 0x0102\nbe16 r0\nexit"), u64::from(0x0102u16.to_be()));
     }
 

@@ -17,7 +17,7 @@ fn workload(n_roas: usize, n_queries: usize) -> (Vec<Roa>, Vec<(Ipv4Prefix, u32)
     let mut rng = SmallRng::seed_from_u64(7);
     let roas: Vec<Roa> = (0..n_roas)
         .map(|_| {
-            let len = *[8u8, 16, 20, 24].get(rng.gen_range(0..4)).unwrap();
+            let len = *[8u8, 16, 20, 24].get(rng.gen_range(0..4usize)).unwrap();
             let prefix = Ipv4Prefix::new(rng.gen(), len);
             Roa::new(prefix, len.max(24), rng.gen_range(1..100_000))
         })

@@ -26,8 +26,10 @@ fn vmm_with(src: &str, helpers: &[&str]) -> Vmm {
 }
 
 fn bench(c: &mut Criterion) {
-    let mut host = MockHost::default();
-    host.nexthop = Some(NextHopInfo { addr: 1, igp_metric: 10, reachable: true });
+    let mut host = MockHost {
+        nexthop: Some(NextHopInfo { addr: 1, igp_metric: 10, reachable: true }),
+        ..Default::default()
+    };
 
     // Baseline: the same logic as Listing 1, natively.
     c.bench_function("vm_overhead/native_filter_logic", |b| {
@@ -45,10 +47,8 @@ fn bench(c: &mut Criterion) {
     });
 
     // Listing 1: two helper calls with struct marshalling.
-    let mut listing1 = vmm_with(
-        xbgp_progs::igp_filter::SOURCE,
-        &["get_peer_info", "get_nexthop", "next"],
-    );
+    let mut listing1 =
+        vmm_with(xbgp_progs::igp_filter::SOURCE, &["get_peer_info", "get_nexthop", "next"]);
     c.bench_function("vm_overhead/listing1_filter", |b| {
         b.iter(|| {
             let out = listing1.run(InsertionPoint::BgpOutboundFilter, &mut host);
@@ -75,8 +75,10 @@ fn bench(c: &mut Criterion) {
     // The real §3.4 program, per-route cost (Fig. 4's extension-side
     // increment on the OV use case).
     let mut rov = Vmm::from_manifest(&xbgp_progs::origin_validation::manifest()).unwrap();
-    let mut rov_host = MockHost::default();
-    rov_host.prefix = Some("10.1.2.0/24".parse().unwrap());
+    let mut rov_host = MockHost {
+        prefix: Some("10.1.2.0/24".parse().unwrap()),
+        ..Default::default()
+    };
     let mut path = Vec::new();
     xbgp_wire::AsPath::sequence(vec![65001, 65002, 65003, 65004]).encode_body(&mut path, 4);
     rov_host.attrs.push((2, 0x40, path));

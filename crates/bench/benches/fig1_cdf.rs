@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     // the actual artifact.
     println!("{}", fig1::render());
 
-    c.bench_function("fig1/cdf_computation", |b| {
-        b.iter(|| black_box(fig1::cdf()))
-    });
+    c.bench_function("fig1/cdf_computation", |b| b.iter(|| black_box(fig1::cdf())));
     c.bench_function("fig1/median", |b| b.iter(|| black_box(fig1::median_delay())));
 }
 

@@ -18,23 +18,20 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for dut in [Dut::Fir, Dut::Wren] {
         for (label, extension) in [("native", false), ("extension", true)] {
-            g.bench_with_input(
-                BenchmarkId::new(dut.name(), label),
-                &extension,
-                |b, &extension| {
-                    b.iter(|| {
-                        let out = run(&Fig3Spec {
-                            dut,
-                            use_case: UseCase::RouteReflection,
-                            extension,
-                            routes: ROUTES,
-                            seed: 99,
-                        });
-                        assert_eq!(out.prefixes_delivered, ROUTES);
-                        black_box(out.elapsed_ns)
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(dut.name(), label), &extension, |b, &extension| {
+                b.iter(|| {
+                    let out = run(&Fig3Spec {
+                        dut,
+                        use_case: UseCase::RouteReflection,
+                        extension,
+                        routes: ROUTES,
+                        seed: 99,
+                        metrics: false,
+                    });
+                    assert_eq!(out.prefixes_delivered, ROUTES);
+                    black_box(out.elapsed_ns)
+                })
+            });
         }
     }
     g.finish();

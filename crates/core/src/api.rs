@@ -6,13 +6,11 @@
 //! whole point of xBGP is that one compiled program runs on every
 //! compliant implementation.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// The locations inside a BGP implementation where extension code can be
 /// attached (the paper's Fig. 2, green circles 1-5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InsertionPoint {
     /// ① Raw UPDATE received from a peer, before import filtering. The raw
     /// message body (network byte order) is argument 0; the extension may
@@ -54,6 +52,11 @@ impl InsertionPoint {
             InsertionPoint::BgpOutboundFilter => "bgp_outbound_filter",
             InsertionPoint::BgpEncodeMessage => "bgp_encode_message",
         }
+    }
+
+    /// Inverse of [`InsertionPoint::name`], for manifest parsing.
+    pub fn from_name(name: &str) -> Option<InsertionPoint> {
+        InsertionPoint::ALL.into_iter().find(|p| p.name() == name)
     }
 }
 
@@ -294,10 +297,8 @@ pub fn all_helper_ids() -> HashSet<u32> {
 /// The symbol table handed to the assembler: helper names plus every ABI
 /// constant an extension program may reference by name.
 pub fn abi_symbols() -> HashMap<String, i64> {
-    let mut m: HashMap<String, i64> = helper::TABLE
-        .iter()
-        .map(|(n, id)| (n.to_string(), i64::from(*id)))
-        .collect();
+    let mut m: HashMap<String, i64> =
+        helper::TABLE.iter().map(|(n, id)| (n.to_string(), i64::from(*id))).collect();
     let consts: &[(&str, i64)] = &[
         ("FILTER_REJECT", FILTER_REJECT as i64),
         ("FILTER_ACCEPT", FILTER_ACCEPT as i64),
@@ -400,12 +401,10 @@ mod tests {
     }
 
     #[test]
-    fn insertion_point_names_round_trip_serde() {
+    fn insertion_point_names_round_trip() {
         for p in InsertionPoint::ALL {
-            let json = serde_json::to_string(&p).unwrap();
-            assert_eq!(json, format!("\"{}\"", p.name()));
-            let back: InsertionPoint = serde_json::from_str(&json).unwrap();
-            assert_eq!(back, p);
+            assert_eq!(InsertionPoint::from_name(p.name()), Some(p));
         }
+        assert_eq!(InsertionPoint::from_name("nope"), None);
     }
 }

@@ -141,10 +141,7 @@ impl HostApi for MockHost {
     }
 
     fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
-        self.attrs
-            .iter()
-            .find(|(c, _, _)| *c == code)
-            .map(|(_, f, v)| (*f, v.clone()))
+        self.attrs.iter().find(|(c, _, _)| *c == code).map(|(_, f, v)| (*f, v.clone()))
     }
 
     fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {
@@ -169,10 +166,7 @@ impl HostApi for MockHost {
     }
 
     fn get_xtra(&self, key: &str) -> Option<Vec<u8>> {
-        self.xtra
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.clone())
+        self.xtra.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
     }
 
     fn write_buf(&mut self, data: &[u8]) -> Result<(), String> {

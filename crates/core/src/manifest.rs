@@ -6,22 +6,23 @@
 //! manifest defines in which order they are executed. The manifest also
 //! lists the different xBGP API functions that the bytecode uses." (§2.1)
 //!
-//! Manifests are plain data (serde-serializable to JSON) so operators can
-//! ship them alongside compiled bytecode. Bytecode travels hex-encoded.
+//! Manifests are plain data (JSON on disk) so operators can ship them
+//! alongside compiled bytecode. Bytecode travels hex-encoded. The codec is
+//! [`xbgp_obs::json`] — hand-rolled (de)serialization keeps the manifest
+//! format explicit and dependency-free.
 
 use crate::api::{helper, InsertionPoint};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use xbgp_obs::json::Value;
 use xbgp_vm::Program;
 
 /// One extension bytecode and where/how to attach it.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExtensionSpec {
     /// Human-readable name (diagnostics).
     pub name: String,
     /// Extensions with the same `program` share one persistent memory
     /// space (the GeoLoc use case: four bytecodes, one program).
-    #[serde(default)]
     pub program: String,
     /// Where to attach.
     pub insertion_point: InsertionPoint,
@@ -29,7 +30,6 @@ pub struct ExtensionSpec {
     /// any call outside this list.
     pub helpers: Vec<String>,
     /// Bytecode, hex-encoded 8-byte slots.
-    #[serde(with = "hex_bytes")]
     pub bytecode: Vec<u8>,
 }
 
@@ -67,12 +67,11 @@ impl ExtensionSpec {
 
 /// A full manifest: ordered list of extensions plus static configuration
 /// exposed to bytecode through `get_xtra`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
     pub extensions: Vec<ExtensionSpec>,
     /// Static key → bytes data (router coordinates, AS-pair tables, ROA
     /// file paths, …), hex-encoded on the wire.
-    #[serde(default)]
     pub xtra: HashMap<String, HexBlob>,
 }
 
@@ -96,31 +95,93 @@ impl Manifest {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+        let extensions: Vec<Value> = self
+            .extensions
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::from(e.name.as_str())),
+                    ("program".to_string(), Value::from(e.program.as_str())),
+                    ("insertion_point".to_string(), Value::from(e.insertion_point.name())),
+                    (
+                        "helpers".to_string(),
+                        Value::Arr(e.helpers.iter().map(|h| Value::from(h.as_str())).collect()),
+                    ),
+                    ("bytecode".to_string(), Value::from(to_hex(&e.bytecode))),
+                ])
+            })
+            .collect();
+        let mut xtra: Vec<(String, Value)> =
+            self.xtra.iter().map(|(k, v)| (k.clone(), Value::from(to_hex(&v.0)))).collect();
+        xtra.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(vec![
+            ("extensions".to_string(), Value::Arr(extensions)),
+            ("xtra".to_string(), Value::Obj(xtra)),
+        ])
+        .to_string_pretty()
     }
 
     /// Parse from JSON.
     pub fn from_json(s: &str) -> Result<Manifest, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let doc = Value::parse(s)?;
+        let mut manifest = Manifest::new();
+        let extensions = doc
+            .get("extensions")
+            .and_then(Value::as_array)
+            .ok_or("manifest: missing `extensions` array")?;
+        for (i, ext) in extensions.iter().enumerate() {
+            let field = |key: &str| {
+                ext.get(key).ok_or_else(|| format!("manifest: extension {i}: missing `{key}`"))
+            };
+            let str_field = |key: &str| {
+                field(key)?
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("manifest: extension {i}: `{key}` must be a string"))
+            };
+            let point_name = str_field("insertion_point")?;
+            let insertion_point = InsertionPoint::from_name(&point_name).ok_or_else(|| {
+                format!("manifest: extension {i}: unknown insertion point `{point_name}`")
+            })?;
+            let helpers = field("helpers")?
+                .as_array()
+                .ok_or_else(|| format!("manifest: extension {i}: `helpers` must be an array"))?
+                .iter()
+                .map(|h| {
+                    h.as_str().map(str::to_string).ok_or_else(|| {
+                        format!("manifest: extension {i}: helper names must be strings")
+                    })
+                })
+                .collect::<Result<Vec<String>, String>>()?;
+            manifest.extensions.push(ExtensionSpec {
+                name: str_field("name")?,
+                // `program` defaults to empty, like the old serde(default).
+                program: ext.get("program").and_then(Value::as_str).unwrap_or_default().to_string(),
+                insertion_point,
+                helpers,
+                bytecode: from_hex(&str_field("bytecode")?)
+                    .map_err(|e| format!("manifest: extension {i}: bad bytecode: {e}"))?,
+            });
+        }
+        if let Some(xtra) = doc.get("xtra") {
+            let members = xtra.as_object().ok_or("manifest: `xtra` must be an object")?;
+            for (key, value) in members {
+                let hex = value
+                    .as_str()
+                    .ok_or_else(|| format!("manifest: xtra `{key}` must be a hex string"))?;
+                manifest.xtra.insert(
+                    key.clone(),
+                    HexBlob(from_hex(hex).map_err(|e| format!("manifest: xtra `{key}`: {e}"))?),
+                );
+            }
+        }
+        Ok(manifest)
     }
 }
 
 /// Byte blob serialized as a hex string.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HexBlob(pub Vec<u8>);
-
-impl Serialize for HexBlob {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&to_hex(&self.0))
-    }
-}
-
-impl<'de> Deserialize<'de> for HexBlob {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
-        from_hex(&s).map(HexBlob).map_err(serde::de::Error::custom)
-    }
-}
 
 /// Hex encoding used for bytecode and blobs in JSON manifests.
 pub fn to_hex(data: &[u8]) -> String {
@@ -133,26 +194,13 @@ pub fn to_hex(data: &[u8]) -> String {
 
 /// Inverse of [`to_hex`].
 pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err("odd-length hex string".into());
     }
     (0..s.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
         .collect()
-}
-
-mod hex_bytes {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(data: &[u8], s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&super::to_hex(data))
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<u8>, D::Error> {
-        let s = String::deserialize(d)?;
-        super::from_hex(&s).map_err(serde::de::Error::custom)
-    }
 }
 
 #[cfg(test)]

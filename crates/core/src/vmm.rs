@@ -24,6 +24,8 @@ use crate::host::HostApi;
 use crate::manifest::Manifest;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
+use xbgp_obs::{Histogram, NoopRecorder, Recorder, Snapshot};
 use xbgp_vm::{
     interp::HelperOutcome, verify, ExecOutcome, HelperDispatcher, MemoryMap, Program, Region,
     RegionKind, VerifyError, Vm, VmConfig, VmError, HEAP_BASE, SHARED_BASE,
@@ -43,7 +45,10 @@ pub enum VmmError {
     /// A declared helper name is unknown.
     UnknownHelperName { extension: String, name: String },
     /// The verifier rejected the program.
-    Rejected { extension: String, error: VerifyError },
+    Rejected {
+        extension: String,
+        error: VerifyError,
+    },
 }
 
 impl fmt::Display for VmmError {
@@ -82,6 +87,13 @@ struct Extension {
     prog: Program,
     runs: u64,
     errors: u64,
+    /// Runs that ended in `next()` (delegated to the rest of the chain).
+    fallbacks: u64,
+    helper_calls: u64,
+    insns_retired: u64,
+    /// Per-run wall-clock latency in nanoseconds. Only populated when the
+    /// VMM's metrics are enabled (timing costs two clock reads per run).
+    latency: Histogram,
     /// Pooled sandbox: stack, ephemeral heap and (swapped-in) shared
     /// regions stay mapped across runs so an invocation costs no
     /// allocation. The stack is re-zeroed fully and the heap up to the
@@ -112,6 +124,26 @@ pub struct ExtensionStats {
     pub insertion_point: InsertionPoint,
     pub runs: u64,
     pub errors: u64,
+    /// Runs that delegated with `next()`.
+    pub fallbacks: u64,
+    /// Total helper calls issued across all runs.
+    pub helper_calls: u64,
+    /// Total eBPF instructions retired across all runs.
+    pub insns_retired: u64,
+}
+
+/// Per-insertion-point chain counters. `runs` counts every [`Vmm::run`]
+/// invocation for the point; each run ends as exactly one of `values`
+/// (an extension produced a result), `fallbacks` (no extension attached
+/// or the whole chain delegated) or `errors` (an extension faulted).
+#[derive(Default)]
+struct PointMetrics {
+    runs: u64,
+    values: u64,
+    fallbacks: u64,
+    errors: u64,
+    /// End-to-end chain latency in nanoseconds (metrics-enabled runs only).
+    latency: Histogram,
 }
 
 /// Dense index of an insertion point into per-point tables.
@@ -135,8 +167,22 @@ pub struct Vmm {
     shared: Vec<SharedSpace>,
     xtra: HashMap<String, Vec<u8>>,
     vm_config: VmConfig,
-    /// Most recent runtime fault, for host diagnostics.
+    /// Most recent runtime fault, for host diagnostics. Cleared when a
+    /// subsequent chain run completes without faulting.
     last_error: Option<(String, VmError)>,
+    /// Per-point outcome counters, indexed by [`point_index`].
+    points: [PointMetrics; 5],
+    /// When set, runs are timed (two `Instant` reads per chain), outcome
+    /// and instruction counters accumulate, and the latency histograms
+    /// fill in. Off by default so the hot path pays a single branch.
+    metrics_enabled: bool,
+    /// Host-pluggable event sink; `NoopRecorder` (inlined no-ops) unless
+    /// the host installs one via [`Vmm::set_recorder`].
+    recorder: Box<dyn Recorder>,
+    /// Skips the virtual recorder dispatch entirely while the default
+    /// no-op recorder is installed, keeping the per-run cost to plain
+    /// integer increments.
+    recorder_active: bool,
 }
 
 impl Vmm {
@@ -146,19 +192,18 @@ impl Vmm {
             exts: Vec::new(),
             attached: Default::default(),
             shared: Vec::new(),
-            xtra: manifest
-                .xtra
-                .iter()
-                .map(|(k, v)| (k.clone(), v.0.clone()))
-                .collect(),
+            xtra: manifest.xtra.iter().map(|(k, v)| (k.clone(), v.0.clone())).collect(),
             vm_config: VmConfig::default(),
             last_error: None,
+            points: Default::default(),
+            metrics_enabled: false,
+            recorder: Box::new(NoopRecorder),
+            recorder_active: false,
         };
         for spec in &manifest.extensions {
-            let prog = spec.program().map_err(|reason| VmmError::BadBytecode {
-                extension: spec.name.clone(),
-                reason,
-            })?;
+            let prog = spec
+                .program()
+                .map_err(|reason| VmmError::BadBytecode { extension: spec.name.clone(), reason })?;
             let mut ids = std::collections::HashSet::new();
             for name in &spec.helpers {
                 match helper::id_of(name) {
@@ -173,10 +218,8 @@ impl Vmm {
                     }
                 }
             }
-            verify(&prog, &ids).map_err(|error| VmmError::Rejected {
-                extension: spec.name.clone(),
-                error,
-            })?;
+            verify(&prog, &ids)
+                .map_err(|error| VmmError::Rejected { extension: spec.name.clone(), error })?;
             let idx = vmm.exts.len();
             let group = if spec.program.is_empty() {
                 spec.name.clone()
@@ -213,6 +256,10 @@ impl Vmm {
                     prog,
                     runs: 0,
                     errors: 0,
+                    fallbacks: 0,
+                    helper_calls: 0,
+                    insns_retired: 0,
+                    latency: Histogram::new(),
                     mem,
                     heap_watermark: 0,
                 },
@@ -241,12 +288,23 @@ impl Vmm {
     /// Execute the extension chain for `point` with `host` as the
     /// execution context.
     pub fn run(&mut self, point: InsertionPoint, host: &mut dyn HostApi) -> VmmOutcome {
-        let chain_len = self.attached[point_index(point)].len();
+        let pi = point_index(point);
+        // One predictable branch decides whether any accounting happens;
+        // an untracked VMM pays nothing else on the hot path.
+        let track = self.metrics_enabled || self.recorder_active;
+        if track {
+            self.points[pi].runs += 1;
+        }
+        let chain_len = self.attached[pi].len();
         if chain_len == 0 {
+            if track {
+                self.points[pi].fallbacks += 1;
+            }
             return VmmOutcome::Fallback;
         }
+        let chain_start = self.metrics_enabled.then(Instant::now);
         for k in 0..chain_len {
-            let idx = self.attached[point_index(point)][k];
+            let idx = self.attached[pi][k];
             let ext = &mut self.exts[idx].1;
             let shared_idx = ext.shared_idx;
 
@@ -259,21 +317,15 @@ impl Vmm {
                 .expect("pooled stack region")
                 .data
                 .fill(0);
-            ext.mem
-                .region_of_mut(RegionKind::Heap)
-                .expect("pooled heap region")
-                .data[..watermark]
+            ext.mem.region_of_mut(RegionKind::Heap).expect("pooled heap region").data[..watermark]
                 .fill(0);
             std::mem::swap(
-                &mut ext
-                    .mem
-                    .region_of_mut(RegionKind::Shared)
-                    .expect("pooled shared region")
-                    .data,
+                &mut ext.mem.region_of_mut(RegionKind::Shared).expect("pooled shared region").data,
                 &mut self.shared[shared_idx].data,
             );
 
-            let (outcome, heap_used) = {
+            let ext_start = self.metrics_enabled.then(Instant::now);
+            let (outcome, heap_used, metrics) = {
                 let ext = &mut self.exts[idx].1;
                 // Split borrow: the program and the memory map are
                 // disjoint fields of the extension.
@@ -285,36 +337,87 @@ impl Vmm {
                     heap_used: 0,
                 };
                 let vm = Vm::with_config(prog, self.vm_config);
-                let outcome = vm.run(mem, &mut dispatcher, &[]);
-                (outcome, dispatcher.heap_used)
+                let (outcome, metrics) = vm.run_metered(mem, &mut dispatcher, &[]);
+                (outcome, dispatcher.heap_used, metrics)
             };
 
             // Swap the shared space back regardless of outcome.
             let ext = &mut self.exts[idx].1;
             std::mem::swap(
-                &mut ext
-                    .mem
-                    .region_of_mut(RegionKind::Shared)
-                    .expect("pooled shared region")
-                    .data,
+                &mut ext.mem.region_of_mut(RegionKind::Shared).expect("pooled shared region").data,
                 &mut self.shared[shared_idx].data,
             );
             ext.heap_watermark = heap_used;
             ext.runs += 1;
+            if track {
+                ext.helper_calls += metrics.helper_calls;
+                ext.insns_retired += metrics.insns_retired;
+            }
+            if let Some(start) = ext_start {
+                ext.latency.observe(start.elapsed().as_nanos() as u64);
+            }
             match outcome {
-                Ok(ExecOutcome::Return(v)) => return VmmOutcome::Value(v),
-                Ok(ExecOutcome::Next) => continue,
+                Ok(ExecOutcome::Return(v)) => {
+                    self.last_error = None;
+                    if track {
+                        self.points[pi].values += 1;
+                        self.finish_run(pi, point, chain_start, "value");
+                    }
+                    return VmmOutcome::Value(v);
+                }
+                Ok(ExecOutcome::Next) => {
+                    if track {
+                        ext.fallbacks += 1;
+                    }
+                    continue;
+                }
                 Err(e) => {
                     // Monitored execution: stop the faulty extension, tell
                     // the host, and fall back to native behaviour.
                     ext.errors += 1;
                     host.log(&format!("xbgp: extension `{}` aborted: {e}", ext.name));
                     self.last_error = Some((ext.name.clone(), e));
+                    if track {
+                        self.points[pi].errors += 1;
+                        self.finish_run(pi, point, chain_start, "error");
+                    }
                     return VmmOutcome::Fallback;
                 }
             }
         }
+        // The whole chain delegated with `next()`: a clean fallback.
+        self.last_error = None;
+        if track {
+            self.points[pi].fallbacks += 1;
+            self.finish_run(pi, point, chain_start, "fallback");
+        }
         VmmOutcome::Fallback
+    }
+
+    /// Per-chain bookkeeping when a run with attached extensions ends:
+    /// observe the end-to-end latency and forward the outcome to the
+    /// pluggable recorder (a no-op unless the host installed one).
+    fn finish_run(
+        &mut self,
+        pi: usize,
+        point: InsertionPoint,
+        start: Option<Instant>,
+        outcome: &'static str,
+    ) {
+        if let Some(t0) = start {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.points[pi].latency.observe(ns);
+            if self.recorder_active {
+                self.recorder.observe("xbgp_vmm_run_latency_ns", &[("point", point.name())], ns);
+            }
+        }
+        if self.recorder_active {
+            self.recorder.counter_add(
+                "xbgp_vmm_runs_total",
+                &[("point", point.name()), ("outcome", outcome)],
+                1,
+            );
+        }
     }
 
     /// Read an allocation out of a program group's persistent memory
@@ -341,8 +444,70 @@ impl Vmm {
                 insertion_point: *point,
                 runs: e.runs,
                 errors: e.errors,
+                fallbacks: e.fallbacks,
+                helper_calls: e.helper_calls,
+                insns_retired: e.insns_retired,
             })
             .collect()
+    }
+
+    /// Enable metrics: subsequent runs collect per-point outcome counters,
+    /// per-extension helper/instruction counters, and latency histograms
+    /// (two clock reads per chain run). Off by default so an untracked
+    /// VMM's hot path pays a single predictable branch.
+    pub fn enable_metrics(&mut self) {
+        self.metrics_enabled = true;
+    }
+
+    /// Whether run timing is enabled (see [`Vmm::enable_metrics`]).
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_enabled
+    }
+
+    /// Install a live event sink. Each finished chain run emits an
+    /// `xbgp_vmm_runs_total{point,outcome}` counter increment, plus an
+    /// `xbgp_vmm_run_latency_ns{point}` observation when timing is on.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = recorder;
+        self.recorder_active = true;
+    }
+
+    /// Point-in-time snapshot of every VMM metric:
+    ///
+    /// * `xbgp_vmm_runs_total{point}` and its outcome split
+    ///   `xbgp_vmm_values_total` / `xbgp_vmm_fallbacks_total` /
+    ///   `xbgp_vmm_errors_total`;
+    /// * `xbgp_vmm_run_latency_ns{point}` histograms (timing enabled only);
+    /// * per-extension `xbgp_vmm_extension_runs_total` /
+    ///   `..._errors_total` / `..._fallbacks_total` /
+    ///   `..._helper_calls_total` / `..._insns_total` and
+    ///   `xbgp_vmm_extension_latency_ns`, labelled
+    ///   `{extension,point}`.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new();
+        for point in InsertionPoint::ALL {
+            let pm = &self.points[point_index(point)];
+            let labels = [("point", point.name())];
+            s.push_counter("xbgp_vmm_runs_total", &labels, pm.runs);
+            s.push_counter("xbgp_vmm_values_total", &labels, pm.values);
+            s.push_counter("xbgp_vmm_fallbacks_total", &labels, pm.fallbacks);
+            s.push_counter("xbgp_vmm_errors_total", &labels, pm.errors);
+            if self.metrics_enabled {
+                s.push_histogram("xbgp_vmm_run_latency_ns", &labels, pm.latency.snapshot());
+            }
+        }
+        for (point, e) in &self.exts {
+            let labels = [("extension", e.name.as_str()), ("point", point.name())];
+            s.push_counter("xbgp_vmm_extension_runs_total", &labels, e.runs);
+            s.push_counter("xbgp_vmm_extension_errors_total", &labels, e.errors);
+            s.push_counter("xbgp_vmm_extension_fallbacks_total", &labels, e.fallbacks);
+            s.push_counter("xbgp_vmm_extension_helper_calls_total", &labels, e.helper_calls);
+            s.push_counter("xbgp_vmm_extension_insns_total", &labels, e.insns_retired);
+            if self.metrics_enabled {
+                s.push_histogram("xbgp_vmm_extension_latency_ns", &labels, e.latency.snapshot());
+            }
+        }
+        s
     }
 }
 
@@ -466,10 +631,7 @@ impl HelperDispatcher for Dispatcher<'_> {
                 let key = std::str::from_utf8(&key_bytes)
                     .map_err(|_| fault(id, "non-UTF-8 xtra key"))?
                     .to_string();
-                let data = self
-                    .host
-                    .get_xtra(&key)
-                    .or_else(|| self.xtra.get(&key).cloned());
+                let data = self.host.get_xtra(&key).or_else(|| self.xtra.get(&key).cloned());
                 match data {
                     Some(v) if v.len() <= cap => {
                         mem.write_bytes(dst, &v)?;
@@ -555,12 +717,7 @@ mod tests {
     use crate::manifest::ExtensionSpec;
     use xbgp_asm::assemble_with_symbols;
 
-    fn spec(
-        name: &str,
-        point: InsertionPoint,
-        helpers: &[&str],
-        src: &str,
-    ) -> ExtensionSpec {
+    fn spec(name: &str, point: InsertionPoint, helpers: &[&str], src: &str) -> ExtensionSpec {
         let prog = assemble_with_symbols(src, &crate::api::abi_symbols()).expect("assembles");
         ExtensionSpec::from_program(name, "test_group", point, helpers, &prog)
     }
@@ -585,52 +742,27 @@ mod tests {
 
     #[test]
     fn extension_value_is_returned() {
-        let mut vmm = load(vec![spec(
-            "ret7",
-            InsertionPoint::BgpInboundFilter,
-            &[],
-            "mov r0, 7\nexit",
-        )]);
+        let mut vmm =
+            load(vec![spec("ret7", InsertionPoint::BgpInboundFilter, &[], "mov r0, 7\nexit")]);
         let mut host = MockHost::default();
         assert!(vmm.has_extensions(InsertionPoint::BgpInboundFilter));
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(7)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(7));
         // Other points still fall back.
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpOutboundFilter, &mut host),
-            VmmOutcome::Fallback
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpOutboundFilter, &mut host), VmmOutcome::Fallback);
     }
 
     #[test]
     fn next_chains_to_following_extension_then_native() {
-        let first = spec(
-            "delegate",
-            InsertionPoint::BgpInboundFilter,
-            &["next"],
-            "call next\nexit",
-        );
-        let second = spec(
-            "answer",
-            InsertionPoint::BgpInboundFilter,
-            &[],
-            "mov r0, 42\nexit",
-        );
+        let first =
+            spec("delegate", InsertionPoint::BgpInboundFilter, &["next"], "call next\nexit");
+        let second = spec("answer", InsertionPoint::BgpInboundFilter, &[], "mov r0, 42\nexit");
         let mut vmm = load(vec![first.clone(), second]);
         let mut host = MockHost::default();
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(42)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(42));
 
         // A chain where everyone delegates falls back to native code.
         let mut vmm = load(vec![first.clone(), first]);
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Fallback
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
     }
 
     #[test]
@@ -643,10 +775,7 @@ mod tests {
             "lddw r1, 0x999999999\nldxb r0, [r1]\nexit",
         )]);
         let mut host = MockHost::default();
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Fallback
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
         let (name, err) = vmm.last_error().expect("error recorded");
         assert_eq!(name, "crasher");
         assert!(matches!(err, VmError::MemFault { .. }));
@@ -658,13 +787,150 @@ mod tests {
     }
 
     #[test]
-    fn runaway_extension_is_stopped() {
+    fn last_error_is_cleared_by_a_subsequent_successful_run() {
+        let mut vmm = load(vec![
+            spec(
+                "crasher",
+                InsertionPoint::BgpInboundFilter,
+                &[],
+                "lddw r1, 0x999999999\nldxb r0, [r1]\nexit",
+            ),
+            spec("ret7", InsertionPoint::BgpDecision, &[], "mov r0, 7\nexit"),
+            spec("delegate", InsertionPoint::BgpOutboundFilter, &["next"], "call next\nexit"),
+        ]);
+        let mut host = MockHost::default();
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
+        assert!(vmm.last_error().is_some());
+
+        // A later run that returns a value clears the stale diagnostic.
+        assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Value(7));
+        assert!(vmm.last_error().is_none(), "cleared after a successful run");
+
+        // A clean all-`next()` fallback is also a successful run.
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
+        assert!(vmm.last_error().is_some());
+        assert_eq!(vmm.run(InsertionPoint::BgpOutboundFilter, &mut host), VmmOutcome::Fallback);
+        assert!(vmm.last_error().is_none(), "cleared after a clean fallback");
+    }
+
+    #[test]
+    fn metrics_snapshot_records_outcomes_and_faults() {
+        let mut vmm = load(vec![
+            spec(
+                "crasher",
+                InsertionPoint::BgpInboundFilter,
+                &[],
+                "lddw r1, 0x999999999\nldxb r0, [r1]\nexit",
+            ),
+            spec("ret7", InsertionPoint::BgpDecision, &[], "mov r0, 7\nexit"),
+        ]);
+        vmm.enable_metrics();
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Fallback,
+            "fault falls back to native behaviour"
+        );
+        vmm.run(InsertionPoint::BgpDecision, &mut host);
+        vmm.run(InsertionPoint::BgpDecision, &mut host);
+        // A point with nothing attached still counts its (fallback) runs.
+        vmm.run(InsertionPoint::BgpEncodeMessage, &mut host);
+
+        let s = vmm.metrics_snapshot();
+        let inbound = [("point", "bgp_inbound_filter")];
+        assert_eq!(s.counter_value("xbgp_vmm_runs_total", &inbound), Some(1));
+        assert_eq!(s.counter_value("xbgp_vmm_errors_total", &inbound), Some(1));
+        assert_eq!(s.counter_value("xbgp_vmm_values_total", &inbound), Some(0));
+        let decision = [("point", "bgp_decision")];
+        assert_eq!(s.counter_value("xbgp_vmm_runs_total", &decision), Some(2));
+        assert_eq!(s.counter_value("xbgp_vmm_values_total", &decision), Some(2));
+        assert_eq!(
+            s.counter_value("xbgp_vmm_fallbacks_total", &[("point", "bgp_encode_message")]),
+            Some(1)
+        );
+        assert_eq!(
+            s.counter_value("xbgp_vmm_extension_errors_total", &[("extension", "crasher")]),
+            Some(1)
+        );
+        // `mov r0, 7; exit` is 2 instructions, run twice.
+        assert_eq!(
+            s.counter_value("xbgp_vmm_extension_insns_total", &[("extension", "ret7")]),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn enabled_metrics_time_runs_and_count_helper_calls() {
         let mut vmm = load(vec![spec(
-            "spinner",
-            InsertionPoint::BgpDecision,
-            &[],
-            "loop: ja loop",
+            "delegate",
+            InsertionPoint::BgpInboundFilter,
+            &["next"],
+            "call next\nexit",
         )]);
+        assert!(!vmm.metrics_enabled());
+        vmm.enable_metrics();
+        assert!(vmm.metrics_enabled());
+        let mut host = MockHost::default();
+        for _ in 0..3 {
+            assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
+        }
+        let stats = vmm.stats();
+        assert_eq!(stats[0].runs, 3);
+        assert_eq!(stats[0].fallbacks, 3);
+        assert_eq!(stats[0].helper_calls, 3);
+        // Only the `call next` instruction retires; `exit` is never reached.
+        assert_eq!(stats[0].insns_retired, 3);
+
+        let s = vmm.metrics_snapshot();
+        let labels = [("point", "bgp_inbound_filter")];
+        assert_eq!(
+            s.histogram_value("xbgp_vmm_run_latency_ns", &labels)
+                .expect("latency histogram present when metrics are enabled")
+                .count,
+            3
+        );
+        assert_eq!(
+            s.histogram_value("xbgp_vmm_extension_latency_ns", &[("extension", "delegate")])
+                .expect("per-extension latency")
+                .count,
+            3
+        );
+    }
+
+    #[test]
+    fn installed_recorder_receives_run_events() {
+        use std::sync::Arc;
+        use xbgp_obs::{Registry, RegistryRecorder};
+
+        let registry = Arc::new(Registry::new());
+        let mut vmm =
+            load(vec![spec("ret7", InsertionPoint::BgpInboundFilter, &[], "mov r0, 7\nexit")]);
+        vmm.enable_metrics();
+        vmm.set_recorder(Box::new(RegistryRecorder::new(Arc::clone(&registry))));
+        let mut host = MockHost::default();
+        vmm.run(InsertionPoint::BgpInboundFilter, &mut host);
+        vmm.run(InsertionPoint::BgpInboundFilter, &mut host);
+
+        let s = registry.snapshot();
+        assert_eq!(
+            s.counter_value(
+                "xbgp_vmm_runs_total",
+                &[("point", "bgp_inbound_filter"), ("outcome", "value")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            s.histogram_value("xbgp_vmm_run_latency_ns", &[("point", "bgp_inbound_filter")])
+                .expect("recorder saw latency observations")
+                .count,
+            2
+        );
+    }
+
+    #[test]
+    fn runaway_extension_is_stopped() {
+        let mut vmm =
+            load(vec![spec("spinner", InsertionPoint::BgpDecision, &[], "loop: ja loop")]);
         vmm.set_fuel(10_000);
         let mut host = MockHost::default();
         assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Fallback);
@@ -674,11 +940,8 @@ mod tests {
     #[test]
     fn verifier_enforces_declared_helpers() {
         // Program calls get_peer_info but only declares next.
-        let prog = assemble_with_symbols(
-            "call get_peer_info\nexit",
-            &crate::api::abi_symbols(),
-        )
-        .unwrap();
+        let prog =
+            assemble_with_symbols("call get_peer_info\nexit", &crate::api::abi_symbols()).unwrap();
         let mut m = Manifest::new();
         m.push(ExtensionSpec::from_program(
             "sneaky",
@@ -708,10 +971,7 @@ mod tests {
             &["frobnicate"],
             &prog,
         ));
-        assert!(matches!(
-            Vmm::from_manifest(&m),
-            Err(VmmError::UnknownHelperName { .. })
-        ));
+        assert!(matches!(Vmm::from_manifest(&m), Err(VmmError::UnknownHelperName { .. })));
     }
 
     #[test]
@@ -735,10 +995,7 @@ mod tests {
             VmmOutcome::Value(EBGP_SESSION)
         );
         host.peer.peer_type = PeerType::Ibgp;
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(0)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(0));
     }
 
     #[test]
@@ -775,10 +1032,7 @@ mod tests {
             VmmOutcome::Value(FILTER_REJECT)
         );
         host.nexthop = Some(NextHopInfo { addr: 1, igp_metric: 10, reachable: true });
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpOutboundFilter, &mut host),
-            VmmOutcome::Fallback
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpOutboundFilter, &mut host), VmmOutcome::Fallback);
         host.peer.peer_type = PeerType::Ibgp;
         host.nexthop = Some(NextHopInfo { addr: 1, igp_metric: 2000, reachable: true });
         assert_eq!(
@@ -823,10 +1077,7 @@ mod tests {
         )]);
         let mut host = MockHost::default();
         host.attrs.push((5, 0x40, 100u32.to_be_bytes().to_vec()));
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(0)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(0));
         assert_eq!(host.attrs[0].2, 110u32.to_be_bytes().to_vec());
     }
 
@@ -842,17 +1093,10 @@ mod tests {
             call add_attr
             exit
         ";
-        let mut vmm = load(vec![spec(
-            "adder",
-            InsertionPoint::BgpReceiveMessage,
-            &["add_attr"],
-            src,
-        )]);
+        let mut vmm =
+            load(vec![spec("adder", InsertionPoint::BgpReceiveMessage, &["add_attr"], src)]);
         let mut host = MockHost::default();
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
-            VmmOutcome::Value(0)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpReceiveMessage, &mut host), VmmOutcome::Value(0));
         assert_eq!(host.attrs.len(), 1);
         assert_eq!(host.attrs[0].0, 66);
         // Second add fails: attribute already present.
@@ -895,16 +1139,10 @@ mod tests {
 
         // Manifest data is visible...
         let mut host = MockHost::default();
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(9)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(9));
         // ...but host configuration shadows it.
         host.xtra.push(("k".into(), vec![3]));
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(3)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(3));
     }
 
     #[test]
@@ -940,8 +1178,7 @@ mod tests {
             &["ctx_shared_malloc", "ctx_shared_get"],
             writer,
         );
-        let probe_prog =
-            assemble_with_symbols(probe, &crate::api::abi_symbols()).unwrap();
+        let probe_prog = assemble_with_symbols(probe, &crate::api::abi_symbols()).unwrap();
         let other = ExtensionSpec::from_program(
             "other_group_probe",
             "another_group",
@@ -952,24 +1189,12 @@ mod tests {
         let mut vmm = load(vec![w, other]);
         let mut host = MockHost::default();
         // First run allocates and stores 100.
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(0)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(0));
         // Second run sees the persisted value and increments it.
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(101)
-        );
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
-            VmmOutcome::Value(102)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(101));
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(102));
         // The other group's probe finds nothing under the same key.
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpOutboundFilter, &mut host),
-            VmmOutcome::Value(0)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpOutboundFilter, &mut host), VmmOutcome::Value(0));
     }
 
     #[test]
@@ -984,12 +1209,8 @@ mod tests {
             mov r0, r6
             exit
         ";
-        let mut vmm = load(vec![spec(
-            "heap_probe",
-            InsertionPoint::BgpInboundFilter,
-            &["ctx_malloc"],
-            src,
-        )]);
+        let mut vmm =
+            load(vec![spec("heap_probe", InsertionPoint::BgpInboundFilter, &["ctx_malloc"], src)]);
         let mut host = MockHost::default();
         for _ in 0..3 {
             assert_eq!(
@@ -1023,10 +1244,7 @@ mod tests {
             src,
         )]);
         let mut host = MockHost::default();
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpEncodeMessage, &mut host),
-            VmmOutcome::Value(0)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpEncodeMessage, &mut host), VmmOutcome::Value(0));
         assert_eq!(host.out_buf, vec![0xab, 0xcd]);
         assert_eq!(host.logs.len(), 1);
     }
@@ -1038,12 +1256,7 @@ mod tests {
             call bpf_htonl
             exit
         ";
-        let mut vmm = load(vec![spec(
-            "swap",
-            InsertionPoint::BgpDecision,
-            &["bpf_htonl"],
-            src,
-        )]);
+        let mut vmm = load(vec![spec("swap", InsertionPoint::BgpDecision, &["bpf_htonl"], src)]);
         let mut host = MockHost::default();
         assert_eq!(
             vmm.run(InsertionPoint::BgpDecision, &mut host),
@@ -1060,14 +1273,9 @@ mod tests {
             call rpki_check_origin
             exit
         ";
-        let mut vmm = load(vec![spec(
-            "rov",
-            InsertionPoint::BgpInboundFilter,
-            &["rpki_check_origin"],
-            src,
-        )]);
-        let mut host = MockHost::default();
-        host.rov_answer = api::ROV_INVALID;
+        let mut vmm =
+            load(vec![spec("rov", InsertionPoint::BgpInboundFilter, &["rpki_check_origin"], src)]);
+        let mut host = MockHost { rov_answer: api::ROV_INVALID, ..Default::default() };
         assert_eq!(
             vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
             VmmOutcome::Value(api::ROV_INVALID)
@@ -1101,16 +1309,10 @@ mod tests {
         )]);
         let mut host = MockHost::default();
         host.args.push(vec![0x42, 1, 2, 3]);
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
-            VmmOutcome::Value(0x42)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpReceiveMessage, &mut host), VmmOutcome::Value(0x42));
         // Without an argument the helpers report failure.
         host.args.clear();
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
-            VmmOutcome::Value(255)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpReceiveMessage, &mut host), VmmOutcome::Value(255));
     }
 
     #[test]
@@ -1132,8 +1334,10 @@ mod tests {
             &["get_prefix"],
             src,
         )]);
-        let mut host = MockHost::default();
-        host.prefix = Some("10.0.0.0/8".parse().unwrap());
+        let mut host = MockHost {
+            prefix: Some("10.0.0.0/8".parse().unwrap()),
+            ..Default::default()
+        };
         assert_eq!(
             vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
             VmmOutcome::Value(0x0a00_0000 + 8)
@@ -1156,10 +1360,7 @@ mod tests {
             src,
         )]);
         let mut host = MockHost::default();
-        assert_eq!(
-            vmm.run(InsertionPoint::BgpReceiveMessage, &mut host),
-            VmmOutcome::Value(0)
-        );
+        assert_eq!(vmm.run(InsertionPoint::BgpReceiveMessage, &mut host), VmmOutcome::Value(0));
         assert_eq!(host.rib, vec![("10.1.0.0/16".parse().unwrap(), 0x0a00_0001)]);
     }
 }

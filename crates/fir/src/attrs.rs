@@ -166,8 +166,7 @@ impl FirAttrs {
                 AttrCode::ClusterList.canonical_flags().0
             }
             other => {
-                let (_, flags, value) =
-                    self.extra.iter().find(|(c, _, _)| *c == other)?;
+                let (_, flags, value) = self.extra.iter().find(|(c, _, _)| *c == other)?;
                 body.extend_from_slice(value);
                 *flags
             }
@@ -192,8 +191,7 @@ impl FirAttrs {
                 self.origin = Origin::from_u8(value[0]).map_err(|e| e.to_string())?;
             }
             2 => {
-                self.as_path =
-                    AsPath::decode_body(value, 4).map_err(|e| e.to_string())?;
+                self.as_path = AsPath::decode_body(value, 4).map_err(|e| e.to_string())?;
             }
             3 => {
                 need(4)?;
@@ -208,7 +206,7 @@ impl FirAttrs {
                 self.local_pref = Some(be32(value));
             }
             8 => {
-                if value.len() % 4 != 0 {
+                if !value.len().is_multiple_of(4) {
                     return Err("COMMUNITIES payload not a multiple of 4".into());
                 }
                 self.communities = value.chunks_exact(4).map(be32).collect();
@@ -218,20 +216,18 @@ impl FirAttrs {
                 self.originator_id = Some(be32(value));
             }
             10 => {
-                if value.len() % 4 != 0 {
+                if !value.len().is_multiple_of(4) {
                     return Err("CLUSTER_LIST payload not a multiple of 4".into());
                 }
                 self.cluster_list = value.chunks_exact(4).map(be32).collect();
             }
-            other => {
-                match self.extra.iter_mut().find(|(c, _, _)| *c == other) {
-                    Some(slot) => {
-                        slot.1 = flags;
-                        slot.2 = value.to_vec();
-                    }
-                    None => self.extra.push((other, flags, value.to_vec())),
+            other => match self.extra.iter_mut().find(|(c, _, _)| *c == other) {
+                Some(slot) => {
+                    slot.1 = flags;
+                    slot.2 = value.to_vec();
                 }
-            }
+                None => self.extra.push((other, flags, value.to_vec())),
+            },
         }
         Ok(())
     }
@@ -244,7 +240,7 @@ impl FirAttrs {
             8 => self.communities.clear(),
             9 => self.originator_id = None,
             10 => self.cluster_list.clear(),
-            1 | 2 | 3 => return Err(format!("attribute {code} is mandatory")),
+            1..=3 => return Err(format!("attribute {code} is mandatory")),
             other => {
                 let before = self.extra.len();
                 self.extra.retain(|(c, _, _)| *c != other);
@@ -331,18 +327,12 @@ mod tests {
 
     #[test]
     fn missing_mandatory_attributes_rejected() {
-        let no_origin = vec![
-            PathAttr::AsPath(AsPath::empty()),
-            PathAttr::NextHop(1),
-        ];
+        let no_origin = vec![PathAttr::AsPath(AsPath::empty()), PathAttr::NextHop(1)];
         assert!(matches!(
             FirAttrs::from_wire(&no_origin),
             Err(WireError::MissingWellKnown("ORIGIN"))
         ));
-        let no_nh = vec![
-            PathAttr::Origin(Origin::Igp),
-            PathAttr::AsPath(AsPath::empty()),
-        ];
+        let no_nh = vec![PathAttr::Origin(Origin::Igp), PathAttr::AsPath(AsPath::empty())];
         assert!(matches!(
             FirAttrs::from_wire(&no_nh),
             Err(WireError::MissingWellKnown("NEXT_HOP"))

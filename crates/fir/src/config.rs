@@ -52,6 +52,10 @@ pub struct FirConfig {
     /// (router coordinates, cluster tables, …) in addition to manifest
     /// data.
     pub xtra: Vec<(String, Vec<u8>)>,
+    /// Enable timing instrumentation: hook-site and VMM latency
+    /// histograms fill in (two clock reads per hook). Counters are
+    /// collected regardless.
+    pub metrics: bool,
 }
 
 impl FirConfig {
@@ -71,17 +75,26 @@ impl FirConfig {
             originate: Vec::new(),
             default_local_pref: 100,
             xtra: Vec::new(),
+            metrics: false,
         }
+    }
+
+    /// Turn on timing instrumentation (see the `metrics` field).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
     }
 
     /// Add a neighbor.
     pub fn peer(mut self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
+        xbgp_obs::debug!("fir {}: neighbor {peer_addr} (AS{peer_asn})", self.router_id);
         self.peers.push(PeerCfg { link, peer_addr, peer_asn, rr_client: false });
         self
     }
 
     /// Add a route-reflection client neighbor (iBGP).
     pub fn rr_client_peer(mut self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
+        xbgp_obs::debug!("fir {}: rr-client {peer_addr} (AS{peer_asn})", self.router_id);
         self.peers.push(PeerCfg { link, peer_addr, peer_asn, rr_client: true });
         self
     }

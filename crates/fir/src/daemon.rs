@@ -5,15 +5,17 @@ use crate::config::FirConfig;
 use crate::rib::{AdjRibIn, AdjRibOut, DecisionCtx, LocRib, RibEntry, RouteSource};
 use crate::session::{FsmState, Session};
 use crate::xbgp_glue::{AttrAccess, FirXbgpCtx};
+use netsim::{LinkId, Node, NodeCtx};
 use rpki::{RoaHashTable, RoaTable, RoaTrie, RovState};
 use std::any::Any;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Instant;
 use xbgp_core::api::{self, InsertionPoint, PeerInfo, PeerType};
 use xbgp_core::{Manifest, Vmm, VmmOutcome};
+use xbgp_obs::{Histogram, Snapshot};
 use xbgp_wire::attr::encode_attrs;
 use xbgp_wire::{Ipv4Prefix, Message, NotificationMsg, OpenMsg, UpdateMsg};
-use netsim::{LinkId, Node, NodeCtx};
 
 /// Counters and timestamps the harness reads off a daemon.
 #[derive(Debug, Default, Clone)]
@@ -34,6 +36,29 @@ pub struct DaemonStats {
     pub rov_not_found: u64,
     /// Routes rejected by xBGP filters.
     pub xbgp_rejected: u64,
+    /// Filter-point runs where an extension accepted the route (a
+    /// `Value` other than reject).
+    pub xbgp_accepted: u64,
+    /// Decision-point runs resolved by an extension instead of the
+    /// native RFC 4271 comparison.
+    pub xbgp_decisions: u64,
+    /// Session FSM transitions, indexed by target state
+    /// ([`FSM_TO_OPEN_SENT`] …).
+    pub fsm_transitions: [u64; 4],
+}
+
+/// Indices into [`DaemonStats::fsm_transitions`], one per target state.
+pub const FSM_TO_OPEN_SENT: usize = 0;
+pub const FSM_TO_OPEN_CONFIRM: usize = 1;
+pub const FSM_TO_ESTABLISHED: usize = 2;
+pub const FSM_TO_IDLE: usize = 3;
+
+/// Label values for the transition counters, matching the indices above.
+const FSM_STATE_NAMES: [&str; 4] = ["open_sent", "open_confirm", "established", "idle"];
+
+/// Dense index of an insertion point into the hook-latency table.
+fn pindex(p: InsertionPoint) -> usize {
+    InsertionPoint::ALL.iter().position(|q| *q == p).expect("point in ALL")
 }
 
 /// Timer token layout: `peer_index * 2 + kind`.
@@ -60,6 +85,12 @@ pub struct FirDaemon {
     pub logs: Vec<String>,
     /// Routes added by extensions via `rib_add_route`.
     ext_rib_adds: Vec<(Ipv4Prefix, u32)>,
+    /// Timing instrumentation on? (mirrors `FirConfig::metrics`).
+    metrics: bool,
+    /// Wall-clock nanoseconds spent around each insertion-point hook,
+    /// including context marshalling — a superset of the VMM's own chain
+    /// timing. Indexed by [`pindex`]; filled only when `metrics` is set.
+    hook_ns: [Histogram; 5],
 }
 
 impl FirDaemon {
@@ -67,10 +98,13 @@ impl FirDaemon {
     /// manifest — configuration errors are fatal at startup, like a daemon
     /// refusing to start on a bad config file.
     pub fn new(cfg: FirConfig) -> FirDaemon {
-        let vmm = match &cfg.xbgp {
+        let mut vmm = match &cfg.xbgp {
             Some(m) => Vmm::from_manifest(m).expect("invalid xBGP manifest"),
             None => Vmm::from_manifest(&Manifest::new()).expect("empty manifest"),
         };
+        if cfg.metrics {
+            vmm.enable_metrics();
+        }
         let rov_trie = cfg.native_rov.as_ref().map(|roas| {
             let mut t = RoaTrie::new();
             for r in roas {
@@ -85,18 +119,11 @@ impl FirDaemon {
             }
             t
         });
-        let sessions: Vec<Session> = cfg
-            .peers
-            .iter()
-            .map(|p| Session::new(p.clone(), cfg.asn))
-            .collect();
-        let link_to_peer = cfg
-            .peers
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.link, i))
-            .collect();
+        let sessions: Vec<Session> =
+            cfg.peers.iter().map(|p| Session::new(p.clone(), cfg.asn)).collect();
+        let link_to_peer = cfg.peers.iter().enumerate().map(|(i, p)| (p.link, i)).collect();
         let n = sessions.len();
+        let metrics = cfg.metrics;
         FirDaemon {
             cfg,
             sessions,
@@ -112,7 +139,88 @@ impl FirDaemon {
             stats: DaemonStats::default(),
             logs: Vec::new(),
             ext_rib_adds: Vec::new(),
+            metrics,
+            hook_ns: Default::default(),
         }
+    }
+
+    /// Turn on timing instrumentation at runtime (same effect as
+    /// [`FirConfig::metrics`](crate::config::FirConfig)).
+    pub fn enable_metrics(&mut self) {
+        self.metrics = true;
+        self.vmm.enable_metrics();
+    }
+
+    /// Start a hook timer when instrumentation is on.
+    fn hook_start(&self) -> Option<Instant> {
+        self.metrics.then(Instant::now)
+    }
+
+    /// Record the elapsed time of one insertion-point hook.
+    fn hook_end(&self, point: InsertionPoint, start: Option<Instant>) {
+        if let Some(t0) = start {
+            self.hook_ns[pindex(point)].observe(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Full observability snapshot: daemon counters and gauges, hook-site
+    /// latency histograms (when instrumentation is on) and the VMM's
+    /// per-point / per-extension metrics, all labelled `daemon="bgp-fir"`.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new();
+        let st = &self.stats;
+        s.push_counter("xbgp_daemon_updates_rx_total", &[], st.updates_rx);
+        s.push_counter("xbgp_daemon_updates_tx_total", &[], st.updates_tx);
+        s.push_counter("xbgp_daemon_prefixes_rx_total", &[], st.prefixes_rx);
+        s.push_counter("xbgp_daemon_prefixes_tx_total", &[], st.prefixes_tx);
+        s.push_counter("xbgp_daemon_withdrawals_rx_total", &[], st.withdrawals_rx);
+        s.push_counter("xbgp_daemon_withdrawals_tx_total", &[], st.withdrawals_tx);
+        s.push_counter("xbgp_daemon_sessions_established_total", &[], st.sessions_established);
+        for (state, n) in [
+            ("valid", st.rov_valid),
+            ("invalid", st.rov_invalid),
+            ("not_found", st.rov_not_found),
+        ] {
+            s.push_counter("xbgp_daemon_rov_total", &[("state", state)], n);
+        }
+        s.push_counter("xbgp_daemon_filter_rejects_total", &[], st.xbgp_rejected);
+        s.push_counter("xbgp_daemon_filter_accepts_total", &[], st.xbgp_accepted);
+        s.push_counter("xbgp_daemon_decision_overrides_total", &[], st.xbgp_decisions);
+        for (i, to) in FSM_STATE_NAMES.iter().enumerate() {
+            s.push_counter(
+                "xbgp_daemon_fsm_transitions_total",
+                &[("to", to)],
+                st.fsm_transitions[i],
+            );
+        }
+        s.push_gauge("xbgp_daemon_loc_rib_size", &[], self.loc_rib.len() as i64);
+        s.push_gauge(
+            "xbgp_daemon_adj_rib_in_size",
+            &[],
+            self.adj_in.iter().map(AdjRibIn::len).sum::<usize>() as i64,
+        );
+        s.push_gauge(
+            "xbgp_daemon_adj_rib_out_size",
+            &[],
+            self.adj_out.iter().map(AdjRibOut::len).sum::<usize>() as i64,
+        );
+        s.push_gauge(
+            "xbgp_daemon_sessions_up",
+            &[],
+            self.sessions.iter().filter(|s| s.is_established()).count() as i64,
+        );
+        s.push_gauge("xbgp_daemon_interned_attr_sets", &[], self.intern.len() as i64);
+        if self.metrics {
+            for p in InsertionPoint::ALL {
+                s.push_histogram(
+                    "xbgp_daemon_hook_ns",
+                    &[("point", p.name())],
+                    self.hook_ns[pindex(p)].snapshot(),
+                );
+            }
+        }
+        s.merge(self.vmm.metrics_snapshot());
+        s.with_labels(&[("daemon", "bgp-fir")])
     }
 
     /// The daemon's Loc-RIB size (for tests and the harness).
@@ -134,9 +242,7 @@ impl FirDaemon {
 
     /// Is the session with `peer_addr` established?
     pub fn session_established(&self, peer_addr: u32) -> bool {
-        self.sessions
-            .iter()
-            .any(|s| s.cfg.peer_addr == peer_addr && s.is_established())
+        self.sessions.iter().any(|s| s.cfg.peer_addr == peer_addr && s.is_established())
     }
 
     /// Distinct interned attribute sets (exposes the attrhash behaviour).
@@ -221,6 +327,7 @@ impl FirDaemon {
         let frame = Message::Open(open).encode(4).expect("OPEN encodes");
         ctx.send(self.sessions[idx].cfg.link, &frame);
         self.sessions[idx].state = FsmState::OpenSent;
+        self.stats.fsm_transitions[FSM_TO_OPEN_SENT] += 1;
     }
 
     fn send_msg(&mut self, ctx: &mut NodeCtx<'_>, idx: usize, msg: &Message) {
@@ -233,6 +340,7 @@ impl FirDaemon {
 
     fn establish(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
         self.sessions[idx].state = FsmState::Established;
+        self.stats.fsm_transitions[FSM_TO_ESTABLISHED] += 1;
         self.sessions[idx].last_recv = ctx.now();
         self.stats.sessions_established += 1;
         let hold = self.sessions[idx].hold_time_ns;
@@ -241,11 +349,8 @@ impl FirDaemon {
             ctx.set_timer(hold / 3, (idx as u64) * 2 + TIMER_HOLD);
         }
         // Initial route dump: advertise the whole Loc-RIB to this peer.
-        let routes: Vec<(Ipv4Prefix, RibEntry)> = self
-            .loc_rib
-            .iter()
-            .map(|(p, e)| (*p, e.clone()))
-            .collect();
+        let routes: Vec<(Ipv4Prefix, RibEntry)> =
+            self.loc_rib.iter().map(|(p, e)| (*p, e.clone())).collect();
         let mut pending = OutboundBatches::default();
         for (prefix, entry) in routes {
             self.export_one(idx, prefix, &entry, &mut pending);
@@ -258,6 +363,7 @@ impl FirDaemon {
             return;
         }
         self.sessions[idx].reset();
+        self.stats.fsm_transitions[FSM_TO_IDLE] += 1;
         self.adj_out[idx] = AdjRibOut::default();
         let lost = self.adj_in[idx].drain();
         let mut pending_per_peer: Vec<OutboundBatches> =
@@ -330,6 +436,7 @@ impl FirDaemon {
         // ① BGP_RECEIVE_MESSAGE: the extension sees the raw message and
         // may attach attributes to the routes being parsed.
         if self.vmm.has_extensions(InsertionPoint::BgpReceiveMessage) {
+            let t0 = self.hook_start();
             let mut hctx = FirXbgpCtx {
                 peer: peer_info,
                 args: vec![raw_body],
@@ -343,6 +450,7 @@ impl FirDaemon {
                 logs: &mut self.logs,
             };
             let _ = self.vmm.run(InsertionPoint::BgpReceiveMessage, &mut hctx);
+            self.hook_end(InsertionPoint::BgpReceiveMessage, t0);
         }
 
         // Sender-side loop detection.
@@ -375,6 +483,7 @@ impl FirDaemon {
 
             // ② BGP_INBOUND_FILTER (per route, copy-on-write attributes).
             if inbound_ext {
+                let t0 = self.hook_start();
                 let mut modified = None;
                 let mut hctx = FirXbgpCtx {
                     peer: peer_info,
@@ -388,7 +497,9 @@ impl FirDaemon {
                     rib_adds: &mut self.ext_rib_adds,
                     logs: &mut self.logs,
                 };
-                match self.vmm.run(InsertionPoint::BgpInboundFilter, &mut hctx) {
+                let outcome = self.vmm.run(InsertionPoint::BgpInboundFilter, &mut hctx);
+                self.hook_end(InsertionPoint::BgpInboundFilter, t0);
+                match outcome {
                     VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
                         self.stats.xbgp_rejected += 1;
                         if self.adj_in[idx].remove(prefix).is_some() {
@@ -396,7 +507,8 @@ impl FirDaemon {
                         }
                         continue;
                     }
-                    VmmOutcome::Value(_) | VmmOutcome::Fallback => {}
+                    VmmOutcome::Value(_) => self.stats.xbgp_accepted += 1,
+                    VmmOutcome::Fallback => {}
                 }
                 if let Some(m) = modified {
                     entry_attrs = self.intern.intern(m);
@@ -417,20 +529,14 @@ impl FirDaemon {
                 state
             });
 
-            self.adj_in[idx].insert(
-                *prefix,
-                RibEntry { attrs: entry_attrs, source, rov },
-            );
+            self.adj_in[idx].insert(*prefix, RibEntry { attrs: entry_attrs, source, rov });
             self.run_decision(ctx, *prefix, pending_per_peer);
         }
 
         // Routes installed by extensions through `rib_add_route`.
         let adds: Vec<(Ipv4Prefix, u32)> = self.ext_rib_adds.drain(..).collect();
         for (prefix, nexthop) in adds {
-            let attrs = self.intern.intern(FirAttrs {
-                next_hop: nexthop,
-                ..FirAttrs::default()
-            });
+            let attrs = self.intern.intern(FirAttrs { next_hop: nexthop, ..FirAttrs::default() });
             self.local_routes.insert(
                 prefix,
                 RibEntry {
@@ -461,6 +567,7 @@ impl FirDaemon {
                 flags: 0,
             };
             let nexthop = self.nexthop_info(&candidate.attrs);
+            let t0 = self.hook_start();
             let mut hctx = FirXbgpCtx {
                 peer,
                 args: vec![best_wire],
@@ -473,13 +580,21 @@ impl FirDaemon {
                 rib_adds: &mut self.ext_rib_adds,
                 logs: &mut self.logs,
             };
-            match self.vmm.run(InsertionPoint::BgpDecision, &mut hctx) {
-                VmmOutcome::Value(v) => return v == api::DECISION_PREFER_NEW,
+            let outcome = self.vmm.run(InsertionPoint::BgpDecision, &mut hctx);
+            self.hook_end(InsertionPoint::BgpDecision, t0);
+            match outcome {
+                VmmOutcome::Value(v) => {
+                    self.stats.xbgp_decisions += 1;
+                    return v == api::DECISION_PREFER_NEW;
+                }
                 VmmOutcome::Fallback => {}
             }
         }
         let igp = &|nh: u32| self.igp_metric_to(nh);
-        let dctx = DecisionCtx { igp_metric: igp, default_local_pref: self.cfg.default_local_pref };
+        let dctx = DecisionCtx {
+            igp_metric: igp,
+            default_local_pref: self.cfg.default_local_pref,
+        };
         crate::rib::native_better(candidate, best, &dctx)
     }
 
@@ -521,9 +636,7 @@ impl FirDaemon {
         let old = self.loc_rib.get(&prefix);
         let changed = match (&old, &best) {
             (None, None) => false,
-            (Some(o), Some(n)) => {
-                !Rc::ptr_eq(&o.attrs, &n.attrs) || o.source != n.source
-            }
+            (Some(o), Some(n)) => !Rc::ptr_eq(&o.attrs, &n.attrs) || o.source != n.source,
             _ => true,
         };
         if !changed {
@@ -533,15 +646,15 @@ impl FirDaemon {
         match best {
             Some(entry) => {
                 self.loc_rib.set(prefix, entry.clone());
-                for q in 0..self.sessions.len() {
-                    self.export_one(q, prefix, &entry, &mut pending_per_peer[q]);
+                for (q, pending) in pending_per_peer.iter_mut().enumerate() {
+                    self.export_one(q, prefix, &entry, pending);
                 }
             }
             None => {
                 self.loc_rib.remove(&prefix);
-                for q in 0..self.sessions.len() {
+                for (q, pending) in pending_per_peer.iter_mut().enumerate() {
                     if self.sessions[q].is_established() && self.adj_out[q].withdraw(&prefix) {
-                        pending_per_peer[q].withdrawals.push(prefix);
+                        pending.withdrawals.push(prefix);
                     }
                 }
             }
@@ -581,6 +694,7 @@ impl FirDaemon {
             let peer_info = self.peer_info_for(q);
             let nexthop = self.nexthop_info(&entry.attrs);
             let src_bytes = self.source_info_bytes(src);
+            let t0 = self.hook_start();
             let mut hctx = FirXbgpCtx {
                 peer: peer_info,
                 args: vec![src_bytes],
@@ -593,12 +707,17 @@ impl FirDaemon {
                 rib_adds: &mut self.ext_rib_adds,
                 logs: &mut self.logs,
             };
-            match self.vmm.run(InsertionPoint::BgpOutboundFilter, &mut hctx) {
+            let outcome = self.vmm.run(InsertionPoint::BgpOutboundFilter, &mut hctx);
+            self.hook_end(InsertionPoint::BgpOutboundFilter, t0);
+            match outcome {
                 VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
                     self.stats.xbgp_rejected += 1;
                     false
                 }
-                VmmOutcome::Value(_) => true,
+                VmmOutcome::Value(_) => {
+                    self.stats.xbgp_accepted += 1;
+                    true
+                }
                 VmmOutcome::Fallback => self.native_export_policy(q, entry),
             }
         } else {
@@ -654,8 +773,7 @@ impl FirDaemon {
                     true
                 } else {
                     // iBGP → iBGP needs reflection.
-                    self.cfg.native_rr
-                        && (src.rr_client || self.sessions[q].cfg.rr_client)
+                    self.cfg.native_rr && (src.rr_client || self.sessions[q].cfg.rr_client)
                 }
             }
         }
@@ -681,6 +799,7 @@ impl FirDaemon {
             if encode_ext {
                 let peer_info = self.peer_info_for(q);
                 let src_bytes = self.source_info_bytes(&batch.source);
+                let t0 = self.hook_start();
                 let mut hctx = FirXbgpCtx {
                     peer: peer_info,
                     args: vec![src_bytes],
@@ -694,6 +813,7 @@ impl FirDaemon {
                     logs: &mut self.logs,
                 };
                 let _ = self.vmm.run(InsertionPoint::BgpEncodeMessage, &mut hctx);
+                self.hook_end(InsertionPoint::BgpEncodeMessage, t0);
             }
             let width = self.sessions[q].asn_width();
             // NLRI chunks sized to stay under the 4096-byte frame.
@@ -727,9 +847,7 @@ impl FirDaemon {
         self.sessions[idx].last_recv = ctx.now();
         let width = self.sessions[idx].asn_width();
         let decoded = match xbgp_wire::msg::deframe(&frame) {
-            Ok((ty, body)) => {
-                Message::decode_body(ty, body, width).map(|m| (m, body.to_vec()))
-            }
+            Ok((ty, body)) => Message::decode_body(ty, body, width).map(|m| (m, body.to_vec())),
             Err(e) => Err(e),
         };
         let (msg, body) = match decoded {
@@ -745,14 +863,13 @@ impl FirDaemon {
         match (state, msg) {
             (FsmState::OpenSent, Message::Open(open)) => {
                 match self.sessions[idx].handle_open(&open, self.cfg.hold_time_secs) {
-                    Ok(()) => self.send_msg(ctx, idx, &Message::Keepalive),
+                    Ok(()) => {
+                        self.stats.fsm_transitions[FSM_TO_OPEN_CONFIRM] += 1;
+                        self.send_msg(ctx, idx, &Message::Keepalive)
+                    }
                     Err(reason) => {
                         self.logs.push(format!("OPEN rejected from peer {idx}: {reason}"));
-                        self.send_msg(
-                            ctx,
-                            idx,
-                            &Message::Notification(NotificationMsg::new(2, 2)),
-                        );
+                        self.send_msg(ctx, idx, &Message::Notification(NotificationMsg::new(2, 2)));
                         self.teardown(ctx, idx);
                     }
                 }
@@ -763,8 +880,7 @@ impl FirDaemon {
             }
             (FsmState::Established, Message::Keepalive) => {}
             (_, Message::Notification(n)) => {
-                self.logs
-                    .push(format!("NOTIFICATION {}/{} from peer {idx}", n.code, n.subcode));
+                self.logs.push(format!("NOTIFICATION {}/{} from peer {idx}", n.code, n.subcode));
                 self.teardown(ctx, idx);
             }
             (state, msg) => {
@@ -816,10 +932,7 @@ impl Node for FirDaemon {
         // Originate local routes.
         let originate = self.cfg.originate.clone();
         for (prefix, nexthop) in originate {
-            let attrs = self.intern.intern(FirAttrs {
-                next_hop: nexthop,
-                ..FirAttrs::default()
-            });
+            let attrs = self.intern.intern(FirAttrs { next_hop: nexthop, ..FirAttrs::default() });
             let entry = RibEntry {
                 attrs,
                 source: RouteSource::local(self.cfg.router_id, self.cfg.asn),

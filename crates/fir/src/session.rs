@@ -81,10 +81,7 @@ impl Session {
     pub fn handle_open(&mut self, open: &OpenMsg, proposed_hold_secs: u16) -> Result<(), String> {
         let claimed = open.negotiated_asn();
         if claimed != self.cfg.peer_asn {
-            return Err(format!(
-                "peer claims AS{claimed}, configured AS{}",
-                self.cfg.peer_asn
-            ));
+            return Err(format!("peer claims AS{claimed}, configured AS{}", self.cfg.peer_asn));
         }
         self.four_octet_as = open.supports_four_octet_as();
         let hold = open.hold_time.min(proposed_hold_secs);
@@ -100,7 +97,12 @@ mod tests {
     use netsim::LinkId;
 
     fn cfg() -> PeerCfg {
-        PeerCfg { link: LinkId(0), peer_addr: 9, peer_asn: 65002, rr_client: false }
+        PeerCfg {
+            link: LinkId(0),
+            peer_addr: 9,
+            peer_asn: 65002,
+            rr_client: false,
+        }
     }
 
     #[test]

@@ -118,10 +118,7 @@ impl HostApi for FirXbgpCtx<'_> {
     }
 
     fn get_xtra(&self, key: &str) -> Option<Vec<u8>> {
-        self.xtra
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.clone())
+        self.xtra.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
     }
 
     fn write_buf(&mut self, data: &[u8]) -> Result<(), String> {
@@ -190,8 +187,7 @@ mod tests {
         assert_eq!(ctx.get_attr(4).unwrap().1, 5u32.to_be_bytes());
         assert!(matches!(&ctx.attrs, AttrAccess::Cow { modified, .. } if modified.is_none()));
         // First write clones, then mutates the copy.
-        ctx.set_attr(4, AttrFlags::OPT_NON_TRANS.0, &7u32.to_be_bytes())
-            .unwrap();
+        ctx.set_attr(4, AttrFlags::OPT_NON_TRANS.0, &7u32.to_be_bytes()).unwrap();
         assert_eq!(ctx.get_attr(4).unwrap().1, 7u32.to_be_bytes());
         drop(ctx);
         assert_eq!(base.med, Some(5), "base untouched");

@@ -73,9 +73,7 @@ fn withdrawal_propagates_on_link_failure_between_three_routers() {
     let l2 = sim.connect(dut, c, MS);
     let mut cfg_a = FirConfig::new(65001, 1).peer(l1, 2, 65002);
     cfg_a.originate = vec![(p("192.0.2.0/24"), 1)];
-    let cfg_dut = FirConfig::new(65002, 2)
-        .peer(l1, 1, 65001)
-        .peer(l2, 3, 65003);
+    let cfg_dut = FirConfig::new(65002, 2).peer(l1, 1, 65001).peer(l2, 3, 65003);
     let cfg_c = FirConfig::new(65003, 3).peer(l2, 2, 65002);
     sim.replace_node(a, Box::new(FirDaemon::new(cfg_a)));
     sim.replace_node(dut, Box::new(FirDaemon::new(cfg_dut)));
@@ -85,13 +83,8 @@ fn withdrawal_propagates_on_link_failure_between_three_routers() {
     {
         let dc: &FirDaemon = sim.node_ref(c);
         assert_eq!(dc.loc_rib_prefixes(), vec![p("192.0.2.0/24")]);
-        let path: Vec<u32> = dc
-            .best_route(&p("192.0.2.0/24"))
-            .unwrap()
-            .attrs
-            .as_path
-            .asns()
-            .collect();
+        let path: Vec<u32> =
+            dc.best_route(&p("192.0.2.0/24")).unwrap().attrs.as_path.asns().collect();
         assert_eq!(path, vec![65002, 65001], "two eBGP hops prepended");
     }
 
@@ -119,12 +112,8 @@ fn ibgp_routes_are_not_reflected_without_rr() {
 
     let mut cfg_up = FirConfig::new(65009, 9).peer(l_up, 2, 65000);
     cfg_up.originate = vec![(p("203.0.113.0/24"), 9)];
-    let cfg_dut = FirConfig::new(65000, 2)
-        .peer(l_up, 9, 65009)
-        .peer(l_x, 3, 65000);
-    let cfg_x = FirConfig::new(65000, 3)
-        .peer(l_x, 2, 65000)
-        .peer(l_y, 4, 65000);
+    let cfg_dut = FirConfig::new(65000, 2).peer(l_up, 9, 65009).peer(l_x, 3, 65000);
+    let cfg_x = FirConfig::new(65000, 3).peer(l_x, 2, 65000).peer(l_y, 4, 65000);
     let cfg_y = FirConfig::new(65000, 4).peer(l_y, 3, 65000);
     sim.replace_node(up, Box::new(FirDaemon::new(cfg_up)));
     sim.replace_node(dut, Box::new(FirDaemon::new(cfg_dut)));
@@ -185,17 +174,11 @@ fn reflection_loop_prevention_by_originator_id() {
     let l2 = sim.connect(rr1, rr2, MS);
     let l3 = sim.connect(rr2, client, MS);
 
-    let mut cfg_client = FirConfig::new(65000, 1)
-        .peer(l1, 2, 65000)
-        .peer(l3, 3, 65000);
+    let mut cfg_client = FirConfig::new(65000, 1).peer(l1, 2, 65000).peer(l3, 3, 65000);
     cfg_client.originate = vec![(p("10.9.9.0/24"), 1)];
-    let mut cfg_rr1 = FirConfig::new(65000, 2)
-        .rr_client_peer(l1, 1, 65000)
-        .peer(l2, 3, 65000);
+    let mut cfg_rr1 = FirConfig::new(65000, 2).rr_client_peer(l1, 1, 65000).peer(l2, 3, 65000);
     cfg_rr1.native_rr = true;
-    let mut cfg_rr2 = FirConfig::new(65000, 3)
-        .rr_client_peer(l3, 1, 65000)
-        .peer(l2, 2, 65000);
+    let mut cfg_rr2 = FirConfig::new(65000, 3).rr_client_peer(l3, 1, 65000).peer(l2, 2, 65000);
     cfg_rr2.native_rr = true;
     sim.replace_node(client, Box::new(FirDaemon::new(cfg_client)));
     sim.replace_node(rr1, Box::new(FirDaemon::new(cfg_rr1)));
@@ -280,9 +263,7 @@ fn best_path_selection_prefers_shorter_as_path_across_peers() {
     let l_mid_b = sim.connect(mid, b, MS);
     let l_b_dut = sim.connect(b, dut, MS);
 
-    let mut cfg_a = FirConfig::new(65001, 1)
-        .peer(l_a_dut, 4, 65004)
-        .peer(l_a_mid, 2, 65002);
+    let mut cfg_a = FirConfig::new(65001, 1).peer(l_a_dut, 4, 65004).peer(l_a_mid, 2, 65002);
     cfg_a.originate = vec![(p("10.0.0.0/8"), 1)];
     let cfg_mid = FirConfig::new(65002, 2).peer(l_a_mid, 1, 65001).peer(l_mid_b, 3, 65003);
     let cfg_b = FirConfig::new(65003, 3).peer(l_mid_b, 2, 65002).peer(l_b_dut, 4, 65004);
@@ -309,9 +290,8 @@ fn attribute_interning_shares_sets_across_prefixes() {
         |cfg| {
             let mut cfg = cfg;
             // Many prefixes, one origin: identical attribute sets.
-            cfg.originate = (0..50)
-                .map(|i| (Ipv4Prefix::new(0x0a00_0000 + (i << 8), 24), 1))
-                .collect();
+            cfg.originate =
+                (0..50).map(|i| (Ipv4Prefix::new(0x0a00_0000 + (i << 8), 24), 1)).collect();
             cfg
         },
         |cfg| cfg,
@@ -336,8 +316,8 @@ fn hold_timer_expiry_tears_down_a_silent_session() {
     }
     impl netsim::Node for Mute {
         fn on_data(&mut self, ctx: &mut netsim::NodeCtx<'_>, link: netsim::LinkId, data: &[u8]) {
-            use xbgp_wire::{Message, MsgType, OpenMsg, UpdateMsg, PathAttr, AsPath};
             use xbgp_wire::attr::Origin;
+            use xbgp_wire::{AsPath, Message, MsgType, OpenMsg, PathAttr, UpdateMsg};
             self.reader.push(data);
             while let Ok(Some(frame)) = self.reader.next_frame() {
                 if let Ok((MsgType::Open, _)) = xbgp_wire::msg::deframe(&frame) {
@@ -369,7 +349,8 @@ fn hold_timer_expiry_tears_down_a_silent_session() {
     }
 
     let mut sim = Sim::new(SimConfig::default());
-    let mute = sim.add_node(Box::new(Mute { reader: xbgp_wire::MsgReader::new(), sent_keepalive: false }));
+    let mute =
+        sim.add_node(Box::new(Mute { reader: xbgp_wire::MsgReader::new(), sent_keepalive: false }));
     let dut = sim.add_node(Box::new(Placeholder));
     let link = sim.connect(mute, dut, MS);
     let cfg = FirConfig::new(65001, 1).peer(link, 9, 65009);

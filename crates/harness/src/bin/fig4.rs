@@ -2,35 +2,50 @@
 //! versus native code, per implementation and use case.
 //!
 //! Usage: fig4 [--routes N] [--runs N] [--seed N] [--use-case rr|ov|all]
-//!             [--dut fir|wren|all]
+//!             [--dut fir|wren|all] [--metrics-out FILE]
+//!
+//! `--metrics-out` enables DUT instrumentation and writes the merged
+//! metrics snapshot of every cell's extension run as a JSON document.
 
 use xbgp_harness::fig3::{Dut, UseCase};
 use xbgp_harness::fig4::{fig4_cell, paper_reference, Fig4Config};
+use xbgp_obs::{export, Snapshot};
 
 fn main() {
     let mut cfg = Fig4Config::default();
     let mut duts = vec![Dut::Fir, Dut::Wren];
     let mut cases = vec![UseCase::RouteReflection, UseCase::OriginValidation];
+    let mut metrics_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> &str {
             args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
-                eprintln!("missing value after {}", args[i]);
+                xbgp_obs::error!("missing value after {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        let parse_num = |i: usize| -> u64 {
+            need(i).parse().unwrap_or_else(|_| {
+                xbgp_obs::error!("{} needs a number, got `{}`", args[i], need(i));
                 std::process::exit(2);
             })
         };
         match args[i].as_str() {
-            "--routes" => cfg.routes = need(i).parse().expect("--routes N"),
-            "--runs" => cfg.runs = need(i).parse().expect("--runs N"),
-            "--seed" => cfg.seed = need(i).parse().expect("--seed N"),
+            "--routes" => cfg.routes = parse_num(i) as usize,
+            "--runs" => cfg.runs = parse_num(i) as usize,
+            "--seed" => cfg.seed = parse_num(i),
+            "--metrics-out" => {
+                cfg.metrics = true;
+                metrics_out = Some(need(i).to_string());
+            }
             "--use-case" => {
                 cases = match need(i) {
                     "rr" => vec![UseCase::RouteReflection],
                     "ov" => vec![UseCase::OriginValidation],
                     "all" => cases,
                     other => {
-                        eprintln!("unknown use case `{other}` (rr|ov|all)");
+                        xbgp_obs::error!("unknown use case `{other}` (rr|ov|all)");
                         std::process::exit(2);
                     }
                 }
@@ -41,13 +56,13 @@ fn main() {
                     "wren" => vec![Dut::Wren],
                     "all" => duts,
                     other => {
-                        eprintln!("unknown dut `{other}` (fir|wren|all)");
+                        xbgp_obs::error!("unknown dut `{other}` (fir|wren|all)");
                         std::process::exit(2);
                     }
                 }
             }
             other => {
-                eprintln!("unknown flag `{other}`");
+                xbgp_obs::error!("unknown flag `{other}`");
                 std::process::exit(2);
             }
         }
@@ -58,9 +73,10 @@ fn main() {
         "# Fig. 4 — {} routes, {} paired runs per cell (seed {})",
         cfg.routes, cfg.runs, cfg.seed
     );
+    let mut merged = Snapshot::default();
     for dut in &duts {
         for case in &cases {
-            eprintln!("running {} / {} ...", dut.name(), case.name());
+            xbgp_obs::info!("running {} / {} ...", dut.name(), case.name());
             let cell = fig4_cell(*dut, *case, &cfg);
             println!("\n{} / {}", dut.name(), case.name());
             println!("  impact: {}", xbgp_harness::stats::render(&cell.summary));
@@ -70,6 +86,17 @@ fn main() {
                 cell.median_extension_ns / 1e6
             );
             println!("  {}", paper_reference(*dut, *case));
+            if let Some(snap) = cell.metrics {
+                merged.merge(snap);
+            }
         }
+    }
+    if let Some(path) = metrics_out {
+        let doc = export::to_json(&merged).to_string_pretty();
+        if let Err(e) = std::fs::write(&path, doc) {
+            xbgp_obs::error!("cannot write metrics to {path}: {e}");
+            std::process::exit(2);
+        }
+        xbgp_obs::info!("metrics written to {path}");
     }
 }

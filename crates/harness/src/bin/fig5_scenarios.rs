@@ -72,11 +72,7 @@ fn build(asns: [u32; 6], xbgp: bool) -> (Sim, Vec<NodeId>, LinkId, LinkId) {
 }
 
 fn reaches(sim: &mut Sim, node: NodeId, prefix: &str) -> &'static str {
-    if sim
-        .node_ref::<FirDaemon>(node)
-        .best_route(&p(prefix))
-        .is_some()
-    {
+    if sim.node_ref::<FirDaemon>(node).best_route(&p(prefix)).is_some() {
         "yes"
     } else {
         "NO"
@@ -92,9 +88,7 @@ fn scenario(name: &str, asns: [u32; 6], xbgp: bool) {
     sim.set_link_up(l13s2, false);
     sim.run_until(90 * SEC);
     let after = reaches(&mut sim, nodes[2], "10.13.0.0/16");
-    println!(
-        "{name:<34} | {healthy:^18} | {after:^23} | {ext_at_s2:^22}",
-    );
+    println!("{name:<34} | {healthy:^18} | {after:^23} | {ext_at_s2:^22}",);
 }
 
 fn main() {
@@ -109,11 +103,7 @@ fn main() {
         [65200, 65200, 65100, 65100, 65110, 65110],
         false,
     );
-    scenario(
-        "distinct ASNs, no filter",
-        [65201, 65202, 65101, 65102, 65103, 65104],
-        false,
-    );
+    scenario("distinct ASNs, no filter", [65201, 65202, 65101, 65102, 65103, 65104], false);
     scenario(
         "distinct ASNs + xBGP valley-free",
         [65201, 65202, 65101, 65102, 65103, 65104],

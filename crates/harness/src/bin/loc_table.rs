@@ -40,8 +40,5 @@ fn main() {
     println!("# must convert between its host-order structs and the neutral");
     println!("# network-byte-order form, while WREN's ea_list already stores");
     println!("# the neutral form — the paper's explanation for 589 vs 400.");
-    assert!(
-        fir_glue > wren_glue,
-        "representation gap must show up in the glue sizes"
-    );
+    assert!(fir_glue > wren_glue, "representation gap must show up in the glue sizes");
 }

@@ -1,28 +1,64 @@
 //! xbgp-sim — run a declarative network scenario.
 //!
-//! Usage: xbgp-sim <scenario.json>
+//! Usage: xbgp-sim <scenario.json> [--metrics-out FILE] [--log-level LEVEL]
 //!
 //! See `xbgp_harness::scenario` for the document format. Exit code 0 when
-//! every `expect_route` check passes, 1 otherwise.
+//! every `expect_route` check passes, 1 otherwise. `--metrics-out` writes
+//! the final per-router metrics snapshot as a JSON document.
 
 use std::process::ExitCode;
+use xbgp_obs::export;
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: xbgp-sim <scenario.json>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                let Some(path) = args.get(i + 1) else {
+                    xbgp_obs::error!("missing value after --metrics-out");
+                    return ExitCode::from(2);
+                };
+                metrics_out = Some(path.clone());
+                i += 2;
+            }
+            "--log-level" => {
+                let Some(level) =
+                    args.get(i + 1).and_then(|s| xbgp_obs::logging::Level::from_str_loose(s))
+                else {
+                    xbgp_obs::error!("--log-level needs error|warn|info|debug|trace");
+                    return ExitCode::from(2);
+                };
+                xbgp_obs::logging::set_level(level);
+                i += 2;
+            }
+            other if scenario_path.is_none() && !other.starts_with('-') => {
+                scenario_path = Some(other.to_string());
+                i += 1;
+            }
+            other => {
+                xbgp_obs::error!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = scenario_path else {
+        xbgp_obs::error!("usage: xbgp-sim <scenario.json> [--metrics-out FILE]");
         return ExitCode::from(2);
     };
     let json = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+            xbgp_obs::error!("cannot read {path}: {e}");
             return ExitCode::from(2);
         }
     };
     let scenario = match xbgp_harness::scenario::parse(&json) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("invalid scenario: {e}");
+            xbgp_obs::error!("invalid scenario: {e}");
             return ExitCode::from(2);
         }
     };
@@ -36,6 +72,14 @@ fn main() -> ExitCode {
             for (router, n) in &report.tables {
                 println!("  {router:<16} {n} route(s)");
             }
+            if let Some(out) = metrics_out {
+                let doc = export::to_json(&report.metrics).to_string_pretty();
+                if let Err(e) = std::fs::write(&out, doc) {
+                    xbgp_obs::error!("cannot write metrics to {out}: {e}");
+                    return ExitCode::from(2);
+                }
+                xbgp_obs::info!("metrics written to {out}");
+            }
             if report.all_passed() {
                 ExitCode::SUCCESS
             } else {
@@ -43,7 +87,7 @@ fn main() -> ExitCode {
             }
         }
         Err(e) => {
-            eprintln!("scenario failed to run: {e}");
+            xbgp_obs::error!("scenario failed to run: {e}");
             ExitCode::from(2)
         }
     }

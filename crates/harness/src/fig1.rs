@@ -60,11 +60,7 @@ pub fn cdf() -> Vec<(f64, f64)> {
     let mut delays: Vec<f64> = BGP_RFC_DELAYS.iter().map(|(_, d)| *d).collect();
     delays.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
     let n = delays.len() as f64;
-    delays
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (d, (i + 1) as f64 / n))
-        .collect()
+    delays.iter().enumerate().map(|(i, &d)| (d, (i + 1) as f64 / n)).collect()
 }
 
 /// Median delay in years (the paper's headline 3.5).

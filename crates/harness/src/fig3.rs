@@ -45,6 +45,14 @@ impl UseCase {
             UseCase::OriginValidation => "Origin Validation",
         }
     }
+
+    /// Machine-friendly name, used as a metric label value.
+    pub fn slug(self) -> &'static str {
+        match self {
+            UseCase::RouteReflection => "route_reflection",
+            UseCase::OriginValidation => "origin_validation",
+        }
+    }
 }
 
 /// One experiment run description.
@@ -58,10 +66,13 @@ pub struct Fig3Spec {
     pub routes: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Enable the DUT's timing instrumentation and return its metrics
+    /// snapshot in the outcome.
+    pub metrics: bool,
 }
 
 /// Measured outcome of one run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Fig3Outcome {
     /// Paper metric: virtual ns between the upstream's first announcement
     /// and the last prefix landing at the downstream.
@@ -70,6 +81,8 @@ pub struct Fig3Outcome {
     pub prefixes_delivered: usize,
     /// Measured CPU ns charged to the DUT.
     pub dut_cpu_ns: u64,
+    /// DUT metrics snapshot (when `Fig3Spec::metrics` is set).
+    pub metrics: Option<xbgp_obs::Snapshot>,
 }
 
 /// ROA validity mix of §3.4 ("75% of the injected prefixes as valid").
@@ -111,14 +124,10 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
         match (spec.use_case, spec.extension) {
             (UseCase::RouteReflection, false) => (None, None, None),
             (UseCase::RouteReflection, true) => (None, None, Some(route_reflect::manifest())),
-            (UseCase::OriginValidation, false) => {
-                (Some(make_roas(&table, spec.seed)), None, None)
+            (UseCase::OriginValidation, false) => (Some(make_roas(&table, spec.seed)), None, None),
+            (UseCase::OriginValidation, true) => {
+                (None, Some(make_roas(&table, spec.seed)), Some(origin_validation::manifest()))
             }
-            (UseCase::OriginValidation, true) => (
-                None,
-                Some(make_roas(&table, spec.seed)),
-                Some(origin_validation::manifest()),
-            ),
         };
 
     match spec.dut {
@@ -128,14 +137,13 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
                     .rr_client_peer(l_up, 1, feeder_asn)
                     .rr_client_peer(l_down, 3, sink_asn)
             } else {
-                FirConfig::new(dut_asn, 2)
-                    .peer(l_up, 1, feeder_asn)
-                    .peer(l_down, 3, sink_asn)
+                FirConfig::new(dut_asn, 2).peer(l_up, 1, feeder_asn).peer(l_down, 3, sink_asn)
             };
             cfg.native_rr = ibgp && !spec.extension;
             cfg.native_rov = native_roas;
             cfg.xbgp_roas = ext_roas;
             cfg.xbgp = manifest;
+            cfg.metrics = spec.metrics;
             sim.replace_node(d, Box::new(FirDaemon::new(cfg)));
         }
         Dut::Wren => {
@@ -152,6 +160,7 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
             cfg.roa_table = native_roas;
             cfg.xbgp_roas = ext_roas;
             cfg.xbgp = manifest;
+            cfg.metrics = spec.metrics;
             sim.replace_node(d, Box::new(WrenDaemon::new(cfg)));
         }
     }
@@ -184,15 +193,17 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
     };
     let (last_rx, delivered) = {
         let sink: &Sink = sim.node_ref(s);
-        (
-            sink.last_prefix_rx.expect("table reached the sink"),
-            sink.prefixes_seen(),
-        )
+        (sink.last_prefix_rx.expect("table reached the sink"), sink.prefixes_seen())
     };
+    let metrics = spec.metrics.then(|| match spec.dut {
+        Dut::Fir => sim.node_ref::<FirDaemon>(d).metrics_snapshot(),
+        Dut::Wren => sim.node_ref::<WrenDaemon>(d).metrics_snapshot(),
+    });
     Fig3Outcome {
         elapsed_ns: last_rx.saturating_sub(first_sent),
         prefixes_delivered: delivered,
         dut_cpu_ns: sim.cpu_time(d),
+        metrics,
     }
 }
 
@@ -218,6 +229,7 @@ mod tests {
                         extension,
                         routes: 400,
                         seed: 7,
+                        metrics: extension,
                     });
                     assert_eq!(
                         out.prefixes_delivered,
@@ -228,6 +240,15 @@ mod tests {
                     );
                     assert!(out.elapsed_ns > 0);
                     assert!(out.dut_cpu_ns > 0, "CPU accounting active");
+                    if extension {
+                        let snap = out.metrics.as_ref().expect("metrics requested");
+                        let ran = snap.metrics.iter().any(|m| {
+                            m.name == "xbgp_vmm_runs_total"
+                                && matches!(m.value,
+                                    xbgp_obs::MetricValue::Counter(n) if n > 0)
+                        });
+                        assert!(ran, "extension run produced VMM run counters");
+                    }
                 }
             }
         }

@@ -8,6 +8,7 @@
 
 use crate::fig3::{self, Dut, Fig3Spec, UseCase};
 use crate::stats::{relative_impact_pct, summarize, Summary};
+use xbgp_obs::Snapshot;
 
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -18,11 +19,14 @@ pub struct Fig4Config {
     pub runs: usize,
     /// Base seed; run `i` uses `seed + i`.
     pub seed: u64,
+    /// Collect DUT metrics snapshots (enables timing instrumentation in
+    /// both variants, so the pairing stays symmetric).
+    pub metrics: bool,
 }
 
 impl Default for Fig4Config {
     fn default() -> Self {
-        Fig4Config { routes: 50_000, runs: 15, seed: 1 }
+        Fig4Config { routes: 50_000, runs: 15, seed: 1, metrics: false }
     }
 }
 
@@ -38,6 +42,9 @@ pub struct Fig4Cell {
     /// Median absolute times, for context.
     pub median_native_ns: f64,
     pub median_extension_ns: f64,
+    /// DUT metrics from the cell's last extension run, labeled with the
+    /// use case (when `Fig4Config::metrics` is set).
+    pub metrics: Option<Snapshot>,
 }
 
 /// The full figure.
@@ -52,6 +59,7 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
     let mut impacts = Vec::with_capacity(cfg.runs);
     let mut natives = Vec::with_capacity(cfg.runs);
     let mut extensions = Vec::with_capacity(cfg.runs);
+    let mut metrics = None;
     for i in 0..cfg.runs {
         let seed = cfg.seed + i as u64;
         let native = fig3::run(&Fig3Spec {
@@ -60,6 +68,7 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             extension: false,
             routes: cfg.routes,
             seed,
+            metrics: cfg.metrics,
         });
         let ext = fig3::run(&Fig3Spec {
             dut,
@@ -67,6 +76,7 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             extension: true,
             routes: cfg.routes,
             seed,
+            metrics: cfg.metrics,
         });
         assert_eq!(
             native.prefixes_delivered, ext.prefixes_delivered,
@@ -74,10 +84,10 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
         );
         natives.push(native.elapsed_ns as f64);
         extensions.push(ext.elapsed_ns as f64);
-        impacts.push(relative_impact_pct(
-            native.elapsed_ns as f64,
-            ext.elapsed_ns as f64,
-        ));
+        impacts.push(relative_impact_pct(native.elapsed_ns as f64, ext.elapsed_ns as f64));
+        if let Some(snap) = ext.metrics {
+            metrics = Some(snap.with_labels(&[("use_case", use_case.slug())]));
+        }
     }
     let summary = summarize(&impacts);
     Fig4Cell {
@@ -87,6 +97,7 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
         summary,
         median_native_ns: summarize(&natives).median,
         median_extension_ns: summarize(&extensions).median,
+        metrics,
     }
 }
 
@@ -99,6 +110,18 @@ pub fn fig4_run(cfg: &Fig4Config) -> Fig4Report {
         }
     }
     Fig4Report { config: *cfg, cells }
+}
+
+/// Merge every cell's metrics snapshot into one document (cells are
+/// distinguished by their `daemon` and `use_case` labels).
+pub fn merged_metrics(report: &Fig4Report) -> Snapshot {
+    let mut merged = Snapshot::default();
+    for cell in &report.cells {
+        if let Some(snap) = &cell.metrics {
+            merged.merge(snap.clone());
+        }
+    }
+    merged
 }
 
 /// The paper's qualitative reference values for side-by-side comparison

@@ -33,40 +33,35 @@
 //!   ]
 //! }
 //! ```
+//!
+//! Documents are parsed with [`xbgp_obs::json`]; unknown fields are
+//! rejected so typos in scenario files fail loudly instead of being
+//! silently ignored.
 
 use bgp_fir::{FirConfig, FirDaemon};
 use bgp_wren::{WrenConfig, WrenDaemon};
 use netsim::{LinkId, NodeId, Sim, SimConfig};
-use serde::Deserialize;
 use std::collections::HashMap;
 use xbgp_core::Manifest;
+use xbgp_obs::json::Value;
 use xbgp_wire::prefix::parse_addr;
 use xbgp_wire::Ipv4Prefix;
 
 const SEC: u64 = 1_000_000_000;
 
 /// Top-level scenario document.
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct Scenario {
     pub name: String,
     pub routers: Vec<RouterSpec>,
     pub links: Vec<LinkSpec>,
-    #[serde(default)]
     pub igp: Option<IgpSpec>,
-    #[serde(default)]
     pub events: Vec<Event>,
-    /// Virtual time to run after the last event (seconds).
-    #[serde(default = "default_settle")]
+    /// Virtual time to run after the last event (seconds). Default 10.
     pub settle_secs: u64,
 }
 
-fn default_settle() -> u64 {
-    10
-}
-
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct RouterSpec {
     pub name: String,
     /// `"fir"` or `"wren"`.
@@ -74,68 +69,49 @@ pub struct RouterSpec {
     pub asn: u32,
     /// Dotted-quad BGP identifier / address.
     pub router_id: String,
-    #[serde(default)]
     pub originate: Vec<String>,
     /// Neighbors (by router name) treated as route-reflection clients.
-    #[serde(default)]
     pub rr_clients: Vec<String>,
     /// Enable native RFC 4456 reflection.
-    #[serde(default)]
     pub native_rr: bool,
     /// Inline validator-CSV ROA rows for native origin validation.
-    #[serde(default)]
     pub native_roas_csv: Option<String>,
     /// xBGP extensions to load.
-    #[serde(default)]
     pub extensions: Option<ExtensionSpecJson>,
     /// `get_xtra` configuration (values hex-encoded).
-    #[serde(default)]
     pub xtra_hex: HashMap<String, String>,
 }
 
 /// Either a bundled preset or a full inline manifest.
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct ExtensionSpecJson {
     /// One of: `igp_filter`, `route_reflect`, `origin_validation`,
     /// `geoloc`, `valley_free`.
-    #[serde(default)]
     pub preset: Option<String>,
     /// Parameters for the preset (see `build_manifest`).
-    #[serde(default)]
-    pub params: HashMap<String, serde_json::Value>,
+    pub params: HashMap<String, Value>,
     /// Full manifest document (as produced by `Manifest::to_json`),
     /// overriding `preset`.
-    #[serde(default)]
-    pub manifest: Option<serde_json::Value>,
+    pub manifest: Option<Value>,
     /// Validator-CSV ROA rows backing the `rpki_check_origin` helper.
-    #[serde(default)]
     pub roas_csv: Option<String>,
 }
 
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct LinkSpec {
     pub a: String,
     pub b: String,
     /// One-way latency in microseconds (default 100).
-    #[serde(default = "default_latency_us")]
     pub latency_us: u64,
 }
 
-fn default_latency_us() -> u64 {
-    100
-}
-
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct IgpSpec {
     pub members: Vec<String>,
     pub links: Vec<IgpLinkSpec>,
 }
 
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct IgpLinkSpec {
     pub a: String,
     pub b: String,
@@ -143,36 +119,297 @@ pub struct IgpLinkSpec {
 }
 
 /// One timeline entry: exactly one action, at a virtual time.
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct Event {
     pub at_secs: u64,
-    #[serde(default)]
     pub fail_link: Option<LinkRef>,
-    #[serde(default)]
     pub restore_link: Option<LinkRef>,
     /// Fail and immediately restore (forces re-export with fresh state).
-    #[serde(default)]
     pub flap_link: Option<LinkRef>,
-    #[serde(default)]
     pub fail_igp_link: Option<LinkRef>,
-    #[serde(default)]
     pub expect_route: Option<ExpectRoute>,
 }
 
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct LinkRef {
     pub a: String,
     pub b: String,
 }
 
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct ExpectRoute {
     pub router: String,
     pub prefix: String,
     pub present: bool,
+}
+
+// ---------------------------------------------------------------------------
+// JSON → spec decoding. Each `from_value` rejects unknown fields, like
+// serde's `deny_unknown_fields`, so scenario typos surface immediately.
+
+fn check_fields(v: &Value, ctx: &str, allowed: &[&str]) -> Result<(), String> {
+    if v.as_object().is_none() {
+        return Err(format!("{ctx}: expected an object"));
+    }
+    for key in v.keys() {
+        if !allowed.contains(&key) {
+            return Err(format!("{ctx}: unknown field `{key}`"));
+        }
+    }
+    Ok(())
+}
+
+fn str_field(v: &Value, ctx: &str, key: &str) -> Result<String, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}`"))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{ctx}: `{key}` must be a string"))
+}
+
+fn u64_field(v: &Value, ctx: &str, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}`"))?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: `{key}` must be a non-negative integer"))
+}
+
+fn u64_field_or(v: &Value, ctx: &str, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(n) => n
+            .as_u64()
+            .ok_or_else(|| format!("{ctx}: `{key}` must be a non-negative integer")),
+    }
+}
+
+fn bool_field_or(v: &Value, ctx: &str, key: &str, default: bool) -> Result<bool, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(b) => b.as_bool().ok_or_else(|| format!("{ctx}: `{key}` must be a boolean")),
+    }
+}
+
+fn opt_str_field(v: &Value, ctx: &str, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("{ctx}: `{key}` must be a string")),
+    }
+}
+
+fn str_list_field(v: &Value, ctx: &str, key: &str) -> Result<Vec<String>, String> {
+    match v.get(key) {
+        None => Ok(Vec::new()),
+        Some(arr) => arr
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: `{key}` must be an array of strings"))?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{ctx}: `{key}` entries must be strings"))
+            })
+            .collect(),
+    }
+}
+
+fn list_field<'a, T>(
+    v: &'a Value,
+    ctx: &str,
+    key: &str,
+    required: bool,
+    decode: impl Fn(&'a Value, String) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let arr = match v.get(key) {
+        None if required => return Err(format!("{ctx}: missing `{key}`")),
+        None => return Ok(Vec::new()),
+        Some(arr) => arr.as_array().ok_or_else(|| format!("{ctx}: `{key}` must be an array"))?,
+    };
+    arr.iter()
+        .enumerate()
+        .map(|(i, item)| decode(item, format!("{ctx}: {key}[{i}]")))
+        .collect()
+}
+
+impl Scenario {
+    pub fn from_value(v: &Value) -> Result<Scenario, String> {
+        let ctx = "scenario";
+        check_fields(v, ctx, &["name", "routers", "links", "igp", "events", "settle_secs"])?;
+        Ok(Scenario {
+            name: str_field(v, ctx, "name")?,
+            routers: list_field(v, ctx, "routers", true, |r, c| RouterSpec::from_value(r, &c))?,
+            links: list_field(v, ctx, "links", true, |l, c| LinkSpec::from_value(l, &c))?,
+            igp: match v.get("igp") {
+                None | Some(Value::Null) => None,
+                Some(spec) => Some(IgpSpec::from_value(spec)?),
+            },
+            events: list_field(v, ctx, "events", false, |e, c| Event::from_value(e, &c))?,
+            settle_secs: u64_field_or(v, ctx, "settle_secs", 10)?,
+        })
+    }
+}
+
+impl RouterSpec {
+    fn from_value(v: &Value, ctx: &str) -> Result<RouterSpec, String> {
+        check_fields(
+            v,
+            ctx,
+            &[
+                "name",
+                "implementation",
+                "asn",
+                "router_id",
+                "originate",
+                "rr_clients",
+                "native_rr",
+                "native_roas_csv",
+                "extensions",
+                "xtra_hex",
+            ],
+        )?;
+        let mut xtra_hex = HashMap::new();
+        if let Some(obj) = v.get("xtra_hex") {
+            let members =
+                obj.as_object().ok_or_else(|| format!("{ctx}: `xtra_hex` must be an object"))?;
+            for (key, hex) in members {
+                let hex = hex
+                    .as_str()
+                    .ok_or_else(|| format!("{ctx}: xtra_hex `{key}` must be a hex string"))?;
+                xtra_hex.insert(key.clone(), hex.to_string());
+            }
+        }
+        Ok(RouterSpec {
+            name: str_field(v, ctx, "name")?,
+            implementation: str_field(v, ctx, "implementation")?,
+            asn: u64_field(v, ctx, "asn")?
+                .try_into()
+                .map_err(|_| format!("{ctx}: `asn` out of range"))?,
+            router_id: str_field(v, ctx, "router_id")?,
+            originate: str_list_field(v, ctx, "originate")?,
+            rr_clients: str_list_field(v, ctx, "rr_clients")?,
+            native_rr: bool_field_or(v, ctx, "native_rr", false)?,
+            native_roas_csv: opt_str_field(v, ctx, "native_roas_csv")?,
+            extensions: match v.get("extensions") {
+                None | Some(Value::Null) => None,
+                Some(spec) => Some(ExtensionSpecJson::from_value(spec, ctx)?),
+            },
+            xtra_hex,
+        })
+    }
+}
+
+impl ExtensionSpecJson {
+    fn from_value(v: &Value, ctx: &str) -> Result<ExtensionSpecJson, String> {
+        let ctx = format!("{ctx}: extensions");
+        check_fields(v, &ctx, &["preset", "params", "manifest", "roas_csv"])?;
+        let mut params = HashMap::new();
+        if let Some(obj) = v.get("params") {
+            let members =
+                obj.as_object().ok_or_else(|| format!("{ctx}: `params` must be an object"))?;
+            for (key, value) in members {
+                params.insert(key.clone(), value.clone());
+            }
+        }
+        Ok(ExtensionSpecJson {
+            preset: opt_str_field(v, &ctx, "preset")?,
+            params,
+            manifest: v.get("manifest").filter(|m| !matches!(m, Value::Null)).cloned(),
+            roas_csv: opt_str_field(v, &ctx, "roas_csv")?,
+        })
+    }
+}
+
+impl LinkSpec {
+    fn from_value(v: &Value, ctx: &str) -> Result<LinkSpec, String> {
+        check_fields(v, ctx, &["a", "b", "latency_us"])?;
+        Ok(LinkSpec {
+            a: str_field(v, ctx, "a")?,
+            b: str_field(v, ctx, "b")?,
+            latency_us: u64_field_or(v, ctx, "latency_us", 100)?,
+        })
+    }
+}
+
+impl IgpSpec {
+    fn from_value(v: &Value) -> Result<IgpSpec, String> {
+        let ctx = "scenario: igp";
+        check_fields(v, ctx, &["members", "links"])?;
+        Ok(IgpSpec {
+            members: str_list_field(v, ctx, "members")?,
+            links: list_field(v, ctx, "links", true, |l, c| IgpLinkSpec::from_value(l, &c))?,
+        })
+    }
+}
+
+impl IgpLinkSpec {
+    fn from_value(v: &Value, ctx: &str) -> Result<IgpLinkSpec, String> {
+        check_fields(v, ctx, &["a", "b", "metric"])?;
+        Ok(IgpLinkSpec {
+            a: str_field(v, ctx, "a")?,
+            b: str_field(v, ctx, "b")?,
+            metric: u64_field(v, ctx, "metric")?
+                .try_into()
+                .map_err(|_| format!("{ctx}: `metric` out of range"))?,
+        })
+    }
+}
+
+impl Event {
+    fn from_value(v: &Value, ctx: &str) -> Result<Event, String> {
+        check_fields(
+            v,
+            ctx,
+            &[
+                "at_secs",
+                "fail_link",
+                "restore_link",
+                "flap_link",
+                "fail_igp_link",
+                "expect_route",
+            ],
+        )?;
+        let link = |key: &str| -> Result<Option<LinkRef>, String> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(r) => Ok(Some(LinkRef::from_value(r, &format!("{ctx}: {key}"))?)),
+            }
+        };
+        Ok(Event {
+            at_secs: u64_field(v, ctx, "at_secs")?,
+            fail_link: link("fail_link")?,
+            restore_link: link("restore_link")?,
+            flap_link: link("flap_link")?,
+            fail_igp_link: link("fail_igp_link")?,
+            expect_route: match v.get("expect_route") {
+                None | Some(Value::Null) => None,
+                Some(e) => Some(ExpectRoute::from_value(e, &format!("{ctx}: expect_route"))?),
+            },
+        })
+    }
+}
+
+impl LinkRef {
+    fn from_value(v: &Value, ctx: &str) -> Result<LinkRef, String> {
+        check_fields(v, ctx, &["a", "b"])?;
+        Ok(LinkRef { a: str_field(v, ctx, "a")?, b: str_field(v, ctx, "b")? })
+    }
+}
+
+impl ExpectRoute {
+    fn from_value(v: &Value, ctx: &str) -> Result<ExpectRoute, String> {
+        check_fields(v, ctx, &["router", "prefix", "present"])?;
+        Ok(ExpectRoute {
+            router: str_field(v, ctx, "router")?,
+            prefix: str_field(v, ctx, "prefix")?,
+            present: v
+                .get("present")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("{ctx}: `present` must be a boolean"))?,
+        })
+    }
 }
 
 /// Outcome of a scenario run.
@@ -183,6 +420,9 @@ pub struct ScenarioReport {
     pub checks: Vec<(String, bool)>,
     /// Final `(router, table size)` summary.
     pub tables: Vec<(String, usize)>,
+    /// Merged final metrics of every router, each tagged with a
+    /// `router` label on top of its `daemon` label.
+    pub metrics: xbgp_obs::Snapshot,
 }
 
 impl ScenarioReport {
@@ -197,9 +437,7 @@ fn build_manifest(spec: &ExtensionSpecJson) -> Result<Manifest, String> {
         return Manifest::from_json(&doc.to_string());
     }
     let preset = spec.preset.as_deref().ok_or("extensions need `preset` or `manifest`")?;
-    let get_u64 = |key: &str| -> Option<u64> {
-        spec.params.get(key).and_then(serde_json::Value::as_u64)
-    };
+    let get_u64 = |key: &str| -> Option<u64> { spec.params.get(key).and_then(Value::as_u64) };
     match preset {
         "igp_filter" => Ok(xbgp_progs::igp_filter::manifest()),
         "route_reflect" => Ok(xbgp_progs::route_reflect::manifest()),
@@ -209,13 +447,13 @@ fn build_manifest(spec: &ExtensionSpecJson) -> Result<Manifest, String> {
             let pairs: Vec<(u32, u32)> = spec
                 .params
                 .get("pairs")
-                .and_then(serde_json::Value::as_array)
+                .and_then(Value::as_array)
                 .ok_or("valley_free needs params.pairs: [[below, above], ...]")?
                 .iter()
                 .map(|p| {
                     let pair = p.as_array().ok_or("pair must be [below, above]")?;
-                    let below = pair.first().and_then(serde_json::Value::as_u64);
-                    let above = pair.get(1).and_then(serde_json::Value::as_u64);
+                    let below = pair.first().and_then(|v| v.as_u64());
+                    let above = pair.get(1).and_then(|v| v.as_u64());
                     match (below, above) {
                         (Some(b), Some(a)) => Ok((b as u32, a as u32)),
                         _ => Err("pair must be two ASNs".to_string()),
@@ -225,7 +463,7 @@ fn build_manifest(spec: &ExtensionSpecJson) -> Result<Manifest, String> {
             let dc: Ipv4Prefix = spec
                 .params
                 .get("dc_prefix")
-                .and_then(serde_json::Value::as_str)
+                .and_then(Value::as_str)
                 .ok_or("valley_free needs params.dc_prefix")?
                 .parse()
                 .map_err(|e: String| e)?;
@@ -321,9 +559,7 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
         let xtra: Vec<(String, Vec<u8>)> = r
             .xtra_hex
             .iter()
-            .map(|(k, v)| {
-                xbgp_core::manifest::from_hex(v).map(|bytes| (k.clone(), bytes))
-            })
+            .map(|(k, v)| xbgp_core::manifest::from_hex(v).map(|bytes| (k.clone(), bytes)))
             .collect::<Result<_, _>>()?;
         let peers: Vec<(LinkId, String)> = links_of.get(&r.name).cloned().unwrap_or_default();
 
@@ -426,22 +662,31 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
     }
     sim.run_until((last + scenario.settle_secs) * SEC);
 
-    // Final tables.
+    // Final tables and metrics.
     let mut tables = Vec::new();
+    let mut metrics = xbgp_obs::Snapshot::default();
     for (i, r) in scenario.routers.iter().enumerate() {
         let node = nodes[i];
-        let n = match kinds[i] {
-            AnyRouter::Fir => sim.node_ref::<FirDaemon>(node).loc_rib_len(),
-            AnyRouter::Wren => sim.node_ref::<WrenDaemon>(node).table_len(),
+        let (n, snap) = match kinds[i] {
+            AnyRouter::Fir => {
+                let d = sim.node_ref::<FirDaemon>(node);
+                (d.loc_rib_len(), d.metrics_snapshot())
+            }
+            AnyRouter::Wren => {
+                let d = sim.node_ref::<WrenDaemon>(node);
+                (d.table_len(), d.metrics_snapshot())
+            }
         };
         tables.push((r.name.clone(), n));
+        metrics.merge(snap.with_labels(&[("router", &r.name)]));
     }
-    Ok(ScenarioReport { name: scenario.name.clone(), checks, tables })
+    Ok(ScenarioReport { name: scenario.name.clone(), checks, tables, metrics })
 }
 
 /// Parse a scenario document from JSON.
 pub fn parse(json: &str) -> Result<Scenario, String> {
-    serde_json::from_str(json).map_err(|e| e.to_string())
+    let doc = Value::parse(json)?;
+    Scenario::from_value(&doc)
 }
 
 #[cfg(test)]
@@ -555,5 +800,23 @@ mod tests {
             "links": []
         }"#;
         assert!(run(&parse(json).unwrap()).unwrap_err().contains("quagga"));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let json = r#"{
+            "name": "typo",
+            "routers": [
+                { "name": "a", "implementation": "fir", "asn": 1,
+                  "router_id": "10.0.0.1", "originate_prefixes": [] }
+            ],
+            "links": []
+        }"#;
+        let err = parse(json).unwrap_err();
+        assert!(err.contains("originate_prefixes"), "{err}");
+
+        let err =
+            parse(r#"{"name": "x", "routers": [], "links": [], "sette_secs": 1}"#).unwrap_err();
+        assert!(err.contains("sette_secs"), "{err}");
     }
 }

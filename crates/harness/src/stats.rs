@@ -25,9 +25,12 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
-/// Summarize a sample. Panics on an empty slice.
+/// Summarize a sample. An empty slice yields an all-zero summary rather
+/// than panicking, so a cell with no completed runs still renders.
 pub fn summarize(values: &[f64]) -> Summary {
-    assert!(!values.is_empty(), "cannot summarize an empty sample");
+    if values.is_empty() {
+        return Summary { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0 };
+    }
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in measurements"));
     Summary {
@@ -41,8 +44,12 @@ pub fn summarize(values: &[f64]) -> Summary {
 }
 
 /// Relative impact in percent: `(ext - native) / native * 100` (Fig. 4's
-/// y-axis).
+/// y-axis). A zero (or non-finite) native baseline yields 0 instead of
+/// dividing by it.
 pub fn relative_impact_pct(native: f64, extension: f64) -> f64 {
+    if native == 0.0 || !native.is_finite() || !extension.is_finite() {
+        return 0.0;
+    }
     (extension - native) / native * 100.0
 }
 
@@ -92,8 +99,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_sample_panics() {
-        summarize(&[]);
+    fn empty_sample_yields_zeroed_summary() {
+        let s = summarize(&[]);
+        assert_eq!(s, Summary { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0 });
+    }
+
+    #[test]
+    fn zero_or_nonfinite_baseline_yields_zero_impact() {
+        assert_eq!(relative_impact_pct(0.0, 120.0), 0.0);
+        assert_eq!(relative_impact_pct(f64::NAN, 120.0), 0.0);
+        assert_eq!(relative_impact_pct(100.0, f64::INFINITY), 0.0);
     }
 }

@@ -38,6 +38,9 @@ struct LinkState {
     up: bool,
 }
 
+/// Cost-to-destination table computed by one SPF run, keyed by router id.
+type CostTable = HashMap<u32, Metric>;
+
 /// The link-state database and SPF engine.
 #[derive(Debug, Default)]
 pub struct IgpNetwork {
@@ -47,7 +50,7 @@ pub struct IgpNetwork {
     adj: Vec<Vec<LinkState>>,
     version: u64,
     /// Memoized SPF trees: source → (version, cost table).
-    cache: RefCell<HashMap<usize, (u64, HashMap<u32, Metric>)>>,
+    cache: RefCell<HashMap<usize, (u64, CostTable)>>,
 }
 
 impl IgpNetwork {
@@ -82,6 +85,7 @@ impl IgpNetwork {
     /// Returns false if no such link exists.
     pub fn set_link_up(&mut self, a: u32, b: u32, up: bool) -> bool {
         let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            xbgp_obs::warn!("set_link_up on unknown IGP link {a}–{b}");
             return false;
         };
         let mut touched = false;
@@ -99,6 +103,7 @@ impl IgpNetwork {
         }
         if touched {
             self.version += 1;
+            xbgp_obs::debug!("IGP link {a}–{b} {}", if up { "up" } else { "down" });
         }
         touched
     }
@@ -106,6 +111,7 @@ impl IgpNetwork {
     /// Change the metric of the `a`–`b` link (both directions).
     pub fn set_metric(&mut self, a: u32, b: u32, metric: Metric) -> bool {
         let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            xbgp_obs::warn!("set_metric on unknown IGP link {a}–{b}");
             return false;
         };
         let mut touched = false;
@@ -229,7 +235,7 @@ mod tests {
         assert_eq!(n.metric(3, 1), 10);
         n.set_link_up(1, 2, false); // london—amsterdam
         n.set_link_up(3, 1, false); // berlin—london
-        // berlin → amsterdam (10) → nyc (1000) → london (1000).
+                                    // berlin → amsterdam (10) → nyc (1000) → london (1000).
         assert_eq!(n.metric(3, 1), 2010);
     }
 

@@ -77,7 +77,8 @@ mod tests {
     #[test]
     fn ping_pong_with_latency() {
         let mut sim = Sim::new(SimConfig::default());
-        let a = sim.add_node(Box::new(Pinger { link: None, got: Vec::new(), timer_fired_at: None }));
+        let a =
+            sim.add_node(Box::new(Pinger { link: None, got: Vec::new(), timer_fired_at: None }));
         let b = sim.add_node(Box::new(Echo { received: Vec::new() }));
         sim.connect(a, b, 500); // 500 ns each way
         sim.run_until_idle(10_000_000);
@@ -225,7 +226,11 @@ mod tests {
         // in this workspace leans on.
         fn run_once() -> Vec<(u64, Vec<u8>)> {
             let mut sim = Sim::new(SimConfig::default());
-            let a = sim.add_node(Box::new(Pinger { link: None, got: Vec::new(), timer_fired_at: None }));
+            let a = sim.add_node(Box::new(Pinger {
+                link: None,
+                got: Vec::new(),
+                timer_fired_at: None,
+            }));
             let b = sim.add_node(Box::new(Echo { received: Vec::new() }));
             sim.connect(a, b, 777);
             sim.run_until_idle(10_000_000);

@@ -43,9 +43,21 @@ pub struct SimConfig {
 #[derive(Debug)]
 enum EventKind {
     Start(NodeId),
-    Data { to: NodeId, link: LinkId, data: Vec<u8> },
-    Timer { node: NodeId, token: u64, timer_id: u64 },
-    LinkEvent { node: NodeId, link: LinkId, up: bool },
+    Data {
+        to: NodeId,
+        link: LinkId,
+        data: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+        timer_id: u64,
+    },
+    LinkEvent {
+        node: NodeId,
+        link: LinkId,
+        up: bool,
+    },
 }
 
 struct Event {
@@ -201,9 +213,9 @@ impl Sim {
         if !up {
             // Drop in-flight data on this link.
             let mut rest: Vec<Reverse<Event>> = self.queue.drain().collect();
-            rest.retain(|Reverse(e)| {
-                !matches!(&e.kind, EventKind::Data { link: l, .. } if *l == link)
-            });
+            rest.retain(
+                |Reverse(e)| !matches!(&e.kind, EventKind::Data { link: l, .. } if *l == link),
+            );
             self.queue.extend(rest);
         }
         let (a, b) = (self.links[link.0].a, self.links[link.0].b);
@@ -287,31 +299,27 @@ impl Sim {
     }
 
     fn dispatch(&mut self, ev: Event) {
-        let (node_id, call): (NodeId, Box<dyn FnOnce(&mut dyn Node, &mut NodeCtx<'_>)>) =
-            match ev.kind {
-                EventKind::Start(n) => (n, Box::new(|node, ctx| node.on_start(ctx))),
-                EventKind::Data { to, link, data } => (
-                    to,
-                    Box::new(move |node, ctx| node.on_data(ctx, link, &data)),
-                ),
-                EventKind::Timer { node, token, timer_id } => {
-                    // Fire only if this instance is still armed (not
-                    // cancelled); firing disarms it.
-                    let slot = &mut self.nodes[node.0];
-                    let live = slot
-                        .active_timers
-                        .get_mut(&token)
-                        .is_some_and(|set| set.remove(&timer_id));
-                    if !live {
-                        return;
-                    }
-                    (node, Box::new(move |n, ctx| n.on_timer(ctx, token)))
+        type NodeCall = Box<dyn for<'c> FnOnce(&mut dyn Node, &mut NodeCtx<'c>)>;
+        let (node_id, call): (NodeId, NodeCall) = match ev.kind {
+            EventKind::Start(n) => (n, Box::new(|node, ctx| node.on_start(ctx))),
+            EventKind::Data { to, link, data } => {
+                (to, Box::new(move |node, ctx| node.on_data(ctx, link, &data)))
+            }
+            EventKind::Timer { node, token, timer_id } => {
+                // Fire only if this instance is still armed (not
+                // cancelled); firing disarms it.
+                let slot = &mut self.nodes[node.0];
+                let live =
+                    slot.active_timers.get_mut(&token).is_some_and(|set| set.remove(&timer_id));
+                if !live {
+                    return;
                 }
-                EventKind::LinkEvent { node, link, up } => (
-                    node,
-                    Box::new(move |n, ctx| n.on_link_event(ctx, link, up)),
-                ),
-            };
+                (node, Box::new(move |n, ctx| n.on_timer(ctx, token)))
+            }
+            EventKind::LinkEvent { node, link, up } => {
+                (node, Box::new(move |n, ctx| n.on_link_event(ctx, link, up)))
+            }
+        };
 
         let slot = &mut self.nodes[node_id.0];
         let links_snapshot = slot.links.clone();
@@ -344,11 +352,7 @@ impl Sim {
                 }
                 Action::SetTimer { delay, token } => {
                     let timer_id = self.seq;
-                    self.nodes[node_id.0]
-                        .active_timers
-                        .entry(token)
-                        .or_default()
-                        .insert(timer_id);
+                    self.nodes[node_id.0].active_timers.entry(token).or_default().insert(timer_id);
                     self.push(finish + delay, EventKind::Timer { node: node_id, token, timer_id });
                 }
                 Action::CancelTimer { token } => {

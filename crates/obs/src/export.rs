@@ -1,0 +1,325 @@
+//! Exporters: Prometheus text exposition format and JSON documents.
+//!
+//! `to_prometheus` emits the format a Prometheus server scrapes
+//! (`# TYPE` comments, `name{labels} value` samples, cumulative
+//! `_bucket`/`_sum`/`_count` series for histograms). `parse_prometheus` is
+//! the inverse for samples — enough to round-trip exporter output in
+//! tests and to let external tools consume dumps without a Prometheus
+//! dependency. `to_json` renders the same snapshot as a JSON document via
+//! [`crate::json`].
+
+use crate::json::Value;
+use crate::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use crate::registry::{Metric, MetricValue, Snapshot};
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for m in &snapshot.metrics {
+        let type_name = match m.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        if last_name != Some(m.name.as_str()) {
+            out.push_str(&format!("# TYPE {} {}\n", m.name, type_name));
+            last_name = Some(m.name.as_str());
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("{}{} {}\n", m.name, render_labels(&m.labels, None), v));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("{}{} {}\n", m.name, render_labels(&m.labels, None), v));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    cumulative += c;
+                    // Empty buckets below the data are skipped to keep
+                    // dumps small; cumulative semantics are preserved.
+                    if c == 0 && i != HISTOGRAM_BUCKETS - 1 {
+                        continue;
+                    }
+                    let le = if i == HISTOGRAM_BUCKETS - 1 {
+                        "+Inf".to_string()
+                    } else {
+                        Histogram::bucket_upper_bound(i).to_string()
+                    };
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, Some(&le)),
+                        cumulative
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    m.name,
+                    render_labels(&m.labels, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    m.name,
+                    render_labels(&m.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// One `name{labels} value` sample parsed back from exposition text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// Parse Prometheus exposition text into samples. `# `-prefixed comment
+/// lines and blank lines are skipped; malformed sample lines are errors.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let (name_and_labels, value_text) = match line.find('}') {
+        Some(close) => {
+            let (head, tail) = line.split_at(close + 1);
+            (head, tail.trim())
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let head = it.next().unwrap();
+            (head, it.next().ok_or("missing value")?.trim())
+        }
+    };
+    let value: f64 = value_text.parse().map_err(|_| format!("bad value `{value_text}`"))?;
+
+    let (name, labels) = match name_and_labels.find('{') {
+        None => (name_and_labels.to_string(), Vec::new()),
+        Some(open) => {
+            let name = name_and_labels[..open].to_string();
+            let body = name_and_labels[open + 1..name_and_labels.len() - 1].trim();
+            (name, parse_labels(body)?)
+        }
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("bad metric name `{name}`"));
+    }
+    Ok(PromSample { name, labels, value })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without `=`")?;
+        let key = rest[..eq].trim().to_string();
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value not quoted".to_string());
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err("dangling escape".to_string()),
+                },
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let consumed = consumed.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = rest[consumed..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: `{rest}`"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Render a snapshot as a JSON document (array of metric objects).
+pub fn to_json(snapshot: &Snapshot) -> Value {
+    Value::Arr(snapshot.metrics.iter().map(metric_to_json).collect())
+}
+
+fn metric_to_json(m: &Metric) -> Value {
+    let labels =
+        Value::Obj(m.labels.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect());
+    let mut members =
+        vec![("name".to_string(), Value::Str(m.name.clone())), ("labels".to_string(), labels)];
+    match &m.value {
+        MetricValue::Counter(v) => {
+            members.push(("type".to_string(), Value::from("counter")));
+            members.push(("value".to_string(), Value::from(*v)));
+        }
+        MetricValue::Gauge(v) => {
+            members.push(("type".to_string(), Value::from("gauge")));
+            members.push(("value".to_string(), Value::from(*v)));
+        }
+        MetricValue::Histogram(h) => {
+            members.push(("type".to_string(), Value::from("histogram")));
+            members.push(("count".to_string(), Value::from(h.count)));
+            members.push(("sum".to_string(), Value::from(h.sum)));
+            members.push(("mean_ns".to_string(), Value::from(h.mean())));
+            members.push(("p50".to_string(), Value::from(h.quantile(0.5))));
+            members.push(("p99".to_string(), Value::from(h.quantile(0.99))));
+            // Sparse bucket encoding: [bucket_upper_bound, count] pairs.
+            let buckets: Vec<Value> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    Value::Arr(vec![Value::from(Histogram::bucket_upper_bound(i)), Value::from(c)])
+                })
+                .collect();
+            members.push(("buckets".to_string(), Value::Arr(buckets)));
+        }
+    }
+    Value::Obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.push_counter(
+            "xbgp_vmm_runs_total",
+            &[("point", "bgp_decision"), ("daemon", "bgp-fir")],
+            42,
+        );
+        s.push_gauge("bgp_rib_size", &[("daemon", "bgp-wren")], 120_000);
+        let h = Histogram::new();
+        h.observe(100);
+        h.observe(3000);
+        h.observe(3100);
+        s.push_histogram("xbgp_vmm_run_ns", &[("point", "bgp_inbound_filter")], h.snapshot());
+        s
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE xbgp_vmm_runs_total counter"));
+        assert!(text.contains("xbgp_vmm_runs_total{point=\"bgp_decision\",daemon=\"bgp-fir\"} 42"));
+        assert!(text.contains("# TYPE bgp_rib_size gauge"));
+        assert!(text.contains("bgp_rib_size{daemon=\"bgp-wren\"} 120000"));
+        assert!(text.contains("# TYPE xbgp_vmm_run_ns histogram"));
+        // 100 → bucket upper bound 127; the two 3xxx values land in
+        // [2048,4096) → cumulative 3 at le=4095.
+        assert!(text.contains("xbgp_vmm_run_ns_bucket{point=\"bgp_inbound_filter\",le=\"127\"} 1"));
+        assert!(text.contains("xbgp_vmm_run_ns_bucket{point=\"bgp_inbound_filter\",le=\"4095\"} 3"));
+        assert!(text.contains("xbgp_vmm_run_ns_bucket{point=\"bgp_inbound_filter\",le=\"+Inf\"} 3"));
+        assert!(text.contains("xbgp_vmm_run_ns_sum{point=\"bgp_inbound_filter\"} 6200"));
+        assert!(text.contains("xbgp_vmm_run_ns_count{point=\"bgp_inbound_filter\"} 3"));
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_parser() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        let samples = parse_prometheus(&text).unwrap();
+
+        // Counter and gauge come back exactly.
+        let counter = samples.iter().find(|s| s.name == "xbgp_vmm_runs_total").unwrap();
+        assert_eq!(counter.value, 42.0);
+        assert_eq!(
+            counter.labels,
+            vec![
+                ("point".to_string(), "bgp_decision".to_string()),
+                ("daemon".to_string(), "bgp-fir".to_string())
+            ]
+        );
+        let gauge = samples.iter().find(|s| s.name == "bgp_rib_size").unwrap();
+        assert_eq!(gauge.value, 120_000.0);
+
+        // Histogram series: _count/_sum match, +Inf bucket equals count.
+        let count = samples.iter().find(|s| s.name == "xbgp_vmm_run_ns_count").unwrap();
+        assert_eq!(count.value, 3.0);
+        let sum = samples.iter().find(|s| s.name == "xbgp_vmm_run_ns_sum").unwrap();
+        assert_eq!(sum.value, 6200.0);
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "xbgp_vmm_run_ns_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .unwrap();
+        assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_junk() {
+        let samples = parse_prometheus("m{k=\"a\\\"b\\\\c\\nd\"} 1\n# HELP m x\n\nm2 5\n").unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c\nd");
+        assert_eq!(samples[1], PromSample { name: "m2".into(), labels: vec![], value: 5.0 });
+
+        assert!(parse_prometheus("not a metric line").is_err());
+        assert!(parse_prometheus("m{k=unquoted} 1").is_err());
+        assert!(parse_prometheus("m 1 2 3").is_err());
+    }
+
+    #[test]
+    fn json_export_matches_snapshot() {
+        let doc = to_json(&sample_snapshot());
+        let arr = doc.as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        let counter = &arr[0];
+        assert_eq!(counter.get("name").unwrap().as_str(), Some("xbgp_vmm_runs_total"));
+        assert_eq!(counter.get("type").unwrap().as_str(), Some("counter"));
+        assert_eq!(counter.get("value").unwrap().as_u64(), Some(42));
+        assert_eq!(counter.get("labels").unwrap().get("daemon").unwrap().as_str(), Some("bgp-fir"));
+        let hist = &arr[2];
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(hist.get("sum").unwrap().as_u64(), Some(6200));
+        // Round-trip through the JSON parser too.
+        let reparsed = Value::parse(&doc.to_string()).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+}

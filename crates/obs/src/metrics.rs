@@ -1,0 +1,263 @@
+//! Lock-free metric primitives: counters, gauges, log2-bucket histograms.
+//!
+//! All types are updated through `&self` with relaxed atomics — safe to
+//! share via `Arc` across threads, free of locks on the hot path. Relaxed
+//! ordering is deliberate: metrics need eventual visibility, not
+//! synchronisation edges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `i` (for `i ≥ 1`) counts values
+/// needing exactly `i` significant bits, i.e. `v ∈ [2^(i-1), 2^i)`;
+/// bucket 0 counts zeros; the last bucket absorbs everything ≥ 2^62.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (RIB sizes, session counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Log2-bucket histogram for latency-style values (typically nanoseconds).
+///
+/// One atomic `fetch_add` per observation; `count` and `sum` are tracked so
+/// exporters can derive averages exactly while quantiles come from the
+/// bucket boundaries (within 2× of the true value, which is what a log2
+/// layout buys).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Index of the bucket `value` lands in: the number of significant
+    /// bits, capped to the last bucket.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i`; the last bucket is unbounded
+    /// (`u64::MAX` stands in for +Inf).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the q-quantile observation
+    /// (`0.0 ≤ q ≤ 1.0`). Approximate by construction: within one log2
+    /// bucket of the true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(i);
+            }
+        }
+        Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Merge another snapshot into this one (used when aggregating the
+    /// same metric across label sets).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_indices() {
+        // Every value must fall in a bucket whose upper bound contains it.
+        for v in [0u64, 1, 2, 3, 15, 16, 1000, 1 << 20, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > Histogram::bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observe_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 3, 3, 100, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 5107);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 3, 3
+        assert_eq!(s.buckets[7], 1); // 100 ∈ [64,128)
+        assert_eq!(s.buckets[13], 1); // 5000 ∈ [4096,8192)
+        assert!((s.mean() - 5107.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_tracks_distribution() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(10); // bucket 4, upper bound 15
+        }
+        for _ in 0..10 {
+            h.observe(1000); // bucket 10, upper bound 1023
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 15);
+        assert_eq!(s.quantile(0.99), 1023);
+        assert_eq!(s.quantile(0.0), 15);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_fields() {
+        let a = Histogram::new();
+        a.observe(5);
+        let b = Histogram::new();
+        b.observe(100);
+        b.observe(7);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.count, 3);
+        assert_eq!(sa.sum, 112);
+    }
+}

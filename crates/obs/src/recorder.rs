@@ -1,0 +1,105 @@
+//! The `Recorder` trait: how instrumented components hand metric events to
+//! a host-chosen backend.
+//!
+//! Components that embed observability accept a `&dyn Recorder` (or store
+//! a `Box<dyn Recorder>`). The default [`NoopRecorder`] has empty method
+//! bodies — with the provided default methods every call inlines to
+//! nothing, so uninstrumented deployments pay zero cost beyond the virtual
+//! dispatch their host opted into. [`RegistryRecorder`] forwards events
+//! into a [`Registry`] for scraping.
+
+use crate::registry::Registry;
+use std::sync::Arc;
+
+pub trait Recorder: Send + Sync {
+    /// Add `delta` to the counter `name{labels}`.
+    #[inline]
+    fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let _ = (name, labels, delta);
+    }
+
+    /// Set the gauge `name{labels}`.
+    #[inline]
+    fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: i64) {
+        let _ = (name, labels, value);
+    }
+
+    /// Record one observation into the histogram `name{labels}`.
+    #[inline]
+    fn observe(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let _ = (name, labels, value);
+    }
+}
+
+/// Discards every event; the zero-cost default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Forwards events into a [`Registry`].
+///
+/// Each event performs a registry lookup, so this is meant for warm paths
+/// (per-message, per-run), not per-instruction loops — those accumulate
+/// locally and flush once per run.
+pub struct RegistryRecorder {
+    registry: Arc<Registry>,
+}
+
+impl RegistryRecorder {
+    pub fn new(registry: Arc<Registry>) -> RegistryRecorder {
+        RegistryRecorder { registry }
+    }
+
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+impl Recorder for RegistryRecorder {
+    fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.registry.counter(name, labels).add(delta);
+    }
+
+    fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.registry.gauge(name, labels).set(value);
+    }
+
+    fn observe(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.registry.histogram(name, labels).observe(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let r = NoopRecorder;
+        r.counter_add("a", &[], 1);
+        r.gauge_set("b", &[("x", "y")], -5);
+        r.observe("c", &[], 100);
+    }
+
+    #[test]
+    fn registry_recorder_feeds_registry() {
+        let reg = Arc::new(Registry::new());
+        let r = RegistryRecorder::new(Arc::clone(&reg));
+        r.counter_add("runs", &[("point", "p")], 2);
+        r.counter_add("runs", &[("point", "p")], 1);
+        r.gauge_set("rib", &[], 10);
+        r.observe("lat", &[], 100);
+
+        let s = reg.snapshot();
+        assert_eq!(s.counter_value("runs", &[("point", "p")]), Some(3));
+        assert_eq!(s.gauge_value("rib", &[]), Some(10));
+        assert_eq!(s.histogram_value("lat", &[]).unwrap().count, 1);
+    }
+
+    #[test]
+    fn recorder_is_object_safe() {
+        let boxed: Box<dyn Recorder> = Box::new(NoopRecorder);
+        boxed.counter_add("x", &[], 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Metric registry and point-in-time snapshots.
+//!
+//! The registry's mutex guards only the name → handle map; callers
+//! register once, keep the returned `Arc`, and update through atomics.
+//! Snapshots can also be assembled directly ([`Snapshot::push_counter`]
+//! and friends) by components that keep plain integer counters and only
+//! materialise metrics on demand — the VMM does this so its hot path pays
+//! a `u64` increment, not a map lookup.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Label set: ordered `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+fn labels_of(pairs: &[(&str, &str)]) -> Labels {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Labels,
+}
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Get-or-register store of named metrics.
+#[derive(Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<Key, Slot>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name{labels}`. Panics if the name+labels
+    /// pair is already registered as a different metric type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = Key { name: name.to_string(), labels: labels_of(labels) };
+        let mut slots = self.slots.lock().unwrap();
+        match slots.entry(key).or_insert_with(|| Slot::Counter(Arc::new(Counter::new()))) {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = Key { name: name.to_string(), labels: labels_of(labels) };
+        let mut slots = self.slots.lock().unwrap();
+        match slots.entry(key).or_insert_with(|| Slot::Gauge(Arc::new(Gauge::new()))) {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = Key { name: name.to_string(), labels: labels_of(labels) };
+        let mut slots = self.slots.lock().unwrap();
+        match slots.entry(key).or_insert_with(|| Slot::Histogram(Arc::new(Histogram::new()))) {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Copy every registered metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let slots = self.slots.lock().unwrap();
+        let metrics = slots
+            .iter()
+            .map(|(key, slot)| Metric {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+/// One exported metric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    pub name: String,
+    pub labels: Labels,
+    pub value: MetricValue,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+// Histogram carries its full bucket array inline; snapshots are few and
+// short-lived, so the per-variant size gap is not worth a Box indirection.
+#[allow(clippy::large_enum_variant)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time collection of metrics, ready for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub metrics: Vec<Metric>,
+}
+
+impl Snapshot {
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    pub fn push_counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            labels: labels_of(labels),
+            value: MetricValue::Counter(value),
+        });
+    }
+
+    pub fn push_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            labels: labels_of(labels),
+            value: MetricValue::Gauge(value),
+        });
+    }
+
+    pub fn push_histogram(&mut self, name: &str, labels: &[(&str, &str)], h: HistogramSnapshot) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            labels: labels_of(labels),
+            value: MetricValue::Histogram(h),
+        });
+    }
+
+    /// Append all metrics from `other`.
+    pub fn merge(&mut self, other: Snapshot) {
+        self.metrics.extend(other.metrics);
+    }
+
+    /// Prefix every metric's label set with `extra` — how a harness tags a
+    /// daemon-local snapshot with `daemon="bgp-fir"` before merging.
+    pub fn with_labels(mut self, extra: &[(&str, &str)]) -> Snapshot {
+        for m in &mut self.metrics {
+            let mut labels = labels_of(extra);
+            labels.append(&mut m.labels);
+            m.labels = labels;
+        }
+        self
+    }
+
+    /// Sort by name then labels, for deterministic export output.
+    pub fn sorted(mut self) -> Snapshot {
+        self.metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self
+    }
+
+    /// Look up a counter by name and a subset of its labels.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.find(name, labels).and_then(|m| match &m.value {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Look up a gauge by name and a subset of its labels.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.find(name, labels).and_then(|m| match &m.value {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Look up a histogram by name and a subset of its labels.
+    pub fn histogram_value(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.find(name, labels).and_then(|m| match &m.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// First metric matching `name` whose labels contain every pair in
+    /// `labels`.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && labels.iter().all(|(k, v)| m.labels.iter().any(|(mk, mv)| mk == k && mv == v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_update_snapshot() {
+        let r = Registry::new();
+        let runs = r.counter("runs_total", &[("point", "decision")]);
+        let rib = r.gauge("rib_size", &[]);
+        let lat = r.histogram("latency_ns", &[]);
+        runs.add(3);
+        rib.set(100);
+        lat.observe(500);
+
+        let s = r.snapshot();
+        assert_eq!(s.counter_value("runs_total", &[("point", "decision")]), Some(3));
+        assert_eq!(s.gauge_value("rib_size", &[]), Some(100));
+        assert_eq!(s.histogram_value("latency_ns", &[]).unwrap().count, 1);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("x", &[]);
+        let b = r.counter("x", &[]);
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().counter_value("x", &[]), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", &[]);
+        let _ = r.gauge("x", &[]);
+    }
+
+    #[test]
+    fn with_labels_prefixes_and_merge_appends() {
+        let mut a = Snapshot::new();
+        a.push_counter("runs", &[("point", "decision")], 5);
+        let a = a.with_labels(&[("daemon", "bgp-fir")]);
+        assert_eq!(
+            a.counter_value("runs", &[("daemon", "bgp-fir"), ("point", "decision")]),
+            Some(5)
+        );
+
+        let mut b = Snapshot::new();
+        b.push_gauge("rib", &[], 9);
+        let mut merged = a;
+        merged.merge(b);
+        assert_eq!(merged.metrics.len(), 2);
+    }
+
+    #[test]
+    fn handles_are_usable_across_threads() {
+        let r = Registry::new();
+        let c = r.counter("t", &[]);
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,79 @@
+//! Scoped span timers: RAII wall-clock measurement into a histogram.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// Records elapsed nanoseconds into a [`Histogram`] when dropped.
+///
+/// ```
+/// use xbgp_obs::{Histogram, SpanTimer};
+/// let hist = Histogram::new();
+/// {
+///     let _span = SpanTimer::start(&hist);
+///     // ... timed work ...
+/// }
+/// assert_eq!(hist.snapshot().count, 1);
+/// ```
+#[must_use = "a span timer measures until it is dropped"]
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    pub fn start(hist: &'a Histogram) -> SpanTimer<'a> {
+        SpanTimer { hist, start: Instant::now() }
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Time a closure into `hist`, returning its result.
+pub fn time<R>(hist: &Histogram, f: impl FnOnce() -> R) -> R {
+    let _span = SpanTimer::start(hist);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_observes_on_drop() {
+        let h = Histogram::new();
+        {
+            let _s = SpanTimer::start(&h);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+    }
+
+    #[test]
+    fn time_wraps_a_closure() {
+        let h = Histogram::new();
+        let v = time(&h, || 7 * 6);
+        assert_eq!(v, 42);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn finish_ends_early() {
+        let h = Histogram::new();
+        let s = SpanTimer::start(&h);
+        assert!(s.elapsed_ns() < 1_000_000_000);
+        s.finish();
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

@@ -21,7 +21,7 @@ fn to_hex(data: &[u8]) -> String {
 
 fn from_hex(s: &str) -> Result<Vec<u8>, String> {
     let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err("odd-length hex input".into());
     }
     (0..s.len())
@@ -36,14 +36,14 @@ fn main() -> ExitCode {
         [p] => (false, p.clone()),
         [flag, p] if flag == "-d" => (true, p.clone()),
         _ => {
-            eprintln!("usage: xbgp-as [-d] <file>");
+            xbgp_obs::error!("usage: xbgp-as [-d] <file>");
             return ExitCode::from(2);
         }
     };
     let input = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+            xbgp_obs::error!("cannot read {path}: {e}");
             return ExitCode::from(2);
         }
     };
@@ -51,7 +51,7 @@ fn main() -> ExitCode {
         let bytes = match from_hex(&input) {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("bad hex: {e}");
+                xbgp_obs::error!("bad hex: {e}");
                 return ExitCode::from(1);
             }
         };
@@ -61,7 +61,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => {
-                eprintln!("bad bytecode: {e}");
+                xbgp_obs::error!("bad bytecode: {e}");
                 ExitCode::from(1)
             }
         }
@@ -72,7 +72,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => {
-                eprintln!("{path}: {e}");
+                xbgp_obs::error!("{path}: {e}");
                 ExitCode::from(1)
             }
         }

@@ -238,9 +238,8 @@ pub mod origin_validation {
 
     /// Decode the persistent counter block: `(valid, invalid, not_found)`.
     pub fn decode_counters(raw: &[u8]) -> (u64, u64, u64) {
-        let le = |o: usize| {
-            u64::from_le_bytes(raw[o..o + 8].try_into().expect("24-byte counter block"))
-        };
+        let le =
+            |o: usize| u64::from_le_bytes(raw[o..o + 8].try_into().expect("24-byte counter block"));
         (le(0), le(8), le(16))
     }
 }
@@ -381,7 +380,8 @@ mod tests {
         h.xtra.push(("geo_max_dist2".into(), geoloc::max_dist2_bytes(100 * 100)));
 
         // Route learned 60 units away on each axis: 7200 > 10000? No → ok.
-        h.attrs.push((GEOLOC_ATTR, AttrFlags::OPT_TRANS.0, geoloc::coords_bytes(60, 60)));
+        h.attrs
+            .push((GEOLOC_ATTR, AttrFlags::OPT_TRANS.0, geoloc::coords_bytes(60, 60)));
         assert_eq!(vmm.run(point, &mut h), VmmOutcome::Fallback);
 
         // 80 units away on each axis: 12800 > 10000 → reject.
@@ -473,17 +473,11 @@ mod tests {
             VmmOutcome::Value(xbgp_core::api::FILTER_ACCEPT)
         );
         // non-client → non-client: refuse.
-        assert_eq!(
-            run(&mut vmm, 0, 0, PeerType::Ibgp),
-            VmmOutcome::Value(FILTER_REJECT)
-        );
+        assert_eq!(run(&mut vmm, 0, 0, PeerType::Ibgp), VmmOutcome::Value(FILTER_REJECT));
         // eBGP-learned: native policy decides.
         assert_eq!(run(&mut vmm, 0, 0, PeerType::Ebgp), VmmOutcome::Fallback);
         // Locally originated: native policy decides.
-        assert_eq!(
-            run(&mut vmm, 0, PEER_FLAG_LOCAL, PeerType::Ibgp),
-            VmmOutcome::Fallback
-        );
+        assert_eq!(run(&mut vmm, 0, PEER_FLAG_LOCAL, PeerType::Ibgp), VmmOutcome::Fallback);
     }
 
     #[test]
@@ -543,8 +537,7 @@ mod tests {
             (3, 102),
             (4, 102),
         ];
-        Vmm::from_manifest(&valley_free::manifest(&pairs, "10.0.0.0/8".parse().unwrap()))
-            .unwrap()
+        Vmm::from_manifest(&valley_free::manifest(&pairs, "10.0.0.0/8".parse().unwrap())).unwrap()
     }
 
     fn vf_peer(sender_asn: u32, my_asn: u32) -> PeerInfo {

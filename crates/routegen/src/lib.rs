@@ -140,7 +140,7 @@ pub fn generate(spec: &TableSpec) -> Vec<Route> {
         {
             cached[rng.gen_range(0..cached.len())].clone()
         } else {
-            let hops = 1 + (rng.gen_range(0u32..100) / 25).min(3) + rng.gen_range(0..3);
+            let hops = 1 + (rng.gen_range(0u32..100) / 25).min(3) + rng.gen_range(0u32..3);
             let mut path = Vec::with_capacity(hops as usize + 1);
             for _ in 0..hops {
                 path.push(1_000 + rng.gen_range(0..spec.transit_as_pool));
@@ -159,7 +159,7 @@ pub fn generate(spec: &TableSpec) -> Vec<Route> {
             85..=89 => Origin::Egp,
             _ => Origin::Incomplete,
         };
-        let med = ((h >> 8) % 100 < 20).then(|| ((h >> 16) % 200) as u32);
+        let med = ((h >> 8) % 100 < 20).then_some(((h >> 16) % 200) as u32);
         let ncomm = match (h >> 24) % 100 {
             0..=59 => 0,
             60..=84 => 1 + (h >> 32) % 2,
@@ -168,7 +168,7 @@ pub fn generate(spec: &TableSpec) -> Vec<Route> {
         let communities = (0..ncomm)
             .map(|i| {
                 let c = h.wrapping_mul(i + 3);
-                ((64_512 + (c as u32 % 488)) << 16) | (c >> 40) as u32 % 1000
+                ((64_512 + (c as u32 % 488)) << 16) | ((c >> 40) as u32 % 1000)
             })
             .collect();
         routes.push(Route { prefix, as_path, origin, med, communities });
@@ -289,11 +289,7 @@ mod tests {
         let roas = make_roas(&routes, 0.75, 9);
         let valid = routes
             .iter()
-            .filter(|r| {
-                roas.iter().any(|roa| {
-                    roa.prefix == r.prefix && roa.asn == r.origin_asn()
-                })
-            })
+            .filter(|r| roas.iter().any(|roa| roa.prefix == r.prefix && roa.asn == r.origin_asn()))
             .count();
         let frac = valid as f64 / routes.len() as f64;
         assert!((0.72..0.78).contains(&frac), "valid fraction {frac}");

@@ -73,10 +73,7 @@ pub fn parse_roa_csv(text: &str) -> Result<Vec<Roa>, RoaFileError> {
             Err(e) => return err(lineno, format!("bad max length `{}`: {e}", fields[2])),
         };
         if max_len < prefix.len() || max_len > 32 {
-            return err(
-                lineno,
-                format!("max length {max_len} outside [{}..32]", prefix.len()),
-            );
+            return err(lineno, format!("max length {max_len} outside [{}..32]", prefix.len()));
         }
         out.push(Roa::new(prefix, max_len, asn));
     }
@@ -144,13 +141,7 @@ AS0,203.0.113.0/24,24,test
         for r in parse_roa_csv(text).unwrap() {
             table.insert(r);
         }
-        assert_eq!(
-            table.validate("10.1.0.0/16".parse().unwrap(), 65001),
-            RovState::Valid
-        );
-        assert_eq!(
-            table.validate("10.1.0.0/16".parse().unwrap(), 65002),
-            RovState::Invalid
-        );
+        assert_eq!(table.validate("10.1.0.0/16".parse().unwrap(), 65001), RovState::Valid);
+        assert_eq!(table.validate("10.1.0.0/16".parse().unwrap(), 65002), RovState::Invalid);
     }
 }

@@ -117,7 +117,7 @@ fn verdict(covering: impl Iterator<Item = (u8, u8, u32)>, plen: u8, origin: u32)
 // Trie backend (FRRouting style)
 // ---------------------------------------------------------------------
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct TrieNode {
     children: [Option<Box<TrieNode>>; 2],
     /// ROAs whose prefix ends exactly at this node: `(max_len, asn)`.
@@ -130,23 +130,12 @@ struct TrieNode {
     prefix: (u32, u8),
     /// FRRouting `route_node` bookkeeping the walk touches: parent link,
     /// lock count, table back-pointer, rn->info slot. Modelled as the
-    /// fields the original dereferences per level.
+    /// fields the original dereferences per level. `info` is ballast:
+    /// never read, it only reproduces the node's cache footprint.
     lock: u64,
     table_id: u64,
+    #[allow(dead_code)]
     info: [u64; 16],
-}
-
-impl Default for TrieNode {
-    fn default() -> Self {
-        TrieNode {
-            children: [None, None],
-            roas: Vec::new(),
-            prefix: (0, 0),
-            lock: 0,
-            table_id: 0,
-            info: [0; 16],
-        }
-    }
 }
 
 /// Bit-level binary trie of ROAs; every validation walks from the root
@@ -255,17 +244,12 @@ impl RoaTable for RoaHashTable {
         let key = Self::key(roa.prefix.addr(), roa.prefix.len());
         match self.buckets.get_mut(&key) {
             None => {
-                self.buckets.insert(
-                    key,
-                    InlineRoa { max_len: roa.max_len, asn: roa.asn, has_more: false },
-                );
+                self.buckets
+                    .insert(key, InlineRoa { max_len: roa.max_len, asn: roa.asn, has_more: false });
             }
             Some(first) => {
                 first.has_more = true;
-                self.overflow
-                    .entry(key)
-                    .or_default()
-                    .push((roa.max_len, roa.asn));
+                self.overflow.entry(key).or_default().push((roa.max_len, roa.asn));
             }
         }
         self.lengths |= 1 << roa.prefix.len();
@@ -323,12 +307,7 @@ mod tests {
         (RoaTrie::new(), RoaHashTable::new())
     }
 
-    fn check_each(
-        tables: (&dyn RoaTable, &dyn RoaTable),
-        prefix: &str,
-        asn: u32,
-        want: RovState,
-    ) {
+    fn check_each(tables: (&dyn RoaTable, &dyn RoaTable), prefix: &str, asn: u32, want: RovState) {
         assert_eq!(tables.0.validate(p(prefix), asn), want, "trie: {prefix} AS{asn}");
         assert_eq!(tables.1.validate(p(prefix), asn), want, "hash: {prefix} AS{asn}");
     }
@@ -407,9 +386,7 @@ mod tests {
 
     fn arb_roa() -> impl Strategy<Value = Roa> {
         (any::<u32>(), 0u8..=32, 1u32..5).prop_flat_map(|(addr, len, asn)| {
-            (len..=32).prop_map(move |max_len| {
-                Roa::new(Ipv4Prefix::new(addr, len), max_len, asn)
-            })
+            (len..=32).prop_map(move |max_len| Roa::new(Ipv4Prefix::new(addr, len), max_len, asn))
         })
     }
 

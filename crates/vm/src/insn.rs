@@ -168,7 +168,7 @@ impl Program {
     /// Deserialize from flat bytecode. Fails if the length is not a
     /// multiple of 8.
     pub fn from_bytes(data: &[u8]) -> Result<Program, String> {
-        if data.len() % 8 != 0 {
+        if !data.len().is_multiple_of(8) {
             return Err(format!("bytecode length {} not a multiple of 8", data.len()));
         }
         let insns = data

@@ -74,6 +74,24 @@ impl Default for VmConfig {
     }
 }
 
+/// Per-run execution metrics, reported by [`Vm::run_metered`].
+///
+/// Counting costs nothing on the interpreter hot path: instructions are
+/// already metered by the fuel counter, so `insns_retired` falls out of
+/// the fuel arithmetic, and `helper_calls` bumps a local only on the
+/// (rare) `call` instructions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Instructions executed (a two-slot `lddw` counts once).
+    pub insns_retired: u64,
+    /// Helper invocations, including `next()`.
+    pub helper_calls: u64,
+    /// Fuel consumed — identical to `insns_retired` today, kept separate
+    /// so a future weighted-fuel scheme (e.g. helpers costing more) does
+    /// not change the reporting API.
+    pub fuel_consumed: u64,
+}
+
 /// The virtual machine: a register file plus configuration. The memory map
 /// travels separately so the VMM can prepare it per invocation.
 pub struct Vm<'p> {
@@ -103,6 +121,19 @@ impl<'p> Vm<'p> {
         helpers: &mut dyn HelperDispatcher,
         args: &[u64],
     ) -> Result<ExecOutcome, VmError> {
+        self.run_metered(mem, helpers, args).0
+    }
+
+    /// Execute the program and report [`RunMetrics`] alongside the outcome.
+    ///
+    /// The metrics are valid for faulting runs too: a program stopped by
+    /// `FuelExhausted` reports exactly `config.fuel` instructions retired.
+    pub fn run_metered(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut dyn HelperDispatcher,
+        args: &[u64],
+    ) -> (Result<ExecOutcome, VmError>, RunMetrics) {
         assert!(args.len() <= 5, "at most five argument registers");
         let mut reg = [0u64; 11];
         for (i, a) in args.iter().enumerate() {
@@ -111,18 +142,14 @@ impl<'p> Vm<'p> {
         // Fresh stack per run. If the caller pre-mapped one (the VMM pools
         // stack buffers), it must already be zeroed; otherwise map our own.
         if mem.region_of(RegionKind::Stack).is_none() {
-            mem.map(Region::new(
-                RegionKind::Stack,
-                STACK_BASE,
-                vec![0; STACK_SIZE],
-                true,
-            ));
+            mem.map(Region::new(RegionKind::Stack, STACK_BASE, vec![0; STACK_SIZE], true));
         }
         reg[10] = STACK_BASE + STACK_SIZE as u64;
 
         let insns = &self.prog.insns;
         let mut pc: usize = 0;
         let mut fuel = self.config.fuel;
+        let mut helper_calls: u64 = 0;
 
         macro_rules! size_of_op {
             ($opcode:expr) => {
@@ -135,186 +162,268 @@ impl<'p> Vm<'p> {
             };
         }
 
-        loop {
-            if fuel == 0 {
-                return Err(VmError::FuelExhausted);
-            }
-            fuel -= 1;
-            let insn = insns[pc];
-            let cls = insn.opcode & op::CLS_MASK;
-            match cls {
-                op::CLS_ALU64 | op::CLS_ALU => {
-                    let is64 = cls == op::CLS_ALU64;
-                    let opb = insn.opcode & op::ALU_OP_MASK;
-                    let src_val = if insn.opcode & op::SRC_X != 0 {
-                        reg[insn.src as usize]
-                    } else {
-                        insn.imm as i64 as u64
-                    };
-                    let dst = insn.dst as usize;
-                    let d = reg[dst];
-                    let v: u64 = match opb {
-                        op::ALU_ADD => {
-                            if is64 { d.wrapping_add(src_val) } else { (d as u32).wrapping_add(src_val as u32) as u64 }
-                        }
-                        op::ALU_SUB => {
-                            if is64 { d.wrapping_sub(src_val) } else { (d as u32).wrapping_sub(src_val as u32) as u64 }
-                        }
-                        op::ALU_MUL => {
-                            if is64 { d.wrapping_mul(src_val) } else { (d as u32).wrapping_mul(src_val as u32) as u64 }
-                        }
-                        op::ALU_DIV => {
-                            if is64 {
-                                if src_val == 0 { return Err(VmError::DivByZero { pc }); }
-                                d / src_val
-                            } else {
-                                let s = src_val as u32;
-                                if s == 0 { return Err(VmError::DivByZero { pc }); }
-                                u64::from(d as u32 / s)
-                            }
-                        }
-                        op::ALU_MOD => {
-                            if is64 {
-                                if src_val == 0 { return Err(VmError::DivByZero { pc }); }
-                                d % src_val
-                            } else {
-                                let s = src_val as u32;
-                                if s == 0 { return Err(VmError::DivByZero { pc }); }
-                                u64::from(d as u32 % s)
-                            }
-                        }
-                        op::ALU_OR => if is64 { d | src_val } else { u64::from(d as u32 | src_val as u32) },
-                        op::ALU_AND => if is64 { d & src_val } else { u64::from(d as u32 & src_val as u32) },
-                        op::ALU_XOR => if is64 { d ^ src_val } else { u64::from(d as u32 ^ src_val as u32) },
-                        op::ALU_LSH => {
-                            if is64 { d.wrapping_shl(src_val as u32) } else { u64::from((d as u32).wrapping_shl(src_val as u32)) }
-                        }
-                        op::ALU_RSH => {
-                            if is64 { d.wrapping_shr(src_val as u32) } else { u64::from((d as u32).wrapping_shr(src_val as u32)) }
-                        }
-                        op::ALU_ARSH => {
-                            if is64 {
-                                ((d as i64).wrapping_shr(src_val as u32)) as u64
-                            } else {
-                                ((d as u32 as i32).wrapping_shr(src_val as u32)) as u32 as u64
-                            }
-                        }
-                        op::ALU_NEG => {
-                            if is64 { (d as i64).wrapping_neg() as u64 } else { ((d as u32 as i32).wrapping_neg()) as u32 as u64 }
-                        }
-                        op::ALU_MOV => if is64 { src_val } else { u64::from(src_val as u32) },
-                        op::ALU_END => {
-                            // imm selects the width; SRC bit selects
-                            // to-big-endian (X, the common "be16/32/64"
-                            // form on LE machines) vs to-little-endian.
-                            let to_be = insn.opcode & op::SRC_X != 0;
-                            match (insn.imm, to_be) {
-                                (16, true) => u64::from((d as u16).to_be()),
-                                (32, true) => u64::from((d as u32).to_be()),
-                                (64, true) => d.to_be(),
-                                (16, false) => u64::from((d as u16).to_le()),
-                                (32, false) => u64::from((d as u32).to_le()),
-                                (64, false) => d.to_le(),
-                                _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
-                            }
-                        }
-                        _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
-                    };
-                    reg[dst] = v;
-                    pc += 1;
+        // The body keeps its early `return`s by running inside an
+        // immediately-invoked closure; the metrics are assembled from the
+        // fuel arithmetic afterwards, whatever the exit path.
+        let result = (|| -> Result<ExecOutcome, VmError> {
+            loop {
+                if fuel == 0 {
+                    return Err(VmError::FuelExhausted);
                 }
-                op::CLS_JMP | op::CLS_JMP32 => {
-                    let opb = insn.opcode & op::ALU_OP_MASK;
-                    match opb {
-                        op::JMP_EXIT => return Ok(ExecOutcome::Return(reg[0])),
-                        op::JMP_CALL => {
-                            let args5 = [reg[1], reg[2], reg[3], reg[4], reg[5]];
-                            match helpers.call(insn.imm as u32, args5, mem) {
-                                Ok(HelperOutcome::Value(v)) => {
-                                    reg[0] = v;
-                                    // Caller-saved registers are clobbered,
-                                    // matching eBPF calling convention.
-                                    reg[1] = 0;
-                                    reg[2] = 0;
-                                    reg[3] = 0;
-                                    reg[4] = 0;
-                                    reg[5] = 0;
-                                    pc += 1;
+                fuel -= 1;
+                let insn = insns[pc];
+                let cls = insn.opcode & op::CLS_MASK;
+                match cls {
+                    op::CLS_ALU64 | op::CLS_ALU => {
+                        let is64 = cls == op::CLS_ALU64;
+                        let opb = insn.opcode & op::ALU_OP_MASK;
+                        let src_val = if insn.opcode & op::SRC_X != 0 {
+                            reg[insn.src as usize]
+                        } else {
+                            insn.imm as i64 as u64
+                        };
+                        let dst = insn.dst as usize;
+                        let d = reg[dst];
+                        let v: u64 = match opb {
+                            op::ALU_ADD => {
+                                if is64 {
+                                    d.wrapping_add(src_val)
+                                } else {
+                                    (d as u32).wrapping_add(src_val as u32) as u64
                                 }
-                                Ok(HelperOutcome::Next) => return Ok(ExecOutcome::Next),
-                                Err(VmError::UnknownHelper { helper, .. }) => {
-                                    return Err(VmError::UnknownHelper { pc, helper })
-                                }
-                                Err(e) => return Err(e),
                             }
-                        }
-                        op::JMP_JA => {
-                            pc = (pc as i64 + 1 + i64::from(insn.offset)) as usize;
-                        }
-                        _ => {
-                            let is64 = cls == op::CLS_JMP;
-                            let d = reg[insn.dst as usize];
-                            let s = if insn.opcode & op::SRC_X != 0 {
-                                reg[insn.src as usize]
-                            } else {
-                                insn.imm as i64 as u64
-                            };
-                            let (d, s) = if is64 { (d, s) } else { (u64::from(d as u32), u64::from(s as u32)) };
-                            // Signed views are computed lazily: only the
-                            // four signed comparisons need them.
-                            let signed = |v: u64| -> i64 {
-                                if is64 { v as i64 } else { i64::from(v as u32 as i32) }
-                            };
-                            let taken = match opb {
-                                op::JMP_JEQ => d == s,
-                                op::JMP_JNE => d != s,
-                                op::JMP_JGT => d > s,
-                                op::JMP_JGE => d >= s,
-                                op::JMP_JLT => d < s,
-                                op::JMP_JLE => d <= s,
-                                op::JMP_JSET => d & s != 0,
-                                op::JMP_JSGT => signed(d) > signed(s),
-                                op::JMP_JSGE => signed(d) >= signed(s),
-                                op::JMP_JSLT => signed(d) < signed(s),
-                                op::JMP_JSLE => signed(d) <= signed(s),
-                                _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
-                            };
-                            pc = if taken {
-                                (pc as i64 + 1 + i64::from(insn.offset)) as usize
-                            } else {
-                                pc + 1
-                            };
+                            op::ALU_SUB => {
+                                if is64 {
+                                    d.wrapping_sub(src_val)
+                                } else {
+                                    (d as u32).wrapping_sub(src_val as u32) as u64
+                                }
+                            }
+                            op::ALU_MUL => {
+                                if is64 {
+                                    d.wrapping_mul(src_val)
+                                } else {
+                                    (d as u32).wrapping_mul(src_val as u32) as u64
+                                }
+                            }
+                            op::ALU_DIV => {
+                                if is64 {
+                                    if src_val == 0 {
+                                        return Err(VmError::DivByZero { pc });
+                                    }
+                                    d / src_val
+                                } else {
+                                    let s = src_val as u32;
+                                    if s == 0 {
+                                        return Err(VmError::DivByZero { pc });
+                                    }
+                                    u64::from(d as u32 / s)
+                                }
+                            }
+                            op::ALU_MOD => {
+                                if is64 {
+                                    if src_val == 0 {
+                                        return Err(VmError::DivByZero { pc });
+                                    }
+                                    d % src_val
+                                } else {
+                                    let s = src_val as u32;
+                                    if s == 0 {
+                                        return Err(VmError::DivByZero { pc });
+                                    }
+                                    u64::from(d as u32 % s)
+                                }
+                            }
+                            op::ALU_OR => {
+                                if is64 {
+                                    d | src_val
+                                } else {
+                                    u64::from(d as u32 | src_val as u32)
+                                }
+                            }
+                            op::ALU_AND => {
+                                if is64 {
+                                    d & src_val
+                                } else {
+                                    u64::from(d as u32 & src_val as u32)
+                                }
+                            }
+                            op::ALU_XOR => {
+                                if is64 {
+                                    d ^ src_val
+                                } else {
+                                    u64::from(d as u32 ^ src_val as u32)
+                                }
+                            }
+                            op::ALU_LSH => {
+                                if is64 {
+                                    d.wrapping_shl(src_val as u32)
+                                } else {
+                                    u64::from((d as u32).wrapping_shl(src_val as u32))
+                                }
+                            }
+                            op::ALU_RSH => {
+                                if is64 {
+                                    d.wrapping_shr(src_val as u32)
+                                } else {
+                                    u64::from((d as u32).wrapping_shr(src_val as u32))
+                                }
+                            }
+                            op::ALU_ARSH => {
+                                if is64 {
+                                    ((d as i64).wrapping_shr(src_val as u32)) as u64
+                                } else {
+                                    ((d as u32 as i32).wrapping_shr(src_val as u32)) as u32 as u64
+                                }
+                            }
+                            op::ALU_NEG => {
+                                if is64 {
+                                    (d as i64).wrapping_neg() as u64
+                                } else {
+                                    ((d as u32 as i32).wrapping_neg()) as u32 as u64
+                                }
+                            }
+                            op::ALU_MOV => {
+                                if is64 {
+                                    src_val
+                                } else {
+                                    u64::from(src_val as u32)
+                                }
+                            }
+                            op::ALU_END => {
+                                // imm selects the width; SRC bit selects
+                                // to-big-endian (X, the common "be16/32/64"
+                                // form on LE machines) vs to-little-endian.
+                                let to_be = insn.opcode & op::SRC_X != 0;
+                                match (insn.imm, to_be) {
+                                    (16, true) => u64::from((d as u16).to_be()),
+                                    (32, true) => u64::from((d as u32).to_be()),
+                                    (64, true) => d.to_be(),
+                                    (16, false) => u64::from((d as u16).to_le()),
+                                    (32, false) => u64::from((d as u32).to_le()),
+                                    (64, false) => d.to_le(),
+                                    _ => {
+                                        return Err(VmError::BadInstruction {
+                                            pc,
+                                            opcode: insn.opcode,
+                                        })
+                                    }
+                                }
+                            }
+                            _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
+                        };
+                        reg[dst] = v;
+                        pc += 1;
+                    }
+                    op::CLS_JMP | op::CLS_JMP32 => {
+                        let opb = insn.opcode & op::ALU_OP_MASK;
+                        match opb {
+                            op::JMP_EXIT => return Ok(ExecOutcome::Return(reg[0])),
+                            op::JMP_CALL => {
+                                helper_calls += 1;
+                                let args5 = [reg[1], reg[2], reg[3], reg[4], reg[5]];
+                                match helpers.call(insn.imm as u32, args5, mem) {
+                                    Ok(HelperOutcome::Value(v)) => {
+                                        reg[0] = v;
+                                        // Caller-saved registers are clobbered,
+                                        // matching eBPF calling convention.
+                                        reg[1] = 0;
+                                        reg[2] = 0;
+                                        reg[3] = 0;
+                                        reg[4] = 0;
+                                        reg[5] = 0;
+                                        pc += 1;
+                                    }
+                                    Ok(HelperOutcome::Next) => return Ok(ExecOutcome::Next),
+                                    Err(VmError::UnknownHelper { helper, .. }) => {
+                                        return Err(VmError::UnknownHelper { pc, helper })
+                                    }
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                            op::JMP_JA => {
+                                pc = (pc as i64 + 1 + i64::from(insn.offset)) as usize;
+                            }
+                            _ => {
+                                let is64 = cls == op::CLS_JMP;
+                                let d = reg[insn.dst as usize];
+                                let s = if insn.opcode & op::SRC_X != 0 {
+                                    reg[insn.src as usize]
+                                } else {
+                                    insn.imm as i64 as u64
+                                };
+                                let (d, s) = if is64 {
+                                    (d, s)
+                                } else {
+                                    (u64::from(d as u32), u64::from(s as u32))
+                                };
+                                // Signed views are computed lazily: only the
+                                // four signed comparisons need them.
+                                let signed = |v: u64| -> i64 {
+                                    if is64 {
+                                        v as i64
+                                    } else {
+                                        i64::from(v as u32 as i32)
+                                    }
+                                };
+                                let taken = match opb {
+                                    op::JMP_JEQ => d == s,
+                                    op::JMP_JNE => d != s,
+                                    op::JMP_JGT => d > s,
+                                    op::JMP_JGE => d >= s,
+                                    op::JMP_JLT => d < s,
+                                    op::JMP_JLE => d <= s,
+                                    op::JMP_JSET => d & s != 0,
+                                    op::JMP_JSGT => signed(d) > signed(s),
+                                    op::JMP_JSGE => signed(d) >= signed(s),
+                                    op::JMP_JSLT => signed(d) < signed(s),
+                                    op::JMP_JSLE => signed(d) <= signed(s),
+                                    _ => {
+                                        return Err(VmError::BadInstruction {
+                                            pc,
+                                            opcode: insn.opcode,
+                                        })
+                                    }
+                                };
+                                pc = if taken {
+                                    (pc as i64 + 1 + i64::from(insn.offset)) as usize
+                                } else {
+                                    pc + 1
+                                };
+                            }
                         }
                     }
+                    op::CLS_LD => {
+                        // lddw: verified to have its second slot present.
+                        let lo = insn.imm as u32;
+                        let hi = insns[pc + 1].imm as u32;
+                        reg[insn.dst as usize] = u64::from(lo) | (u64::from(hi) << 32);
+                        pc += 2;
+                    }
+                    op::CLS_LDX => {
+                        let size = size_of_op!(insn.opcode);
+                        let addr = reg[insn.src as usize].wrapping_add(insn.offset as i64 as u64);
+                        reg[insn.dst as usize] = mem.load(addr, size)?;
+                        pc += 1;
+                    }
+                    op::CLS_ST => {
+                        let size = size_of_op!(insn.opcode);
+                        let addr = reg[insn.dst as usize].wrapping_add(insn.offset as i64 as u64);
+                        mem.store(addr, size, insn.imm as i64 as u64)?;
+                        pc += 1;
+                    }
+                    op::CLS_STX => {
+                        let size = size_of_op!(insn.opcode);
+                        let addr = reg[insn.dst as usize].wrapping_add(insn.offset as i64 as u64);
+                        mem.store(addr, size, reg[insn.src as usize])?;
+                        pc += 1;
+                    }
+                    _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
                 }
-                op::CLS_LD => {
-                    // lddw: verified to have its second slot present.
-                    let lo = insn.imm as u32;
-                    let hi = insns[pc + 1].imm as u32;
-                    reg[insn.dst as usize] = u64::from(lo) | (u64::from(hi) << 32);
-                    pc += 2;
-                }
-                op::CLS_LDX => {
-                    let size = size_of_op!(insn.opcode);
-                    let addr = reg[insn.src as usize].wrapping_add(insn.offset as i64 as u64);
-                    reg[insn.dst as usize] = mem.load(addr, size)?;
-                    pc += 1;
-                }
-                op::CLS_ST => {
-                    let size = size_of_op!(insn.opcode);
-                    let addr = reg[insn.dst as usize].wrapping_add(insn.offset as i64 as u64);
-                    mem.store(addr, size, insn.imm as i64 as u64)?;
-                    pc += 1;
-                }
-                op::CLS_STX => {
-                    let size = size_of_op!(insn.opcode);
-                    let addr = reg[insn.dst as usize].wrapping_add(insn.offset as i64 as u64);
-                    mem.store(addr, size, reg[insn.src as usize])?;
-                    pc += 1;
-                }
-                _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
             }
-        }
+        })();
+        let fuel_consumed = self.config.fuel - fuel;
+        (result, RunMetrics { insns_retired: fuel_consumed, helper_calls, fuel_consumed })
     }
 }
 
@@ -509,11 +618,7 @@ mod tests {
 
     #[test]
     fn byte_access_on_stack() {
-        let insns = vec![
-            build::stb(10, -1, 0x7f),
-            build::ldxb(0, 10, -1),
-            build::exit(),
-        ];
+        let insns = vec![build::stb(10, -1, 0x7f), build::ldxb(0, 10, -1), build::exit()];
         assert_eq!(ret(insns), 0x7f);
     }
 
@@ -532,10 +637,7 @@ mod tests {
         let prog = Program::new(vec![build::ja(-1)]);
         let mut mem = MemoryMap::new();
         let vm = Vm::with_config(&prog, VmConfig { fuel: 1000 });
-        assert_eq!(
-            vm.run(&mut mem, &mut NoHelpers, &[]),
-            Err(VmError::FuelExhausted)
-        );
+        assert_eq!(vm.run(&mut mem, &mut NoHelpers, &[]), Err(VmError::FuelExhausted));
     }
 
     #[test]
@@ -645,10 +747,48 @@ mod tests {
             0xc0a8_0101u32.to_be_bytes().to_vec(), // 192.168.1.1 in NBO
             false,
         ));
-        let out = Vm::new(&prog)
-            .run(&mut mem, &mut NoHelpers, &[crate::HOST_BUF_BASE])
-            .unwrap();
+        let out = Vm::new(&prog).run(&mut mem, &mut NoHelpers, &[crate::HOST_BUF_BASE]).unwrap();
         assert_eq!(out, ExecOutcome::Return(0xc0a8_0101));
+    }
+
+    #[test]
+    fn run_metered_counts_instructions_and_helpers() {
+        // mov, call(×2 — one Value, then exit): 4 instructions retired,
+        // 2 helper calls.
+        let prog = Program::new(vec![
+            build::mov_imm(1, 21),
+            build::call(1),
+            build::call(1),
+            build::exit(),
+        ]);
+        let mut mem = MemoryMap::new();
+        let (out, m) = Vm::new(&prog).run_metered(&mut mem, &mut Doubler, &[]);
+        assert!(matches!(out, Ok(ExecOutcome::Return(_))));
+        assert_eq!(m.insns_retired, 4);
+        assert_eq!(m.helper_calls, 2);
+        assert_eq!(m.fuel_consumed, m.insns_retired);
+    }
+
+    #[test]
+    fn run_metered_counts_lddw_once() {
+        let [lo, hi] = build::lddw(0, 7);
+        let prog = Program::new(vec![lo, hi, build::exit()]);
+        let mut mem = MemoryMap::new();
+        let (out, m) = Vm::new(&prog).run_metered(&mut mem, &mut NoHelpers, &[]);
+        assert_eq!(out, Ok(ExecOutcome::Return(7)));
+        assert_eq!(m.insns_retired, 2, "lddw retires as one instruction");
+    }
+
+    #[test]
+    fn run_metered_reports_full_fuel_on_exhaustion() {
+        let prog = Program::new(vec![build::ja(-1)]);
+        let mut mem = MemoryMap::new();
+        let vm = Vm::with_config(&prog, VmConfig { fuel: 123 });
+        let (out, m) = vm.run_metered(&mut mem, &mut NoHelpers, &[]);
+        assert_eq!(out, Err(VmError::FuelExhausted));
+        assert_eq!(m.fuel_consumed, 123);
+        assert_eq!(m.insns_retired, 123);
+        assert_eq!(m.helper_calls, 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod verify;
 
 pub use error::VmError;
 pub use insn::{Insn, Program};
-pub use interp::{ExecOutcome, HelperDispatcher, NoHelpers, Vm, VmConfig};
+pub use interp::{ExecOutcome, HelperDispatcher, NoHelpers, RunMetrics, Vm, VmConfig};
 pub use mem::{MemoryMap, Region, RegionKind};
 pub use verify::{verify, VerifyError};
 

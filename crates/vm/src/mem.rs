@@ -40,9 +40,9 @@ impl Region {
 
     fn contains(&self, addr: u64, size: usize) -> bool {
         addr >= self.base
-            && addr.checked_add(size as u64).is_some_and(|end| {
-                end <= self.base + self.data.len() as u64
-            })
+            && addr
+                .checked_add(size as u64)
+                .is_some_and(|end| end <= self.base + self.data.len() as u64)
     }
 }
 
@@ -182,7 +182,9 @@ mod tests {
     #[test]
     fn load_store_round_trip_all_sizes() {
         let mut m = map_with(0x1000, 64, true);
-        for (size, val) in [(1usize, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+        for (size, val) in
+            [(1usize, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)]
+        {
             m.store(0x1000, size, val).unwrap();
             assert_eq!(m.load(0x1000, size).unwrap(), val);
         }
@@ -211,10 +213,7 @@ mod tests {
         let mut m = MemoryMap::new();
         m.map(Region::new(RegionKind::HostBuf, 0x2000, vec![7; 8], false));
         assert_eq!(m.load(0x2000, 1).unwrap(), 7);
-        assert!(matches!(
-            m.store(0x2000, 1, 0),
-            Err(VmError::MemFault { write: true, .. })
-        ));
+        assert!(matches!(m.store(0x2000, 1, 0), Err(VmError::MemFault { write: true, .. })));
     }
 
     #[test]

@@ -17,22 +17,42 @@ pub enum VerifyError {
     Empty,
     TooManyInstructions(usize),
     /// `pc` holds an opcode outside the implemented ISA.
-    BadOpcode { pc: usize, opcode: u8 },
+    BadOpcode {
+        pc: usize,
+        opcode: u8,
+    },
     /// A register operand outside r0..r10, or a write to r10.
-    BadRegister { pc: usize, reg: u8 },
-    WriteToFramePointer { pc: usize },
+    BadRegister {
+        pc: usize,
+        reg: u8,
+    },
+    WriteToFramePointer {
+        pc: usize,
+    },
     /// Jump to a target outside the program or into an `lddw` second slot.
-    BadJumpTarget { pc: usize, target: i64 },
+    BadJumpTarget {
+        pc: usize,
+        target: i64,
+    },
     /// Constant division/modulo by zero.
-    ConstDivByZero { pc: usize },
+    ConstDivByZero {
+        pc: usize,
+    },
     /// `lddw` missing its second slot or second slot malformed.
-    BadLddw { pc: usize },
+    BadLddw {
+        pc: usize,
+    },
     /// Execution can fall through past the last instruction.
     FallThrough,
     /// `call` names a helper the host did not register.
-    UnknownHelper { pc: usize, helper: u32 },
+    UnknownHelper {
+        pc: usize,
+        helper: u32,
+    },
     /// Constant shift amount ≥ operand width.
-    BadShift { pc: usize },
+    BadShift {
+        pc: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -178,9 +198,7 @@ pub fn verify(prog: &Program, known_helpers: &HashSet<u32>) -> Result<(), Verify
                         return Err(VerifyError::BadShift { pc });
                     }
                 }
-                if opb == op::ALU_END
-                    && !matches!(insn.imm, 16 | 32 | 64)
-                {
+                if opb == op::ALU_END && !matches!(insn.imm, 16 | 32 | 64) {
                     return Err(VerifyError::BadOpcode { pc, opcode: insn.opcode });
                 }
             }
@@ -200,9 +218,7 @@ pub fn verify(prog: &Program, known_helpers: &HashSet<u32>) -> Result<(), Verify
                     _ => {
                         // JA and all conditionals: validate target.
                         let target = pc as i64 + 1 + i64::from(insn.offset);
-                        if target < 0
-                            || target >= insns.len() as i64
-                            || is_lddw_hi[target as usize]
+                        if target < 0 || target >= insns.len() as i64 || is_lddw_hi[target as usize]
                         {
                             return Err(VerifyError::BadJumpTarget { pc, target });
                         }
@@ -321,10 +337,7 @@ mod tests {
     #[test]
     fn const_div_by_zero_rejected() {
         let div0 = Insn::new(op::CLS_ALU64 | op::ALU_DIV | op::SRC_K, 1, 0, 0, 0);
-        assert!(matches!(
-            ok(vec![div0, build::exit()]),
-            Err(VerifyError::ConstDivByZero { .. })
-        ));
+        assert!(matches!(ok(vec![div0, build::exit()]), Err(VerifyError::ConstDivByZero { .. })));
     }
 
     #[test]
@@ -351,10 +364,7 @@ mod tests {
         let bogus = Insn::new(0xff, 0, 0, 0, 0);
         assert!(matches!(ok(vec![bogus, build::exit()]), Err(VerifyError::BadOpcode { .. })));
         let bogus_alu = Insn::new(op::CLS_ALU64 | 0xe0, 0, 0, 0, 0);
-        assert!(matches!(
-            ok(vec![bogus_alu, build::exit()]),
-            Err(VerifyError::BadOpcode { .. })
-        ));
+        assert!(matches!(ok(vec![bogus_alu, build::exit()]), Err(VerifyError::BadOpcode { .. })));
     }
 
     #[test]

@@ -152,9 +152,7 @@ impl AsPath {
         if asns.is_empty() {
             AsPath::empty()
         } else {
-            AsPath {
-                segments: vec![AsSegment::Sequence(asns)],
-            }
+            AsPath { segments: vec![AsSegment::Sequence(asns)] }
         }
     }
 
@@ -421,10 +419,7 @@ impl PathAttr {
             7 => {
                 // 4-octet-AS form: 4 + 4; legacy form: 2 + 4.
                 match v.len() {
-                    8 => PathAttr::Aggregator {
-                        asn: be32(&v[0..4]),
-                        router_id: be32(&v[4..8]),
-                    },
+                    8 => PathAttr::Aggregator { asn: be32(&v[0..4]), router_id: be32(&v[4..8]) },
                     6 => PathAttr::Aggregator {
                         asn: u32::from(u16::from_be_bytes([v[0], v[1]])),
                         router_id: be32(&v[2..6]),
@@ -433,7 +428,7 @@ impl PathAttr {
                 }
             }
             8 => {
-                if v.len() % 4 != 0 {
+                if !v.len().is_multiple_of(4) {
                     return Err(WireError::AttributeLength { code, len: v.len() });
                 }
                 PathAttr::Communities(v.chunks_exact(4).map(be32).collect())
@@ -443,7 +438,7 @@ impl PathAttr {
                 PathAttr::OriginatorId(be32(v))
             }
             10 => {
-                if v.len() % 4 != 0 {
+                if !v.len().is_multiple_of(4) {
                     return Err(WireError::AttributeLength { code, len: v.len() });
                 }
                 PathAttr::ClusterList(v.chunks_exact(4).map(be32).collect())
@@ -504,14 +499,7 @@ impl<'a> RawAttr<'a> {
         if buf.len() < hdr + len {
             return Err(WireError::Truncated { what: "attribute body" });
         }
-        Ok((
-            RawAttr {
-                flags,
-                code,
-                value: &buf[hdr..hdr + len],
-            },
-            hdr + len,
-        ))
+        Ok((RawAttr { flags, code, value: &buf[hdr..hdr + len] }, hdr + len))
     }
 }
 
@@ -628,10 +616,7 @@ mod tests {
     #[test]
     fn as_set_counts_as_one_hop() {
         let p = AsPath {
-            segments: vec![
-                AsSegment::Sequence(vec![1, 2]),
-                AsSegment::Set(vec![3, 4, 5]),
-            ],
+            segments: vec![AsSegment::Sequence(vec![1, 2]), AsSegment::Set(vec![3, 4, 5])],
         };
         assert_eq!(p.hop_count(), 3);
         // Origin is undefined when the path ends in a SET.
@@ -658,10 +643,7 @@ mod tests {
     #[test]
     fn display_as_path() {
         let p = AsPath {
-            segments: vec![
-                AsSegment::Sequence(vec![65001, 65002]),
-                AsSegment::Set(vec![1, 2]),
-            ],
+            segments: vec![AsSegment::Sequence(vec![65001, 65002]), AsSegment::Set(vec![1, 2])],
         };
         assert_eq!(p.to_string(), "65001 65002 {1,2}");
     }
@@ -742,19 +724,10 @@ mod tests {
 
     #[test]
     fn truncated_tlv_rejected() {
-        assert!(matches!(
-            RawAttr::decode(&[0x40]),
-            Err(WireError::Truncated { .. })
-        ));
-        assert!(matches!(
-            RawAttr::decode(&[0x40, 1, 5, 0, 0]),
-            Err(WireError::Truncated { .. })
-        ));
+        assert!(matches!(RawAttr::decode(&[0x40]), Err(WireError::Truncated { .. })));
+        assert!(matches!(RawAttr::decode(&[0x40, 1, 5, 0, 0]), Err(WireError::Truncated { .. })));
         // Extended length header cut short.
-        assert!(matches!(
-            RawAttr::decode(&[0x50, 1, 0]),
-            Err(WireError::Truncated { .. })
-        ));
+        assert!(matches!(RawAttr::decode(&[0x50, 1, 0]), Err(WireError::Truncated { .. })));
     }
 
     #[test]
@@ -805,11 +778,7 @@ mod tests {
             any::<u32>().prop_map(PathAttr::OriginatorId),
             proptest::collection::vec(any::<u32>(), 0..8).prop_map(PathAttr::ClusterList),
             (11u8..=255, proptest::collection::vec(any::<u8>(), 0..300)).prop_map(
-                |(code, value)| PathAttr::Unknown {
-                    flags: AttrFlags::OPT_TRANS,
-                    code,
-                    value,
-                }
+                |(code, value)| PathAttr::Unknown { flags: AttrFlags::OPT_TRANS, code, value }
             ),
         ]
     }

@@ -62,16 +62,12 @@ impl Capability {
         }
         let v = &buf[2..2 + len];
         let cap = match (code, len) {
-            (1, 4) => Capability::Multiprotocol {
-                afi: u16::from_be_bytes([v[0], v[1]]),
-                safi: v[3],
-            },
+            (1, 4) => {
+                Capability::Multiprotocol { afi: u16::from_be_bytes([v[0], v[1]]), safi: v[3] }
+            }
             (2, 0) => Capability::RouteRefresh,
             (65, 4) => Capability::FourOctetAs(u32::from_be_bytes([v[0], v[1], v[2], v[3]])),
-            _ => Capability::Unknown {
-                code,
-                value: v.to_vec(),
-            },
+            _ => Capability::Unknown { code, value: v.to_vec() },
         };
         Ok((cap, 2 + len))
     }

@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn notification_mapping_covers_update_errors() {
         assert_eq!(WireError::MalformedAsPath.notification_codes(), (3, 11));
-        assert_eq!(
-            WireError::MissingWellKnown("ORIGIN").notification_codes(),
-            (3, 3)
-        );
+        assert_eq!(WireError::MissingWellKnown("ORIGIN").notification_codes(), (3, 3));
         assert_eq!(WireError::BadMarker.notification_codes(), (1, 1));
     }
 }

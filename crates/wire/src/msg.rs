@@ -77,9 +77,7 @@ impl OpenMsg {
 
     /// Did the speaker advertise 4-octet AS support?
     pub fn supports_four_octet_as(&self) -> bool {
-        self.capabilities
-            .iter()
-            .any(|c| matches!(c, Capability::FourOctetAs(_)))
+        self.capabilities.iter().any(|c| matches!(c, Capability::FourOctetAs(_)))
     }
 
     fn encode_body(&self, out: &mut Vec<u8>) {
@@ -490,10 +488,7 @@ mod tests {
         let o = OpenMsg::standard(1, 90, 1);
         let mut buf = Message::Open(o).encode(4).unwrap();
         buf[HEADER_LEN] = 3; // version
-        assert!(matches!(
-            Message::decode(&buf, 4),
-            Err(WireError::UnsupportedVersion(3))
-        ));
+        assert!(matches!(Message::decode(&buf, 4), Err(WireError::UnsupportedVersion(3))));
 
         let o = OpenMsg { hold_time: 2, ..OpenMsg::standard(1, 90, 1) };
         let buf = Message::Open(o).encode(4).unwrap();
@@ -607,10 +602,7 @@ mod tests {
             }],
             vec![],
         );
-        assert!(matches!(
-            Message::Update(u).encode(4),
-            Err(WireError::TooLong(_))
-        ));
+        assert!(matches!(Message::Update(u).encode(4), Err(WireError::TooLong(_))));
     }
 
     #[test]

@@ -19,10 +19,7 @@ impl Ipv4Prefix {
     /// Build a prefix, masking off host bits. Panics if `len > 32`.
     pub fn new(addr: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length must be <= 32");
-        Ipv4Prefix {
-            addr: addr & Self::mask(len),
-            len,
-        }
+        Ipv4Prefix { addr: addr & Self::mask(len), len }
     }
 
     /// The all-zero default route `0.0.0.0/0`.
@@ -33,7 +30,9 @@ impl Ipv4Prefix {
         self.addr
     }
 
-    /// Mask length in bits.
+    /// Mask length in bits. Not a container length, so there is no
+    /// `is_empty` counterpart (see `is_default` for the /0 route).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -64,14 +63,14 @@ impl Ipv4Prefix {
 
     /// Number of octets the prefix body occupies on the wire.
     pub fn wire_octets(&self) -> usize {
-        1 + (usize::from(self.len) + 7) / 8
+        1 + usize::from(self.len).div_ceil(8)
     }
 
     /// Append the RFC 4271 `<length, prefix>` encoding to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.push(self.len);
         let be = self.addr.to_be_bytes();
-        out.extend_from_slice(&be[..(usize::from(self.len) + 7) / 8]);
+        out.extend_from_slice(&be[..usize::from(self.len).div_ceil(8)]);
     }
 
     /// Decode one `<length, prefix>` tuple from the front of `buf`,
@@ -81,7 +80,7 @@ impl Ipv4Prefix {
         if len > 32 {
             return Err(WireError::BadPrefixLength(len));
         }
-        let nbytes = (usize::from(len) + 7) / 8;
+        let nbytes = usize::from(len).div_ceil(8);
         if buf.len() < 1 + nbytes {
             return Err(WireError::Truncated { what: "prefix body" });
         }
@@ -121,10 +120,7 @@ impl FromStr for Ipv4Prefix {
     /// Parse `"a.b.c.d/len"` (or a bare address, implying `/32`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let (ip, len) = match s.split_once('/') {
-            Some((ip, len)) => (
-                ip,
-                len.parse::<u8>().map_err(|e| format!("bad length: {e}"))?,
-            ),
+            Some((ip, len)) => (ip, len.parse::<u8>().map_err(|e| format!("bad length: {e}"))?),
             None => (s, 32),
         };
         if len > 32 {
@@ -225,14 +221,8 @@ mod tests {
             Ipv4Prefix::decode(&[33, 1, 2, 3, 4, 5]),
             Err(WireError::BadPrefixLength(33))
         ));
-        assert!(matches!(
-            Ipv4Prefix::decode(&[24, 192, 0]),
-            Err(WireError::Truncated { .. })
-        ));
-        assert!(matches!(
-            Ipv4Prefix::decode(&[]),
-            Err(WireError::Truncated { .. })
-        ));
+        assert!(matches!(Ipv4Prefix::decode(&[24, 192, 0]), Err(WireError::Truncated { .. })));
+        assert!(matches!(Ipv4Prefix::decode(&[]), Err(WireError::Truncated { .. })));
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct WrenConfig {
     pub default_local_pref: u32,
     /// `get_xtra` configuration data.
     pub xtra: Vec<(String, Vec<u8>)>,
+    /// Enable timing instrumentation: hook-site and VMM latency
+    /// histograms fill in (two clock reads per hook). Counters are
+    /// collected regardless.
+    pub metrics: bool,
 }
 
 impl WrenConfig {
@@ -56,7 +60,14 @@ impl WrenConfig {
             originate: Vec::new(),
             default_local_pref: 100,
             xtra: Vec::new(),
+            metrics: false,
         }
+    }
+
+    /// Turn on timing instrumentation (see the `metrics` field).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
     }
 
     pub fn channel(mut self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {

@@ -11,8 +11,10 @@ use rpki::{RoaHashTable, RoaTable, RovState};
 use std::any::Any;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Instant;
 use xbgp_core::api::{self, InsertionPoint, PeerInfo, PeerType};
 use xbgp_core::{Manifest, Vmm, VmmOutcome};
+use xbgp_obs::{Histogram, Snapshot};
 use xbgp_wire::attr::encode_attrs;
 use xbgp_wire::{Ipv4Prefix, Message, NotificationMsg, OpenMsg, UpdateMsg};
 
@@ -32,10 +34,36 @@ pub struct WrenStats {
     pub rov_invalid: u64,
     pub rov_not_found: u64,
     pub xbgp_rejected: u64,
+    /// Filter-point runs where an extension accepted the route (a
+    /// `Value` other than reject).
+    pub xbgp_accepted: u64,
+    /// Decision-point runs resolved by an extension instead of the
+    /// native comparison.
+    pub xbgp_decisions: u64,
+    /// Channel state transitions, indexed by target state
+    /// ([`FSM_TO_OPEN_WAIT`] …).
+    pub fsm_transitions: [u64; 4],
+}
+
+/// Indices into [`WrenStats::fsm_transitions`], one per target state.
+pub const FSM_TO_OPEN_WAIT: usize = 0;
+pub const FSM_TO_KEEPALIVE_WAIT: usize = 1;
+pub const FSM_TO_UP: usize = 2;
+pub const FSM_TO_DOWN: usize = 3;
+
+/// Label values for the transition counters, matching the indices above.
+const FSM_STATE_NAMES: [&str; 4] = ["open_wait", "keepalive_wait", "up", "down"];
+
+/// Dense index of an insertion point into the hook-latency table.
+fn pindex(p: InsertionPoint) -> usize {
+    InsertionPoint::ALL.iter().position(|q| *q == p).expect("point in ALL")
 }
 
 const TK_KEEPALIVE: u64 = 0;
 const TK_HOLD: u64 = 1;
+
+/// One queued announcement: net, attrs to advertise, cached wire form.
+type TxEntry = (Ipv4Prefix, Rc<EaList>, [u8; 24]);
 
 /// The WREN BGP daemon. See the crate documentation.
 pub struct WrenDaemon {
@@ -48,7 +76,7 @@ pub struct WrenDaemon {
     /// Per-channel pending announcements (BIRD's tx event queue): batched
     /// into shared UPDATEs at flush points so the encode insertion point
     /// and message framing amortize over routes sharing attributes.
-    txq: Vec<Vec<(Ipv4Prefix, Rc<EaList>, [u8; 24])>>,
+    txq: Vec<Vec<TxEntry>>,
     /// Per-channel pending withdrawals.
     txq_wd: Vec<Vec<Ipv4Prefix>>,
     vmm: Vmm,
@@ -59,16 +87,25 @@ pub struct WrenDaemon {
     pub stats: WrenStats,
     pub logs: Vec<String>,
     ext_rib_adds: Vec<(Ipv4Prefix, u32)>,
+    /// Timing instrumentation on? (mirrors `WrenConfig::metrics`).
+    metrics: bool,
+    /// Wall-clock nanoseconds around each insertion-point hook, context
+    /// marshalling included. Indexed by [`pindex`]; filled only when
+    /// `metrics` is set.
+    hook_ns: [Histogram; 5],
 }
 
 impl WrenDaemon {
     /// Build a daemon. Panics on an invalid xBGP manifest (startup-fatal
     /// configuration error).
     pub fn new(cfg: WrenConfig) -> WrenDaemon {
-        let vmm = match &cfg.xbgp {
+        let mut vmm = match &cfg.xbgp {
             Some(m) => Vmm::from_manifest(m).expect("invalid xBGP manifest"),
             None => Vmm::from_manifest(&Manifest::new()).expect("empty manifest"),
         };
+        if cfg.metrics {
+            vmm.enable_metrics();
+        }
         let mk_hash = |roas: &Vec<rpki::Roa>| {
             let mut t = RoaHashTable::new();
             for r in roas {
@@ -78,18 +115,11 @@ impl WrenDaemon {
         };
         let roa = cfg.roa_table.as_ref().map(mk_hash);
         let xbgp_rov = cfg.xbgp_roas.as_ref().map(mk_hash);
-        let channels: Vec<Channel> = cfg
-            .channels
-            .iter()
-            .map(|c| Channel::new(c.clone(), cfg.local_as))
-            .collect();
-        let link_to_channel = cfg
-            .channels
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.link, i))
-            .collect();
+        let channels: Vec<Channel> =
+            cfg.channels.iter().map(|c| Channel::new(c.clone(), cfg.local_as)).collect();
+        let link_to_channel = cfg.channels.iter().enumerate().map(|(i, c)| (c.link, i)).collect();
         let n = channels.len();
+        let metrics = cfg.metrics;
         WrenDaemon {
             cfg,
             channels,
@@ -104,7 +134,82 @@ impl WrenDaemon {
             stats: WrenStats::default(),
             logs: Vec::new(),
             ext_rib_adds: Vec::new(),
+            metrics,
+            hook_ns: Default::default(),
         }
+    }
+
+    /// Turn on timing instrumentation at runtime (same effect as
+    /// `WrenConfig::metrics`).
+    pub fn enable_metrics(&mut self) {
+        self.metrics = true;
+        self.vmm.enable_metrics();
+    }
+
+    /// Start a hook timer when instrumentation is on.
+    fn hook_start(&self) -> Option<Instant> {
+        self.metrics.then(Instant::now)
+    }
+
+    /// Record the elapsed time of one insertion-point hook.
+    fn hook_end(&self, point: InsertionPoint, start: Option<Instant>) {
+        if let Some(t0) = start {
+            self.hook_ns[pindex(point)].observe(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Full observability snapshot: daemon counters and gauges, hook-site
+    /// latency histograms (when instrumentation is on) and the VMM's
+    /// per-point / per-extension metrics, all labelled `daemon="bgp-wren"`.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new();
+        let st = &self.stats;
+        s.push_counter("xbgp_daemon_updates_rx_total", &[], st.updates_rx);
+        s.push_counter("xbgp_daemon_updates_tx_total", &[], st.updates_tx);
+        s.push_counter("xbgp_daemon_prefixes_rx_total", &[], st.prefixes_rx);
+        s.push_counter("xbgp_daemon_prefixes_tx_total", &[], st.prefixes_tx);
+        s.push_counter("xbgp_daemon_withdrawals_rx_total", &[], st.withdrawals_rx);
+        s.push_counter("xbgp_daemon_withdrawals_tx_total", &[], st.withdrawals_tx);
+        s.push_counter("xbgp_daemon_sessions_established_total", &[], st.sessions_established);
+        for (state, n) in [
+            ("valid", st.rov_valid),
+            ("invalid", st.rov_invalid),
+            ("not_found", st.rov_not_found),
+        ] {
+            s.push_counter("xbgp_daemon_rov_total", &[("state", state)], n);
+        }
+        s.push_counter("xbgp_daemon_filter_rejects_total", &[], st.xbgp_rejected);
+        s.push_counter("xbgp_daemon_filter_accepts_total", &[], st.xbgp_accepted);
+        s.push_counter("xbgp_daemon_decision_overrides_total", &[], st.xbgp_decisions);
+        for (i, to) in FSM_STATE_NAMES.iter().enumerate() {
+            s.push_counter(
+                "xbgp_daemon_fsm_transitions_total",
+                &[("to", to)],
+                st.fsm_transitions[i],
+            );
+        }
+        s.push_gauge("xbgp_daemon_table_size", &[], self.table.len() as i64);
+        s.push_gauge(
+            "xbgp_daemon_exported_routes",
+            &[],
+            self.exported.iter().map(HashMap::len).sum::<usize>() as i64,
+        );
+        s.push_gauge(
+            "xbgp_daemon_sessions_up",
+            &[],
+            self.channels.iter().filter(|c| c.up()).count() as i64,
+        );
+        if self.metrics {
+            for p in InsertionPoint::ALL {
+                s.push_histogram(
+                    "xbgp_daemon_hook_ns",
+                    &[("point", p.name())],
+                    self.hook_ns[pindex(p)].snapshot(),
+                );
+            }
+        }
+        s.merge(self.vmm.metrics_snapshot());
+        s.with_labels(&[("daemon", "bgp-wren")])
     }
 
     /// Number of nets in the table.
@@ -125,9 +230,7 @@ impl WrenDaemon {
     }
 
     pub fn session_established(&self, neighbor: u32) -> bool {
-        self.channels
-            .iter()
-            .any(|c| c.cfg.neighbor == neighbor && c.up())
+        self.channels.iter().any(|c| c.cfg.neighbor == neighbor && c.up())
     }
 
     pub fn xbgp_stats(&self) -> Vec<xbgp_core::vmm::ExtensionStats> {
@@ -201,8 +304,7 @@ impl WrenDaemon {
             Some(g) => g.borrow().metric(router_id, nh),
             None => 0,
         };
-        self.table
-            .update(net, rte, &mut |a, b| rte_better_native(a, b, dlp, &metric))
+        self.table.update(net, rte, &mut |a, b| rte_better_native(a, b, dlp, &metric))
     }
 
     /// Preference with the ③ BGP_DECISION point consulted first.
@@ -218,6 +320,7 @@ impl WrenDaemon {
                 flags: 0,
             };
             let nexthop = self.nexthop_info(&a.eattrs);
+            let t0 = self.hook_start();
             let mut hctx = WrenXbgpCtx {
                 peer,
                 args: vec![best_wire],
@@ -230,8 +333,13 @@ impl WrenDaemon {
                 rib_adds: &mut self.ext_rib_adds,
                 logs: &mut self.logs,
             };
-            match self.vmm.run(InsertionPoint::BgpDecision, &mut hctx) {
-                VmmOutcome::Value(v) => return v == api::DECISION_PREFER_NEW,
+            let outcome = self.vmm.run(InsertionPoint::BgpDecision, &mut hctx);
+            self.hook_end(InsertionPoint::BgpDecision, t0);
+            match outcome {
+                VmmOutcome::Value(v) => {
+                    self.stats.xbgp_decisions += 1;
+                    return v == api::DECISION_PREFER_NEW;
+                }
                 VmmOutcome::Fallback => {}
             }
         }
@@ -288,6 +396,7 @@ impl WrenDaemon {
         let peer_info = self.peer_info(ch);
         // ① BGP_RECEIVE_MESSAGE.
         if self.vmm.has_extensions(InsertionPoint::BgpReceiveMessage) {
+            let t0 = self.hook_start();
             let mut hctx = WrenXbgpCtx {
                 peer: peer_info,
                 args: vec![raw_body],
@@ -301,6 +410,7 @@ impl WrenDaemon {
                 logs: &mut self.logs,
             };
             let _ = self.vmm.run(InsertionPoint::BgpReceiveMessage, &mut hctx);
+            self.hook_end(InsertionPoint::BgpReceiveMessage, t0);
         }
 
         let ibgp = self.channels[ch].ibgp;
@@ -331,6 +441,7 @@ impl WrenDaemon {
 
             // ② BGP_INBOUND_FILTER.
             if inbound_ext {
+                let t0 = self.hook_start();
                 let mut modified = None;
                 let mut hctx = WrenXbgpCtx {
                     peer: peer_info,
@@ -344,14 +455,17 @@ impl WrenDaemon {
                     rib_adds: &mut self.ext_rib_adds,
                     logs: &mut self.logs,
                 };
-                match self.vmm.run(InsertionPoint::BgpInboundFilter, &mut hctx) {
+                let outcome = self.vmm.run(InsertionPoint::BgpInboundFilter, &mut hctx);
+                self.hook_end(InsertionPoint::BgpInboundFilter, t0);
+                match outcome {
                     VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
                         self.stats.xbgp_rejected += 1;
                         let change = self.table.withdraw(*net, SrcId::Channel(ch));
                         self.propagate(ctx, *net, change);
                         continue;
                     }
-                    _ => {}
+                    VmmOutcome::Value(_) => self.stats.xbgp_accepted += 1,
+                    VmmOutcome::Fallback => {}
                 }
                 if let Some(m) = modified {
                     route_attrs = Rc::new(m);
@@ -489,6 +603,7 @@ impl WrenDaemon {
 
         // ④ BGP_OUTBOUND_FILTER.
         let allowed = if self.vmm.has_extensions(InsertionPoint::BgpOutboundFilter) {
+            let t0 = self.hook_start();
             let peer_info = self.peer_info(ch);
             let nexthop = self.nexthop_info(&rte.eattrs);
             let src_bytes = self.source_info_bytes(rte);
@@ -504,12 +619,17 @@ impl WrenDaemon {
                 rib_adds: &mut self.ext_rib_adds,
                 logs: &mut self.logs,
             };
-            match self.vmm.run(InsertionPoint::BgpOutboundFilter, &mut hctx) {
+            let outcome = self.vmm.run(InsertionPoint::BgpOutboundFilter, &mut hctx);
+            self.hook_end(InsertionPoint::BgpOutboundFilter, t0);
+            match outcome {
                 VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
                     self.stats.xbgp_rejected += 1;
                     false
                 }
-                VmmOutcome::Value(_) => true,
+                VmmOutcome::Value(_) => {
+                    self.stats.xbgp_accepted += 1;
+                    true
+                }
                 VmmOutcome::Fallback => self.export_policy_native(ch, rte),
             }
         } else {
@@ -592,6 +712,7 @@ impl WrenDaemon {
         for (out, src, nets) in order {
             let mut extra = Vec::new();
             if encode_ext {
+                let t0 = self.hook_start();
                 let peer_info = self.peer_info(ch);
                 let mut hctx = WrenXbgpCtx {
                     peer: peer_info,
@@ -606,6 +727,7 @@ impl WrenDaemon {
                     logs: &mut self.logs,
                 };
                 let _ = self.vmm.run(InsertionPoint::BgpEncodeMessage, &mut hctx);
+                self.hook_end(InsertionPoint::BgpEncodeMessage, t0);
             }
             let wire = out.to_wire();
             for chunk in nets.chunks(700) {
@@ -665,11 +787,13 @@ impl WrenDaemon {
         let open =
             OpenMsg::standard(self.cfg.local_as, self.cfg.hold_time_secs, self.cfg.router_id);
         self.channels[ch].conn_state = ConnState::OpenWait;
+        self.stats.fsm_transitions[FSM_TO_OPEN_WAIT] += 1;
         self.tx(ctx, ch, &Message::Open(open));
     }
 
     fn channel_up(&mut self, ctx: &mut NodeCtx<'_>, ch: usize) {
         self.channels[ch].conn_state = ConnState::Up;
+        self.stats.fsm_transitions[FSM_TO_UP] += 1;
         self.channels[ch].last_rx = ctx.now();
         self.stats.sessions_established += 1;
         let hold = self.channels[ch].hold_ns;
@@ -686,6 +810,7 @@ impl WrenDaemon {
             return;
         }
         self.channels[ch].down();
+        self.stats.fsm_transitions[FSM_TO_DOWN] += 1;
         self.exported[ch].clear();
         let changes = self.table.flush_src(SrcId::Channel(ch));
         for (net, change) in changes {
@@ -713,7 +838,10 @@ impl WrenDaemon {
         match (self.channels[ch].conn_state, msg) {
             (ConnState::OpenWait, Message::Open(open)) => {
                 match self.channels[ch].accept_open(&open, self.cfg.hold_time_secs) {
-                    Ok(()) => self.tx(ctx, ch, &Message::Keepalive),
+                    Ok(()) => {
+                        self.stats.fsm_transitions[FSM_TO_KEEPALIVE_WAIT] += 1;
+                        self.tx(ctx, ch, &Message::Keepalive)
+                    }
                     Err(reason) => {
                         self.logs.push(format!("OPEN rejected on channel {ch}: {reason}"));
                         self.tx(ctx, ch, &Message::Notification(NotificationMsg::new(2, 2)));
@@ -725,15 +853,12 @@ impl WrenDaemon {
             (ConnState::Up, Message::Update(upd)) => self.rx_update(ctx, ch, upd, body),
             (ConnState::Up, Message::Keepalive) => {}
             (_, Message::Notification(n)) => {
-                self.logs
-                    .push(format!("NOTIFICATION {}/{} on channel {ch}", n.code, n.subcode));
+                self.logs.push(format!("NOTIFICATION {}/{} on channel {ch}", n.code, n.subcode));
                 self.channel_down(ctx, ch);
             }
             (state, msg) => {
-                self.logs.push(format!(
-                    "unexpected {:?} in {state:?} on channel {ch}",
-                    msg.msg_type()
-                ));
+                self.logs
+                    .push(format!("unexpected {:?} in {state:?} on channel {ch}", msg.msg_type()));
                 self.tx(ctx, ch, &Message::Notification(NotificationMsg::new(5, 0)));
                 self.channel_down(ctx, ch);
             }
@@ -819,7 +944,12 @@ impl Node for WrenDaemon {
 /// WREN's native RFC 4271 §9.1 preference, written over the lazy
 /// `ea_list` accessors. A free function so the fast-path table update can
 /// borrow the table mutably while comparing.
-fn rte_better_native(a: &Rte, b: &Rte, default_local_pref: u32, igp_metric: &dyn Fn(u32) -> u32) -> bool {
+fn rte_better_native(
+    a: &Rte,
+    b: &Rte,
+    default_local_pref: u32,
+    igp_metric: &dyn Fn(u32) -> u32,
+) -> bool {
     let lp = |r: &Rte| r.eattrs.local_pref().unwrap_or(default_local_pref);
     if lp(a) != lp(b) {
         return lp(a) > lp(b);

@@ -55,10 +55,7 @@ impl EaList {
 
     /// Find attribute by code.
     pub fn get(&self, code: u8) -> Option<&Ea> {
-        self.eas
-            .binary_search_by_key(&code, |e| e.code)
-            .ok()
-            .map(|i| &self.eas[i])
+        self.eas.binary_search_by_key(&code, |e| e.code).ok().map(|i| &self.eas[i])
     }
 
     /// Insert or replace an attribute (BIRD's `ea_set_attr`).
@@ -214,9 +211,7 @@ impl EaList {
     }
 
     pub fn cluster_list_contains(&self, id: u32) -> bool {
-        self.get(10).is_some_and(|e| {
-            e.raw.chunks_exact(4).any(|c| be32(c) == Some(id))
-        })
+        self.get(10).is_some_and(|e| e.raw.chunks_exact(4).any(|c| be32(c) == Some(id)))
     }
 
     /// Prepend a cluster id to the raw CLUSTER_LIST.

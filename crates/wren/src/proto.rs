@@ -89,7 +89,12 @@ mod tests {
     use netsim::LinkId;
 
     fn cfg() -> ChannelCfg {
-        ChannelCfg { link: LinkId(0), neighbor: 7, neighbor_as: 65007, rr_client: false }
+        ChannelCfg {
+            link: LinkId(0),
+            neighbor: 7,
+            neighbor_as: 65007,
+            rr_client: false,
+        }
     }
 
     #[test]

@@ -71,10 +71,7 @@ impl RTable {
         let old_best_was_src = list.first().map(|r| r.src == rte.src).unwrap_or(false);
         list.retain(|r| r.src != rte.src);
         // Insertion sort position: first slot whose occupant loses to us.
-        let pos = list
-            .iter()
-            .position(|incumbent| better(&rte, incumbent))
-            .unwrap_or(list.len());
+        let pos = list.iter().position(|incumbent| better(&rte, incumbent)).unwrap_or(list.len());
         list.insert(pos, rte);
         if pos == 0 || old_best_was_src {
             TableChange::BestChanged
@@ -121,6 +118,9 @@ impl RTable {
         for net in empty {
             self.nets.remove(&net);
         }
+        if !changed.is_empty() {
+            xbgp_obs::debug!("flushed {:?}: {} nets affected", src, changed.len());
+        }
         changed
     }
 
@@ -136,9 +136,7 @@ impl RTable {
 
     /// Iterate `(net, best route)`.
     pub fn iter_best(&self) -> impl Iterator<Item = (&Ipv4Prefix, &Rte)> {
-        self.nets
-            .iter()
-            .filter_map(|(net, list)| list.first().map(|r| (net, r)))
+        self.nets.iter().filter_map(|(net, list)| list.first().map(|r| (net, r)))
     }
 
     /// Number of nets with at least one route.
@@ -173,10 +171,7 @@ impl RTable {
         // Stable selection sort by the strict predicate.
         let mut sorted: Vec<Rte> = Vec::with_capacity(list.len());
         for rte in list.drain(..) {
-            let pos = sorted
-                .iter()
-                .position(|s| better(&rte, s))
-                .unwrap_or(sorted.len());
+            let pos = sorted.iter().position(|s| better(&rte, s)).unwrap_or(sorted.len());
             sorted.insert(pos, rte);
         }
         *list = sorted;
@@ -267,10 +262,7 @@ mod tests {
         t.update(n2, rte(0, 1), &mut shorter);
         let mut changes = t.flush_src(SrcId::Channel(0));
         changes.sort_by_key(|(n, _)| *n);
-        assert_eq!(
-            changes,
-            vec![(n1, TableChange::BestChanged), (n2, TableChange::NetGone)]
-        );
+        assert_eq!(changes, vec![(n1, TableChange::BestChanged), (n2, TableChange::NetGone)]);
         assert_eq!(t.best(&n1).unwrap().src, SrcId::Channel(1));
         assert!(t.best(&n2).is_none());
     }

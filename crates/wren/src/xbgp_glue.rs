@@ -87,19 +87,15 @@ impl HostApi for WrenXbgpCtx<'_> {
     }
 
     fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {
-        let list = self
-            .eattrs
-            .write()
-            .ok_or_else(|| "attributes are read-only here".to_string())?;
+        let list =
+            self.eattrs.write().ok_or_else(|| "attributes are read-only here".to_string())?;
         list.set(code, flags, value.to_vec());
         Ok(())
     }
 
     fn remove_attr(&mut self, code: u8) -> Result<(), String> {
-        let list = self
-            .eattrs
-            .write()
-            .ok_or_else(|| "attributes are read-only here".to_string())?;
+        let list =
+            self.eattrs.write().ok_or_else(|| "attributes are read-only here".to_string())?;
         if list.unset(code) {
             Ok(())
         } else {
@@ -108,10 +104,7 @@ impl HostApi for WrenXbgpCtx<'_> {
     }
 
     fn get_xtra(&self, key: &str) -> Option<Vec<u8>> {
-        self.xtra
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.clone())
+        self.xtra.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
     }
 
     fn write_buf(&mut self, data: &[u8]) -> Result<(), String> {

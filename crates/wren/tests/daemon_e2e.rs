@@ -52,9 +52,7 @@ fn withdrawal_on_upstream_failure() {
     let l2 = sim.connect(dut, c, MS);
     let mut cfg_a = WrenConfig::new(65001, 1).channel(l1, 2, 65002);
     cfg_a.originate = vec![(p("192.0.2.0/24"), 1)];
-    let cfg_dut = WrenConfig::new(65002, 2)
-        .channel(l1, 1, 65001)
-        .channel(l2, 3, 65003);
+    let cfg_dut = WrenConfig::new(65002, 2).channel(l1, 1, 65001).channel(l2, 3, 65003);
     let cfg_c = WrenConfig::new(65003, 3).channel(l2, 2, 65002);
     sim.replace_node(a, Box::new(WrenDaemon::new(cfg_a)));
     sim.replace_node(dut, Box::new(WrenDaemon::new(cfg_dut)));
@@ -110,9 +108,7 @@ fn ibgp_routes_not_reflected_without_rr() {
     // mid's iBGP neighbor 'down' must not receive iBGP-learned... here the
     // route arrives over eBGP at mid, so down DOES get it; extend the chain
     // inside the AS instead.
-    let cfg_mid = WrenConfig::new(65000, 2)
-        .channel(l1, 9, 65009)
-        .channel(l2, 3, 65000);
+    let cfg_mid = WrenConfig::new(65000, 2).channel(l1, 9, 65009).channel(l2, 3, 65000);
     let cfg_down = WrenConfig::new(65000, 3).channel(l2, 2, 65000);
     sim.replace_node(up, Box::new(WrenDaemon::new(cfg_up)));
     sim.replace_node(mid, Box::new(WrenDaemon::new(cfg_mid)));
@@ -135,11 +131,7 @@ fn native_origin_validation_uses_hash_table_and_tags() {
     let b = sim.add_node(Box::new(Placeholder));
     let link = sim.connect(a, b, MS);
     let mut cfg_a = WrenConfig::new(65001, 1).channel(link, 2, 65002);
-    cfg_a.originate = vec![
-        (p("10.1.0.0/16"), 1),
-        (p("10.2.0.0/16"), 1),
-        (p("10.3.0.0/16"), 1),
-    ];
+    cfg_a.originate = vec![(p("10.1.0.0/16"), 1), (p("10.2.0.0/16"), 1), (p("10.3.0.0/16"), 1)];
     let mut cfg_b = WrenConfig::new(65002, 2).channel(link, 1, 65001);
     cfg_b.roa_table = Some(vec![
         Roa::new(p("10.1.0.0/16"), 16, 65001),
@@ -173,19 +165,11 @@ fn best_route_is_head_of_preference_ordered_list() {
     let l_mid_b = sim.connect(mid, b, MS);
     let l_b_dut = sim.connect(b, dut, MS);
 
-    let mut cfg_a = WrenConfig::new(65001, 1)
-        .channel(l_a_dut, 4, 65004)
-        .channel(l_a_mid, 2, 65002);
+    let mut cfg_a = WrenConfig::new(65001, 1).channel(l_a_dut, 4, 65004).channel(l_a_mid, 2, 65002);
     cfg_a.originate = vec![(p("10.0.0.0/8"), 1)];
-    let cfg_mid = WrenConfig::new(65002, 2)
-        .channel(l_a_mid, 1, 65001)
-        .channel(l_mid_b, 3, 65003);
-    let cfg_b = WrenConfig::new(65003, 3)
-        .channel(l_mid_b, 2, 65002)
-        .channel(l_b_dut, 4, 65004);
-    let cfg_dut = WrenConfig::new(65004, 4)
-        .channel(l_a_dut, 1, 65001)
-        .channel(l_b_dut, 3, 65003);
+    let cfg_mid = WrenConfig::new(65002, 2).channel(l_a_mid, 1, 65001).channel(l_mid_b, 3, 65003);
+    let cfg_b = WrenConfig::new(65003, 3).channel(l_mid_b, 2, 65002).channel(l_b_dut, 4, 65004);
+    let cfg_dut = WrenConfig::new(65004, 4).channel(l_a_dut, 1, 65001).channel(l_b_dut, 3, 65003);
     sim.replace_node(a, Box::new(WrenDaemon::new(cfg_a)));
     sim.replace_node(mid, Box::new(WrenDaemon::new(cfg_mid)));
     sim.replace_node(b, Box::new(WrenDaemon::new(cfg_b)));

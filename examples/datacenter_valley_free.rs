@@ -79,9 +79,7 @@ fn build(asns: [u32; 6], xbgp: bool) -> (Sim, Vec<NodeId>, LinkId, LinkId) {
 }
 
 fn l10_reaches_l13(sim: &mut Sim, nodes: &[NodeId]) -> bool {
-    sim.node_ref::<FirDaemon>(nodes[L10])
-        .best_route(&p("10.13.0.0/16"))
-        .is_some()
+    sim.node_ref::<FirDaemon>(nodes[L10]).best_route(&p("10.13.0.0/16")).is_some()
 }
 
 fn main() {
@@ -91,7 +89,10 @@ fn main() {
     // Scenario 1: the same-ASN trick.
     let (mut sim, nodes, la, lb) = build([65200, 65200, 65100, 65100, 65110, 65110], false);
     sim.run_until(20 * SEC);
-    println!("same-ASN trick, healthy fabric: L10 reaches 10.13/16: {}", l10_reaches_l13(&mut sim, &nodes));
+    println!(
+        "same-ASN trick, healthy fabric: L10 reaches 10.13/16: {}",
+        l10_reaches_l13(&mut sim, &nodes)
+    );
     sim.set_link_up(la, false);
     sim.set_link_up(lb, false);
     sim.run_until(90 * SEC);
@@ -102,11 +103,10 @@ fn main() {
     // Scenario 2: distinct ASNs + the xBGP valley-free filter.
     let (mut sim, nodes, la, lb) = build([65201, 65202, 65101, 65102, 65103, 65104], true);
     sim.run_until(20 * SEC);
-    let ext_leak = sim
-        .node_ref::<FirDaemon>(nodes[S2])
-        .best_route(&p("192.0.2.0/24"))
-        .is_some();
-    println!("\nxBGP filter, healthy fabric: external prefix leaks to S2 via a leaf valley: {ext_leak}");
+    let ext_leak = sim.node_ref::<FirDaemon>(nodes[S2]).best_route(&p("192.0.2.0/24")).is_some();
+    println!(
+        "\nxBGP filter, healthy fabric: external prefix leaks to S2 via a leaf valley: {ext_leak}"
+    );
     assert!(!ext_leak, "valleys blocked for external prefixes");
     sim.set_link_up(la, false);
     sim.set_link_up(lb, false);

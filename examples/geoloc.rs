@@ -46,9 +46,7 @@ fn main() {
     cfg_ext.originate = vec![(p("198.51.100.0/24"), 9)];
     sim.replace_node(external, Box::new(FirDaemon::new(cfg_ext)));
 
-    let mut cfg_london = FirConfig::new(65000, 1)
-        .peer(l_ext, 9, 65009)
-        .peer(l_ibgp, 2, 65000);
+    let mut cfg_london = FirConfig::new(65000, 1).peer(l_ext, 9, 65009).peer(l_ibgp, 2, 65000);
     cfg_london.xbgp = Some(geoloc::manifest(None));
     cfg_london.xtra = vec![("geo".into(), geoloc::coords_bytes(51_507, -128))];
     sim.replace_node(london, Box::new(FirDaemon::new(cfg_london)));

@@ -61,9 +61,8 @@ fn main() {
     cfg_london.originate = vec![(p("203.0.113.0/24"), LONDON)];
     sim.replace_node(london, Box::new(FirDaemon::new(cfg_london)));
 
-    let mut cfg_berlin = FirConfig::new(65000, BERLIN)
-        .peer(l_ibgp, LONDON, 65000)
-        .peer(l_ebgp, 9, 65009);
+    let mut cfg_berlin =
+        FirConfig::new(65000, BERLIN).peer(l_ibgp, LONDON, 65000).peer(l_ebgp, 9, 65009);
     cfg_berlin.igp = Some(shared.clone());
     cfg_berlin.xbgp = Some(igp_filter::manifest());
     sim.replace_node(berlin, Box::new(FirDaemon::new(cfg_berlin)));
@@ -99,7 +98,9 @@ fn main() {
         let d: &FirDaemon = sim.node_ref(peer);
         d.loc_rib_prefixes()
     };
-    println!("after UK link failures: berlin→london IGP metric = {metric}; peer sees {peer_sees:?}");
+    println!(
+        "after UK link failures: berlin→london IGP metric = {metric}; peer sees {peer_sees:?}"
+    );
     let b: &FirDaemon = sim.node_ref(berlin);
     println!("berlin's extension rejected {} export(s)", b.stats.xbgp_rejected);
     assert!(

@@ -21,6 +21,7 @@ fn main() {
             extension: false,
             routes: 5_000,
             seed: 42,
+            metrics: false,
         });
         let ext = run(&Fig3Spec {
             dut,
@@ -28,6 +29,7 @@ fn main() {
             extension: true,
             routes: 5_000,
             seed: 42,
+            metrics: false,
         });
         assert_eq!(native.prefixes_delivered, 5_000, "validation never discards");
         assert_eq!(ext.prefixes_delivered, 5_000);

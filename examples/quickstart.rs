@@ -60,8 +60,8 @@ impl netsim::Node for Ph {
 
 fn main() {
     // 1. Assemble the extension against the xBGP ABI symbol table.
-    let prog = assemble_with_symbols(BLACKHOLE_FILTER, &abi_symbols())
-        .expect("the filter assembles");
+    let prog =
+        assemble_with_symbols(BLACKHOLE_FILTER, &abi_symbols()).expect("the filter assembles");
     println!("assembled blackhole filter: {} eBPF instructions\n", prog.len());
 
     // 2. Package it in a manifest: name, insertion point, allowed helpers.
@@ -74,7 +74,10 @@ fn main() {
         &["ctx_malloc", "get_attr", "next"],
         &prog,
     ));
-    println!("manifest JSON (shippable to any xBGP-compliant router):\n{}\n", manifest.to_json());
+    println!(
+        "manifest JSON (shippable to any xBGP-compliant router):\n{}\n",
+        manifest.to_json()
+    );
 
     // 3. A feeder announces two routes — one clean, one tagged with the
     //    blackhole community — to a FIR daemon that loaded the manifest.

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace replaces
+//! external dependencies with local shims (see `shims/README.md`). This one
+//! keeps the workspace's property tests running unmodified: it implements
+//! the `proptest!` / `prop_assert*` / `prop_oneof!` macros and the strategy
+//! combinators the tests use (`any`, ranges, tuples, `Just`,
+//! `collection::vec`, `prop_map`, `prop_flat_map`, unions).
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case reports its values but is not minimised;
+//! * sampling is driven by a per-test deterministic RNG (seeded from the
+//!   test's module path), so runs are reproducible without a persistence
+//!   file;
+//! * [`CASES`] (default 64) cases per test instead of 256, keeping the
+//!   offline test suite fast.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of accepted cases each `proptest!` test executes.
+pub const CASES: u32 = 64;
+
+/// Upper bound on sampling attempts per test, so `prop_assume!`-heavy
+/// tests terminate even when most cases are rejected.
+pub const MAX_ATTEMPTS: u32 = CASES * 16;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run each embedded test function [`CASES`] times with freshly sampled
+/// inputs. Supports both `name in strategy` and `name: Type` parameters
+/// (the latter meaning `any::<Type>()`), doc comments, and `#[test]`
+/// attributes, exactly like the real macro.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: one or more test functions.
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < $crate::CASES {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= $crate::MAX_ATTEMPTS,
+                        "proptest: too many rejected cases (prop_assume! filter too strict)"
+                    );
+                    $crate::proptest!(@bind __rng, $($params)*);
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => __accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed: {}", msg)
+                        }
+                    }
+                }
+            }
+        )+
+    };
+
+    // Parameter binding: `name in strategy` form.
+    (@bind $rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    // Parameter binding: `name: Type` form (implicit `any::<Type>()`).
+    (@bind $rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    // Trailing comma / empty tail.
+    (@bind $rng:ident $(,)?) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), __l, __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Reject the current case without failing the test (re-sampled instead).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,42 @@
+//! `Option<T>` strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generate `None` about a quarter of the time, `Some(inner)` otherwise —
+/// close to real proptest's default weighting, and enough to exercise both
+/// arms of every `Option` field within a 64-case run.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_name("option::tests::produces_both_variants");
+        let s = of(0u32..100);
+        let samples: Vec<Option<u32>> = (0..200).map(|_| s.sample(&mut rng)).collect();
+        assert!(samples.iter().any(Option::is_none));
+        assert!(samples.iter().any(Option::is_some));
+        assert!(samples.iter().flatten().all(|v| *v < 100));
+    }
+}

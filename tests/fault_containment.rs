@@ -23,9 +23,7 @@ fn run_with_manifest(
     let (mut sim, n) = sim_with_nodes(2);
     let link = sim.connect(n[0], n[1], MS);
     let mut cfg_a = FirConfig::new(65001, 1).peer(link, 2, 65002);
-    cfg_a.originate = (0..20)
-        .map(|i| (p(&format!("10.{i}.0.0/16")), 1))
-        .collect();
+    cfg_a.originate = (0..20).map(|i| (p(&format!("10.{i}.0.0/16")), 1)).collect();
     let mut cfg_b = FirConfig::new(65002, 2).peer(link, 1, 65001);
     cfg_b.xbgp = Some(manifest);
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_a)));
@@ -56,14 +54,54 @@ fn out_of_bounds_extension_falls_back_to_native() {
 }
 
 #[test]
-fn runaway_extension_is_stopped_and_contained() {
+fn faults_surface_in_the_daemon_metrics_snapshot() {
+    // The same wild pointer, but observed through the observability layer:
+    // the per-point error counter and per-extension counters must account
+    // for every aborted run while routing continues natively.
     let mut m = Manifest::new();
     m.push(ext(
-        "spinner",
+        "wild_pointer",
         InsertionPoint::BgpInboundFilter,
         &[],
-        "loop: ja loop",
+        "lddw r1, 0x7777777777\nldxb r0, [r1]\nexit",
     ));
+    let (mut sim, n) = sim_with_nodes(2);
+    let link = sim.connect(n[0], n[1], MS);
+    let mut cfg_a = FirConfig::new(65001, 1).peer(link, 2, 65002);
+    cfg_a.originate = (0..20).map(|i| (p(&format!("10.{i}.0.0/16")), 1)).collect();
+    let mut cfg_b = FirConfig::new(65002, 2).peer(link, 1, 65001);
+    cfg_b.xbgp = Some(m);
+    cfg_b.metrics = true;
+    sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_a)));
+    sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_b)));
+    sim.run_until(5 * SEC);
+    let d: &FirDaemon = sim.node_ref(n[1]);
+    assert_eq!(d.loc_rib_len(), 20, "all routes still accepted natively");
+
+    let snap = d.metrics_snapshot();
+    let labels = &[("daemon", "bgp-fir"), ("point", InsertionPoint::BgpInboundFilter.name())];
+    let errors = snap
+        .counter_value("xbgp_vmm_errors_total", labels)
+        .expect("per-point error counter present");
+    let runs = snap
+        .counter_value("xbgp_vmm_runs_total", labels)
+        .expect("per-point run counter present");
+    assert!(errors >= 20, "every route's run aborted: {errors}");
+    assert_eq!(errors, runs, "all runs at this point faulted");
+    // Fallback is what the daemon saw: nothing was rejected by the
+    // extension, so the snapshot's value count stays zero.
+    assert_eq!(snap.counter_value("xbgp_vmm_values_total", labels), Some(0));
+    // Timing instrumentation was on, so the latency histogram is populated.
+    let lat = snap
+        .histogram_value("xbgp_vmm_run_latency_ns", labels)
+        .expect("latency histogram present");
+    assert_eq!(lat.count, runs);
+}
+
+#[test]
+fn runaway_extension_is_stopped_and_contained() {
+    let mut m = Manifest::new();
+    m.push(ext("spinner", InsertionPoint::BgpInboundFilter, &[], "loop: ja loop"));
     let (routes, logs, _) = run_with_manifest(m);
     assert_eq!(routes, 20, "fuel exhaustion cannot take the router down");
     assert!(logs.iter().any(|l| l.contains("budget exhausted") || l.contains("aborted")));
@@ -74,12 +112,7 @@ fn faulty_extension_does_not_poison_healthy_chain_members() {
     // A crasher and a healthy accept-all filter on the same point: the
     // crasher aborts the chain (falls back to native), but the healthy one
     // keeps working when it runs first.
-    let healthy = ext(
-        "accept_all",
-        InsertionPoint::BgpInboundFilter,
-        &["next"],
-        "call next\nexit",
-    );
+    let healthy = ext("accept_all", InsertionPoint::BgpInboundFilter, &["next"], "call next\nexit");
     let crasher = ext(
         "crasher",
         InsertionPoint::BgpInboundFilter,
@@ -144,9 +177,7 @@ fn decision_point_extension_can_override_best_path() {
         &[],
         "mov r0, DECISION_PREFER_NEW\nexit",
     ));
-    let mut cfg_dut = FirConfig::new(65003, 3)
-        .peer(l1, 1, 65001)
-        .peer(l2, 2, 65002);
+    let mut cfg_dut = FirConfig::new(65003, 3).peer(l1, 1, 65001).peer(l2, 2, 65002);
     cfg_dut.xbgp = Some(m);
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_short)));
     sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_long)));

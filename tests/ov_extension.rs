@@ -18,7 +18,7 @@ fn roas() -> Vec<Roa> {
     vec![
         Roa::new(p("10.1.0.0/16"), 16, 65001), // valid for origin 65001
         Roa::new(p("10.2.0.0/16"), 16, 64999), // wrong AS: invalid
-        // 10.3.0.0/16 has no ROA: not found
+                                               // 10.3.0.0/16 has no ROA: not found
     ]
 }
 
@@ -27,11 +27,8 @@ fn ov_extension_counts_and_keeps_routes_on_fir() {
     let (mut sim, n) = sim_with_nodes(2);
     let link = sim.connect(n[0], n[1], MS);
     let mut cfg_origin = FirConfig::new(65001, 1).peer(link, 2, 65002);
-    cfg_origin.originate = vec![
-        (p("10.1.0.0/16"), 1),
-        (p("10.2.0.0/16"), 1),
-        (p("10.3.0.0/16"), 1),
-    ];
+    cfg_origin.originate =
+        vec![(p("10.1.0.0/16"), 1), (p("10.2.0.0/16"), 1), (p("10.3.0.0/16"), 1)];
     let mut cfg_dut = FirConfig::new(65002, 2).peer(link, 1, 65001);
     cfg_dut.xbgp = Some(origin_validation::manifest());
     cfg_dut.xbgp_roas = Some(roas());
@@ -52,11 +49,8 @@ fn ov_extension_counts_and_keeps_routes_on_wren() {
     let (mut sim, n) = sim_with_nodes(2);
     let link = sim.connect(n[0], n[1], MS);
     let mut cfg_origin = WrenConfig::new(65001, 1).channel(link, 2, 65002);
-    cfg_origin.originate = vec![
-        (p("10.1.0.0/16"), 1),
-        (p("10.2.0.0/16"), 1),
-        (p("10.3.0.0/16"), 1),
-    ];
+    cfg_origin.originate =
+        vec![(p("10.1.0.0/16"), 1), (p("10.2.0.0/16"), 1), (p("10.3.0.0/16"), 1)];
     let mut cfg_dut = WrenConfig::new(65002, 2).channel(link, 1, 65001);
     cfg_dut.xbgp = Some(origin_validation::manifest());
     cfg_dut.xbgp_roas = Some(roas());
@@ -80,14 +74,9 @@ fn extension_and_native_validation_agree() {
     let (mut sim, n) = sim_with_nodes(3);
     let l1 = sim.connect(n[0], n[1], MS);
     let l2 = sim.connect(n[0], n[2], MS);
-    let mut cfg_origin = FirConfig::new(65001, 1)
-        .peer(l1, 2, 65002)
-        .peer(l2, 3, 65003);
-    cfg_origin.originate = vec![
-        (p("10.1.0.0/16"), 1),
-        (p("10.2.0.0/16"), 1),
-        (p("10.3.0.0/16"), 1),
-    ];
+    let mut cfg_origin = FirConfig::new(65001, 1).peer(l1, 2, 65002).peer(l2, 3, 65003);
+    cfg_origin.originate =
+        vec![(p("10.1.0.0/16"), 1), (p("10.2.0.0/16"), 1), (p("10.3.0.0/16"), 1)];
     // DUT A: native trie validation.
     let mut cfg_native = FirConfig::new(65002, 2).peer(l1, 1, 65001);
     cfg_native.native_rov = Some(roas());
@@ -101,11 +90,8 @@ fn extension_and_native_validation_agree() {
     sim.run_until(5 * SEC);
 
     let native: &FirDaemon = sim.node_ref(n[1]);
-    let native_counts = (
-        native.stats.rov_valid,
-        native.stats.rov_invalid,
-        native.stats.rov_not_found,
-    );
+    let native_counts =
+        (native.stats.rov_valid, native.stats.rov_invalid, native.stats.rov_not_found);
     let ext: &FirDaemon = sim.node_ref(n[2]);
     let raw = ext
         .xbgp_shared_read(origin_validation::GROUP, origin_validation::COUNTERS_KEY)

@@ -34,9 +34,7 @@ fn igp_filter_same_bytecode_both_daemons() {
             });
             let mut cfg_origin = FirConfig::new(65000, 1).peer(l1, 2, 65000);
             cfg_origin.originate = vec![(p("203.0.113.0/24"), 1)];
-            let mut cfg_dut = FirConfig::new(65000, 2)
-                .peer(l1, 1, 65000)
-                .peer(l2, 3, 65009);
+            let mut cfg_dut = FirConfig::new(65000, 2).peer(l1, 1, 65000).peer(l2, 3, 65009);
             cfg_dut.xbgp = Some(igp_filter::manifest());
             cfg_dut.igp = Some(shared_igp.clone());
             let cfg_peer = FirConfig::new(65009, 3).peer(l2, 2, 65000);
@@ -60,9 +58,7 @@ fn igp_filter_same_bytecode_both_daemons() {
             });
             let mut cfg_origin = WrenConfig::new(65000, 1).channel(l1, 2, 65000);
             cfg_origin.originate = vec![(p("203.0.113.0/24"), 1)];
-            let mut cfg_dut = WrenConfig::new(65000, 2)
-                .channel(l1, 1, 65000)
-                .channel(l2, 3, 65009);
+            let mut cfg_dut = WrenConfig::new(65000, 2).channel(l1, 1, 65000).channel(l2, 3, 65009);
             cfg_dut.xbgp = Some(igp_filter::manifest());
             cfg_dut.igp = Some(shared_igp.clone());
             let cfg_peer = WrenConfig::new(65009, 3).channel(l2, 2, 65000);
@@ -86,9 +82,7 @@ fn geoloc_end_to_end_on_fir() {
 
     let mut cfg_ext = FirConfig::new(65009, 9).peer(l1, 1, 65000);
     cfg_ext.originate = vec![(p("198.51.100.0/24"), 9)];
-    let mut cfg_border = FirConfig::new(65000, 1)
-        .peer(l1, 9, 65009)
-        .peer(l2, 2, 65000);
+    let mut cfg_border = FirConfig::new(65000, 1).peer(l1, 9, 65009).peer(l2, 2, 65000);
     cfg_border.xbgp = Some(geoloc::manifest(None));
     cfg_border.xtra = vec![("geo".into(), geoloc::coords_bytes(50_846, 4_352))];
     let cfg_inner = FirConfig::new(65000, 2).peer(l2, 1, 65000);
@@ -117,9 +111,7 @@ fn geoloc_end_to_end_on_wren() {
 
     let mut cfg_ext = WrenConfig::new(65009, 9).channel(l1, 1, 65000);
     cfg_ext.originate = vec![(p("198.51.100.0/24"), 9)];
-    let mut cfg_border = WrenConfig::new(65000, 1)
-        .channel(l1, 9, 65009)
-        .channel(l2, 2, 65000);
+    let mut cfg_border = WrenConfig::new(65000, 1).channel(l1, 9, 65009).channel(l2, 2, 65000);
     cfg_border.xbgp = Some(geoloc::manifest(None));
     cfg_border.xtra = vec![("geo".into(), geoloc::coords_bytes(50_846, 4_352))];
     let cfg_inner = WrenConfig::new(65000, 2).channel(l2, 1, 65000);
@@ -147,9 +139,7 @@ fn geoloc_distance_filter_drops_far_routes() {
 
         let mut cfg_origin = FirConfig::new(65009, 9).peer(l1, 1, 65000);
         cfg_origin.originate = vec![(p("198.51.100.0/24"), 9)];
-        let mut cfg_stamper = FirConfig::new(65000, 1)
-            .peer(l1, 9, 65009)
-            .peer(l2, 2, 65000);
+        let mut cfg_stamper = FirConfig::new(65000, 1).peer(l1, 9, 65009).peer(l2, 2, 65000);
         cfg_stamper.xbgp = Some(geoloc::manifest(None));
         cfg_stamper.xtra = vec![("geo".into(), geoloc::coords_bytes(10_000, 10_000))];
         let mut cfg_filterer = FirConfig::new(65000, 2).peer(l2, 1, 65000);
@@ -235,11 +225,11 @@ fn mixed_topology_converges_to_identical_tables() {
     sim.run_until(20 * SEC);
 
     let want: Vec<_> = (1..=5).map(|i| p(&format!("10.{i}.0.0/16"))).collect();
-    for i in 0..5 {
+    for (i, &node) in n.iter().enumerate().take(5) {
         let got = if i % 2 == 0 {
-            sim.node_ref::<FirDaemon>(n[i]).loc_rib_prefixes()
+            sim.node_ref::<FirDaemon>(node).loc_rib_prefixes()
         } else {
-            sim.node_ref::<WrenDaemon>(n[i]).nets()
+            sim.node_ref::<WrenDaemon>(node).nets()
         };
         assert_eq!(got, want, "router {i}");
     }

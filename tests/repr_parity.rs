@@ -39,38 +39,33 @@ fn arb_attrs() -> impl Strategy<Value = Vec<PathAttr>> {
         proptest::collection::vec(any::<u32>(), 0..4),
         proptest::option::of((11u8..=200, proptest::collection::vec(any::<u8>(), 0..32))),
     )
-        .prop_map(
-            |(origin, path, nh, med, lp, comms, orig_id, cluster, unknown)| {
-                let mut attrs = vec![
-                    PathAttr::Origin(origin),
-                    PathAttr::AsPath(path),
-                    PathAttr::NextHop(nh),
-                ];
-                if let Some(m) = med {
-                    attrs.push(PathAttr::Med(m));
-                }
-                if let Some(l) = lp {
-                    attrs.push(PathAttr::LocalPref(l));
-                }
-                if !comms.is_empty() {
-                    attrs.push(PathAttr::Communities(comms));
-                }
-                if let Some(o) = orig_id {
-                    attrs.push(PathAttr::OriginatorId(o));
-                }
-                if !cluster.is_empty() {
-                    attrs.push(PathAttr::ClusterList(cluster));
-                }
-                if let Some((code, value)) = unknown {
-                    attrs.push(PathAttr::Unknown {
-                        flags: xbgp_wire::AttrFlags::OPT_TRANS,
-                        code,
-                        value,
-                    });
-                }
-                attrs
-            },
-        )
+        .prop_map(|(origin, path, nh, med, lp, comms, orig_id, cluster, unknown)| {
+            let mut attrs =
+                vec![PathAttr::Origin(origin), PathAttr::AsPath(path), PathAttr::NextHop(nh)];
+            if let Some(m) = med {
+                attrs.push(PathAttr::Med(m));
+            }
+            if let Some(l) = lp {
+                attrs.push(PathAttr::LocalPref(l));
+            }
+            if !comms.is_empty() {
+                attrs.push(PathAttr::Communities(comms));
+            }
+            if let Some(o) = orig_id {
+                attrs.push(PathAttr::OriginatorId(o));
+            }
+            if !cluster.is_empty() {
+                attrs.push(PathAttr::ClusterList(cluster));
+            }
+            if let Some((code, value)) = unknown {
+                attrs.push(PathAttr::Unknown {
+                    flags: xbgp_wire::AttrFlags::OPT_TRANS,
+                    code,
+                    value,
+                });
+            }
+            attrs
+        })
 }
 
 proptest! {

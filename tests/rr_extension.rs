@@ -92,7 +92,11 @@ fn extension_rr_equals_native_rr_on_fir() {
     let ext = run_fir(true);
     assert_eq!(
         native,
-        ReflectedView { originator: Some(1), clusters: vec![2], local_pref: Some(100) }
+        ReflectedView {
+            originator: Some(1),
+            clusters: vec![2],
+            local_pref: Some(100)
+        }
     );
     assert_eq!(ext, native, "extension reflection is wire-identical to native");
 }
@@ -103,7 +107,11 @@ fn extension_rr_equals_native_rr_on_wren() {
     let ext = run_wren(true);
     assert_eq!(
         native,
-        ReflectedView { originator: Some(1), clusters: vec![2], local_pref: Some(100) }
+        ReflectedView {
+            originator: Some(1),
+            clusters: vec![2],
+            local_pref: Some(100)
+        }
     );
     assert_eq!(ext, native);
 }
@@ -117,17 +125,11 @@ fn extension_rr_loop_prevention_works() {
     let l2 = sim.connect(n[1], n[2], MS); // rr1 — rr2
     let l3 = sim.connect(n[2], n[0], MS); // rr2 — client
 
-    let mut cfg_client = FirConfig::new(65000, 1)
-        .peer(l1, 2, 65000)
-        .peer(l3, 3, 65000);
+    let mut cfg_client = FirConfig::new(65000, 1).peer(l1, 2, 65000).peer(l3, 3, 65000);
     cfg_client.originate = vec![(p("10.9.9.0/24"), 1)];
-    let mut cfg_rr1 = FirConfig::new(65000, 2)
-        .rr_client_peer(l1, 1, 65000)
-        .peer(l2, 3, 65000);
+    let mut cfg_rr1 = FirConfig::new(65000, 2).rr_client_peer(l1, 1, 65000).peer(l2, 3, 65000);
     cfg_rr1.xbgp = Some(route_reflect::manifest());
-    let mut cfg_rr2 = FirConfig::new(65000, 3)
-        .rr_client_peer(l3, 1, 65000)
-        .peer(l2, 2, 65000);
+    let mut cfg_rr2 = FirConfig::new(65000, 3).rr_client_peer(l3, 1, 65000).peer(l2, 2, 65000);
     cfg_rr2.xbgp = Some(route_reflect::manifest());
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_client)));
     sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_rr1)));
@@ -154,9 +156,7 @@ fn non_client_to_non_client_is_refused_by_extension() {
     let l_down = sim.connect(n[1], n[2], MS);
     let mut cfg_up = FirConfig::new(65000, 1).peer(l_up, 2, 65000);
     cfg_up.originate = vec![(p("198.51.100.0/24"), 1)];
-    let mut cfg_rr = FirConfig::new(65000, 2)
-        .peer(l_up, 1, 65000)
-        .peer(l_down, 3, 65000);
+    let mut cfg_rr = FirConfig::new(65000, 2).peer(l_up, 1, 65000).peer(l_down, 3, 65000);
     cfg_rr.xbgp = Some(route_reflect::manifest());
     let cfg_down = FirConfig::new(65000, 3).peer(l_down, 2, 65000);
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_up)));

@@ -91,9 +91,7 @@ fn build(asns: [u32; 6], xbgp: bool) -> Clos {
 }
 
 fn has_prefix(sim: &mut Sim, node: NodeId, prefix: &str) -> bool {
-    sim.node_ref::<FirDaemon>(node)
-        .best_route(&p(prefix))
-        .is_some()
+    sim.node_ref::<FirDaemon>(node).best_route(&p(prefix)).is_some()
 }
 
 #[test]
@@ -136,13 +134,8 @@ fn xbgp_filter_keeps_connectivity_after_double_failure() {
     // leaf paths.
     {
         let d: &FirDaemon = c.sim.node_ref(c.nodes[L10]);
-        let path: Vec<u32> = d
-            .best_route(&p("10.13.0.0/16"))
-            .unwrap()
-            .attrs
-            .as_path
-            .asns()
-            .collect();
+        let path: Vec<u32> =
+            d.best_route(&p("10.13.0.0/16")).unwrap().attrs.as_path.asns().collect();
         assert_eq!(path, vec![65202, 65102, 65201, 65104]);
     }
 }
