@@ -44,6 +44,22 @@ pub trait HostApi {
         None
     }
 
+    /// Allocation-free variant of [`HostApi::get_attr`]: append the payload
+    /// of attribute `code` to `out` and return its flags. The VMM calls
+    /// this on the helper hot path with a reused scratch buffer; hosts
+    /// should override it to copy straight from their internal storage.
+    fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
+        let (flags, payload) = self.get_attr(code)?;
+        out.extend_from_slice(&payload);
+        Some(flags)
+    }
+
+    /// Does the current route carry attribute `code`? Used by `add_attr`
+    /// to test existence without marshalling the payload.
+    fn has_attr(&self, code: u8) -> bool {
+        self.get_attr(code).is_some()
+    }
+
     /// Insert or replace attribute `code` on the current route.
     fn set_attr(&mut self, _code: u8, _flags: u8, _value: &[u8]) -> Result<(), String> {
         Err("set_attr not available at this insertion point".into())
@@ -142,6 +158,16 @@ impl HostApi for MockHost {
 
     fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
         self.attrs.iter().find(|(c, _, _)| *c == code).map(|(_, f, v)| (*f, v.clone()))
+    }
+
+    fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
+        let (_, flags, payload) = self.attrs.iter().find(|(c, _, _)| *c == code)?;
+        out.extend_from_slice(payload);
+        Some(*flags)
+    }
+
+    fn has_attr(&self, code: u8) -> bool {
+        self.attrs.iter().any(|(c, _, _)| *c == code)
     }
 
     fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {

@@ -27,8 +27,8 @@ use std::fmt;
 use std::time::Instant;
 use xbgp_obs::{Histogram, NoopRecorder, Recorder, Snapshot};
 use xbgp_vm::{
-    interp::HelperOutcome, verify, ExecOutcome, HelperDispatcher, MemoryMap, Program, Region,
-    RegionKind, VerifyError, Vm, VmConfig, VmError, HEAP_BASE, SHARED_BASE,
+    interp::HelperOutcome, verify_and_load, ExecOutcome, HelperDispatcher, LoadedProgram,
+    MemoryMap, Region, RegionKind, VerifyError, VmConfig, VmError, HEAP_BASE, SHARED_BASE,
 };
 use xbgp_wire::Ipv4Prefix;
 
@@ -84,7 +84,10 @@ struct Extension {
     name: String,
     /// Index into `Vmm::shared` of this extension's program group.
     shared_idx: usize,
-    prog: Program,
+    /// The verified program, pre-decoded once at load time
+    /// ([`verify_and_load`]); invocations execute it directly with no
+    /// per-run decoding or jump-target resolution.
+    prog: LoadedProgram,
     runs: u64,
     errors: u64,
     /// Runs that ended in `next()` (delegated to the rest of the chain).
@@ -102,6 +105,12 @@ struct Extension {
     /// another extension's data).
     mem: MemoryMap,
     heap_watermark: usize,
+    /// Region-table indices of the pooled stack/heap/shared regions,
+    /// resolved once at load time so the per-run refresh does no kind
+    /// scans.
+    ri_stack: usize,
+    ri_heap: usize,
+    ri_shared: usize,
 }
 
 #[derive(Default)]
@@ -183,6 +192,10 @@ pub struct Vmm {
     /// no-op recorder is installed, keeping the per-run cost to plain
     /// integer increments.
     recorder_active: bool,
+    /// Reusable marshalling buffer lent to the helper dispatcher, so
+    /// variable-length helper transfers (`get_attr` etc.) allocate at most
+    /// once over the VMM's lifetime instead of once per call.
+    scratch: Vec<u8>,
 }
 
 impl Vmm {
@@ -199,6 +212,7 @@ impl Vmm {
             metrics_enabled: false,
             recorder: Box::new(NoopRecorder),
             recorder_active: false,
+            scratch: Vec::new(),
         };
         for spec in &manifest.extensions {
             let prog = spec
@@ -218,7 +232,7 @@ impl Vmm {
                     }
                 }
             }
-            verify(&prog, &ids)
+            let loaded = verify_and_load(&prog, &ids)
                 .map_err(|error| VmmError::Rejected { extension: spec.name.clone(), error })?;
             let idx = vmm.exts.len();
             let group = if spec.program.is_empty() {
@@ -248,12 +262,15 @@ impl Vmm {
             // Shared data is swapped in from the group space per run; an
             // empty placeholder keeps the region table stable.
             mem.map(Region::new(RegionKind::Shared, SHARED_BASE, Vec::new(), true));
+            let ri_stack = mem.region_index(RegionKind::Stack).expect("stack just mapped");
+            let ri_heap = mem.region_index(RegionKind::Heap).expect("heap just mapped");
+            let ri_shared = mem.region_index(RegionKind::Shared).expect("shared just mapped");
             vmm.exts.push((
                 spec.insertion_point,
                 Extension {
                     name: spec.name.clone(),
                     shared_idx,
-                    prog,
+                    prog: loaded,
                     runs: 0,
                     errors: 0,
                     fallbacks: 0,
@@ -262,6 +279,9 @@ impl Vmm {
                     latency: Histogram::new(),
                     mem,
                     heap_watermark: 0,
+                    ri_stack,
+                    ri_heap,
+                    ri_shared,
                 },
             ));
             vmm.attached[point_index(spec.insertion_point)].push(idx);
@@ -304,47 +324,44 @@ impl Vmm {
         }
         let chain_start = self.metrics_enabled.then(Instant::now);
         for k in 0..chain_len {
+            // The chain was resolved at load time (`attached` caches the
+            // extension indices per insertion point), so dispatching a hook
+            // does no name lookups and clones nothing.
             let idx = self.attached[pi][k];
             let ext = &mut self.exts[idx].1;
             let shared_idx = ext.shared_idx;
 
             // Refresh the pooled sandbox in place: zero the stack fully,
             // the heap up to the previous allocation watermark, and swap
-            // the program group's persistent space in.
+            // the program group's persistent space in. Region indices were
+            // cached at load time, so no region-table scans happen here.
             let watermark = ext.heap_watermark;
-            ext.mem
-                .region_of_mut(RegionKind::Stack)
-                .expect("pooled stack region")
-                .data
-                .fill(0);
-            ext.mem.region_of_mut(RegionKind::Heap).expect("pooled heap region").data[..watermark]
-                .fill(0);
+            ext.mem.region_at_mut(ext.ri_stack).data.fill(0);
+            ext.mem.region_at_mut(ext.ri_heap).data[..watermark].fill(0);
             std::mem::swap(
-                &mut ext.mem.region_of_mut(RegionKind::Shared).expect("pooled shared region").data,
+                &mut ext.mem.region_at_mut(ext.ri_shared).data,
                 &mut self.shared[shared_idx].data,
             );
 
             let ext_start = self.metrics_enabled.then(Instant::now);
             let (outcome, heap_used, metrics) = {
-                let ext = &mut self.exts[idx].1;
-                // Split borrow: the program and the memory map are
-                // disjoint fields of the extension.
-                let Extension { prog, mem, .. } = ext;
                 let mut dispatcher = Dispatcher {
                     host,
                     xtra: &self.xtra,
                     shared: &mut self.shared[shared_idx].meta,
+                    scratch: &mut self.scratch,
                     heap_used: 0,
                 };
-                let vm = Vm::with_config(prog, self.vm_config);
-                let (outcome, metrics) = vm.run_metered(mem, &mut dispatcher, &[]);
+                // Split borrow: the pre-decoded program and the memory map
+                // are disjoint fields of the extension.
+                let (outcome, metrics) =
+                    ext.prog.run_metered(self.vm_config, &mut ext.mem, &mut dispatcher, &[]);
                 (outcome, dispatcher.heap_used, metrics)
             };
 
             // Swap the shared space back regardless of outcome.
-            let ext = &mut self.exts[idx].1;
             std::mem::swap(
-                &mut ext.mem.region_of_mut(RegionKind::Shared).expect("pooled shared region").data,
+                &mut ext.mem.region_at_mut(ext.ri_shared).data,
                 &mut self.shared[shared_idx].data,
             );
             ext.heap_watermark = heap_used;
@@ -517,6 +534,8 @@ struct Dispatcher<'a> {
     host: &'a mut dyn HostApi,
     xtra: &'a HashMap<String, Vec<u8>>,
     shared: &'a mut SharedMeta,
+    /// VMM-owned marshalling buffer, reused across helper calls and runs.
+    scratch: &'a mut Vec<u8>,
     heap_used: usize,
 }
 
@@ -543,7 +562,9 @@ impl Dispatcher<'_> {
 }
 
 fn fault(helper: u32, reason: impl Into<String>) -> VmError {
-    VmError::HelperFault { helper, reason: reason.into() }
+    // `pc` is a placeholder; the interpreter stamps the faulting
+    // instruction's pc at the call site (`VmError::at_pc`).
+    VmError::HelperFault { pc: 0, helper, reason: reason.into() }
 }
 
 impl HelperDispatcher for Dispatcher<'_> {
@@ -562,11 +583,14 @@ impl HelperDispatcher for Dispatcher<'_> {
             },
             helper::GET_ARG => {
                 let (idx, dst, cap) = (args[0] as u32, args[1], args[2] as usize);
-                match self.host.arg(idx) {
+                // Copy straight from the host's borrow into sandbox memory;
+                // no intermediate allocation.
+                let Dispatcher { host, .. } = self;
+                match host.arg(idx) {
                     Some(a) if a.len() <= cap => {
-                        let data = a.to_vec();
-                        mem.write_bytes(dst, &data)?;
-                        Value(data.len() as u64)
+                        let n = a.len() as u64;
+                        mem.write_bytes(dst, a)?;
+                        Value(n)
                     }
                     _ => Value(api::XBGP_FAIL),
                 }
@@ -590,10 +614,14 @@ impl HelperDispatcher for Dispatcher<'_> {
             },
             helper::GET_ATTR => {
                 let (code, dst, cap) = (args[0] as u8, args[1], args[2] as usize);
-                match self.host.get_attr(code) {
-                    Some((_flags, payload)) if payload.len() <= cap => {
-                        mem.write_bytes(dst, &payload)?;
-                        Value(payload.len() as u64)
+                // Marshal through the VMM's reused scratch buffer instead
+                // of a fresh Vec per call.
+                let Dispatcher { host, scratch, .. } = self;
+                scratch.clear();
+                match host.get_attr_into(code, scratch) {
+                    Some(_flags) if scratch.len() <= cap => {
+                        mem.write_bytes(dst, scratch)?;
+                        Value(scratch.len() as u64)
                     }
                     _ => Value(api::XBGP_FAIL),
                 }
@@ -601,8 +629,8 @@ impl HelperDispatcher for Dispatcher<'_> {
             helper::SET_ATTR => {
                 let (code, flags, ptr, len) =
                     (args[0] as u8, args[1] as u8, args[2], args[3] as usize);
-                let data = mem.read_bytes(ptr, len)?;
-                match self.host.set_attr(code, flags, &data) {
+                let data = mem.slice(ptr, len)?;
+                match self.host.set_attr(code, flags, data) {
                     Ok(()) => Value(0),
                     Err(_) => Value(api::XBGP_FAIL),
                 }
@@ -610,11 +638,11 @@ impl HelperDispatcher for Dispatcher<'_> {
             helper::ADD_ATTR => {
                 let (code, flags, ptr, len) =
                     (args[0] as u8, args[1] as u8, args[2], args[3] as usize);
-                if self.host.get_attr(code).is_some() {
+                if self.host.has_attr(code) {
                     Value(api::XBGP_FAIL)
                 } else {
-                    let data = mem.read_bytes(ptr, len)?;
-                    match self.host.set_attr(code, flags, &data) {
+                    let data = mem.slice(ptr, len)?;
+                    match self.host.set_attr(code, flags, data) {
                         Ok(()) => Value(0),
                         Err(_) => Value(api::XBGP_FAIL),
                     }
@@ -627,14 +655,22 @@ impl HelperDispatcher for Dispatcher<'_> {
             helper::GET_XTRA => {
                 let (key_ptr, key_len, dst, cap) =
                     (args[0], args[1] as usize, args[2], args[3] as usize);
-                let key_bytes = mem.read_bytes(key_ptr, key_len)?;
-                let key = std::str::from_utf8(&key_bytes)
-                    .map_err(|_| fault(id, "non-UTF-8 xtra key"))?
-                    .to_string();
-                let data = self.host.get_xtra(&key).or_else(|| self.xtra.get(&key).cloned());
+                let key_bytes = mem.slice(key_ptr, key_len)?;
+                let key =
+                    std::str::from_utf8(key_bytes).map_err(|_| fault(id, "non-UTF-8 xtra key"))?;
+                // Borrow manifest-level xtra data in place; only a
+                // host-provided answer needs an owned buffer.
+                let owned;
+                let data: Option<&[u8]> = match self.host.get_xtra(key) {
+                    Some(v) => {
+                        owned = v;
+                        Some(&owned)
+                    }
+                    None => self.xtra.get(key).map(Vec::as_slice),
+                };
                 match data {
                     Some(v) if v.len() <= cap => {
-                        mem.write_bytes(dst, &v)?;
+                        mem.write_bytes(dst, v)?;
                         Value(v.len() as u64)
                     }
                     _ => Value(api::XBGP_FAIL),
@@ -642,8 +678,8 @@ impl HelperDispatcher for Dispatcher<'_> {
             }
             helper::WRITE_BUF => {
                 let (ptr, len) = (args[0], args[1] as usize);
-                let data = mem.read_bytes(ptr, len)?;
-                match self.host.write_buf(&data) {
+                let data = mem.slice(ptr, len)?;
+                match self.host.write_buf(data) {
                     Ok(()) => Value(len as u64),
                     Err(_) => Value(api::XBGP_FAIL),
                 }
@@ -661,8 +697,8 @@ impl HelperDispatcher for Dispatcher<'_> {
             }
             helper::EBPF_PRINT => {
                 let (ptr, len) = (args[0], args[1] as usize);
-                let data = mem.read_bytes(ptr, len)?;
-                let msg = String::from_utf8_lossy(&data).into_owned();
+                let data = mem.slice(ptr, len)?;
+                let msg = String::from_utf8_lossy(data);
                 self.host.log(&msg);
                 Value(0)
             }
@@ -703,6 +739,7 @@ impl HelperDispatcher for Dispatcher<'_> {
                     Err(_) => Value(api::XBGP_FAIL),
                 }
             }
+            // `pc: 0` is a placeholder stamped over by the interpreter.
             other => return Err(VmError::UnknownHelper { pc: 0, helper: other }),
         };
         Ok(out)

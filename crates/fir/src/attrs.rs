@@ -122,13 +122,22 @@ impl FirAttrs {
     /// attributes it is a copy.
     pub fn neutral_payload(&self, code: u8) -> Option<(u8, Vec<u8>)> {
         let mut body = Vec::new();
+        let flags = self.neutral_payload_into(code, &mut body)?;
+        Some((flags, body))
+    }
+
+    /// Allocation-free form of [`FirAttrs::neutral_payload`]: append the
+    /// network-order payload to `body` and return the flags. All
+    /// absent-attribute paths bail out before appending, so `body` is
+    /// untouched on `None`.
+    pub fn neutral_payload_into(&self, code: u8, body: &mut Vec<u8>) -> Option<u8> {
         let flags = match code {
             1 => {
                 body.push(self.origin as u8);
                 AttrFlags::WELL_KNOWN.0
             }
             2 => {
-                self.as_path.encode_body(&mut body, 4);
+                self.as_path.encode_body(body, 4);
                 AttrFlags::WELL_KNOWN.0
             }
             3 => {
@@ -171,7 +180,21 @@ impl FirAttrs {
                 *flags
             }
         };
-        Some((flags, body))
+        Some(flags)
+    }
+
+    /// Does this attribute set carry `code`? Existence check without
+    /// marshalling the payload (backs the xBGP `add_attr` helper).
+    pub fn has_neutral(&self, code: u8) -> bool {
+        match code {
+            1..=3 => true,
+            4 => self.med.is_some(),
+            5 => self.local_pref.is_some(),
+            8 => !self.communities.is_empty(),
+            9 => self.originator_id.is_some(),
+            10 => !self.cluster_list.is_empty(),
+            other => self.extra.iter().any(|(c, _, _)| *c == other),
+        }
     }
 
     /// xBGP `set_attr`: overwrite (or insert) attribute `code` from a

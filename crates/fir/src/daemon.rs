@@ -437,9 +437,10 @@ impl FirDaemon {
         // may attach attributes to the routes being parsed.
         if self.vmm.has_extensions(InsertionPoint::BgpReceiveMessage) {
             let t0 = self.hook_start();
+            let hook_args = [raw_body.as_slice()];
             let mut hctx = FirXbgpCtx {
                 peer: peer_info,
-                args: vec![raw_body],
+                args: &hook_args,
                 attrs: AttrAccess::Mut(&mut attrs),
                 prefix: None,
                 nexthop: None,
@@ -487,7 +488,7 @@ impl FirDaemon {
                 let mut modified = None;
                 let mut hctx = FirXbgpCtx {
                     peer: peer_info,
-                    args: vec![],
+                    args: &[],
                     attrs: AttrAccess::Cow { base: &shared, modified: &mut modified },
                     prefix: Some(*prefix),
                     nexthop: Some(nexthop),
@@ -568,9 +569,10 @@ impl FirDaemon {
             };
             let nexthop = self.nexthop_info(&candidate.attrs);
             let t0 = self.hook_start();
+            let hook_args = [best_wire.as_slice()];
             let mut hctx = FirXbgpCtx {
                 peer,
-                args: vec![best_wire],
+                args: &hook_args,
                 attrs: AttrAccess::Read(&candidate.attrs),
                 prefix: None,
                 nexthop: Some(nexthop),
@@ -695,9 +697,10 @@ impl FirDaemon {
             let nexthop = self.nexthop_info(&entry.attrs);
             let src_bytes = self.source_info_bytes(src);
             let t0 = self.hook_start();
+            let hook_args = [src_bytes.as_slice()];
             let mut hctx = FirXbgpCtx {
                 peer: peer_info,
-                args: vec![src_bytes],
+                args: &hook_args,
                 attrs: AttrAccess::Read(&entry.attrs),
                 prefix: Some(prefix),
                 nexthop: Some(nexthop),
@@ -800,9 +803,10 @@ impl FirDaemon {
                 let peer_info = self.peer_info_for(q);
                 let src_bytes = self.source_info_bytes(&batch.source);
                 let t0 = self.hook_start();
+                let hook_args = [src_bytes.as_slice()];
                 let mut hctx = FirXbgpCtx {
                     peer: peer_info,
-                    args: vec![src_bytes],
+                    args: &hook_args,
                     attrs: AttrAccess::Read(&batch.attrs),
                     prefix: batch.prefixes.first().copied(),
                     nexthop: None,

@@ -62,8 +62,9 @@ impl AttrAccess<'_> {
 /// The execution context handed to the VMM at a FIR insertion point.
 pub struct FirXbgpCtx<'a> {
     pub peer: PeerInfo,
-    /// Insertion-point arguments (raw message body, source peer info, …).
-    pub args: Vec<Vec<u8>>,
+    /// Insertion-point arguments (raw message body, source peer info, …),
+    /// borrowed from the daemon — building a context copies nothing.
+    pub args: &'a [&'a [u8]],
     pub attrs: AttrAccess<'a>,
     pub prefix: Option<Ipv4Prefix>,
     pub nexthop: Option<NextHopInfo>,
@@ -96,11 +97,19 @@ impl HostApi for FirXbgpCtx<'_> {
     }
 
     fn arg(&self, idx: u32) -> Option<&[u8]> {
-        self.args.get(idx as usize).map(Vec::as_slice)
+        self.args.get(idx as usize).copied()
     }
 
     fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
         self.attrs.read()?.neutral_payload(code)
+    }
+
+    fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
+        self.attrs.read()?.neutral_payload_into(code, out)
+    }
+
+    fn has_attr(&self, code: u8) -> bool {
+        self.attrs.read().is_some_and(|a| a.has_neutral(code))
     }
 
     fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {
@@ -173,7 +182,7 @@ mod tests {
         let mut logs = Vec::new();
         let mut ctx = FirXbgpCtx {
             peer: peer(),
-            args: vec![],
+            args: &[],
             attrs: AttrAccess::Cow { base: &base, modified: &mut modified },
             prefix: None,
             nexthop: None,
@@ -189,7 +198,6 @@ mod tests {
         // First write clones, then mutates the copy.
         ctx.set_attr(4, AttrFlags::OPT_NON_TRANS.0, &7u32.to_be_bytes()).unwrap();
         assert_eq!(ctx.get_attr(4).unwrap().1, 7u32.to_be_bytes());
-        drop(ctx);
         assert_eq!(base.med, Some(5), "base untouched");
         assert_eq!(modified.unwrap().med, Some(7));
     }
@@ -201,7 +209,7 @@ mod tests {
         let mut logs = Vec::new();
         let mut ctx = FirXbgpCtx {
             peer: peer(),
-            args: vec![],
+            args: &[],
             attrs: AttrAccess::Read(&base),
             prefix: None,
             nexthop: None,
@@ -222,7 +230,7 @@ mod tests {
         let mut out = Vec::new();
         let mut ctx = FirXbgpCtx {
             peer: peer(),
-            args: vec![],
+            args: &[],
             attrs: AttrAccess::None,
             prefix: None,
             nexthop: None,
@@ -234,7 +242,6 @@ mod tests {
         };
         ctx.write_buf(&[1, 2]).unwrap();
         ctx.write_buf(&[3]).unwrap();
-        drop(ctx);
         assert_eq!(out, vec![1, 2, 3]);
     }
 
@@ -247,7 +254,7 @@ mod tests {
         let mut logs = Vec::new();
         let ctx = FirXbgpCtx {
             peer: peer(),
-            args: vec![],
+            args: &[],
             attrs: AttrAccess::None,
             prefix: None,
             nexthop: None,

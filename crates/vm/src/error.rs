@@ -30,9 +30,32 @@ pub enum VmError {
     /// `call` referenced a helper id with no registered implementation.
     UnknownHelper { pc: usize, helper: u32 },
     /// A helper function reported a failure.
-    HelperFault { helper: u32, reason: String },
+    HelperFault {
+        pc: usize,
+        helper: u32,
+        reason: String,
+    },
     /// Shift amount >= operand width with the strict config enabled.
     BadShift { pc: usize, amount: u64 },
+}
+
+impl VmError {
+    /// Stamp the faulting `call` site onto helper-originated errors.
+    ///
+    /// Helper dispatchers run outside the interpreter loop and cannot know
+    /// the program counter, so they construct `UnknownHelper`/`HelperFault`
+    /// with a placeholder pc. The interpreter rewrites it at the call site;
+    /// every other variant already carries its own pc and passes through.
+    #[must_use]
+    pub fn at_pc(self, pc: usize) -> VmError {
+        match self {
+            VmError::UnknownHelper { helper, .. } => VmError::UnknownHelper { pc, helper },
+            VmError::HelperFault { helper, reason, .. } => {
+                VmError::HelperFault { pc, helper, reason }
+            }
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for VmError {
@@ -51,8 +74,8 @@ impl fmt::Display for VmError {
             VmError::UnknownHelper { pc, helper } => {
                 write!(f, "unknown helper {helper} called at pc {pc}")
             }
-            VmError::HelperFault { helper, reason } => {
-                write!(f, "helper {helper} failed: {reason}")
+            VmError::HelperFault { pc, helper, reason } => {
+                write!(f, "helper {helper} failed at pc {pc}: {reason}")
             }
             VmError::BadShift { pc, amount } => {
                 write!(f, "oversized shift by {amount} at pc {pc}")

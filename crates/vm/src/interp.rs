@@ -1,8 +1,14 @@
 //! The eBPF interpreter.
+//!
+//! Execution runs over the pre-decoded [`LoadedProgram`] form (see
+//! [`crate::prep`]): opcode splitting, `lddw` fusion, immediate sign
+//! extension and jump-target resolution all happened at load time, so the
+//! per-instruction work here is one match on a flat discriminant.
 
 use crate::error::VmError;
-use crate::insn::{op, Program};
+use crate::insn::Program;
 use crate::mem::{MemoryMap, Region, RegionKind};
+use crate::prep::{DOp, LoadedProgram};
 use crate::{STACK_BASE, STACK_SIZE};
 
 /// How a program run ended.
@@ -24,7 +30,9 @@ pub enum ExecOutcome {
 /// so delegation is signalled with [`HelperOutcome::Next`] instead.
 pub trait HelperDispatcher {
     /// Execute helper `id`. Return the value for r0, or `Next` to stop the
-    /// program and delegate, or a fault.
+    /// program and delegate, or a fault. Fault pcs are stamped by the
+    /// interpreter afterwards (see [`VmError::at_pc`]); dispatchers may use
+    /// a placeholder.
     fn call(
         &mut self,
         id: u32,
@@ -54,6 +62,8 @@ impl HelperDispatcher for NoHelpers {
         _args: [u64; 5],
         _mem: &mut MemoryMap,
     ) -> Result<HelperOutcome, VmError> {
+        // pc is a placeholder: the interpreter rewrites it to the real
+        // call site via `VmError::at_pc`.
         Err(VmError::UnknownHelper { pc: 0, helper: id })
     }
 }
@@ -92,36 +102,21 @@ pub struct RunMetrics {
     pub fuel_consumed: u64,
 }
 
-/// The virtual machine: a register file plus configuration. The memory map
-/// travels separately so the VMM can prepare it per invocation.
-pub struct Vm<'p> {
-    prog: &'p Program,
-    config: VmConfig,
-}
-
-impl<'p> Vm<'p> {
-    /// Wrap a (verified) program. Run [`crate::verify`] first: the
-    /// interpreter assumes jump targets are in range.
-    pub fn new(prog: &'p Program) -> Vm<'p> {
-        Vm { prog, config: VmConfig::default() }
-    }
-
-    pub fn with_config(prog: &'p Program, config: VmConfig) -> Vm<'p> {
-        Vm { prog, config }
-    }
-
-    /// Execute the program.
+impl LoadedProgram {
+    /// Execute the pre-decoded program.
     ///
     /// `args` pre-loads r1..r5 (insertion-point arguments, usually virtual
     /// addresses of marshalled structs). A fresh stack region is mapped at
-    /// [`STACK_BASE`] and r10 points one past its end, per eBPF convention.
+    /// [`STACK_BASE`] if the caller did not pre-map one, and r10 points one
+    /// past its end, per eBPF convention.
     pub fn run(
         &self,
+        config: VmConfig,
         mem: &mut MemoryMap,
         helpers: &mut dyn HelperDispatcher,
         args: &[u64],
     ) -> Result<ExecOutcome, VmError> {
-        self.run_metered(mem, helpers, args).0
+        self.run_metered(config, mem, helpers, args).0
     }
 
     /// Execute the program and report [`RunMetrics`] alongside the outcome.
@@ -130,6 +125,7 @@ impl<'p> Vm<'p> {
     /// `FuelExhausted` reports exactly `config.fuel` instructions retired.
     pub fn run_metered(
         &self,
+        config: VmConfig,
         mem: &mut MemoryMap,
         helpers: &mut dyn HelperDispatcher,
         args: &[u64],
@@ -146,18 +142,75 @@ impl<'p> Vm<'p> {
         }
         reg[10] = STACK_BASE + STACK_SIZE as u64;
 
-        let insns = &self.prog.insns;
+        let code = &self.code[..];
         let mut pc: usize = 0;
-        let mut fuel = self.config.fuel;
+        let mut fuel = config.fuel;
         let mut helper_calls: u64 = 0;
 
-        macro_rules! size_of_op {
-            ($opcode:expr) => {
-                match $opcode & op::SIZE_MASK {
-                    op::SIZE_W => 4usize,
-                    op::SIZE_H => 2,
-                    op::SIZE_B => 1,
-                    _ => 8,
+        // Binary ALU forms: f(dst, operand) → dst, then fall through.
+        macro_rules! bin64i {
+            ($ins:expr, $f:expr) => {{
+                let d = $ins.dst as usize;
+                reg[d] = $f(reg[d], $ins.imm);
+                pc += 1;
+            }};
+        }
+        macro_rules! bin64r {
+            ($ins:expr, $f:expr) => {{
+                let d = $ins.dst as usize;
+                reg[d] = $f(reg[d], reg[$ins.src as usize]);
+                pc += 1;
+            }};
+        }
+        macro_rules! bin32i {
+            ($ins:expr, $f:expr) => {{
+                let d = $ins.dst as usize;
+                reg[d] = u64::from($f(reg[d] as u32, $ins.imm as u32));
+                pc += 1;
+            }};
+        }
+        macro_rules! bin32r {
+            ($ins:expr, $f:expr) => {{
+                let d = $ins.dst as usize;
+                reg[d] = u64::from($f(reg[d] as u32, reg[$ins.src as usize] as u32));
+                pc += 1;
+            }};
+        }
+        // Conditional jumps: taken branches go straight to the pre-resolved
+        // dense target, no arithmetic or range check.
+        macro_rules! jmp64i {
+            ($ins:expr, $f:expr) => {
+                pc = if $f(reg[$ins.dst as usize], $ins.imm) {
+                    $ins.target as usize
+                } else {
+                    pc + 1
+                }
+            };
+        }
+        macro_rules! jmp64r {
+            ($ins:expr, $f:expr) => {
+                pc = if $f(reg[$ins.dst as usize], reg[$ins.src as usize]) {
+                    $ins.target as usize
+                } else {
+                    pc + 1
+                }
+            };
+        }
+        macro_rules! jmp32i {
+            ($ins:expr, $f:expr) => {
+                pc = if $f(reg[$ins.dst as usize] as u32, $ins.imm as u32) {
+                    $ins.target as usize
+                } else {
+                    pc + 1
+                }
+            };
+        }
+        macro_rules! jmp32r {
+            ($ins:expr, $f:expr) => {
+                pc = if $f(reg[$ins.dst as usize] as u32, reg[$ins.src as usize] as u32) {
+                    $ins.target as usize
+                } else {
+                    pc + 1
                 }
             };
         }
@@ -171,266 +224,336 @@ impl<'p> Vm<'p> {
                     return Err(VmError::FuelExhausted);
                 }
                 fuel -= 1;
-                let insn = insns[pc];
-                let cls = insn.opcode & op::CLS_MASK;
-                match cls {
-                    op::CLS_ALU64 | op::CLS_ALU => {
-                        let is64 = cls == op::CLS_ALU64;
-                        let opb = insn.opcode & op::ALU_OP_MASK;
-                        let src_val = if insn.opcode & op::SRC_X != 0 {
-                            reg[insn.src as usize]
-                        } else {
-                            insn.imm as i64 as u64
-                        };
-                        let dst = insn.dst as usize;
-                        let d = reg[dst];
-                        let v: u64 = match opb {
-                            op::ALU_ADD => {
-                                if is64 {
-                                    d.wrapping_add(src_val)
-                                } else {
-                                    (d as u32).wrapping_add(src_val as u32) as u64
-                                }
-                            }
-                            op::ALU_SUB => {
-                                if is64 {
-                                    d.wrapping_sub(src_val)
-                                } else {
-                                    (d as u32).wrapping_sub(src_val as u32) as u64
-                                }
-                            }
-                            op::ALU_MUL => {
-                                if is64 {
-                                    d.wrapping_mul(src_val)
-                                } else {
-                                    (d as u32).wrapping_mul(src_val as u32) as u64
-                                }
-                            }
-                            op::ALU_DIV => {
-                                if is64 {
-                                    if src_val == 0 {
-                                        return Err(VmError::DivByZero { pc });
-                                    }
-                                    d / src_val
-                                } else {
-                                    let s = src_val as u32;
-                                    if s == 0 {
-                                        return Err(VmError::DivByZero { pc });
-                                    }
-                                    u64::from(d as u32 / s)
-                                }
-                            }
-                            op::ALU_MOD => {
-                                if is64 {
-                                    if src_val == 0 {
-                                        return Err(VmError::DivByZero { pc });
-                                    }
-                                    d % src_val
-                                } else {
-                                    let s = src_val as u32;
-                                    if s == 0 {
-                                        return Err(VmError::DivByZero { pc });
-                                    }
-                                    u64::from(d as u32 % s)
-                                }
-                            }
-                            op::ALU_OR => {
-                                if is64 {
-                                    d | src_val
-                                } else {
-                                    u64::from(d as u32 | src_val as u32)
-                                }
-                            }
-                            op::ALU_AND => {
-                                if is64 {
-                                    d & src_val
-                                } else {
-                                    u64::from(d as u32 & src_val as u32)
-                                }
-                            }
-                            op::ALU_XOR => {
-                                if is64 {
-                                    d ^ src_val
-                                } else {
-                                    u64::from(d as u32 ^ src_val as u32)
-                                }
-                            }
-                            op::ALU_LSH => {
-                                if is64 {
-                                    d.wrapping_shl(src_val as u32)
-                                } else {
-                                    u64::from((d as u32).wrapping_shl(src_val as u32))
-                                }
-                            }
-                            op::ALU_RSH => {
-                                if is64 {
-                                    d.wrapping_shr(src_val as u32)
-                                } else {
-                                    u64::from((d as u32).wrapping_shr(src_val as u32))
-                                }
-                            }
-                            op::ALU_ARSH => {
-                                if is64 {
-                                    ((d as i64).wrapping_shr(src_val as u32)) as u64
-                                } else {
-                                    ((d as u32 as i32).wrapping_shr(src_val as u32)) as u32 as u64
-                                }
-                            }
-                            op::ALU_NEG => {
-                                if is64 {
-                                    (d as i64).wrapping_neg() as u64
-                                } else {
-                                    ((d as u32 as i32).wrapping_neg()) as u32 as u64
-                                }
-                            }
-                            op::ALU_MOV => {
-                                if is64 {
-                                    src_val
-                                } else {
-                                    u64::from(src_val as u32)
-                                }
-                            }
-                            op::ALU_END => {
-                                // imm selects the width; SRC bit selects
-                                // to-big-endian (X, the common "be16/32/64"
-                                // form on LE machines) vs to-little-endian.
-                                let to_be = insn.opcode & op::SRC_X != 0;
-                                match (insn.imm, to_be) {
-                                    (16, true) => u64::from((d as u16).to_be()),
-                                    (32, true) => u64::from((d as u32).to_be()),
-                                    (64, true) => d.to_be(),
-                                    (16, false) => u64::from((d as u16).to_le()),
-                                    (32, false) => u64::from((d as u32).to_le()),
-                                    (64, false) => d.to_le(),
-                                    _ => {
-                                        return Err(VmError::BadInstruction {
-                                            pc,
-                                            opcode: insn.opcode,
-                                        })
-                                    }
-                                }
-                            }
-                            _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
-                        };
-                        reg[dst] = v;
+                let ins = code[pc];
+                match ins.op {
+                    DOp::Add64Imm => bin64i!(ins, u64::wrapping_add),
+                    DOp::Add64Reg => bin64r!(ins, u64::wrapping_add),
+                    DOp::Add32Imm => bin32i!(ins, u32::wrapping_add),
+                    DOp::Add32Reg => bin32r!(ins, u32::wrapping_add),
+                    DOp::Sub64Imm => bin64i!(ins, u64::wrapping_sub),
+                    DOp::Sub64Reg => bin64r!(ins, u64::wrapping_sub),
+                    DOp::Sub32Imm => bin32i!(ins, u32::wrapping_sub),
+                    DOp::Sub32Reg => bin32r!(ins, u32::wrapping_sub),
+                    DOp::Mul64Imm => bin64i!(ins, u64::wrapping_mul),
+                    DOp::Mul64Reg => bin64r!(ins, u64::wrapping_mul),
+                    DOp::Mul32Imm => bin32i!(ins, u32::wrapping_mul),
+                    DOp::Mul32Reg => bin32r!(ins, u32::wrapping_mul),
+                    // Constant divisors are proven non-zero at decode time
+                    // (a zero divisor decodes to DivZero), so the immediate
+                    // forms divide unconditionally.
+                    DOp::Div64Imm => bin64i!(ins, |d: u64, s: u64| d / s),
+                    DOp::Div32Imm => bin32i!(ins, |d: u32, s: u32| d / s),
+                    DOp::Mod64Imm => bin64i!(ins, |d: u64, s: u64| d % s),
+                    DOp::Mod32Imm => bin32i!(ins, |d: u32, s: u32| d % s),
+                    DOp::Div64Reg => {
+                        let s = reg[ins.src as usize];
+                        if s == 0 {
+                            return Err(VmError::DivByZero { pc: ins.slot as usize });
+                        }
+                        let d = ins.dst as usize;
+                        reg[d] /= s;
                         pc += 1;
                     }
-                    op::CLS_JMP | op::CLS_JMP32 => {
-                        let opb = insn.opcode & op::ALU_OP_MASK;
-                        match opb {
-                            op::JMP_EXIT => return Ok(ExecOutcome::Return(reg[0])),
-                            op::JMP_CALL => {
-                                helper_calls += 1;
-                                let args5 = [reg[1], reg[2], reg[3], reg[4], reg[5]];
-                                match helpers.call(insn.imm as u32, args5, mem) {
-                                    Ok(HelperOutcome::Value(v)) => {
-                                        reg[0] = v;
-                                        // Caller-saved registers are clobbered,
-                                        // matching eBPF calling convention.
-                                        reg[1] = 0;
-                                        reg[2] = 0;
-                                        reg[3] = 0;
-                                        reg[4] = 0;
-                                        reg[5] = 0;
-                                        pc += 1;
-                                    }
-                                    Ok(HelperOutcome::Next) => return Ok(ExecOutcome::Next),
-                                    Err(VmError::UnknownHelper { helper, .. }) => {
-                                        return Err(VmError::UnknownHelper { pc, helper })
-                                    }
-                                    Err(e) => return Err(e),
-                                }
+                    DOp::Div32Reg => {
+                        let s = reg[ins.src as usize] as u32;
+                        if s == 0 {
+                            return Err(VmError::DivByZero { pc: ins.slot as usize });
+                        }
+                        let d = ins.dst as usize;
+                        reg[d] = u64::from(reg[d] as u32 / s);
+                        pc += 1;
+                    }
+                    DOp::Mod64Reg => {
+                        let s = reg[ins.src as usize];
+                        if s == 0 {
+                            return Err(VmError::DivByZero { pc: ins.slot as usize });
+                        }
+                        let d = ins.dst as usize;
+                        reg[d] %= s;
+                        pc += 1;
+                    }
+                    DOp::Mod32Reg => {
+                        let s = reg[ins.src as usize] as u32;
+                        if s == 0 {
+                            return Err(VmError::DivByZero { pc: ins.slot as usize });
+                        }
+                        let d = ins.dst as usize;
+                        reg[d] = u64::from(reg[d] as u32 % s);
+                        pc += 1;
+                    }
+                    DOp::DivZero => return Err(VmError::DivByZero { pc: ins.slot as usize }),
+                    DOp::Or64Imm => bin64i!(ins, |d: u64, s: u64| d | s),
+                    DOp::Or64Reg => bin64r!(ins, |d: u64, s: u64| d | s),
+                    DOp::Or32Imm => bin32i!(ins, |d: u32, s: u32| d | s),
+                    DOp::Or32Reg => bin32r!(ins, |d: u32, s: u32| d | s),
+                    DOp::And64Imm => bin64i!(ins, |d: u64, s: u64| d & s),
+                    DOp::And64Reg => bin64r!(ins, |d: u64, s: u64| d & s),
+                    DOp::And32Imm => bin32i!(ins, |d: u32, s: u32| d & s),
+                    DOp::And32Reg => bin32r!(ins, |d: u32, s: u32| d & s),
+                    DOp::Xor64Imm => bin64i!(ins, |d: u64, s: u64| d ^ s),
+                    DOp::Xor64Reg => bin64r!(ins, |d: u64, s: u64| d ^ s),
+                    DOp::Xor32Imm => bin32i!(ins, |d: u32, s: u32| d ^ s),
+                    DOp::Xor32Reg => bin32r!(ins, |d: u32, s: u32| d ^ s),
+                    // Shift amounts wrap modulo the operand width, exactly
+                    // as the slot interpreter's wrapping_shl/shr did.
+                    DOp::Lsh64Imm => bin64i!(ins, |d: u64, s: u64| d.wrapping_shl(s as u32)),
+                    DOp::Lsh64Reg => bin64r!(ins, |d: u64, s: u64| d.wrapping_shl(s as u32)),
+                    DOp::Lsh32Imm => bin32i!(ins, u32::wrapping_shl),
+                    DOp::Lsh32Reg => bin32r!(ins, u32::wrapping_shl),
+                    DOp::Rsh64Imm => bin64i!(ins, |d: u64, s: u64| d.wrapping_shr(s as u32)),
+                    DOp::Rsh64Reg => bin64r!(ins, |d: u64, s: u64| d.wrapping_shr(s as u32)),
+                    DOp::Rsh32Imm => bin32i!(ins, u32::wrapping_shr),
+                    DOp::Rsh32Reg => bin32r!(ins, u32::wrapping_shr),
+                    DOp::Arsh64Imm => {
+                        bin64i!(ins, |d: u64, s: u64| (d as i64).wrapping_shr(s as u32) as u64)
+                    }
+                    DOp::Arsh64Reg => {
+                        bin64r!(ins, |d: u64, s: u64| (d as i64).wrapping_shr(s as u32) as u64)
+                    }
+                    DOp::Arsh32Imm => {
+                        bin32i!(ins, |d: u32, s: u32| (d as i32).wrapping_shr(s) as u32)
+                    }
+                    DOp::Arsh32Reg => {
+                        bin32r!(ins, |d: u32, s: u32| (d as i32).wrapping_shr(s) as u32)
+                    }
+                    DOp::Mov64Imm => bin64i!(ins, |_, s| s),
+                    DOp::Mov64Reg => bin64r!(ins, |_, s| s),
+                    DOp::Mov32Imm => bin32i!(ins, |_, s: u32| s),
+                    DOp::Mov32Reg => bin32r!(ins, |_, s: u32| s),
+                    DOp::Neg64 => {
+                        let d = ins.dst as usize;
+                        reg[d] = (reg[d] as i64).wrapping_neg() as u64;
+                        pc += 1;
+                    }
+                    DOp::Neg32 => {
+                        let d = ins.dst as usize;
+                        reg[d] = (reg[d] as u32 as i32).wrapping_neg() as u32 as u64;
+                        pc += 1;
+                    }
+                    DOp::Be16 => {
+                        let d = ins.dst as usize;
+                        reg[d] = u64::from((reg[d] as u16).to_be());
+                        pc += 1;
+                    }
+                    DOp::Be32 => {
+                        let d = ins.dst as usize;
+                        reg[d] = u64::from((reg[d] as u32).to_be());
+                        pc += 1;
+                    }
+                    DOp::Be64 => {
+                        let d = ins.dst as usize;
+                        reg[d] = reg[d].to_be();
+                        pc += 1;
+                    }
+                    DOp::Le16 => {
+                        let d = ins.dst as usize;
+                        reg[d] = u64::from((reg[d] as u16).to_le());
+                        pc += 1;
+                    }
+                    DOp::Le32 => {
+                        let d = ins.dst as usize;
+                        reg[d] = u64::from((reg[d] as u32).to_le());
+                        pc += 1;
+                    }
+                    DOp::Le64 => {
+                        let d = ins.dst as usize;
+                        reg[d] = reg[d].to_le();
+                        pc += 1;
+                    }
+                    DOp::LdDw => {
+                        reg[ins.dst as usize] = ins.imm;
+                        pc += 1;
+                    }
+                    DOp::LdxDw => {
+                        let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
+                        reg[ins.dst as usize] = mem.load64(a)?;
+                        pc += 1;
+                    }
+                    DOp::LdxW => {
+                        let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
+                        reg[ins.dst as usize] = mem.load32(a)?;
+                        pc += 1;
+                    }
+                    DOp::LdxH => {
+                        let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
+                        reg[ins.dst as usize] = mem.load16(a)?;
+                        pc += 1;
+                    }
+                    DOp::LdxB => {
+                        let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
+                        reg[ins.dst as usize] = mem.load8(a)?;
+                        pc += 1;
+                    }
+                    DOp::StDw => {
+                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
+                        mem.store64(a, ins.imm)?;
+                        pc += 1;
+                    }
+                    DOp::StW => {
+                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
+                        mem.store32(a, ins.imm as u32)?;
+                        pc += 1;
+                    }
+                    DOp::StH => {
+                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
+                        mem.store16(a, ins.imm as u16)?;
+                        pc += 1;
+                    }
+                    DOp::StB => {
+                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
+                        mem.store8(a, ins.imm as u8)?;
+                        pc += 1;
+                    }
+                    DOp::StxDw => {
+                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
+                        mem.store64(a, reg[ins.src as usize])?;
+                        pc += 1;
+                    }
+                    DOp::StxW => {
+                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
+                        mem.store32(a, reg[ins.src as usize] as u32)?;
+                        pc += 1;
+                    }
+                    DOp::StxH => {
+                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
+                        mem.store16(a, reg[ins.src as usize] as u16)?;
+                        pc += 1;
+                    }
+                    DOp::StxB => {
+                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
+                        mem.store8(a, reg[ins.src as usize] as u8)?;
+                        pc += 1;
+                    }
+                    DOp::Ja => pc = ins.target as usize,
+                    DOp::Call => {
+                        helper_calls += 1;
+                        let args5 = [reg[1], reg[2], reg[3], reg[4], reg[5]];
+                        match helpers.call(ins.target, args5, mem) {
+                            Ok(HelperOutcome::Value(v)) => {
+                                reg[0] = v;
+                                // Caller-saved registers are clobbered,
+                                // matching eBPF calling convention.
+                                reg[1] = 0;
+                                reg[2] = 0;
+                                reg[3] = 0;
+                                reg[4] = 0;
+                                reg[5] = 0;
+                                pc += 1;
                             }
-                            op::JMP_JA => {
-                                pc = (pc as i64 + 1 + i64::from(insn.offset)) as usize;
-                            }
-                            _ => {
-                                let is64 = cls == op::CLS_JMP;
-                                let d = reg[insn.dst as usize];
-                                let s = if insn.opcode & op::SRC_X != 0 {
-                                    reg[insn.src as usize]
-                                } else {
-                                    insn.imm as i64 as u64
-                                };
-                                let (d, s) = if is64 {
-                                    (d, s)
-                                } else {
-                                    (u64::from(d as u32), u64::from(s as u32))
-                                };
-                                // Signed views are computed lazily: only the
-                                // four signed comparisons need them.
-                                let signed = |v: u64| -> i64 {
-                                    if is64 {
-                                        v as i64
-                                    } else {
-                                        i64::from(v as u32 as i32)
-                                    }
-                                };
-                                let taken = match opb {
-                                    op::JMP_JEQ => d == s,
-                                    op::JMP_JNE => d != s,
-                                    op::JMP_JGT => d > s,
-                                    op::JMP_JGE => d >= s,
-                                    op::JMP_JLT => d < s,
-                                    op::JMP_JLE => d <= s,
-                                    op::JMP_JSET => d & s != 0,
-                                    op::JMP_JSGT => signed(d) > signed(s),
-                                    op::JMP_JSGE => signed(d) >= signed(s),
-                                    op::JMP_JSLT => signed(d) < signed(s),
-                                    op::JMP_JSLE => signed(d) <= signed(s),
-                                    _ => {
-                                        return Err(VmError::BadInstruction {
-                                            pc,
-                                            opcode: insn.opcode,
-                                        })
-                                    }
-                                };
-                                pc = if taken {
-                                    (pc as i64 + 1 + i64::from(insn.offset)) as usize
-                                } else {
-                                    pc + 1
-                                };
-                            }
+                            Ok(HelperOutcome::Next) => return Ok(ExecOutcome::Next),
+                            Err(e) => return Err(e.at_pc(ins.slot as usize)),
                         }
                     }
-                    op::CLS_LD => {
-                        // lddw: verified to have its second slot present.
-                        let lo = insn.imm as u32;
-                        let hi = insns[pc + 1].imm as u32;
-                        reg[insn.dst as usize] = u64::from(lo) | (u64::from(hi) << 32);
-                        pc += 2;
+                    DOp::Exit => return Ok(ExecOutcome::Return(reg[0])),
+                    DOp::Jeq64Imm => jmp64i!(ins, |a, b| a == b),
+                    DOp::Jeq64Reg => jmp64r!(ins, |a, b| a == b),
+                    DOp::Jeq32Imm => jmp32i!(ins, |a: u32, b: u32| a == b),
+                    DOp::Jeq32Reg => jmp32r!(ins, |a: u32, b: u32| a == b),
+                    DOp::Jne64Imm => jmp64i!(ins, |a, b| a != b),
+                    DOp::Jne64Reg => jmp64r!(ins, |a, b| a != b),
+                    DOp::Jne32Imm => jmp32i!(ins, |a: u32, b: u32| a != b),
+                    DOp::Jne32Reg => jmp32r!(ins, |a: u32, b: u32| a != b),
+                    DOp::Jgt64Imm => jmp64i!(ins, |a, b| a > b),
+                    DOp::Jgt64Reg => jmp64r!(ins, |a, b| a > b),
+                    DOp::Jgt32Imm => jmp32i!(ins, |a: u32, b: u32| a > b),
+                    DOp::Jgt32Reg => jmp32r!(ins, |a: u32, b: u32| a > b),
+                    DOp::Jge64Imm => jmp64i!(ins, |a, b| a >= b),
+                    DOp::Jge64Reg => jmp64r!(ins, |a, b| a >= b),
+                    DOp::Jge32Imm => jmp32i!(ins, |a: u32, b: u32| a >= b),
+                    DOp::Jge32Reg => jmp32r!(ins, |a: u32, b: u32| a >= b),
+                    DOp::Jlt64Imm => jmp64i!(ins, |a, b| a < b),
+                    DOp::Jlt64Reg => jmp64r!(ins, |a, b| a < b),
+                    DOp::Jlt32Imm => jmp32i!(ins, |a: u32, b: u32| a < b),
+                    DOp::Jlt32Reg => jmp32r!(ins, |a: u32, b: u32| a < b),
+                    DOp::Jle64Imm => jmp64i!(ins, |a, b| a <= b),
+                    DOp::Jle64Reg => jmp64r!(ins, |a, b| a <= b),
+                    DOp::Jle32Imm => jmp32i!(ins, |a: u32, b: u32| a <= b),
+                    DOp::Jle32Reg => jmp32r!(ins, |a: u32, b: u32| a <= b),
+                    DOp::Jset64Imm => jmp64i!(ins, |a, b| a & b != 0),
+                    DOp::Jset64Reg => jmp64r!(ins, |a, b| a & b != 0),
+                    DOp::Jset32Imm => jmp32i!(ins, |a: u32, b: u32| a & b != 0),
+                    DOp::Jset32Reg => jmp32r!(ins, |a: u32, b: u32| a & b != 0),
+                    DOp::Jsgt64Imm => jmp64i!(ins, |a: u64, b: u64| (a as i64) > (b as i64)),
+                    DOp::Jsgt64Reg => jmp64r!(ins, |a: u64, b: u64| (a as i64) > (b as i64)),
+                    DOp::Jsgt32Imm => jmp32i!(ins, |a: u32, b: u32| (a as i32) > (b as i32)),
+                    DOp::Jsgt32Reg => jmp32r!(ins, |a: u32, b: u32| (a as i32) > (b as i32)),
+                    DOp::Jsge64Imm => jmp64i!(ins, |a: u64, b: u64| (a as i64) >= (b as i64)),
+                    DOp::Jsge64Reg => jmp64r!(ins, |a: u64, b: u64| (a as i64) >= (b as i64)),
+                    DOp::Jsge32Imm => jmp32i!(ins, |a: u32, b: u32| (a as i32) >= (b as i32)),
+                    DOp::Jsge32Reg => jmp32r!(ins, |a: u32, b: u32| (a as i32) >= (b as i32)),
+                    DOp::Jslt64Imm => jmp64i!(ins, |a: u64, b: u64| (a as i64) < (b as i64)),
+                    DOp::Jslt64Reg => jmp64r!(ins, |a: u64, b: u64| (a as i64) < (b as i64)),
+                    DOp::Jslt32Imm => jmp32i!(ins, |a: u32, b: u32| (a as i32) < (b as i32)),
+                    DOp::Jslt32Reg => jmp32r!(ins, |a: u32, b: u32| (a as i32) < (b as i32)),
+                    DOp::Jsle64Imm => jmp64i!(ins, |a: u64, b: u64| (a as i64) <= (b as i64)),
+                    DOp::Jsle64Reg => jmp64r!(ins, |a: u64, b: u64| (a as i64) <= (b as i64)),
+                    DOp::Jsle32Imm => jmp32i!(ins, |a: u32, b: u32| (a as i32) <= (b as i32)),
+                    DOp::Jsle32Reg => jmp32r!(ins, |a: u32, b: u32| (a as i32) <= (b as i32)),
+                    DOp::Trap => {
+                        return Err(VmError::BadInstruction {
+                            pc: ins.slot as usize,
+                            opcode: ins.dst,
+                        })
                     }
-                    op::CLS_LDX => {
-                        let size = size_of_op!(insn.opcode);
-                        let addr = reg[insn.src as usize].wrapping_add(insn.offset as i64 as u64);
-                        reg[insn.dst as usize] = mem.load(addr, size)?;
-                        pc += 1;
-                    }
-                    op::CLS_ST => {
-                        let size = size_of_op!(insn.opcode);
-                        let addr = reg[insn.dst as usize].wrapping_add(insn.offset as i64 as u64);
-                        mem.store(addr, size, insn.imm as i64 as u64)?;
-                        pc += 1;
-                    }
-                    op::CLS_STX => {
-                        let size = size_of_op!(insn.opcode);
-                        let addr = reg[insn.dst as usize].wrapping_add(insn.offset as i64 as u64);
-                        mem.store(addr, size, reg[insn.src as usize])?;
-                        pc += 1;
-                    }
-                    _ => return Err(VmError::BadInstruction { pc, opcode: insn.opcode }),
                 }
             }
         })();
-        let fuel_consumed = self.config.fuel - fuel;
+        let fuel_consumed = config.fuel - fuel;
         (result, RunMetrics { insns_retired: fuel_consumed, helper_calls, fuel_consumed })
+    }
+}
+
+/// The virtual machine: a pre-decoded program plus configuration. The
+/// memory map travels separately so the VMM can prepare it per invocation.
+pub struct Vm {
+    prog: LoadedProgram,
+    config: VmConfig,
+}
+
+impl Vm {
+    /// Pre-decode and wrap a (verified) program. Run [`crate::verify`]
+    /// first: the decoder is total, but only verification proves the
+    /// program free of trap instructions and invalid jumps.
+    pub fn new(prog: &Program) -> Vm {
+        Vm { prog: LoadedProgram::load(prog), config: VmConfig::default() }
+    }
+
+    pub fn with_config(prog: &Program, config: VmConfig) -> Vm {
+        Vm { prog: LoadedProgram::load(prog), config }
+    }
+
+    /// Wrap an already pre-decoded program (the VMM caches one per
+    /// extension and skips re-decoding entirely).
+    pub fn from_loaded(prog: LoadedProgram, config: VmConfig) -> Vm {
+        Vm { prog, config }
+    }
+
+    /// Execute the program. See [`LoadedProgram::run`].
+    pub fn run(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut dyn HelperDispatcher,
+        args: &[u64],
+    ) -> Result<ExecOutcome, VmError> {
+        self.prog.run(self.config, mem, helpers, args)
+    }
+
+    /// Execute the program and report [`RunMetrics`] alongside the outcome.
+    /// See [`LoadedProgram::run_metered`].
+    pub fn run_metered(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut dyn HelperDispatcher,
+        args: &[u64],
+    ) -> (Result<ExecOutcome, VmError>, RunMetrics) {
+        self.prog.run_metered(self.config, mem, helpers, args)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::insn::{build, Insn, Program};
+    use crate::insn::{build, op, Insn, Program};
     use crate::verify::verify;
     use std::collections::HashSet;
 
@@ -511,6 +634,18 @@ mod tests {
             build::exit(),
         ];
         assert!(matches!(run(insns), Err(VmError::DivByZero { pc: 2 })));
+    }
+
+    #[test]
+    fn const_div_by_zero_faults_at_its_slot() {
+        // Unverified program: the decoder folds a constant zero divisor
+        // into a DivZero trap that still reports the right pc.
+        let insns = vec![
+            build::mov_imm(0, 1),
+            Insn::new(op::CLS_ALU64 | op::ALU_MOD | op::SRC_K, 0, 0, 0, 0),
+            build::exit(),
+        ];
+        assert!(matches!(run(insns), Err(VmError::DivByZero { pc: 1 })));
     }
 
     #[test]
@@ -655,6 +790,15 @@ mod tests {
         assert_eq!(ret(insns), 55);
     }
 
+    #[test]
+    fn falling_off_the_end_faults_instead_of_panicking() {
+        // Unverified program with no terminal exit: execution reaches the
+        // decoder's trap sentinel and reports a BadInstruction one past
+        // the last slot.
+        let insns = vec![build::mov_imm(0, 0)];
+        assert_eq!(run(insns), Err(VmError::BadInstruction { pc: 1, opcode: 0 }));
+    }
+
     struct Doubler;
     impl HelperDispatcher for Doubler {
         fn call(
@@ -666,7 +810,7 @@ mod tests {
             match id {
                 1 => Ok(HelperOutcome::Value(args[0] * 2)),
                 2 => Ok(HelperOutcome::Next),
-                3 => Err(VmError::HelperFault { helper: 3, reason: "boom".into() }),
+                3 => Err(VmError::HelperFault { pc: 0, helper: 3, reason: "boom".into() }),
                 other => Err(VmError::UnknownHelper { pc: 0, helper: other }),
             }
         }
@@ -713,6 +857,22 @@ mod tests {
             run_with(insns, &mut Doubler, &[]),
             Err(VmError::UnknownHelper { pc: 1, helper: 77 })
         );
+    }
+
+    #[test]
+    fn helper_fault_reports_call_site_pc() {
+        // Regression: helper faults used to surface with the dispatcher's
+        // placeholder pc (always 0). The interpreter must stamp the real
+        // call site, including when lddw slots shift it.
+        let [lo, hi] = build::lddw(1, 7);
+        let insns = vec![build::mov_imm(0, 0), lo, hi, build::call(3), build::exit()];
+        match run_with(insns, &mut Doubler, &[]) {
+            Err(VmError::HelperFault { pc, helper: 3, reason }) => {
+                assert_eq!(pc, 3, "pc must be the call's slot index");
+                assert_eq!(reason, "boom");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -32,13 +32,15 @@ pub mod error;
 pub mod insn;
 pub mod interp;
 pub mod mem;
+pub mod prep;
 pub mod verify;
 
 pub use error::VmError;
 pub use insn::{Insn, Program};
 pub use interp::{ExecOutcome, HelperDispatcher, NoHelpers, RunMetrics, Vm, VmConfig};
 pub use mem::{MemoryMap, Region, RegionKind};
-pub use verify::{verify, VerifyError};
+pub use prep::LoadedProgram;
+pub use verify::{verify, verify_and_load, VerifyError};
 
 /// Virtual base address of the 512-byte eBPF stack region.
 pub const STACK_BASE: u64 = 0x1000_0000;

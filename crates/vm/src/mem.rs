@@ -105,6 +105,19 @@ impl MemoryMap {
         self.regions.iter_mut().find(|r| r.kind == kind)
     }
 
+    /// Index of the first region of `kind` in mapping order. Lets per-run
+    /// reset paths (the VMM's arena refresh) address pooled regions without
+    /// repeating the kind scan on every invocation.
+    pub fn region_index(&self, kind: RegionKind) -> Option<usize> {
+        self.regions.iter().position(|r| r.kind == kind)
+    }
+
+    /// The region at `idx` (mapping order). Panics if out of range — pair
+    /// with [`MemoryMap::region_index`].
+    pub fn region_at_mut(&mut self, idx: usize) -> &mut Region {
+        &mut self.regions[idx]
+    }
+
     fn find(&self, addr: u64, size: usize, write: bool) -> Result<(usize, usize), VmError> {
         for (idx, r) in self.regions.iter().enumerate() {
             if r.contains(addr, size) {
@@ -119,22 +132,87 @@ impl MemoryMap {
 
     /// Read `size` bytes at `addr` as a little-endian unsigned integer.
     pub fn load(&self, addr: u64, size: usize) -> Result<u64, VmError> {
-        let (idx, off) = self.find(addr, size, false)?;
-        let bytes = &self.regions[idx].data[off..off + size];
-        let mut v: u64 = 0;
-        for (i, b) in bytes.iter().enumerate() {
-            v |= u64::from(*b) << (8 * i);
+        match size {
+            1 => self.load8(addr),
+            2 => self.load16(addr),
+            4 => self.load32(addr),
+            8 => self.load64(addr),
+            _ => {
+                let bytes = self.slice(addr, size)?;
+                let mut v: u64 = 0;
+                for (i, b) in bytes.iter().enumerate() {
+                    v |= u64::from(*b) << (8 * i);
+                }
+                Ok(v)
+            }
         }
-        Ok(v)
     }
 
     /// Store the low `size` bytes of `value` at `addr`, little-endian.
     pub fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmError> {
-        let (idx, off) = self.find(addr, size, true)?;
-        let bytes = &mut self.regions[idx].data[off..off + size];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = (value >> (8 * i)) as u8;
+        match size {
+            1 => self.store8(addr, value as u8),
+            2 => self.store16(addr, value as u16),
+            4 => self.store32(addr, value as u32),
+            8 => self.store64(addr, value),
+            _ => {
+                let bytes = self.slice_mut(addr, size)?;
+                for (i, b) in bytes.iter_mut().enumerate() {
+                    *b = (value >> (8 * i)) as u8;
+                }
+                Ok(())
+            }
         }
+    }
+
+    // Fixed-width accessors: the interpreter knows the access size from the
+    // pre-decoded opcode, so these skip the size dispatch and assemble the
+    // value with a single unaligned-safe from_le_bytes.
+
+    #[inline]
+    pub fn load8(&self, addr: u64) -> Result<u64, VmError> {
+        Ok(u64::from(self.slice(addr, 1)?[0]))
+    }
+
+    #[inline]
+    pub fn load16(&self, addr: u64) -> Result<u64, VmError> {
+        let s = self.slice(addr, 2)?;
+        Ok(u64::from(u16::from_le_bytes([s[0], s[1]])))
+    }
+
+    #[inline]
+    pub fn load32(&self, addr: u64) -> Result<u64, VmError> {
+        let s = self.slice(addr, 4)?;
+        Ok(u64::from(u32::from_le_bytes([s[0], s[1], s[2], s[3]])))
+    }
+
+    #[inline]
+    pub fn load64(&self, addr: u64) -> Result<u64, VmError> {
+        let s = self.slice(addr, 8)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    #[inline]
+    pub fn store8(&mut self, addr: u64, v: u8) -> Result<(), VmError> {
+        self.slice_mut(addr, 1)?[0] = v;
+        Ok(())
+    }
+
+    #[inline]
+    pub fn store16(&mut self, addr: u64, v: u16) -> Result<(), VmError> {
+        self.slice_mut(addr, 2)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    #[inline]
+    pub fn store32(&mut self, addr: u64, v: u32) -> Result<(), VmError> {
+        self.slice_mut(addr, 4)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    #[inline]
+    pub fn store64(&mut self, addr: u64, v: u64) -> Result<(), VmError> {
+        self.slice_mut(addr, 8)?.copy_from_slice(&v.to_le_bytes());
         Ok(())
     }
 
@@ -162,9 +240,27 @@ impl MemoryMap {
     }
 
     /// Copy `len` bytes inside extension memory (the `ebpf_memcpy` helper).
+    ///
+    /// Allocation-free: a same-region copy is a single (overlap-safe)
+    /// `copy_within` on the backing buffer, and a cross-region copy splits
+    /// the region table to borrow source and destination simultaneously.
     pub fn copy_within(&mut self, dst: u64, src: u64, len: usize) -> Result<(), VmError> {
-        let data = self.read_bytes(src, len)?;
-        self.write_bytes(dst, &data)
+        let (si, so) = self.find(src, len, false)?;
+        let (di, dofs) = self.find(dst, len, true)?;
+        if si == di {
+            self.regions[si].data.copy_within(so..so + len, dofs);
+        } else {
+            let lo = si.min(di);
+            let hi = si.max(di);
+            let (head, tail) = self.regions.split_at_mut(hi);
+            let (src_data, dst_data): (&[u8], &mut [u8]) = if si == lo {
+                (&head[lo].data, &mut tail[0].data)
+            } else {
+                (&tail[0].data, &mut head[lo].data)
+            };
+            dst_data[dofs..dofs + len].copy_from_slice(&src_data[so..so + len]);
+        }
+        Ok(())
     }
 }
 
@@ -250,6 +346,51 @@ mod tests {
         m.copy_within(16, 4, 4).unwrap();
         assert_eq!(m.read_bytes(16, 4).unwrap(), vec![1, 2, 3, 4]);
         assert!(m.copy_within(30, 0, 4).is_err());
+    }
+
+    #[test]
+    fn copy_within_across_regions_both_directions() {
+        let mut m = map_with(0, 32, true);
+        m.map(Region::new(RegionKind::Shared, 0x100, vec![0; 32], true));
+        m.write_bytes(0, &[1, 2, 3, 4]).unwrap();
+        // Lower-indexed region → higher-indexed region.
+        m.copy_within(0x100, 0, 4).unwrap();
+        assert_eq!(m.read_bytes(0x100, 4).unwrap(), vec![1, 2, 3, 4]);
+        // And back the other way.
+        m.write_bytes(0x110, &[9, 8, 7]).unwrap();
+        m.copy_within(8, 0x110, 3).unwrap();
+        assert_eq!(m.read_bytes(8, 3).unwrap(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn copy_within_overlapping_ranges() {
+        let mut m = map_with(0, 16, true);
+        m.write_bytes(0, &[1, 2, 3, 4]).unwrap();
+        m.copy_within(2, 0, 4).unwrap();
+        assert_eq!(m.read_bytes(2, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn copy_within_to_read_only_region_faults() {
+        let mut m = map_with(0, 16, true);
+        m.map(Region::new(RegionKind::HostBuf, 0x100, vec![0; 8], false));
+        assert!(matches!(m.copy_within(0x100, 0, 4), Err(VmError::MemFault { write: true, .. })));
+    }
+
+    #[test]
+    fn fixed_width_accessors_round_trip() {
+        let mut m = map_with(0x1000, 64, true);
+        m.store8(0x1000, 0xab).unwrap();
+        m.store16(0x1008, 0xbeef).unwrap();
+        m.store32(0x1010, 0xdead_beef).unwrap();
+        m.store64(0x1018, 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(m.load8(0x1000).unwrap(), 0xab);
+        assert_eq!(m.load16(0x1008).unwrap(), 0xbeef);
+        assert_eq!(m.load32(0x1010).unwrap(), 0xdead_beef);
+        assert_eq!(m.load64(0x1018).unwrap(), 0x0123_4567_89ab_cdef);
+        // Unaligned accesses are fine; straddling the end is not.
+        assert_eq!(m.load32(0x1001).unwrap(), m.load(0x1001, 4).unwrap());
+        assert!(m.load64(0x1039).is_err());
     }
 
     proptest! {

@@ -8,6 +8,7 @@
 //! dynamically by the fuel budget.
 
 use crate::insn::{op, Program};
+use crate::prep::LoadedProgram;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -269,6 +270,18 @@ pub fn verify(prog: &Program, known_helpers: &HashSet<u32>) -> Result<(), Verify
         return Err(VerifyError::FallThrough);
     }
     Ok(())
+}
+
+/// Verify `prog` and, on success, pre-decode it into the dense executable
+/// form. This is the load-time entry point the VMM uses: all decoding and
+/// jump-target resolution happens exactly once here, and the returned
+/// [`LoadedProgram`] is guaranteed free of trap instructions.
+pub fn verify_and_load(
+    prog: &Program,
+    known_helpers: &HashSet<u32>,
+) -> Result<LoadedProgram, VerifyError> {
+    verify(prog, known_helpers)?;
+    Ok(LoadedProgram::load(prog))
 }
 
 #[cfg(test)]

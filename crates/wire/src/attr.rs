@@ -228,7 +228,11 @@ impl AsPath {
 
     /// Decode the attribute body with the given ASN width.
     pub fn decode_body(mut buf: &[u8], asn_width: usize) -> Result<AsPath, WireError> {
-        debug_assert!(asn_width == 2 || asn_width == 4);
+        // A hard check, not a debug_assert: with any other width the octet
+        // arithmetic below would index out of bounds on untrusted input.
+        if asn_width != 2 && asn_width != 4 {
+            return Err(WireError::MalformedAsPath);
+        }
         let mut segments = Vec::new();
         while !buf.is_empty() {
             if buf.len() < 2 {
@@ -807,6 +811,21 @@ mod tests {
             // Whatever the bytes, decoding must return Ok or Err, not panic.
             let _ = decode_attrs(&data, 4);
             let _ = decode_attrs(&data, 2);
+            let _ = RawAttr::decode(&data);
+            for raw in RawAttrIter::new(&data).flatten() {
+                let _ = PathAttr::decode(&raw, 4);
+                let _ = PathAttr::decode(&raw, 2);
+            }
+            // Any width other than 2/4 must be a clean error, not an
+            // out-of-bounds read.
+            for width in [0usize, 1, 3, 8] {
+                prop_assert!(
+                    data.is_empty() || AsPath::decode_body(&data, width).is_err()
+                );
+            }
+            let _ = AsPath::decode_body(&data, 2);
+            let _ = AsPath::decode_body(&data, 4);
+            let _ = crate::capability::Capability::decode(&data);
         }
     }
 }

@@ -659,7 +659,43 @@ mod tests {
         fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = Message::decode(&data, 4);
             let _ = UpdateMsg::decode_body(&data, 4);
+            let _ = UpdateMsg::decode_body(&data, 2);
             let _ = UpdateMsg::attr_section(&data);
+            let _ = OpenMsg::decode_body(&data);
+            let _ = deframe(&data);
+            let mut r = MsgReader::new();
+            r.push(&data);
+            while let Ok(Some(_)) = r.next_frame() {}
+        }
+
+        #[test]
+        fn prop_mutated_valid_update_never_panics(
+            flip in proptest::collection::vec((0usize..512, any::<u8>()), 1..8),
+        ) {
+            // Start from a well-formed UPDATE frame and corrupt arbitrary
+            // bytes: every decode path must fail cleanly, never panic.
+            let u = UpdateMsg {
+                withdrawn: vec!["10.9.0.0/16".parse().unwrap()],
+                attrs: vec![
+                    PathAttr::Origin(Origin::Igp),
+                    PathAttr::AsPath(AsPath::sequence(vec![65001, 65002])),
+                    PathAttr::NextHop(0x0a00_0001),
+                    PathAttr::Communities(vec![0x0001_0002]),
+                ],
+                nlri: vec!["192.0.2.0/24".parse().unwrap()],
+            };
+            let mut buf = Message::Update(u).encode(4).unwrap();
+            for (pos, val) in flip {
+                let n = buf.len();
+                buf[pos % n] = val;
+            }
+            let _ = Message::decode(&buf, 4);
+            let _ = Message::decode(&buf, 2);
+            if buf.len() > HEADER_LEN {
+                let body = &buf[HEADER_LEN..];
+                let _ = UpdateMsg::decode_body(body, 4);
+                let _ = UpdateMsg::attr_section(body);
+            }
         }
     }
 }

@@ -118,9 +118,13 @@ impl FromStr for Ipv4Prefix {
     type Err = String;
 
     /// Parse `"a.b.c.d/len"` (or a bare address, implying `/32`).
+    ///
+    /// Every numeric field must be plain decimal digits: sign prefixes
+    /// (`+1`, which `u8::from_str` accepts) and anything else non-canonical
+    /// are rejected.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let (ip, len) = match s.split_once('/') {
-            Some((ip, len)) => (ip, len.parse::<u8>().map_err(|e| format!("bad length: {e}"))?),
+            Some((ip, len)) => (ip, parse_decimal_u8(len).map_err(|e| format!("bad length: {e}"))?),
             None => (s, 32),
         };
         if len > 32 {
@@ -132,7 +136,7 @@ impl FromStr for Ipv4Prefix {
             if n == 4 {
                 return Err("too many octets".into());
             }
-            octets[n] = part.parse::<u8>().map_err(|e| format!("bad octet: {e}"))?;
+            octets[n] = parse_decimal_u8(part).map_err(|e| format!("bad octet: {e}"))?;
             n += 1;
         }
         if n != 4 {
@@ -140,6 +144,18 @@ impl FromStr for Ipv4Prefix {
         }
         Ok(Ipv4Prefix::new(u32::from_be_bytes(octets), len))
     }
+}
+
+/// Parse a `u8` from decimal digits only — unlike `u8::from_str`, a
+/// leading `+` (or any other non-digit) is an error.
+fn parse_decimal_u8(s: &str) -> Result<u8, String> {
+    if s.is_empty() {
+        return Err("empty field".into());
+    }
+    if !s.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("non-digit in `{s}`"));
+    }
+    s.parse::<u8>().map_err(|e| e.to_string())
 }
 
 /// Convenience: format a bare IPv4 address (host byte order) as dotted quad.
@@ -183,6 +199,16 @@ mod tests {
         assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
         assert!("10.0.0/8".parse::<Ipv4Prefix>().is_err());
         assert!("10.0.0.0.0/8".parse::<Ipv4Prefix>().is_err());
+        // Non-canonical octets: u8::from_str tolerates a leading `+`, the
+        // prefix parser must not.
+        assert!("10.+1.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("+10.1.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.1.0.0/+8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.-1.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10..0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/ 8".parse::<Ipv4Prefix>().is_err());
+        assert!("1 0.0.0.0/8".parse::<Ipv4Prefix>().is_err());
     }
 
     #[test]

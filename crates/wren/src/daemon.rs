@@ -321,9 +321,10 @@ impl WrenDaemon {
             };
             let nexthop = self.nexthop_info(&a.eattrs);
             let t0 = self.hook_start();
+            let hook_args = [best_wire.as_slice()];
             let mut hctx = WrenXbgpCtx {
                 peer,
-                args: vec![best_wire],
+                args: &hook_args,
                 eattrs: EaAccess::Read(&a.eattrs),
                 net: None,
                 nexthop: Some(nexthop),
@@ -397,9 +398,10 @@ impl WrenDaemon {
         // ① BGP_RECEIVE_MESSAGE.
         if self.vmm.has_extensions(InsertionPoint::BgpReceiveMessage) {
             let t0 = self.hook_start();
+            let hook_args = [raw_body.as_slice()];
             let mut hctx = WrenXbgpCtx {
                 peer: peer_info,
-                args: vec![raw_body],
+                args: &hook_args,
                 eattrs: EaAccess::Mut(&mut eattrs),
                 net: None,
                 nexthop: None,
@@ -445,7 +447,7 @@ impl WrenDaemon {
                 let mut modified = None;
                 let mut hctx = WrenXbgpCtx {
                     peer: peer_info,
-                    args: vec![],
+                    args: &[],
                     eattrs: EaAccess::Cow { base: &shared, modified: &mut modified },
                     net: Some(*net),
                     nexthop: Some(nexthop),
@@ -607,9 +609,10 @@ impl WrenDaemon {
             let peer_info = self.peer_info(ch);
             let nexthop = self.nexthop_info(&rte.eattrs);
             let src_bytes = self.source_info_bytes(rte);
+            let hook_args = [&src_bytes[..]];
             let mut hctx = WrenXbgpCtx {
                 peer: peer_info,
-                args: vec![src_bytes.to_vec()],
+                args: &hook_args,
                 eattrs: EaAccess::Read(&rte.eattrs),
                 net: Some(net),
                 nexthop: Some(nexthop),
@@ -714,9 +717,10 @@ impl WrenDaemon {
             if encode_ext {
                 let t0 = self.hook_start();
                 let peer_info = self.peer_info(ch);
+                let hook_args = [&src[..]];
                 let mut hctx = WrenXbgpCtx {
                     peer: peer_info,
-                    args: vec![src.to_vec()],
+                    args: &hook_args,
                     eattrs: EaAccess::Read(&out),
                     net: nets.first().copied(),
                     nexthop: None,

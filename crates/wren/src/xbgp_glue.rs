@@ -52,7 +52,8 @@ impl EaAccess<'_> {
 /// Execution context for one WREN insertion-point call.
 pub struct WrenXbgpCtx<'a> {
     pub peer: PeerInfo,
-    pub args: Vec<Vec<u8>>,
+    /// Insertion-point arguments, borrowed from the daemon.
+    pub args: &'a [&'a [u8]],
     pub eattrs: EaAccess<'a>,
     pub net: Option<Ipv4Prefix>,
     pub nexthop: Option<NextHopInfo>,
@@ -77,13 +78,23 @@ impl HostApi for WrenXbgpCtx<'_> {
     }
 
     fn arg(&self, idx: u32) -> Option<&[u8]> {
-        self.args.get(idx as usize).map(Vec::as_slice)
+        self.args.get(idx as usize).copied()
     }
 
     fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
         // The stored form is already the neutral form: a straight copy.
         let ea = self.eattrs.read()?.get(code)?;
         Some((ea.flags, ea.raw.clone()))
+    }
+
+    fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
+        let ea = self.eattrs.read()?.get(code)?;
+        out.extend_from_slice(&ea.raw);
+        Some(ea.flags)
+    }
+
+    fn has_attr(&self, code: u8) -> bool {
+        self.eattrs.read().is_some_and(|l| l.get(code).is_some())
     }
 
     fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {
@@ -158,7 +169,7 @@ mod tests {
         let mut logs = Vec::new();
         let ctx = WrenXbgpCtx {
             peer: peer(),
-            args: vec![],
+            args: &[],
             eattrs: EaAccess::Read(&list),
             net: None,
             nexthop: None,
@@ -182,7 +193,7 @@ mod tests {
         let mut logs = Vec::new();
         let mut ctx = WrenXbgpCtx {
             peer: peer(),
-            args: vec![],
+            args: &[],
             eattrs: EaAccess::Cow { base: &base, modified: &mut modified },
             net: None,
             nexthop: None,
@@ -194,7 +205,6 @@ mod tests {
         };
         ctx.set_attr(4, 0x80, &9u32.to_be_bytes()).unwrap();
         assert_eq!(ctx.get_attr(4).unwrap().1, 9u32.to_be_bytes());
-        drop(ctx);
         assert_eq!(base.med(), Some(1));
         assert_eq!(modified.unwrap().med(), Some(9));
     }

@@ -13,6 +13,8 @@
 //! machine, which is what the repo's ablation acceptance checks need.
 
 use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -193,6 +195,36 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
         b.samples.len(),
         b.iters_per_sample,
     );
+    emit_json(label, mean, var.sqrt(), min, b.samples.len(), b.iters_per_sample);
+}
+
+/// If `CRITERION_JSON_OUT` names a file, append one JSON line per benchmark
+/// (all times in nanoseconds). The repo's bench evidence files
+/// (`BENCH_*.json`) are assembled from these lines.
+fn emit_json(label: &str, mean: f64, stddev: f64, min: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{mean:.3},\"stddev_ns\":{stddev:.3},\
+         \"min_ns\":{min:.3},\"samples\":{samples},\"iters_per_sample\":{iters}}}\n"
+    );
+    match OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            let _ = f.write_all(line.as_bytes());
+        }
+        Err(e) => eprintln!("criterion shim: cannot append to {path}: {e}"),
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
