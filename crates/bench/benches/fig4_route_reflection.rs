@@ -27,6 +27,8 @@ fn bench(c: &mut Criterion) {
                         routes: ROUTES,
                         seed: 99,
                         metrics: false,
+                        shards: 1,
+                        rib_dump: false,
                     });
                     assert_eq!(out.prefixes_delivered, ROUTES);
                     black_box(out.elapsed_ns)

@@ -13,6 +13,7 @@
 
 use crate::api::{helper, InsertionPoint};
 use std::collections::HashMap;
+use std::sync::Arc;
 use xbgp_obs::json::Value;
 use xbgp_vm::Program;
 
@@ -29,8 +30,10 @@ pub struct ExtensionSpec {
     /// Helper names this bytecode is allowed to call; the verifier rejects
     /// any call outside this list.
     pub helpers: Vec<String>,
-    /// Bytecode, hex-encoded 8-byte slots.
-    pub bytecode: Vec<u8>,
+    /// Bytecode, hex-encoded 8-byte slots on the wire. Held behind an
+    /// `Arc` so cloning a manifest for each shard's VMM shares one copy
+    /// of the raw bytes instead of duplicating every program.
+    pub bytecode: Arc<[u8]>,
 }
 
 impl ExtensionSpec {
@@ -47,7 +50,7 @@ impl ExtensionSpec {
             program: program_group.into(),
             insertion_point,
             helpers: helpers.iter().map(|s| s.to_string()).collect(),
-            bytecode: prog.to_bytes(),
+            bytecode: prog.to_bytes().into(),
         }
     }
 
@@ -160,7 +163,8 @@ impl Manifest {
                 insertion_point,
                 helpers,
                 bytecode: from_hex(&str_field("bytecode")?)
-                    .map_err(|e| format!("manifest: extension {i}: bad bytecode: {e}"))?,
+                    .map_err(|e| format!("manifest: extension {i}: bad bytecode: {e}"))?
+                    .into(),
             });
         }
         if let Some(xtra) = doc.get("xtra") {

@@ -24,6 +24,7 @@ use crate::host::HostApi;
 use crate::manifest::Manifest;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use xbgp_obs::{Histogram, NoopRecorder, Recorder, Snapshot};
 use xbgp_vm::{
@@ -31,6 +32,17 @@ use xbgp_vm::{
     MemoryMap, Region, RegionKind, VerifyError, VmConfig, VmError, HEAP_BASE, SHARED_BASE,
 };
 use xbgp_wire::Ipv4Prefix;
+
+/// Process-wide count of verify+pre-decode passes ([`verify_and_load`]
+/// calls). Loading a program is the expensive, once-per-VMM step; sharded
+/// deployments use this counter to prove each shard's VMM verified every
+/// program exactly once — per shard, never per batch of routes.
+static VERIFY_LOADS: AtomicU64 = AtomicU64::new(0);
+
+/// Total verify+pre-decode passes performed by this process so far.
+pub fn verify_load_count() -> u64 {
+    VERIFY_LOADS.load(Ordering::Relaxed)
+}
 
 /// Size of the per-invocation ephemeral heap.
 pub const HEAP_SIZE: usize = 16 * 1024;
@@ -234,6 +246,7 @@ impl Vmm {
             }
             let loaded = verify_and_load(&prog, &ids)
                 .map_err(|error| VmmError::Rejected { extension: spec.name.clone(), error })?;
+            VERIFY_LOADS.fetch_add(1, Ordering::Relaxed);
             let idx = vmm.exts.len();
             let group = if spec.program.is_empty() {
                 spec.name.clone()
@@ -765,6 +778,35 @@ mod tests {
             m.push(s);
         }
         Vmm::from_manifest(&m).expect("loads")
+    }
+
+    #[test]
+    fn verify_load_counter_counts_per_vmm_not_per_run() {
+        // One manifest, four VMMs (the per-shard pattern): each load pays
+        // one verify+pre-decode per extension; runs pay none.
+        let mut m = Manifest::new();
+        m.push(spec("a", InsertionPoint::BgpInboundFilter, &[], "mov r0, 1\nexit"));
+        m.push(spec("b", InsertionPoint::BgpDecision, &[], "mov r0, 1\nexit"));
+        let before = verify_load_count();
+        let mut vmms: Vec<Vmm> = (0..4).map(|_| Vmm::from_manifest(&m).expect("loads")).collect();
+        assert_eq!(verify_load_count() - before, 4 * 2);
+        let mut host = MockHost::default();
+        for vmm in &mut vmms {
+            for _ in 0..10 {
+                vmm.run(InsertionPoint::BgpInboundFilter, &mut host);
+            }
+        }
+        assert_eq!(verify_load_count() - before, 4 * 2, "runs never re-verify");
+    }
+
+    #[test]
+    fn manifest_clones_share_bytecode_storage() {
+        // The shard path clones one manifest per worker; the Arc'd
+        // bytecode must be shared, not duplicated.
+        let mut m = Manifest::new();
+        m.push(spec("a", InsertionPoint::BgpInboundFilter, &[], "mov r0, 1\nexit"));
+        let clone = m.clone();
+        assert!(std::sync::Arc::ptr_eq(&m.extensions[0].bytecode, &clone.extensions[0].bytecode));
     }
 
     #[test]

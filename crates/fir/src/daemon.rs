@@ -240,6 +240,20 @@ impl FirDaemon {
         v
     }
 
+    /// Full Loc-RIB contents as `(prefix, wire-encoded best-route
+    /// attributes)`, sorted by prefix. The wire form is `Send` and
+    /// implementation-neutral, so per-shard dumps can cross threads and be
+    /// compared byte-for-byte against a sequential run's dump.
+    pub fn loc_rib_dump(&self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        let mut v: Vec<(Ipv4Prefix, Vec<u8>)> = self
+            .loc_rib
+            .iter()
+            .map(|(p, e)| (*p, encode_attrs(&e.attrs.to_wire(), 4)))
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Is the session with `peer_addr` established?
     pub fn session_established(&self, peer_addr: u32) -> bool {
         self.sessions.iter().any(|s| s.cfg.peer_addr == peer_addr && s.is_established())

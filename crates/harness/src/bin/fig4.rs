@@ -1,8 +1,9 @@
 //! Regenerate Fig. 4: relative performance impact of extension bytecode
 //! versus native code, per implementation and use case.
 //!
-//! Usage: fig4 [--routes N] [--runs N] [--seed N] [--use-case rr|ov|all]
-//!             [--dut fir|wren|all] [--metrics-out FILE]
+//! Usage: fig4 [--routes N] [--runs N] [--seed N] [--shards N]
+//!             [--use-case rr|ov|all] [--dut fir|wren|all]
+//!             [--metrics-out FILE]
 //!
 //! `--metrics-out` enables DUT instrumentation and writes the merged
 //! metrics snapshot of every cell's extension run as a JSON document.
@@ -35,6 +36,13 @@ fn main() {
             "--routes" => cfg.routes = parse_num(i) as usize,
             "--runs" => cfg.runs = parse_num(i) as usize,
             "--seed" => cfg.seed = parse_num(i),
+            "--shards" => {
+                cfg.shards = parse_num(i) as usize;
+                if cfg.shards == 0 {
+                    xbgp_obs::error!("--shards must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--metrics-out" => {
                 cfg.metrics = true;
                 metrics_out = Some(need(i).to_string());
@@ -70,8 +78,12 @@ fn main() {
     }
 
     println!(
-        "# Fig. 4 — {} routes, {} paired runs per cell (seed {})",
-        cfg.routes, cfg.runs, cfg.seed
+        "# Fig. 4 — {} routes, {} paired runs per cell (seed {}, {} shard{})",
+        cfg.routes,
+        cfg.runs,
+        cfg.seed,
+        cfg.shards,
+        if cfg.shards == 1 { "" } else { "s" }
     );
     let mut merged = Snapshot::default();
     for dut in &duts {

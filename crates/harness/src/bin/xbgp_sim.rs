@@ -1,10 +1,14 @@
 //! xbgp-sim — run a declarative network scenario.
 //!
-//! Usage: xbgp-sim <scenario.json> [--metrics-out FILE] [--log-level LEVEL]
+//! Usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE]
+//!                 [--log-level LEVEL]
 //!
 //! See `xbgp_harness::scenario` for the document format. Exit code 0 when
 //! every `expect_route` check passes, 1 otherwise. `--metrics-out` writes
-//! the final per-router metrics snapshot as a JSON document.
+//! the final per-router metrics snapshot as a JSON document. `--shards N`
+//! splits originated prefixes across N replica simulations on worker
+//! threads (see `xbgp_harness::shard`); `--shards 1` is the sequential
+//! path.
 
 use std::process::ExitCode;
 use xbgp_obs::export;
@@ -13,9 +17,22 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut shards = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--shards" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    xbgp_obs::error!("--shards needs a positive number");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    xbgp_obs::error!("--shards must be at least 1");
+                    return ExitCode::from(2);
+                }
+                shards = n;
+                i += 2;
+            }
             "--metrics-out" => {
                 let Some(path) = args.get(i + 1) else {
                     xbgp_obs::error!("missing value after --metrics-out");
@@ -45,7 +62,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = scenario_path else {
-        xbgp_obs::error!("usage: xbgp-sim <scenario.json> [--metrics-out FILE]");
+        xbgp_obs::error!("usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE]");
         return ExitCode::from(2);
     };
     let json = match std::fs::read_to_string(&path) {
@@ -62,7 +79,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match xbgp_harness::scenario::run(&scenario) {
+    match xbgp_harness::scenario::run_sharded(&scenario, shards) {
         Ok(report) => {
             println!("scenario: {}", report.name);
             for (desc, ok) in &report.checks {

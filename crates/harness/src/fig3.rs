@@ -7,11 +7,11 @@ use crate::sink::Sink;
 use bgp_fir::{FirConfig, FirDaemon};
 use bgp_wren::{WrenConfig, WrenDaemon};
 use netsim::{Sim, SimConfig};
-use routegen::{to_updates, TableSpec};
+use routegen::{to_updates, Route, TableSpec};
 use rpki::Roa;
 use xbgp_core::Manifest;
 use xbgp_progs::{origin_validation, route_reflect};
-use xbgp_wire::Message;
+use xbgp_wire::{Ipv4Prefix, Message};
 
 /// Which implementation sits in the middle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,12 @@ pub struct Fig3Spec {
     /// Enable the DUT's timing instrumentation and return its metrics
     /// snapshot in the outcome.
     pub metrics: bool,
+    /// Prefix-hash shards to split the workload across (see
+    /// [`crate::shard`]). `0` and `1` both mean the sequential path.
+    pub shards: usize,
+    /// Collect the DUT's final Loc-RIB contents in the outcome (the
+    /// determinism regression test compares these across shard counts).
+    pub rib_dump: bool,
 }
 
 /// Measured outcome of one run.
@@ -81,14 +87,23 @@ pub struct Fig3Outcome {
     pub prefixes_delivered: usize,
     /// Measured CPU ns charged to the DUT.
     pub dut_cpu_ns: u64,
-    /// DUT metrics snapshot (when `Fig3Spec::metrics` is set).
+    /// DUT metrics snapshot (when `Fig3Spec::metrics` is set). A sharded
+    /// run merges the per-shard snapshots, summing matching counters.
     pub metrics: Option<xbgp_obs::Snapshot>,
+    /// Final Loc-RIB contents, sorted by prefix (when
+    /// `Fig3Spec::rib_dump` is set).
+    pub loc_rib: Option<Vec<(Ipv4Prefix, Vec<u8>)>>,
 }
 
 /// ROA validity mix of §3.4 ("75% of the injected prefixes as valid").
 pub const VALID_FRACTION: f64 = 0.75;
 
-fn make_roas(routes: &[routegen::Route], seed: u64) -> Vec<Roa> {
+/// Build the full-table ROA set for a workload. Must always be derived
+/// from the *complete* table: `routegen::make_roas` draws one RNG value
+/// per route, so the set only reproduces when generated over the same
+/// route list — and trie validation consults covering ROAs, so every
+/// shard needs the whole set regardless of which prefixes it owns.
+pub(crate) fn make_roas(routes: &[Route], seed: u64) -> Vec<Roa> {
     routegen::make_roas(routes, VALID_FRACTION, seed)
         .into_iter()
         .map(|e| Roa::new(e.prefix, e.max_len, e.asn))
@@ -97,7 +112,38 @@ fn make_roas(routes: &[routegen::Route], seed: u64) -> Vec<Roa> {
 
 /// Run one Fig. 3 experiment.
 pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
+    if spec.shards > 1 {
+        return crate::shard::run_fig3_sharded(spec, crate::shard::ExecMode::Threads).merged;
+    }
     let table = routegen::generate(&TableSpec::new(spec.routes, spec.seed));
+    let roas = (spec.use_case == UseCase::OriginValidation).then(|| make_roas(&table, spec.seed));
+    let frames = encode_frames(spec, &table);
+    run_frames(spec, frames, table.len(), roas.as_deref())
+}
+
+/// Pre-encode a route list into the wire-format UPDATE frames the feeder
+/// blasts: packed by shared attribute set, chunked under the message
+/// limit. These frames are plain bytes — `Send` — which is what crosses
+/// the thread boundary in a sharded run.
+pub(crate) fn encode_frames(spec: &Fig3Spec, routes: &[Route]) -> Vec<Vec<u8>> {
+    let local_pref = (spec.use_case == UseCase::RouteReflection).then_some(100);
+    to_updates(routes, 1, local_pref)
+        .into_iter()
+        .map(|u| Message::Update(u).encode(4).expect("update encodes"))
+        .collect()
+}
+
+/// Run one feeder → DUT → sink chain over pre-encoded UPDATE frames
+/// carrying `expected` distinct prefixes. `roas` is the full-table ROA
+/// set (origin validation only). This is the complete shard-local
+/// workload: every input is `Send`, and all `Rc`-based daemon state is
+/// constructed inside this call and never leaves it.
+pub(crate) fn run_frames(
+    spec: &Fig3Spec,
+    frames: Vec<Vec<u8>>,
+    expected: usize,
+    roas: Option<&[Roa]>,
+) -> Fig3Outcome {
     let ibgp = spec.use_case == UseCase::RouteReflection;
 
     // Addresses/ASNs: feeder=1, DUT=2, sink=3.
@@ -106,12 +152,6 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
     } else {
         (65001, 65002, 65003)
     };
-    let local_pref = ibgp.then_some(100);
-    let updates = to_updates(&table, 1, local_pref);
-    let frames: Vec<Vec<u8>> = updates
-        .into_iter()
-        .map(|u| Message::Update(u).encode(4).expect("update encodes"))
-        .collect();
 
     let mut sim = Sim::new(SimConfig { cpu_accounting: true });
     let f = sim.add_node(Box::new(Feeder::new(feeder_asn, 1, frames)));
@@ -124,10 +164,14 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
         match (spec.use_case, spec.extension) {
             (UseCase::RouteReflection, false) => (None, None, None),
             (UseCase::RouteReflection, true) => (None, None, Some(route_reflect::manifest())),
-            (UseCase::OriginValidation, false) => (Some(make_roas(&table, spec.seed)), None, None),
-            (UseCase::OriginValidation, true) => {
-                (None, Some(make_roas(&table, spec.seed)), Some(origin_validation::manifest()))
+            (UseCase::OriginValidation, false) => {
+                (Some(roas.expect("OV workloads carry ROAs").to_vec()), None, None)
             }
+            (UseCase::OriginValidation, true) => (
+                None,
+                Some(roas.expect("OV workloads carry ROAs").to_vec()),
+                Some(origin_validation::manifest()),
+            ),
         };
 
     match spec.dut {
@@ -177,13 +221,12 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
             let sink: &Sink = sim.node_ref(s);
             sink.prefixes_seen()
         };
-        if seen >= spec.routes {
+        if seen >= expected {
             break;
         }
         assert!(
             deadline < 1_000_000 * SEC,
-            "experiment did not converge: {seen}/{} prefixes",
-            spec.routes
+            "experiment did not converge: {seen}/{expected} prefixes"
         );
     }
 
@@ -199,11 +242,16 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
         Dut::Fir => sim.node_ref::<FirDaemon>(d).metrics_snapshot(),
         Dut::Wren => sim.node_ref::<WrenDaemon>(d).metrics_snapshot(),
     });
+    let loc_rib = spec.rib_dump.then(|| match spec.dut {
+        Dut::Fir => sim.node_ref::<FirDaemon>(d).loc_rib_dump(),
+        Dut::Wren => sim.node_ref::<WrenDaemon>(d).loc_rib_dump(),
+    });
     Fig3Outcome {
         elapsed_ns: last_rx.saturating_sub(first_sent),
         prefixes_delivered: delivered,
         dut_cpu_ns: sim.cpu_time(d),
         metrics,
+        loc_rib,
     }
 }
 
@@ -230,6 +278,8 @@ mod tests {
                         routes: 400,
                         seed: 7,
                         metrics: extension,
+                        shards: 1,
+                        rib_dump: false,
                     });
                     assert_eq!(
                         out.prefixes_delivered,

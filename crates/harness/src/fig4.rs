@@ -22,11 +22,14 @@ pub struct Fig4Config {
     /// Collect DUT metrics snapshots (enables timing instrumentation in
     /// both variants, so the pairing stays symmetric).
     pub metrics: bool,
+    /// Prefix-hash shards per run (both variants of a pair use the same
+    /// count, keeping the pairing symmetric). `1` is the sequential path.
+    pub shards: usize,
 }
 
 impl Default for Fig4Config {
     fn default() -> Self {
-        Fig4Config { routes: 50_000, runs: 15, seed: 1, metrics: false }
+        Fig4Config { routes: 50_000, runs: 15, seed: 1, metrics: false, shards: 1 }
     }
 }
 
@@ -69,6 +72,8 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             routes: cfg.routes,
             seed,
             metrics: cfg.metrics,
+            shards: cfg.shards,
+            rib_dump: false,
         });
         let ext = fig3::run(&Fig3Spec {
             dut,
@@ -77,6 +82,8 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             routes: cfg.routes,
             seed,
             metrics: cfg.metrics,
+            shards: cfg.shards,
+            rib_dump: false,
         });
         assert_eq!(
             native.prefixes_delivered, ext.prefixes_delivered,

@@ -19,6 +19,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod fig4;
 pub mod scenario;
+pub mod shard;
 pub mod sink;
 pub mod stats;
 

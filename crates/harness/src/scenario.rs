@@ -50,7 +50,7 @@ use xbgp_wire::Ipv4Prefix;
 const SEC: u64 = 1_000_000_000;
 
 /// Top-level scenario document.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     pub name: String,
     pub routers: Vec<RouterSpec>,
@@ -61,7 +61,7 @@ pub struct Scenario {
     pub settle_secs: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RouterSpec {
     pub name: String,
     /// `"fir"` or `"wren"`.
@@ -83,7 +83,7 @@ pub struct RouterSpec {
 }
 
 /// Either a bundled preset or a full inline manifest.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ExtensionSpecJson {
     /// One of: `igp_filter`, `route_reflect`, `origin_validation`,
     /// `geoloc`, `valley_free`.
@@ -97,7 +97,7 @@ pub struct ExtensionSpecJson {
     pub roas_csv: Option<String>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LinkSpec {
     pub a: String,
     pub b: String,
@@ -105,13 +105,13 @@ pub struct LinkSpec {
     pub latency_us: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IgpSpec {
     pub members: Vec<String>,
     pub links: Vec<IgpLinkSpec>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IgpLinkSpec {
     pub a: String,
     pub b: String,
@@ -119,7 +119,7 @@ pub struct IgpLinkSpec {
 }
 
 /// One timeline entry: exactly one action, at a virtual time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Event {
     pub at_secs: u64,
     pub fail_link: Option<LinkRef>,
@@ -130,13 +130,13 @@ pub struct Event {
     pub expect_route: Option<ExpectRoute>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LinkRef {
     pub a: String,
     pub b: String,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ExpectRoute {
     pub router: String,
     pub prefix: String,
@@ -683,6 +683,93 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
     Ok(ScenarioReport { name: scenario.name.clone(), checks, tables, metrics })
 }
 
+/// Run a scenario with its originated prefixes split across `shards`
+/// replica simulations.
+///
+/// BGP propagation is independent per prefix over a fixed topology, so a
+/// scenario shards the same way a table load does (see [`crate::shard`]):
+/// replica `k` runs the full topology and the full failure timeline but
+/// originates only the prefixes whose [`crate::shard::shard_of`] hash is
+/// `k`, and each `expect_route` check is evaluated in the replica owning
+/// its prefix. Each replica's complete state lives on its own worker
+/// thread; only the `Send` [`ScenarioReport`]s come back. The merged
+/// report has checks reassembled in timeline order, per-router table
+/// sizes summed, and metric snapshots merged (matching counters sum).
+/// `shards <= 1` is exactly [`run`].
+pub fn run_sharded(scenario: &Scenario, shards: usize) -> Result<ScenarioReport, String> {
+    if shards <= 1 {
+        return run(scenario);
+    }
+    let owner = |prefix: &str| -> usize {
+        match prefix.parse::<Ipv4Prefix>() {
+            Ok(p) => crate::shard::shard_of(&p, shards),
+            // Unparseable prefixes go to replica 0, whose own run()
+            // surfaces the error.
+            Err(_) => 0,
+        }
+    };
+    let replicas: Vec<Scenario> = (0..shards)
+        .map(|k| {
+            let mut s = scenario.clone();
+            for r in &mut s.routers {
+                r.originate.retain(|p| owner(p) == k);
+            }
+            for e in &mut s.events {
+                if e.expect_route.as_ref().is_some_and(|x| owner(&x.prefix) != k) {
+                    e.expect_route = None;
+                }
+            }
+            s
+        })
+        .collect();
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for (k, replica) in replicas.iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let _ = tx.send((k, run(replica)));
+            });
+        }
+    });
+    drop(tx);
+    let mut collected: Vec<(usize, Result<ScenarioReport, String>)> = rx.iter().collect();
+    collected.sort_by_key(|(k, _)| *k);
+    let mut reports = Vec::with_capacity(shards);
+    for (_, r) in collected {
+        reports.push(r?);
+    }
+
+    // Each replica evaluated its own checks in timeline order; replay the
+    // original (sorted) timeline and pull every check from its owner so
+    // the merged list reads exactly like a sequential run's.
+    let mut queues: Vec<std::collections::VecDeque<(String, bool)>> =
+        reports.iter_mut().map(|r| std::mem::take(&mut r.checks).into()).collect();
+    let mut events: Vec<&Event> = scenario.events.iter().collect();
+    events.sort_by_key(|e| e.at_secs);
+    let mut checks = Vec::new();
+    for ev in events {
+        if let Some(x) = &ev.expect_route {
+            if let Some(c) = queues[owner(&x.prefix)].pop_front() {
+                checks.push(c);
+            }
+        }
+    }
+
+    let mut tables = std::mem::take(&mut reports[0].tables);
+    for r in &reports[1..] {
+        for (acc, (name, n)) in tables.iter_mut().zip(&r.tables) {
+            debug_assert_eq!(&acc.0, name);
+            acc.1 += n;
+        }
+    }
+    let mut metrics = xbgp_obs::Snapshot::default();
+    for r in reports {
+        metrics.merge(r.metrics);
+    }
+    Ok(ScenarioReport { name: scenario.name.clone(), checks, tables, metrics })
+}
+
 /// Parse a scenario document from JSON.
 pub fn parse(json: &str) -> Result<Scenario, String> {
     let doc = Value::parse(json)?;
@@ -779,6 +866,38 @@ mod tests {
         }"#;
         let report = run(&parse(json).unwrap()).unwrap();
         assert!(report.all_passed(), "{:?}", report.checks);
+    }
+
+    #[test]
+    fn sharded_scenario_matches_sequential_run() {
+        // Several prefixes spread across shards, with checks on each, so
+        // every replica owns some of the work.
+        let json = r#"{
+            "name": "sharded",
+            "routers": [
+                { "name": "a", "implementation": "fir", "asn": 65001,
+                  "router_id": "10.0.0.1",
+                  "originate": ["10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16", "10.4.0.0/16"] },
+                { "name": "b", "implementation": "wren", "asn": 65002,
+                  "router_id": "10.0.0.2", "originate": ["10.9.0.0/16"] }
+            ],
+            "links": [ { "a": "a", "b": "b" } ],
+            "events": [
+                { "at_secs": 5, "expect_route": { "router": "b", "prefix": "10.1.0.0/16", "present": true } },
+                { "at_secs": 5, "expect_route": { "router": "b", "prefix": "10.2.0.0/16", "present": true } },
+                { "at_secs": 5, "expect_route": { "router": "b", "prefix": "10.3.0.0/16", "present": true } },
+                { "at_secs": 5, "expect_route": { "router": "a", "prefix": "10.9.0.0/16", "present": true } },
+                { "at_secs": 5, "expect_route": { "router": "b", "prefix": "10.7.0.0/16", "present": false } }
+            ]
+        }"#;
+        let scenario = parse(json).unwrap();
+        let seq = run(&scenario).unwrap();
+        for shards in [1, 2, 4] {
+            let sharded = run_sharded(&scenario, shards).unwrap();
+            assert_eq!(sharded.checks, seq.checks, "shards={shards}");
+            assert_eq!(sharded.tables, seq.tables, "shards={shards}");
+            assert!(sharded.all_passed());
+        }
     }
 
     #[test]

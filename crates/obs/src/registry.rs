@@ -146,9 +146,31 @@ impl Snapshot {
         });
     }
 
-    /// Append all metrics from `other`.
+    /// Merge `other` into this snapshot, summing same-kind metrics.
+    ///
+    /// A metric in `other` whose `(name, labels)` pair already exists here
+    /// with the same value kind is *combined*: counters and gauges add,
+    /// histograms merge bucket-wise. Anything else is appended. This is
+    /// what makes per-shard snapshots aggregate into the totals a
+    /// single-threaded run over the whole workload would report; callers
+    /// that tag snapshots with distinct labels first (`with_labels`) get
+    /// the old append behaviour because no keys collide.
     pub fn merge(&mut self, other: Snapshot) {
-        self.metrics.extend(other.metrics);
+        for m in other.metrics {
+            let slot = self.metrics.iter().position(|e| e.name == m.name && e.labels == m.labels);
+            match slot {
+                Some(i) => match (&mut self.metrics[i].value, m.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(&b),
+                    // Same key, different kind: keep both rather than guess.
+                    (_, value) => {
+                        self.metrics.push(Metric { name: m.name, labels: m.labels, value })
+                    }
+                },
+                None => self.metrics.push(m),
+            }
+        }
     }
 
     /// Prefix every metric's label set with `extra` — how a harness tags a
@@ -259,6 +281,57 @@ mod tests {
         let mut merged = a;
         merged.merge(b);
         assert_eq!(merged.metrics.len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_matching_counters_gauges_and_histograms() {
+        // Two "shards" each observe part of a workload; merging their
+        // snapshots must equal one snapshot of the whole workload.
+        let whole = Registry::new();
+        let shard_a = Registry::new();
+        let shard_b = Registry::new();
+        for (i, r) in [&shard_a, &shard_b, &whole, &whole].iter().enumerate() {
+            let n = (i % 2 + 1) as u64 * 10; // a: 10, b: 20, whole: 10+20
+            r.counter("updates_total", &[("point", "inbound")]).add(n);
+            r.gauge("rib_size", &[]).add(n as i64);
+            r.histogram("latency_ns", &[]).observe(n);
+        }
+
+        let mut merged = shard_a.snapshot();
+        merged.merge(shard_b.snapshot());
+        let expect = whole.snapshot();
+        assert_eq!(
+            merged.counter_value("updates_total", &[("point", "inbound")]),
+            expect.counter_value("updates_total", &[("point", "inbound")]),
+        );
+        assert_eq!(merged.gauge_value("rib_size", &[]), expect.gauge_value("rib_size", &[]));
+        let (mh, eh) = (
+            merged.histogram_value("latency_ns", &[]).unwrap(),
+            expect.histogram_value("latency_ns", &[]).unwrap(),
+        );
+        assert_eq!(mh.count, eh.count);
+        assert_eq!(mh.sum, eh.sum);
+        assert_eq!(mh.buckets, eh.buckets);
+        assert_eq!(merged.metrics.len(), 3, "matching keys combined, not appended");
+    }
+
+    #[test]
+    fn merge_keeps_distinct_keys_and_kind_conflicts_separate() {
+        let mut a = Snapshot::new();
+        a.push_counter("x", &[("shard", "0")], 1);
+        a.push_counter("y", &[], 2);
+        let mut b = Snapshot::new();
+        b.push_counter("x", &[("shard", "1")], 3); // different labels
+        b.push_gauge("y", &[], 4); // same key, different kind
+        a.merge(b);
+        assert_eq!(a.metrics.len(), 4);
+        assert_eq!(a.counter_value("x", &[("shard", "0")]), Some(1));
+        assert_eq!(a.counter_value("x", &[("shard", "1")]), Some(3));
+        assert_eq!(a.counter_value("y", &[]), Some(2));
+        assert!(a
+            .metrics
+            .iter()
+            .any(|m| m.name == "y" && matches!(m.value, MetricValue::Gauge(4))));
     }
 
     #[test]

@@ -229,6 +229,20 @@ impl WrenDaemon {
         v
     }
 
+    /// Full table contents as `(net, wire-encoded best-route attributes)`,
+    /// sorted by net. The wire form is `Send` and implementation-neutral,
+    /// so per-shard dumps can cross threads and be compared byte-for-byte
+    /// against a sequential run's dump.
+    pub fn loc_rib_dump(&self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        let mut v: Vec<(Ipv4Prefix, Vec<u8>)> = self
+            .table
+            .iter_best()
+            .map(|(n, r)| (*n, encode_attrs(&r.eattrs.to_wire(), 4)))
+            .collect();
+        v.sort();
+        v
+    }
+
     pub fn session_established(&self, neighbor: u32) -> bool {
         self.channels.iter().any(|c| c.cfg.neighbor == neighbor && c.up())
     }

@@ -22,6 +22,8 @@ fn main() {
             routes: 5_000,
             seed: 42,
             metrics: false,
+            shards: 1,
+            rib_dump: false,
         });
         let ext = run(&Fig3Spec {
             dut,
@@ -30,6 +32,8 @@ fn main() {
             routes: 5_000,
             seed: 42,
             metrics: false,
+            shards: 1,
+            rib_dump: false,
         });
         assert_eq!(native.prefixes_delivered, 5_000);
         assert_eq!(ext.prefixes_delivered, 5_000);
