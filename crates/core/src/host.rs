@@ -13,9 +13,117 @@
 //! scoped to a single insertion-point invocation and carries hidden host
 //! state (current route, current peer, output buffer) that extension code
 //! can only reach through helpers.
+//!
+//! ## The transactional contract
+//!
+//! Mutations are **staged, not applied**. The VMM buffers every
+//! `set_attr`/`remove_attr`/`write_buf`/`rib_add_route` an extension chain
+//! performs and replays them against the host only when the chain finishes
+//! cleanly (DESIGN.md §4d). Two consequences for implementors:
+//!
+//! * [`HostApi::check_op`] must *validate without mutating* — it is called
+//!   at stage time so a doomed mutation faults at the helper call site
+//!   with an accurate pc, and so the commit below cannot fail in practice.
+//! * The mutating methods are only invoked at commit time, after every
+//!   staged operation passed `check_op`. A commit-time error is a host
+//!   bug, not an extension condition; the VMM logs and counts it.
+//!
+//! All fallible methods return the typed [`HostError`] — never a bare
+//! `String` — so the VMM can distinguish *recoverable* conditions (the
+//! helper reports `XBGP_FAIL` and the extension decides) from *contract
+//! violations* (the run faults, staged state rolls back, and the host's
+//! native behaviour takes over).
 
 use crate::api::{NextHopInfo, PeerInfo};
+use std::fmt;
 use xbgp_wire::Ipv4Prefix;
+
+/// Typed failure of a host-side operation.
+///
+/// Variants split into two severities (see [`HostError::recoverable`]):
+/// recoverable errors surface to the extension as `XBGP_FAIL` from the
+/// helper, exactly like a missing attribute always has; contract
+/// violations become [`xbgp_vm::VmError::HelperFault`] and abort the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// The named mutation is not available at this insertion point
+    /// (e.g. `set_attr` while the route is read-only).
+    ReadOnlyPoint { op: &'static str },
+    /// `remove_attr` on an attribute the current route does not carry.
+    AttrNotPresent { code: u8 },
+    /// The host refuses to drop a mandatory attribute (ORIGIN, AS_PATH,
+    /// NEXT_HOP).
+    MandatoryAttr { code: u8 },
+    /// The payload is malformed for this attribute code (wrong length,
+    /// unparsable contents).
+    BadAttrValue { code: u8, reason: String },
+    /// `write_buf` outside the encode-message point.
+    NoOutputBuffer,
+    /// `rib_add_route` is not wired up in this execution context.
+    RibUnavailable,
+}
+
+impl HostError {
+    /// `true` when the condition is something extension code can test and
+    /// handle: the helper returns `XBGP_FAIL` and execution continues.
+    /// `false` means the extension violated the execution contract (wrote
+    /// where the point is read-only, used a buffer that does not exist):
+    /// the run faults, staged mutations roll back, and the host falls
+    /// through to its native behaviour.
+    pub fn recoverable(&self) -> bool {
+        match self {
+            HostError::AttrNotPresent { .. }
+            | HostError::MandatoryAttr { .. }
+            | HostError::BadAttrValue { .. } => true,
+            HostError::ReadOnlyPoint { .. }
+            | HostError::NoOutputBuffer
+            | HostError::RibUnavailable => false,
+        }
+    }
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::ReadOnlyPoint { op } => {
+                write!(f, "{op}: attributes are read-only at this insertion point")
+            }
+            HostError::AttrNotPresent { code } => write!(f, "attribute {code} not present"),
+            HostError::MandatoryAttr { code } => write!(f, "attribute {code} is mandatory"),
+            HostError::BadAttrValue { code, reason } => {
+                write!(f, "attribute {code}: {reason}")
+            }
+            HostError::NoOutputBuffer => {
+                write!(f, "no output buffer at this insertion point")
+            }
+            HostError::RibUnavailable => {
+                write!(f, "rib_add_route not available in this context")
+            }
+        }
+    }
+}
+
+/// A host mutation the VMM is about to stage. Passed to
+/// [`HostApi::check_op`] for validation *before* the operation enters the
+/// transaction buffer.
+#[derive(Debug, Clone, Copy)]
+pub enum HostOp<'a> {
+    SetAttr {
+        code: u8,
+        flags: u8,
+        value: &'a [u8],
+    },
+    RemoveAttr {
+        code: u8,
+    },
+    WriteBuf {
+        len: usize,
+    },
+    RibAddRoute {
+        prefix: Ipv4Prefix,
+        nexthop: u32,
+    },
+}
 
 /// Host callbacks backing the xBGP helpers for one insertion-point call.
 pub trait HostApi {
@@ -38,36 +146,50 @@ pub trait HostApi {
         None
     }
 
-    /// Read attribute `code` of the current route: `(flags, payload)` in
-    /// network byte order.
-    fn get_attr(&self, _code: u8) -> Option<(u8, Vec<u8>)> {
-        None
-    }
+    /// Append the payload of attribute `code` to `out` and return its
+    /// flags, or `None` if the route does not carry it. This is the one
+    /// attribute-read method hosts implement: the VMM calls it on the
+    /// helper hot path with a reused scratch buffer, so it should copy
+    /// straight from internal storage without intermediate allocation.
+    fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8>;
 
-    /// Allocation-free variant of [`HostApi::get_attr`]: append the payload
-    /// of attribute `code` to `out` and return its flags. The VMM calls
-    /// this on the helper hot path with a reused scratch buffer; hosts
-    /// should override it to copy straight from their internal storage.
-    fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
-        let (flags, payload) = self.get_attr(code)?;
-        out.extend_from_slice(&payload);
-        Some(flags)
+    /// Allocating convenience wrapper over [`HostApi::get_attr_into`]:
+    /// `(flags, payload)` in network byte order.
+    fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
+        let mut out = Vec::new();
+        let flags = self.get_attr_into(code, &mut out)?;
+        Some((flags, out))
     }
 
     /// Does the current route carry attribute `code`? Used by `add_attr`
-    /// to test existence without marshalling the payload.
+    /// to test existence without marshalling the payload. Hosts should
+    /// override this with a payload-free lookup.
     fn has_attr(&self, code: u8) -> bool {
-        self.get_attr(code).is_some()
+        self.get_attr_into(code, &mut Vec::new()).is_some()
+    }
+
+    /// Validate a mutation the VMM wants to stage, without applying it.
+    /// `Ok(())` promises the same operation will succeed at commit time.
+    /// The default rejects everything, matching the default mutators.
+    fn check_op(&self, op: &HostOp<'_>) -> Result<(), HostError> {
+        match op {
+            HostOp::SetAttr { .. } => Err(HostError::ReadOnlyPoint { op: "set_attr" }),
+            HostOp::RemoveAttr { .. } => Err(HostError::ReadOnlyPoint { op: "remove_attr" }),
+            HostOp::WriteBuf { .. } => Err(HostError::NoOutputBuffer),
+            HostOp::RibAddRoute { .. } => Err(HostError::RibUnavailable),
+        }
     }
 
     /// Insert or replace attribute `code` on the current route.
-    fn set_attr(&mut self, _code: u8, _flags: u8, _value: &[u8]) -> Result<(), String> {
-        Err("set_attr not available at this insertion point".into())
+    /// Commit-time only; stage-time validation goes through
+    /// [`HostApi::check_op`].
+    fn set_attr(&mut self, _code: u8, _flags: u8, _value: &[u8]) -> Result<(), HostError> {
+        Err(HostError::ReadOnlyPoint { op: "set_attr" })
     }
 
-    /// Remove attribute `code` from the current route.
-    fn remove_attr(&mut self, _code: u8) -> Result<(), String> {
-        Err("remove_attr not available at this insertion point".into())
+    /// Remove attribute `code` from the current route. Commit-time only.
+    fn remove_attr(&mut self, _code: u8) -> Result<(), HostError> {
+        Err(HostError::ReadOnlyPoint { op: "remove_attr" })
     }
 
     /// Static configuration / manifest data (router coordinates, AS-pair
@@ -77,8 +199,9 @@ pub trait HostApi {
     }
 
     /// Append bytes to the host output buffer (encode-message point).
-    fn write_buf(&mut self, _data: &[u8]) -> Result<(), String> {
-        Err("write_buf not available at this insertion point".into())
+    /// Commit-time only.
+    fn write_buf(&mut self, _data: &[u8]) -> Result<(), HostError> {
+        Err(HostError::NoOutputBuffer)
     }
 
     /// RFC 6811 origin validation against the host's ROA table.
@@ -89,11 +212,13 @@ pub trait HostApi {
 
     /// Install a route into the RIB (uses hidden context arguments; see
     /// §2.1 "the RIB function leverages such hidden arguments").
-    fn rib_add_route(&mut self, _prefix: Ipv4Prefix, _nexthop: u32) -> Result<(), String> {
-        Err("rib_add_route not available at this insertion point".into())
+    /// Commit-time only.
+    fn rib_add_route(&mut self, _prefix: Ipv4Prefix, _nexthop: u32) -> Result<(), HostError> {
+        Err(HostError::RibUnavailable)
     }
 
-    /// Debug output from `ebpf_print`.
+    /// Debug output from `ebpf_print`. Not staged: log lines are
+    /// diagnostics and survive a rollback on purpose.
     fn log(&mut self, _msg: &str) {}
 }
 
@@ -107,6 +232,10 @@ pub struct MockHost {
     pub args: Vec<Vec<u8>>,
     /// `(code, flags, payload)` triples, mutated by set/add/remove.
     pub attrs: Vec<(u8, u8, Vec<u8>)>,
+    /// Attribute codes this host refuses to mutate: `set_attr` /
+    /// `remove_attr` on them fail with [`HostError::ReadOnlyPoint`],
+    /// letting tests exercise the contract-violation path.
+    pub deny_attrs: Vec<u8>,
     pub xtra: Vec<(String, Vec<u8>)>,
     pub out_buf: Vec<u8>,
     pub logs: Vec<String>,
@@ -130,6 +259,7 @@ impl Default for MockHost {
             prefix: None,
             args: Vec::new(),
             attrs: Vec::new(),
+            deny_attrs: Vec::new(),
             xtra: Vec::new(),
             out_buf: Vec::new(),
             logs: Vec::new(),
@@ -156,10 +286,6 @@ impl HostApi for MockHost {
         self.args.get(idx as usize).map(Vec::as_slice)
     }
 
-    fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
-        self.attrs.iter().find(|(c, _, _)| *c == code).map(|(_, f, v)| (*f, v.clone()))
-    }
-
     fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
         let (_, flags, payload) = self.attrs.iter().find(|(c, _, _)| *c == code)?;
         out.extend_from_slice(payload);
@@ -170,7 +296,22 @@ impl HostApi for MockHost {
         self.attrs.iter().any(|(c, _, _)| *c == code)
     }
 
-    fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {
+    fn check_op(&self, op: &HostOp<'_>) -> Result<(), HostError> {
+        match op {
+            HostOp::SetAttr { code, .. } if self.deny_attrs.contains(code) => {
+                Err(HostError::ReadOnlyPoint { op: "set_attr" })
+            }
+            HostOp::RemoveAttr { code } if self.deny_attrs.contains(code) => {
+                Err(HostError::ReadOnlyPoint { op: "remove_attr" })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), HostError> {
+        if self.deny_attrs.contains(&code) {
+            return Err(HostError::ReadOnlyPoint { op: "set_attr" });
+        }
         match self.attrs.iter_mut().find(|(c, _, _)| *c == code) {
             Some(slot) => {
                 slot.1 = flags;
@@ -181,11 +322,14 @@ impl HostApi for MockHost {
         Ok(())
     }
 
-    fn remove_attr(&mut self, code: u8) -> Result<(), String> {
+    fn remove_attr(&mut self, code: u8) -> Result<(), HostError> {
+        if self.deny_attrs.contains(&code) {
+            return Err(HostError::ReadOnlyPoint { op: "remove_attr" });
+        }
         let before = self.attrs.len();
         self.attrs.retain(|(c, _, _)| *c != code);
         if self.attrs.len() == before {
-            Err(format!("attribute {code} not present"))
+            Err(HostError::AttrNotPresent { code })
         } else {
             Ok(())
         }
@@ -195,7 +339,7 @@ impl HostApi for MockHost {
         self.xtra.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
     }
 
-    fn write_buf(&mut self, data: &[u8]) -> Result<(), String> {
+    fn write_buf(&mut self, data: &[u8]) -> Result<(), HostError> {
         self.out_buf.extend_from_slice(data);
         Ok(())
     }
@@ -204,12 +348,57 @@ impl HostApi for MockHost {
         self.rov_answer
     }
 
-    fn rib_add_route(&mut self, prefix: Ipv4Prefix, nexthop: u32) -> Result<(), String> {
+    fn rib_add_route(&mut self, prefix: Ipv4Prefix, nexthop: u32) -> Result<(), HostError> {
         self.rib.push((prefix, nexthop));
         Ok(())
     }
 
     fn log(&mut self, msg: &str) {
         self.logs.push(msg.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remove_attr_maps_absence_to_attr_not_present() {
+        let mut host = MockHost::default();
+        assert_eq!(host.remove_attr(42), Err(HostError::AttrNotPresent { code: 42 }));
+        host.attrs.push((42, 0xc0, vec![1]));
+        assert_eq!(host.remove_attr(42), Ok(()));
+        assert!(host.attrs.is_empty());
+    }
+
+    #[test]
+    fn deny_attrs_turns_mutations_into_read_only_faults() {
+        let mut host = MockHost { deny_attrs: vec![5], ..MockHost::default() };
+        host.attrs.push((5, 0x40, vec![0, 0, 0, 100]));
+        let err = host.set_attr(5, 0x40, &[0, 0, 0, 200]).unwrap_err();
+        assert_eq!(err, HostError::ReadOnlyPoint { op: "set_attr" });
+        assert!(!err.recoverable(), "read-only writes violate the contract");
+        assert!(host.check_op(&HostOp::SetAttr { code: 5, flags: 0x40, value: &[] }).is_err());
+        assert!(host.check_op(&HostOp::SetAttr { code: 6, flags: 0x40, value: &[] }).is_ok());
+        // The stored value is untouched.
+        assert_eq!(host.attrs[0].2, vec![0, 0, 0, 100]);
+    }
+
+    #[test]
+    fn error_severity_classification() {
+        assert!(HostError::AttrNotPresent { code: 1 }.recoverable());
+        assert!(HostError::MandatoryAttr { code: 2 }.recoverable());
+        assert!(HostError::BadAttrValue { code: 4, reason: "short".into() }.recoverable());
+        assert!(!HostError::ReadOnlyPoint { op: "set_attr" }.recoverable());
+        assert!(!HostError::NoOutputBuffer.recoverable());
+        assert!(!HostError::RibUnavailable.recoverable());
+    }
+
+    #[test]
+    fn get_attr_is_a_wrapper_over_get_attr_into() {
+        let mut host = MockHost::default();
+        host.attrs.push((5, 0x40, vec![0, 0, 0, 100]));
+        assert_eq!(host.get_attr(5), Some((0x40, vec![0, 0, 0, 100])));
+        assert_eq!(host.get_attr(6), None);
     }
 }

@@ -29,9 +29,11 @@
 pub mod api;
 pub mod host;
 pub mod manifest;
+pub mod policy;
 pub mod vmm;
 
 pub use api::{helper, InsertionPoint, NextHopInfo, PeerInfo, PeerType};
-pub use host::HostApi;
+pub use host::{HostApi, HostError, HostOp};
 pub use manifest::{ExtensionSpec, Manifest};
+pub use policy::{ExecPolicy, OnFault};
 pub use vmm::{Vmm, VmmError, VmmOutcome};

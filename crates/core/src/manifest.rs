@@ -12,6 +12,7 @@
 //! format explicit and dependency-free.
 
 use crate::api::{helper, InsertionPoint};
+use crate::policy::OnFault;
 use std::collections::HashMap;
 use std::sync::Arc;
 use xbgp_obs::json::Value;
@@ -34,6 +35,12 @@ pub struct ExtensionSpec {
     /// `Arc` so cloning a manifest for each shard's VMM shares one copy
     /// of the raw bytes instead of duplicating every program.
     pub bytecode: Arc<[u8]>,
+    /// Per-invocation fuel budget. `None` uses the VMM-wide default
+    /// ([`crate::vmm::Vmm::set_fuel`]).
+    pub fuel: Option<u64>,
+    /// Disposition when this extension faults (trap, fuel exhaustion,
+    /// contract violation); defaults to falling back to native behaviour.
+    pub on_fault: OnFault,
 }
 
 impl ExtensionSpec {
@@ -51,6 +58,8 @@ impl ExtensionSpec {
             insertion_point,
             helpers: helpers.iter().map(|s| s.to_string()).collect(),
             bytecode: prog.to_bytes().into(),
+            fuel: None,
+            on_fault: OnFault::Fallback,
         }
     }
 
@@ -102,7 +111,7 @@ impl Manifest {
             .extensions
             .iter()
             .map(|e| {
-                Value::Obj(vec![
+                let mut obj = vec![
                     ("name".to_string(), Value::from(e.name.as_str())),
                     ("program".to_string(), Value::from(e.program.as_str())),
                     ("insertion_point".to_string(), Value::from(e.insertion_point.name())),
@@ -111,7 +120,16 @@ impl Manifest {
                         Value::Arr(e.helpers.iter().map(|h| Value::from(h.as_str())).collect()),
                     ),
                     ("bytecode".to_string(), Value::from(to_hex(&e.bytecode))),
-                ])
+                ];
+                // Policy fields are emitted only when they deviate from
+                // the defaults, keeping pre-existing manifests byte-stable.
+                if let Some(fuel) = e.fuel {
+                    obj.push(("fuel".to_string(), Value::from(fuel)));
+                }
+                if e.on_fault != OnFault::Fallback {
+                    obj.push(("on_fault".to_string(), Value::from(e.on_fault.as_str())));
+                }
+                Value::Obj(obj)
             })
             .collect();
         let mut xtra: Vec<(String, Value)> =
@@ -156,6 +174,18 @@ impl Manifest {
                     })
                 })
                 .collect::<Result<Vec<String>, String>>()?;
+            let fuel = match ext.get("fuel") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    format!("manifest: extension {i}: `fuel` must be a non-negative integer")
+                })?),
+            };
+            let on_fault = match ext.get("on_fault").and_then(Value::as_str) {
+                None => OnFault::Fallback,
+                Some(s) => {
+                    OnFault::parse(s).map_err(|e| format!("manifest: extension {i}: {e}"))?
+                }
+            };
             manifest.extensions.push(ExtensionSpec {
                 name: str_field("name")?,
                 // `program` defaults to empty, like the old serde(default).
@@ -165,6 +195,8 @@ impl Manifest {
                 bytecode: from_hex(&str_field("bytecode")?)
                     .map_err(|e| format!("manifest: extension {i}: bad bytecode: {e}"))?
                     .into(),
+                fuel,
+                on_fault,
             });
         }
         if let Some(xtra) = doc.get("xtra") {
@@ -234,6 +266,30 @@ mod tests {
         assert!(json.contains("accept_all"));
         let back = Manifest::from_json(&json).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn policy_fields_round_trip_and_default() {
+        let mut m = sample();
+        m.extensions[0].fuel = Some(4096);
+        m.extensions[0].on_fault = OnFault::Abort;
+        let json = m.to_json();
+        assert!(json.contains("\"fuel\""));
+        assert!(json.contains("\"abort\""));
+        let back = Manifest::from_json(&json).unwrap();
+        assert_eq!(back, m);
+
+        // Defaults are omitted on the wire and restored on parse.
+        let plain = sample().to_json();
+        assert!(!plain.contains("on_fault"));
+        let back = Manifest::from_json(&plain).unwrap();
+        assert_eq!(back.extensions[0].fuel, None);
+        assert_eq!(back.extensions[0].on_fault, OnFault::Fallback);
+
+        // Bad values are rejected with the manifest error style.
+        let bad =
+            plain.replace("\"program\": \"demo\"", "\"program\": \"demo\", \"on_fault\": \"x\"");
+        assert!(Manifest::from_json(&bad).unwrap_err().contains("unknown on_fault"));
     }
 
     #[test]

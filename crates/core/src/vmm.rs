@@ -17,11 +17,23 @@
 //!   invocation (`ctx_malloc`, freed automatically on return) and one
 //!   persistent space per *program group* shared by the bytecodes of the
 //!   same xBGP program (`ctx_shared_malloc` / `ctx_shared_get`) but
-//!   unreachable from any other program — eBPF-VM-enforced isolation.
+//!   unreachable from any other program — eBPF-VM-enforced isolation;
+//! * execution is **transactional** (DESIGN.md §4d): host mutations
+//!   (`set_attr` / `add_attr` / `remove_attr` / `write_buf` /
+//!   `rib_add_route`) are staged in a per-chain [`Txn`] buffer — with
+//!   read-your-writes visibility across the chain — and committed to the
+//!   [`HostApi`] only when the chain ends cleanly. A trap, fuel
+//!   exhaustion or helper fault discards the buffer, leaving the host
+//!   byte-identical to a run with no extensions at all;
+//! * a per-extension circuit breaker quarantines any extension that
+//!   faults [`QUARANTINE_THRESHOLD`] times in a row: it is dropped from
+//!   its insertion point's cached chain (a success resets the streak)
+//!   and the eviction is counted in the metrics snapshot.
 
 use crate::api::{self, helper, InsertionPoint};
-use crate::host::HostApi;
+use crate::host::{HostApi, HostError, HostOp};
 use crate::manifest::Manifest;
+use crate::policy::{ExecPolicy, OnFault};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,6 +60,10 @@ pub fn verify_load_count() -> u64 {
 pub const HEAP_SIZE: usize = 16 * 1024;
 /// Size of each program group's persistent shared space.
 pub const SHARED_SIZE: usize = 64 * 1024;
+/// Consecutive faults after which an extension is quarantined: removed
+/// from its insertion point's chain until the VMM is reloaded. A single
+/// clean run (value or `next()`) resets the streak.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
 
 /// Load-time errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,8 +104,14 @@ pub enum VmmOutcome {
     /// its native behaviour.
     Value(u64),
     /// No extension handled the operation (none attached, all delegated
-    /// with `next()`, or the chain faulted): run the native code.
+    /// with `next()`, or a faulting extension's policy was
+    /// `on_fault: fallback`): run the native code.
     Fallback,
+    /// An extension with `on_fault: abort` faulted. Staged mutations were
+    /// rolled back, exactly as for `Fallback`, but the host must *fail
+    /// closed*: filter points treat the route as rejected instead of
+    /// widening policy by falling through to native acceptance.
+    Aborted,
 }
 
 struct Extension {
@@ -100,6 +122,17 @@ struct Extension {
     /// ([`verify_and_load`]); invocations execute it directly with no
     /// per-run decoding or jump-target resolution.
     prog: LoadedProgram,
+    /// Manifest-declared fuel budget; `None` uses the VMM's global
+    /// default (see [`Vmm::set_fuel`]).
+    fuel_override: Option<u64>,
+    /// Cap on per-run `ctx_malloc` allocations, clamped to [`HEAP_SIZE`].
+    mem_cap: usize,
+    /// What a fault at this extension means for the host.
+    on_fault: OnFault,
+    /// Circuit-breaker state: faults since the last clean run.
+    consecutive_faults: u32,
+    /// Tripped breaker: the extension was evicted from its chain.
+    quarantined: bool,
     runs: u64,
     errors: u64,
     /// Runs that ended in `next()` (delegated to the rest of the chain).
@@ -151,6 +184,9 @@ pub struct ExtensionStats {
     pub helper_calls: u64,
     /// Total eBPF instructions retired across all runs.
     pub insns_retired: u64,
+    /// Tripped circuit breaker: the extension was evicted from its chain
+    /// after [`QUARANTINE_THRESHOLD`] consecutive faults.
+    pub quarantined: bool,
 }
 
 /// Per-insertion-point chain counters. `runs` counts every [`Vmm::run`]
@@ -162,7 +198,16 @@ struct PointMetrics {
     runs: u64,
     values: u64,
     fallbacks: u64,
+    /// Faulted runs. Unlike the outcome counters above, this increments
+    /// whether or not metrics are enabled: faults are rare and the CI
+    /// fault-injection smoke compares it against `rollbacks`.
     errors: u64,
+    /// Faulted runs whose transaction buffer held staged mutations that
+    /// were discarded. Always counted (see `errors`).
+    rollbacks: u64,
+    /// Faulted runs surfaced as [`VmmOutcome::Aborted`] (fail-closed).
+    /// Always counted.
+    aborts: u64,
     /// End-to-end chain latency in nanoseconds (metrics-enabled runs only).
     latency: Histogram,
 }
@@ -175,6 +220,76 @@ fn point_index(p: InsertionPoint) -> usize {
         InsertionPoint::BgpDecision => 2,
         InsertionPoint::BgpOutboundFilter => 3,
         InsertionPoint::BgpEncodeMessage => 4,
+    }
+}
+
+/// Staged final state of one attribute: `Some((flags, payload))` is a
+/// set/replace, `None` a removal tombstone.
+type StagedAttr = Option<(u8, Vec<u8>)>;
+
+/// Host mutations staged by one extension chain, committed only when the
+/// chain ends cleanly (a value, or every extension delegated). Any fault
+/// discards the buffer instead, so the host observes either the whole
+/// chain's effects or none of them.
+///
+/// Reads during the chain are *read-your-writes*: `get_attr`, `has_attr`
+/// and `add_attr` consult the staged overlay before the host, so an
+/// extension sees the attributes a predecessor in the chain staged.
+#[derive(Default)]
+struct Txn {
+    /// Final staged state per attribute code, in first-touch order:
+    /// `Some((flags, payload))` = set/replace, `None` = removal. One entry
+    /// per code — restaging overwrites in place — so the commit applies
+    /// final states, never intermediate ones.
+    attrs: Vec<(u8, StagedAttr)>,
+    /// Bytes staged by `write_buf`, appended to the host buffer on commit.
+    out_buf: Vec<u8>,
+    /// Routes staged by `rib_add_route`, installed in call order.
+    rib_adds: Vec<(Ipv4Prefix, u32)>,
+}
+
+impl Txn {
+    fn is_empty(&self) -> bool {
+        self.attrs.is_empty() && self.out_buf.is_empty() && self.rib_adds.is_empty()
+    }
+
+    /// The staged overlay for `code`: `None` = untouched (read through to
+    /// the host), `Some(None)` = staged removal, `Some(Some(..))` = staged
+    /// value.
+    fn staged(&self, code: u8) -> Option<&StagedAttr> {
+        self.attrs.iter().find(|(c, _)| *c == code).map(|(_, e)| e)
+    }
+
+    fn stage_attr(&mut self, code: u8, entry: StagedAttr) {
+        match self.attrs.iter_mut().find(|(c, _)| *c == code) {
+            Some(slot) => slot.1 = entry,
+            None => self.attrs.push((code, entry)),
+        }
+    }
+
+    /// Replay the staged mutations against the host. Every operation was
+    /// validated by `HostApi::check_op` at stage time, so an error here is
+    /// a host-side contract bug; the caller logs and counts it.
+    fn commit(self, host: &mut dyn HostApi) -> Result<(), HostError> {
+        for (code, entry) in self.attrs {
+            match entry {
+                Some((flags, value)) => host.set_attr(code, flags, &value)?,
+                // A stage-time removal may target an attribute that only
+                // ever existed inside the overlay (set then removed).
+                None => {
+                    if host.has_attr(code) {
+                        host.remove_attr(code)?;
+                    }
+                }
+            }
+        }
+        if !self.out_buf.is_empty() {
+            host.write_buf(&self.out_buf)?;
+        }
+        for (prefix, nexthop) in self.rib_adds {
+            host.rib_add_route(prefix, nexthop)?;
+        }
+        Ok(())
     }
 }
 
@@ -191,6 +306,11 @@ pub struct Vmm {
     /// Most recent runtime fault, for host diagnostics. Cleared when a
     /// subsequent chain run completes without faulting.
     last_error: Option<(String, VmError)>,
+    /// Extensions evicted by the circuit breaker since load.
+    quarantines: u64,
+    /// Commit-time host failures (should be zero: `check_op` validates
+    /// every staged operation, so this counts host-side contract bugs).
+    commit_faults: u64,
     /// Per-point outcome counters, indexed by [`point_index`].
     points: [PointMetrics; 5],
     /// When set, runs are timed (two `Instant` reads per chain), outcome
@@ -220,6 +340,8 @@ impl Vmm {
             xtra: manifest.xtra.iter().map(|(k, v)| (k.clone(), v.0.clone())).collect(),
             vm_config: VmConfig::default(),
             last_error: None,
+            quarantines: 0,
+            commit_faults: 0,
             points: Default::default(),
             metrics_enabled: false,
             recorder: Box::new(NoopRecorder),
@@ -284,6 +406,11 @@ impl Vmm {
                     name: spec.name.clone(),
                     shared_idx,
                     prog: loaded,
+                    fuel_override: spec.fuel,
+                    mem_cap: HEAP_SIZE,
+                    on_fault: spec.on_fault,
+                    consecutive_faults: 0,
+                    quarantined: false,
                     runs: 0,
                     errors: 0,
                     fallbacks: 0,
@@ -307,9 +434,28 @@ impl Vmm {
         Vmm::from_manifest(&Manifest::new()).expect("empty manifest always loads")
     }
 
-    /// Override the per-run instruction budget.
+    /// Override the default per-run instruction budget. Extensions whose
+    /// manifest entry declares its own `fuel` keep that value.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.vm_config = VmConfig { fuel };
+    }
+
+    /// Cap what `ctx_malloc` may hand extension `name` per run, in bytes
+    /// (clamped to the arena's [`HEAP_SIZE`]).
+    pub fn set_mem_cap(&mut self, name: &str, cap: usize) {
+        for (_, e) in self.exts.iter_mut().filter(|(_, e)| e.name == name) {
+            e.mem_cap = cap.min(HEAP_SIZE);
+        }
+    }
+
+    /// The effective per-invocation policy for extension `name`, if
+    /// loaded: manifest-declared values with VMM defaults filled in.
+    pub fn policy_of(&self, name: &str) -> Option<ExecPolicy> {
+        self.exts.iter().find(|(_, e)| e.name == name).map(|(_, e)| ExecPolicy {
+            fuel: e.fuel_override.unwrap_or(self.vm_config.fuel),
+            mem_cap: e.mem_cap,
+            on_fault: e.on_fault,
+        })
     }
 
     /// Is any extension attached to `point`? Hosts use this to skip
@@ -336,6 +482,9 @@ impl Vmm {
             return VmmOutcome::Fallback;
         }
         let chain_start = self.metrics_enabled.then(Instant::now);
+        // All host mutations of this chain stage here; nothing touches
+        // the host until the chain's outcome is known (DESIGN.md §4d).
+        let mut txn = Txn::default();
         for k in 0..chain_len {
             // The chain was resolved at load time (`attached` caches the
             // extension indices per insertion point), so dispatching a hook
@@ -356,6 +505,8 @@ impl Vmm {
                 &mut self.shared[shared_idx].data,
             );
 
+            // The per-invocation policy: manifest overrides, VMM defaults.
+            let cfg = VmConfig { fuel: ext.fuel_override.unwrap_or(self.vm_config.fuel) };
             let ext_start = self.metrics_enabled.then(Instant::now);
             let (outcome, heap_used, metrics) = {
                 let mut dispatcher = Dispatcher {
@@ -363,12 +514,14 @@ impl Vmm {
                     xtra: &self.xtra,
                     shared: &mut self.shared[shared_idx].meta,
                     scratch: &mut self.scratch,
+                    txn: &mut txn,
+                    mem_cap: ext.mem_cap,
                     heap_used: 0,
                 };
                 // Split borrow: the pre-decoded program and the memory map
                 // are disjoint fields of the extension.
                 let (outcome, metrics) =
-                    ext.prog.run_metered(self.vm_config, &mut ext.mem, &mut dispatcher, &[]);
+                    ext.prog.run_metered(cfg, &mut ext.mem, &mut dispatcher, &[]);
                 (outcome, dispatcher.heap_used, metrics)
             };
 
@@ -388,40 +541,103 @@ impl Vmm {
             }
             match outcome {
                 Ok(ExecOutcome::Return(v)) => {
+                    ext.consecutive_faults = 0;
+                    let name_idx = idx;
                     self.last_error = None;
                     if track {
                         self.points[pi].values += 1;
                         self.finish_run(pi, point, chain_start, "value");
                     }
+                    self.commit(pi, name_idx, txn, host);
                     return VmmOutcome::Value(v);
                 }
                 Ok(ExecOutcome::Next) => {
+                    ext.consecutive_faults = 0;
                     if track {
                         ext.fallbacks += 1;
                     }
                     continue;
                 }
                 Err(e) => {
-                    // Monitored execution: stop the faulty extension, tell
-                    // the host, and fall back to native behaviour.
+                    // Monitored execution: stop the faulty extension, roll
+                    // the staged mutations back, tell the host, and honour
+                    // the extension's fault policy.
                     ext.errors += 1;
-                    host.log(&format!("xbgp: extension `{}` aborted: {e}", ext.name));
-                    self.last_error = Some((ext.name.clone(), e));
+                    ext.consecutive_faults += 1;
+                    let trip = ext.consecutive_faults >= QUARANTINE_THRESHOLD && !ext.quarantined;
+                    if trip {
+                        ext.quarantined = true;
+                    }
+                    let on_fault = ext.on_fault;
+                    let name = ext.name.clone();
+                    let rolled_back = !txn.is_empty();
+                    drop(txn); // discard staged mutations: byte-identical native state
+                    host.log(&format!("xbgp: extension `{name}` aborted: {e}"));
+                    self.last_error = Some((name.clone(), e));
+                    // Fault-path counters are unconditional: faults are
+                    // rare, and rollback accounting must not depend on
+                    // whether the host enabled metrics.
+                    self.points[pi].errors += 1;
+                    if rolled_back {
+                        self.points[pi].rollbacks += 1;
+                    }
+                    if trip {
+                        // Re-cache the chain without the quarantined
+                        // extension; subsequent runs never dispatch it.
+                        self.attached[pi].retain(|&i| i != idx);
+                        self.quarantines += 1;
+                        host.log(&format!(
+                            "xbgp: extension `{name}` quarantined after \
+                             {QUARANTINE_THRESHOLD} consecutive faults"
+                        ));
+                        if self.recorder_active {
+                            self.recorder.counter_add(
+                                "xbgp_vmm_quarantines_total",
+                                &[("extension", &name)],
+                                1,
+                            );
+                        }
+                    }
                     if track {
-                        self.points[pi].errors += 1;
                         self.finish_run(pi, point, chain_start, "error");
                     }
-                    return VmmOutcome::Fallback;
+                    return match on_fault {
+                        OnFault::Fallback => VmmOutcome::Fallback,
+                        OnFault::Abort => {
+                            self.points[pi].aborts += 1;
+                            VmmOutcome::Aborted
+                        }
+                    };
                 }
             }
         }
-        // The whole chain delegated with `next()`: a clean fallback.
+        // The whole chain delegated with `next()`: a clean fallback. The
+        // chain may still have staged mutations (an extension can mutate
+        // and then delegate); they commit exactly like a value outcome.
         self.last_error = None;
         if track {
             self.points[pi].fallbacks += 1;
             self.finish_run(pi, point, chain_start, "fallback");
         }
+        let last = *self.attached[pi].last().expect("chain non-empty");
+        self.commit(pi, last, txn, host);
         VmmOutcome::Fallback
+    }
+
+    /// Apply a chain's staged mutations to the host. `check_op` validated
+    /// every operation at stage time, so a failure here is a host bug: it
+    /// is logged against the extension that ended the chain and counted
+    /// in `xbgp_vmm_commit_faults_total`, and the remaining staged
+    /// operations are dropped.
+    fn commit(&mut self, _pi: usize, ext_idx: usize, txn: Txn, host: &mut dyn HostApi) {
+        if txn.is_empty() {
+            return;
+        }
+        if let Err(e) = txn.commit(host) {
+            self.commit_faults += 1;
+            let name = &self.exts[ext_idx].1.name;
+            host.log(&format!("xbgp: commit after extension `{name}` failed: {e}"));
+        }
     }
 
     /// Per-chain bookkeeping when a run with attached extensions ends:
@@ -477,6 +693,7 @@ impl Vmm {
                 fallbacks: e.fallbacks,
                 helper_calls: e.helper_calls,
                 insns_retired: e.insns_retired,
+                quarantined: e.quarantined,
             })
             .collect()
     }
@@ -506,7 +723,12 @@ impl Vmm {
     ///
     /// * `xbgp_vmm_runs_total{point}` and its outcome split
     ///   `xbgp_vmm_values_total` / `xbgp_vmm_fallbacks_total` /
-    ///   `xbgp_vmm_errors_total`;
+    ///   `xbgp_vmm_errors_total` / `xbgp_vmm_rollbacks_total` /
+    ///   `xbgp_vmm_aborts_total` (the fault-path counters count even with
+    ///   metrics disabled);
+    /// * `xbgp_vmm_quarantines_total` and `xbgp_vmm_commit_faults_total`
+    ///   (unlabelled), plus a per-extension
+    ///   `xbgp_vmm_extension_quarantined` 0/1 gauge-as-counter;
     /// * `xbgp_vmm_run_latency_ns{point}` histograms (timing enabled only);
     /// * per-extension `xbgp_vmm_extension_runs_total` /
     ///   `..._errors_total` / `..._fallbacks_total` /
@@ -522,10 +744,14 @@ impl Vmm {
             s.push_counter("xbgp_vmm_values_total", &labels, pm.values);
             s.push_counter("xbgp_vmm_fallbacks_total", &labels, pm.fallbacks);
             s.push_counter("xbgp_vmm_errors_total", &labels, pm.errors);
+            s.push_counter("xbgp_vmm_rollbacks_total", &labels, pm.rollbacks);
+            s.push_counter("xbgp_vmm_aborts_total", &labels, pm.aborts);
             if self.metrics_enabled {
                 s.push_histogram("xbgp_vmm_run_latency_ns", &labels, pm.latency.snapshot());
             }
         }
+        s.push_counter("xbgp_vmm_quarantines_total", &[], self.quarantines);
+        s.push_counter("xbgp_vmm_commit_faults_total", &[], self.commit_faults);
         for (point, e) in &self.exts {
             let labels = [("extension", e.name.as_str()), ("point", point.name())];
             s.push_counter("xbgp_vmm_extension_runs_total", &labels, e.runs);
@@ -533,6 +759,7 @@ impl Vmm {
             s.push_counter("xbgp_vmm_extension_fallbacks_total", &labels, e.fallbacks);
             s.push_counter("xbgp_vmm_extension_helper_calls_total", &labels, e.helper_calls);
             s.push_counter("xbgp_vmm_extension_insns_total", &labels, e.insns_retired);
+            s.push_counter("xbgp_vmm_extension_quarantined", &labels, u64::from(e.quarantined));
             if self.metrics_enabled {
                 s.push_histogram("xbgp_vmm_extension_latency_ns", &labels, e.latency.snapshot());
             }
@@ -549,6 +776,11 @@ struct Dispatcher<'a> {
     shared: &'a mut SharedMeta,
     /// VMM-owned marshalling buffer, reused across helper calls and runs.
     scratch: &'a mut Vec<u8>,
+    /// Chain-scoped transaction: every host mutation stages here and
+    /// reaches the host only if the whole chain finishes cleanly.
+    txn: &'a mut Txn,
+    /// Policy cap on what `ctx_malloc` may hand out this run.
+    mem_cap: usize,
     heap_used: usize,
 }
 
@@ -556,7 +788,7 @@ impl Dispatcher<'_> {
     /// Bump-allocate `size` bytes (8-aligned) in the ephemeral heap.
     fn heap_alloc(&mut self, size: usize) -> Option<u64> {
         let aligned = (size + 7) & !7;
-        if self.heap_used + aligned > HEAP_SIZE {
+        if self.heap_used + aligned > self.mem_cap {
             return None;
         }
         let addr = HEAP_BASE + self.heap_used as u64;
@@ -628,11 +860,20 @@ impl HelperDispatcher for Dispatcher<'_> {
             helper::GET_ATTR => {
                 let (code, dst, cap) = (args[0] as u8, args[1], args[2] as usize);
                 // Marshal through the VMM's reused scratch buffer instead
-                // of a fresh Vec per call.
-                let Dispatcher { host, scratch, .. } = self;
+                // of a fresh Vec per call. Reads see the chain's own staged
+                // writes first (read-your-writes), then the host.
+                let Dispatcher { host, scratch, txn, .. } = self;
                 scratch.clear();
-                match host.get_attr_into(code, scratch) {
-                    Some(_flags) if scratch.len() <= cap => {
+                let flags = match txn.staged(code) {
+                    Some(Some((flags, value))) => {
+                        scratch.extend_from_slice(value);
+                        Some(*flags)
+                    }
+                    Some(None) => None, // staged removal
+                    None => host.get_attr_into(code, scratch),
+                };
+                match flags {
+                    Some(_) if scratch.len() <= cap => {
                         mem.write_bytes(dst, scratch)?;
                         Value(scratch.len() as u64)
                     }
@@ -643,28 +884,56 @@ impl HelperDispatcher for Dispatcher<'_> {
                 let (code, flags, ptr, len) =
                     (args[0] as u8, args[1] as u8, args[2], args[3] as usize);
                 let data = mem.slice(ptr, len)?;
-                match self.host.set_attr(code, flags, data) {
-                    Ok(()) => Value(0),
-                    Err(_) => Value(api::XBGP_FAIL),
+                match self.host.check_op(&HostOp::SetAttr { code, flags, value: data }) {
+                    Ok(()) => {
+                        self.txn.stage_attr(code, Some((flags, data.to_vec())));
+                        Value(0)
+                    }
+                    Err(e) if e.recoverable() => Value(api::XBGP_FAIL),
+                    Err(e) => return Err(fault(id, e.to_string())),
                 }
             }
             helper::ADD_ATTR => {
                 let (code, flags, ptr, len) =
                     (args[0] as u8, args[1] as u8, args[2], args[3] as usize);
-                if self.host.has_attr(code) {
+                let present = match self.txn.staged(code) {
+                    Some(entry) => entry.is_some(),
+                    None => self.host.has_attr(code),
+                };
+                if present {
                     Value(api::XBGP_FAIL)
                 } else {
                     let data = mem.slice(ptr, len)?;
-                    match self.host.set_attr(code, flags, data) {
-                        Ok(()) => Value(0),
-                        Err(_) => Value(api::XBGP_FAIL),
+                    match self.host.check_op(&HostOp::SetAttr { code, flags, value: data }) {
+                        Ok(()) => {
+                            self.txn.stage_attr(code, Some((flags, data.to_vec())));
+                            Value(0)
+                        }
+                        Err(e) if e.recoverable() => Value(api::XBGP_FAIL),
+                        Err(e) => return Err(fault(id, e.to_string())),
                     }
                 }
             }
-            helper::REMOVE_ATTR => match self.host.remove_attr(args[0] as u8) {
-                Ok(()) => Value(0),
-                Err(_) => Value(api::XBGP_FAIL),
-            },
+            helper::REMOVE_ATTR => {
+                let code = args[0] as u8;
+                let present = match self.txn.staged(code) {
+                    Some(entry) => entry.is_some(),
+                    None => self.host.has_attr(code),
+                };
+                if !present {
+                    // `AttrNotPresent`: recoverable by definition.
+                    Value(api::XBGP_FAIL)
+                } else {
+                    match self.host.check_op(&HostOp::RemoveAttr { code }) {
+                        Ok(()) => {
+                            self.txn.stage_attr(code, None);
+                            Value(0)
+                        }
+                        Err(e) if e.recoverable() => Value(api::XBGP_FAIL),
+                        Err(e) => return Err(fault(id, e.to_string())),
+                    }
+                }
+            }
             helper::GET_XTRA => {
                 let (key_ptr, key_len, dst, cap) =
                     (args[0], args[1] as usize, args[2], args[3] as usize);
@@ -692,9 +961,13 @@ impl HelperDispatcher for Dispatcher<'_> {
             helper::WRITE_BUF => {
                 let (ptr, len) = (args[0], args[1] as usize);
                 let data = mem.slice(ptr, len)?;
-                match self.host.write_buf(data) {
-                    Ok(()) => Value(len as u64),
-                    Err(_) => Value(api::XBGP_FAIL),
+                match self.host.check_op(&HostOp::WriteBuf { len }) {
+                    Ok(()) => {
+                        self.txn.out_buf.extend_from_slice(data);
+                        Value(len as u64)
+                    }
+                    Err(e) if e.recoverable() => Value(api::XBGP_FAIL),
+                    Err(e) => return Err(fault(id, e.to_string())),
                 }
             }
             helper::EBPF_MEMCPY => {
@@ -747,9 +1020,14 @@ impl HelperDispatcher for Dispatcher<'_> {
                 if plen > 32 {
                     return Err(fault(id, format!("invalid prefix length {plen}")));
                 }
-                match self.host.rib_add_route(Ipv4Prefix::new(addr, plen), nexthop) {
-                    Ok(()) => Value(0),
-                    Err(_) => Value(api::XBGP_FAIL),
+                let prefix = Ipv4Prefix::new(addr, plen);
+                match self.host.check_op(&HostOp::RibAddRoute { prefix, nexthop }) {
+                    Ok(()) => {
+                        self.txn.rib_adds.push((prefix, nexthop));
+                        Value(0)
+                    }
+                    Err(e) if e.recoverable() => Value(api::XBGP_FAIL),
+                    Err(e) => return Err(fault(id, e.to_string())),
                 }
             }
             // `pc: 0` is a placeholder stamped over by the interpreter.
@@ -1184,6 +1462,277 @@ mod tests {
             VmmOutcome::Value(api::XBGP_FAIL)
         );
         assert_eq!(host.attrs.len(), 1);
+    }
+
+    /// `set_attr(66, <8 zero bytes>)` then dereference an unmapped address.
+    const STAGE_THEN_TRAP: &str = r"
+        mov r1, 66
+        mov r2, ATTR_FLAGS_OPT_TRANS
+        mov r3, r10
+        sub r3, 8
+        stdw [r10-8], 0
+        mov r4, 8
+        call set_attr
+        mov r1, 66
+        mov r2, ATTR_FLAGS_OPT_TRANS
+        mov r3, r10
+        sub r3, 8
+        mov r4, 8
+        call set_attr
+        lddw r1, 0x999999999
+        ldxb r0, [r1]
+        exit
+    ";
+
+    #[test]
+    fn trap_after_staged_mutations_rolls_back_host() {
+        let mut vmm = load(vec![spec(
+            "stage_then_trap",
+            InsertionPoint::BgpInboundFilter,
+            &["set_attr"],
+            STAGE_THEN_TRAP,
+        )]);
+        let mut host = MockHost::default();
+        host.attrs.push((5, 0x40, 100u32.to_be_bytes().to_vec()));
+        let native = host.attrs.clone();
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
+        assert_eq!(host.attrs, native, "staged set_attr never reached the host");
+        assert!(host.out_buf.is_empty());
+        // Fault-path counters count even with metrics disabled.
+        let s = vmm.metrics_snapshot();
+        let inbound = [("point", "bgp_inbound_filter")];
+        assert_eq!(s.counter_value("xbgp_vmm_rollbacks_total", &inbound), Some(1));
+        assert_eq!(s.counter_value("xbgp_vmm_errors_total", &inbound), Some(1));
+    }
+
+    #[test]
+    fn chain_reads_see_staged_writes_and_commit_on_value() {
+        // First extension stages attribute 66 = [7, 0, ...] and delegates;
+        // the second reads it back through get_attr (served from the
+        // transaction overlay) and returns its first byte.
+        let writer_src = r"
+            mov r1, 66
+            mov r2, ATTR_FLAGS_OPT_TRANS
+            mov r3, r10
+            sub r3, 8
+            stdw [r10-8], 7
+            mov r4, 8
+            call add_attr
+            call next
+            exit
+        ";
+        let reader_src = r"
+            mov r1, 66
+            mov r2, r10
+            sub r2, 8
+            mov r3, 8
+            call get_attr
+            jeq r0, -1, missing
+            ldxb r0, [r10-8]
+            exit
+        missing:
+            mov r0, 255
+            exit
+        ";
+        let mut vmm = load(vec![
+            spec("writer", InsertionPoint::BgpInboundFilter, &["add_attr", "next"], writer_src),
+            spec("reader", InsertionPoint::BgpInboundFilter, &["get_attr"], reader_src),
+        ]);
+        let mut host = MockHost::default();
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpInboundFilter, &mut host),
+            VmmOutcome::Value(7),
+            "reader saw the writer's staged attribute"
+        );
+        assert_eq!(host.attrs.len(), 1, "value outcome committed the staged write");
+        assert_eq!(host.attrs[0].0, 66);
+    }
+
+    #[test]
+    fn staged_writes_commit_on_clean_all_next_fallback() {
+        let writer_src = r"
+            mov r1, 66
+            mov r2, ATTR_FLAGS_OPT_TRANS
+            mov r3, r10
+            sub r3, 8
+            stdw [r10-8], 7
+            mov r4, 8
+            call add_attr
+            call next
+            exit
+        ";
+        let mut vmm = load(vec![spec(
+            "writer",
+            InsertionPoint::BgpInboundFilter,
+            &["add_attr", "next"],
+            writer_src,
+        )]);
+        let mut host = MockHost::default();
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
+        assert_eq!(host.attrs.len(), 1, "clean delegation is a committing outcome");
+    }
+
+    #[test]
+    fn quarantine_trips_after_consecutive_faults() {
+        let mut vmm = load(vec![spec(
+            "crasher",
+            InsertionPoint::BgpInboundFilter,
+            &[],
+            "lddw r1, 0x999999999\nldxb r0, [r1]\nexit",
+        )]);
+        let mut host = MockHost::default();
+        for _ in 0..QUARANTINE_THRESHOLD {
+            assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
+        }
+        let stats = vmm.stats();
+        assert!(stats[0].quarantined);
+        assert_eq!(stats[0].runs, u64::from(QUARANTINE_THRESHOLD));
+        assert!(
+            !vmm.has_extensions(InsertionPoint::BgpInboundFilter),
+            "chain re-cached without it"
+        );
+        assert!(
+            host.logs.iter().any(|l| l.contains("quarantined")),
+            "host told about the quarantine"
+        );
+        // Further runs never dispatch the quarantined extension.
+        vmm.run(InsertionPoint::BgpInboundFilter, &mut host);
+        assert_eq!(vmm.stats()[0].runs, u64::from(QUARANTINE_THRESHOLD));
+        let s = vmm.metrics_snapshot();
+        assert_eq!(s.counter_value("xbgp_vmm_quarantines_total", &[]), Some(1));
+        assert_eq!(
+            s.counter_value("xbgp_vmm_extension_quarantined", &[("extension", "crasher")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn clean_run_resets_the_fault_streak() {
+        // A bounded loop: faults under a tiny budget, returns under a
+        // large one — lets the test alternate outcomes via set_fuel.
+        let src = r"
+            mov r1, 100
+        loop:
+            sub r1, 1
+            jne r1, 0, loop
+            mov r0, 0
+            exit
+        ";
+        let mut vmm = load(vec![spec("bounded", InsertionPoint::BgpDecision, &[], src)]);
+        let mut host = MockHost::default();
+        vmm.set_fuel(10);
+        for _ in 0..QUARANTINE_THRESHOLD - 1 {
+            assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Fallback);
+        }
+        vmm.set_fuel(1_000_000);
+        assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Value(0));
+        vmm.set_fuel(10);
+        for _ in 0..QUARANTINE_THRESHOLD - 1 {
+            assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Fallback);
+        }
+        assert!(!vmm.stats()[0].quarantined, "the clean run reset the streak");
+        assert!(vmm.has_extensions(InsertionPoint::BgpDecision));
+        vmm.run(InsertionPoint::BgpDecision, &mut host);
+        assert!(vmm.stats()[0].quarantined, "the streak completed after the reset");
+    }
+
+    #[test]
+    fn abort_policy_fails_closed_instead_of_falling_back() {
+        let mut s = spec(
+            "strict",
+            InsertionPoint::BgpInboundFilter,
+            &[],
+            "lddw r1, 0x999999999\nldxb r0, [r1]\nexit",
+        );
+        s.on_fault = crate::policy::OnFault::Abort;
+        let mut vmm = load(vec![s]);
+        let mut host = MockHost::default();
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Aborted);
+        let snap = vmm.metrics_snapshot();
+        let inbound = [("point", "bgp_inbound_filter")];
+        assert_eq!(snap.counter_value("xbgp_vmm_aborts_total", &inbound), Some(1));
+        assert_eq!(snap.counter_value("xbgp_vmm_errors_total", &inbound), Some(1));
+    }
+
+    #[test]
+    fn manifest_fuel_override_beats_the_vmm_default() {
+        let mut s = spec("spinner", InsertionPoint::BgpDecision, &[], "loop: ja loop");
+        s.fuel = Some(50);
+        let mut vmm = load(vec![s]);
+        vmm.set_fuel(u64::MAX); // the global default must not apply
+        let mut host = MockHost::default();
+        assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Fallback);
+        assert!(matches!(vmm.last_error(), Some((_, VmError::FuelExhausted))));
+        let policy = vmm.policy_of("spinner").unwrap();
+        assert_eq!(policy.fuel, 50);
+        assert_eq!(policy.on_fault, crate::policy::OnFault::Fallback);
+    }
+
+    #[test]
+    fn mem_cap_limits_ephemeral_allocation() {
+        // ctx_malloc(64) twice; returns how many came back non-null.
+        let src = r"
+            mov r6, 0
+            mov r1, 64
+            call ctx_malloc
+            jeq r0, 0, second
+            add r6, 1
+        second:
+            mov r1, 64
+            call ctx_malloc
+            jeq r0, 0, done
+            add r6, 1
+        done:
+            mov r0, r6
+            exit
+        ";
+        let mut vmm =
+            load(vec![spec("allocator", InsertionPoint::BgpDecision, &["ctx_malloc"], src)]);
+        let mut host = MockHost::default();
+        assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Value(2));
+        vmm.set_mem_cap("allocator", 64);
+        assert_eq!(
+            vmm.run(InsertionPoint::BgpDecision, &mut host),
+            VmmOutcome::Value(1),
+            "the second allocation exceeds the 64-byte cap"
+        );
+        assert_eq!(vmm.policy_of("allocator").unwrap().mem_cap, 64);
+    }
+
+    #[test]
+    fn read_only_attr_write_is_a_hard_fault_with_rollback() {
+        // Stage one good write, then hit a denied code: the whole
+        // transaction — including the good write — must roll back.
+        let src = r"
+            mov r1, 66
+            mov r2, ATTR_FLAGS_OPT_TRANS
+            mov r3, r10
+            sub r3, 8
+            stdw [r10-8], 0
+            mov r4, 8
+            call set_attr
+            mov r1, 5
+            mov r2, ATTR_FLAGS_WELL_KNOWN
+            mov r3, r10
+            sub r3, 8
+            mov r4, 4
+            call set_attr
+            mov r0, 0
+            exit
+        ";
+        let mut vmm =
+            load(vec![spec("toucher", InsertionPoint::BgpInboundFilter, &["set_attr"], src)]);
+        let mut host = MockHost { deny_attrs: vec![5], ..MockHost::default() };
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
+        let (name, err) = vmm.last_error().expect("hard fault recorded");
+        assert_eq!(name, "toucher");
+        match err {
+            VmError::HelperFault { reason, .. } => {
+                assert!(reason.contains("read-only"), "typed reason surfaced: {reason}")
+            }
+            other => panic!("expected HelperFault, got {other:?}"),
+        }
+        assert!(host.attrs.is_empty(), "the staged attribute 66 rolled back too");
     }
 
     #[test]

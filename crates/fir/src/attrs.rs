@@ -197,6 +197,36 @@ impl FirAttrs {
         }
     }
 
+    /// Stage-time validation for [`FirAttrs::set_neutral`]: would this
+    /// neutral payload convert into the host representation? Pure — the
+    /// VMM calls it from `check_op` before buffering the mutation, so a
+    /// later commit cannot fail on a malformed payload. Reasons carry no
+    /// `attribute {code}:` prefix; the caller wraps them in a typed error.
+    pub fn validate_neutral(code: u8, value: &[u8]) -> Result<(), String> {
+        let need = |n: usize| -> Result<(), String> {
+            if value.len() == n {
+                Ok(())
+            } else {
+                Err(format!("expected {n} bytes, got {}", value.len()))
+            }
+        };
+        match code {
+            1 => {
+                need(1)?;
+                Origin::from_u8(value[0]).map_err(|e| e.to_string())?;
+            }
+            2 => {
+                AsPath::decode_body(value, 4).map_err(|e| e.to_string())?;
+            }
+            3..=5 | 9 => need(4)?,
+            8 | 10 if !value.len().is_multiple_of(4) => {
+                return Err("payload not a multiple of 4".into());
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// xBGP `set_attr`: overwrite (or insert) attribute `code` from a
     /// network-byte-order payload, converting into the host representation.
     pub fn set_neutral(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {

@@ -524,6 +524,15 @@ impl FirDaemon {
                     }
                     VmmOutcome::Value(_) => self.stats.xbgp_accepted += 1,
                     VmmOutcome::Fallback => {}
+                    // `on_fault = abort`: the filter failed, so fail
+                    // closed — reject the route rather than widen policy.
+                    VmmOutcome::Aborted => {
+                        self.stats.xbgp_rejected += 1;
+                        if self.adj_in[idx].remove(prefix).is_some() {
+                            self.run_decision(ctx, *prefix, pending_per_peer);
+                        }
+                        continue;
+                    }
                 }
                 if let Some(m) = modified {
                     entry_attrs = self.intern.intern(m);
@@ -603,7 +612,9 @@ impl FirDaemon {
                     self.stats.xbgp_decisions += 1;
                     return v == api::DECISION_PREFER_NEW;
                 }
-                VmmOutcome::Fallback => {}
+                // The decision point has a sound native answer, so both
+                // fallback and abort degrade to the RFC 4271 comparison.
+                VmmOutcome::Fallback | VmmOutcome::Aborted => {}
             }
         }
         let igp = &|nh: u32| self.igp_metric_to(nh);
@@ -736,6 +747,11 @@ impl FirDaemon {
                     true
                 }
                 VmmOutcome::Fallback => self.native_export_policy(q, entry),
+                // Fail closed: a broken `abort` filter exports nothing.
+                VmmOutcome::Aborted => {
+                    self.stats.xbgp_rejected += 1;
+                    false
+                }
             }
         } else {
             self.native_export_policy(q, entry)

@@ -15,7 +15,7 @@
 use crate::attrs::FirAttrs;
 use rpki::{RoaHashTable, RoaTable};
 use xbgp_core::api::{NextHopInfo, PeerInfo};
-use xbgp_core::HostApi;
+use xbgp_core::{HostApi, HostError, HostOp};
 use xbgp_wire::Ipv4Prefix;
 
 /// How the current insertion point exposes route attributes.
@@ -36,6 +36,12 @@ pub enum AttrAccess<'a> {
 }
 
 impl AttrAccess<'_> {
+    /// Non-mutating probe used by `check_op`: can this point write
+    /// attributes at all? (A `write()` call would clone on a Cow point.)
+    fn writable(&self) -> bool {
+        !matches!(self, AttrAccess::None | AttrAccess::Read(_))
+    }
+
     fn read(&self) -> Option<&FirAttrs> {
         match self {
             AttrAccess::None => None,
@@ -100,10 +106,6 @@ impl HostApi for FirXbgpCtx<'_> {
         self.args.get(idx as usize).copied()
     }
 
-    fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
-        self.attrs.read()?.neutral_payload(code)
-    }
-
     fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
         self.attrs.read()?.neutral_payload_into(code, out)
     }
@@ -112,31 +114,68 @@ impl HostApi for FirXbgpCtx<'_> {
         self.attrs.read().is_some_and(|a| a.has_neutral(code))
     }
 
-    fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {
-        self.attrs
-            .write()
-            .ok_or_else(|| "attributes are read-only at this insertion point".to_string())?
-            .set_neutral(code, flags, value)
+    fn check_op(&self, op: &HostOp<'_>) -> Result<(), HostError> {
+        match op {
+            HostOp::SetAttr { code, value, .. } => {
+                if !self.attrs.writable() {
+                    return Err(HostError::ReadOnlyPoint { op: "set_attr" });
+                }
+                FirAttrs::validate_neutral(*code, value)
+                    .map_err(|reason| HostError::BadAttrValue { code: *code, reason })
+            }
+            HostOp::RemoveAttr { code } => {
+                if !self.attrs.writable() {
+                    Err(HostError::ReadOnlyPoint { op: "remove_attr" })
+                } else if (1..=3).contains(code) {
+                    Err(HostError::MandatoryAttr { code: *code })
+                } else {
+                    Ok(())
+                }
+            }
+            HostOp::WriteBuf { .. } => {
+                if self.out_buf.is_some() {
+                    Ok(())
+                } else {
+                    Err(HostError::NoOutputBuffer)
+                }
+            }
+            HostOp::RibAddRoute { .. } => Ok(()),
+        }
     }
 
-    fn remove_attr(&mut self, code: u8) -> Result<(), String> {
+    fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), HostError> {
         self.attrs
             .write()
-            .ok_or_else(|| "attributes are read-only at this insertion point".to_string())?
+            .ok_or(HostError::ReadOnlyPoint { op: "set_attr" })?
+            .set_neutral(code, flags, value)
+            .map_err(|reason| HostError::BadAttrValue { code, reason })
+    }
+
+    fn remove_attr(&mut self, code: u8) -> Result<(), HostError> {
+        self.attrs
+            .write()
+            .ok_or(HostError::ReadOnlyPoint { op: "remove_attr" })?
             .remove_neutral(code)
+            .map_err(|_| {
+                if (1..=3).contains(&code) {
+                    HostError::MandatoryAttr { code }
+                } else {
+                    HostError::AttrNotPresent { code }
+                }
+            })
     }
 
     fn get_xtra(&self, key: &str) -> Option<Vec<u8>> {
         self.xtra.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
     }
 
-    fn write_buf(&mut self, data: &[u8]) -> Result<(), String> {
+    fn write_buf(&mut self, data: &[u8]) -> Result<(), HostError> {
         match self.out_buf.as_deref_mut() {
             Some(buf) => {
                 buf.extend_from_slice(data);
                 Ok(())
             }
-            None => Err("no output buffer at this insertion point".into()),
+            None => Err(HostError::NoOutputBuffer),
         }
     }
 
@@ -147,7 +186,7 @@ impl HostApi for FirXbgpCtx<'_> {
         }
     }
 
-    fn rib_add_route(&mut self, prefix: Ipv4Prefix, nexthop: u32) -> Result<(), String> {
+    fn rib_add_route(&mut self, prefix: Ipv4Prefix, nexthop: u32) -> Result<(), HostError> {
         self.rib_adds.push((prefix, nexthop));
         Ok(())
     }

@@ -1,14 +1,18 @@
 //! xbgp-sim — run a declarative network scenario.
 //!
 //! Usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE]
-//!                 [--log-level LEVEL]
+//!                 [--log-level LEVEL] [--fault-rate R]
 //!
 //! See `xbgp_harness::scenario` for the document format. Exit code 0 when
 //! every `expect_route` check passes, 1 otherwise. `--metrics-out` writes
 //! the final per-router metrics snapshot as a JSON document. `--shards N`
 //! splits originated prefixes across N replica simulations on worker
 //! threads (see `xbgp_harness::shard`); `--shards 1` is the sequential
-//! path.
+//! path. `--fault-rate R` (in `[0, 1]`) overrides the scenario's
+//! `fault_rate`: every router gets the `fault_inject` probe, which traps
+//! mid-chain after staging host mutations on roughly that fraction of
+//! inbound runs — a live check that transactional rollback holds under
+//! the scenario's real workload.
 
 use std::process::ExitCode;
 use xbgp_obs::export;
@@ -18,6 +22,7 @@ fn main() -> ExitCode {
     let mut scenario_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut shards = 1usize;
+    let mut fault_rate: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,6 +46,18 @@ fn main() -> ExitCode {
                 metrics_out = Some(path.clone());
                 i += 2;
             }
+            "--fault-rate" => {
+                let Some(r) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    xbgp_obs::error!("--fault-rate needs a number in [0, 1]");
+                    return ExitCode::from(2);
+                };
+                if !(0.0..=1.0).contains(&r) {
+                    xbgp_obs::error!("--fault-rate must be in [0, 1], got {r}");
+                    return ExitCode::from(2);
+                }
+                fault_rate = Some(r);
+                i += 2;
+            }
             "--log-level" => {
                 let Some(level) =
                     args.get(i + 1).and_then(|s| xbgp_obs::logging::Level::from_str_loose(s))
@@ -62,7 +79,9 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = scenario_path else {
-        xbgp_obs::error!("usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE]");
+        xbgp_obs::error!(
+            "usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE] [--fault-rate R]"
+        );
         return ExitCode::from(2);
     };
     let json = match std::fs::read_to_string(&path) {
@@ -72,13 +91,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let scenario = match xbgp_harness::scenario::parse(&json) {
+    let mut scenario = match xbgp_harness::scenario::parse(&json) {
         Ok(s) => s,
         Err(e) => {
             xbgp_obs::error!("invalid scenario: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(r) = fault_rate {
+        scenario.fault_rate = r;
+    }
     match xbgp_harness::scenario::run_sharded(&scenario, shards) {
         Ok(report) => {
             println!("scenario: {}", report.name);
@@ -88,6 +110,15 @@ fn main() -> ExitCode {
             println!("final tables:");
             for (router, n) in &report.tables {
                 println!("  {router:<16} {n} route(s)");
+            }
+            if scenario.fault_rate > 0.0 {
+                let faults = report.metrics.counter_sum("xbgp_vmm_errors_total");
+                let rollbacks = report.metrics.counter_sum("xbgp_vmm_rollbacks_total");
+                let quarantines = report.metrics.counter_sum("xbgp_vmm_quarantines_total");
+                println!(
+                    "fault injection: {faults} fault(s), {rollbacks} rollback(s), \
+                     {quarantines} quarantine(s)"
+                );
             }
             if let Some(out) = metrics_out {
                 let doc = export::to_json(&report.metrics).to_string_pretty();

@@ -59,6 +59,12 @@ pub struct Scenario {
     pub events: Vec<Event>,
     /// Virtual time to run after the last event (seconds). Default 10.
     pub settle_secs: u64,
+    /// Fault-injection rate in `[0, 1]`: when positive, every router gets
+    /// the `fault_inject` probe appended to its manifest, trapping
+    /// mid-chain (after staging host mutations) on roughly this fraction
+    /// of inbound-filter invocations. Exercises the transactional
+    /// execution contract under a real workload; default 0 (off).
+    pub fault_rate: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -183,6 +189,13 @@ fn u64_field_or(v: &Value, ctx: &str, key: &str, default: u64) -> Result<u64, St
     }
 }
 
+fn f64_field_or(v: &Value, ctx: &str, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(n) => n.as_f64().ok_or_else(|| format!("{ctx}: `{key}` must be a number")),
+    }
+}
+
 fn bool_field_or(v: &Value, ctx: &str, key: &str, default: bool) -> Result<bool, String> {
     match v.get(key) {
         None => Ok(default),
@@ -237,7 +250,15 @@ fn list_field<'a, T>(
 impl Scenario {
     pub fn from_value(v: &Value) -> Result<Scenario, String> {
         let ctx = "scenario";
-        check_fields(v, ctx, &["name", "routers", "links", "igp", "events", "settle_secs"])?;
+        check_fields(
+            v,
+            ctx,
+            &["name", "routers", "links", "igp", "events", "settle_secs", "fault_rate"],
+        )?;
+        let fault_rate = f64_field_or(v, ctx, "fault_rate", 0.0)?;
+        if !(0.0..=1.0).contains(&fault_rate) {
+            return Err(format!("{ctx}: `fault_rate` must be in [0, 1], got {fault_rate}"));
+        }
         Ok(Scenario {
             name: str_field(v, ctx, "name")?,
             routers: list_field(v, ctx, "routers", true, |r, c| RouterSpec::from_value(r, &c))?,
@@ -248,6 +269,7 @@ impl Scenario {
             },
             events: list_field(v, ctx, "events", false, |e, c| Event::from_value(e, &c))?,
             settle_secs: u64_field_or(v, ctx, "settle_secs", 10)?,
+            fault_rate,
         })
     }
 }
@@ -547,7 +569,16 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
             .iter()
             .map(|p| p.parse::<Ipv4Prefix>().map(|px| (px, my_addr)))
             .collect::<Result<_, _>>()?;
-        let manifest = r.extensions.as_ref().map(build_manifest).transpose()?;
+        let mut manifest = r.extensions.as_ref().map(build_manifest).transpose()?;
+        if scenario.fault_rate > 0.0 {
+            // A rate of 1/N becomes "trap every Nth inbound run". The probe
+            // delegates (`next`) on clean runs, so appending it leaves the
+            // router's own chain semantics intact.
+            let period = (1.0 / scenario.fault_rate).round().max(1.0) as u64;
+            manifest
+                .get_or_insert_with(Manifest::new)
+                .push(xbgp_progs::fault_inject::extension(period));
+        }
         let xbgp_roas = match r.extensions.as_ref().and_then(|e| e.roas_csv.as_deref()) {
             Some(csv) => Some(rpki::parse_roa_csv(csv).map_err(|e| e.to_string())?),
             None => None,
@@ -898,6 +929,51 @@ mod tests {
             assert_eq!(sharded.tables, seq.tables, "shards={shards}");
             assert!(sharded.all_passed());
         }
+    }
+
+    #[test]
+    fn fault_rate_injects_the_probe_and_routing_survives() {
+        // Every inbound run faults (rate 1.0): all staged mutations roll
+        // back, every route still converges natively, and the rollbacks
+        // are visible in the merged metrics. The probe quarantines itself
+        // at rate 1.0 (three consecutive faults), which must also show up.
+        let json = r#"{
+            "name": "fault-smoke",
+            "routers": [
+                { "name": "a", "implementation": "fir", "asn": 65001,
+                  "router_id": "10.0.0.1",
+                  "originate": ["10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16", "10.4.0.0/16"] },
+                { "name": "b", "implementation": "wren", "asn": 65002,
+                  "router_id": "10.0.0.2", "originate": ["10.9.0.0/16"] }
+            ],
+            "links": [ { "a": "a", "b": "b" } ],
+            "events": [
+                { "at_secs": 5, "expect_route": { "router": "b", "prefix": "10.1.0.0/16", "present": true } },
+                { "at_secs": 5, "expect_route": { "router": "a", "prefix": "10.9.0.0/16", "present": true } }
+            ],
+            "fault_rate": 1.0
+        }"#;
+        let scenario = parse(json).unwrap();
+        assert_eq!(scenario.fault_rate, 1.0);
+        let report = run(&scenario).unwrap();
+        assert!(report.all_passed(), "{:?}", report.checks);
+        assert!(report.tables.iter().all(|(_, n)| *n == 5), "{:?}", report.tables);
+        assert!(report.metrics.counter_sum("xbgp_vmm_rollbacks_total") > 0, "rollbacks counted");
+        assert!(report.metrics.counter_sum("xbgp_vmm_quarantines_total") > 0);
+
+        // A gentler rate (every 2nd run) never trips the breaker.
+        let json = json.replace("\"fault_rate\": 1.0", "\"fault_rate\": 0.5");
+        let report = run(&parse(&json).unwrap()).unwrap();
+        assert!(report.all_passed(), "{:?}", report.checks);
+        assert!(report.metrics.counter_sum("xbgp_vmm_rollbacks_total") > 0);
+        assert_eq!(report.metrics.counter_sum("xbgp_vmm_quarantines_total"), 0);
+    }
+
+    #[test]
+    fn fault_rate_out_of_range_is_rejected() {
+        let err =
+            parse(r#"{"name": "x", "routers": [], "links": [], "fault_rate": 1.5}"#).unwrap_err();
+        assert!(err.contains("fault_rate"), "{err}");
     }
 
     #[test]

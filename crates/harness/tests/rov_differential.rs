@@ -51,8 +51,11 @@ impl HostApi for RovHost<'_> {
         Some(self.prefix)
     }
 
-    fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
-        (code == 2).then(|| (0x40, self.as_path_raw.clone()))
+    fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
+        (code == 2).then(|| {
+            out.extend_from_slice(&self.as_path_raw);
+            0x40
+        })
     }
 
     fn check_origin(&self, prefix: Ipv4Prefix, origin_asn: u32) -> u64 {

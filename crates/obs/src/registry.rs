@@ -198,6 +198,21 @@ impl Snapshot {
         })
     }
 
+    /// Sum a counter across *all* of its label sets — e.g. total
+    /// rollbacks regardless of insertion point or daemon. Returns 0 when
+    /// the counter is absent, so callers asserting "no rollbacks" don't
+    /// have to distinguish missing from zero.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match &m.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Look up a gauge by name and a subset of its labels.
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
         self.find(name, labels).and_then(|m| match &m.value {
@@ -246,6 +261,16 @@ mod tests {
         assert_eq!(s.counter_value("runs_total", &[("point", "decision")]), Some(3));
         assert_eq!(s.gauge_value("rib_size", &[]), Some(100));
         assert_eq!(s.histogram_value("latency_ns", &[]).unwrap().count, 1);
+    }
+
+    #[test]
+    fn counter_sum_totals_across_label_sets() {
+        let mut s = Snapshot::new();
+        s.push_counter("rollbacks", &[("point", "inbound_filter")], 3);
+        s.push_counter("rollbacks", &[("point", "decision")], 2);
+        s.push_gauge("rollbacks", &[("point", "bogus")], 100); // wrong kind: ignored
+        assert_eq!(s.counter_sum("rollbacks"), 5);
+        assert_eq!(s.counter_sum("never_registered"), 0);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+; Fault-injection probe (② BGP_INBOUND_FILTER). Not one of the paper's
+; use cases: this program exists to exercise the transactional execution
+; contract (DESIGN.md §4d) under load. A shared-memory counter tracks
+; invocations across routes; every PERIOD-th run it stages two attribute
+; writes and then dereferences an unmapped address, trapping mid-chain.
+; The VMM must discard both staged writes — the Loc-RIB stays
+; byte-identical to a native run. All other invocations delegate.
+;
+; PERIOD is prepended by `fault_inject::source(period)` as an .equ.
+
+        mov r1, 1                   ; shared counter under key 1
+        call ctx_shared_get
+        jne r0, 0, have
+        mov r1, 1
+        mov r2, 8
+        call ctx_shared_malloc
+        jeq r0, 0, pass             ; no shared space: never fault
+have:
+        mov r6, r0
+        ldxdw r7, [r6]
+        add r7, 1
+        stxdw [r6], r7
+        mod r7, PERIOD
+        jne r7, 0, pass
+        ; Stage two mutations of a scratch attribute, then trap. The
+        ; rollback must erase both; nothing may reach the host.
+        mov r1, FAULT_ATTR
+        mov r2, ATTR_FLAGS_OPT_TRANS
+        mov r3, r10
+        sub r3, 8
+        stdw [r10-8], 0xbad
+        mov r4, 8
+        call set_attr
+        mov r1, FAULT_ATTR
+        mov r2, ATTR_FLAGS_OPT_TRANS
+        mov r3, r10
+        sub r3, 8
+        stdw [r10-8], 0xdead
+        mov r4, 8
+        call set_attr
+        lddw r1, 0x999999999
+        ldxb r0, [r1]               ; unmapped: traps
+        exit
+pass:
+        call next
+        exit

@@ -244,6 +244,45 @@ pub mod origin_validation {
     }
 }
 
+/// Fault-injection probe — not one of the paper's use cases. Exercises
+/// the transactional execution contract (DESIGN.md §4d): every `period`-th
+/// invocation stages two attribute writes and traps mid-run, so a correct
+/// VMM leaves the Loc-RIB byte-identical to a native run; all other
+/// invocations delegate with `next()`. Used by the harness's
+/// `--fault-rate` option and the fault-injection integration tests.
+pub mod fault_inject {
+    use super::*;
+
+    /// Assembly template; `PERIOD` and `FAULT_ATTR` are prepended by
+    /// [`source`].
+    pub const TEMPLATE: &str = include_str!("../asm/fault_inject.s");
+
+    /// Scratch attribute code the probe stages (never committed).
+    pub const FAULT_ATTR: u8 = 77;
+
+    /// The probe's source with a concrete fault period (clamped to ≥ 1;
+    /// period 1 faults on every invocation).
+    pub fn source(period: u64) -> String {
+        format!(".equ PERIOD, {}\n.equ FAULT_ATTR, {}\n{}", period.max(1), FAULT_ATTR, TEMPLATE)
+    }
+
+    pub fn extension(period: u64) -> ExtensionSpec {
+        ExtensionSpec::from_program(
+            "fault_inject",
+            "fault_inject",
+            InsertionPoint::BgpInboundFilter,
+            &["ctx_shared_get", "ctx_shared_malloc", "set_attr", "next"],
+            &assemble(&source(period)),
+        )
+    }
+
+    pub fn manifest(period: u64) -> Manifest {
+        let mut m = Manifest::new();
+        m.push(extension(period));
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +685,32 @@ mod tests {
         assert!(vmm
             .shared_read(origin_validation::GROUP, origin_validation::COUNTERS_KEY)
             .is_none());
+    }
+
+    #[test]
+    fn fault_inject_traps_every_nth_run_and_rolls_back() {
+        let mut vmm = Vmm::from_manifest(&fault_inject::manifest(3)).unwrap();
+        let point = xbgp_core::InsertionPoint::BgpInboundFilter;
+        let mut h = host();
+        h.attrs.push((5, 0x40, 100u32.to_be_bytes().to_vec()));
+        let native = h.attrs.clone();
+
+        // Runs 1 and 2 delegate cleanly; run 3 stages two writes and traps.
+        assert_eq!(vmm.run(point, &mut h), VmmOutcome::Fallback);
+        assert!(vmm.last_error().is_none());
+        assert_eq!(vmm.run(point, &mut h), VmmOutcome::Fallback);
+        assert!(vmm.last_error().is_none());
+        assert_eq!(vmm.run(point, &mut h), VmmOutcome::Fallback);
+        assert!(vmm.last_error().is_some(), "third run trapped");
+        assert_eq!(h.attrs, native, "staged writes rolled back");
+        assert!(!h.attrs.iter().any(|(c, _, _)| *c == fault_inject::FAULT_ATTR));
+
+        // The period resets the streak, so the probe never self-quarantines.
+        for _ in 0..12 {
+            vmm.run(point, &mut h);
+        }
+        assert!(!vmm.stats()[0].quarantined);
+        assert_eq!(h.attrs, native);
     }
 }
 

@@ -71,8 +71,10 @@ impl HelperDispatcher for NoHelpers {
 /// Interpreter tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct VmConfig {
-    /// Maximum number of instructions one run may execute before being
-    /// stopped (the paper's "monitors their execution and stops them").
+    /// Instruction budget for one run (the paper's "monitors their
+    /// execution and stops them"). Enforced at loop back-edges and helper
+    /// calls, so a run may overshoot by at most one straight-line basic
+    /// block before being stopped.
     pub fuel: u64,
 }
 
@@ -121,8 +123,14 @@ impl LoadedProgram {
 
     /// Execute the program and report [`RunMetrics`] alongside the outcome.
     ///
-    /// The metrics are valid for faulting runs too: a program stopped by
-    /// `FuelExhausted` reports exactly `config.fuel` instructions retired.
+    /// Fuel is charged per instruction but the balance is only *checked*
+    /// at loop back-edges (taken jumps that do not advance the pc) and at
+    /// helper calls — the two places a program can spend unbounded time —
+    /// so straight-line code pays nothing beyond the decrement. A program
+    /// can therefore overrun its budget by at most one basic block; a
+    /// run stopped by `FuelExhausted` reports *at least* `config.fuel`
+    /// instructions retired (exactly `config.fuel` when the stopping
+    /// instruction is itself the back-edge, as in a tight loop).
     pub fn run_metered(
         &self,
         config: VmConfig,
@@ -144,7 +152,11 @@ impl LoadedProgram {
 
         let code = &self.code[..];
         let mut pc: usize = 0;
-        let mut fuel = config.fuel;
+        // Signed so the balance can dip below zero between checks: the
+        // per-instruction cost is an unconditional decrement, and only
+        // back-edges and calls compare against zero.
+        let mut fuel: i64 = config.fuel.min(i64::MAX as u64) as i64;
+        let budget = fuel;
         let mut helper_calls: u64 = 0;
 
         // Binary ALU forms: f(dst, operand) → dst, then fall through.
@@ -176,12 +188,24 @@ impl LoadedProgram {
                 pc += 1;
             }};
         }
+        // Taken branches whose target does not advance the pc are the
+        // only way to revisit an instruction, so they are where the fuel
+        // balance is enforced (see the `run_metered` doc).
+        macro_rules! back_edge {
+            ($target:expr) => {
+                if $target <= pc && fuel <= 0 {
+                    return Err(VmError::FuelExhausted);
+                }
+            };
+        }
         // Conditional jumps: taken branches go straight to the pre-resolved
         // dense target, no arithmetic or range check.
         macro_rules! jmp64i {
             ($ins:expr, $f:expr) => {
                 pc = if $f(reg[$ins.dst as usize], $ins.imm) {
-                    $ins.target as usize
+                    let t = $ins.target as usize;
+                    back_edge!(t);
+                    t
                 } else {
                     pc + 1
                 }
@@ -190,7 +214,9 @@ impl LoadedProgram {
         macro_rules! jmp64r {
             ($ins:expr, $f:expr) => {
                 pc = if $f(reg[$ins.dst as usize], reg[$ins.src as usize]) {
-                    $ins.target as usize
+                    let t = $ins.target as usize;
+                    back_edge!(t);
+                    t
                 } else {
                     pc + 1
                 }
@@ -199,7 +225,9 @@ impl LoadedProgram {
         macro_rules! jmp32i {
             ($ins:expr, $f:expr) => {
                 pc = if $f(reg[$ins.dst as usize] as u32, $ins.imm as u32) {
-                    $ins.target as usize
+                    let t = $ins.target as usize;
+                    back_edge!(t);
+                    t
                 } else {
                     pc + 1
                 }
@@ -208,7 +236,9 @@ impl LoadedProgram {
         macro_rules! jmp32r {
             ($ins:expr, $f:expr) => {
                 pc = if $f(reg[$ins.dst as usize] as u32, reg[$ins.src as usize] as u32) {
-                    $ins.target as usize
+                    let t = $ins.target as usize;
+                    back_edge!(t);
+                    t
                 } else {
                     pc + 1
                 }
@@ -220,9 +250,6 @@ impl LoadedProgram {
         // fuel arithmetic afterwards, whatever the exit path.
         let result = (|| -> Result<ExecOutcome, VmError> {
             loop {
-                if fuel == 0 {
-                    return Err(VmError::FuelExhausted);
-                }
                 fuel -= 1;
                 let ins = code[pc];
                 match ins.op {
@@ -424,8 +451,15 @@ impl LoadedProgram {
                         mem.store8(a, reg[ins.src as usize] as u8)?;
                         pc += 1;
                     }
-                    DOp::Ja => pc = ins.target as usize,
+                    DOp::Ja => {
+                        let t = ins.target as usize;
+                        back_edge!(t);
+                        pc = t;
+                    }
                     DOp::Call => {
+                        if fuel <= 0 {
+                            return Err(VmError::FuelExhausted);
+                        }
                         helper_calls += 1;
                         let args5 = [reg[1], reg[2], reg[3], reg[4], reg[5]];
                         match helpers.call(ins.target, args5, mem) {
@@ -498,7 +532,7 @@ impl LoadedProgram {
                 }
             }
         })();
-        let fuel_consumed = config.fuel - fuel;
+        let fuel_consumed = (budget - fuel) as u64;
         (result, RunMetrics { insns_retired: fuel_consumed, helper_calls, fuel_consumed })
     }
 }
@@ -949,6 +983,30 @@ mod tests {
         assert_eq!(m.fuel_consumed, 123);
         assert_eq!(m.insns_retired, 123);
         assert_eq!(m.helper_calls, 0);
+    }
+
+    #[test]
+    fn straight_line_code_is_not_stopped_between_checks() {
+        // Fuel is only enforced at back-edges and calls: a loop-free,
+        // call-free program runs to completion even on an empty budget,
+        // overshooting by exactly its own length.
+        let prog = Program::new(vec![build::mov_imm(0, 9), build::exit()]);
+        let mut mem = MemoryMap::new();
+        let vm = Vm::with_config(&prog, VmConfig { fuel: 0 });
+        let (out, m) = vm.run_metered(&mut mem, &mut NoHelpers, &[]);
+        assert_eq!(out, Ok(ExecOutcome::Return(9)));
+        assert_eq!(m.insns_retired, 2);
+    }
+
+    #[test]
+    fn helper_calls_are_fuel_check_points() {
+        // A program that only ever jumps *forward* to a call still cannot
+        // run for free: the call site enforces the budget.
+        let prog = Program::new(vec![build::call(1), build::exit()]);
+        let mut mem = MemoryMap::new();
+        let vm = Vm::with_config(&prog, VmConfig { fuel: 0 });
+        let (out, _) = vm.run_metered(&mut mem, &mut Doubler, &[]);
+        assert_eq!(out, Err(VmError::FuelExhausted));
     }
 
     #[test]

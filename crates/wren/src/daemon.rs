@@ -355,7 +355,9 @@ impl WrenDaemon {
                     self.stats.xbgp_decisions += 1;
                     return v == api::DECISION_PREFER_NEW;
                 }
-                VmmOutcome::Fallback => {}
+                // The decision point has a sound native answer, so both
+                // fallback and abort degrade to the native comparison.
+                VmmOutcome::Fallback | VmmOutcome::Aborted => {}
             }
         }
         let dlp = self.cfg.default_local_pref;
@@ -482,6 +484,14 @@ impl WrenDaemon {
                     }
                     VmmOutcome::Value(_) => self.stats.xbgp_accepted += 1,
                     VmmOutcome::Fallback => {}
+                    // `on_fault = abort`: the filter failed, so fail
+                    // closed — reject the route rather than widen policy.
+                    VmmOutcome::Aborted => {
+                        self.stats.xbgp_rejected += 1;
+                        let change = self.table.withdraw(*net, SrcId::Channel(ch));
+                        self.propagate(ctx, *net, change);
+                        continue;
+                    }
                 }
                 if let Some(m) = modified {
                     route_attrs = Rc::new(m);
@@ -648,6 +658,11 @@ impl WrenDaemon {
                     true
                 }
                 VmmOutcome::Fallback => self.export_policy_native(ch, rte),
+                // Fail closed: a broken `abort` filter exports nothing.
+                VmmOutcome::Aborted => {
+                    self.stats.xbgp_rejected += 1;
+                    false
+                }
             }
         } else {
             self.export_policy_native(ch, rte)

@@ -10,7 +10,7 @@
 use crate::ealist::EaList;
 use rpki::{RoaHashTable, RoaTable};
 use xbgp_core::api::{NextHopInfo, PeerInfo};
-use xbgp_core::HostApi;
+use xbgp_core::{HostApi, HostError, HostOp};
 use xbgp_wire::Ipv4Prefix;
 
 /// How the current insertion point exposes the route's `ea_list`.
@@ -26,6 +26,12 @@ pub enum EaAccess<'a> {
 }
 
 impl EaAccess<'_> {
+    /// Non-mutating probe used by `check_op`: can this point write
+    /// attributes at all? (A `write()` call would clone on a Cow point.)
+    fn writable(&self) -> bool {
+        !matches!(self, EaAccess::None | EaAccess::Read(_))
+    }
+
     fn read(&self) -> Option<&EaList> {
         match self {
             EaAccess::None => None,
@@ -81,13 +87,8 @@ impl HostApi for WrenXbgpCtx<'_> {
         self.args.get(idx as usize).copied()
     }
 
-    fn get_attr(&self, code: u8) -> Option<(u8, Vec<u8>)> {
-        // The stored form is already the neutral form: a straight copy.
-        let ea = self.eattrs.read()?.get(code)?;
-        Some((ea.flags, ea.raw.clone()))
-    }
-
     fn get_attr_into(&self, code: u8, out: &mut Vec<u8>) -> Option<u8> {
+        // The stored form is already the neutral form: a straight copy.
         let ea = self.eattrs.read()?.get(code)?;
         out.extend_from_slice(&ea.raw);
         Some(ea.flags)
@@ -97,20 +98,33 @@ impl HostApi for WrenXbgpCtx<'_> {
         self.eattrs.read().is_some_and(|l| l.get(code).is_some())
     }
 
-    fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), String> {
-        let list =
-            self.eattrs.write().ok_or_else(|| "attributes are read-only here".to_string())?;
+    fn check_op(&self, op: &HostOp<'_>) -> Result<(), HostError> {
+        // An `ea_list` stores any payload verbatim, so the only stage-time
+        // conditions are point writability and buffer availability.
+        match op {
+            HostOp::SetAttr { .. } if !self.eattrs.writable() => {
+                Err(HostError::ReadOnlyPoint { op: "set_attr" })
+            }
+            HostOp::RemoveAttr { .. } if !self.eattrs.writable() => {
+                Err(HostError::ReadOnlyPoint { op: "remove_attr" })
+            }
+            HostOp::WriteBuf { .. } if self.out_buf.is_none() => Err(HostError::NoOutputBuffer),
+            _ => Ok(()),
+        }
+    }
+
+    fn set_attr(&mut self, code: u8, flags: u8, value: &[u8]) -> Result<(), HostError> {
+        let list = self.eattrs.write().ok_or(HostError::ReadOnlyPoint { op: "set_attr" })?;
         list.set(code, flags, value.to_vec());
         Ok(())
     }
 
-    fn remove_attr(&mut self, code: u8) -> Result<(), String> {
-        let list =
-            self.eattrs.write().ok_or_else(|| "attributes are read-only here".to_string())?;
+    fn remove_attr(&mut self, code: u8) -> Result<(), HostError> {
+        let list = self.eattrs.write().ok_or(HostError::ReadOnlyPoint { op: "remove_attr" })?;
         if list.unset(code) {
             Ok(())
         } else {
-            Err(format!("attribute {code} not present"))
+            Err(HostError::AttrNotPresent { code })
         }
     }
 
@@ -118,13 +132,13 @@ impl HostApi for WrenXbgpCtx<'_> {
         self.xtra.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
     }
 
-    fn write_buf(&mut self, data: &[u8]) -> Result<(), String> {
+    fn write_buf(&mut self, data: &[u8]) -> Result<(), HostError> {
         match self.out_buf.as_deref_mut() {
             Some(buf) => {
                 buf.extend_from_slice(data);
                 Ok(())
             }
-            None => Err("no output buffer at this insertion point".into()),
+            None => Err(HostError::NoOutputBuffer),
         }
     }
 
@@ -135,7 +149,7 @@ impl HostApi for WrenXbgpCtx<'_> {
         }
     }
 
-    fn rib_add_route(&mut self, prefix: Ipv4Prefix, nexthop: u32) -> Result<(), String> {
+    fn rib_add_route(&mut self, prefix: Ipv4Prefix, nexthop: u32) -> Result<(), HostError> {
         self.rib_adds.push((prefix, nexthop));
         Ok(())
     }

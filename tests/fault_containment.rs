@@ -50,7 +50,14 @@ fn out_of_bounds_extension_falls_back_to_native() {
         "host notified: {logs:?}"
     );
     assert_eq!(stats[0].errors, stats[0].runs, "every run aborted");
-    assert!(stats[0].runs >= 20);
+    // The circuit breaker quarantines an always-faulting extension after
+    // QUARANTINE_THRESHOLD consecutive faults; later routes skip it.
+    assert_eq!(stats[0].runs, u64::from(xbgp_core::vmm::QUARANTINE_THRESHOLD));
+    assert!(stats[0].quarantined, "breaker tripped");
+    assert!(
+        logs.iter().any(|l| l.contains("wild_pointer") && l.contains("quarantined")),
+        "host notified of the quarantine: {logs:?}"
+    );
 }
 
 #[test]
@@ -86,16 +93,24 @@ fn faults_surface_in_the_daemon_metrics_snapshot() {
     let runs = snap
         .counter_value("xbgp_vmm_runs_total", labels)
         .expect("per-point run counter present");
-    assert!(errors >= 20, "every route's run aborted: {errors}");
-    assert_eq!(errors, runs, "all runs at this point faulted");
+    // Each dispatched chain run faulted until the breaker quarantined the
+    // extension; the remaining routes of the batch ran an empty chain.
+    assert_eq!(errors, u64::from(xbgp_core::vmm::QUARANTINE_THRESHOLD));
+    assert!(runs >= 20, "every route still consulted the VMM: {runs}");
+    assert_eq!(
+        snap.counter_value("xbgp_vmm_quarantines_total", &[("daemon", "bgp-fir")]),
+        Some(1),
+        "the quarantine is visible in the daemon's snapshot"
+    );
     // Fallback is what the daemon saw: nothing was rejected by the
     // extension, so the snapshot's value count stays zero.
     assert_eq!(snap.counter_value("xbgp_vmm_values_total", labels), Some(0));
-    // Timing instrumentation was on, so the latency histogram is populated.
+    // Timing instrumentation was on; only dispatched (non-empty) chains
+    // are timed, so the histogram counts exactly the faulted runs.
     let lat = snap
         .histogram_value("xbgp_vmm_run_latency_ns", labels)
         .expect("latency histogram present");
-    assert_eq!(lat.count, runs);
+    assert_eq!(lat.count, errors);
 }
 
 #[test]
@@ -131,9 +146,10 @@ fn faulty_extension_does_not_poison_healthy_chain_members() {
 
 #[test]
 fn helper_misuse_is_contained() {
-    // write_buf is not available at the inbound filter; the helper fails
-    // soft (XBGP_FAIL), and the program exits normally with REJECT only
-    // when it *chooses* to. Here it returns ACCEPT after the failed call.
+    // write_buf does not exist at the inbound filter: under the
+    // transactional contract that is a violation, not a testable
+    // condition — the run faults with a typed HelperFault and the route
+    // falls through to native processing.
     let mut m = Manifest::new();
     m.push(ext(
         "misuser",
@@ -143,7 +159,29 @@ fn helper_misuse_is_contained() {
             mov r1, r10
             sub r1, 8
             mov r2, 8
-            call write_buf      ; fails soft: returns XBGP_FAIL
+            call write_buf      ; contract violation: faults the run
+            mov r0, FILTER_REJECT
+            exit
+        ",
+    ));
+    let (routes, logs, stats) = run_with_manifest(m);
+    assert_eq!(routes, 20, "the reject after the misuse never executed");
+    assert!(stats[0].errors > 0, "misuse is a hard fault");
+    assert!(
+        logs.iter().any(|l| l.contains("no output buffer")),
+        "typed error reached the host log: {logs:?}"
+    );
+
+    // A *recoverable* condition stays testable: remove_attr on an absent
+    // attribute returns XBGP_FAIL and the program keeps running.
+    let mut m = Manifest::new();
+    m.push(ext(
+        "prober",
+        InsertionPoint::BgpInboundFilter,
+        &["remove_attr"],
+        r"
+            mov r1, 200         ; attribute no route carries
+            call remove_attr
             jeq r0, -1, ok
             mov r0, FILTER_REJECT
             exit
@@ -154,7 +192,7 @@ fn helper_misuse_is_contained() {
     ));
     let (routes, _, stats) = run_with_manifest(m);
     assert_eq!(routes, 20);
-    assert_eq!(stats[0].errors, 0, "soft failures are not aborts");
+    assert_eq!(stats[0].errors, 0, "recoverable conditions are not faults");
 }
 
 #[test]
