@@ -48,6 +48,8 @@ fn spec(dut: Dut, extension: bool, routes: usize, shards: usize) -> Fig3Spec {
         metrics: false,
         shards,
         rib_dump: false,
+        trace_sample: 0,
+        profile: false,
     }
 }
 

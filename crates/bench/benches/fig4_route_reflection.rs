@@ -29,6 +29,8 @@ fn bench(c: &mut Criterion) {
                         metrics: false,
                         shards: 1,
                         rib_dump: false,
+                        trace_sample: 0,
+                        profile: false,
                     });
                     assert_eq!(out.prefixes_delivered, ROUTES);
                     black_box(out.elapsed_ns)

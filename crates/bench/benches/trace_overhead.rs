@@ -1,0 +1,83 @@
+//! Ablation: what the flight recorder and VM profiler cost on the
+//! per-route hot path.
+//!
+//! The observability contract is "zero-cost when off": with tracing and
+//! profiling disabled the per-route VM invocation must match the plain
+//! `vm_overhead/rov_check_per_route` number within noise. The remaining
+//! IDs price the enabled configurations — sampled 1-in-64 (the
+//! recommended production setting), full tracing (every route), and the
+//! profiler — so regressions in the off or sampled paths are caught by
+//! comparing `BENCH_trace_overhead.json` runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xbgp_core::host::MockHost;
+use xbgp_core::Vmm;
+use xbgp_obs::trace::{pack_prefix, TraceConfig};
+
+fn rov_setup() -> (Vmm, MockHost) {
+    let rov_manifest = xbgp_progs::origin_validation::manifest();
+    let vmm = Vmm::from_manifest(&rov_manifest).unwrap();
+    let mut host = MockHost {
+        prefix: Some("10.1.2.0/24".parse().unwrap()),
+        ..Default::default()
+    };
+    let mut path = Vec::new();
+    xbgp_wire::AsPath::sequence(vec![65001, 65002, 65003, 65004]).encode_body(&mut path, 4);
+    host.attrs.push((2, 0x40, path));
+    (vmm, host)
+}
+
+fn run_route(vmm: &mut Vmm, host: &mut MockHost, route: u64) {
+    if let Some(t) = vmm.tracer_mut() {
+        t.set_now(route);
+        t.begin_route(pack_prefix(0x0a01_0200 + (route as u32 & 0xff), 24));
+    }
+    black_box(vmm.run(xbgp_core::InsertionPoint::BgpInboundFilter, host));
+    if let Some(t) = vmm.tracer_mut() {
+        t.end_route();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Baseline: neither subsystem enabled — the exact configuration every
+    // non-observability run ships with. Must track
+    // `vm_overhead/rov_check_per_route` within noise.
+    let (mut vmm, mut host) = rov_setup();
+    c.bench_function("trace_overhead/rov_check_per_route_off", |b| {
+        b.iter(|| black_box(vmm.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut host)))
+    });
+
+    // Sampled tracing: 1 route in 64 pays the recording cost, the other
+    // 63 only the begin/end bookkeeping.
+    let (mut vmm, mut host) = rov_setup();
+    vmm.enable_trace(TraceConfig { sample_every: 64, capacity: 0, shard: 0 });
+    let mut route = 0u64;
+    c.bench_function("trace_overhead/rov_check_per_route_sampled_64", |b| {
+        b.iter(|| {
+            route += 1;
+            run_route(&mut vmm, &mut host, route);
+        })
+    });
+
+    // Full tracing: every route records its event stream into the ring.
+    let (mut vmm, mut host) = rov_setup();
+    vmm.enable_trace(TraceConfig { sample_every: 1, capacity: 0, shard: 0 });
+    let mut route = 0u64;
+    c.bench_function("trace_overhead/rov_check_per_route_traced", |b| {
+        b.iter(|| {
+            route += 1;
+            run_route(&mut vmm, &mut host, route);
+        })
+    });
+
+    // Profiler only: per-extension fuel/latency histograms, no ring.
+    let (mut vmm, mut host) = rov_setup();
+    vmm.enable_profile();
+    c.bench_function("trace_overhead/rov_check_per_route_profiled", |b| {
+        b.iter(|| black_box(vmm.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut host)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

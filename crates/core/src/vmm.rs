@@ -34,10 +34,11 @@ use crate::api::{self, helper, InsertionPoint};
 use crate::host::{HostApi, HostError, HostOp};
 use crate::manifest::Manifest;
 use crate::policy::{ExecPolicy, OnFault};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use xbgp_obs::trace::{TraceConfig, TraceDump, TraceKind, Tracer, NO_EXT};
 use xbgp_obs::{Histogram, NoopRecorder, Recorder, Snapshot};
 use xbgp_vm::{
     interp::HelperOutcome, verify_and_load, ExecOutcome, HelperDispatcher, LoadedProgram,
@@ -156,6 +157,31 @@ struct Extension {
     ri_stack: usize,
     ri_heap: usize,
     ri_shared: usize,
+    /// Interned flight-recorder name id ([`NO_EXT`] until tracing is
+    /// enabled), copied into every trace event this extension produces.
+    trace_ext: u16,
+}
+
+/// Per-extension and per-helper execution profile, accumulated only while
+/// [`Vmm::enable_profile`] is active. The interpreter hot path is
+/// untouched: fuel histograms reuse the [`RunMetrics`] the metered run
+/// already returns, and helper latency is timed in the dispatcher — the
+/// one place every helper call already funnels through.
+///
+/// [`RunMetrics`]: xbgp_vm::interp::RunMetrics
+#[derive(Default)]
+struct VmProfiler {
+    /// Fuel consumed per run, per extension (parallel to `Vmm::exts`).
+    fuel: Vec<Histogram>,
+    /// Helper id → invocation count.
+    helper_calls: BTreeMap<u32, u64>,
+    /// Helper id → cumulative nanoseconds spent in the helper.
+    helper_ns: BTreeMap<u32, u64>,
+    /// Per-point total extension-run nanoseconds (indexed by
+    /// [`point_index`]); VM time is this minus the helper share.
+    point_total_ns: [u64; 5],
+    /// Per-point nanoseconds attributed to helper calls.
+    point_helper_ns: [u64; 5],
 }
 
 #[derive(Default)]
@@ -253,6 +279,12 @@ impl Txn {
         self.attrs.is_empty() && self.out_buf.is_empty() && self.rib_adds.is_empty()
     }
 
+    /// Staged operation count, for `txn_commit`/`txn_rollback` trace
+    /// payloads (the buffered write counts once, whatever its length).
+    fn op_count(&self) -> usize {
+        self.attrs.len() + usize::from(!self.out_buf.is_empty()) + self.rib_adds.len()
+    }
+
     /// The staged overlay for `code`: `None` = untouched (read through to
     /// the host), `Some(None)` = staged removal, `Some(Some(..))` = staged
     /// value.
@@ -328,6 +360,11 @@ pub struct Vmm {
     /// variable-length helper transfers (`get_attr` etc.) allocate at most
     /// once over the VMM's lifetime instead of once per call.
     scratch: Vec<u8>,
+    /// Route-scoped flight recorder ([`Vmm::enable_trace`]); `None` keeps
+    /// the hot path to a handful of predictable is-some branches.
+    tracer: Option<Box<Tracer>>,
+    /// Execution profiler ([`Vmm::enable_profile`]); `None` by default.
+    profiler: Option<Box<VmProfiler>>,
 }
 
 impl Vmm {
@@ -347,6 +384,8 @@ impl Vmm {
             recorder: Box::new(NoopRecorder),
             recorder_active: false,
             scratch: Vec::new(),
+            tracer: None,
+            profiler: None,
         };
         for spec in &manifest.extensions {
             let prog = spec
@@ -422,6 +461,7 @@ impl Vmm {
                     ri_stack,
                     ri_heap,
                     ri_shared,
+                    trace_ext: NO_EXT,
                 },
             ));
             vmm.attached[point_index(spec.insertion_point)].push(idx);
@@ -482,6 +522,12 @@ impl Vmm {
             return VmmOutcome::Fallback;
         }
         let chain_start = self.metrics_enabled.then(Instant::now);
+        // Timing also runs while profiling: the per-point VM/helper time
+        // breakdown needs the run's wall clock even if metrics are off.
+        let timing = self.metrics_enabled || self.profiler.is_some();
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(TraceKind::PointEnter, pi as u8, NO_EXT, chain_len as u64, 0);
+        }
         // All host mutations of this chain stage here; nothing touches
         // the host until the chain's outcome is known (DESIGN.md §4d).
         let mut txn = Txn::default();
@@ -507,7 +553,7 @@ impl Vmm {
 
             // The per-invocation policy: manifest overrides, VMM defaults.
             let cfg = VmConfig { fuel: ext.fuel_override.unwrap_or(self.vm_config.fuel) };
-            let ext_start = self.metrics_enabled.then(Instant::now);
+            let ext_start = timing.then(Instant::now);
             let (outcome, heap_used, metrics) = {
                 let mut dispatcher = Dispatcher {
                     host,
@@ -517,6 +563,10 @@ impl Vmm {
                     txn: &mut txn,
                     mem_cap: ext.mem_cap,
                     heap_used: 0,
+                    tracer: self.tracer.as_deref_mut(),
+                    prof: self.profiler.as_deref_mut(),
+                    pi,
+                    ext_tid: ext.trace_ext,
                 };
                 // Split borrow: the pre-decoded program and the memory map
                 // are disjoint fields of the extension.
@@ -537,7 +587,16 @@ impl Vmm {
                 ext.insns_retired += metrics.insns_retired;
             }
             if let Some(start) = ext_start {
-                ext.latency.observe(start.elapsed().as_nanos() as u64);
+                let ns = start.elapsed().as_nanos() as u64;
+                if self.metrics_enabled {
+                    ext.latency.observe(ns);
+                }
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.point_total_ns[pi] += ns;
+                }
+            }
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.fuel[idx].observe(metrics.fuel_consumed);
             }
             match outcome {
                 Ok(ExecOutcome::Return(v)) => {
@@ -549,6 +608,9 @@ impl Vmm {
                         self.finish_run(pi, point, chain_start, "value");
                     }
                     self.commit(pi, name_idx, txn, host);
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.record(TraceKind::PointExit, pi as u8, NO_EXT, 0, 0);
+                    }
                     return VmmOutcome::Value(v);
                 }
                 Ok(ExecOutcome::Next) => {
@@ -570,9 +632,50 @@ impl Vmm {
                     }
                     let on_fault = ext.on_fault;
                     let name = ext.name.clone();
+                    let ext_tid = ext.trace_ext;
+                    let streak = ext.consecutive_faults;
                     let rolled_back = !txn.is_empty();
+                    let staged_ops = txn.op_count() as u64;
                     drop(txn); // discard staged mutations: byte-identical native state
                     host.log(&format!("xbgp: extension `{name}` aborted: {e}"));
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        // Fault-path events bypass sampling: the flight
+                        // recorder must never miss the crash itself, and
+                        // the postmortem wants the lead-up in the ring.
+                        if rolled_back {
+                            t.record_always(
+                                TraceKind::TxnRollback,
+                                pi as u8,
+                                ext_tid,
+                                staged_ops,
+                                0,
+                            );
+                        }
+                        t.record_always(
+                            TraceKind::Fault,
+                            pi as u8,
+                            ext_tid,
+                            e.pc() as u64,
+                            e.code(),
+                        );
+                        if trip {
+                            t.record_always(
+                                TraceKind::Quarantine,
+                                pi as u8,
+                                ext_tid,
+                                u64::from(streak),
+                                0,
+                            );
+                        }
+                        t.postmortem(
+                            &name,
+                            ext_tid,
+                            pi as u8,
+                            &e.to_string(),
+                            Some(e.pc() as u64),
+                            trip,
+                        );
+                    }
                     self.last_error = Some((name.clone(), e));
                     // Fault-path counters are unconditional: faults are
                     // rare, and rollback accounting must not depend on
@@ -601,13 +704,18 @@ impl Vmm {
                     if track {
                         self.finish_run(pi, point, chain_start, "error");
                     }
-                    return match on_fault {
+                    let out = match on_fault {
                         OnFault::Fallback => VmmOutcome::Fallback,
                         OnFault::Abort => {
                             self.points[pi].aborts += 1;
                             VmmOutcome::Aborted
                         }
                     };
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        let code = if out == VmmOutcome::Aborted { 2 } else { 1 };
+                        t.record(TraceKind::PointExit, pi as u8, NO_EXT, code, 0);
+                    }
+                    return out;
                 }
             }
         }
@@ -621,6 +729,9 @@ impl Vmm {
         }
         let last = *self.attached[pi].last().expect("chain non-empty");
         self.commit(pi, last, txn, host);
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(TraceKind::PointExit, pi as u8, NO_EXT, 1, 0);
+        }
         VmmOutcome::Fallback
     }
 
@@ -629,9 +740,12 @@ impl Vmm {
     /// is logged against the extension that ended the chain and counted
     /// in `xbgp_vmm_commit_faults_total`, and the remaining staged
     /// operations are dropped.
-    fn commit(&mut self, _pi: usize, ext_idx: usize, txn: Txn, host: &mut dyn HostApi) {
+    fn commit(&mut self, pi: usize, ext_idx: usize, txn: Txn, host: &mut dyn HostApi) {
         if txn.is_empty() {
             return;
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(TraceKind::TxnCommit, pi as u8, NO_EXT, txn.op_count() as u64, 0);
         }
         if let Err(e) = txn.commit(host) {
             self.commit_faults += 1;
@@ -719,6 +833,57 @@ impl Vmm {
         self.recorder_active = true;
     }
 
+    /// Attach a route-scoped flight recorder. Every loaded extension's
+    /// name is interned up front, so recording an event never allocates.
+    /// The host drives the route scope through [`Vmm::tracer_mut`]
+    /// (`on_ingest` / `begin_route` / `set_now`); the VMM itself records
+    /// the point enter/exit, helper, transaction, fault and quarantine
+    /// events.
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        let mut tracer = Box::new(Tracer::new(cfg));
+        for (_, e) in &mut self.exts {
+            e.trace_ext = tracer.intern(&e.name);
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached flight recorder, if tracing is enabled.
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Whether a flight recorder is attached.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Drain the flight recorder into a mergeable [`TraceDump`] (ring and
+    /// postmortems cleared; interned ids stay stable). `None` when
+    /// tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<TraceDump> {
+        self.tracer.as_deref_mut().map(Tracer::take_dump)
+    }
+
+    /// Turn on the execution profiler: per-extension fuel histograms,
+    /// per-helper call counts and latency attribution, and a per-point
+    /// VM-vs-helper time breakdown, all exported by
+    /// [`Vmm::metrics_snapshot`] as `xbgp_prof_*` series. Costs nothing
+    /// when off — the interpreter's metered loop is unchanged, and the
+    /// dispatcher's fast path is a single is-none branch.
+    pub fn enable_profile(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::new(VmProfiler {
+                fuel: (0..self.exts.len()).map(|_| Histogram::new()).collect(),
+                ..VmProfiler::default()
+            }));
+        }
+    }
+
+    /// Whether the execution profiler is on.
+    pub fn profile_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
     /// Point-in-time snapshot of every VMM metric:
     ///
     /// * `xbgp_vmm_runs_total{point}` and its outcome split
@@ -734,7 +899,11 @@ impl Vmm {
     ///   `..._errors_total` / `..._fallbacks_total` /
     ///   `..._helper_calls_total` / `..._insns_total` and
     ///   `xbgp_vmm_extension_latency_ns`, labelled
-    ///   `{extension,point}`.
+    ///   `{extension,point}`;
+    /// * with the profiler on ([`Vmm::enable_profile`]): `xbgp_prof_fuel`
+    ///   histograms `{extension,point}`, `xbgp_prof_helper_calls_total` /
+    ///   `xbgp_prof_helper_ns_total` `{helper}`, and per-point
+    ///   `xbgp_prof_point_vm_ns_total` / `xbgp_prof_point_helper_ns_total`.
     pub fn metrics_snapshot(&self) -> Snapshot {
         let mut s = Snapshot::new();
         for point in InsertionPoint::ALL {
@@ -764,6 +933,34 @@ impl Vmm {
                 s.push_histogram("xbgp_vmm_extension_latency_ns", &labels, e.latency.snapshot());
             }
         }
+        if let Some(p) = &self.profiler {
+            for ((point, e), fuel) in self.exts.iter().zip(&p.fuel) {
+                s.push_histogram(
+                    "xbgp_prof_fuel",
+                    &[("extension", e.name.as_str()), ("point", point.name())],
+                    fuel.snapshot(),
+                );
+            }
+            for (&id, &n) in &p.helper_calls {
+                let name = helper::name_of(id).unwrap_or("unknown");
+                s.push_counter("xbgp_prof_helper_calls_total", &[("helper", name)], n);
+            }
+            for (&id, &ns) in &p.helper_ns {
+                let name = helper::name_of(id).unwrap_or("unknown");
+                s.push_counter("xbgp_prof_helper_ns_total", &[("helper", name)], ns);
+            }
+            for point in InsertionPoint::ALL {
+                let i = point_index(point);
+                let labels = [("point", point.name())];
+                let helper_ns = p.point_helper_ns[i];
+                s.push_counter("xbgp_prof_point_helper_ns_total", &labels, helper_ns);
+                s.push_counter(
+                    "xbgp_prof_point_vm_ns_total",
+                    &labels,
+                    p.point_total_ns[i].saturating_sub(helper_ns),
+                );
+            }
+        }
         s
     }
 }
@@ -782,6 +979,29 @@ struct Dispatcher<'a> {
     /// Policy cap on what `ctx_malloc` may hand out this run.
     mem_cap: usize,
     heap_used: usize,
+    /// Flight recorder, present only while tracing is enabled: helper
+    /// calls and staged mutations become route-scoped events.
+    tracer: Option<&'a mut Tracer>,
+    /// Profiler accumulators, present only while profiling is enabled.
+    prof: Option<&'a mut VmProfiler>,
+    /// Insertion-point index of the running chain (event/profile labels).
+    pi: usize,
+    /// Interned trace-name id of the running extension.
+    ext_tid: u16,
+}
+
+/// The staged-mutation op a helper id maps to for the `txn_stage` trace
+/// payload: `(op, attr_code)` with op 1 set / 2 add / 3 remove /
+/// 4 write-buf / 5 rib-add.
+fn stage_op(id: u32, args: &[u64; 5]) -> Option<(u64, u64)> {
+    match id {
+        helper::SET_ATTR => Some((1, args[0])),
+        helper::ADD_ATTR => Some((2, args[0])),
+        helper::REMOVE_ATTR => Some((3, args[0])),
+        helper::WRITE_BUF => Some((4, 0)),
+        helper::RIB_ADD_ROUTE => Some((5, 0)),
+        _ => None,
+    }
 }
 
 impl Dispatcher<'_> {
@@ -814,6 +1034,48 @@ fn fault(helper: u32, reason: impl Into<String>) -> VmError {
 
 impl HelperDispatcher for Dispatcher<'_> {
     fn call(
+        &mut self,
+        id: u32,
+        args: [u64; 5],
+        mem: &mut MemoryMap,
+    ) -> Result<HelperOutcome, VmError> {
+        // Fast path: neither tracing nor profiling — one predictable
+        // branch, then straight into the helper switch. The interpreter's
+        // metered loop above this is untouched either way.
+        if self.prof.is_none() && self.tracer.is_none() {
+            return self.dispatch(id, args, mem);
+        }
+        let t0 = self.prof.is_some().then(Instant::now);
+        let out = self.dispatch(id, args, mem);
+        let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        if let Some(p) = self.prof.as_deref_mut() {
+            *p.helper_calls.entry(id).or_insert(0) += 1;
+            *p.helper_ns.entry(id).or_insert(0) += ns;
+            p.point_helper_ns[self.pi] += ns;
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            if t.route_active() {
+                t.record(TraceKind::HelperCall, self.pi as u8, self.ext_tid, u64::from(id), ns);
+                // A successful staging helper also leaves a `txn_stage`
+                // breadcrumb, so a trace shows what a later commit or
+                // rollback acted on.
+                if let Ok(HelperOutcome::Value(v)) = &out {
+                    if *v != api::XBGP_FAIL {
+                        if let Some((op, attr)) = stage_op(id, &args) {
+                            t.record(TraceKind::TxnStage, self.pi as u8, self.ext_tid, op, attr);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Dispatcher<'_> {
+    /// The helper switch proper, shared by the instrumented and
+    /// fast-path entries of [`HelperDispatcher::call`].
+    fn dispatch(
         &mut self,
         id: u32,
         args: [u64; 5],
@@ -1291,7 +1553,7 @@ mod tests {
         vmm.set_fuel(10_000);
         let mut host = MockHost::default();
         assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Fallback);
-        assert!(matches!(vmm.last_error(), Some((_, VmError::FuelExhausted))));
+        assert!(matches!(vmm.last_error(), Some((_, VmError::FuelExhausted { .. }))));
     }
 
     #[test]
@@ -1662,7 +1924,7 @@ mod tests {
         vmm.set_fuel(u64::MAX); // the global default must not apply
         let mut host = MockHost::default();
         assert_eq!(vmm.run(InsertionPoint::BgpDecision, &mut host), VmmOutcome::Fallback);
-        assert!(matches!(vmm.last_error(), Some((_, VmError::FuelExhausted))));
+        assert!(matches!(vmm.last_error(), Some((_, VmError::FuelExhausted { .. }))));
         let policy = vmm.policy_of("spinner").unwrap();
         assert_eq!(policy.fuel, 50);
         assert_eq!(policy.on_fault, crate::policy::OnFault::Fallback);
@@ -1990,5 +2252,180 @@ mod tests {
         let mut host = MockHost::default();
         assert_eq!(vmm.run(InsertionPoint::BgpReceiveMessage, &mut host), VmmOutcome::Value(0));
         assert_eq!(host.rib, vec![("10.1.0.0/16".parse().unwrap(), 0x0a00_0001)]);
+    }
+
+    /// Stage `add_attr(66, ..)` and return a value, so the trace shows a
+    /// full enter → helper → stage → commit → exit flow.
+    const STAGE_THEN_VALUE: &str = r"
+        mov r1, 66
+        mov r2, ATTR_FLAGS_OPT_TRANS
+        mov r3, r10
+        sub r3, 8
+        stdw [r10-8], 7
+        mov r4, 8
+        call add_attr
+        mov r0, 1
+        exit
+    ";
+
+    #[test]
+    fn trace_records_the_point_helper_and_commit_flow() {
+        use xbgp_obs::trace::pack_prefix;
+
+        let mut vmm = load(vec![spec(
+            "writer",
+            InsertionPoint::BgpInboundFilter,
+            &["add_attr"],
+            STAGE_THEN_VALUE,
+        )]);
+        vmm.enable_trace(TraceConfig { sample_every: 1, capacity: 0, shard: 0 });
+        let mut host = MockHost::default();
+
+        let t = vmm.tracer_mut().expect("tracing enabled");
+        t.set_now(50);
+        let tid = t.on_ingest(9, 1);
+        assert!(t.begin_route(pack_prefix(0x0a01_0000, 16)), "1-in-1 samples everything");
+        assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(1));
+        vmm.tracer_mut().unwrap().end_route();
+
+        let dump = vmm.take_trace().expect("dump available");
+        let kinds: Vec<TraceKind> = dump.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::Ingest,
+                TraceKind::Decode,
+                TraceKind::PointEnter,
+                TraceKind::HelperCall,
+                TraceKind::TxnStage,
+                TraceKind::TxnCommit,
+                TraceKind::PointExit,
+            ]
+        );
+        assert!(dump.events.iter().all(|e| e.trace_id == tid), "whole flow carries the scope id");
+        let helper_ev = &dump.events[3];
+        assert_eq!(helper_ev.a, u64::from(helper::ADD_ATTR));
+        assert_eq!(dump.ext_names[usize::from(helper_ev.ext)], "writer");
+        let stage = &dump.events[4];
+        assert_eq!((stage.a, stage.b), (2, 66), "add op staged attribute 66");
+        assert_eq!(dump.events[5].a, 1, "one staged op committed");
+        assert_eq!(dump.events[6].a, 0, "value outcome");
+
+        // The next route is unsampled under 1-in-2: nothing is recorded.
+        let mut vmm2 = load(vec![spec(
+            "writer",
+            InsertionPoint::BgpInboundFilter,
+            &["add_attr"],
+            STAGE_THEN_VALUE,
+        )]);
+        vmm2.enable_trace(TraceConfig { sample_every: 2, capacity: 0, shard: 0 });
+        let t = vmm2.tracer_mut().unwrap();
+        t.on_ingest(9, 2);
+        assert!(t.begin_route(1), "route 0 sampled");
+        vmm2.run(InsertionPoint::BgpInboundFilter, &mut host);
+        let before = vmm2.tracer_mut().unwrap().total_recorded();
+        assert!(!vmm2.tracer_mut().unwrap().begin_route(2), "route 1 skipped");
+        vmm2.run(InsertionPoint::BgpInboundFilter, &mut host);
+        assert_eq!(
+            vmm2.tracer_mut().unwrap().total_recorded(),
+            before,
+            "unsampled route recorded nothing"
+        );
+    }
+
+    #[test]
+    fn fault_postmortem_names_the_pc_and_insertion_point() {
+        // The e2e contract for the flight recorder: quarantine an
+        // extension and check the postmortem pins the faulting pc, the
+        // insertion point, and the lead-up events.
+        let mut vmm = load(vec![spec(
+            "stage_then_trap",
+            InsertionPoint::BgpInboundFilter,
+            &["set_attr"],
+            STAGE_THEN_TRAP,
+        )]);
+        vmm.enable_trace(TraceConfig { sample_every: 1, capacity: 0, shard: 3 });
+        let mut host = MockHost::default();
+        host.attrs.push((5, 0x40, 100u32.to_be_bytes().to_vec()));
+        for i in 0..QUARANTINE_THRESHOLD {
+            let t = vmm.tracer_mut().unwrap();
+            t.set_now(u64::from(i) * 100);
+            t.on_ingest(7, 1);
+            t.begin_route(1);
+            assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Fallback);
+            vmm.tracer_mut().unwrap().end_route();
+        }
+
+        let dump = vmm.take_trace().expect("dump available");
+        assert_eq!(dump.postmortems.len(), QUARANTINE_THRESHOLD as usize);
+        let pm = dump.postmortems.last().unwrap();
+        assert_eq!(pm.extension, "stage_then_trap");
+        assert_eq!(pm.point, point_index(InsertionPoint::BgpInboundFilter) as u8);
+        assert!(pm.quarantined, "final fault tripped the breaker");
+        // STAGE_THEN_TRAP faults at the `ldxb` after two `set_attr` calls
+        // and a two-slot `lddw`: original slot 15.
+        assert_eq!(pm.pc, Some(15));
+        assert!(pm.error.contains("memory fault"), "VmError display form: {}", pm.error);
+        assert_ne!(pm.trace_id, 0, "fault happened inside a route scope");
+
+        // The trailing events reconstruct the lead-up: the staged helper
+        // calls, the rollback of the staged writes, and the fault itself.
+        let kinds: Vec<TraceKind> = pm.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::HelperCall));
+        assert!(kinds.contains(&TraceKind::TxnRollback));
+        assert!(kinds.contains(&TraceKind::Fault));
+        assert!(kinds.contains(&TraceKind::Quarantine), "breaker event captured");
+        assert!(pm.events.len() <= xbgp_obs::trace::POSTMORTEM_EVENTS);
+        let fault_ev = pm.events.iter().find(|e| e.kind == TraceKind::Fault).unwrap();
+        assert_eq!(fault_ev.a, 15, "fault event carries the pc");
+        assert_eq!(fault_ev.b, 1, "MemFault error code");
+        let rollback = pm.events.iter().find(|e| e.kind == TraceKind::TxnRollback).unwrap();
+        assert_eq!(rollback.a, 1, "one staged op (set then restaged) was discarded");
+
+        // Quarantine metrics still line up with the trace.
+        let s = vmm.metrics_snapshot();
+        assert_eq!(s.counter_value("xbgp_vmm_quarantines_total", &[]), Some(1));
+    }
+
+    #[test]
+    fn profiler_exports_fuel_and_helper_series() {
+        let mut vmm = load(vec![spec(
+            "writer",
+            InsertionPoint::BgpInboundFilter,
+            &["add_attr"],
+            STAGE_THEN_VALUE,
+        )]);
+        vmm.enable_profile();
+        assert!(vmm.profile_enabled());
+        let mut host = MockHost::default();
+        for _ in 0..4 {
+            assert_eq!(vmm.run(InsertionPoint::BgpInboundFilter, &mut host), VmmOutcome::Value(1));
+        }
+        let s = vmm.metrics_snapshot();
+        assert_eq!(
+            s.counter_value("xbgp_prof_helper_calls_total", &[("helper", "add_attr")]),
+            Some(4)
+        );
+        assert!(
+            s.counter_value("xbgp_prof_helper_ns_total", &[("helper", "add_attr")])
+                .is_some(),
+            "latency attributed per helper"
+        );
+        let fuel = s
+            .histogram_value("xbgp_prof_fuel", &[("extension", "writer")])
+            .expect("per-extension fuel histogram");
+        assert_eq!(fuel.count, 4);
+        // STAGE_THEN_VALUE retires 9 instructions per run.
+        assert_eq!(fuel.sum, 4 * 9);
+        let inbound = [("point", "bgp_inbound_filter")];
+        assert!(s.counter_value("xbgp_prof_point_helper_ns_total", &inbound).is_some());
+        assert!(s.counter_value("xbgp_prof_point_vm_ns_total", &inbound).is_some());
+
+        // Profiling off: no xbgp_prof_* series in the snapshot.
+        let vmm = load(vec![spec("w", InsertionPoint::BgpInboundFilter, &[], "mov r0, 1\nexit")]);
+        assert!(vmm
+            .metrics_snapshot()
+            .counter_value("xbgp_prof_helper_calls_total", &[])
+            .is_none());
     }
 }

@@ -4,6 +4,7 @@ use igp::SharedIgp;
 use netsim::LinkId;
 use rpki::Roa;
 use xbgp_core::Manifest;
+use xbgp_obs::trace::TraceConfig;
 use xbgp_wire::Ipv4Prefix;
 
 /// One configured BGP neighbor, reached over a netsim link.
@@ -56,6 +57,12 @@ pub struct FirConfig {
     /// histograms fill in (two clock reads per hook). Counters are
     /// collected regardless.
     pub metrics: bool,
+    /// Route-scoped tracing: attach a flight recorder with this sampling
+    /// and shard configuration. `None` (the default) records nothing and
+    /// keeps the hot path trace-free.
+    pub trace: Option<TraceConfig>,
+    /// Enable the VM execution profiler (`xbgp_prof_*` metric series).
+    pub profile: bool,
 }
 
 impl FirConfig {
@@ -76,12 +83,26 @@ impl FirConfig {
             default_local_pref: 100,
             xtra: Vec::new(),
             metrics: false,
+            trace: None,
+            profile: false,
         }
     }
 
     /// Turn on timing instrumentation (see the `metrics` field).
     pub fn with_metrics(mut self) -> Self {
         self.metrics = true;
+        self
+    }
+
+    /// Attach a route-scoped flight recorder (see the `trace` field).
+    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
+    /// Turn on the VM execution profiler (see the `profile` field).
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 

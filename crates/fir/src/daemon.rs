@@ -13,6 +13,7 @@ use std::rc::Rc;
 use std::time::Instant;
 use xbgp_core::api::{self, InsertionPoint, PeerInfo, PeerType};
 use xbgp_core::{Manifest, Vmm, VmmOutcome};
+use xbgp_obs::trace::{pack_prefix, TraceConfig, TraceDump, TraceKind, NO_EXT, NO_POINT};
 use xbgp_obs::{Histogram, Snapshot};
 use xbgp_wire::attr::encode_attrs;
 use xbgp_wire::{Ipv4Prefix, Message, NotificationMsg, OpenMsg, UpdateMsg};
@@ -105,6 +106,12 @@ impl FirDaemon {
         if cfg.metrics {
             vmm.enable_metrics();
         }
+        if let Some(tc) = cfg.trace {
+            vmm.enable_trace(tc);
+        }
+        if cfg.profile {
+            vmm.enable_profile();
+        }
         let rov_trie = cfg.native_rov.as_ref().map(|roas| {
             let mut t = RoaTrie::new();
             for r in roas {
@@ -149,6 +156,23 @@ impl FirDaemon {
     pub fn enable_metrics(&mut self) {
         self.metrics = true;
         self.vmm.enable_metrics();
+    }
+
+    /// Attach a route-scoped flight recorder at runtime (same effect as
+    /// [`FirConfig::trace`](crate::config::FirConfig)).
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        self.vmm.enable_trace(cfg);
+    }
+
+    /// Turn on the VM execution profiler at runtime.
+    pub fn enable_profile(&mut self) {
+        self.vmm.enable_profile();
+    }
+
+    /// Drain the flight recorder into a mergeable dump (`None` when
+    /// tracing is off).
+    pub fn take_trace(&mut self) -> Option<TraceDump> {
+        self.vmm.take_trace()
     }
 
     /// Start a hook timer when instrumentation is on.
@@ -219,7 +243,8 @@ impl FirDaemon {
                 );
             }
         }
-        s.merge(self.vmm.metrics_snapshot());
+        s.merge(self.vmm.metrics_snapshot())
+            .expect("daemon and VMM share the bucket layout");
         s.with_labels(&[("daemon", "bgp-fir")])
     }
 
@@ -403,6 +428,12 @@ impl FirDaemon {
         if self.stats.first_update_rx.is_none() {
             self.stats.first_update_rx = Some(ctx.now());
         }
+        // Trace-id allocation happens at UPDATE ingest, before any route
+        // is parsed, so every downstream event carries the same scope.
+        if let Some(t) = self.vmm.tracer_mut() {
+            t.set_now(ctx.now());
+            t.on_ingest(idx as u64, upd.nlri.len() as u64);
+        }
 
         let mut pending_per_peer: Vec<OutboundBatches> =
             (0..self.sessions.len()).map(|_| OutboundBatches::default()).collect();
@@ -494,6 +525,11 @@ impl FirDaemon {
 
         for prefix in nlri {
             self.stats.prefixes_rx += 1;
+            // One sampling decision per route; a sampled route records
+            // its whole decode → decision → propagate path.
+            if let Some(t) = self.vmm.tracer_mut() {
+                t.begin_route(pack_prefix(prefix.addr(), prefix.len()));
+            }
             let mut entry_attrs = Rc::clone(&shared);
 
             // ② BGP_INBOUND_FILTER (per route, copy-on-write attributes).
@@ -555,6 +591,9 @@ impl FirDaemon {
 
             self.adj_in[idx].insert(*prefix, RibEntry { attrs: entry_attrs, source, rov });
             self.run_decision(ctx, *prefix, pending_per_peer);
+        }
+        if let Some(t) = self.vmm.tracer_mut() {
+            t.end_route();
         }
 
         // Routes installed by extensions through `rib_add_route`.
@@ -666,6 +705,15 @@ impl FirDaemon {
             (Some(o), Some(n)) => !Rc::ptr_eq(&o.attrs, &n.attrs) || o.source != n.source,
             _ => true,
         };
+        if let Some(t) = self.vmm.tracer_mut() {
+            t.record(
+                TraceKind::Decision,
+                NO_POINT,
+                NO_EXT,
+                pack_prefix(prefix.addr(), prefix.len()),
+                u64::from(changed),
+            );
+        }
         if !changed {
             return;
         }
@@ -791,6 +839,15 @@ impl FirDaemon {
         }
         let transformed = self.intern.intern(a);
         if self.adj_out[q].advertise(prefix, Rc::clone(&transformed)) {
+            if let Some(t) = self.vmm.tracer_mut() {
+                t.record(
+                    TraceKind::Propagate,
+                    NO_POINT,
+                    NO_EXT,
+                    pack_prefix(prefix.addr(), prefix.len()),
+                    q as u64,
+                );
+            }
             out.push(prefix, transformed, *src);
         }
     }

@@ -3,10 +3,16 @@
 //!
 //! Usage: fig4 [--routes N] [--runs N] [--seed N] [--shards N]
 //!             [--use-case rr|ov|all] [--dut fir|wren|all]
-//!             [--metrics-out FILE]
+//!             [--metrics-out FILE] [--trace-out FILE] [--trace-sample N]
+//!             [--profile]
 //!
 //! `--metrics-out` enables DUT instrumentation and writes the merged
 //! metrics snapshot of every cell's extension run as a JSON document.
+//! `--trace-out` attaches a route-scoped flight recorder to every run and
+//! writes the merged per-cell trace timelines as JSONL; `--trace-sample N`
+//! traces 1 route in N (default 1 when `--trace-out` is given).
+//! `--profile` enables the per-extension VM profiler (`xbgp_prof_*`
+//! series in the metrics snapshot).
 
 use xbgp_harness::fig3::{Dut, UseCase};
 use xbgp_harness::fig4::{fig4_cell, paper_reference, Fig4Config};
@@ -17,6 +23,7 @@ fn main() {
     let mut duts = vec![Dut::Fir, Dut::Wren];
     let mut cases = vec![UseCase::RouteReflection, UseCase::OriginValidation];
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -47,6 +54,21 @@ fn main() {
                 cfg.metrics = true;
                 metrics_out = Some(need(i).to_string());
             }
+            "--trace-out" => {
+                trace_out = Some(need(i).to_string());
+            }
+            "--trace-sample" => {
+                cfg.trace_sample = parse_num(i);
+                if cfg.trace_sample == 0 {
+                    xbgp_obs::error!("--trace-sample must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--profile" => {
+                cfg.profile = true;
+                i += 1;
+                continue;
+            }
             "--use-case" => {
                 cases = match need(i) {
                     "rr" => vec![UseCase::RouteReflection],
@@ -76,6 +98,9 @@ fn main() {
         }
         i += 2;
     }
+    if trace_out.is_some() && cfg.trace_sample == 0 {
+        cfg.trace_sample = 1;
+    }
 
     println!(
         "# Fig. 4 — {} routes, {} paired runs per cell (seed {}, {} shard{})",
@@ -86,6 +111,7 @@ fn main() {
         if cfg.shards == 1 { "" } else { "s" }
     );
     let mut merged = Snapshot::default();
+    let mut traces = Vec::new();
     for dut in &duts {
         for case in &cases {
             xbgp_obs::info!("running {} / {} ...", dut.name(), case.name());
@@ -99,8 +125,9 @@ fn main() {
             );
             println!("  {}", paper_reference(*dut, *case));
             if let Some(snap) = cell.metrics {
-                merged.merge(snap);
+                merged.merge(snap).expect("cells share the bucket layout");
             }
+            traces.extend(cell.trace);
         }
     }
     if let Some(path) = metrics_out {
@@ -110,5 +137,18 @@ fn main() {
             std::process::exit(2);
         }
         xbgp_obs::info!("metrics written to {path}");
+    }
+    if let Some(path) = trace_out {
+        let dump = xbgp_obs::trace::TraceDump::merge(traces);
+        let names = xbgp_harness::trace_point_names();
+        if let Err(e) = std::fs::write(&path, dump.to_jsonl(&names)) {
+            xbgp_obs::error!("cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        }
+        xbgp_obs::info!(
+            "trace written to {path}: {} event(s), {} postmortem(s)",
+            dump.events.len(),
+            dump.postmortems.len()
+        );
     }
 }

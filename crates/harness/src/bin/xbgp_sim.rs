@@ -2,6 +2,7 @@
 //!
 //! Usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE]
 //!                 [--log-level LEVEL] [--fault-rate R]
+//!                 [--trace-out FILE] [--trace-sample N] [--profile]
 //!
 //! See `xbgp_harness::scenario` for the document format. Exit code 0 when
 //! every `expect_route` check passes, 1 otherwise. `--metrics-out` writes
@@ -13,14 +14,26 @@
 //! mid-chain after staging host mutations on roughly that fraction of
 //! inbound runs — a live check that transactional rollback holds under
 //! the scenario's real workload.
+//!
+//! `--trace-out FILE` attaches a route-scoped flight recorder to every
+//! router and writes the merged timeline: Chrome/Perfetto `trace_event`
+//! JSON when FILE ends in `.chrome.json`, JSONL (one event or postmortem
+//! per line) otherwise. `--trace-sample N` traces 1 route in N (default 1
+//! — every route — when `--trace-out` is given). `--profile` turns on the
+//! per-extension VM profiler; its `xbgp_prof_*` series land in the
+//! `--metrics-out` snapshot.
 
 use std::process::ExitCode;
+use xbgp_harness::scenario::RunOptions;
 use xbgp_obs::export;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_sample = 0u64;
+    let mut profile = false;
     let mut shards = 1usize;
     let mut fault_rate: Option<f64> = None;
     let mut i = 0;
@@ -45,6 +58,30 @@ fn main() -> ExitCode {
                 };
                 metrics_out = Some(path.clone());
                 i += 2;
+            }
+            "--trace-out" => {
+                let Some(path) = args.get(i + 1) else {
+                    xbgp_obs::error!("missing value after --trace-out");
+                    return ExitCode::from(2);
+                };
+                trace_out = Some(path.clone());
+                i += 2;
+            }
+            "--trace-sample" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    xbgp_obs::error!("--trace-sample needs a positive number");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    xbgp_obs::error!("--trace-sample must be at least 1");
+                    return ExitCode::from(2);
+                }
+                trace_sample = n;
+                i += 2;
+            }
+            "--profile" => {
+                profile = true;
+                i += 1;
             }
             "--fault-rate" => {
                 let Some(r) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
@@ -80,10 +117,14 @@ fn main() -> ExitCode {
     }
     let Some(path) = scenario_path else {
         xbgp_obs::error!(
-            "usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE] [--fault-rate R]"
+            "usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE] \
+             [--fault-rate R] [--trace-out FILE] [--trace-sample N] [--profile]"
         );
         return ExitCode::from(2);
     };
+    if trace_out.is_some() && trace_sample == 0 {
+        trace_sample = 1;
+    }
     let json = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
@@ -101,7 +142,8 @@ fn main() -> ExitCode {
     if let Some(r) = fault_rate {
         scenario.fault_rate = r;
     }
-    match xbgp_harness::scenario::run_sharded(&scenario, shards) {
+    let opts = RunOptions { trace_sample, profile, shard_base: 0 };
+    match xbgp_harness::scenario::run_sharded_with_options(&scenario, shards, &opts) {
         Ok(report) => {
             println!("scenario: {}", report.name);
             for (desc, ok) in &report.checks {
@@ -127,6 +169,24 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
                 xbgp_obs::info!("metrics written to {out}");
+            }
+            if let Some(out) = trace_out {
+                let dump = report.trace.as_ref().expect("tracing was enabled");
+                let names = xbgp_harness::trace_point_names();
+                let doc = if out.ends_with(".chrome.json") {
+                    dump.to_chrome(&names).to_string_pretty()
+                } else {
+                    dump.to_jsonl(&names)
+                };
+                if let Err(e) = std::fs::write(&out, doc) {
+                    xbgp_obs::error!("cannot write trace to {out}: {e}");
+                    return ExitCode::from(2);
+                }
+                xbgp_obs::info!(
+                    "trace written to {out}: {} event(s), {} postmortem(s)",
+                    dump.events.len(),
+                    dump.postmortems.len()
+                );
             }
             if report.all_passed() {
                 ExitCode::SUCCESS

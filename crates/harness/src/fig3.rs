@@ -10,6 +10,7 @@ use netsim::{Sim, SimConfig};
 use routegen::{to_updates, Route, TableSpec};
 use rpki::Roa;
 use xbgp_core::Manifest;
+use xbgp_obs::trace::{TraceConfig, TraceDump};
 use xbgp_progs::{origin_validation, route_reflect};
 use xbgp_wire::{Ipv4Prefix, Message};
 
@@ -75,6 +76,14 @@ pub struct Fig3Spec {
     /// Collect the DUT's final Loc-RIB contents in the outcome (the
     /// determinism regression test compares these across shard counts).
     pub rib_dump: bool,
+    /// Route-scoped tracing: sample 1 route in this many through the
+    /// DUT's flight recorder (0 = tracing off). The dump lands in
+    /// [`Fig3Outcome::trace`]; sharded runs merge per-shard dumps in
+    /// timeline order.
+    pub trace_sample: u64,
+    /// Enable the DUT's VM execution profiler (`xbgp_prof_*` series in
+    /// the metrics snapshot).
+    pub profile: bool,
 }
 
 /// Measured outcome of one run.
@@ -93,6 +102,9 @@ pub struct Fig3Outcome {
     /// Final Loc-RIB contents, sorted by prefix (when
     /// `Fig3Spec::rib_dump` is set).
     pub loc_rib: Option<Vec<(Ipv4Prefix, Vec<u8>)>>,
+    /// Flight-recorder dump (when `Fig3Spec::trace_sample` is set). A
+    /// sharded run merges per-shard dumps into one timeline.
+    pub trace: Option<TraceDump>,
 }
 
 /// ROA validity mix of §3.4 ("75% of the injected prefixes as valid").
@@ -118,7 +130,7 @@ pub fn run(spec: &Fig3Spec) -> Fig3Outcome {
     let table = routegen::generate(&TableSpec::new(spec.routes, spec.seed));
     let roas = (spec.use_case == UseCase::OriginValidation).then(|| make_roas(&table, spec.seed));
     let frames = encode_frames(spec, &table);
-    run_frames(spec, frames, table.len(), roas.as_deref())
+    run_frames(spec, frames, table.len(), roas.as_deref(), 0)
 }
 
 /// Pre-encode a route list into the wire-format UPDATE frames the feeder
@@ -135,16 +147,24 @@ pub(crate) fn encode_frames(spec: &Fig3Spec, routes: &[Route]) -> Vec<Vec<u8>> {
 
 /// Run one feeder → DUT → sink chain over pre-encoded UPDATE frames
 /// carrying `expected` distinct prefixes. `roas` is the full-table ROA
-/// set (origin validation only). This is the complete shard-local
-/// workload: every input is `Send`, and all `Rc`-based daemon state is
-/// constructed inside this call and never leaves it.
+/// set (origin validation only); `shard` namespaces the flight
+/// recorder's trace ids so merged multi-worker timelines stay
+/// attributable. This is the complete shard-local workload: every input
+/// is `Send`, and all `Rc`-based daemon state is constructed inside this
+/// call and never leaves it.
 pub(crate) fn run_frames(
     spec: &Fig3Spec,
     frames: Vec<Vec<u8>>,
     expected: usize,
     roas: Option<&[Roa]>,
+    shard: u32,
 ) -> Fig3Outcome {
     let ibgp = spec.use_case == UseCase::RouteReflection;
+    let trace_cfg = (spec.trace_sample > 0).then_some(TraceConfig {
+        sample_every: spec.trace_sample,
+        capacity: 0,
+        shard,
+    });
 
     // Addresses/ASNs: feeder=1, DUT=2, sink=3.
     let (feeder_asn, dut_asn, sink_asn) = if ibgp {
@@ -188,6 +208,8 @@ pub(crate) fn run_frames(
             cfg.xbgp_roas = ext_roas;
             cfg.xbgp = manifest;
             cfg.metrics = spec.metrics;
+            cfg.trace = trace_cfg;
+            cfg.profile = spec.profile;
             sim.replace_node(d, Box::new(FirDaemon::new(cfg)));
         }
         Dut::Wren => {
@@ -205,6 +227,8 @@ pub(crate) fn run_frames(
             cfg.xbgp_roas = ext_roas;
             cfg.xbgp = manifest;
             cfg.metrics = spec.metrics;
+            cfg.trace = trace_cfg;
+            cfg.profile = spec.profile;
             sim.replace_node(d, Box::new(WrenDaemon::new(cfg)));
         }
     }
@@ -246,12 +270,17 @@ pub(crate) fn run_frames(
         Dut::Fir => sim.node_ref::<FirDaemon>(d).loc_rib_dump(),
         Dut::Wren => sim.node_ref::<WrenDaemon>(d).loc_rib_dump(),
     });
+    let trace = trace_cfg.and_then(|_| match spec.dut {
+        Dut::Fir => sim.node_mut::<FirDaemon>(d).take_trace(),
+        Dut::Wren => sim.node_mut::<WrenDaemon>(d).take_trace(),
+    });
     Fig3Outcome {
         elapsed_ns: last_rx.saturating_sub(first_sent),
         prefixes_delivered: delivered,
         dut_cpu_ns: sim.cpu_time(d),
         metrics,
         loc_rib,
+        trace,
     }
 }
 
@@ -280,6 +309,8 @@ mod tests {
                         metrics: extension,
                         shards: 1,
                         rib_dump: false,
+                        trace_sample: 0,
+                        profile: false,
                     });
                     assert_eq!(
                         out.prefixes_delivered,

@@ -8,6 +8,7 @@
 
 use crate::fig3::{self, Dut, Fig3Spec, UseCase};
 use crate::stats::{relative_impact_pct, summarize, Summary};
+use xbgp_obs::trace::TraceDump;
 use xbgp_obs::Snapshot;
 
 /// Experiment parameters.
@@ -25,11 +26,25 @@ pub struct Fig4Config {
     /// Prefix-hash shards per run (both variants of a pair use the same
     /// count, keeping the pairing symmetric). `1` is the sequential path.
     pub shards: usize,
+    /// Route-scoped tracing: sample 1 route in this many (0 = off). Both
+    /// variants of a pair trace, keeping the pairing symmetric; the
+    /// extension run's dump lands in [`Fig4Cell::trace`].
+    pub trace_sample: u64,
+    /// Enable the DUT's VM execution profiler in both variants.
+    pub profile: bool,
 }
 
 impl Default for Fig4Config {
     fn default() -> Self {
-        Fig4Config { routes: 50_000, runs: 15, seed: 1, metrics: false, shards: 1 }
+        Fig4Config {
+            routes: 50_000,
+            runs: 15,
+            seed: 1,
+            metrics: false,
+            shards: 1,
+            trace_sample: 0,
+            profile: false,
+        }
     }
 }
 
@@ -48,6 +63,9 @@ pub struct Fig4Cell {
     /// DUT metrics from the cell's last extension run, labeled with the
     /// use case (when `Fig4Config::metrics` is set).
     pub metrics: Option<Snapshot>,
+    /// Flight-recorder dump from the cell's last extension run (when
+    /// `Fig4Config::trace_sample` is set).
+    pub trace: Option<TraceDump>,
 }
 
 /// The full figure.
@@ -63,6 +81,7 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
     let mut natives = Vec::with_capacity(cfg.runs);
     let mut extensions = Vec::with_capacity(cfg.runs);
     let mut metrics = None;
+    let mut trace = None;
     for i in 0..cfg.runs {
         let seed = cfg.seed + i as u64;
         let native = fig3::run(&Fig3Spec {
@@ -74,6 +93,8 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             metrics: cfg.metrics,
             shards: cfg.shards,
             rib_dump: false,
+            trace_sample: cfg.trace_sample,
+            profile: cfg.profile,
         });
         let ext = fig3::run(&Fig3Spec {
             dut,
@@ -84,6 +105,8 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             metrics: cfg.metrics,
             shards: cfg.shards,
             rib_dump: false,
+            trace_sample: cfg.trace_sample,
+            profile: cfg.profile,
         });
         assert_eq!(
             native.prefixes_delivered, ext.prefixes_delivered,
@@ -95,6 +118,9 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
         if let Some(snap) = ext.metrics {
             metrics = Some(snap.with_labels(&[("use_case", use_case.slug())]));
         }
+        if let Some(dump) = ext.trace {
+            trace = Some(dump);
+        }
     }
     let summary = summarize(&impacts);
     Fig4Cell {
@@ -105,6 +131,7 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
         median_native_ns: summarize(&natives).median,
         median_extension_ns: summarize(&extensions).median,
         metrics,
+        trace,
     }
 }
 
@@ -125,7 +152,7 @@ pub fn merged_metrics(report: &Fig4Report) -> Snapshot {
     let mut merged = Snapshot::default();
     for cell in &report.cells {
         if let Some(snap) = &cell.metrics {
-            merged.merge(snap.clone());
+            merged.merge(snap.clone()).expect("cells share the bucket layout");
         }
     }
     merged

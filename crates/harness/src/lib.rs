@@ -27,3 +27,10 @@ pub use feeder::Feeder;
 pub use fig3::{Dut, Fig3Outcome, Fig3Spec, UseCase};
 pub use fig4::{fig4_run, Fig4Config, Fig4Report};
 pub use sink::Sink;
+
+/// Insertion-point names for trace export, indexed by `TraceEvent::point`
+/// — what [`xbgp_obs::trace::TraceDump::to_jsonl`] and `to_chrome` expect
+/// as their name table.
+pub fn trace_point_names() -> Vec<&'static str> {
+    xbgp_core::api::InsertionPoint::ALL.iter().map(|p| p.name()).collect()
+}

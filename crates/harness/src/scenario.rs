@@ -44,6 +44,7 @@ use netsim::{LinkId, NodeId, Sim, SimConfig};
 use std::collections::HashMap;
 use xbgp_core::Manifest;
 use xbgp_obs::json::Value;
+use xbgp_obs::trace::{TraceConfig, TraceDump};
 use xbgp_wire::prefix::parse_addr;
 use xbgp_wire::Ipv4Prefix;
 
@@ -434,6 +435,23 @@ impl ExpectRoute {
     }
 }
 
+/// Runtime observability knobs for a scenario run, beyond what the
+/// document itself describes (operator flags on `xbgp-sim`, not scenario
+/// content).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Trace 1 route in this many through every router's flight recorder
+    /// (0 = tracing off).
+    pub trace_sample: u64,
+    /// Enable every router's VM execution profiler (`xbgp_prof_*`
+    /// series in the metrics snapshot).
+    pub profile: bool,
+    /// Trace-id namespace base: router `i` records under shard
+    /// `(shard_base << 8) | i`, so per-router timelines from sharded
+    /// replicas stay attributable after the merge.
+    pub shard_base: u32,
+}
+
 /// Outcome of a scenario run.
 #[derive(Debug)]
 pub struct ScenarioReport {
@@ -445,6 +463,9 @@ pub struct ScenarioReport {
     /// Merged final metrics of every router, each tagged with a
     /// `router` label on top of its `daemon` label.
     pub metrics: xbgp_obs::Snapshot,
+    /// Every router's flight-recorder dump merged into one timeline
+    /// (when [`RunOptions::trace_sample`] is set).
+    pub trace: Option<TraceDump>,
 }
 
 impl ScenarioReport {
@@ -507,9 +528,21 @@ enum AnyRouter {
     Wren,
 }
 
-/// Run a scenario to completion.
+/// Run a scenario to completion with default observability options.
 pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    run_with_options(scenario, &RunOptions::default())
+}
+
+/// Run a scenario to completion.
+pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<ScenarioReport, String> {
     let mut sim = Sim::new(SimConfig::default());
+    let trace_cfg = |router_idx: usize| {
+        (opts.trace_sample > 0).then_some(TraceConfig {
+            sample_every: opts.trace_sample,
+            capacity: 0,
+            shard: (opts.shard_base << 8) | router_idx as u32,
+        })
+    };
 
     // Resolve routers.
     let mut by_name: HashMap<String, (usize, NodeId)> = HashMap::new();
@@ -595,7 +628,6 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
         let peers: Vec<(LinkId, String)> = links_of.get(&r.name).cloned().unwrap_or_default();
 
         let (idx, node) = by_name[&r.name];
-        let _ = idx;
         match r.implementation.as_str() {
             "fir" => {
                 let mut cfg = FirConfig::new(r.asn, my_addr);
@@ -615,6 +647,8 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
                 cfg.xbgp_roas = xbgp_roas;
                 cfg.igp = shared_igp.clone();
                 cfg.xtra = xtra;
+                cfg.trace = trace_cfg(idx);
+                cfg.profile = opts.profile;
                 sim.replace_node(node, Box::new(FirDaemon::new(cfg)));
                 kinds.push(AnyRouter::Fir);
             }
@@ -636,6 +670,8 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
                 cfg.xbgp_roas = xbgp_roas;
                 cfg.igp = shared_igp.clone();
                 cfg.xtra = xtra;
+                cfg.trace = trace_cfg(idx);
+                cfg.profile = opts.profile;
                 sim.replace_node(node, Box::new(WrenDaemon::new(cfg)));
                 kinds.push(AnyRouter::Wren);
             }
@@ -693,25 +729,30 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
     }
     sim.run_until((last + scenario.settle_secs) * SEC);
 
-    // Final tables and metrics.
+    // Final tables, metrics and traces.
     let mut tables = Vec::new();
     let mut metrics = xbgp_obs::Snapshot::default();
+    let mut dumps = Vec::new();
     for (i, r) in scenario.routers.iter().enumerate() {
         let node = nodes[i];
-        let (n, snap) = match kinds[i] {
+        let (n, snap, dump) = match kinds[i] {
             AnyRouter::Fir => {
-                let d = sim.node_ref::<FirDaemon>(node);
-                (d.loc_rib_len(), d.metrics_snapshot())
+                let d = sim.node_mut::<FirDaemon>(node);
+                (d.loc_rib_len(), d.metrics_snapshot(), d.take_trace())
             }
             AnyRouter::Wren => {
-                let d = sim.node_ref::<WrenDaemon>(node);
-                (d.table_len(), d.metrics_snapshot())
+                let d = sim.node_mut::<WrenDaemon>(node);
+                (d.table_len(), d.metrics_snapshot(), d.take_trace())
             }
         };
         tables.push((r.name.clone(), n));
-        metrics.merge(snap.with_labels(&[("router", &r.name)]));
+        metrics
+            .merge(snap.with_labels(&[("router", &r.name)]))
+            .expect("routers share the bucket layout");
+        dumps.extend(dump);
     }
-    Ok(ScenarioReport { name: scenario.name.clone(), checks, tables, metrics })
+    let trace = (opts.trace_sample > 0).then(|| TraceDump::merge(dumps));
+    Ok(ScenarioReport { name: scenario.name.clone(), checks, tables, metrics, trace })
 }
 
 /// Run a scenario with its originated prefixes split across `shards`
@@ -728,8 +769,19 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
 /// sizes summed, and metric snapshots merged (matching counters sum).
 /// `shards <= 1` is exactly [`run`].
 pub fn run_sharded(scenario: &Scenario, shards: usize) -> Result<ScenarioReport, String> {
+    run_sharded_with_options(scenario, shards, &RunOptions::default())
+}
+
+/// [`run_sharded`] with observability options. Each replica records
+/// trace ids under its own shard namespace (`shard_base = k`), so the
+/// merged timeline stays attributable to both replica and router.
+pub fn run_sharded_with_options(
+    scenario: &Scenario,
+    shards: usize,
+    opts: &RunOptions,
+) -> Result<ScenarioReport, String> {
     if shards <= 1 {
-        return run(scenario);
+        return run_with_options(scenario, opts);
     }
     let owner = |prefix: &str| -> usize {
         match prefix.parse::<Ipv4Prefix>() {
@@ -758,8 +810,9 @@ pub fn run_sharded(scenario: &Scenario, shards: usize) -> Result<ScenarioReport,
     std::thread::scope(|scope| {
         for (k, replica) in replicas.iter().enumerate() {
             let tx = tx.clone();
+            let opts = RunOptions { shard_base: k as u32, ..*opts };
             scope.spawn(move || {
-                let _ = tx.send((k, run(replica)));
+                let _ = tx.send((k, run_with_options(replica, &opts)));
             });
         }
     });
@@ -795,10 +848,13 @@ pub fn run_sharded(scenario: &Scenario, shards: usize) -> Result<ScenarioReport,
         }
     }
     let mut metrics = xbgp_obs::Snapshot::default();
+    let mut dumps = Vec::new();
     for r in reports {
-        metrics.merge(r.metrics);
+        metrics.merge(r.metrics).expect("replicas share the bucket layout");
+        dumps.extend(r.trace);
     }
-    Ok(ScenarioReport { name: scenario.name.clone(), checks, tables, metrics })
+    let trace = (opts.trace_sample > 0).then(|| TraceDump::merge(dumps));
+    Ok(ScenarioReport { name: scenario.name.clone(), checks, tables, metrics, trace })
 }
 
 /// Parse a scenario document from JSON.
@@ -967,6 +1023,73 @@ mod tests {
         assert!(report.all_passed(), "{:?}", report.checks);
         assert!(report.metrics.counter_sum("xbgp_vmm_rollbacks_total") > 0);
         assert_eq!(report.metrics.counter_sum("xbgp_vmm_quarantines_total"), 0);
+    }
+
+    #[test]
+    fn trace_reconstructs_route_flow_and_fault_postmortem() {
+        use xbgp_obs::trace::TraceKind;
+        // The fault_smoke fixture with rate 1.0: every inbound-filter run
+        // stages a host mutation then traps, so a sampled route's
+        // timeline carries the whole ingest → decode → hook → rollback →
+        // decision → propagate flow, and the probe's quarantine leaves a
+        // postmortem naming the faulting pc and insertion point.
+        let json = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/fault_smoke.json"
+        ))
+        .expect("fixture present");
+        let mut scenario = parse(&json).expect("parses");
+        scenario.fault_rate = 1.0;
+        let opts = RunOptions { trace_sample: 1, profile: true, ..Default::default() };
+        let report = run_with_options(&scenario, &opts).expect("runs");
+        assert!(report.all_passed(), "{:?}", report.checks);
+
+        let dump = report.trace.as_ref().expect("tracing on");
+        let ids = |kind: TraceKind| -> std::collections::BTreeSet<u64> {
+            dump.events.iter().filter(|e| e.kind == kind).map(|e| e.trace_id).collect()
+        };
+        // At least one sampled route reconstructs end to end, rollback
+        // included: the same trace id appears at every stage.
+        let full: Vec<u64> = ids(TraceKind::Decode)
+            .intersection(&ids(TraceKind::TxnRollback))
+            .copied()
+            .collect::<std::collections::BTreeSet<u64>>()
+            .intersection(&ids(TraceKind::Decision))
+            .copied()
+            .collect::<std::collections::BTreeSet<u64>>()
+            .intersection(&ids(TraceKind::Propagate))
+            .copied()
+            .collect();
+        assert!(!full.is_empty(), "no trace id spans decode→rollback→decision→propagate");
+        assert!(!ids(TraceKind::Ingest).is_empty());
+        assert!(!ids(TraceKind::Fault).is_empty());
+
+        // The quarantined probe's postmortem names the faulting pc and
+        // the insertion point, and carries the flight-recorder context.
+        let pm = dump
+            .postmortems
+            .iter()
+            .find(|pm| pm.quarantined)
+            .expect("rate 1.0 trips the breaker");
+        assert_eq!(pm.extension, "fault_inject");
+        assert_eq!(usize::from(pm.point), 1, "inbound filter");
+        assert!(pm.pc.is_some(), "faulting pc recorded");
+        assert!(!pm.events.is_empty(), "last-N context attached");
+        let fault = pm.events.iter().rev().find(|e| e.kind == TraceKind::Fault);
+        assert_eq!(fault.map(|e| e.a), pm.pc, "context fault matches the pc");
+
+        // The profiler ran alongside: xbgp_prof_* series are exported.
+        assert!(
+            report.metrics.metrics.iter().any(|m| m.name.starts_with("xbgp_prof_")),
+            "profiler series exported"
+        );
+
+        // The merged multi-router dump round-trips through JSONL.
+        let names = crate::trace_point_names();
+        let back = xbgp_obs::trace::TraceDump::from_jsonl(&dump.to_jsonl(&names), &names)
+            .expect("round-trips");
+        assert_eq!(back.events.len(), dump.events.len());
+        assert_eq!(back.postmortems.len(), dump.postmortems.len());
     }
 
     #[test]

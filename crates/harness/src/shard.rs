@@ -20,6 +20,7 @@ use crate::fig3::{self, Fig3Outcome, Fig3Spec, UseCase};
 use crate::stats::{summarize_weighted, Summary};
 use routegen::{Route, TableSpec};
 use std::sync::mpsc;
+use xbgp_obs::trace::TraceDump;
 use xbgp_obs::Snapshot;
 use xbgp_wire::Ipv4Prefix;
 
@@ -98,7 +99,7 @@ impl ShardedRun {
             .map(|s| s.outcome.dut_cpu_ns as f64 / s.routes.max(1) as f64)
             .collect();
         let weights: Vec<u64> = self.shards.iter().map(|s| s.routes as u64).collect();
-        summarize_weighted(&values, &weights)
+        summarize_weighted(&values, &weights).expect("one weight per shard by construction")
     }
 }
 
@@ -126,7 +127,7 @@ pub fn run_fig3_sharded(spec: &Fig3Spec, mode: ExecMode) -> ShardedRun {
             .filter(|(_, routes)| !routes.is_empty())
             .map(|(k, routes)| {
                 let frames = fig3::encode_frames(spec, routes);
-                let outcome = fig3::run_frames(spec, frames, routes.len(), roas);
+                let outcome = fig3::run_frames(spec, frames, routes.len(), roas, k as u32);
                 ShardOutcome { shard: k, routes: routes.len(), outcome }
             })
             .collect(),
@@ -153,7 +154,7 @@ pub fn run_fig3_sharded(spec: &Fig3Spec, mode: ExecMode) -> ShardedRun {
                         for batch in in_rx {
                             frames.extend(batch);
                         }
-                        let outcome = fig3::run_frames(&spec, frames, expected, roas);
+                        let outcome = fig3::run_frames(&spec, frames, expected, roas, k as u32);
                         let _ = out_tx.send(ShardOutcome { shard: k, routes: expected, outcome });
                     });
                     feeds.push((in_tx, routes));
@@ -185,6 +186,8 @@ pub fn run_fig3_sharded(spec: &Fig3Spec, mode: ExecMode) -> ShardedRun {
 ///   what one daemon over the whole workload would report.
 /// * `loc_rib` — concatenated and re-sorted: shard ownership partitions
 ///   the prefix space, so the union is the whole table.
+/// * `trace` — per-shard flight-recorder dumps merged into one timeline
+///   ([`TraceDump::merge`] orders by virtual timestamp, then shard).
 fn merge_outcomes(spec: &Fig3Spec, results: &[ShardOutcome]) -> Fig3Outcome {
     let mut merged = Fig3Outcome {
         elapsed_ns: 0,
@@ -192,13 +195,14 @@ fn merge_outcomes(spec: &Fig3Spec, results: &[ShardOutcome]) -> Fig3Outcome {
         dut_cpu_ns: 0,
         metrics: spec.metrics.then(Snapshot::new),
         loc_rib: spec.rib_dump.then(Vec::new),
+        trace: None,
     };
     for r in results {
         merged.elapsed_ns = merged.elapsed_ns.max(r.outcome.elapsed_ns);
         merged.prefixes_delivered += r.outcome.prefixes_delivered;
         merged.dut_cpu_ns += r.outcome.dut_cpu_ns;
         if let (Some(acc), Some(snap)) = (merged.metrics.as_mut(), r.outcome.metrics.as_ref()) {
-            acc.merge(snap.clone());
+            acc.merge(snap.clone()).expect("shards share the bucket layout");
         }
         if let (Some(acc), Some(rib)) = (merged.loc_rib.as_mut(), r.outcome.loc_rib.as_ref()) {
             acc.extend(rib.iter().cloned());
@@ -206,6 +210,10 @@ fn merge_outcomes(spec: &Fig3Spec, results: &[ShardOutcome]) -> Fig3Outcome {
     }
     if let Some(rib) = merged.loc_rib.as_mut() {
         rib.sort();
+    }
+    let dumps: Vec<TraceDump> = results.iter().filter_map(|r| r.outcome.trace.clone()).collect();
+    if !dumps.is_empty() {
+        merged.trace = Some(TraceDump::merge(dumps));
     }
     merged
 }
@@ -252,6 +260,8 @@ mod tests {
             metrics: false,
             shards: 3,
             rib_dump: true,
+            trace_sample: 0,
+            profile: false,
         };
         let threaded = run_fig3_sharded(&spec, ExecMode::Threads);
         let inline = run_fig3_sharded(&spec, ExecMode::Inline);
@@ -276,6 +286,7 @@ mod tests {
                 dut_cpu_ns: cpu,
                 metrics: None,
                 loc_rib: None,
+                trace: None,
             },
         };
         // Three big shards at 10 ns/route, one tiny straggler at 100.
@@ -290,5 +301,36 @@ mod tests {
         assert!((s.mean - expect).abs() < 1e-9, "mean {} vs {}", s.mean, expect);
         assert_eq!(s.median, 10.0);
         assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn sharded_traces_merge_in_timeline_order() {
+        let spec = Fig3Spec {
+            dut: Dut::Fir,
+            use_case: UseCase::OriginValidation,
+            extension: true,
+            routes: 200,
+            seed: 5,
+            metrics: false,
+            shards: 3,
+            rib_dump: false,
+            trace_sample: 1,
+            profile: false,
+        };
+        let run = run_fig3_sharded(&spec, ExecMode::Inline);
+        let dump = run.merged.trace.as_ref().expect("tracing on");
+        assert!(!dump.events.is_empty());
+        // Timeline order: virtual timestamps never go backwards.
+        assert!(dump.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // Events from more than one shard namespace survived the merge,
+        // still attributable through their trace-id shard bits.
+        let shards: std::collections::BTreeSet<u32> =
+            dump.events.iter().map(|e| e.shard()).collect();
+        assert!(shards.len() > 1, "expected multi-shard trace, got {shards:?}");
+        // Trace ids from different shards never collide.
+        for s in &run.shards {
+            let d = s.outcome.trace.as_ref().expect("per-shard dump kept");
+            assert!(d.events.iter().all(|e| e.shard() == s.shard as u32), "shard {}", s.shard);
+        }
     }
 }

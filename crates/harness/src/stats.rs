@@ -1,5 +1,7 @@
 //! Run statistics: the five-number summaries behind Fig. 4's boxplots.
 
+use std::fmt;
+
 /// Five-number summary plus the mean.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -43,17 +45,40 @@ pub fn summarize(values: &[f64]) -> Summary {
     }
 }
 
+/// Mismatched `summarize_weighted` inputs: every value needs exactly one
+/// weight. Surfaced as an explicit error (not a panic) so aggregation
+/// callers can attribute the bad input to its source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightMismatch {
+    pub values: usize,
+    pub weights: usize,
+}
+
+impl fmt::Display for WeightMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "weighted summary needs one weight per value: got {} value(s), {} weight(s)",
+            self.values, self.weights
+        )
+    }
+}
+
+impl std::error::Error for WeightMismatch {}
+
 /// Weighted five-number summary: each value counts `weight` times, as if
 /// the sample were expanded into a multiset (quantiles are type-7 over
 /// that expansion; the mean is weight-averaged). Zero-weight entries are
-/// dropped.
+/// dropped; mismatched slice lengths are a [`WeightMismatch`] error.
 ///
 /// The shard aggregation path weights per-shard figures by the routes
 /// each shard *actually* processed: when `routes % shards != 0` the last
 /// shard is smaller, and an unweighted summary would let it skew
 /// per-route statistics as if it were a full-size peer.
-pub fn summarize_weighted(values: &[f64], weights: &[u64]) -> Summary {
-    assert_eq!(values.len(), weights.len(), "one weight per value");
+pub fn summarize_weighted(values: &[f64], weights: &[u64]) -> Result<Summary, WeightMismatch> {
+    if values.len() != weights.len() {
+        return Err(WeightMismatch { values: values.len(), weights: weights.len() });
+    }
     let mut pairs: Vec<(f64, u64)> = values
         .iter()
         .copied()
@@ -61,7 +86,7 @@ pub fn summarize_weighted(values: &[f64], weights: &[u64]) -> Summary {
         .filter(|&(_, w)| w > 0)
         .collect();
     if pairs.is_empty() {
-        return Summary { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0 };
+        return Ok(Summary { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0 });
     }
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs in measurements"));
     let total: u64 = pairs.iter().map(|&(_, w)| w).sum();
@@ -85,14 +110,14 @@ pub fn summarize_weighted(values: &[f64], weights: &[u64]) -> Summary {
         let frac = pos - lo as f64;
         at(lo) + (at(hi) - at(lo)) * frac
     };
-    Summary {
+    Ok(Summary {
         min: pairs[0].0,
         q1: q(0.25),
         median: q(0.5),
         q3: q(0.75),
         max: pairs.last().expect("non-empty").0,
         mean: pairs.iter().map(|&(v, w)| v * w as f64).sum::<f64>() / total as f64,
-    }
+    })
 }
 
 /// Relative impact in percent: `(ext - native) / native * 100` (Fig. 4's
@@ -166,7 +191,14 @@ mod tests {
     #[test]
     fn unit_weights_match_unweighted_summary() {
         let vals = [5.0, 1.0, 3.0, 2.0, 4.0];
-        assert_eq!(summarize_weighted(&vals, &[1; 5]), summarize(&vals));
+        assert_eq!(summarize_weighted(&vals, &[1; 5]).unwrap(), summarize(&vals));
+    }
+
+    #[test]
+    fn mismatched_lengths_are_an_error_not_a_panic() {
+        let err = summarize_weighted(&[1.0, 2.0], &[1]).unwrap_err();
+        assert_eq!(err, WeightMismatch { values: 2, weights: 1 });
+        assert!(err.to_string().contains("2 value(s), 1 weight(s)"), "{err}");
     }
 
     #[test]
@@ -180,7 +212,7 @@ mod tests {
         for (&v, &w) in vals.iter().zip(&weights) {
             expanded.extend(std::iter::repeat_n(v, w as usize));
         }
-        let w = summarize_weighted(&vals, &weights);
+        let w = summarize_weighted(&vals, &weights).unwrap();
         let e = summarize(&expanded);
         for (a, b) in [
             (w.min, e.min),
@@ -199,10 +231,10 @@ mod tests {
 
     #[test]
     fn zero_weights_are_dropped() {
-        let s = summarize_weighted(&[1.0, 99.0], &[5, 0]);
+        let s = summarize_weighted(&[1.0, 99.0], &[5, 0]).unwrap();
         assert_eq!(s.max, 1.0);
         assert_eq!(s.mean, 1.0);
-        let empty = summarize_weighted(&[], &[]);
+        let empty = summarize_weighted(&[], &[]).unwrap();
         assert_eq!(empty.mean, 0.0);
     }
 }

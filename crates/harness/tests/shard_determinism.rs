@@ -24,6 +24,8 @@ fn spec(dut: Dut, use_case: UseCase, extension: bool, shards: usize) -> Fig3Spec
         metrics: false,
         shards,
         rib_dump: true,
+        trace_sample: 0,
+        profile: false,
     }
 }
 

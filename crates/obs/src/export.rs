@@ -9,7 +9,7 @@
 //! [`crate::json`].
 
 use crate::json::Value;
-use crate::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use crate::metrics::Histogram;
 use crate::registry::{Metric, MetricValue, Snapshot};
 
 /// Render a snapshot in the Prometheus text exposition format.
@@ -34,15 +34,16 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
                 out.push_str(&format!("{}{} {}\n", m.name, render_labels(&m.labels, None), v));
             }
             MetricValue::Histogram(h) => {
+                let last = h.buckets.len().max(1) - 1;
                 let mut cumulative = 0u64;
                 for (i, &c) in h.buckets.iter().enumerate() {
                     cumulative += c;
                     // Empty buckets below the data are skipped to keep
                     // dumps small; cumulative semantics are preserved.
-                    if c == 0 && i != HISTOGRAM_BUCKETS - 1 {
+                    if c == 0 && i != last {
                         continue;
                     }
-                    let le = if i == HISTOGRAM_BUCKETS - 1 {
+                    let le = if i == last {
                         "+Inf".to_string()
                     } else {
                         Histogram::bucket_upper_bound(i).to_string()
@@ -113,31 +114,53 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
 }
 
 fn parse_sample_line(line: &str) -> Result<PromSample, String> {
-    let (name_and_labels, value_text) = match line.find('}') {
-        Some(close) => {
-            let (head, tail) = line.split_at(close + 1);
-            (head, tail.trim())
+    // The name ends at the label block or the first whitespace. The label
+    // block must then be scanned quote- and escape-aware: label values may
+    // legitimately contain `{`, `}`, spaces, or escaped quotes, so a
+    // positional `find('}')` would split the line inside a value.
+    let mut name_end = line.len();
+    let mut label_open = None;
+    for (i, c) in line.char_indices() {
+        if c == '{' || c.is_whitespace() {
+            name_end = i;
+            label_open = (c == '{').then_some(i);
+            break;
         }
-        None => {
-            let mut it = line.splitn(2, ' ');
-            let head = it.next().unwrap();
-            (head, it.next().ok_or("missing value")?.trim())
-        }
-    };
-    let value: f64 = value_text.parse().map_err(|_| format!("bad value `{value_text}`"))?;
-
-    let (name, labels) = match name_and_labels.find('{') {
-        None => (name_and_labels.to_string(), Vec::new()),
+    }
+    let name = &line[..name_end];
+    let (labels, value_text) = match label_open {
+        None => (Vec::new(), line[name_end..].trim()),
         Some(open) => {
-            let name = name_and_labels[..open].to_string();
-            let body = name_and_labels[open + 1..name_and_labels.len() - 1].trim();
-            (name, parse_labels(body)?)
+            let mut close = None;
+            let mut in_quotes = false;
+            let mut escaped = false;
+            for (i, c) in line[open + 1..].char_indices() {
+                if escaped {
+                    escaped = false;
+                    continue;
+                }
+                match c {
+                    '\\' if in_quotes => escaped = true,
+                    '"' => in_quotes = !in_quotes,
+                    '}' if !in_quotes => {
+                        close = Some(open + 1 + i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let close = close.ok_or("unterminated label block")?;
+            (parse_labels(line[open + 1..close].trim())?, line[close + 1..].trim())
         }
     };
+    if value_text.is_empty() {
+        return Err("missing value".to_string());
+    }
+    let value: f64 = value_text.parse().map_err(|_| format!("bad value `{value_text}`"))?;
     if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
         return Err(format!("bad metric name `{name}`"));
     }
-    Ok(PromSample { name, labels, value })
+    Ok(PromSample { name: name.to_string(), labels, value })
 }
 
 fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
@@ -303,6 +326,30 @@ mod tests {
         assert!(parse_prometheus("not a metric line").is_err());
         assert!(parse_prometheus("m{k=unquoted} 1").is_err());
         assert!(parse_prometheus("m 1 2 3").is_err());
+        assert!(parse_prometheus("m{k=\"unterminated} 1").is_err());
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip() {
+        // Values containing the structural characters the old parser
+        // split on positionally: `}`, `{`, spaces — plus the characters
+        // the exposition format requires escaping.
+        let hostile = ["a}b", "{c}", "d e f", "g\"h", "i\\j", "k\nl", "}{\"\\\n"];
+        let mut snap = Snapshot::new();
+        for (i, v) in hostile.iter().enumerate() {
+            snap.push_counter("m", &[("v", v), ("i", &i.to_string())], i as u64);
+        }
+        let text = to_prometheus(&snap);
+        let samples = parse_prometheus(&text).unwrap();
+        assert_eq!(samples.len(), hostile.len());
+        for (i, v) in hostile.iter().enumerate() {
+            assert_eq!(
+                samples[i].labels,
+                vec![("v".to_string(), v.to_string()), ("i".to_string(), i.to_string())],
+                "value {v:?} must survive the round trip"
+            );
+            assert_eq!(samples[i].value, i as f64);
+        }
     }
 
     #[test]

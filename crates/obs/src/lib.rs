@@ -26,6 +26,10 @@
 //! * **JSON codec** ([`json`]): a dependency-free parser/writer also used
 //!   by manifests and scenario files (the build environment has no
 //!   registry access, so serde is not available; see `shims/README.md`).
+//! * **Tracing** ([`trace`]): route-scoped flight recorder — per-thread
+//!   ring buffers of fixed-size [`trace::TraceEvent`]s, deterministic
+//!   1-in-N route sampling, JSONL/Chrome exporters, and fault
+//!   [`trace::Postmortem`] records.
 
 pub mod export;
 pub mod json;
@@ -34,8 +38,10 @@ pub mod metrics;
 pub mod recorder;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MergeError, HISTOGRAM_BUCKETS};
 pub use recorder::{NoopRecorder, Recorder, RegistryRecorder};
 pub use registry::{Metric, MetricValue, Registry, Snapshot};
 pub use span::SpanTimer;
+pub use trace::{Postmortem, TraceConfig, TraceDump, TraceEvent, TraceKind, Tracer};

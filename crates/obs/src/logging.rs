@@ -6,7 +6,9 @@
 //! [`trace!`](crate::trace!) macros; hosts pick the backend with
 //! [`set_sink`] (default: stderr) and the verbosity with [`set_level`]
 //! (default: [`Level::Info`]). The level check is one relaxed atomic load,
-//! and message formatting only happens for records that pass it.
+//! performed at the macro callsite *before* `format_args!` materializes —
+//! a filtered-out record costs the load and a predictable branch, never
+//! argument formatting or a `Display` walk of the operands.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::RwLock;
@@ -93,8 +95,9 @@ pub fn reset_sink() {
     *SINK.write().unwrap() = None;
 }
 
-/// Emit a record. Prefer the macros, which skip formatting when the level
-/// is filtered out.
+/// Emit a record that already passed the level check. Prefer the macros,
+/// which perform that check before `format_args!` materializes — calling
+/// this directly formats unconditionally.
 pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
     if !enabled(level) {
         return;
@@ -107,38 +110,51 @@ pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
     }
 }
 
+/// Shared macro body: the level check happens *here*, at the callsite,
+/// so a filtered record never builds its `format_args!` (whose captured
+/// operands would otherwise be evaluated and walked by the formatter).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __log_at {
+    ($level:expr, $($arg:tt)*) => {
+        if $crate::logging::enabled($level) {
+            $crate::logging::log($level, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
 #[macro_export]
 macro_rules! error {
     ($($arg:tt)*) => {
-        $crate::logging::log($crate::logging::Level::Error, module_path!(), format_args!($($arg)*))
+        $crate::__log_at!($crate::logging::Level::Error, $($arg)*)
     };
 }
 
 #[macro_export]
 macro_rules! warn {
     ($($arg:tt)*) => {
-        $crate::logging::log($crate::logging::Level::Warn, module_path!(), format_args!($($arg)*))
+        $crate::__log_at!($crate::logging::Level::Warn, $($arg)*)
     };
 }
 
 #[macro_export]
 macro_rules! info {
     ($($arg:tt)*) => {
-        $crate::logging::log($crate::logging::Level::Info, module_path!(), format_args!($($arg)*))
+        $crate::__log_at!($crate::logging::Level::Info, $($arg)*)
     };
 }
 
 #[macro_export]
 macro_rules! debug {
     ($($arg:tt)*) => {
-        $crate::logging::log($crate::logging::Level::Debug, module_path!(), format_args!($($arg)*))
+        $crate::__log_at!($crate::logging::Level::Debug, $($arg)*)
     };
 }
 
 #[macro_export]
 macro_rules! trace {
     ($($arg:tt)*) => {
-        $crate::logging::log($crate::logging::Level::Trace, module_path!(), format_args!($($arg)*))
+        $crate::__log_at!($crate::logging::Level::Trace, $($arg)*)
     };
 }
 
@@ -186,6 +202,18 @@ mod tests {
         // Restore defaults for any other test in this process.
         set_level(Level::Info);
         reset_sink();
+    }
+
+    #[test]
+    fn filtered_records_never_evaluate_their_arguments() {
+        // `expensive` panics if called; the macro must short-circuit
+        // before `format_args!` captures (and formats) the operand.
+        fn expensive() -> String {
+            panic!("argument was formatted for a filtered-out record");
+        }
+        // Global level defaults to Info (tests that change it restore it).
+        assert!(!enabled(Level::Trace));
+        crate::trace!("dropped: {}", expensive());
     }
 
     #[test]

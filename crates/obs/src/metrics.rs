@@ -114,24 +114,87 @@ impl Histogram {
 
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
         }
     }
 }
 
+/// Why two snapshots refused to merge. Carries the metric name when the
+/// registry layer knows it (ad-hoc merges leave it empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two histograms have different bucket layouts; summing them
+    /// pairwise would silently truncate to the shorter one.
+    BucketCountMismatch {
+        metric: String,
+        left: usize,
+        right: usize,
+    },
+    /// A histogram claims observations but carries no buckets to hold
+    /// them — a malformed (e.g. mis-parsed) snapshot.
+    EmptyHistogram { metric: String },
+}
+
+impl MergeError {
+    /// Attach the metric name (the registry knows it, callers of the bare
+    /// snapshot merge usually don't).
+    pub fn with_metric(mut self, name: &str) -> MergeError {
+        match &mut self {
+            MergeError::BucketCountMismatch { metric, .. }
+            | MergeError::EmptyHistogram { metric } => {
+                if metric.is_empty() {
+                    *metric = name.to_string();
+                }
+            }
+        }
+        self
+    }
+
+    fn metric(&self) -> &str {
+        match self {
+            MergeError::BucketCountMismatch { metric, .. }
+            | MergeError::EmptyHistogram { metric } => metric,
+        }
+    }
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = if self.metric().is_empty() {
+            "<histogram>"
+        } else {
+            self.metric()
+        };
+        match self {
+            MergeError::BucketCountMismatch { left, right, .. } => {
+                write!(f, "cannot merge `{name}`: bucket count mismatch ({left} vs {right})")
+            }
+            MergeError::EmptyHistogram { .. } => {
+                write!(f, "cannot merge `{name}`: non-empty histogram has no buckets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Point-in-time copy of a [`Histogram`].
+///
+/// `buckets` is a `Vec` rather than a fixed array so snapshots from other
+/// layouts (or parsed from an export) are representable — which is exactly
+/// why [`HistogramSnapshot::merge`] must check layouts instead of zipping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub buckets: Vec<u64>,
     pub count: u64,
     pub sum: u64,
 }
 
 impl Default for HistogramSnapshot {
     fn default() -> HistogramSnapshot {
-        HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0 }
+        HistogramSnapshot { buckets: vec![0; HISTOGRAM_BUCKETS], count: 0, sum: 0 }
     }
 }
 
@@ -162,14 +225,43 @@ impl HistogramSnapshot {
         Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// An empty shell: no buckets, no observations. Merging adopts the
+    /// other side's layout; claiming observations without buckets is the
+    /// malformed state [`MergeError::EmptyHistogram`] rejects.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty() && self.count == 0 && self.sum == 0
+    }
+
     /// Merge another snapshot into this one (used when aggregating the
-    /// same metric across label sets).
-    pub fn merge(&mut self, other: &HistogramSnapshot) {
+    /// same metric across label sets or shards). Bucket layouts must
+    /// match — a mismatch is an error, never a silent zip-truncation. An
+    /// all-empty side (no buckets, no observations) merges as a no-op /
+    /// layout adoption.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> Result<(), MergeError> {
+        let malformed = |s: &HistogramSnapshot| s.buckets.is_empty() && (s.count > 0 || s.sum > 0);
+        if malformed(self) || malformed(other) {
+            return Err(MergeError::EmptyHistogram { metric: String::new() });
+        }
+        if other.is_empty() {
+            return Ok(());
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return Ok(());
+        }
+        if self.buckets.len() != other.buckets.len() {
+            return Err(MergeError::BucketCountMismatch {
+                metric: String::new(),
+                left: self.buckets.len(),
+                right: other.buckets.len(),
+            });
+        }
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
         self.count += other.count;
         self.sum += other.sum;
+        Ok(())
     }
 }
 
@@ -256,8 +348,49 @@ mod tests {
         b.observe(100);
         b.observe(7);
         let mut sa = a.snapshot();
-        sa.merge(&b.snapshot());
+        sa.merge(&b.snapshot()).unwrap();
         assert_eq!(sa.count, 3);
         assert_eq!(sa.sum, 112);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bucket_counts() {
+        let mut a = HistogramSnapshot { buckets: vec![1; 64], count: 64, sum: 64 };
+        let b = HistogramSnapshot { buckets: vec![1; 32], count: 32, sum: 32 };
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::BucketCountMismatch { metric: String::new(), left: 64, right: 32 }
+        );
+        // Nothing was truncated-into: the receiver is untouched.
+        assert_eq!(a.count, 64);
+        let named = err.with_metric("xbgp_hook_ns");
+        assert!(named.to_string().contains("xbgp_hook_ns"));
+    }
+
+    #[test]
+    fn merge_rejects_malformed_empty_histograms() {
+        let mut a = HistogramSnapshot::default();
+        let claims_without_buckets = HistogramSnapshot { buckets: vec![], count: 5, sum: 10 };
+        assert_eq!(
+            a.merge(&claims_without_buckets).unwrap_err(),
+            MergeError::EmptyHistogram { metric: String::new() }
+        );
+    }
+
+    #[test]
+    fn merge_adopts_layout_from_a_truly_empty_side() {
+        let mut empty = HistogramSnapshot { buckets: vec![], count: 0, sum: 0 };
+        let h = Histogram::new();
+        h.observe(9);
+        empty.merge(&h.snapshot()).unwrap();
+        assert_eq!(empty.count, 1);
+        assert_eq!(empty.buckets.len(), HISTOGRAM_BUCKETS);
+        // And the mirror image: merging empty into populated is a no-op.
+        let mut populated = h.snapshot();
+        populated
+            .merge(&HistogramSnapshot { buckets: vec![], count: 0, sum: 0 })
+            .unwrap();
+        assert_eq!(populated.count, 1);
     }
 }

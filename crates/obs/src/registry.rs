@@ -7,7 +7,7 @@
 //! materialise metrics on demand — the VMM does this so its hot path pays
 //! a `u64` increment, not a map lookup.
 
-use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MergeError};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -155,14 +155,21 @@ impl Snapshot {
     /// single-threaded run over the whole workload would report; callers
     /// that tag snapshots with distinct labels first (`with_labels`) get
     /// the old append behaviour because no keys collide.
-    pub fn merge(&mut self, other: Snapshot) {
+    ///
+    /// Histogram merges are layout-checked: a bucket-count mismatch (or a
+    /// malformed histogram claiming observations without buckets) aborts
+    /// with [`MergeError`] naming the metric, leaving `self` with every
+    /// metric merged up to the offending one.
+    pub fn merge(&mut self, other: Snapshot) -> Result<(), MergeError> {
         for m in other.metrics {
             let slot = self.metrics.iter().position(|e| e.name == m.name && e.labels == m.labels);
             match slot {
                 Some(i) => match (&mut self.metrics[i].value, m.value) {
                     (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
                     (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
-                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(&b),
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                        a.merge(&b).map_err(|e| e.with_metric(&m.name))?
+                    }
                     // Same key, different kind: keep both rather than guess.
                     (_, value) => {
                         self.metrics.push(Metric { name: m.name, labels: m.labels, value })
@@ -171,6 +178,7 @@ impl Snapshot {
                 None => self.metrics.push(m),
             }
         }
+        Ok(())
     }
 
     /// Prefix every metric's label set with `extra` — how a harness tags a
@@ -304,7 +312,7 @@ mod tests {
         let mut b = Snapshot::new();
         b.push_gauge("rib", &[], 9);
         let mut merged = a;
-        merged.merge(b);
+        merged.merge(b).unwrap();
         assert_eq!(merged.metrics.len(), 2);
     }
 
@@ -323,7 +331,7 @@ mod tests {
         }
 
         let mut merged = shard_a.snapshot();
-        merged.merge(shard_b.snapshot());
+        merged.merge(shard_b.snapshot()).unwrap();
         let expect = whole.snapshot();
         assert_eq!(
             merged.counter_value("updates_total", &[("point", "inbound")]),
@@ -348,7 +356,7 @@ mod tests {
         let mut b = Snapshot::new();
         b.push_counter("x", &[("shard", "1")], 3); // different labels
         b.push_gauge("y", &[], 4); // same key, different kind
-        a.merge(b);
+        a.merge(b).unwrap();
         assert_eq!(a.metrics.len(), 4);
         assert_eq!(a.counter_value("x", &[("shard", "0")]), Some(1));
         assert_eq!(a.counter_value("x", &[("shard", "1")]), Some(3));
@@ -357,6 +365,27 @@ mod tests {
             .metrics
             .iter()
             .any(|m| m.name == "y" && matches!(m.value, MetricValue::Gauge(4))));
+    }
+
+    #[test]
+    fn merge_surfaces_bucket_mismatch_with_metric_name() {
+        let mut a = Snapshot::new();
+        a.push_histogram(
+            "hook_ns",
+            &[],
+            HistogramSnapshot { buckets: vec![1; 64], count: 64, sum: 64 },
+        );
+        let mut b = Snapshot::new();
+        b.push_histogram(
+            "hook_ns",
+            &[],
+            HistogramSnapshot { buckets: vec![1; 8], count: 8, sum: 8 },
+        );
+        let err = a.merge(b).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::BucketCountMismatch { metric: "hook_ns".into(), left: 64, right: 8 }
+        );
     }
 
     #[test]

@@ -192,9 +192,9 @@ impl LoadedProgram {
         // only way to revisit an instruction, so they are where the fuel
         // balance is enforced (see the `run_metered` doc).
         macro_rules! back_edge {
-            ($target:expr) => {
+            ($target:expr, $slot:expr) => {
                 if $target <= pc && fuel <= 0 {
-                    return Err(VmError::FuelExhausted);
+                    return Err(VmError::FuelExhausted { pc: $slot as usize });
                 }
             };
         }
@@ -204,7 +204,7 @@ impl LoadedProgram {
             ($ins:expr, $f:expr) => {
                 pc = if $f(reg[$ins.dst as usize], $ins.imm) {
                     let t = $ins.target as usize;
-                    back_edge!(t);
+                    back_edge!(t, $ins.slot);
                     t
                 } else {
                     pc + 1
@@ -215,7 +215,7 @@ impl LoadedProgram {
             ($ins:expr, $f:expr) => {
                 pc = if $f(reg[$ins.dst as usize], reg[$ins.src as usize]) {
                     let t = $ins.target as usize;
-                    back_edge!(t);
+                    back_edge!(t, $ins.slot);
                     t
                 } else {
                     pc + 1
@@ -226,7 +226,7 @@ impl LoadedProgram {
             ($ins:expr, $f:expr) => {
                 pc = if $f(reg[$ins.dst as usize] as u32, $ins.imm as u32) {
                     let t = $ins.target as usize;
-                    back_edge!(t);
+                    back_edge!(t, $ins.slot);
                     t
                 } else {
                     pc + 1
@@ -237,7 +237,7 @@ impl LoadedProgram {
             ($ins:expr, $f:expr) => {
                 pc = if $f(reg[$ins.dst as usize] as u32, reg[$ins.src as usize] as u32) {
                     let t = $ins.target as usize;
-                    back_edge!(t);
+                    back_edge!(t, $ins.slot);
                     t
                 } else {
                     pc + 1
@@ -393,72 +393,80 @@ impl LoadedProgram {
                     }
                     DOp::LdxDw => {
                         let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
-                        reg[ins.dst as usize] = mem.load64(a)?;
+                        reg[ins.dst as usize] =
+                            mem.load64(a).map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::LdxW => {
                         let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
-                        reg[ins.dst as usize] = mem.load32(a)?;
+                        reg[ins.dst as usize] =
+                            mem.load32(a).map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::LdxH => {
                         let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
-                        reg[ins.dst as usize] = mem.load16(a)?;
+                        reg[ins.dst as usize] =
+                            mem.load16(a).map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::LdxB => {
                         let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
-                        reg[ins.dst as usize] = mem.load8(a)?;
+                        reg[ins.dst as usize] =
+                            mem.load8(a).map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::StDw => {
                         let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store64(a, ins.imm)?;
+                        mem.store64(a, ins.imm).map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::StW => {
                         let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store32(a, ins.imm as u32)?;
+                        mem.store32(a, ins.imm as u32).map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::StH => {
                         let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store16(a, ins.imm as u16)?;
+                        mem.store16(a, ins.imm as u16).map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::StB => {
                         let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store8(a, ins.imm as u8)?;
+                        mem.store8(a, ins.imm as u8).map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::StxDw => {
                         let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store64(a, reg[ins.src as usize])?;
+                        mem.store64(a, reg[ins.src as usize])
+                            .map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::StxW => {
                         let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store32(a, reg[ins.src as usize] as u32)?;
+                        mem.store32(a, reg[ins.src as usize] as u32)
+                            .map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::StxH => {
                         let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store16(a, reg[ins.src as usize] as u16)?;
+                        mem.store16(a, reg[ins.src as usize] as u16)
+                            .map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::StxB => {
                         let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store8(a, reg[ins.src as usize] as u8)?;
+                        mem.store8(a, reg[ins.src as usize] as u8)
+                            .map_err(|e| e.at_pc(ins.slot as usize))?;
                         pc += 1;
                     }
                     DOp::Ja => {
                         let t = ins.target as usize;
-                        back_edge!(t);
+                        back_edge!(t, ins.slot);
                         pc = t;
                     }
                     DOp::Call => {
                         if fuel <= 0 {
-                            return Err(VmError::FuelExhausted);
+                            return Err(VmError::FuelExhausted { pc: ins.slot as usize });
                         }
                         helper_calls += 1;
                         let args5 = [reg[1], reg[2], reg[3], reg[4], reg[5]];
@@ -802,11 +810,22 @@ mod tests {
     }
 
     #[test]
+    fn mem_faults_carry_the_faulting_slot() {
+        // Slot 0 is fine; the out-of-bounds load sits at slot 1.
+        let insns = vec![build::mov_imm(0, 0), build::ldxb(0, 10, 0), build::exit()];
+        match run(insns) {
+            Err(VmError::MemFault { pc, write: false, .. }) => assert_eq!(pc, 1),
+            other => panic!("expected a load fault at pc 1, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn infinite_loop_is_stopped_by_fuel() {
         let prog = Program::new(vec![build::ja(-1)]);
         let mut mem = MemoryMap::new();
         let vm = Vm::with_config(&prog, VmConfig { fuel: 1000 });
-        assert_eq!(vm.run(&mut mem, &mut NoHelpers, &[]), Err(VmError::FuelExhausted));
+        // The back-edge that trips the check is the jump at slot 0.
+        assert_eq!(vm.run(&mut mem, &mut NoHelpers, &[]), Err(VmError::FuelExhausted { pc: 0 }));
     }
 
     #[test]
@@ -979,7 +998,7 @@ mod tests {
         let mut mem = MemoryMap::new();
         let vm = Vm::with_config(&prog, VmConfig { fuel: 123 });
         let (out, m) = vm.run_metered(&mut mem, &mut NoHelpers, &[]);
-        assert_eq!(out, Err(VmError::FuelExhausted));
+        assert_eq!(out, Err(VmError::FuelExhausted { pc: 0 }));
         assert_eq!(m.fuel_consumed, 123);
         assert_eq!(m.insns_retired, 123);
         assert_eq!(m.helper_calls, 0);
@@ -1006,7 +1025,7 @@ mod tests {
         let mut mem = MemoryMap::new();
         let vm = Vm::with_config(&prog, VmConfig { fuel: 0 });
         let (out, _) = vm.run_metered(&mut mem, &mut Doubler, &[]);
-        assert_eq!(out, Err(VmError::FuelExhausted));
+        assert_eq!(out, Err(VmError::FuelExhausted { pc: 0 }));
     }
 
     #[test]
@@ -1024,7 +1043,7 @@ mod tests {
             let mut mem = MemoryMap::new();
             let vm = Vm::with_config(&p, VmConfig { fuel: 100 });
             match vm.run(&mut mem, &mut NoHelpers, &[]) {
-                Ok(_) | Err(VmError::FuelExhausted) => {}
+                Ok(_) | Err(VmError::FuelExhausted { .. }) => {}
                 other => panic!("unexpected: {other:?}"),
             }
         }

@@ -122,12 +122,14 @@ impl MemoryMap {
         for (idx, r) in self.regions.iter().enumerate() {
             if r.contains(addr, size) {
                 if write && !r.writable {
-                    return Err(VmError::MemFault { addr, size, write });
+                    // pc is a placeholder; the interpreter stamps the real
+                    // load/store site via `VmError::at_pc`.
+                    return Err(VmError::MemFault { pc: 0, addr, size, write });
                 }
                 return Ok((idx, (addr - r.base) as usize));
             }
         }
-        Err(VmError::MemFault { addr, size, write })
+        Err(VmError::MemFault { pc: 0, addr, size, write })
     }
 
     /// Read `size` bytes at `addr` as a little-endian unsigned integer.

@@ -14,6 +14,7 @@ use std::rc::Rc;
 use std::time::Instant;
 use xbgp_core::api::{self, InsertionPoint, PeerInfo, PeerType};
 use xbgp_core::{Manifest, Vmm, VmmOutcome};
+use xbgp_obs::trace::{pack_prefix, TraceConfig, TraceDump, TraceKind, NO_EXT, NO_POINT};
 use xbgp_obs::{Histogram, Snapshot};
 use xbgp_wire::attr::encode_attrs;
 use xbgp_wire::{Ipv4Prefix, Message, NotificationMsg, OpenMsg, UpdateMsg};
@@ -106,6 +107,12 @@ impl WrenDaemon {
         if cfg.metrics {
             vmm.enable_metrics();
         }
+        if let Some(tc) = cfg.trace {
+            vmm.enable_trace(tc);
+        }
+        if cfg.profile {
+            vmm.enable_profile();
+        }
         let mk_hash = |roas: &Vec<rpki::Roa>| {
             let mut t = RoaHashTable::new();
             for r in roas {
@@ -144,6 +151,23 @@ impl WrenDaemon {
     pub fn enable_metrics(&mut self) {
         self.metrics = true;
         self.vmm.enable_metrics();
+    }
+
+    /// Attach a route-scoped flight recorder at runtime (same effect as
+    /// `WrenConfig::trace`).
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        self.vmm.enable_trace(cfg);
+    }
+
+    /// Turn on the VM execution profiler at runtime.
+    pub fn enable_profile(&mut self) {
+        self.vmm.enable_profile();
+    }
+
+    /// Drain the flight recorder: ring contents, interned extension names
+    /// and accumulated fault postmortems. `None` when tracing is off.
+    pub fn take_trace(&mut self) -> Option<TraceDump> {
+        self.vmm.take_trace()
     }
 
     /// Start a hook timer when instrumentation is on.
@@ -208,7 +232,8 @@ impl WrenDaemon {
                 );
             }
         }
-        s.merge(self.vmm.metrics_snapshot());
+        s.merge(self.vmm.metrics_snapshot())
+            .expect("daemon and VMM share the bucket layout");
         s.with_labels(&[("daemon", "bgp-wren")])
     }
 
@@ -387,6 +412,10 @@ impl WrenDaemon {
         if self.stats.first_update_rx.is_none() {
             self.stats.first_update_rx = Some(ctx.now());
         }
+        if let Some(t) = self.vmm.tracer_mut() {
+            t.set_now(ctx.now());
+            t.on_ingest(ch as u64, upd.nlri.len() as u64);
+        }
 
         for net in &upd.withdrawn {
             self.stats.withdrawals_rx += 1;
@@ -455,6 +484,9 @@ impl WrenDaemon {
 
         for net in &upd.nlri {
             self.stats.prefixes_rx += 1;
+            if let Some(t) = self.vmm.tracer_mut() {
+                t.begin_route(pack_prefix(net.addr(), net.len()));
+            }
             let mut route_attrs = Rc::clone(&shared);
 
             // ② BGP_INBOUND_FILTER.
@@ -528,6 +560,9 @@ impl WrenDaemon {
             };
             self.propagate(ctx, *net, change);
         }
+        if let Some(t) = self.vmm.tracer_mut() {
+            t.end_route();
+        }
 
         // Extension-installed routes.
         let adds: Vec<(Ipv4Prefix, u32)> = self.ext_rib_adds.drain(..).collect();
@@ -589,6 +624,16 @@ impl WrenDaemon {
     /// React to a table change on `net`: re-announce or withdraw on every
     /// channel.
     fn propagate(&mut self, ctx: &mut NodeCtx<'_>, net: Ipv4Prefix, change: TableChange) {
+        if let Some(t) = self.vmm.tracer_mut() {
+            let best_changed = !matches!(change, TableChange::NoBestChange);
+            t.record(
+                TraceKind::Decision,
+                NO_POINT,
+                NO_EXT,
+                pack_prefix(net.addr(), net.len()),
+                u64::from(best_changed),
+            );
+        }
         match change {
             TableChange::NoBestChange => {}
             TableChange::BestChanged | TableChange::NetGone => {
@@ -701,6 +746,15 @@ impl WrenDaemon {
             return;
         }
         self.exported[ch].insert(net, Rc::clone(&out));
+        if let Some(t) = self.vmm.tracer_mut() {
+            t.record(
+                TraceKind::Propagate,
+                NO_POINT,
+                NO_EXT,
+                pack_prefix(net.addr(), net.len()),
+                ch as u64,
+            );
+        }
         let src_blob = self.source_info_bytes(rte);
         self.txq[ch].push((net, out, src_blob));
         let _ = ctx;

@@ -24,6 +24,8 @@ fn main() {
             metrics: false,
             shards: 1,
             rib_dump: false,
+            trace_sample: 0,
+            profile: false,
         });
         let ext = run(&Fig3Spec {
             dut,
@@ -34,6 +36,8 @@ fn main() {
             metrics: false,
             shards: 1,
             rib_dump: false,
+            trace_sample: 0,
+            profile: false,
         });
         assert_eq!(native.prefixes_delivered, 5_000, "validation never discards");
         assert_eq!(ext.prefixes_delivered, 5_000);
