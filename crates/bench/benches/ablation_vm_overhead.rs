@@ -10,7 +10,7 @@ use std::hint::black_box;
 use xbgp_asm::assemble_with_symbols;
 use xbgp_core::api::{abi_symbols, InsertionPoint, NextHopInfo};
 use xbgp_core::host::MockHost;
-use xbgp_core::{ExtensionSpec, Manifest, Vmm, VmmOutcome};
+use xbgp_core::{Engine, ExtensionSpec, Manifest, Vmm, VmmOutcome};
 
 fn vmm_with(src: &str, helpers: &[&str]) -> Vmm {
     let prog = assemble_with_symbols(src, &abi_symbols()).expect("assembles");
@@ -40,9 +40,13 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // Minimal program: mov + exit (pure VMM + interpreter entry cost).
+    // Minimal program: mov + exit (pure VMM + engine entry cost).
     let mut minimal = vmm_with("mov r0, 1\nexit", &[]);
     c.bench_function("vm_overhead/minimal_program", |b| {
+        b.iter(|| black_box(minimal.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    minimal.set_engine(Engine::Compiled);
+    c.bench_function("vm_overhead/minimal_program/compiled", |b| {
         b.iter(|| black_box(minimal.run(InsertionPoint::BgpOutboundFilter, &mut host)))
     });
 
@@ -71,6 +75,13 @@ fn bench(c: &mut Criterion) {
     c.bench_function("vm_overhead/3000_instruction_loop", |b| {
         b.iter(|| black_box(looper.run(InsertionPoint::BgpOutboundFilter, &mut host)))
     });
+    // The same loop on the compiled engine: the interpretation-throughput
+    // headline the block lowering targets (fuel and dispatch hoisted to
+    // block entry).
+    looper.set_engine(Engine::Compiled);
+    c.bench_function("vm_overhead/3000_instruction_loop/compiled", |b| {
+        b.iter(|| black_box(looper.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
 
     // Load-time side of the split: verify + pre-decode + sandbox build for
     // the real §3.4 program. Pre-decoding moved per-step opcode parsing
@@ -91,6 +102,10 @@ fn bench(c: &mut Criterion) {
     xbgp_wire::AsPath::sequence(vec![65001, 65002, 65003, 65004]).encode_body(&mut path, 4);
     rov_host.attrs.push((2, 0x40, path));
     c.bench_function("vm_overhead/rov_check_per_route", |b| {
+        b.iter(|| black_box(rov.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut rov_host)))
+    });
+    rov.set_engine(Engine::Compiled);
+    c.bench_function("vm_overhead/rov_check_per_route/compiled", |b| {
         b.iter(|| black_box(rov.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut rov_host)))
     });
 }

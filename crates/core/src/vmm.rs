@@ -41,8 +41,9 @@ use std::time::Instant;
 use xbgp_obs::trace::{TraceConfig, TraceDump, TraceKind, Tracer, NO_EXT};
 use xbgp_obs::{Histogram, NoopRecorder, Recorder, Snapshot};
 use xbgp_vm::{
-    interp::HelperOutcome, verify_and_load, ExecOutcome, HelperDispatcher, LoadedProgram,
-    MemoryMap, Region, RegionKind, VerifyError, VmConfig, VmError, HEAP_BASE, SHARED_BASE,
+    interp::HelperOutcome, verify_and_load, CompiledProgram, Engine, ExecOutcome, HelperDispatcher,
+    LoadedProgram, MemoryMap, Region, RegionKind, VerifyError, VmConfig, VmError, HEAP_BASE,
+    SHARED_BASE,
 };
 use xbgp_wire::Ipv4Prefix;
 
@@ -123,6 +124,10 @@ struct Extension {
     /// ([`verify_and_load`]); invocations execute it directly with no
     /// per-run decoding or jump-target resolution.
     prog: LoadedProgram,
+    /// Basic-block lowering of `prog`, built on the first switch to
+    /// [`Engine::Compiled`] and kept thereafter (engine switches are an
+    /// operational knob, not a per-run path). `None` until then.
+    compiled: Option<CompiledProgram>,
     /// Manifest-declared fuel budget; `None` uses the VMM's global
     /// default (see [`Vmm::set_fuel`]).
     fuel_override: Option<u64>,
@@ -335,6 +340,10 @@ pub struct Vmm {
     shared: Vec<SharedSpace>,
     xtra: HashMap<String, Vec<u8>>,
     vm_config: VmConfig,
+    /// Which execution engine runs extension bytecode. The engines are
+    /// bit-for-bit equivalent (same Loc-RIBs, same faults at the same slot
+    /// pcs), so this only moves the dispatch-cost needle.
+    engine: Engine,
     /// Most recent runtime fault, for host diagnostics. Cleared when a
     /// subsequent chain run completes without faulting.
     last_error: Option<(String, VmError)>,
@@ -376,6 +385,7 @@ impl Vmm {
             shared: Vec::new(),
             xtra: manifest.xtra.iter().map(|(k, v)| (k.clone(), v.0.clone())).collect(),
             vm_config: VmConfig::default(),
+            engine: Engine::default(),
             last_error: None,
             quarantines: 0,
             commit_faults: 0,
@@ -445,6 +455,7 @@ impl Vmm {
                     name: spec.name.clone(),
                     shared_idx,
                     prog: loaded,
+                    compiled: None,
                     fuel_override: spec.fuel,
                     mem_cap: HEAP_SIZE,
                     on_fault: spec.on_fault,
@@ -480,6 +491,30 @@ impl Vmm {
         self.vm_config = VmConfig { fuel };
     }
 
+    /// Select the execution engine for every attached extension. Switching
+    /// to [`Engine::Compiled`] lowers each pre-decoded program into basic
+    /// blocks once (the artifact is cached alongside the decoded form);
+    /// switching back keeps the compiled form for a later re-switch.
+    ///
+    /// The engines are contractually bit-for-bit equivalent — identical
+    /// outcomes, memory, metrics and typed faults at identical slot pcs —
+    /// so this is safe to flip on a live VMM between chain runs.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+        if engine == Engine::Compiled {
+            for (_, e) in &mut self.exts {
+                if e.compiled.is_none() {
+                    e.compiled = Some(CompiledProgram::compile(&e.prog));
+                }
+            }
+        }
+    }
+
+    /// The currently selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
     /// Cap what `ctx_malloc` may hand extension `name` per run, in bytes
     /// (clamped to the arena's [`HEAP_SIZE`]).
     pub fn set_mem_cap(&mut self, name: &str, cap: usize) {
@@ -508,6 +543,7 @@ impl Vmm {
     /// execution context.
     pub fn run(&mut self, point: InsertionPoint, host: &mut dyn HostApi) -> VmmOutcome {
         let pi = point_index(point);
+        let engine = self.engine;
         // One predictable branch decides whether any accounting happens;
         // an untracked VMM pays nothing else on the hot path.
         let track = self.metrics_enabled || self.recorder_active;
@@ -568,10 +604,17 @@ impl Vmm {
                     pi,
                     ext_tid: ext.trace_ext,
                 };
-                // Split borrow: the pre-decoded program and the memory map
-                // are disjoint fields of the extension.
-                let (outcome, metrics) =
-                    ext.prog.run_metered(cfg, &mut ext.mem, &mut dispatcher, &[]);
+                // Split borrow: the program forms and the memory map are
+                // disjoint fields of the extension. The compiled form is
+                // used only when the engine selected it (set_engine builds
+                // it eagerly, so `None` under Compiled cannot happen; the
+                // interpreter fallback keeps the dispatch total).
+                let (outcome, metrics) = match &ext.compiled {
+                    Some(cp) if engine == Engine::Compiled => {
+                        cp.run_metered(cfg, &mut ext.mem, &mut dispatcher, &[])
+                    }
+                    _ => ext.prog.run_metered(cfg, &mut ext.mem, &mut dispatcher, &[]),
+                };
                 (outcome, dispatcher.heap_used, metrics)
             };
 

@@ -112,6 +112,7 @@ impl FirDaemon {
         if cfg.profile {
             vmm.enable_profile();
         }
+        vmm.set_engine(cfg.engine);
         let rov_trie = cfg.native_rov.as_ref().map(|roas| {
             let mut t = RoaTrie::new();
             for r in roas {
@@ -388,8 +389,12 @@ impl FirDaemon {
             ctx.set_timer(hold / 3, (idx as u64) * 2 + TIMER_HOLD);
         }
         // Initial route dump: advertise the whole Loc-RIB to this peer.
-        let routes: Vec<(Ipv4Prefix, RibEntry)> =
+        // Sorted by prefix — the Loc-RIB is hash-ordered, and letting that
+        // order reach the wire makes UPDATE batching (and with it trace
+        // timelines) vary run to run.
+        let mut routes: Vec<(Ipv4Prefix, RibEntry)> =
             self.loc_rib.iter().map(|(p, e)| (*p, e.clone())).collect();
+        routes.sort_by_key(|(p, _)| *p);
         let mut pending = OutboundBatches::default();
         for (prefix, entry) in routes {
             self.export_one(idx, prefix, &entry, &mut pending);
@@ -556,6 +561,12 @@ impl FirDaemon {
                         if self.adj_in[idx].remove(prefix).is_some() {
                             self.run_decision(ctx, *prefix, pending_per_peer);
                         }
+                        // Close the route scope on the early-reject path
+                        // too: a leaked scope would let the next route's
+                        // events inherit this route's attribution.
+                        if let Some(t) = self.vmm.tracer_mut() {
+                            t.end_route();
+                        }
                         continue;
                     }
                     VmmOutcome::Value(_) => self.stats.xbgp_accepted += 1,
@@ -566,6 +577,9 @@ impl FirDaemon {
                         self.stats.xbgp_rejected += 1;
                         if self.adj_in[idx].remove(prefix).is_some() {
                             self.run_decision(ctx, *prefix, pending_per_peer);
+                        }
+                        if let Some(t) = self.vmm.tracer_mut() {
+                            t.end_route();
                         }
                         continue;
                     }
@@ -591,9 +605,11 @@ impl FirDaemon {
 
             self.adj_in[idx].insert(*prefix, RibEntry { attrs: entry_attrs, source, rov });
             self.run_decision(ctx, *prefix, pending_per_peer);
-        }
-        if let Some(t) = self.vmm.tracer_mut() {
-            t.end_route();
+            // Every `begin_route` above is matched here or on the reject/
+            // abort `continue`s, so no scope outlives its route.
+            if let Some(t) = self.vmm.tracer_mut() {
+                t.end_route();
+            }
         }
 
         // Routes installed by extensions through `rib_add_route`.

@@ -75,10 +75,12 @@ impl AdjRibIn {
         self.routes.keys()
     }
 
-    /// Drain everything (session teardown).
+    /// Drain everything (session teardown). Sorted by prefix so the
+    /// resulting withdrawal storm is deterministic, not hash-ordered.
     pub fn drain(&mut self) -> Vec<Ipv4Prefix> {
-        let keys: Vec<Ipv4Prefix> = self.routes.keys().copied().collect();
+        let mut keys: Vec<Ipv4Prefix> = self.routes.keys().copied().collect();
         self.routes.clear();
+        keys.sort();
         keys
     }
 }

@@ -4,7 +4,7 @@
 //! Usage: fig4 [--routes N] [--runs N] [--seed N] [--shards N]
 //!             [--use-case rr|ov|all] [--dut fir|wren|all]
 //!             [--metrics-out FILE] [--trace-out FILE] [--trace-sample N]
-//!             [--profile]
+//!             [--profile] [--engine interp|compiled]
 //!
 //! `--metrics-out` enables DUT instrumentation and writes the merged
 //! metrics snapshot of every cell's extension run as a JSON document.
@@ -12,7 +12,9 @@
 //! writes the merged per-cell trace timelines as JSONL; `--trace-sample N`
 //! traces 1 route in N (default 1 when `--trace-out` is given).
 //! `--profile` enables the per-extension VM profiler (`xbgp_prof_*`
-//! series in the metrics snapshot).
+//! series in the metrics snapshot). `--engine` picks the bytecode
+//! execution engine for the extension runs (default: the interpreter);
+//! routing outcomes are engine-invariant, only the timing figures move.
 
 use xbgp_harness::fig3::{Dut, UseCase};
 use xbgp_harness::fig4::{fig4_cell, paper_reference, Fig4Config};
@@ -68,6 +70,12 @@ fn main() {
                 cfg.profile = true;
                 i += 1;
                 continue;
+            }
+            "--engine" => {
+                cfg.engine = need(i).parse().unwrap_or_else(|e| {
+                    xbgp_obs::error!("{e}");
+                    std::process::exit(2);
+                });
             }
             "--use-case" => {
                 cases = match need(i) {

@@ -3,6 +3,7 @@
 //! Usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE]
 //!                 [--log-level LEVEL] [--fault-rate R]
 //!                 [--trace-out FILE] [--trace-sample N] [--profile]
+//!                 [--engine interp|compiled]
 //!
 //! See `xbgp_harness::scenario` for the document format. Exit code 0 when
 //! every `expect_route` check passes, 1 otherwise. `--metrics-out` writes
@@ -21,7 +22,9 @@
 //! per line) otherwise. `--trace-sample N` traces 1 route in N (default 1
 //! — every route — when `--trace-out` is given). `--profile` turns on the
 //! per-extension VM profiler; its `xbgp_prof_*` series land in the
-//! `--metrics-out` snapshot.
+//! `--metrics-out` snapshot. `--engine` picks the bytecode execution
+//! engine for every router (default: the interpreter); routing outcomes
+//! are engine-invariant.
 
 use std::process::ExitCode;
 use xbgp_harness::scenario::RunOptions;
@@ -34,6 +37,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut trace_sample = 0u64;
     let mut profile = false;
+    let mut engine = xbgp_core::Engine::default();
     let mut shards = 1usize;
     let mut fault_rate: Option<f64> = None;
     let mut i = 0;
@@ -83,6 +87,21 @@ fn main() -> ExitCode {
                 profile = true;
                 i += 1;
             }
+            "--engine" => {
+                let parsed = args.get(i + 1).map(|s| s.parse::<xbgp_core::Engine>());
+                match parsed {
+                    Some(Ok(e)) => engine = e,
+                    Some(Err(e)) => {
+                        xbgp_obs::error!("{e}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        xbgp_obs::error!("missing value after --engine");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             "--fault-rate" => {
                 let Some(r) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
                     xbgp_obs::error!("--fault-rate needs a number in [0, 1]");
@@ -118,7 +137,8 @@ fn main() -> ExitCode {
     let Some(path) = scenario_path else {
         xbgp_obs::error!(
             "usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE] \
-             [--fault-rate R] [--trace-out FILE] [--trace-sample N] [--profile]"
+             [--fault-rate R] [--trace-out FILE] [--trace-sample N] [--profile] \
+             [--engine interp|compiled]"
         );
         return ExitCode::from(2);
     };
@@ -142,7 +162,7 @@ fn main() -> ExitCode {
     if let Some(r) = fault_rate {
         scenario.fault_rate = r;
     }
-    let opts = RunOptions { trace_sample, profile, shard_base: 0 };
+    let opts = RunOptions { trace_sample, profile, shard_base: 0, engine };
     match xbgp_harness::scenario::run_sharded_with_options(&scenario, shards, &opts) {
         Ok(report) => {
             println!("scenario: {}", report.name);

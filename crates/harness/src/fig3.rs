@@ -9,7 +9,7 @@ use bgp_wren::{WrenConfig, WrenDaemon};
 use netsim::{Sim, SimConfig};
 use routegen::{to_updates, Route, TableSpec};
 use rpki::Roa;
-use xbgp_core::Manifest;
+use xbgp_core::{Engine, Manifest};
 use xbgp_obs::trace::{TraceConfig, TraceDump};
 use xbgp_progs::{origin_validation, route_reflect};
 use xbgp_wire::{Ipv4Prefix, Message};
@@ -84,6 +84,10 @@ pub struct Fig3Spec {
     /// Enable the DUT's VM execution profiler (`xbgp_prof_*` series in
     /// the metrics snapshot).
     pub profile: bool,
+    /// Bytecode execution engine on the DUT (interpreter or the
+    /// block-compiled engine). Loc-RIBs are bit-for-bit identical across
+    /// engines; only the elapsed/CPU figures move.
+    pub engine: Engine,
 }
 
 /// Measured outcome of one run.
@@ -210,6 +214,7 @@ pub(crate) fn run_frames(
             cfg.metrics = spec.metrics;
             cfg.trace = trace_cfg;
             cfg.profile = spec.profile;
+            cfg.engine = spec.engine;
             sim.replace_node(d, Box::new(FirDaemon::new(cfg)));
         }
         Dut::Wren => {
@@ -229,6 +234,7 @@ pub(crate) fn run_frames(
             cfg.metrics = spec.metrics;
             cfg.trace = trace_cfg;
             cfg.profile = spec.profile;
+            cfg.engine = spec.engine;
             sim.replace_node(d, Box::new(WrenDaemon::new(cfg)));
         }
     }
@@ -311,6 +317,7 @@ mod tests {
                         rib_dump: false,
                         trace_sample: 0,
                         profile: false,
+                        engine: Engine::Interp,
                     });
                     assert_eq!(
                         out.prefixes_delivered,

@@ -8,6 +8,7 @@
 
 use crate::fig3::{self, Dut, Fig3Spec, UseCase};
 use crate::stats::{relative_impact_pct, summarize, Summary};
+use xbgp_core::Engine;
 use xbgp_obs::trace::TraceDump;
 use xbgp_obs::Snapshot;
 
@@ -32,6 +33,9 @@ pub struct Fig4Config {
     pub trace_sample: u64,
     /// Enable the DUT's VM execution profiler in both variants.
     pub profile: bool,
+    /// Bytecode execution engine for the extension runs (the native side
+    /// of each pair runs no bytecode, so it is unaffected).
+    pub engine: Engine,
 }
 
 impl Default for Fig4Config {
@@ -44,6 +48,7 @@ impl Default for Fig4Config {
             shards: 1,
             trace_sample: 0,
             profile: false,
+            engine: Engine::default(),
         }
     }
 }
@@ -95,6 +100,7 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             rib_dump: false,
             trace_sample: cfg.trace_sample,
             profile: cfg.profile,
+            engine: cfg.engine,
         });
         let ext = fig3::run(&Fig3Spec {
             dut,
@@ -107,6 +113,7 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             rib_dump: false,
             trace_sample: cfg.trace_sample,
             profile: cfg.profile,
+            engine: cfg.engine,
         });
         assert_eq!(
             native.prefixes_delivered, ext.prefixes_delivered,
@@ -122,14 +129,17 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
             trace = Some(dump);
         }
     }
-    let summary = summarize(&impacts);
+    // `cfg.runs` is at least 1 for any runnable figure, so the samples
+    // are never empty here; a zero-run config is a caller bug worth the
+    // panic message.
+    let summary = summarize(&impacts).expect("at least one run per cell");
     Fig4Cell {
         dut,
         use_case,
         impacts_pct: impacts,
         summary,
-        median_native_ns: summarize(&natives).median,
-        median_extension_ns: summarize(&extensions).median,
+        median_native_ns: summarize(&natives).expect("at least one run per cell").median,
+        median_extension_ns: summarize(&extensions).expect("at least one run per cell").median,
         metrics,
         trace,
     }

@@ -450,6 +450,9 @@ pub struct RunOptions {
     /// `(shard_base << 8) | i`, so per-router timelines from sharded
     /// replicas stay attributable after the merge.
     pub shard_base: u32,
+    /// Bytecode execution engine for every router in the scenario
+    /// (`--engine` on `xbgp-sim`). Routing outcomes are engine-invariant.
+    pub engine: xbgp_core::Engine,
 }
 
 /// Outcome of a scenario run.
@@ -649,6 +652,7 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
                 cfg.xtra = xtra;
                 cfg.trace = trace_cfg(idx);
                 cfg.profile = opts.profile;
+                cfg.engine = opts.engine;
                 sim.replace_node(node, Box::new(FirDaemon::new(cfg)));
                 kinds.push(AnyRouter::Fir);
             }
@@ -672,6 +676,7 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
                 cfg.xtra = xtra;
                 cfg.trace = trace_cfg(idx);
                 cfg.profile = opts.profile;
+                cfg.engine = opts.engine;
                 sim.replace_node(node, Box::new(WrenDaemon::new(cfg)));
                 kinds.push(AnyRouter::Wren);
             }

@@ -13,36 +13,56 @@ pub struct Summary {
     pub mean: f64,
 }
 
+/// An empty sample has no quantiles. Surfaced as an explicit error
+/// (matching the [`WeightMismatch`] convention) instead of a silent
+/// all-zero summary: a figure cell with zero completed runs is a harness
+/// bug the caller must attribute, not a boxplot collapsed onto zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptySample;
+
+impl fmt::Display for EmptySample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot summarize an empty sample")
+    }
+}
+
+impl std::error::Error for EmptySample {}
+
 /// Linear-interpolation quantile of a sorted slice (type-7, the common
-/// default of numpy/matplotlib, which the paper's boxplots use).
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty());
+/// default of numpy/matplotlib, which the paper's boxplots use). A
+/// single-element slice is its own quantile at every `q`; an empty slice
+/// is an [`EmptySample`] error.
+pub fn quantile(sorted: &[f64], q: f64) -> Result<f64, EmptySample> {
+    if sorted.is_empty() {
+        return Err(EmptySample);
+    }
     if sorted.len() == 1 {
-        return sorted[0];
+        return Ok(sorted[0]);
     }
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
-/// Summarize a sample. An empty slice yields an all-zero summary rather
-/// than panicking, so a cell with no completed runs still renders.
-pub fn summarize(values: &[f64]) -> Summary {
+/// Summarize a sample. An empty slice is an [`EmptySample`] error; a
+/// single-element sample is a legal (degenerate) boxplot with every
+/// statistic equal to that element.
+pub fn summarize(values: &[f64]) -> Result<Summary, EmptySample> {
     if values.is_empty() {
-        return Summary { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0 };
+        return Err(EmptySample);
     }
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in measurements"));
-    Summary {
+    Ok(Summary {
         min: sorted[0],
-        q1: quantile(&sorted, 0.25),
-        median: quantile(&sorted, 0.5),
-        q3: quantile(&sorted, 0.75),
+        q1: quantile(&sorted, 0.25).expect("non-empty"),
+        median: quantile(&sorted, 0.5).expect("non-empty"),
+        q3: quantile(&sorted, 0.75).expect("non-empty"),
         max: *sorted.last().expect("non-empty"),
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-    }
+    })
 }
 
 /// Mismatched `summarize_weighted` inputs: every value needs exactly one
@@ -144,7 +164,7 @@ mod tests {
 
     #[test]
     fn five_number_summary_of_known_sample() {
-        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!(s.min, 1.0);
         assert_eq!(s.q1, 2.0);
         assert_eq!(s.median, 3.0);
@@ -155,18 +175,22 @@ mod tests {
 
     #[test]
     fn quantiles_interpolate() {
-        let s = summarize(&[0.0, 10.0]);
+        let s = summarize(&[0.0, 10.0]).unwrap();
         assert_eq!(s.q1, 2.5);
         assert_eq!(s.median, 5.0);
         assert_eq!(s.q3, 7.5);
     }
 
     #[test]
-    fn single_sample() {
-        let s = summarize(&[42.0]);
+    fn single_sample_is_a_degenerate_boxplot_not_an_error() {
+        let s = summarize(&[42.0]).unwrap();
         assert_eq!(s.min, 42.0);
+        assert_eq!(s.q1, 42.0);
         assert_eq!(s.median, 42.0);
+        assert_eq!(s.q3, 42.0);
         assert_eq!(s.max, 42.0);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(quantile(&[42.0], 0.99), Ok(42.0));
     }
 
     #[test]
@@ -176,9 +200,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_sample_yields_zeroed_summary() {
-        let s = summarize(&[]);
-        assert_eq!(s, Summary { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0 });
+    fn empty_sample_is_a_typed_error_not_a_zeroed_summary() {
+        let err = summarize(&[]).unwrap_err();
+        assert_eq!(err, EmptySample);
+        assert!(err.to_string().contains("empty sample"), "{err}");
+        assert_eq!(quantile(&[], 0.5), Err(EmptySample));
     }
 
     #[test]
@@ -191,7 +217,7 @@ mod tests {
     #[test]
     fn unit_weights_match_unweighted_summary() {
         let vals = [5.0, 1.0, 3.0, 2.0, 4.0];
-        assert_eq!(summarize_weighted(&vals, &[1; 5]).unwrap(), summarize(&vals));
+        assert_eq!(summarize_weighted(&vals, &[1; 5]).unwrap(), summarize(&vals).unwrap());
     }
 
     #[test]
@@ -213,7 +239,7 @@ mod tests {
             expanded.extend(std::iter::repeat_n(v, w as usize));
         }
         let w = summarize_weighted(&vals, &weights).unwrap();
-        let e = summarize(&expanded);
+        let e = summarize(&expanded).unwrap();
         for (a, b) in [
             (w.min, e.min),
             (w.q1, e.q1),

@@ -1,0 +1,110 @@
+//! The compiled engine's bit-for-bit contract, end to end: switching
+//! `--engine` must change *nothing* observable about routing — the
+//! Loc-RIB bytes in every Fig. 3 configuration, and under full-rate
+//! fault injection the exact fault kinds and slot pcs, the rollback
+//! sequence, and the quarantine postmortems.
+
+use xbgp_core::Engine;
+use xbgp_harness::fig3::{run, Dut, Fig3Spec, UseCase};
+use xbgp_harness::scenario::{parse, run_with_options, RunOptions, ScenarioReport};
+use xbgp_obs::trace::TraceKind;
+
+const ROUTES: usize = 200;
+const SEED: u64 = 7;
+
+fn spec(dut: Dut, use_case: UseCase, extension: bool, engine: Engine) -> Fig3Spec {
+    Fig3Spec {
+        dut,
+        use_case,
+        extension,
+        routes: ROUTES,
+        seed: SEED,
+        metrics: false,
+        shards: 1,
+        rib_dump: true,
+        trace_sample: 0,
+        profile: false,
+        engine,
+    }
+}
+
+#[test]
+fn all_eight_fig3_configs_have_byte_identical_loc_ribs_across_engines() {
+    for dut in [Dut::Fir, Dut::Wren] {
+        for use_case in [UseCase::RouteReflection, UseCase::OriginValidation] {
+            for extension in [false, true] {
+                let ctx = format!("{} / {} / ext={extension}", dut.name(), use_case.name());
+                let interp = run(&spec(dut, use_case, extension, Engine::Interp));
+                let compiled = run(&spec(dut, use_case, extension, Engine::Compiled));
+                assert_eq!(interp.prefixes_delivered, ROUTES, "{ctx}");
+                assert_eq!(compiled.prefixes_delivered, ROUTES, "{ctx}");
+                let a = interp.loc_rib.expect("rib_dump requested");
+                let b = compiled.loc_rib.expect("rib_dump requested");
+                assert_eq!(a.len(), ROUTES, "{ctx}: full table");
+                assert_eq!(a, b, "{ctx}: engines must produce byte-identical Loc-RIBs");
+            }
+        }
+    }
+}
+
+/// Every trace event, with the one wall-clock payload (`HelperCall`
+/// latency) masked; everything else — route scopes, pcs, error codes,
+/// staged-op counts, decision outcomes — is deterministic and must match.
+fn event_log(report: &ScenarioReport) -> Vec<(u64, TraceKind, u8, u16, u64, u64)> {
+    report
+        .trace
+        .as_ref()
+        .expect("tracing enabled")
+        .events
+        .iter()
+        .map(|e| {
+            let b = if e.kind == TraceKind::HelperCall { 0 } else { e.b };
+            (e.trace_id, e.kind, e.point, e.ext, e.a, b)
+        })
+        .collect()
+}
+
+#[test]
+fn fault_smoke_at_full_rate_faults_identically_across_engines() {
+    // fault_smoke.json with every inbound run trapping: the probe stages
+    // two host mutations and dereferences an unmapped address, so each
+    // route produces a MemFault with a specific slot pc. Both engines
+    // must fault at the same pcs with the same error codes, roll back the
+    // same staged-op counts, and quarantine with the same postmortems.
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/fault_smoke.json"
+    ))
+    .expect("fixture present");
+    let mut scenario = parse(&json).expect("parses");
+    scenario.fault_rate = 1.0;
+
+    let run_engine = |engine: Engine| {
+        let opts = RunOptions { trace_sample: 1, profile: false, shard_base: 0, engine };
+        run_with_options(&scenario, &opts).expect("scenario runs")
+    };
+    let interp = run_engine(Engine::Interp);
+    let compiled = run_engine(Engine::Compiled);
+    assert!(interp.all_passed(), "{:?}", interp.checks);
+    assert!(compiled.all_passed(), "{:?}", compiled.checks);
+    assert_eq!(interp.tables, compiled.tables, "final tables must match");
+
+    let ev_i = event_log(&interp);
+    let ev_c = event_log(&compiled);
+    let faults = ev_i.iter().filter(|e| e.1 == TraceKind::Fault).count();
+    assert!(faults > 0, "rate 1.0 must produce faults");
+    assert_eq!(ev_i, ev_c, "trace timelines (fault pcs, kinds, rollbacks) must match");
+
+    let postmortems = |r: &ScenarioReport| -> Vec<(String, Option<u64>, bool)> {
+        r.trace
+            .as_ref()
+            .unwrap()
+            .postmortems
+            .iter()
+            .map(|pm| (pm.extension.clone(), pm.pc, pm.quarantined))
+            .collect()
+    };
+    let pm_i = postmortems(&interp);
+    assert!(!pm_i.is_empty(), "rate 1.0 trips the breaker");
+    assert_eq!(pm_i, postmortems(&compiled), "postmortem pcs must match");
+}

@@ -156,6 +156,11 @@ impl TraceEvent {
 }
 
 /// Pack a prefix into an event payload: `addr << 8 | len`.
+///
+/// IPv4-only: the address is a host-order `u32`, mirroring the wire
+/// crate's `Ipv4Prefix`. An IPv6 route scope would need a second payload
+/// word (or an address-table indirection) — today's daemons never trace
+/// one, so the encoding stays a single `u64`.
 pub fn pack_prefix(addr: u32, len: u8) -> u64 {
     (u64::from(addr) << 8) | u64::from(len)
 }

@@ -1,0 +1,1372 @@
+//! Compiled execution engine: basic-block lowering of pre-decoded programs.
+//!
+//! The interpreter in [`crate::interp`] dispatches one [`DOp`] at a time:
+//! every executed instruction pays for a bounds-checked fetch from the dense
+//! code array, a ~110-way match, a fuel decrement and a pc update. All of
+//! that bookkeeping is static — the verifier proves the jump-target set, so
+//! the basic-block structure (and with it each block's fuel cost) is known
+//! at load time.
+//!
+//! This module lowers a [`LoadedProgram`] into composed basic blocks:
+//!
+//! * every straight-line run of instructions becomes a [`Block`]: a vector
+//!   of *pre-bound micro-ops* — operands (dst/src/imm/off) resolved to
+//!   constants and the operation narrowed to a small inline kernel, so a
+//!   body executes with no opcode decoding, no pc arithmetic and no
+//!   per-instruction fuel bookkeeping — plus one [`Terminator`] describing
+//!   how control leaves the block,
+//! * fuel is charged **once per block** at entry instead of once per
+//!   instruction, and checked exactly where the interpreter checks it —
+//!   taken back-edges and helper calls — using back-edge flags computed
+//!   statically at compile time,
+//! * single-block loops (a conditional branch back to its own block head —
+//!   the shape of every counted loop and attribute-scan loop extensions
+//!   write) get a specialized spin executor: the loop body's kernels and
+//!   the branch predicate run with all descriptors hoisted into locals,
+//!   with only the per-back-edge fuel check remaining inside the loop,
+//! * fault pcs are pre-stamped: each fallible micro-op carries its original
+//!   slot index, so errors surface with the same program counters the
+//!   interpreter reports.
+//!
+//! # The bit-for-bit contract
+//!
+//! Compiled and interpreted runs of the same program on the same inputs
+//! must be indistinguishable: identical [`ExecOutcome`]s, byte-identical
+//! memory, identical typed faults at identical slot pcs, and identical
+//! [`RunMetrics`] — including `fuel_consumed`, which the conformance suite
+//! asserts instruction-exactly. Two details make the fuel ledger exact:
+//!
+//! * a block's `cost` counts its body ops plus its terminator (synthetic
+//!   fall-throughs introduced by block splitting cost nothing, since the
+//!   interpreter executes no instruction there), and
+//! * when a body op faults mid-block, the charge for the instructions after
+//!   it is refunded, so a run that dies at op `j` reports exactly `j + 1`
+//!   instructions for that block — what the per-instruction ledger would
+//!   have said.
+
+use crate::error::VmError;
+use crate::interp::{ExecOutcome, HelperDispatcher, HelperOutcome, RunMetrics, VmConfig};
+use crate::mem::{MemoryMap, Region, RegionKind};
+use crate::prep::{DInsn, DOp, LoadedProgram};
+use crate::{STACK_BASE, STACK_SIZE};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which execution engine runs extension bytecode. Selection is an
+/// operational knob (daemon config / harness spec / `--engine` flag); the
+/// two engines are contractually bit-for-bit equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The per-instruction dispatch loop in [`crate::interp`].
+    #[default]
+    Interp,
+    /// Pre-bound basic blocks with block-entry fuel accounting.
+    Compiled,
+}
+
+impl Engine {
+    /// Stable lowercase name, matching [`Engine::from_str`] input.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Interp => "interp",
+            Engine::Compiled => "compiled",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "interp" => Ok(Engine::Interp),
+            "compiled" => Ok(Engine::Compiled),
+            other => Err(format!("unknown engine {other:?} (expected interp|compiled)")),
+        }
+    }
+}
+
+/// The compiled engine's register file. Architecturally there are eleven
+/// registers (r0–r10); the five trailing slots are dead scratch that exist
+/// so every access can be masked (`& 15`), which lets safe Rust elide the
+/// bounds check in the hot paths. The decoder guarantees register fields
+/// are <= 10, so the scratch slots are never addressed.
+type Regs = [u64; 16];
+const REG_MASK: usize = 15;
+
+/// Memory access width. Dispatched with a 4-way match so the
+/// [`MemoryMap`] accessors stay direct (inlinable) calls — a function
+/// pointer here costs an opaque call returning a multi-word `Result`
+/// through memory on every load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemW {
+    B,
+    H,
+    W,
+    Dw,
+}
+
+#[inline(always)]
+fn mem_read(w: MemW, mem: &MemoryMap, a: u64) -> Result<u64, VmError> {
+    match w {
+        MemW::B => mem.load8(a),
+        MemW::H => mem.load16(a),
+        MemW::W => mem.load32(a),
+        MemW::Dw => mem.load64(a),
+    }
+}
+
+#[inline(always)]
+fn mem_write(w: MemW, mem: &mut MemoryMap, a: u64, v: u64) -> Result<(), VmError> {
+    match w {
+        MemW::B => mem.store8(a, v as u8),
+        MemW::H => mem.store16(a, v as u16),
+        MemW::W => mem.store32(a, v as u32),
+        MemW::Dw => mem.store64(a, v),
+    }
+}
+
+/// Infallible ALU kernel selector: `alu_apply(k, dst_value, operand)`.
+/// Every pure instruction — 64/32-bit ALU, moves, `lddw`, negation,
+/// byteswaps — lowers to one of these with operand routing resolved at
+/// compile time. Division kernels require a non-zero operand; the zero
+/// check (or the decoder's constant proof) happens before dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AluK {
+    Add64,
+    Add32,
+    Sub64,
+    Sub32,
+    Mul64,
+    Mul32,
+    Div64,
+    Div32,
+    Mod64,
+    Mod32,
+    Or64,
+    Or32,
+    And64,
+    And32,
+    Xor64,
+    Xor32,
+    Lsh64,
+    Lsh32,
+    Rsh64,
+    Rsh32,
+    Arsh64,
+    Arsh32,
+    Mov64,
+    Mov32,
+    Neg64,
+    Neg32,
+    Be16,
+    Be32,
+    Be64,
+    Le16,
+    Le32,
+    Le64,
+}
+
+/// The kernels mirror the interpreter arm for arm (same wrapping,
+/// truncation and sign rules); the conformance suite cross-checks them
+/// instruction-exactly.
+#[inline(always)]
+fn alu_apply(k: AluK, d: u64, s: u64) -> u64 {
+    match k {
+        AluK::Add64 => d.wrapping_add(s),
+        AluK::Add32 => u64::from((d as u32).wrapping_add(s as u32)),
+        AluK::Sub64 => d.wrapping_sub(s),
+        AluK::Sub32 => u64::from((d as u32).wrapping_sub(s as u32)),
+        AluK::Mul64 => d.wrapping_mul(s),
+        AluK::Mul32 => u64::from((d as u32).wrapping_mul(s as u32)),
+        AluK::Div64 => d / s,
+        AluK::Div32 => u64::from(d as u32 / s as u32),
+        AluK::Mod64 => d % s,
+        AluK::Mod32 => u64::from(d as u32 % s as u32),
+        AluK::Or64 => d | s,
+        AluK::Or32 => u64::from(d as u32 | s as u32),
+        AluK::And64 => d & s,
+        AluK::And32 => u64::from(d as u32 & s as u32),
+        AluK::Xor64 => d ^ s,
+        AluK::Xor32 => u64::from(d as u32 ^ s as u32),
+        // Shift amounts wrap modulo the operand width, as in the interpreter.
+        AluK::Lsh64 => d.wrapping_shl(s as u32),
+        AluK::Lsh32 => u64::from((d as u32).wrapping_shl(s as u32)),
+        AluK::Rsh64 => d.wrapping_shr(s as u32),
+        AluK::Rsh32 => u64::from((d as u32).wrapping_shr(s as u32)),
+        AluK::Arsh64 => (d as i64).wrapping_shr(s as u32) as u64,
+        AluK::Arsh32 => u64::from((d as u32 as i32).wrapping_shr(s as u32) as u32),
+        AluK::Mov64 => s,
+        AluK::Mov32 => u64::from(s as u32),
+        AluK::Neg64 => (d as i64).wrapping_neg() as u64,
+        AluK::Neg32 => (d as u32 as i32).wrapping_neg() as u32 as u64,
+        AluK::Be16 => u64::from((d as u16).to_be()),
+        AluK::Be32 => u64::from((d as u32).to_be()),
+        AluK::Be64 => d.to_be(),
+        AluK::Le16 => u64::from((d as u16).to_le()),
+        AluK::Le32 => u64::from((d as u32).to_le()),
+        AluK::Le64 => d.to_le(),
+    }
+}
+
+/// Branch predicate selector: `cond_apply(k, dst_value, operand)`. Raw
+/// 64-bit register values go in; JMP32 truncation and signedness live
+/// inside the kernel, exactly mirroring the interpreter's
+/// `jmp64*`/`jmp32*` macros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CondK {
+    Eq64,
+    Eq32,
+    Ne64,
+    Ne32,
+    Gt64,
+    Gt32,
+    Ge64,
+    Ge32,
+    Lt64,
+    Lt32,
+    Le64,
+    Le32,
+    Set64,
+    Set32,
+    Sgt64,
+    Sgt32,
+    Sge64,
+    Sge32,
+    Slt64,
+    Slt32,
+    Sle64,
+    Sle32,
+}
+
+#[inline(always)]
+fn cond_apply(k: CondK, a: u64, b: u64) -> bool {
+    match k {
+        CondK::Eq64 => a == b,
+        CondK::Eq32 => a as u32 == b as u32,
+        CondK::Ne64 => a != b,
+        CondK::Ne32 => a as u32 != b as u32,
+        CondK::Gt64 => a > b,
+        CondK::Gt32 => a as u32 > b as u32,
+        CondK::Ge64 => a >= b,
+        CondK::Ge32 => a as u32 >= b as u32,
+        CondK::Lt64 => a < b,
+        CondK::Lt32 => (a as u32) < (b as u32),
+        CondK::Le64 => a <= b,
+        CondK::Le32 => a as u32 <= b as u32,
+        CondK::Set64 => a & b != 0,
+        CondK::Set32 => a as u32 & b as u32 != 0,
+        CondK::Sgt64 => (a as i64) > (b as i64),
+        CondK::Sgt32 => (a as u32 as i32) > (b as u32 as i32),
+        CondK::Sge64 => (a as i64) >= (b as i64),
+        CondK::Sge32 => (a as u32 as i32) >= (b as u32 as i32),
+        CondK::Slt64 => (a as i64) < (b as i64),
+        CondK::Slt32 => (a as u32 as i32) < (b as u32 as i32),
+        CondK::Sle64 => (a as i64) <= (b as i64),
+        CondK::Sle32 => (a as u32 as i32) <= (b as u32 as i32),
+    }
+}
+
+/// One pre-bound micro-op. `use_src` routes the second kernel operand:
+/// `r[src]` when set, the captured immediate otherwise.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `r[dst] = alu_apply(k, r[dst], operand)`. Cannot fault.
+    Alu {
+        k: AluK,
+        dst: u8,
+        src: u8,
+        use_src: bool,
+        imm: u64,
+    },
+    /// `r[dst] = load<w>(mem, r[src] + off)?`, fault stamped with `slot`.
+    Load {
+        w: MemW,
+        dst: u8,
+        src: u8,
+        off: u64,
+        slot: u32,
+    },
+    /// `store<w>(mem, r[dst] + off, operand)?`, fault stamped with `slot`.
+    Store {
+        w: MemW,
+        dst: u8,
+        src: u8,
+        use_src: bool,
+        off: u64,
+        imm: u64,
+        slot: u32,
+    },
+    /// Runtime-checked `div`/`mod` by a register: zero divisor faults at
+    /// `slot`, otherwise `r[dst] = alu_apply(k, r[dst], r[src])`. `w32`
+    /// selects the 32-bit zero test (the kernel truncates internally).
+    DivRem {
+        k: AluK,
+        w32: bool,
+        dst: u8,
+        src: u8,
+        slot: u32,
+    },
+}
+
+/// How control leaves a block. Fuel is checked exactly where the
+/// interpreter checks it: taken back-edges and calls.
+#[derive(Debug, Clone, Copy)]
+enum Terminator {
+    /// Synthetic fall-through created by block splitting (the next
+    /// instruction is a jump target). Not a real instruction: costs no fuel.
+    Fall { next: u32 },
+    /// Unconditional jump.
+    Ja {
+        target: u32,
+        back_edge: bool,
+        slot: u32,
+    },
+    /// Conditional jump: `target` when the predicate holds, else `fall`.
+    Branch {
+        cond: CondK,
+        dst: u8,
+        src: u8,
+        use_src: bool,
+        imm: u64,
+        target: u32,
+        back_edge: bool,
+        slot: u32,
+        fall: u32,
+    },
+    /// Helper call; always a fuel check point.
+    Call { helper: u32, slot: u32, next: u32 },
+    /// `exit`: return r0.
+    Exit,
+    /// Undecodable slot reached (unverified programs only).
+    Trap { slot: u32, opcode: u8 },
+    /// Constant zero divisor folded at decode time.
+    DivZero { slot: u32 },
+}
+
+#[derive(Debug)]
+struct Block {
+    /// Static fuel cost: body ops plus the terminator (0 for [`Terminator::Fall`]).
+    cost: i64,
+    /// All-[`Op::Alu`] body whose terminator branches back to this very
+    /// block: eligible for the specialized spin executor (no faults
+    /// possible inside, so the only loop-carried obligation is the
+    /// back-edge fuel check).
+    spin: bool,
+    /// Body micro-ops: `ops[start..start + len]` in the program's shared
+    /// op pool (one flat allocation, so walking branchy code stays on
+    /// sequential cache lines instead of hopping per-block heap buffers).
+    start: u32,
+    len: u32,
+    term: Terminator,
+}
+
+/// A [`LoadedProgram`] lowered to pre-bound basic blocks. Build once per
+/// extension (the VMM caches it next to the pre-decoded form) and run as
+/// many times as you like.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    ops: Vec<Op>,
+    blocks: Vec<Block>,
+}
+
+fn alu(k: AluK, ins: &DInsn, use_src: bool) -> Op {
+    Op::Alu { k, dst: ins.dst, src: ins.src, use_src, imm: ins.imm }
+}
+
+fn div_rem(k: AluK, w32: bool, ins: &DInsn) -> Op {
+    Op::DivRem { k, w32, dst: ins.dst, src: ins.src, slot: ins.slot }
+}
+
+fn mem_load(w: MemW, ins: &DInsn) -> Op {
+    Op::Load {
+        w,
+        dst: ins.dst,
+        src: ins.src,
+        off: ins.off as i64 as u64,
+        slot: ins.slot,
+    }
+}
+
+fn mem_store(w: MemW, ins: &DInsn, use_src: bool) -> Op {
+    Op::Store {
+        w,
+        dst: ins.dst,
+        src: ins.src,
+        use_src,
+        off: ins.off as i64 as u64,
+        imm: ins.imm,
+        slot: ins.slot,
+    }
+}
+
+/// Lower one non-control instruction into a pre-bound micro-op.
+fn lower_op(ins: &DInsn) -> Op {
+    match ins.op {
+        DOp::Add64Imm => alu(AluK::Add64, ins, false),
+        DOp::Add64Reg => alu(AluK::Add64, ins, true),
+        DOp::Add32Imm => alu(AluK::Add32, ins, false),
+        DOp::Add32Reg => alu(AluK::Add32, ins, true),
+        DOp::Sub64Imm => alu(AluK::Sub64, ins, false),
+        DOp::Sub64Reg => alu(AluK::Sub64, ins, true),
+        DOp::Sub32Imm => alu(AluK::Sub32, ins, false),
+        DOp::Sub32Reg => alu(AluK::Sub32, ins, true),
+        DOp::Mul64Imm => alu(AluK::Mul64, ins, false),
+        DOp::Mul64Reg => alu(AluK::Mul64, ins, true),
+        DOp::Mul32Imm => alu(AluK::Mul32, ins, false),
+        DOp::Mul32Reg => alu(AluK::Mul32, ins, true),
+        // Constant divisors are proven non-zero at decode time (zero
+        // decodes to DivZero), exactly as in the interpreter, so the
+        // immediate forms use the unchecked kernels directly.
+        DOp::Div64Imm => alu(AluK::Div64, ins, false),
+        DOp::Div32Imm => alu(AluK::Div32, ins, false),
+        DOp::Mod64Imm => alu(AluK::Mod64, ins, false),
+        DOp::Mod32Imm => alu(AluK::Mod32, ins, false),
+        DOp::Div64Reg => div_rem(AluK::Div64, false, ins),
+        DOp::Div32Reg => div_rem(AluK::Div32, true, ins),
+        DOp::Mod64Reg => div_rem(AluK::Mod64, false, ins),
+        DOp::Mod32Reg => div_rem(AluK::Mod32, true, ins),
+        DOp::Or64Imm => alu(AluK::Or64, ins, false),
+        DOp::Or64Reg => alu(AluK::Or64, ins, true),
+        DOp::Or32Imm => alu(AluK::Or32, ins, false),
+        DOp::Or32Reg => alu(AluK::Or32, ins, true),
+        DOp::And64Imm => alu(AluK::And64, ins, false),
+        DOp::And64Reg => alu(AluK::And64, ins, true),
+        DOp::And32Imm => alu(AluK::And32, ins, false),
+        DOp::And32Reg => alu(AluK::And32, ins, true),
+        DOp::Xor64Imm => alu(AluK::Xor64, ins, false),
+        DOp::Xor64Reg => alu(AluK::Xor64, ins, true),
+        DOp::Xor32Imm => alu(AluK::Xor32, ins, false),
+        DOp::Xor32Reg => alu(AluK::Xor32, ins, true),
+        DOp::Lsh64Imm => alu(AluK::Lsh64, ins, false),
+        DOp::Lsh64Reg => alu(AluK::Lsh64, ins, true),
+        DOp::Lsh32Imm => alu(AluK::Lsh32, ins, false),
+        DOp::Lsh32Reg => alu(AluK::Lsh32, ins, true),
+        DOp::Rsh64Imm => alu(AluK::Rsh64, ins, false),
+        DOp::Rsh64Reg => alu(AluK::Rsh64, ins, true),
+        DOp::Rsh32Imm => alu(AluK::Rsh32, ins, false),
+        DOp::Rsh32Reg => alu(AluK::Rsh32, ins, true),
+        DOp::Arsh64Imm => alu(AluK::Arsh64, ins, false),
+        DOp::Arsh64Reg => alu(AluK::Arsh64, ins, true),
+        DOp::Arsh32Imm => alu(AluK::Arsh32, ins, false),
+        DOp::Arsh32Reg => alu(AluK::Arsh32, ins, true),
+        DOp::Mov64Imm => alu(AluK::Mov64, ins, false),
+        DOp::Mov64Reg => alu(AluK::Mov64, ins, true),
+        DOp::Mov32Imm => alu(AluK::Mov32, ins, false),
+        DOp::Mov32Reg => alu(AluK::Mov32, ins, true),
+        DOp::Neg64 => alu(AluK::Neg64, ins, false),
+        DOp::Neg32 => alu(AluK::Neg32, ins, false),
+        DOp::Be16 => alu(AluK::Be16, ins, false),
+        DOp::Be32 => alu(AluK::Be32, ins, false),
+        DOp::Be64 => alu(AluK::Be64, ins, false),
+        DOp::Le16 => alu(AluK::Le16, ins, false),
+        DOp::Le32 => alu(AluK::Le32, ins, false),
+        DOp::Le64 => alu(AluK::Le64, ins, false),
+        DOp::LdDw => alu(AluK::Mov64, ins, false),
+        DOp::LdxDw => mem_load(MemW::Dw, ins),
+        DOp::LdxW => mem_load(MemW::W, ins),
+        DOp::LdxH => mem_load(MemW::H, ins),
+        DOp::LdxB => mem_load(MemW::B, ins),
+        DOp::StDw => mem_store(MemW::Dw, ins, false),
+        DOp::StW => mem_store(MemW::W, ins, false),
+        DOp::StH => mem_store(MemW::H, ins, false),
+        DOp::StB => mem_store(MemW::B, ins, false),
+        DOp::StxDw => mem_store(MemW::Dw, ins, true),
+        DOp::StxW => mem_store(MemW::W, ins, true),
+        DOp::StxH => mem_store(MemW::H, ins, true),
+        DOp::StxB => mem_store(MemW::B, ins, true),
+        _ => unreachable!("control instructions lower to terminators"),
+    }
+}
+
+/// The predicate kernel and operand routing for a conditional jump.
+fn lower_cond(op: DOp) -> (CondK, bool) {
+    match op {
+        DOp::Jeq64Imm => (CondK::Eq64, false),
+        DOp::Jeq64Reg => (CondK::Eq64, true),
+        DOp::Jeq32Imm => (CondK::Eq32, false),
+        DOp::Jeq32Reg => (CondK::Eq32, true),
+        DOp::Jne64Imm => (CondK::Ne64, false),
+        DOp::Jne64Reg => (CondK::Ne64, true),
+        DOp::Jne32Imm => (CondK::Ne32, false),
+        DOp::Jne32Reg => (CondK::Ne32, true),
+        DOp::Jgt64Imm => (CondK::Gt64, false),
+        DOp::Jgt64Reg => (CondK::Gt64, true),
+        DOp::Jgt32Imm => (CondK::Gt32, false),
+        DOp::Jgt32Reg => (CondK::Gt32, true),
+        DOp::Jge64Imm => (CondK::Ge64, false),
+        DOp::Jge64Reg => (CondK::Ge64, true),
+        DOp::Jge32Imm => (CondK::Ge32, false),
+        DOp::Jge32Reg => (CondK::Ge32, true),
+        DOp::Jlt64Imm => (CondK::Lt64, false),
+        DOp::Jlt64Reg => (CondK::Lt64, true),
+        DOp::Jlt32Imm => (CondK::Lt32, false),
+        DOp::Jlt32Reg => (CondK::Lt32, true),
+        DOp::Jle64Imm => (CondK::Le64, false),
+        DOp::Jle64Reg => (CondK::Le64, true),
+        DOp::Jle32Imm => (CondK::Le32, false),
+        DOp::Jle32Reg => (CondK::Le32, true),
+        DOp::Jset64Imm => (CondK::Set64, false),
+        DOp::Jset64Reg => (CondK::Set64, true),
+        DOp::Jset32Imm => (CondK::Set32, false),
+        DOp::Jset32Reg => (CondK::Set32, true),
+        DOp::Jsgt64Imm => (CondK::Sgt64, false),
+        DOp::Jsgt64Reg => (CondK::Sgt64, true),
+        DOp::Jsgt32Imm => (CondK::Sgt32, false),
+        DOp::Jsgt32Reg => (CondK::Sgt32, true),
+        DOp::Jsge64Imm => (CondK::Sge64, false),
+        DOp::Jsge64Reg => (CondK::Sge64, true),
+        DOp::Jsge32Imm => (CondK::Sge32, false),
+        DOp::Jsge32Reg => (CondK::Sge32, true),
+        DOp::Jslt64Imm => (CondK::Slt64, false),
+        DOp::Jslt64Reg => (CondK::Slt64, true),
+        DOp::Jslt32Imm => (CondK::Slt32, false),
+        DOp::Jslt32Reg => (CondK::Slt32, true),
+        DOp::Jsle64Imm => (CondK::Sle64, false),
+        DOp::Jsle64Reg => (CondK::Sle64, true),
+        DOp::Jsle32Imm => (CondK::Sle32, false),
+        DOp::Jsle32Reg => (CondK::Sle32, true),
+        _ => unreachable!("not a conditional jump"),
+    }
+}
+
+/// True for conditional jumps (the forms with a predicate and a fall-through).
+fn is_cond_jump(op: DOp) -> bool {
+    matches!(
+        op,
+        DOp::Jeq64Imm
+            | DOp::Jeq64Reg
+            | DOp::Jeq32Imm
+            | DOp::Jeq32Reg
+            | DOp::Jne64Imm
+            | DOp::Jne64Reg
+            | DOp::Jne32Imm
+            | DOp::Jne32Reg
+            | DOp::Jgt64Imm
+            | DOp::Jgt64Reg
+            | DOp::Jgt32Imm
+            | DOp::Jgt32Reg
+            | DOp::Jge64Imm
+            | DOp::Jge64Reg
+            | DOp::Jge32Imm
+            | DOp::Jge32Reg
+            | DOp::Jlt64Imm
+            | DOp::Jlt64Reg
+            | DOp::Jlt32Imm
+            | DOp::Jlt32Reg
+            | DOp::Jle64Imm
+            | DOp::Jle64Reg
+            | DOp::Jle32Imm
+            | DOp::Jle32Reg
+            | DOp::Jset64Imm
+            | DOp::Jset64Reg
+            | DOp::Jset32Imm
+            | DOp::Jset32Reg
+            | DOp::Jsgt64Imm
+            | DOp::Jsgt64Reg
+            | DOp::Jsgt32Imm
+            | DOp::Jsgt32Reg
+            | DOp::Jsge64Imm
+            | DOp::Jsge64Reg
+            | DOp::Jsge32Imm
+            | DOp::Jsge32Reg
+            | DOp::Jslt64Imm
+            | DOp::Jslt64Reg
+            | DOp::Jslt32Imm
+            | DOp::Jslt32Reg
+            | DOp::Jsle64Imm
+            | DOp::Jsle64Reg
+            | DOp::Jsle32Imm
+            | DOp::Jsle32Reg
+    )
+}
+
+/// True for instructions that end a basic block.
+fn ends_block(op: DOp) -> bool {
+    is_cond_jump(op) || matches!(op, DOp::Ja | DOp::Call | DOp::Exit | DOp::Trap | DOp::DivZero)
+}
+
+/// Operand routing inside a scalarized spin loop: the loop keeps the one
+/// or two written registers in locals (`a`, `b`), so an operand is either
+/// one of those or a value that cannot change while the loop spins (an
+/// immediate, or a register the body never writes) captured as a constant.
+#[derive(Debug, Clone, Copy)]
+enum Sel {
+    A,
+    B,
+    K(u64),
+}
+
+#[inline(always)]
+fn sel(s: Sel, a: u64, b: u64) -> u64 {
+    match s {
+        Sel::A => a,
+        Sel::B => b,
+        Sel::K(v) => v,
+    }
+}
+
+/// Loop-invariant operands and bookkeeping for a scalarized two-op spin
+/// loop (`a`/`b` are the initial values of the two written registers).
+#[derive(Clone, Copy)]
+struct Spin2 {
+    o1: Sel,
+    o2: Sel,
+    cl: Sel,
+    cr: Sel,
+    a: u64,
+    b: u64,
+    cost: i64,
+    slot: u32,
+}
+
+/// The fully monomorphized spin loop: `f1`/`f2`/`c` are closure types, so
+/// each hot (kernel, kernel, predicate) combination compiles to a
+/// dedicated loop with the ALU work and the branch predicate inlined —
+/// no dispatch of any kind left inside. Returns the final register pair
+/// on fall-through.
+#[inline(always)]
+fn spin2_loop(
+    f1: impl Fn(u64, u64) -> u64,
+    f2: impl Fn(u64, u64) -> u64,
+    c: impl Fn(u64, u64) -> bool,
+    p: Spin2,
+    fuel: &mut i64,
+) -> Result<(u64, u64), VmError> {
+    let Spin2 { o1, o2, cl, cr, mut a, mut b, cost, slot } = p;
+    loop {
+        *fuel -= cost;
+        a = f1(a, sel(o1, a, b));
+        b = f2(b, sel(o2, a, b));
+        if !c(sel(cl, a, b), sel(cr, a, b)) {
+            return Ok((a, b));
+        }
+        if *fuel <= 0 {
+            return Err(VmError::FuelExhausted { pc: slot as usize });
+        }
+    }
+}
+
+/// Single-op variant of [`spin2_loop`] (`b` stays 0 and unused).
+#[inline(always)]
+fn spin1_loop(
+    f1: impl Fn(u64, u64) -> u64,
+    c: impl Fn(u64, u64) -> bool,
+    p: Spin2,
+    fuel: &mut i64,
+) -> Result<(u64, u64), VmError> {
+    spin2_loop(f1, |b, _| b, c, p, fuel)
+}
+
+// Nested generic dispatch: each level matches one runtime kind onto a
+// closure type and recurses, so the source stays linear while the
+// compiler instantiates the full hot-combination product. Kernels and
+// predicates outside the hot set return None and take the data-driven
+// loop instead.
+
+macro_rules! dispatch_hot_alu {
+    ($k:expr, $next:expr) => {
+        match $k {
+            AluK::Add64 => $next(|d: u64, s: u64| d.wrapping_add(s)),
+            AluK::Sub64 => $next(|d: u64, s: u64| d.wrapping_sub(s)),
+            AluK::Mov64 => $next(|_: u64, s: u64| s),
+            AluK::And64 => $next(|d: u64, s: u64| d & s),
+            AluK::Or64 => $next(|d: u64, s: u64| d | s),
+            AluK::Xor64 => $next(|d: u64, s: u64| d ^ s),
+            _ => None,
+        }
+    };
+}
+
+macro_rules! dispatch_hot_cond {
+    ($k:expr, $next:expr) => {
+        match $k {
+            CondK::Eq64 => $next(|x: u64, y: u64| x == y),
+            CondK::Ne64 => $next(|x: u64, y: u64| x != y),
+            CondK::Gt64 => $next(|x: u64, y: u64| x > y),
+            CondK::Ge64 => $next(|x: u64, y: u64| x >= y),
+            CondK::Lt64 => $next(|x: u64, y: u64| x < y),
+            CondK::Le64 => $next(|x: u64, y: u64| x <= y),
+            _ => None,
+        }
+    };
+}
+
+fn spin2_hot(
+    k1: AluK,
+    k2: AluK,
+    ck: CondK,
+    p: Spin2,
+    fuel: &mut i64,
+) -> Option<Result<(u64, u64), VmError>> {
+    fn level2<F1: Fn(u64, u64) -> u64 + Copy>(
+        f1: F1,
+        k2: AluK,
+        ck: CondK,
+        p: Spin2,
+        fuel: &mut i64,
+    ) -> Option<Result<(u64, u64), VmError>> {
+        fn level3<F1: Fn(u64, u64) -> u64 + Copy, F2: Fn(u64, u64) -> u64 + Copy>(
+            f1: F1,
+            f2: F2,
+            ck: CondK,
+            p: Spin2,
+            fuel: &mut i64,
+        ) -> Option<Result<(u64, u64), VmError>> {
+            dispatch_hot_cond!(ck, |c| Some(spin2_loop(f1, f2, c, p, fuel)))
+        }
+        dispatch_hot_alu!(k2, |f2| level3(f1, f2, ck, p, fuel))
+    }
+    dispatch_hot_alu!(k1, |f1| level2(f1, k2, ck, p, fuel))
+}
+
+fn spin1_hot(k1: AluK, ck: CondK, p: Spin2, fuel: &mut i64) -> Option<Result<(u64, u64), VmError>> {
+    fn level2<F1: Fn(u64, u64) -> u64 + Copy>(
+        f1: F1,
+        ck: CondK,
+        p: Spin2,
+        fuel: &mut i64,
+    ) -> Option<Result<(u64, u64), VmError>> {
+        dispatch_hot_cond!(ck, |c| Some(spin1_loop(f1, c, p, fuel)))
+    }
+    dispatch_hot_alu!(k1, |f1| level2(f1, ck, p, fuel))
+}
+
+/// Execute an all-ALU self-loop block until its branch falls through.
+/// Scalarizes the written registers for one- and two-op bodies (the shape
+/// of every counted loop) so the loop-carried values live in machine
+/// registers instead of round-tripping through the register file; hot
+/// kernel/predicate combinations additionally run monomorphized
+/// ([`spin2_hot`]), and larger bodies run in-array. The fuel ledger is
+/// identical to the generic path: one block cost per iteration, checked
+/// at each taken back-edge.
+#[inline(never)]
+fn run_spin(b: &Block, ops: &[Op], reg: &mut Regs, fuel: &mut i64) -> Result<(), VmError> {
+    let Terminator::Branch { cond, dst, src, use_src, imm, slot, .. } = b.term else {
+        unreachable!("spin blocks end in a self-branch")
+    };
+    let cd = usize::from(dst) & REG_MASK;
+    let cs = usize::from(src) & REG_MASK;
+    let cost = b.cost;
+
+    // Operand router for the scalarized arms: locals `a`/`b` shadow the
+    // registers written at `da`/`db`; everything else is loop-invariant.
+    let route = |use_src: bool, src: usize, imm: u64, da: usize, db: Option<usize>| {
+        if !use_src {
+            Sel::K(imm)
+        } else if src == da {
+            Sel::A
+        } else if Some(src) == db {
+            Sel::B
+        } else {
+            Sel::K(reg[src])
+        }
+    };
+
+    match *ops {
+        [Op::Alu { k: k1, dst: d1, src: s1, use_src: u1, imm: i1 }] => {
+            let da = usize::from(d1) & REG_MASK;
+            let o1 = route(u1, usize::from(s1) & REG_MASK, i1, da, None);
+            let cl = route(true, cd, 0, da, None);
+            let cr = route(use_src, cs, imm, da, None);
+            let p = Spin2 { o1, o2: Sel::B, cl, cr, a: reg[da], b: 0, cost, slot };
+            let (a, _) = match spin1_hot(k1, cond, p, fuel) {
+                Some(r) => r?,
+                None => {
+                    let mut a = p.a;
+                    loop {
+                        *fuel -= cost;
+                        a = alu_apply(k1, a, sel(o1, a, 0));
+                        if !cond_apply(cond, sel(cl, a, 0), sel(cr, a, 0)) {
+                            break;
+                        }
+                        if *fuel <= 0 {
+                            return Err(VmError::FuelExhausted { pc: slot as usize });
+                        }
+                    }
+                    (a, 0)
+                }
+            };
+            reg[da] = a;
+        }
+        [Op::Alu { k: k1, dst: d1, src: s1, use_src: u1, imm: i1 }, Op::Alu { k: k2, dst: d2, src: s2, use_src: u2, imm: i2 }]
+            if d1 != d2 =>
+        {
+            let da = usize::from(d1) & REG_MASK;
+            let db = usize::from(d2) & REG_MASK;
+            let o1 = route(u1, usize::from(s1) & REG_MASK, i1, da, Some(db));
+            let o2 = route(u2, usize::from(s2) & REG_MASK, i2, da, Some(db));
+            let cl = route(true, cd, 0, da, Some(db));
+            let cr = route(use_src, cs, imm, da, Some(db));
+            let p = Spin2 { o1, o2, cl, cr, a: reg[da], b: reg[db], cost, slot };
+            let (a, b2) = match spin2_hot(k1, k2, cond, p, fuel) {
+                Some(r) => r?,
+                None => {
+                    let (mut a, mut b2) = (p.a, p.b);
+                    loop {
+                        *fuel -= cost;
+                        a = alu_apply(k1, a, sel(o1, a, b2));
+                        b2 = alu_apply(k2, b2, sel(o2, a, b2));
+                        if !cond_apply(cond, sel(cl, a, b2), sel(cr, a, b2)) {
+                            break;
+                        }
+                        if *fuel <= 0 {
+                            return Err(VmError::FuelExhausted { pc: slot as usize });
+                        }
+                    }
+                    (a, b2)
+                }
+            };
+            reg[da] = a;
+            reg[db] = b2;
+        }
+        _ => loop {
+            *fuel -= cost;
+            for op in ops {
+                let Op::Alu { k, dst, src, use_src, imm } = *op else {
+                    unreachable!("spin bodies are pure")
+                };
+                let d = usize::from(dst) & REG_MASK;
+                let s = if use_src { reg[usize::from(src) & REG_MASK] } else { imm };
+                reg[d] = alu_apply(k, reg[d], s);
+            }
+            let s = if use_src { reg[cs] } else { imm };
+            if !cond_apply(cond, reg[cd], s) {
+                break;
+            }
+            if *fuel <= 0 {
+                return Err(VmError::FuelExhausted { pc: slot as usize });
+            }
+        },
+    }
+    Ok(())
+}
+
+impl CompiledProgram {
+    /// Lower a pre-decoded program into basic blocks. Total, like
+    /// [`LoadedProgram::load`]: undecodable slots become [`Terminator::Trap`]
+    /// blocks that fault when (and only when) reached. Run [`crate::verify`]
+    /// first for the no-trap guarantee.
+    pub fn compile(prog: &LoadedProgram) -> CompiledProgram {
+        let code = &prog.code;
+        let n = code.len(); // always >= 1: prep appends the trap sentinel
+
+        // Pass 1: block leaders. The entry, every jump target, and the
+        // instruction after every control transfer start a block. Jump
+        // targets are dense and in range (prep resolves strays to the
+        // sentinel), so no bounds handling is needed.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (i, ins) in code.iter().enumerate() {
+            if ends_block(ins.op) {
+                if i + 1 < n {
+                    leader[i + 1] = true;
+                }
+                if ins.op == DOp::Ja || is_cond_jump(ins.op) {
+                    leader[ins.target as usize] = true;
+                }
+            }
+        }
+
+        // Pass 2: block index of each dense instruction.
+        let mut block_of = vec![0u32; n];
+        let mut next_block = 0u32;
+        for (i, is_leader) in leader.iter().enumerate() {
+            if *is_leader {
+                next_block += 1;
+            }
+            block_of[i] = next_block - 1;
+        }
+
+        // Pass 3: lower each leader span. The branch's *dense index*
+        // decides back-edge-ness (`target <= pc`), matching the
+        // interpreter's check site exactly.
+        let mut blocks = Vec::with_capacity(next_block as usize);
+        let mut pool: Vec<Op> = Vec::with_capacity(n);
+        let mut s = 0usize;
+        while s < n {
+            let mut e = s + 1;
+            while e < n && !leader[e] {
+                e += 1;
+            }
+            let this_block = blocks.len() as u32;
+            let last = &code[e - 1];
+            let (body, term) = if ends_block(last.op) {
+                let i = e - 1;
+                let term = match last.op {
+                    DOp::Ja => Terminator::Ja {
+                        target: block_of[last.target as usize],
+                        back_edge: last.target as usize <= i,
+                        slot: last.slot,
+                    },
+                    DOp::Call => Terminator::Call {
+                        helper: last.target,
+                        slot: last.slot,
+                        next: block_of[i + 1],
+                    },
+                    DOp::Exit => Terminator::Exit,
+                    DOp::Trap => Terminator::Trap { slot: last.slot, opcode: last.dst },
+                    DOp::DivZero => Terminator::DivZero { slot: last.slot },
+                    _ => {
+                        let (cond, use_src) = lower_cond(last.op);
+                        Terminator::Branch {
+                            cond,
+                            dst: last.dst,
+                            src: last.src,
+                            use_src,
+                            imm: last.imm,
+                            target: block_of[last.target as usize],
+                            back_edge: last.target as usize <= i,
+                            slot: last.slot,
+                            fall: block_of[i + 1],
+                        }
+                    }
+                };
+                (&code[s..e - 1], term)
+            } else {
+                // Span ends because the next instruction is a jump target;
+                // the sentinel is a Trap, so this never runs off the end.
+                (&code[s..e], Terminator::Fall { next: block_of[e] })
+            };
+            let start = pool.len() as u32;
+            pool.extend(body.iter().map(lower_op));
+            let len = pool.len() as u32 - start;
+            let cost = i64::from(len) + if matches!(term, Terminator::Fall { .. }) { 0 } else { 1 };
+            // A branch whose taken edge re-enters this very block, over a
+            // body that cannot fault, is a self-contained loop: the spin
+            // executor runs it without re-dispatching blocks. Such a branch
+            // is necessarily a back-edge (its target leads its own span).
+            let spin = matches!(term, Terminator::Branch { target, .. } if target == this_block)
+                && pool[start as usize..].iter().all(|o| matches!(o, Op::Alu { .. }));
+            blocks.push(Block { cost, spin, start, len, term });
+            s = e;
+        }
+        CompiledProgram { ops: pool, blocks }
+    }
+
+    /// Number of basic blocks (diagnostics).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Execute the compiled program. Same contract as [`LoadedProgram::run`].
+    pub fn run(
+        &self,
+        config: VmConfig,
+        mem: &mut MemoryMap,
+        helpers: &mut dyn HelperDispatcher,
+        args: &[u64],
+    ) -> Result<ExecOutcome, VmError> {
+        self.run_metered(config, mem, helpers, args).0
+    }
+
+    /// Execute the compiled program and report [`RunMetrics`]. Bit-for-bit
+    /// equivalent to [`LoadedProgram::run_metered`] on the same program:
+    /// same outcome, same memory, same faults at the same slot pcs, same
+    /// metrics (see the module docs for the fuel-ledger argument).
+    pub fn run_metered(
+        &self,
+        config: VmConfig,
+        mem: &mut MemoryMap,
+        helpers: &mut dyn HelperDispatcher,
+        args: &[u64],
+    ) -> (Result<ExecOutcome, VmError>, RunMetrics) {
+        assert!(args.len() <= 5, "at most five argument registers");
+        let mut reg: Regs = [0; 16];
+        for (i, a) in args.iter().enumerate() {
+            reg[i + 1] = *a;
+        }
+        if mem.region_of(RegionKind::Stack).is_none() {
+            mem.map(Region::new(RegionKind::Stack, STACK_BASE, vec![0; STACK_SIZE], true));
+        }
+        reg[10] = STACK_BASE + STACK_SIZE as u64;
+
+        let mut fuel: i64 = config.fuel.min(i64::MAX as u64) as i64;
+        let budget = fuel;
+        let mut helper_calls: u64 = 0;
+
+        let result = (|| -> Result<ExecOutcome, VmError> {
+            let mut bi = 0usize;
+            'blocks: loop {
+                let b = &self.blocks[bi];
+                let ops = &self.ops[b.start as usize..(b.start + b.len) as usize];
+                if b.spin {
+                    // Self-loop fast path: descriptors hoisted, kernels
+                    // inlined, fuel checked once per taken back-edge —
+                    // the same ledger, without per-block dispatch.
+                    run_spin(b, ops, &mut reg, &mut fuel)?;
+                    let Terminator::Branch { fall, .. } = b.term else {
+                        unreachable!("spin blocks end in a self-branch")
+                    };
+                    bi = fall as usize;
+                    continue 'blocks;
+                }
+                fuel -= b.cost;
+                for (j, op) in ops.iter().enumerate() {
+                    // Every early exit below is a fault at op `j`: refund
+                    // the not-executed tail so the fuel ledger matches the
+                    // interpreter's per-instruction accounting.
+                    let e = match *op {
+                        Op::Alu { k, dst, src, use_src, imm } => {
+                            let d = usize::from(dst) & REG_MASK;
+                            let s = if use_src { reg[usize::from(src) & REG_MASK] } else { imm };
+                            reg[d] = alu_apply(k, reg[d], s);
+                            continue;
+                        }
+                        Op::Load { w, dst, src, off, slot } => {
+                            let a = reg[usize::from(src) & REG_MASK].wrapping_add(off);
+                            match mem_read(w, mem, a) {
+                                Ok(v) => {
+                                    reg[usize::from(dst) & REG_MASK] = v;
+                                    continue;
+                                }
+                                Err(e) => e.at_pc(slot as usize),
+                            }
+                        }
+                        Op::Store { w, dst, src, use_src, off, imm, slot } => {
+                            let a = reg[usize::from(dst) & REG_MASK].wrapping_add(off);
+                            let v = if use_src { reg[usize::from(src) & REG_MASK] } else { imm };
+                            match mem_write(w, mem, a, v) {
+                                Ok(()) => continue,
+                                Err(e) => e.at_pc(slot as usize),
+                            }
+                        }
+                        Op::DivRem { k, w32, dst, src, slot } => {
+                            let d = usize::from(dst) & REG_MASK;
+                            let s = reg[usize::from(src) & REG_MASK];
+                            if if w32 { s as u32 != 0 } else { s != 0 } {
+                                reg[d] = alu_apply(k, reg[d], s);
+                                continue;
+                            }
+                            VmError::DivByZero { pc: slot as usize }
+                        }
+                    };
+                    fuel += b.cost - (j as i64 + 1);
+                    return Err(e);
+                }
+                match b.term {
+                    Terminator::Fall { next } => bi = next as usize,
+                    Terminator::Ja { target, back_edge, slot } => {
+                        if back_edge && fuel <= 0 {
+                            return Err(VmError::FuelExhausted { pc: slot as usize });
+                        }
+                        bi = target as usize;
+                    }
+                    Terminator::Branch {
+                        cond,
+                        dst,
+                        src,
+                        use_src,
+                        imm,
+                        target,
+                        back_edge,
+                        slot,
+                        fall,
+                    } => {
+                        let s = if use_src { reg[usize::from(src) & REG_MASK] } else { imm };
+                        if cond_apply(cond, reg[usize::from(dst) & REG_MASK], s) {
+                            if back_edge && fuel <= 0 {
+                                return Err(VmError::FuelExhausted { pc: slot as usize });
+                            }
+                            bi = target as usize;
+                        } else {
+                            bi = fall as usize;
+                        }
+                    }
+                    Terminator::Call { helper, slot, next } => {
+                        if fuel <= 0 {
+                            return Err(VmError::FuelExhausted { pc: slot as usize });
+                        }
+                        helper_calls += 1;
+                        let args5 = [reg[1], reg[2], reg[3], reg[4], reg[5]];
+                        match helpers.call(helper, args5, mem) {
+                            Ok(HelperOutcome::Value(v)) => {
+                                reg[0] = v;
+                                reg[1] = 0;
+                                reg[2] = 0;
+                                reg[3] = 0;
+                                reg[4] = 0;
+                                reg[5] = 0;
+                                bi = next as usize;
+                            }
+                            Ok(HelperOutcome::Next) => return Ok(ExecOutcome::Next),
+                            Err(e) => return Err(e.at_pc(slot as usize)),
+                        }
+                    }
+                    Terminator::Exit => return Ok(ExecOutcome::Return(reg[0])),
+                    Terminator::Trap { slot, opcode } => {
+                        return Err(VmError::BadInstruction { pc: slot as usize, opcode })
+                    }
+                    Terminator::DivZero { slot } => {
+                        return Err(VmError::DivByZero { pc: slot as usize })
+                    }
+                }
+            }
+        })();
+        let fuel_consumed = (budget - fuel) as u64;
+        (result, RunMetrics { insns_retired: fuel_consumed, helper_calls, fuel_consumed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{build, Insn, Program};
+    use crate::interp::NoHelpers;
+
+    fn compiled(insns: &[Insn]) -> CompiledProgram {
+        CompiledProgram::compile(&LoadedProgram::load(&Program::new(insns.to_vec())))
+    }
+
+    /// Run both engines on a fresh memory map and assert identical outcome
+    /// and metrics; returns the compiled result for further assertions.
+    fn both(insns: &[Insn], fuel: u64, args: &[u64]) -> (Result<ExecOutcome, VmError>, RunMetrics) {
+        let lp = LoadedProgram::load(&Program::new(insns.to_vec()));
+        let cp = CompiledProgram::compile(&lp);
+        let cfg = VmConfig { fuel };
+        let mut mi = MemoryMap::new();
+        let mut mc = MemoryMap::new();
+        let ri = lp.run_metered(cfg, &mut mi, &mut NoHelpers, args);
+        let rc = cp.run_metered(cfg, &mut mc, &mut NoHelpers, args);
+        assert_eq!(ri, rc, "engines diverged");
+        rc
+    }
+
+    #[test]
+    fn straight_line_and_loops_match_interpreter() {
+        // r0 = sum of 1..=10 via a backward jump.
+        let insns = [
+            build::mov_imm(0, 0),
+            build::mov_imm(1, 10),
+            build::add_reg(0, 1),
+            Insn::new(
+                crate::insn::op::CLS_ALU64 | crate::insn::op::ALU_SUB | crate::insn::op::SRC_K,
+                1,
+                0,
+                0,
+                1,
+            ),
+            build::jne_imm(1, 0, -3),
+            build::exit(),
+        ];
+        let (out, _) = both(&insns, 1_000_000, &[]);
+        assert_eq!(out, Ok(ExecOutcome::Return(55)));
+    }
+
+    #[test]
+    fn fuel_exhaustion_pc_is_the_branch_slot_not_the_target() {
+        // Regression for the FuelExhausted pc contract: the back-edge at
+        // slot 2 targets slot 1, and the reported pc must be the *branching
+        // instruction's* slot (2) — not the jump target — on both engines.
+        let insns = [
+            build::mov_imm(0, 0),
+            build::add_imm(0, 1),
+            build::ja(-2), // slot 2, back-edge to slot 1
+        ];
+        let lp = LoadedProgram::load(&Program::new(insns.to_vec()));
+        let cp = CompiledProgram::compile(&lp);
+        let cfg = VmConfig { fuel: 100 };
+        let mut mi = MemoryMap::new();
+        let mut mc = MemoryMap::new();
+        let ri = lp.run_metered(cfg, &mut mi, &mut NoHelpers, &[]);
+        let rc = cp.run_metered(cfg, &mut mc, &mut NoHelpers, &[]);
+        assert_eq!(ri.0, Err(VmError::FuelExhausted { pc: 2 }));
+        assert_eq!(rc.0, Err(VmError::FuelExhausted { pc: 2 }));
+        assert_eq!(ri.1, rc.1, "fuel ledgers diverged");
+        // 1 prologue mov + 50 two-instruction iterations: the check fires
+        // on the ja once the balance dips non-positive.
+        assert_eq!(ri.1.fuel_consumed, 101);
+    }
+
+    #[test]
+    fn spin_loop_fuel_exhaustion_matches_interpreter() {
+        // The spin fast path (all-ALU self-loop) must keep the same
+        // per-back-edge ledger: an infinite counted loop dies with the pc
+        // of the branch and the exact fuel balance on both engines.
+        let insns = [
+            build::mov_imm(0, 0),
+            build::mov_imm(1, 1),
+            build::add_imm(0, 1),
+            build::add_imm(1, 1), // r1 only grows, so the jne is always taken
+            build::jne_imm(1, 0, -2),
+            build::exit(),
+        ];
+        let (out, m) = both(&insns, 997, &[]);
+        assert_eq!(out, Err(VmError::FuelExhausted { pc: 4 }));
+        assert_eq!(m.fuel_consumed, 997);
+    }
+
+    #[test]
+    fn tight_loop_exhausts_with_exact_ledger() {
+        let (out, m) = both(&[build::ja(-1)], 123, &[]);
+        assert_eq!(out, Err(VmError::FuelExhausted { pc: 0 }));
+        assert_eq!(m.fuel_consumed, 123);
+        assert_eq!(m.insns_retired, 123);
+    }
+
+    #[test]
+    fn straight_line_code_overshoots_like_the_interpreter() {
+        let (out, m) = both(&[build::mov_imm(0, 9), build::exit()], 0, &[]);
+        assert_eq!(out, Ok(ExecOutcome::Return(9)));
+        assert_eq!(m.insns_retired, 2);
+    }
+
+    #[test]
+    fn mem_fault_refunds_the_uncharged_tail() {
+        // Block: mov, bad load (slot 1), mov, exit. The fault at op index 1
+        // must report exactly 2 instructions consumed, as the interpreter's
+        // per-instruction ledger would.
+        let insns =
+            [build::mov_imm(0, 0), build::ldxb(0, 10, 0), build::mov_imm(0, 7), build::exit()];
+        let (out, m) = both(&insns, 1000, &[]);
+        match out {
+            Err(VmError::MemFault { pc, write: false, .. }) => assert_eq!(pc, 1),
+            other => panic!("expected load fault at pc 1, got {other:?}"),
+        }
+        assert_eq!(m.fuel_consumed, 2);
+    }
+
+    #[test]
+    fn runtime_div_by_zero_matches() {
+        let insns = [
+            build::mov_imm(0, 1),
+            build::mov_imm(1, 0),
+            Insn::new(
+                crate::insn::op::CLS_ALU64 | crate::insn::op::ALU_DIV | crate::insn::op::SRC_X,
+                0,
+                1,
+                0,
+                0,
+            ),
+            build::exit(),
+        ];
+        let (out, m) = both(&insns, 1000, &[]);
+        assert_eq!(out, Err(VmError::DivByZero { pc: 2 }));
+        assert_eq!(m.fuel_consumed, 3);
+    }
+
+    #[test]
+    fn call_is_a_fuel_check_point() {
+        struct Doubler;
+        impl HelperDispatcher for Doubler {
+            fn call(
+                &mut self,
+                id: u32,
+                args: [u64; 5],
+                _mem: &mut MemoryMap,
+            ) -> Result<HelperOutcome, VmError> {
+                match id {
+                    1 => Ok(HelperOutcome::Value(args[0] * 2)),
+                    2 => Ok(HelperOutcome::Next),
+                    other => Err(VmError::UnknownHelper { pc: 0, helper: other }),
+                }
+            }
+        }
+        let insns = [build::call(1), build::exit()];
+        let cp = compiled(&insns);
+        let mut mem = MemoryMap::new();
+        let (out, m) = cp.run_metered(VmConfig { fuel: 0 }, &mut mem, &mut Doubler, &[]);
+        assert_eq!(out, Err(VmError::FuelExhausted { pc: 0 }));
+        assert_eq!(m.fuel_consumed, 1);
+        assert_eq!(m.helper_calls, 0, "the check fires before the dispatch");
+
+        // With fuel, the call clobbers r1..r5 and continues.
+        let insns = [
+            build::mov_imm(1, 21),
+            build::call(1),
+            build::add_reg(0, 1), // r1 is 0 after the call
+            build::exit(),
+        ];
+        let cp = compiled(&insns);
+        let mut mem = MemoryMap::new();
+        let (out, m) = cp.run_metered(VmConfig::default(), &mut mem, &mut Doubler, &[]);
+        assert_eq!(out, Ok(ExecOutcome::Return(42)));
+        assert_eq!(m.helper_calls, 1);
+        assert_eq!(m.insns_retired, 4);
+
+        // next() delegation short-circuits.
+        let cp = compiled(&[build::call(2), build::mov_imm(0, 99), build::exit()]);
+        let mut mem = MemoryMap::new();
+        let (out, _) = cp.run_metered(VmConfig::default(), &mut mem, &mut Doubler, &[]);
+        assert_eq!(out, Ok(ExecOutcome::Next));
+    }
+
+    #[test]
+    fn unverified_trap_and_fallthrough_match_interpreter() {
+        // Undecodable slot.
+        let bogus = Insn::new(0xff, 0, 0, 0, 0);
+        let (out, _) = both(&[bogus, build::exit()], 100, &[]);
+        assert_eq!(out, Err(VmError::BadInstruction { pc: 0, opcode: 0xff }));
+        // Falling off the end reaches the sentinel.
+        let (out, _) = both(&[build::mov_imm(0, 0)], 100, &[]);
+        assert_eq!(out, Err(VmError::BadInstruction { pc: 1, opcode: 0 }));
+        // Constant zero divisor.
+        let div0 = Insn::new(
+            crate::insn::op::CLS_ALU64 | crate::insn::op::ALU_DIV | crate::insn::op::SRC_K,
+            0,
+            0,
+            0,
+            0,
+        );
+        let (out, _) = both(&[build::mov_imm(0, 1), div0, build::exit()], 100, &[]);
+        assert_eq!(out, Err(VmError::DivByZero { pc: 1 }));
+    }
+
+    #[test]
+    #[ignore = "manual perf probe: cargo test -p xbgp-vm --release -- --ignored perf_probe --nocapture"]
+    fn perf_probe() {
+        let insns = [
+            build::mov_imm(0, 0),
+            build::mov_imm(1, 1000),
+            build::add_reg(0, 1),
+            Insn::new(
+                crate::insn::op::CLS_ALU64 | crate::insn::op::ALU_SUB | crate::insn::op::SRC_K,
+                1,
+                0,
+                0,
+                1,
+            ),
+            build::jne_imm(1, 0, -3),
+            build::exit(),
+        ];
+        let lp = LoadedProgram::load(&Program::new(insns.to_vec()));
+        let cp = CompiledProgram::compile(&lp);
+        let cfg = VmConfig::default();
+        let reps = 2000u32;
+        for _ in 0..3 {
+            let mut mem = MemoryMap::new();
+            let t = std::time::Instant::now();
+            for _ in 0..reps {
+                let (o, _) = lp.run_metered(cfg, &mut mem, &mut NoHelpers, &[]);
+                std::hint::black_box(o.unwrap());
+            }
+            let interp_ns = t.elapsed().as_nanos() as f64 / f64::from(reps);
+            let mut mem = MemoryMap::new();
+            let t = std::time::Instant::now();
+            for _ in 0..reps {
+                let (o, _) = cp.run_metered(cfg, &mut mem, &mut NoHelpers, &[]);
+                std::hint::black_box(o.unwrap());
+            }
+            let comp_ns = t.elapsed().as_nanos() as f64 / f64::from(reps);
+            println!(
+                "interp {interp_ns:.0} ns/run  compiled {comp_ns:.0} ns/run  speedup {:.2}x",
+                interp_ns / comp_ns
+            );
+        }
+    }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!("interp".parse::<Engine>(), Ok(Engine::Interp));
+        assert_eq!("compiled".parse::<Engine>(), Ok(Engine::Compiled));
+        assert!("jit".parse::<Engine>().is_err());
+        assert_eq!(Engine::Compiled.to_string(), "compiled");
+        assert_eq!(Engine::default(), Engine::Interp);
+    }
+}

@@ -28,6 +28,7 @@
 //! `bpf_htonl`-family helpers in `xbgp-core` perform network-order
 //! conversions, exactly as xBGP extension code does in the paper.
 
+pub mod compile;
 pub mod error;
 pub mod insn;
 pub mod interp;
@@ -35,6 +36,7 @@ pub mod mem;
 pub mod prep;
 pub mod verify;
 
+pub use compile::{CompiledProgram, Engine};
 pub use error::VmError;
 pub use insn::{Insn, Program};
 pub use interp::{ExecOutcome, HelperDispatcher, NoHelpers, RunMetrics, Vm, VmConfig};

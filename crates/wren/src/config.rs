@@ -3,7 +3,7 @@
 use igp::SharedIgp;
 use netsim::LinkId;
 use rpki::Roa;
-use xbgp_core::Manifest;
+use xbgp_core::{Engine, Manifest};
 use xbgp_obs::trace::TraceConfig;
 use xbgp_wire::Ipv4Prefix;
 
@@ -49,6 +49,10 @@ pub struct WrenConfig {
     pub trace: Option<TraceConfig>,
     /// Enable the VM execution profiler (`xbgp_prof_*` metric series).
     pub profile: bool,
+    /// Execution engine for extension bytecode: the stepping interpreter
+    /// (default) or the block-compiled engine. Bit-for-bit identical
+    /// routing outcomes either way; only throughput differs.
+    pub engine: Engine,
 }
 
 impl WrenConfig {
@@ -70,6 +74,7 @@ impl WrenConfig {
             metrics: false,
             trace: None,
             profile: false,
+            engine: Engine::default(),
         }
     }
 
@@ -88,6 +93,12 @@ impl WrenConfig {
     /// Turn on the VM execution profiler (see the `profile` field).
     pub fn with_profile(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// Select the bytecode execution engine (see the `engine` field).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 

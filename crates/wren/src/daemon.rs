@@ -113,6 +113,7 @@ impl WrenDaemon {
         if cfg.profile {
             vmm.enable_profile();
         }
+        vmm.set_engine(cfg.engine);
         let mk_hash = |roas: &Vec<rpki::Roa>| {
             let mut t = RoaHashTable::new();
             for r in roas {
@@ -512,6 +513,12 @@ impl WrenDaemon {
                         self.stats.xbgp_rejected += 1;
                         let change = self.table.withdraw(*net, SrcId::Channel(ch));
                         self.propagate(ctx, *net, change);
+                        // Close the route scope on the early-reject path
+                        // too: a leaked scope would let the next route's
+                        // events inherit this route's attribution.
+                        if let Some(t) = self.vmm.tracer_mut() {
+                            t.end_route();
+                        }
                         continue;
                     }
                     VmmOutcome::Value(_) => self.stats.xbgp_accepted += 1,
@@ -522,6 +529,9 @@ impl WrenDaemon {
                         self.stats.xbgp_rejected += 1;
                         let change = self.table.withdraw(*net, SrcId::Channel(ch));
                         self.propagate(ctx, *net, change);
+                        if let Some(t) = self.vmm.tracer_mut() {
+                            t.end_route();
+                        }
                         continue;
                     }
                 }
@@ -559,9 +569,11 @@ impl WrenDaemon {
                 self.table_update_fast(*net, rte)
             };
             self.propagate(ctx, *net, change);
-        }
-        if let Some(t) = self.vmm.tracer_mut() {
-            t.end_route();
+            // Every `begin_route` above is matched here or on the reject/
+            // abort `continue`s, so no scope outlives its route.
+            if let Some(t) = self.vmm.tracer_mut() {
+                t.end_route();
+            }
         }
 
         // Extension-installed routes.
@@ -848,9 +860,12 @@ impl WrenDaemon {
         self.cfg.rr_enabled && (rte.src_rr_client || self.channels[ch].cfg.rr_client)
     }
 
-    /// Full-table dump when a channel comes up.
+    /// Full-table dump when a channel comes up. Sorted by net — the
+    /// table is hash-ordered, and letting that order reach the wire makes
+    /// UPDATE batching (and trace timelines) vary run to run.
     fn feed_channel(&mut self, ctx: &mut NodeCtx<'_>, ch: usize) {
-        let nets: Vec<Ipv4Prefix> = self.table.iter_best().map(|(n, _)| *n).collect();
+        let mut nets: Vec<Ipv4Prefix> = self.table.iter_best().map(|(n, _)| *n).collect();
+        nets.sort();
         for net in nets {
             if let Some(rte) = self.best_eligible(&net) {
                 self.announce_one(ctx, ch, net, &rte);

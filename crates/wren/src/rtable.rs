@@ -118,6 +118,9 @@ impl RTable {
         for net in empty {
             self.nets.remove(&net);
         }
+        // Sorted: callers propagate these changes to peers, and the map's
+        // hash order must not leak into the withdrawal sequence.
+        changed.sort_by_key(|(net, _)| *net);
         if !changed.is_empty() {
             xbgp_obs::debug!("flushed {:?}: {} nets affected", src, changed.len());
         }

@@ -25,6 +25,12 @@ impl Arbitrary for bool {
     }
 }
 
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
 /// Strategy form of [`Arbitrary`], as returned by [`any`].
 pub struct Any<T>(PhantomData<T>);
 
