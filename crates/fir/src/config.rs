@@ -67,6 +67,11 @@ pub struct FirConfig {
     /// (default) or the block-compiled engine. Bit-for-bit identical
     /// routing outcomes either way; only throughput differs.
     pub engine: Engine,
+    /// Disable delta recomputation: mark *every* net dirty at the end of
+    /// each UPDATE batch, re-deciding the full table. Byte-identical
+    /// outcomes to the incremental default — this exists as the ablation
+    /// baseline for the churn benchmarks.
+    pub full_recompute: bool,
 }
 
 impl FirConfig {
@@ -90,6 +95,7 @@ impl FirConfig {
             trace: None,
             profile: false,
             engine: Engine::default(),
+            full_recompute: false,
         }
     }
 
@@ -114,6 +120,13 @@ impl FirConfig {
     /// Select the bytecode execution engine (see the `engine` field).
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Run the full-recompute decision baseline (see the
+    /// `full_recompute` field).
+    pub fn with_full_recompute(mut self) -> Self {
+        self.full_recompute = true;
         self
     }
 

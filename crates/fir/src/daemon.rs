@@ -2,7 +2,7 @@
 
 use crate::attrs::{AttrInternTable, FirAttrs};
 use crate::config::FirConfig;
-use crate::rib::{AdjRibIn, AdjRibOut, DecisionCtx, LocRib, RibEntry, RouteSource};
+use crate::rib::{peer_slot, AdjRibOut, DecisionCtx, RibEntry, RibStore, RouteSource, LOCAL_SLOT};
 use crate::session::{FsmState, Session};
 use crate::xbgp_glue::{AttrAccess, FirXbgpCtx};
 use netsim::{LinkId, Node, NodeCtx};
@@ -15,6 +15,7 @@ use xbgp_core::api::{self, InsertionPoint, PeerInfo, PeerType};
 use xbgp_core::{Manifest, Vmm, VmmOutcome};
 use xbgp_obs::trace::{pack_prefix, TraceConfig, TraceDump, TraceKind, NO_EXT, NO_POINT};
 use xbgp_obs::{Histogram, Snapshot};
+use xbgp_rib::{push_rib_gauges, DirtySet, RibCounters};
 use xbgp_wire::attr::encode_attrs;
 use xbgp_wire::{Ipv4Prefix, Message, NotificationMsg, OpenMsg, UpdateMsg};
 
@@ -72,11 +73,16 @@ pub struct FirDaemon {
     sessions: Vec<Session>,
     link_to_peer: HashMap<LinkId, usize>,
     intern: AttrInternTable,
-    adj_in: Vec<AdjRibIn>,
-    loc_rib: LocRib,
+    /// Merged Adj-RIB-In + Loc-RIB: one trie node per net holds every
+    /// source's candidate (slot 0 = locally originated, slot `i+1` =
+    /// peer `i`) and the committed best route.
+    rib: RibStore,
+    /// Prefixes touched by the current UPDATE batch and awaiting delta
+    /// re-decision (drained in prefix order before each flush).
+    dirty: DirtySet,
+    /// Shared `xbgp_rib_*` churn counters.
+    rib_counters: RibCounters,
     adj_out: Vec<AdjRibOut>,
-    /// Locally originated routes (always decision candidates).
-    local_routes: HashMap<Ipv4Prefix, RibEntry>,
     vmm: Vmm,
     /// FIR's native origin validation: the trie (§3.4).
     rov_trie: Option<RoaTrie>,
@@ -137,10 +143,10 @@ impl FirDaemon {
             sessions,
             link_to_peer,
             intern: AttrInternTable::new(),
-            adj_in: (0..n).map(|_| AdjRibIn::default()).collect(),
-            loc_rib: LocRib::default(),
+            rib: RibStore::new(n + 1),
+            dirty: DirtySet::new(),
+            rib_counters: RibCounters::new(),
             adj_out: (0..n).map(|_| AdjRibOut::default()).collect(),
-            local_routes: HashMap::new(),
             vmm,
             rov_trie,
             xbgp_rov,
@@ -218,12 +224,10 @@ impl FirDaemon {
                 st.fsm_transitions[i],
             );
         }
-        s.push_gauge("xbgp_daemon_loc_rib_size", &[], self.loc_rib.len() as i64);
-        s.push_gauge(
-            "xbgp_daemon_adj_rib_in_size",
-            &[],
-            self.adj_in.iter().map(AdjRibIn::len).sum::<usize>() as i64,
-        );
+        s.push_gauge("xbgp_daemon_loc_rib_size", &[], self.rib.loc_len() as i64);
+        s.push_gauge("xbgp_daemon_adj_rib_in_size", &[], self.rib.adj_in_len() as i64);
+        self.rib_counters.push(&mut s);
+        push_rib_gauges(&mut s, self.rib.adj_in_len(), self.rib.loc_len(), self.dirty.len());
         s.push_gauge(
             "xbgp_daemon_adj_rib_out_size",
             &[],
@@ -251,33 +255,64 @@ impl FirDaemon {
 
     /// The daemon's Loc-RIB size (for tests and the harness).
     pub fn loc_rib_len(&self) -> usize {
-        self.loc_rib.len()
+        self.rib.loc_len()
     }
 
     /// Best route for a prefix, if any.
     pub fn best_route(&self, prefix: &Ipv4Prefix) -> Option<&RibEntry> {
-        self.loc_rib.get(prefix)
+        self.rib.best(prefix)
     }
 
-    /// All Loc-RIB prefixes (sorted, for deterministic assertions).
+    /// All Loc-RIB prefixes, in prefix order (trie pre-order *is*
+    /// `(addr, len)` order, so no sort is needed).
     pub fn loc_rib_prefixes(&self) -> Vec<Ipv4Prefix> {
-        let mut v: Vec<Ipv4Prefix> = self.loc_rib.iter().map(|(p, _)| *p).collect();
-        v.sort();
-        v
+        self.rib.iter_best().map(|(p, _)| p).collect()
     }
 
     /// Full Loc-RIB contents as `(prefix, wire-encoded best-route
-    /// attributes)`, sorted by prefix. The wire form is `Send` and
-    /// implementation-neutral, so per-shard dumps can cross threads and be
-    /// compared byte-for-byte against a sequential run's dump.
+    /// attributes)`, in prefix order straight off the trie. The wire form
+    /// is `Send` and implementation-neutral, so per-shard dumps can cross
+    /// threads and be compared byte-for-byte against a sequential run's
+    /// dump.
     pub fn loc_rib_dump(&self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
-        let mut v: Vec<(Ipv4Prefix, Vec<u8>)> = self
-            .loc_rib
-            .iter()
-            .map(|(p, e)| (*p, encode_attrs(&e.attrs.to_wire(), 4)))
-            .collect();
-        v.sort();
-        v
+        self.rib
+            .iter_best()
+            .map(|(p, e)| (p, encode_attrs(&e.attrs.to_wire(), 4)))
+            .collect()
+    }
+
+    /// Full-recompute oracle: re-derive every net's best route from the
+    /// live candidates alone — ignoring the committed best the
+    /// incremental engine maintains — and format the result exactly like
+    /// [`loc_rib_dump`](Self::loc_rib_dump). At any quiescent point the
+    /// two must be byte-identical; that invariant pins the incremental
+    /// engine's correctness. Runs the same ③ `BGP_DECISION` extensions as
+    /// the live path, so collect metrics snapshots *before* calling this
+    /// (it advances the decision counters).
+    pub fn oracle_loc_rib_dump(&mut self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        let mut out = Vec::new();
+        for prefix in self.rib.net_prefixes() {
+            let mut best: Option<RibEntry> = None;
+            for (_, entry) in self.rib.candidates_cloned(&prefix) {
+                if !self.eligible(&entry) {
+                    continue;
+                }
+                best = match best {
+                    None => Some(entry),
+                    Some(cur) => {
+                        if self.better(&entry, &cur) {
+                            Some(entry)
+                        } else {
+                            Some(cur)
+                        }
+                    }
+                };
+            }
+            if let Some(e) = best {
+                out.push((prefix, encode_attrs(&e.attrs.to_wire(), 4)));
+            }
+        }
+        out
     }
 
     /// Is the session with `peer_addr` established?
@@ -389,12 +424,11 @@ impl FirDaemon {
             ctx.set_timer(hold / 3, (idx as u64) * 2 + TIMER_HOLD);
         }
         // Initial route dump: advertise the whole Loc-RIB to this peer.
-        // Sorted by prefix — the Loc-RIB is hash-ordered, and letting that
-        // order reach the wire makes UPDATE batching (and with it trace
-        // timelines) vary run to run.
-        let mut routes: Vec<(Ipv4Prefix, RibEntry)> =
-            self.loc_rib.iter().map(|(p, e)| (*p, e.clone())).collect();
-        routes.sort_by_key(|(p, _)| *p);
+        // Trie iteration is already prefix-ordered, so the wire order (and
+        // with it UPDATE batching and trace timelines) is deterministic
+        // without a sort.
+        let routes: Vec<(Ipv4Prefix, RibEntry)> =
+            self.rib.iter_best().map(|(p, e)| (p, e.clone())).collect();
         let mut pending = OutboundBatches::default();
         for (prefix, entry) in routes {
             self.export_one(idx, prefix, &entry, &mut pending);
@@ -409,12 +443,18 @@ impl FirDaemon {
         self.sessions[idx].reset();
         self.stats.fsm_transitions[FSM_TO_IDLE] += 1;
         self.adj_out[idx] = AdjRibOut::default();
-        let lost = self.adj_in[idx].drain();
+        let slot = peer_slot(idx);
+        self.rib_counters.withdrawals += self.rib.slot_len(slot) as u64;
+        // Without the delta guarantees only best-affected nets need a
+        // re-decision; with an IGP or a decision extension every net the
+        // peer contributed to must be rescanned (see `delta_safe`).
+        let lost = self.rib.flush_slot(slot, !self.delta_safe());
+        for prefix in lost {
+            self.dirty.mark(prefix);
+        }
         let mut pending_per_peer: Vec<OutboundBatches> =
             (0..self.sessions.len()).map(|_| OutboundBatches::default()).collect();
-        for prefix in lost {
-            self.run_decision(ctx, prefix, &mut pending_per_peer);
-        }
+        self.drain_dirty(ctx, &mut pending_per_peer);
         self.flush_all(ctx, pending_per_peer);
     }
 
@@ -444,10 +484,21 @@ impl FirDaemon {
             (0..self.sessions.len()).map(|_| OutboundBatches::default()).collect();
 
         // Withdrawals first (RFC 4271 §3.1 ordering within an UPDATE).
+        // Each removal only *marks* its prefix; the batched re-decision
+        // happens once, in `drain_dirty`, before the flush. A removal
+        // that provably cannot change the best route (the committed best
+        // came from another source, and the comparison order is stable —
+        // see `delta_safe`) is not marked at all.
+        let slot = peer_slot(idx);
+        let delta_safe = self.delta_safe();
         for prefix in &upd.withdrawn {
             self.stats.withdrawals_rx += 1;
-            if self.adj_in[idx].remove(prefix).is_some() {
-                self.run_decision(ctx, *prefix, &mut pending_per_peer);
+            if self.rib.remove(prefix, slot).is_some() {
+                self.rib_counters.withdrawals += 1;
+                let best_slot = self.rib.best_slot(prefix);
+                if !delta_safe || best_slot.is_none() || best_slot == Some(slot) {
+                    self.dirty.mark(*prefix);
+                }
             }
         }
 
@@ -458,6 +509,11 @@ impl FirDaemon {
                 }
                 Err(e) => {
                     self.logs.push(format!("malformed UPDATE from peer {idx}: {e}"));
+                    // Commit the deferred withdrawal decisions before the
+                    // teardown below flushes its own state; the pending
+                    // batches themselves are dropped, as they always were
+                    // on this path.
+                    self.drain_dirty(ctx, &mut pending_per_peer);
                     self.send_msg(
                         ctx,
                         idx,
@@ -468,6 +524,7 @@ impl FirDaemon {
                 }
             }
         }
+        self.drain_dirty(ctx, &mut pending_per_peer);
         self.flush_all(ctx, pending_per_peer);
     }
 
@@ -558,9 +615,12 @@ impl FirDaemon {
                 match outcome {
                     VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
                         self.stats.xbgp_rejected += 1;
-                        if self.adj_in[idx].remove(prefix).is_some() {
-                            self.run_decision(ctx, *prefix, pending_per_peer);
-                        }
+                        self.remove_candidate_and_decide(
+                            ctx,
+                            *prefix,
+                            peer_slot(idx),
+                            pending_per_peer,
+                        );
                         // Close the route scope on the early-reject path
                         // too: a leaked scope would let the next route's
                         // events inherit this route's attribution.
@@ -575,9 +635,12 @@ impl FirDaemon {
                     // closed — reject the route rather than widen policy.
                     VmmOutcome::Aborted => {
                         self.stats.xbgp_rejected += 1;
-                        if self.adj_in[idx].remove(prefix).is_some() {
-                            self.run_decision(ctx, *prefix, pending_per_peer);
-                        }
+                        self.remove_candidate_and_decide(
+                            ctx,
+                            *prefix,
+                            peer_slot(idx),
+                            pending_per_peer,
+                        );
                         if let Some(t) = self.vmm.tracer_mut() {
                             t.end_route();
                         }
@@ -603,8 +666,10 @@ impl FirDaemon {
                 state
             });
 
-            self.adj_in[idx].insert(*prefix, RibEntry { attrs: entry_attrs, source, rov });
-            self.run_decision(ctx, *prefix, pending_per_peer);
+            self.rib
+                .insert(*prefix, peer_slot(idx), RibEntry { attrs: entry_attrs, source, rov });
+            self.rib_counters.updates_applied += 1;
+            self.decide_after_announce(ctx, *prefix, peer_slot(idx), pending_per_peer);
             // Every `begin_route` above is matched here or on the reject/
             // abort `continue`s, so no scope outlives its route.
             if let Some(t) = self.vmm.tracer_mut() {
@@ -616,15 +681,17 @@ impl FirDaemon {
         let adds: Vec<(Ipv4Prefix, u32)> = self.ext_rib_adds.drain(..).collect();
         for (prefix, nexthop) in adds {
             let attrs = self.intern.intern(FirAttrs { next_hop: nexthop, ..FirAttrs::default() });
-            self.local_routes.insert(
+            self.rib.insert(
                 prefix,
+                LOCAL_SLOT,
                 RibEntry {
                     attrs,
                     source: RouteSource::local(self.cfg.router_id, self.cfg.asn),
                     rov: None,
                 },
             );
-            self.run_decision(ctx, prefix, pending_per_peer);
+            self.rib_counters.updates_applied += 1;
+            self.decide_after_announce(ctx, prefix, LOCAL_SLOT, pending_per_peer);
         }
     }
 
@@ -680,45 +747,178 @@ impl FirDaemon {
         crate::rib::native_better(candidate, best, &dctx)
     }
 
-    /// Recompute the best route for `prefix` and queue the resulting
-    /// advertisements/withdrawals.
+    /// Can the incremental engine trust pairwise comparisons against the
+    /// committed best? The native RFC 4271 comparison is a strict total
+    /// order on distinct sources *as long as the per-entry keys are
+    /// stable between touches* — an attached IGP can re-cost nexthops
+    /// (the metric tier) mid-run, and a ③ `BGP_DECISION` extension may
+    /// fold over the candidate list in an order-dependent way. In either
+    /// case every touched prefix falls back to a full per-prefix scan,
+    /// the pre-incremental behaviour.
+    fn delta_safe(&self) -> bool {
+        self.cfg.igp.is_none() && !self.vmm.has_extensions(InsertionPoint::BgpDecision)
+    }
+
+    /// Is `entry` a usable candidate? iBGP-learned routes need a
+    /// reachable nexthop in the IGP; local routes always qualify.
+    fn eligible(&self, entry: &RibEntry) -> bool {
+        entry.source.local
+            || !(self.cfg.igp.is_some()
+                && entry.source.peer_type == PeerType::Ibgp
+                && self.igp_metric_to(entry.attrs.next_hop) == u32::MAX)
+    }
+
+    /// Decide `prefix` after its candidate at `slot` was just announced
+    /// or replaced. The fast path — the common case under churn — is a
+    /// single pairwise comparison against the committed best; anything
+    /// that invalidates it (the prefix is already dirty, the announce
+    /// replaced the best's own route, there is no committed best yet, or
+    /// `delta_safe` is off) falls back to a full scan.
+    fn decide_after_announce(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        prefix: Ipv4Prefix,
+        slot: usize,
+        pending_per_peer: &mut [OutboundBatches],
+    ) {
+        // An inline decision supersedes a pending deferred one: a
+        // withdraw + re-announce of the same prefix within one batch is
+        // decided exactly once, here.
+        let was_dirty = self.dirty.unmark(&prefix);
+        if was_dirty || !self.delta_safe() {
+            self.run_decision(ctx, prefix, pending_per_peer);
+            return;
+        }
+        let Some((best_slot, incumbent)) = self.rib.best_pair_cloned(&prefix) else {
+            self.run_decision(ctx, prefix, pending_per_peer);
+            return;
+        };
+        if best_slot == slot {
+            // The best route's own source re-announced: the replacement
+            // may be worse, so the whole list competes again.
+            self.run_decision(ctx, prefix, pending_per_peer);
+            return;
+        }
+        let cand = self.rib.candidate(&prefix, slot).expect("candidate just inserted").clone();
+        let wins = {
+            let igp = &|nh: u32| self.igp_metric_to(nh);
+            let dctx = DecisionCtx {
+                igp_metric: igp,
+                default_local_pref: self.cfg.default_local_pref,
+            };
+            crate::rib::native_better(&cand, &incumbent, &dctx)
+        };
+        if wins {
+            self.commit(ctx, prefix, Some((slot, cand)), pending_per_peer);
+        } else if let Some(t) = self.vmm.tracer_mut() {
+            // The candidate lost to the incumbent: no state change, but
+            // the decision still happened for trace purposes.
+            t.record(
+                TraceKind::Decision,
+                NO_POINT,
+                NO_EXT,
+                pack_prefix(prefix.addr(), prefix.len()),
+                0,
+            );
+        }
+    }
+
+    /// Remove the candidate at `slot` (inbound-filter reject/abort) and
+    /// re-decide if the removal could have mattered.
+    fn remove_candidate_and_decide(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        prefix: Ipv4Prefix,
+        slot: usize,
+        pending_per_peer: &mut [OutboundBatches],
+    ) {
+        if self.rib.remove(&prefix, slot).is_none() {
+            return;
+        }
+        self.rib_counters.withdrawals += 1;
+        let best_slot = self.rib.best_slot(&prefix);
+        if self.dirty.contains(&prefix)
+            || !self.delta_safe()
+            || best_slot.is_none()
+            || best_slot == Some(slot)
+        {
+            // Decide inline (not deferred): this runs inside the route's
+            // trace scope, where the pre-incremental engine recorded its
+            // decision too.
+            self.dirty.unmark(&prefix);
+            self.run_decision(ctx, prefix, pending_per_peer);
+        } else if let Some(t) = self.vmm.tracer_mut() {
+            t.record(
+                TraceKind::Decision,
+                NO_POINT,
+                NO_EXT,
+                pack_prefix(prefix.addr(), prefix.len()),
+                0,
+            );
+        }
+    }
+
+    /// Re-decide every prefix the current batch touched, in prefix
+    /// order. Under `full_recompute` (the ablation baseline) every net
+    /// in the store is re-decided instead.
+    fn drain_dirty(&mut self, ctx: &mut NodeCtx<'_>, pending_per_peer: &mut [OutboundBatches]) {
+        if self.cfg.full_recompute {
+            for prefix in self.rib.net_prefixes() {
+                self.dirty.mark(prefix);
+            }
+        }
+        if self.dirty.is_empty() {
+            return;
+        }
+        let batch = self.dirty.drain_ordered();
+        self.rib_counters.delta_batch_size.observe(batch.len() as u64);
+        for prefix in batch {
+            self.run_decision(ctx, prefix, pending_per_peer);
+        }
+    }
+
+    /// Recompute the best route for `prefix` from the full candidate
+    /// list and commit the outcome.
     fn run_decision(
         &mut self,
         ctx: &mut NodeCtx<'_>,
         prefix: Ipv4Prefix,
         pending_per_peer: &mut [OutboundBatches],
     ) {
-        // Gather candidates: local routes plus every peer's Adj-RIB-In.
-        let mut best: Option<RibEntry> = self.local_routes.get(&prefix).cloned();
-        for idx in 0..self.sessions.len() {
-            let Some(entry) = self.adj_in[idx].get(&prefix) else {
-                continue;
-            };
-            // Nexthop reachability: iBGP-learned routes need a reachable
-            // nexthop in the IGP.
-            if self.cfg.igp.is_some()
-                && entry.source.peer_type == PeerType::Ibgp
-                && self.igp_metric_to(entry.attrs.next_hop) == u32::MAX
-            {
+        // Scan candidates in slot order: the local route first, then each
+        // peer — the same order the pre-incremental engine used.
+        let mut best: Option<(usize, RibEntry)> = None;
+        for (slot, entry) in self.rib.candidates_cloned(&prefix) {
+            if !self.eligible(&entry) {
                 continue;
             }
-            let entry = entry.clone();
             best = match best {
-                None => Some(entry),
-                Some(cur) => {
+                None => Some((slot, entry)),
+                Some((bs, cur)) => {
                     if self.better(&entry, &cur) {
-                        Some(entry)
+                        Some((slot, entry))
                     } else {
-                        Some(cur)
+                        Some((bs, cur))
                     }
                 }
             };
         }
+        self.commit(ctx, prefix, best, pending_per_peer);
+    }
 
-        let old = self.loc_rib.get(&prefix);
-        let changed = match (&old, &best) {
+    /// Compare a decision outcome against the committed best; when it
+    /// changed, store the new best and queue the resulting
+    /// advertisements/withdrawals.
+    fn commit(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        prefix: Ipv4Prefix,
+        winner: Option<(usize, RibEntry)>,
+        pending_per_peer: &mut [OutboundBatches],
+    ) {
+        let changed = match (self.rib.best(&prefix), &winner) {
             (None, None) => false,
-            (Some(o), Some(n)) => !Rc::ptr_eq(&o.attrs, &n.attrs) || o.source != n.source,
+            (Some(o), Some((_, n))) => !Rc::ptr_eq(&o.attrs, &n.attrs) || o.source != n.source,
             _ => true,
         };
         if let Some(t) = self.vmm.tracer_mut() {
@@ -734,15 +934,16 @@ impl FirDaemon {
             return;
         }
         self.stats.last_route_change = Some(ctx.now());
-        match best {
-            Some(entry) => {
-                self.loc_rib.set(prefix, entry.clone());
+        self.rib_counters.best_changes += 1;
+        match winner {
+            Some((slot, entry)) => {
+                self.rib.commit_best(prefix, Some((slot, entry.clone())));
                 for (q, pending) in pending_per_peer.iter_mut().enumerate() {
                     self.export_one(q, prefix, &entry, pending);
                 }
             }
             None => {
-                self.loc_rib.remove(&prefix);
+                self.rib.commit_best(prefix, None);
                 for (q, pending) in pending_per_peer.iter_mut().enumerate() {
                     if self.sessions[q].is_established() && self.adj_out[q].withdraw(&prefix) {
                         pending.withdrawals.push(prefix);
@@ -1045,8 +1246,10 @@ impl Node for FirDaemon {
                 source: RouteSource::local(self.cfg.router_id, self.cfg.asn),
                 rov: None,
             };
-            self.local_routes.insert(prefix, entry.clone());
-            self.loc_rib.set(prefix, entry);
+            self.rib.insert(prefix, LOCAL_SLOT, entry.clone());
+            // Committed directly: no sessions are up yet, so there is
+            // nothing to export and no competition to decide against.
+            self.rib.commit_best(prefix, Some((LOCAL_SLOT, entry)));
         }
         // Open every configured session.
         for idx in 0..self.sessions.len() {

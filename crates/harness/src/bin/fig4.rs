@@ -5,6 +5,8 @@
 //!             [--use-case rr|ov|all] [--dut fir|wren|all]
 //!             [--metrics-out FILE] [--trace-out FILE] [--trace-sample N]
 //!             [--profile] [--engine interp|compiled]
+//!             [--churn-rounds N] [--churn-withdraw N‰] [--churn-reannounce N‰]
+//!             [--churn-flap N‰] [--churn-flap-period N]
 //!
 //! `--metrics-out` enables DUT instrumentation and writes the merged
 //! metrics snapshot of every cell's extension run as a JSON document.
@@ -15,10 +17,35 @@
 //! series in the metrics snapshot). `--engine` picks the bytecode
 //! execution engine for the extension runs (default: the interpreter);
 //! routing outcomes are engine-invariant, only the timing figures move.
+//! `--churn-rounds N` switches every cell to steady-state churn mode
+//! (impact on churn-phase DUT CPU instead of one-shot transfer time; see
+//! `xbgp_harness::churn`); the other `--churn-*` flags tune the storm.
+//!
+//! Paper-scale runbook: `fig4 --routes 724000 --runs 15` reproduces the
+//! figure at the RIS-snapshot scale the paper used (budget several
+//! CPU-hours); add `--churn-rounds 20` for the churn-mode variant.
 
+use routegen::churn::ChurnSpec;
 use xbgp_harness::fig3::{Dut, UseCase};
 use xbgp_harness::fig4::{fig4_cell, paper_reference, Fig4Config};
 use xbgp_obs::{export, Snapshot};
+
+fn churn_of(cfg: &mut Fig4Config) -> &mut ChurnSpec {
+    let seed = cfg.seed;
+    cfg.churn.get_or_insert_with(|| ChurnSpec::new(seed, 12))
+}
+
+fn per_mille(args: &[String], i: usize) -> u32 {
+    let n = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()).unwrap_or_else(|| {
+        xbgp_obs::error!("{} needs a number in 0..=1000", args[i]);
+        std::process::exit(2);
+    });
+    if n > 1000 {
+        xbgp_obs::error!("{} is per-mille, must be <= 1000", args[i]);
+        std::process::exit(2);
+    }
+    n as u32
+}
 
 fn main() {
     let mut cfg = Fig4Config::default();
@@ -76,6 +103,22 @@ fn main() {
                     xbgp_obs::error!("{e}");
                     std::process::exit(2);
                 });
+            }
+            "--churn-rounds" => {
+                let n = parse_num(i) as usize;
+                cfg.churn.get_or_insert_with(|| ChurnSpec::new(cfg.seed, n)).rounds = n;
+            }
+            "--churn-withdraw" => {
+                churn_of(&mut cfg).withdraw_per_mille = per_mille(&args, i);
+            }
+            "--churn-reannounce" => {
+                churn_of(&mut cfg).reannounce_per_mille = per_mille(&args, i);
+            }
+            "--churn-flap" => {
+                churn_of(&mut cfg).flap_per_mille = per_mille(&args, i);
+            }
+            "--churn-flap-period" => {
+                churn_of(&mut cfg).flap_period = parse_num(i) as usize;
             }
             "--use-case" => {
                 cases = match need(i) {

@@ -4,6 +4,10 @@
 //!                 [--log-level LEVEL] [--fault-rate R]
 //!                 [--trace-out FILE] [--trace-sample N] [--profile]
 //!                 [--engine interp|compiled]
+//!                 [--churn-feed ROUTER] [--churn-routes N] [--churn-rounds N]
+//!                 [--churn-seed N] [--churn-withdraw N‰] [--churn-reannounce N‰]
+//!                 [--churn-flap N‰] [--churn-flap-period N] [--churn-roa-sweep N‰]
+//!                 [--churn-hunt-depth N] [--churn-interval-ms N] [--check-oracle]
 //!
 //! See `xbgp_harness::scenario` for the document format. Exit code 0 when
 //! every `expect_route` check passes, 1 otherwise. `--metrics-out` writes
@@ -25,6 +29,14 @@
 //! `--metrics-out` snapshot. `--engine` picks the bytecode execution
 //! engine for every router (default: the interpreter); routing outcomes
 //! are engine-invariant.
+//!
+//! The `--churn-*` family overrides (or, with `--churn-feed`, creates)
+//! the scenario's `churn` section: a synthetic upstream blasts a
+//! generated table at the named router, then replays a seeded storm of
+//! withdraw/re-announce rounds, flaps, ROA sweeps and path-hunting
+//! cascades. `--check-oracle` forces the end-of-run Loc-RIB comparison
+//! against the full-recompute oracle (a mismatch fails the run like any
+//! missed `expect_route`). Per-mille flags take 0–1000.
 
 use std::process::ExitCode;
 use xbgp_harness::scenario::RunOptions;
@@ -40,9 +52,51 @@ fn main() -> ExitCode {
     let mut engine = xbgp_core::Engine::default();
     let mut shards = 1usize;
     let mut fault_rate: Option<f64> = None;
+    let mut churn_feed: Option<String> = None;
+    let mut churn_over: Vec<(&'static str, u64)> = Vec::new();
+    let mut check_oracle = false;
     let mut i = 0;
     while i < args.len() {
+        // Numeric --churn-* overrides share one parse path.
+        let churn_key = match args[i].as_str() {
+            "--churn-routes" => Some("routes"),
+            "--churn-rounds" => Some("rounds"),
+            "--churn-seed" => Some("seed"),
+            "--churn-withdraw" => Some("withdraw_per_mille"),
+            "--churn-reannounce" => Some("reannounce_per_mille"),
+            "--churn-flap" => Some("flap_per_mille"),
+            "--churn-flap-period" => Some("flap_period"),
+            "--churn-roa-sweep" => Some("roa_sweep_per_mille"),
+            "--churn-hunt-depth" => Some("path_hunt_depth"),
+            "--churn-interval-ms" => Some("interval_ms"),
+            _ => None,
+        };
+        if let Some(key) = churn_key {
+            let Some(n) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                xbgp_obs::error!("{} needs a non-negative number", args[i]);
+                return ExitCode::from(2);
+            };
+            if key.ends_with("per_mille") && n > 1000 {
+                xbgp_obs::error!("{} is per-mille, must be <= 1000", args[i]);
+                return ExitCode::from(2);
+            }
+            churn_over.push((key, n));
+            i += 2;
+            continue;
+        }
         match args[i].as_str() {
+            "--churn-feed" => {
+                let Some(name) = args.get(i + 1) else {
+                    xbgp_obs::error!("missing value after --churn-feed");
+                    return ExitCode::from(2);
+                };
+                churn_feed = Some(name.clone());
+                i += 2;
+            }
+            "--check-oracle" => {
+                check_oracle = true;
+                i += 1;
+            }
             "--shards" => {
                 let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
                     xbgp_obs::error!("--shards needs a positive number");
@@ -138,7 +192,11 @@ fn main() -> ExitCode {
         xbgp_obs::error!(
             "usage: xbgp-sim <scenario.json> [--shards N] [--metrics-out FILE] \
              [--fault-rate R] [--trace-out FILE] [--trace-sample N] [--profile] \
-             [--engine interp|compiled]"
+             [--engine interp|compiled] [--churn-feed ROUTER] [--churn-routes N] \
+             [--churn-rounds N] [--churn-seed N] [--churn-withdraw N] \
+             [--churn-reannounce N] [--churn-flap N] [--churn-flap-period N] \
+             [--churn-roa-sweep N] [--churn-hunt-depth N] [--churn-interval-ms N] \
+             [--check-oracle]"
         );
         return ExitCode::from(2);
     };
@@ -162,6 +220,41 @@ fn main() -> ExitCode {
     if let Some(r) = fault_rate {
         scenario.fault_rate = r;
     }
+    if let Some(feed) = churn_feed {
+        match &mut scenario.churn {
+            Some(c) => c.feed = feed,
+            None => {
+                scenario.churn = Some(xbgp_harness::scenario::ChurnSection::new(&feed, 10_000));
+            }
+        }
+    }
+    if !churn_over.is_empty() || check_oracle {
+        let Some(c) = scenario.churn.as_mut() else {
+            xbgp_obs::error!(
+                "--churn-*/--check-oracle need a `churn` section in the scenario \
+                 or --churn-feed ROUTER"
+            );
+            return ExitCode::from(2);
+        };
+        for (key, n) in churn_over {
+            match key {
+                "routes" => c.routes = n as usize,
+                "rounds" => c.rounds = n as usize,
+                "seed" => c.seed = n,
+                "withdraw_per_mille" => c.withdraw_per_mille = n as u32,
+                "reannounce_per_mille" => c.reannounce_per_mille = n as u32,
+                "flap_per_mille" => c.flap_per_mille = n as u32,
+                "flap_period" => c.flap_period = n as usize,
+                "roa_sweep_per_mille" => c.roa_sweep_per_mille = n as u32,
+                "path_hunt_depth" => c.path_hunt_depth = n as usize,
+                "interval_ms" => c.interval_ms = n,
+                _ => unreachable!("key list is closed"),
+            }
+        }
+        if check_oracle {
+            c.check_oracle = true;
+        }
+    }
     let opts = RunOptions { trace_sample, profile, shard_base: 0, engine };
     match xbgp_harness::scenario::run_sharded_with_options(&scenario, shards, &opts) {
         Ok(report) => {
@@ -172,6 +265,15 @@ fn main() -> ExitCode {
             println!("final tables:");
             for (router, n) in &report.tables {
                 println!("  {router:<16} {n} route(s)");
+            }
+            if scenario.churn.is_some() {
+                let applied = report.metrics.counter_sum("xbgp_rib_updates_applied_total");
+                let withdrawn = report.metrics.counter_sum("xbgp_rib_withdrawals_total");
+                let changes = report.metrics.counter_sum("xbgp_rib_best_changes_total");
+                println!(
+                    "churn: {applied} update(s) applied, {withdrawn} withdrawal(s), \
+                     {changes} best-path change(s)"
+                );
             }
             if scenario.fault_rate > 0.0 {
                 let faults = report.metrics.counter_sum("xbgp_vmm_errors_total");

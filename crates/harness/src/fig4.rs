@@ -36,6 +36,13 @@ pub struct Fig4Config {
     /// Bytecode execution engine for the extension runs (the native side
     /// of each pair runs no bytecode, so it is unaffected).
     pub engine: Engine,
+    /// Churn mode: when set, each pair measures steady-state churn (see
+    /// [`crate::churn`]) instead of one-shot table transfer. The impact
+    /// becomes relative churn-phase DUT CPU (native vs extension), the
+    /// medians churn-phase CPU ns, and every run self-checks against the
+    /// full-recompute oracle. The spec's `seed` is replaced by the
+    /// per-run seed so pairs stay seed-matched.
+    pub churn: Option<routegen::churn::ChurnSpec>,
 }
 
 impl Default for Fig4Config {
@@ -49,6 +56,7 @@ impl Default for Fig4Config {
             trace_sample: 0,
             profile: false,
             engine: Engine::default(),
+            churn: None,
         }
     }
 }
@@ -89,6 +97,35 @@ pub fn fig4_cell(dut: Dut, use_case: UseCase, cfg: &Fig4Config) -> Fig4Cell {
     let mut trace = None;
     for i in 0..cfg.runs {
         let seed = cfg.seed + i as u64;
+        if let Some(churn) = cfg.churn {
+            // Churn mode: pair native and extension steady-state runs on
+            // the same seed and compare churn-phase DUT CPU.
+            let mk = |extension: bool| crate::churn::ChurnRunSpec {
+                dut,
+                use_case,
+                extension,
+                routes: cfg.routes,
+                seed,
+                shards: cfg.shards,
+                engine: cfg.engine,
+                full_recompute: false,
+                check_oracle: true,
+                churn: routegen::churn::ChurnSpec { seed, ..churn },
+                round_interval_ns: 200_000_000,
+            };
+            let native = crate::churn::run(&mk(false));
+            let ext = crate::churn::run(&mk(true));
+            assert_eq!(native.oracle_mismatches, 0, "native churn run diverged from oracle");
+            assert_eq!(ext.oracle_mismatches, 0, "extension churn run diverged from oracle");
+            assert_eq!(native.updates_applied, ext.updates_applied, "same stream");
+            natives.push(native.churn_cpu_ns as f64);
+            extensions.push(ext.churn_cpu_ns as f64);
+            impacts.push(relative_impact_pct(native.churn_cpu_ns as f64, ext.churn_cpu_ns as f64));
+            if cfg.metrics {
+                metrics = Some(ext.metrics.with_labels(&[("use_case", use_case.slug())]));
+            }
+            continue;
+        }
         let native = fig3::run(&Fig3Spec {
             dut,
             use_case,
@@ -187,6 +224,13 @@ pub fn render(report: &Fig4Report) -> String {
          # routes per run: {}, paired runs per cell: {}\n",
         report.config.routes, report.config.runs
     ));
+    if let Some(c) = &report.config.churn {
+        out.push_str(&format!(
+            "# churn mode: {} rounds (withdraw {}‰, re-announce {}‰, flap period {}); \
+             impact is on churn-phase DUT CPU\n",
+            c.rounds, c.withdraw_per_mille, c.reannounce_per_mille, c.flap_period
+        ));
+    }
     for cell in &report.cells {
         out.push_str(&format!(
             "\n{} / {}\n  impact: {}\n  medians: native {:.2} ms, extension {:.2} ms\n  {}\n",

@@ -58,6 +58,10 @@ pub struct Scenario {
     pub links: Vec<LinkSpec>,
     pub igp: Option<IgpSpec>,
     pub events: Vec<Event>,
+    /// Optional churn workload: a synthetic upstream feeder blasts a
+    /// generated table at one router, then replays a seeded churn stream
+    /// (withdraw storms, flaps, ROA sweeps, path hunting) in timed rounds.
+    pub churn: Option<ChurnSection>,
     /// Virtual time to run after the last event (seconds). Default 10.
     pub settle_secs: u64,
     /// Fault-injection rate in `[0, 1]`: when positive, every router gets
@@ -148,6 +152,77 @@ pub struct ExpectRoute {
     pub router: String,
     pub prefix: String,
     pub present: bool,
+}
+
+/// Churn workload description (see [`routegen::churn`] for the stream
+/// semantics). A synthetic feeder peers eBGP (AS 64999, 10.255.255.254)
+/// with the named router, blasts `routes` generated prefixes, and — once
+/// `start_secs` have passed after the blast — replays the churn rounds
+/// every `interval_ms`. All rates are integer per-mille.
+#[derive(Debug, Clone)]
+pub struct ChurnSection {
+    /// Router (by name) the feeder peers with.
+    pub feed: String,
+    /// Initial table size.
+    pub routes: usize,
+    /// Stream seed (table and churn derive from it).
+    pub seed: u64,
+    /// Storm rounds (a final restore round is appended automatically).
+    pub rounds: usize,
+    pub withdraw_per_mille: u32,
+    pub reannounce_per_mille: u32,
+    pub flap_per_mille: u32,
+    pub flap_period: usize,
+    pub roa_sweep_per_mille: u32,
+    pub path_hunt_depth: usize,
+    /// Virtual-time gap between rounds (default 200).
+    pub interval_ms: u64,
+    /// Delay between blast and the first round (default 5).
+    pub start_secs: u64,
+    /// After the last round, compare every router's incremental Loc-RIB
+    /// against its full-recompute oracle and report a check per router
+    /// (default true).
+    pub check_oracle: bool,
+    /// Internal `(replica, shards)` filter set by [`run_sharded`]: the
+    /// replica feeds only the prefixes it owns, from a stream always
+    /// derived from the full table. Not part of the JSON format.
+    pub shard: Option<(usize, usize)>,
+}
+
+impl ChurnSection {
+    /// A churn section with the documented defaults (the values a JSON
+    /// section gets when it names only `feed` and `routes`).
+    pub fn new(feed: &str, routes: usize) -> ChurnSection {
+        ChurnSection {
+            feed: feed.to_string(),
+            routes,
+            seed: 1,
+            rounds: 8,
+            withdraw_per_mille: 100,
+            reannounce_per_mille: 500,
+            flap_per_mille: 50,
+            flap_period: 4,
+            roa_sweep_per_mille: 20,
+            path_hunt_depth: 2,
+            interval_ms: 200,
+            start_secs: 5,
+            check_oracle: true,
+            shard: None,
+        }
+    }
+
+    fn spec(&self) -> routegen::churn::ChurnSpec {
+        routegen::churn::ChurnSpec {
+            seed: self.seed,
+            rounds: self.rounds,
+            withdraw_per_mille: self.withdraw_per_mille,
+            reannounce_per_mille: self.reannounce_per_mille,
+            flap_per_mille: self.flap_per_mille,
+            flap_period: self.flap_period,
+            roa_sweep_per_mille: self.roa_sweep_per_mille,
+            path_hunt_depth: self.path_hunt_depth,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -254,7 +329,16 @@ impl Scenario {
         check_fields(
             v,
             ctx,
-            &["name", "routers", "links", "igp", "events", "settle_secs", "fault_rate"],
+            &[
+                "name",
+                "routers",
+                "links",
+                "igp",
+                "events",
+                "churn",
+                "settle_secs",
+                "fault_rate",
+            ],
         )?;
         let fault_rate = f64_field_or(v, ctx, "fault_rate", 0.0)?;
         if !(0.0..=1.0).contains(&fault_rate) {
@@ -269,6 +353,10 @@ impl Scenario {
                 Some(spec) => Some(IgpSpec::from_value(spec)?),
             },
             events: list_field(v, ctx, "events", false, |e, c| Event::from_value(e, &c))?,
+            churn: match v.get("churn") {
+                None | Some(Value::Null) => None,
+                Some(spec) => Some(ChurnSection::from_value(spec)?),
+            },
             settle_secs: u64_field_or(v, ctx, "settle_secs", 10)?,
             fault_rate,
         })
@@ -410,6 +498,54 @@ impl Event {
                 None | Some(Value::Null) => None,
                 Some(e) => Some(ExpectRoute::from_value(e, &format!("{ctx}: expect_route"))?),
             },
+        })
+    }
+}
+
+impl ChurnSection {
+    fn from_value(v: &Value) -> Result<ChurnSection, String> {
+        let ctx = "scenario: churn";
+        check_fields(
+            v,
+            ctx,
+            &[
+                "feed",
+                "routes",
+                "seed",
+                "rounds",
+                "withdraw_per_mille",
+                "reannounce_per_mille",
+                "flap_per_mille",
+                "flap_period",
+                "roa_sweep_per_mille",
+                "path_hunt_depth",
+                "interval_ms",
+                "start_secs",
+                "check_oracle",
+            ],
+        )?;
+        let per_mille = |key: &str, default: u64| -> Result<u32, String> {
+            let n = u64_field_or(v, ctx, key, default)?;
+            if n > 1000 {
+                return Err(format!("{ctx}: `{key}` is per-mille, must be ≤ 1000 (got {n})"));
+            }
+            Ok(n as u32)
+        };
+        Ok(ChurnSection {
+            feed: str_field(v, ctx, "feed")?,
+            routes: u64_field(v, ctx, "routes")? as usize,
+            seed: u64_field_or(v, ctx, "seed", 1)?,
+            rounds: u64_field_or(v, ctx, "rounds", 8)? as usize,
+            withdraw_per_mille: per_mille("withdraw_per_mille", 100)?,
+            reannounce_per_mille: per_mille("reannounce_per_mille", 500)?,
+            flap_per_mille: per_mille("flap_per_mille", 50)?,
+            flap_period: u64_field_or(v, ctx, "flap_period", 4)? as usize,
+            roa_sweep_per_mille: per_mille("roa_sweep_per_mille", 20)?,
+            path_hunt_depth: u64_field_or(v, ctx, "path_hunt_depth", 2)? as usize,
+            interval_ms: u64_field_or(v, ctx, "interval_ms", 200)?,
+            start_secs: u64_field_or(v, ctx, "start_secs", 5)?,
+            check_oracle: bool_field_or(v, ctx, "check_oracle", true)?,
+            shard: None,
         })
     }
 }
@@ -581,6 +717,52 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
             .ok_or(format!("no link {}–{}", r.a, r.b))
     };
 
+    // Churn feeder: a synthetic upstream peering eBGP with the feed
+    // router. The stream is always generated over the full table, then
+    // filtered to this replica's prefixes, so every shard count replays
+    // the same logical churn.
+    const FEEDER_ASN: u32 = 64_999;
+    const FEEDER_ADDR: u32 = 0x0aff_fffe; // 10.255.255.254
+    let mut churn_feed: Option<(NodeId, LinkId, usize)> = None;
+    if let Some(c) = &scenario.churn {
+        let (fi, feed_node) =
+            *by_name.get(&c.feed).ok_or(format!("churn: unknown router `{}`", c.feed))?;
+        if scenario.routers[fi].asn == FEEDER_ASN {
+            return Err(format!(
+                "churn: router `{}` uses AS {FEEDER_ASN}, reserved for the feeder",
+                c.feed
+            ));
+        }
+        let mut table = routegen::generate(&routegen::TableSpec::new(c.routes, c.seed));
+        let mut rounds = routegen::churn::churn_rounds(&table, &c.spec());
+        if let Some((k, m)) = c.shard {
+            table.retain(|r| crate::shard::shard_of(&r.prefix, m) == k);
+            for round in &mut rounds {
+                round.withdrawals.retain(|p| crate::shard::shard_of(p, m) == k);
+                round.announcements.retain(|r| crate::shard::shard_of(&r.prefix, m) == k);
+            }
+        }
+        let enc = |u: xbgp_wire::UpdateMsg| {
+            xbgp_wire::Message::Update(u).encode(4).expect("update encodes")
+        };
+        let frames: Vec<Vec<u8>> =
+            routegen::to_updates(&table, FEEDER_ADDR, None).into_iter().map(enc).collect();
+        let round_frames: Vec<Vec<Vec<u8>>> = rounds
+            .iter()
+            .map(|r| r.to_updates(FEEDER_ADDR, None).into_iter().map(enc).collect())
+            .collect();
+        let n_rounds = round_frames.len();
+        let f = sim.add_node(Box::new(
+            crate::feeder::Feeder::new(FEEDER_ASN, FEEDER_ADDR, frames).with_churn(
+                round_frames,
+                c.start_secs * SEC,
+                c.interval_ms * 1_000_000,
+            ),
+        ));
+        let l = sim.connect(f, feed_node, 100_000);
+        churn_feed = Some((f, l, n_rounds));
+    }
+
     // IGP.
     let shared_igp = match &scenario.igp {
         Some(spec) => {
@@ -643,6 +825,11 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
                         cfg = cfg.peer(*link, peer_addr, peer_asn);
                     }
                 }
+                if let Some((_, l, _)) = churn_feed {
+                    if scenario.churn.as_ref().is_some_and(|c| c.feed == r.name) {
+                        cfg = cfg.peer(l, FEEDER_ADDR, FEEDER_ASN);
+                    }
+                }
                 cfg.originate = originate;
                 cfg.native_rr = r.native_rr;
                 cfg.native_rov = native_roas;
@@ -665,6 +852,11 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
                         cfg = cfg.rr_client_channel(*link, peer_addr, peer_asn);
                     } else {
                         cfg = cfg.channel(*link, peer_addr, peer_asn);
+                    }
+                }
+                if let Some((_, l, _)) = churn_feed {
+                    if scenario.churn.as_ref().is_some_and(|c| c.feed == r.name) {
+                        cfg = cfg.channel(l, FEEDER_ADDR, FEEDER_ASN);
                     }
                 }
                 cfg.originate = originate;
@@ -733,6 +925,47 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
         }
     }
     sim.run_until((last + scenario.settle_secs) * SEC);
+
+    // Churn epilogue: run until every round has been replayed, settle so
+    // the final (restore) round converges, then pin correctness — each
+    // router's incremental Loc-RIB must be byte-identical to its
+    // full-recompute oracle. Oracle results join the check list, so a
+    // divergence fails the scenario like any missed `expect_route`.
+    if let Some((f, _, n_rounds)) = churn_feed {
+        let mut deadline = sim.now();
+        loop {
+            if sim.node_ref::<crate::feeder::Feeder>(f).rounds_sent >= n_rounds {
+                break;
+            }
+            deadline += 30 * SEC;
+            if deadline > 1_000_000 * SEC {
+                return Err("churn rounds stalled".to_string());
+            }
+            sim.run_until(deadline);
+        }
+        let settle = sim.now() + scenario.settle_secs.max(5) * SEC;
+        sim.run_until(settle);
+        if scenario.churn.as_ref().is_some_and(|c| c.check_oracle) {
+            for (i, r) in scenario.routers.iter().enumerate() {
+                let diff = match kinds[i] {
+                    AnyRouter::Fir => {
+                        let d = sim.node_mut::<FirDaemon>(nodes[i]);
+                        let incremental = d.loc_rib_dump();
+                        crate::churn::dump_diff(&incremental, &d.oracle_loc_rib_dump())
+                    }
+                    AnyRouter::Wren => {
+                        let d = sim.node_mut::<WrenDaemon>(nodes[i]);
+                        let incremental = d.loc_rib_dump();
+                        crate::churn::dump_diff(&incremental, &d.oracle_loc_rib_dump())
+                    }
+                };
+                checks.push((
+                    format!("churn oracle: {} incremental Loc-RIB matches full recompute", r.name),
+                    diff == 0,
+                ));
+            }
+        }
+    }
 
     // Final tables, metrics and traces.
     let mut tables = Vec::new();
@@ -807,6 +1040,9 @@ pub fn run_sharded_with_options(
                     e.expect_route = None;
                 }
             }
+            if let Some(c) = &mut s.churn {
+                c.shard = Some((k, shards));
+            }
             s
         })
         .collect();
@@ -844,6 +1080,19 @@ pub fn run_sharded_with_options(
             }
         }
     }
+    // Churn-oracle checks are not tied to timeline events: every replica
+    // self-checks its own RIBs, and the merged report ANDs the verdicts
+    // per description (the invariant is per-RIB, so all must hold).
+    let mut oracle_checks: Vec<(String, bool)> = Vec::new();
+    for q in &mut queues {
+        while let Some((desc, ok)) = q.pop_front() {
+            match oracle_checks.iter_mut().find(|(d, _)| *d == desc) {
+                Some(e) => e.1 &= ok,
+                None => oracle_checks.push((desc, ok)),
+            }
+        }
+    }
+    checks.extend(oracle_checks);
 
     let mut tables = std::mem::take(&mut reports[0].tables);
     for r in &reports[1..] {
@@ -1095,6 +1344,54 @@ mod tests {
             .expect("round-trips");
         assert_eq!(back.events.len(), dump.events.len());
         assert_eq!(back.postmortems.len(), dump.postmortems.len());
+    }
+
+    #[test]
+    fn churn_storm_fixture_passes_oracle_sequential_and_sharded() {
+        // The committed fixture, scaled down for test time: the feeder
+        // blasts a table at the FIR dut (which re-exports to the WREN
+        // edge), replays the storm, and every router's incremental
+        // Loc-RIB must match its full-recompute oracle — sequentially and
+        // sharded, with fault injection live.
+        let json = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/churn_storm.json"
+        ))
+        .expect("fixture present");
+        let mut scenario = parse(&json).expect("parses");
+        let churn = scenario.churn.as_mut().unwrap();
+        churn.routes = 500;
+        churn.rounds = 6;
+        for shards in [1, 2] {
+            let report = run_sharded(&scenario, shards).expect("runs");
+            assert!(report.all_passed(), "shards={shards}: {:?}", report.checks);
+            let oracle_checks =
+                report.checks.iter().filter(|(d, _)| d.starts_with("churn oracle")).count();
+            assert_eq!(oracle_checks, 2, "one oracle verdict per router");
+            // The churn counters made it into the merged metrics.
+            assert!(report.metrics.counter_sum("xbgp_rib_best_changes_total") > 0);
+            assert!(report.metrics.counter_sum("xbgp_rib_withdrawals_total") > 0);
+            // The feed router ends holding its peer's prefix + the table.
+            let dut = report.tables.iter().find(|(n, _)| n == "dut").unwrap();
+            assert_eq!(dut.1, 501, "restore round converged, shards={shards}");
+        }
+    }
+
+    #[test]
+    fn churn_rejects_unknown_fields_and_bad_rates() {
+        let base = r#"{
+            "name": "x",
+            "routers": [ { "name": "a", "implementation": "fir", "asn": 1, "router_id": "10.0.0.1" } ],
+            "links": [],
+            "churn": { "feed": "a", "routes": 10, CHURN }
+        }"#;
+        let err = parse(&base.replace("CHURN", "\"widthdraw_per_mille\": 5")).unwrap_err();
+        assert!(err.contains("widthdraw_per_mille"), "{err}");
+        let err = parse(&base.replace("CHURN", "\"withdraw_per_mille\": 1500")).unwrap_err();
+        assert!(err.contains("per-mille"), "{err}");
+        let ok = parse(&base.replace("CHURN", "\"withdraw_per_mille\": 200")).unwrap();
+        assert_eq!(ok.churn.as_ref().unwrap().withdraw_per_mille, 200);
+        assert_eq!(ok.churn.as_ref().unwrap().reannounce_per_mille, 500, "default");
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! The dirty-prefix set driving batched delta recomputation.
+//!
+//! An UPDATE batch marks every prefix it touches; at the end of the
+//! batch the daemon drains the set **in prefix order** and re-decides
+//! only those. Ordering matters twice: the withdrawal storm a drain
+//! produces must be deterministic (not hash-ordered), and the oracle
+//! comparison replays decisions in the same order the incremental path
+//! used.
+
+use crate::map::PrefixMap;
+use xbgp_wire::Ipv4Prefix;
+
+/// An ordered set of prefixes pending re-decision.
+#[derive(Debug, Default)]
+pub struct DirtySet {
+    set: PrefixMap<()>,
+}
+
+impl DirtySet {
+    pub fn new() -> DirtySet {
+        DirtySet::default()
+    }
+
+    /// Mark a prefix dirty. Returns true if it was not already marked.
+    pub fn mark(&mut self, prefix: Ipv4Prefix) -> bool {
+        self.set.insert(prefix, ()).is_none()
+    }
+
+    /// Unmark a prefix (it was decided inline, e.g. a withdraw followed
+    /// by a re-announce of the same prefix within one batch). Returns
+    /// true if it had been marked.
+    pub fn unmark(&mut self, prefix: &Ipv4Prefix) -> bool {
+        self.set.remove(prefix).is_some()
+    }
+
+    pub fn contains(&self, prefix: &Ipv4Prefix) -> bool {
+        self.set.contains_key(prefix)
+    }
+
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Take every pending prefix, in `(addr, len)` order.
+    pub fn drain_ordered(&mut self) -> Vec<Ipv4Prefix> {
+        let out: Vec<Ipv4Prefix> = self.set.keys().collect();
+        self.set.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn mark_unmark_drain_in_order() {
+        let mut d = DirtySet::new();
+        assert!(d.mark(p("192.0.2.0/24")));
+        assert!(d.mark(p("10.0.0.0/8")));
+        assert!(!d.mark(p("10.0.0.0/8")), "double mark is idempotent");
+        assert!(d.mark(p("10.0.0.0/16")));
+        assert_eq!(d.len(), 3);
+        assert!(d.unmark(&p("10.0.0.0/16")));
+        assert!(!d.unmark(&p("10.0.0.0/16")));
+        assert!(d.contains(&p("10.0.0.0/8")));
+        assert_eq!(d.drain_ordered(), vec![p("10.0.0.0/8"), p("192.0.2.0/24")]);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,470 @@
+//! A path-compressed binary trie keyed by [`Ipv4Prefix`].
+//!
+//! The classic radix-trie layout used by routing-table code (BIRD's
+//! `fib`, FRR's `route_node`, the `prefix_trie` crate): every node
+//! carries a full prefix, an optional value, and at most two children;
+//! internal branch nodes without a value are created only where two
+//! stored prefixes diverge, so the depth is bounded by the number of
+//! stored prefixes on the path, not by 32.
+//!
+//! The property everything downstream leans on: **pre-order traversal
+//! (node, then 0-subtree, then 1-subtree) yields keys in `(addr, len)`
+//! lexicographic order** — identical to sorting with `Ipv4Prefix`'s
+//! derived `Ord`. A node's own prefix has its host bits zero, so it
+//! compares before every descendant; the 0-subtree's addresses all have
+//! bit `len` clear while the 1-subtree's have it set, so the 0-subtree
+//! compares before the 1-subtree in full. Dump paths iterate instead of
+//! collect-and-sort, and the withdrawal order after a session flush is
+//! deterministic by construction.
+
+use xbgp_wire::Ipv4Prefix;
+
+/// Sentinel child index: no child.
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    key: Ipv4Prefix,
+    value: Option<V>,
+    child: [u32; 2],
+}
+
+impl<V> Node<V> {
+    fn leaf(key: Ipv4Prefix, value: Option<V>) -> Node<V> {
+        Node { key, value, child: [NONE, NONE] }
+    }
+
+    fn child_count(&self) -> usize {
+        usize::from(self.child[0] != NONE) + usize::from(self.child[1] != NONE)
+    }
+}
+
+/// Bit `pos` (0 = most significant) of `addr`.
+#[inline]
+fn bit(addr: u32, pos: u8) -> usize {
+    debug_assert!(pos < 32);
+    ((addr >> (31 - pos)) & 1) as usize
+}
+
+/// An ordered map from [`Ipv4Prefix`] to `V` on a path-compressed trie.
+///
+/// Nodes live in an arena `Vec` with a free list; indices are stable
+/// across unrelated inserts/removes. The root is the implicit
+/// `0.0.0.0/0` node at index 0 (it holds a value only if the default
+/// route itself is inserted).
+#[derive(Debug, Clone)]
+pub struct PrefixMap<V> {
+    nodes: Vec<Node<V>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<V> Default for PrefixMap<V> {
+    fn default() -> PrefixMap<V> {
+        PrefixMap {
+            nodes: vec![Node::leaf(Ipv4Prefix::DEFAULT, None)],
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> PrefixMap<V> {
+    pub fn new() -> PrefixMap<V> {
+        PrefixMap::default()
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::leaf(Ipv4Prefix::DEFAULT, None));
+        self.free.clear();
+        self.len = 0;
+    }
+
+    fn alloc(&mut self, node: Node<V>) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn insert(&mut self, key: Ipv4Prefix, value: V) -> Option<V> {
+        let mut cur = 0u32;
+        loop {
+            let node_key = self.nodes[cur as usize].key;
+            if node_key == key {
+                let old = self.nodes[cur as usize].value.replace(value);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                return old;
+            }
+            debug_assert!(node_key.covers(&key));
+            let b = bit(key.addr(), node_key.len());
+            let c = self.nodes[cur as usize].child[b];
+            if c == NONE {
+                let leaf = self.alloc(Node::leaf(key, Some(value)));
+                self.nodes[cur as usize].child[b] = leaf;
+                self.len += 1;
+                return None;
+            }
+            let child_key = self.nodes[c as usize].key;
+            if child_key.covers(&key) {
+                cur = c;
+                continue;
+            }
+            if key.covers(&child_key) {
+                // `key` sits between `cur` and its child: splice it in.
+                let n = self.alloc(Node::leaf(key, Some(value)));
+                self.nodes[n as usize].child[bit(child_key.addr(), key.len())] = c;
+                self.nodes[cur as usize].child[b] = n;
+                self.len += 1;
+                return None;
+            }
+            // Diverging prefixes: branch at their longest common prefix.
+            let common = ((key.addr() ^ child_key.addr()).leading_zeros() as u8)
+                .min(key.len())
+                .min(child_key.len());
+            debug_assert!(common > node_key.len());
+            let branch = self.alloc(Node::leaf(Ipv4Prefix::new(key.addr(), common), None));
+            let leaf = self.alloc(Node::leaf(key, Some(value)));
+            self.nodes[branch as usize].child[bit(key.addr(), common)] = leaf;
+            self.nodes[branch as usize].child[bit(child_key.addr(), common)] = c;
+            self.nodes[cur as usize].child[b] = branch;
+            self.len += 1;
+            return None;
+        }
+    }
+
+    /// Index of the node holding exactly `key`, if present.
+    fn find(&self, key: &Ipv4Prefix) -> Option<u32> {
+        let mut cur = 0u32;
+        loop {
+            let node_key = self.nodes[cur as usize].key;
+            if node_key == *key {
+                return Some(cur);
+            }
+            if !node_key.covers(key) {
+                return None;
+            }
+            let c = self.nodes[cur as usize].child[bit(key.addr(), node_key.len())];
+            if c == NONE {
+                return None;
+            }
+            cur = c;
+        }
+    }
+
+    pub fn get(&self, key: &Ipv4Prefix) -> Option<&V> {
+        self.find(key).and_then(|i| self.nodes[i as usize].value.as_ref())
+    }
+
+    pub fn get_mut(&mut self, key: &Ipv4Prefix) -> Option<&mut V> {
+        self.find(key).and_then(|i| self.nodes[i as usize].value.as_mut())
+    }
+
+    pub fn contains_key(&self, key: &Ipv4Prefix) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Get the value for `key`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: Ipv4Prefix, default: impl FnOnce() -> V) -> &mut V {
+        if self.find(&key).and_then(|i| self.nodes[i as usize].value.as_ref()).is_none() {
+            self.insert(key, default());
+        }
+        let i = self.find(&key).expect("just inserted");
+        self.nodes[i as usize].value.as_mut().expect("just inserted")
+    }
+
+    /// Remove `key`, returning its value. Structural nodes left without a
+    /// purpose (no value, fewer than two children) are spliced out so the
+    /// trie never accumulates dead branches under churn.
+    pub fn remove(&mut self, key: &Ipv4Prefix) -> Option<V> {
+        // Descend, remembering the path for post-removal cleanup.
+        let mut path: Vec<u32> = Vec::new();
+        let mut cur = 0u32;
+        loop {
+            let node_key = self.nodes[cur as usize].key;
+            if node_key == *key {
+                break;
+            }
+            if !node_key.covers(key) {
+                return None;
+            }
+            let c = self.nodes[cur as usize].child[bit(key.addr(), node_key.len())];
+            if c == NONE {
+                return None;
+            }
+            path.push(cur);
+            cur = c;
+        }
+        let old = self.nodes[cur as usize].value.take()?;
+        self.len -= 1;
+        // Cleanup pass: at most two structural fixes (the removed node,
+        // then a parent branch left with a single child).
+        let mut target = cur;
+        while target != 0 {
+            let node = &self.nodes[target as usize];
+            if node.value.is_some() || node.child_count() == 2 {
+                break;
+            }
+            let parent = path.pop().expect("non-root node has a parent");
+            let slot = bit(node.key.addr(), self.nodes[parent as usize].key.len());
+            debug_assert_eq!(self.nodes[parent as usize].child[slot], target);
+            let replacement = match self.nodes[target as usize].child_count() {
+                0 => NONE,
+                _ => {
+                    let c = &self.nodes[target as usize].child;
+                    if c[0] != NONE {
+                        c[0]
+                    } else {
+                        c[1]
+                    }
+                }
+            };
+            self.nodes[parent as usize].child[slot] = replacement;
+            self.free.push(target);
+            if replacement != NONE {
+                // Splicing kept the parent's child count: no cascade.
+                break;
+            }
+            target = parent;
+        }
+        Some(old)
+    }
+
+    /// Iterate `(prefix, value)` in `(addr, len)` lexicographic order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter { map: self, stack: vec![0] }
+    }
+
+    /// Iterate prefixes in `(addr, len)` lexicographic order.
+    pub fn keys(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// In-order traversal with mutable access to each value. An iterator
+    /// version would need unsafe self-borrowing; a visitor is enough for
+    /// the daemons (full-table resorts and feed paths).
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(Ipv4Prefix, &mut V)) {
+        let mut stack = vec![0u32];
+        while let Some(i) = stack.pop() {
+            let [c0, c1] = self.nodes[i as usize].child;
+            if c1 != NONE {
+                stack.push(c1);
+            }
+            if c0 != NONE {
+                stack.push(c0);
+            }
+            let key = self.nodes[i as usize].key;
+            if let Some(v) = self.nodes[i as usize].value.as_mut() {
+                f(key, v);
+            }
+        }
+    }
+}
+
+/// Ordered iterator over a [`PrefixMap`] (pre-order trie walk).
+pub struct Iter<'a, V> {
+    map: &'a PrefixMap<V>,
+    stack: Vec<u32>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Ipv4Prefix, &'a V);
+
+    fn next(&mut self) -> Option<(Ipv4Prefix, &'a V)> {
+        while let Some(i) = self.stack.pop() {
+            let node = &self.map.nodes[i as usize];
+            // Push the 1-subtree first so the 0-subtree pops first.
+            if node.child[1] != NONE {
+                self.stack.push(node.child[1]);
+            }
+            if node.child[0] != NONE {
+                self.stack.push(node.child[0]);
+            }
+            if let Some(v) = node.value.as_ref() {
+                return Some((node.key, v));
+            }
+        }
+        None
+    }
+}
+
+impl<V> FromIterator<(Ipv4Prefix, V)> for PrefixMap<V> {
+    fn from_iter<T: IntoIterator<Item = (Ipv4Prefix, V)>>(iter: T) -> PrefixMap<V> {
+        let mut map = PrefixMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_replace_remove() {
+        let mut m = PrefixMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(m.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(m.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&p("10.0.0.0/8")), Some(2));
+        assert_eq!(m.remove(&p("10.0.0.0/8")), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn nested_and_diverging_prefixes_coexist() {
+        let mut m = PrefixMap::new();
+        // Parent, child, sibling, the default route, and a host route.
+        for (i, k) in ["10.0.0.0/8", "10.1.0.0/16", "10.128.0.0/9", "0.0.0.0/0", "10.1.2.3/32"]
+            .iter()
+            .enumerate()
+        {
+            m.insert(p(k), i);
+        }
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.get(&p("10.0.0.0/8")), Some(&0));
+        assert_eq!(m.get(&p("10.1.0.0/16")), Some(&1));
+        assert_eq!(m.get(&p("10.128.0.0/9")), Some(&2));
+        assert_eq!(m.get(&p("0.0.0.0/0")), Some(&3));
+        assert_eq!(m.get(&p("10.1.2.3/32")), Some(&4));
+        // A covering but never-inserted prefix is absent.
+        assert_eq!(m.get(&p("10.1.0.0/12")), None);
+        assert_eq!(m.get(&p("10.1.2.0/24")), None);
+    }
+
+    #[test]
+    fn iteration_is_prefix_ordered_without_sorting() {
+        let keys = [
+            "203.0.113.0/24",
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.0.0.0/16",
+            "192.168.0.0/16",
+            "10.128.0.0/9",
+            "0.0.0.0/0",
+            "10.1.0.0/24",
+            "172.16.0.0/12",
+            "10.0.255.0/24",
+        ];
+        let mut m = PrefixMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            m.insert(p(k), i);
+        }
+        let got: Vec<Ipv4Prefix> = m.keys().collect();
+        let mut want: Vec<Ipv4Prefix> = keys.iter().map(|k| p(k)).collect();
+        want.sort();
+        assert_eq!(got, want, "pre-order trie walk must equal the sorted key order");
+    }
+
+    #[test]
+    fn remove_splices_out_dead_branches() {
+        let mut m = PrefixMap::new();
+        m.insert(p("10.0.0.0/16"), 1);
+        m.insert(p("10.1.0.0/16"), 2);
+        // The two diverge under an implicit 10.0.0.0/15 branch node.
+        assert_eq!(m.remove(&p("10.0.0.0/16")), Some(1));
+        assert_eq!(m.get(&p("10.1.0.0/16")), Some(&2));
+        assert_eq!(m.remove(&p("10.1.0.0/16")), Some(2));
+        assert!(m.is_empty());
+        // Arena fully recycled: only the root survives.
+        assert_eq!(m.nodes.len() - m.free.len(), 1);
+    }
+
+    #[test]
+    fn get_or_insert_with_reuses_existing() {
+        let mut m: PrefixMap<Vec<u32>> = PrefixMap::new();
+        m.get_or_insert_with(p("10.0.0.0/8"), Vec::new).push(1);
+        m.get_or_insert_with(p("10.0.0.0/8"), Vec::new).push(2);
+        assert_eq!(m.get(&p("10.0.0.0/8")), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = PrefixMap::new();
+        m.insert(p("10.0.0.0/8"), 1);
+        m.insert(p("11.0.0.0/8"), 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+        m.insert(p("12.0.0.0/8"), 3);
+        assert_eq!(m.get(&p("12.0.0.0/8")), Some(&3));
+    }
+
+    #[test]
+    fn for_each_mut_visits_in_order() {
+        let mut m = PrefixMap::new();
+        for k in ["10.2.0.0/16", "10.0.0.0/8", "10.1.0.0/16"] {
+            m.insert(p(k), 0u32);
+        }
+        let mut order = Vec::new();
+        m.for_each_mut(|k, v| {
+            *v += 1;
+            order.push(k);
+        });
+        assert_eq!(order, vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("10.2.0.0/16")]);
+        assert!(m.values().all(|&v| v == 1));
+    }
+
+    proptest! {
+        /// The trie must behave exactly like a `BTreeMap<Ipv4Prefix, u32>`
+        /// over any interleaving of inserts and removes — same contents,
+        /// same iteration order (BTreeMap iterates in derived-`Ord` order,
+        /// which is what the pre-order walk claims to reproduce).
+        #[test]
+        fn prop_matches_btreemap_model(ops in proptest::collection::vec(
+            (any::<bool>(), any::<u32>(), 0u8..=32, any::<u32>()), 1..120))
+        {
+            let mut m = PrefixMap::new();
+            let mut model: BTreeMap<Ipv4Prefix, u32> = BTreeMap::new();
+            for (is_insert, addr, len, val) in ops {
+                // Bias the key space so collisions/nesting actually occur.
+                let key = Ipv4Prefix::new(addr & 0x0f0f_ffff, len);
+                if is_insert {
+                    prop_assert_eq!(m.insert(key, val), model.insert(key, val));
+                } else {
+                    prop_assert_eq!(m.remove(&key), model.remove(&key));
+                }
+                prop_assert_eq!(m.len(), model.len());
+            }
+            let got: Vec<(Ipv4Prefix, u32)> = m.iter().map(|(k, v)| (k, *v)).collect();
+            let want: Vec<(Ipv4Prefix, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want);
+            for (k, v) in &model {
+                prop_assert_eq!(m.get(k), Some(v));
+            }
+        }
+    }
+}

@@ -15,6 +15,18 @@
 //!   valid (75% in §3.4).
 //!
 //! Everything is deterministic given a seed.
+//!
+//! Beyond the one-shot table, the [`churn`] module turns a table into a
+//! deterministic stream of update *rounds* — withdraw/re-announce storms,
+//! peer flaps, ROA delta sweeps and path-hunting cascades — for the
+//! steady-state churn benchmarks. The storm's withdraw/re-announce ratio
+//! ([`churn::ChurnSpec::withdraw_per_mille`] /
+//! [`churn::ChurnSpec::reannounce_per_mille`]) and the flap period
+//! ([`churn::ChurnSpec::flap_period`]) are seeded parameters of the spec:
+//! same spec, same stream, so every engine/daemon/shard combination in the
+//! `ablation_churn` bench replays the identical byte sequence.
+
+pub mod churn;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

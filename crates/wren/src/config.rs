@@ -53,6 +53,11 @@ pub struct WrenConfig {
     /// (default) or the block-compiled engine. Bit-for-bit identical
     /// routing outcomes either way; only throughput differs.
     pub engine: Engine,
+    /// Disable delta recomputation: after every UPDATE batch, resort and
+    /// re-propagate *every* net instead of only those the batch touched.
+    /// Byte-identical outcomes to the incremental default — this exists
+    /// as the ablation baseline for the churn benchmarks.
+    pub full_recompute: bool,
 }
 
 impl WrenConfig {
@@ -75,6 +80,7 @@ impl WrenConfig {
             trace: None,
             profile: false,
             engine: Engine::default(),
+            full_recompute: false,
         }
     }
 
@@ -99,6 +105,13 @@ impl WrenConfig {
     /// Select the bytecode execution engine (see the `engine` field).
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Run the full-recompute decision baseline (see the
+    /// `full_recompute` field).
+    pub fn with_full_recompute(mut self) -> Self {
+        self.full_recompute = true;
         self
     }
 

@@ -16,6 +16,7 @@ use xbgp_core::api::{self, InsertionPoint, PeerInfo, PeerType};
 use xbgp_core::{Manifest, Vmm, VmmOutcome};
 use xbgp_obs::trace::{pack_prefix, TraceConfig, TraceDump, TraceKind, NO_EXT, NO_POINT};
 use xbgp_obs::{Histogram, Snapshot};
+use xbgp_rib::{push_rib_gauges, DirtySet, RibCounters};
 use xbgp_wire::attr::encode_attrs;
 use xbgp_wire::{Ipv4Prefix, Message, NotificationMsg, OpenMsg, UpdateMsg};
 
@@ -72,6 +73,13 @@ pub struct WrenDaemon {
     channels: Vec<Channel>,
     link_to_channel: HashMap<LinkId, usize>,
     table: RTable,
+    /// Nets whose best route was changed by the withdraw path of the
+    /// current UPDATE batch and not yet re-exported. Drained (in prefix
+    /// order) at the end of the batch, so a storm touching one net many
+    /// times propagates it once.
+    dirty: DirtySet,
+    /// Shared `xbgp_rib_*` churn accounting (same block as FIR).
+    rib_counters: RibCounters,
     /// What each channel has been sent: net → advertised attrs.
     exported: Vec<HashMap<Ipv4Prefix, Rc<EaList>>>,
     /// Per-channel pending announcements (BIRD's tx event queue): batched
@@ -133,6 +141,8 @@ impl WrenDaemon {
             channels,
             link_to_channel,
             table: RTable::new(),
+            dirty: DirtySet::new(),
+            rib_counters: RibCounters::new(),
             exported: (0..n).map(|_| HashMap::new()).collect(),
             txq: (0..n).map(|_| Vec::new()).collect(),
             txq_wd: (0..n).map(|_| Vec::new()).collect(),
@@ -224,6 +234,8 @@ impl WrenDaemon {
             &[],
             self.channels.iter().filter(|c| c.up()).count() as i64,
         );
+        self.rib_counters.push(&mut s);
+        push_rib_gauges(&mut s, self.table.route_len(), self.table.len(), self.dirty.len());
         if self.metrics {
             for p in InsertionPoint::ALL {
                 s.push_histogram(
@@ -248,25 +260,51 @@ impl WrenDaemon {
         self.table.best(net)
     }
 
-    /// Sorted nets (deterministic assertions).
+    /// Nets in prefix order. The table trie's pre-order iteration *is*
+    /// `(addr, len)` order, so no sort is needed for determinism.
     pub fn nets(&self) -> Vec<Ipv4Prefix> {
-        let mut v: Vec<Ipv4Prefix> = self.table.iter_best().map(|(n, _)| *n).collect();
-        v.sort();
-        v
+        self.table.iter_best().map(|(n, _)| n).collect()
     }
 
     /// Full table contents as `(net, wire-encoded best-route attributes)`,
-    /// sorted by net. The wire form is `Send` and implementation-neutral,
-    /// so per-shard dumps can cross threads and be compared byte-for-byte
-    /// against a sequential run's dump.
+    /// in prefix order straight off the trie (no sort — the iteration
+    /// order is already the sorted order). The wire form is `Send` and
+    /// implementation-neutral, so per-shard dumps can cross threads and
+    /// be compared byte-for-byte against a sequential run's dump.
     pub fn loc_rib_dump(&self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
-        let mut v: Vec<(Ipv4Prefix, Vec<u8>)> = self
-            .table
+        self.table
             .iter_best()
-            .map(|(n, r)| (*n, encode_attrs(&r.eattrs.to_wire(), 4)))
-            .collect();
-        v.sort();
-        v
+            .map(|(n, r)| (n, encode_attrs(&r.eattrs.to_wire(), 4)))
+            .collect()
+    }
+
+    /// From-scratch Loc-RIB recomputation — the churn oracle. For every
+    /// net, re-derive the best route by folding the full route list
+    /// through the live comparator, ignoring the incrementally-maintained
+    /// list head. Byte-identical to [`Self::loc_rib_dump`] whenever the
+    /// incremental engine is correct. Takes `&mut self` because the
+    /// comparator may run ③ decision extensions.
+    pub fn oracle_loc_rib_dump(&mut self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        let mut out = Vec::new();
+        for net in self.table.net_keys() {
+            let routes = self.table.routes(&net).to_vec();
+            let mut best: Option<Rte> = None;
+            for rte in routes {
+                // Folding in list order keeps ties on the earlier entry,
+                // matching the stable insertion order the head reflects.
+                let wins = match &best {
+                    None => true,
+                    Some(b) => self.rte_better(&rte, b),
+                };
+                if wins {
+                    best = Some(rte);
+                }
+            }
+            if let Some(b) = best {
+                out.push((net, encode_attrs(&b.eattrs.to_wire(), 4)));
+            }
+        }
+        out
     }
 
     pub fn session_established(&self, neighbor: u32) -> bool {
@@ -420,12 +458,23 @@ impl WrenDaemon {
 
         for net in &upd.withdrawn {
             self.stats.withdrawals_rx += 1;
-            let change = self.table.withdraw(*net, SrcId::Channel(ch));
-            self.propagate(ctx, *net, change);
+            let (change, removed) = self.table.withdraw(*net, SrcId::Channel(ch));
+            if removed {
+                self.rib_counters.withdrawals += 1;
+            }
+            // Defer the re-export: mark the net and propagate once per
+            // batch at drain time. Propagation only reads the *current*
+            // best route, so a storm touching the same net many times in
+            // one batch collapses to a single export decision. Non-best
+            // removals need nothing at all.
+            if !matches!(change, TableChange::NoBestChange) {
+                self.dirty.mark(*net);
+            }
         }
         if upd.nlri.is_empty() {
-            // Withdraw-only UPDATE: the propagations above may have queued
-            // re-announcements of the new best routes.
+            // Withdraw-only UPDATE: propagate the deferred best-route
+            // changes, which may queue re-announcements or withdrawals.
+            self.drain_dirty(ctx);
             self.flush_all(ctx);
             return;
         }
@@ -433,6 +482,11 @@ impl WrenDaemon {
         let mut eattrs = match EaList::from_wire(&upd.attrs) {
             Ok(l) => l,
             Err(e) => {
+                // Propagate the withdraw-loop deferrals first: the old
+                // inline path had already queued their exports when the
+                // malformed attributes surfaced, and `channel_down`'s
+                // flush sends whatever is queued.
+                self.drain_dirty(ctx);
                 self.logs.push(format!("malformed UPDATE on channel {ch}: {e}"));
                 self.tx(ctx, ch, &Message::Notification(NotificationMsg::from_error(&e)));
                 self.channel_down(ctx, ch);
@@ -462,15 +516,20 @@ impl WrenDaemon {
         }
 
         let ibgp = self.channels[ch].ibgp;
-        // Loop prevention.
+        // Loop prevention. These early returns still owe the withdraw
+        // loop its deferred propagations (queued, like the old inline
+        // path, though not flushed until the next flush point).
         if !ibgp && eattrs.as_path_contains(self.cfg.local_as) {
+            self.drain_dirty(ctx);
             return;
         }
         if ibgp && self.cfg.rr_enabled {
             if eattrs.originator_id() == Some(self.cfg.router_id) {
+                self.drain_dirty(ctx);
                 return;
             }
             if eattrs.cluster_list_contains(self.cluster_id()) {
+                self.drain_dirty(ctx);
                 return;
             }
         }
@@ -511,8 +570,7 @@ impl WrenDaemon {
                 match outcome {
                     VmmOutcome::Value(v) if v == api::FILTER_REJECT => {
                         self.stats.xbgp_rejected += 1;
-                        let change = self.table.withdraw(*net, SrcId::Channel(ch));
-                        self.propagate(ctx, *net, change);
+                        self.withdraw_and_propagate(ctx, *net, ch);
                         // Close the route scope on the early-reject path
                         // too: a leaked scope would let the next route's
                         // events inherit this route's attribution.
@@ -527,8 +585,7 @@ impl WrenDaemon {
                     // closed — reject the route rather than widen policy.
                     VmmOutcome::Aborted => {
                         self.stats.xbgp_rejected += 1;
-                        let change = self.table.withdraw(*net, SrcId::Channel(ch));
-                        self.propagate(ctx, *net, change);
+                        self.withdraw_and_propagate(ctx, *net, ch);
                         if let Some(t) = self.vmm.tracer_mut() {
                             t.end_route();
                         }
@@ -568,6 +625,13 @@ impl WrenDaemon {
             } else {
                 self.table_update_fast(*net, rte)
             };
+            self.rib_counters.updates_applied += 1;
+            if !matches!(change, TableChange::NoBestChange) {
+                // This propagation re-exports the net from its current
+                // best, which already reflects any earlier withdraw-loop
+                // removal — the deferred propagation is subsumed.
+                self.dirty.unmark(net);
+            }
             self.propagate(ctx, *net, change);
             // Every `begin_route` above is matched here or on the reject/
             // abort `continue`s, so no scope outlives its route.
@@ -581,9 +645,104 @@ impl WrenDaemon {
         for (net, nexthop) in adds {
             let rte = self.local_rte(nexthop);
             let change = self.table_update_fast(net, rte);
+            self.rib_counters.updates_applied += 1;
+            if !matches!(change, TableChange::NoBestChange) {
+                self.dirty.unmark(&net);
+            }
             self.propagate(ctx, net, change);
         }
+        self.drain_dirty(ctx);
         self.flush_all(ctx);
+    }
+
+    /// Shared reject/abort handling in the inbound filter: drop any
+    /// previously accepted route from this channel and re-export inline
+    /// (inside the route's trace scope, so the decision is attributed).
+    fn withdraw_and_propagate(&mut self, ctx: &mut NodeCtx<'_>, net: Ipv4Prefix, ch: usize) {
+        let (change, removed) = self.table.withdraw(net, SrcId::Channel(ch));
+        if removed {
+            self.rib_counters.withdrawals += 1;
+        }
+        if !matches!(change, TableChange::NoBestChange) {
+            // Same subsumption as the accept path: the inline propagation
+            // below re-exports from the current best.
+            self.dirty.unmark(&net);
+        }
+        self.propagate(ctx, net, change);
+    }
+
+    /// Propagate the deferred withdraw-path changes: every net still
+    /// marked dirty is re-exported from its current best route (or
+    /// withdrawn when gone), in prefix order. Inline NLRI processing
+    /// unmarks nets it already re-exported, so each net is propagated at
+    /// most once per batch. Under `full_recompute` this additionally
+    /// degrades to the ablation baseline: resort and re-propagate every
+    /// net in the table.
+    fn drain_dirty(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.dirty.is_empty() {
+            let batch = self.dirty.drain_ordered();
+            self.rib_counters.delta_batch_size.observe(batch.len() as u64);
+            for net in batch {
+                // The mark means the net's head changed; whether it is a
+                // re-announce or a withdrawal falls out of the current
+                // table state (propagation reads only the current best,
+                // so `BestChanged` vs `NetGone` steer the same arm).
+                let change = if self.table.routes(&net).is_empty() {
+                    TableChange::NetGone
+                } else {
+                    TableChange::BestChanged
+                };
+                self.propagate(ctx, net, change);
+            }
+        }
+        if self.cfg.full_recompute {
+            self.full_resort_sweep(ctx);
+        }
+    }
+
+    /// The full-recompute ablation baseline: re-run the comparator over
+    /// every net in the table and propagate any head changes. With the
+    /// strict total preference order and the stable resort this is
+    /// byte-identical to the incremental path — it exists only to
+    /// measure what the delta engine saves.
+    fn full_resort_sweep(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.vmm.has_extensions(InsertionPoint::BgpDecision) {
+            // Slow path mirror of `update_with_decision_ext`: the
+            // comparator may run extension code, so each list is pulled
+            // out, stably resorted, and reinserted.
+            for net in self.table.net_keys() {
+                let routes = self.table.routes(&net).to_vec();
+                let old_best = routes.first().map(|r| r.src);
+                let mut sorted: Vec<Rte> = Vec::with_capacity(routes.len());
+                for rte in routes {
+                    let pos = sorted
+                        .iter()
+                        .position(|s| self.rte_better(&rte, s))
+                        .unwrap_or(sorted.len());
+                    sorted.insert(pos, rte);
+                }
+                let new_best = sorted.first().map(|r| r.src);
+                self.table.replace_net(net, sorted);
+                let change = if new_best == old_best {
+                    TableChange::NoBestChange
+                } else {
+                    TableChange::BestChanged
+                };
+                self.propagate(ctx, net, change);
+            }
+            return;
+        }
+        let dlp = self.cfg.default_local_pref;
+        let igp = self.cfg.igp.clone();
+        let router_id = self.cfg.router_id;
+        let metric = move |nh: u32| match &igp {
+            Some(g) => g.borrow().metric(router_id, nh),
+            None => 0,
+        };
+        for net in self.table.net_keys() {
+            let change = self.table.resort(&net, &mut |a, b| rte_better_native(a, b, dlp, &metric));
+            self.propagate(ctx, net, change);
+        }
     }
 
     fn update_with_decision_ext(&mut self, net: Ipv4Prefix, rte: Rte) -> TableChange {
@@ -650,6 +809,7 @@ impl WrenDaemon {
             TableChange::NoBestChange => {}
             TableChange::BestChanged | TableChange::NetGone => {
                 self.stats.last_route_change = Some(ctx.now());
+                self.rib_counters.best_changes += 1;
                 let best = self.best_eligible(&net);
                 for ch in 0..self.channels.len() {
                     match &best {
@@ -860,13 +1020,10 @@ impl WrenDaemon {
         self.cfg.rr_enabled && (rte.src_rr_client || self.channels[ch].cfg.rr_client)
     }
 
-    /// Full-table dump when a channel comes up. Sorted by net — the
-    /// table is hash-ordered, and letting that order reach the wire makes
-    /// UPDATE batching (and trace timelines) vary run to run.
+    /// Full-table dump when a channel comes up, in prefix order straight
+    /// off the trie — deterministic wire batching without a sort.
     fn feed_channel(&mut self, ctx: &mut NodeCtx<'_>, ch: usize) {
-        let mut nets: Vec<Ipv4Prefix> = self.table.iter_best().map(|(n, _)| *n).collect();
-        nets.sort();
-        for net in nets {
+        for net in self.table.net_keys() {
             if let Some(rte) = self.best_eligible(&net) {
                 self.announce_one(ctx, ch, net, &rte);
             }
@@ -914,7 +1071,9 @@ impl WrenDaemon {
         self.channels[ch].down();
         self.stats.fsm_transitions[FSM_TO_DOWN] += 1;
         self.exported[ch].clear();
+        let before = self.table.route_len();
         let changes = self.table.flush_src(SrcId::Channel(ch));
+        self.rib_counters.withdrawals += (before - self.table.route_len()) as u64;
         for (net, change) in changes {
             self.propagate(ctx, net, change);
         }

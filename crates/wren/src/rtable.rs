@@ -3,12 +3,15 @@
 //! Instead of materialized per-peer Adj-RIB-Ins, WREN keeps all routes for
 //! a prefix in a single preference-ordered list, each route tagged with
 //! its source channel (BIRD's `rte` / `net` structures). The best route is
-//! simply the head of the list.
+//! simply the head of the list. Nets are keyed by a path-compressed prefix
+//! trie ([`xbgp_rib::PrefixMap`]) whose pre-order iteration *is*
+//! `(addr, len)` order, so dump and flush paths are deterministic without
+//! sorting.
 
 use crate::ealist::EaList;
 use rpki::RovState;
-use std::collections::HashMap;
 use std::rc::Rc;
+use xbgp_rib::PrefixMap;
 use xbgp_wire::Ipv4Prefix;
 
 /// Identifies where a route entered the table.
@@ -39,7 +42,9 @@ pub struct Rte {
 /// The routing table.
 #[derive(Debug, Default)]
 pub struct RTable {
-    nets: HashMap<Ipv4Prefix, Vec<Rte>>,
+    nets: PrefixMap<Vec<Rte>>,
+    /// Total routes across every net's list (the Adj-RIB-In occupancy).
+    route_count: usize,
 }
 
 /// Outcome of a table update, used to drive re-export.
@@ -67,12 +72,14 @@ impl RTable {
         rte: Rte,
         better: &mut dyn FnMut(&Rte, &Rte) -> bool,
     ) -> TableChange {
-        let list = self.nets.entry(net).or_default();
+        let list = self.nets.get_or_insert_with(net, Vec::new);
+        let old_len = list.len();
         let old_best_was_src = list.first().map(|r| r.src == rte.src).unwrap_or(false);
         list.retain(|r| r.src != rte.src);
         // Insertion sort position: first slot whose occupant loses to us.
         let pos = list.iter().position(|incumbent| better(&rte, incumbent)).unwrap_or(list.len());
         list.insert(pos, rte);
+        self.route_count += list.len() - old_len;
         if pos == 0 || old_best_was_src {
             TableChange::BestChanged
         } else {
@@ -80,47 +87,53 @@ impl RTable {
         }
     }
 
-    /// Remove the route from `src` for `net`, if any.
-    pub fn withdraw(&mut self, net: Ipv4Prefix, src: SrcId) -> TableChange {
+    /// Remove the route from `src` for `net`, if any. The second element
+    /// reports whether a route was actually removed (a `NoBestChange`
+    /// alone can also mean "nothing to withdraw").
+    pub fn withdraw(&mut self, net: Ipv4Prefix, src: SrcId) -> (TableChange, bool) {
         let Some(list) = self.nets.get_mut(&net) else {
-            return TableChange::NoBestChange;
+            return (TableChange::NoBestChange, false);
         };
         let Some(pos) = list.iter().position(|r| r.src == src) else {
-            return TableChange::NoBestChange;
+            return (TableChange::NoBestChange, false);
         };
         list.remove(pos);
+        self.route_count -= 1;
         if list.is_empty() {
             self.nets.remove(&net);
-            TableChange::NetGone
+            (TableChange::NetGone, true)
         } else if pos == 0 {
-            TableChange::BestChanged
+            (TableChange::BestChanged, true)
         } else {
-            TableChange::NoBestChange
+            (TableChange::NoBestChange, true)
         }
     }
 
     /// Remove every route from `src`, returning the nets whose best route
-    /// was affected and whether each net is now empty.
+    /// was affected and whether each net is now empty. The result is in
+    /// `(addr, len)` prefix order — trie iteration order — so the
+    /// withdrawal storm a teardown produces is deterministic without a
+    /// sort.
     pub fn flush_src(&mut self, src: SrcId) -> Vec<(Ipv4Prefix, TableChange)> {
         let mut changed = Vec::new();
         let mut empty = Vec::new();
-        for (net, list) in self.nets.iter_mut() {
+        let mut removed = 0usize;
+        self.nets.for_each_mut(|net, list| {
             if let Some(pos) = list.iter().position(|r| r.src == src) {
                 list.remove(pos);
+                removed += 1;
                 if list.is_empty() {
-                    empty.push(*net);
-                    changed.push((*net, TableChange::NetGone));
+                    empty.push(net);
+                    changed.push((net, TableChange::NetGone));
                 } else if pos == 0 {
-                    changed.push((*net, TableChange::BestChanged));
+                    changed.push((net, TableChange::BestChanged));
                 }
             }
-        }
+        });
+        self.route_count -= removed;
         for net in empty {
             self.nets.remove(&net);
         }
-        // Sorted: callers propagate these changes to peers, and the map's
-        // hash order must not leak into the withdrawal sequence.
-        changed.sort_by_key(|(net, _)| *net);
         if !changed.is_empty() {
             xbgp_obs::debug!("flushed {:?}: {} nets affected", src, changed.len());
         }
@@ -137,14 +150,24 @@ impl RTable {
         self.nets.get(net).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Iterate `(net, best route)`.
-    pub fn iter_best(&self) -> impl Iterator<Item = (&Ipv4Prefix, &Rte)> {
+    /// Iterate `(net, best route)` in prefix order.
+    pub fn iter_best(&self) -> impl Iterator<Item = (Ipv4Prefix, &Rte)> {
         self.nets.iter().filter_map(|(net, list)| list.first().map(|r| (net, r)))
+    }
+
+    /// All nets, in prefix order (oracle and full-recompute sweeps).
+    pub fn net_keys(&self) -> Vec<Ipv4Prefix> {
+        self.nets.keys().collect()
     }
 
     /// Number of nets with at least one route.
     pub fn len(&self) -> usize {
         self.nets.len()
+    }
+
+    /// Total routes across all nets (Adj-RIB-In occupancy).
+    pub fn route_len(&self) -> usize {
+        self.route_count
     }
 
     pub fn is_empty(&self) -> bool {
@@ -154,6 +177,8 @@ impl RTable {
     /// Replace a net's whole route list (used by the slow path where the
     /// comparator may run extension code and thus cannot borrow the table).
     pub fn replace_net(&mut self, net: Ipv4Prefix, routes: Vec<Rte>) {
+        let old_len = self.nets.get(&net).map(Vec::len).unwrap_or(0);
+        self.route_count = self.route_count - old_len + routes.len();
         if routes.is_empty() {
             self.nets.remove(&net);
         } else {
@@ -227,9 +252,13 @@ mod tests {
         // Worse route from another channel: no best change.
         assert_eq!(t.update(net, rte(1, 5), &mut shorter), TableChange::NoBestChange);
         assert_eq!(t.routes(&net).len(), 2);
+        assert_eq!(t.route_len(), 2);
         // Better route: takes the head.
         assert_eq!(t.update(net, rte(2, 1), &mut shorter), TableChange::BestChanged);
         assert_eq!(t.best(&net).unwrap().src, SrcId::Channel(2));
+        // Replacement from a known channel keeps the count stable.
+        assert_eq!(t.update(net, rte(1, 4), &mut shorter), TableChange::NoBestChange);
+        assert_eq!(t.route_len(), 3);
     }
 
     #[test]
@@ -249,25 +278,59 @@ mod tests {
         let net: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
         t.update(net, rte(0, 1), &mut shorter);
         t.update(net, rte(1, 2), &mut shorter);
-        assert_eq!(t.withdraw(net, SrcId::Channel(1)), TableChange::NoBestChange);
-        assert_eq!(t.withdraw(net, SrcId::Channel(1)), TableChange::NoBestChange);
-        assert_eq!(t.withdraw(net, SrcId::Channel(0)), TableChange::NetGone);
+        assert_eq!(t.withdraw(net, SrcId::Channel(1)), (TableChange::NoBestChange, true));
+        assert_eq!(
+            t.withdraw(net, SrcId::Channel(1)),
+            (TableChange::NoBestChange, false),
+            "second withdraw removes nothing"
+        );
+        assert_eq!(t.withdraw(net, SrcId::Channel(0)), (TableChange::NetGone, true));
         assert!(t.is_empty());
+        assert_eq!(t.route_len(), 0);
     }
 
     #[test]
-    fn flush_src_reports_affected_nets() {
+    fn withdraw_of_the_head_reports_best_changed() {
+        let mut t = RTable::new();
+        let net: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        t.update(net, rte(0, 1), &mut shorter);
+        t.update(net, rte(1, 2), &mut shorter);
+        assert_eq!(t.withdraw(net, SrcId::Channel(0)), (TableChange::BestChanged, true));
+        assert_eq!(t.best(&net).unwrap().src, SrcId::Channel(1));
+    }
+
+    #[test]
+    fn flush_src_reports_affected_nets_in_prefix_order() {
         let mut t = RTable::new();
         let n1: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
         let n2: Ipv4Prefix = "11.0.0.0/8".parse().unwrap();
+        let n3: Ipv4Prefix = "9.0.0.0/8".parse().unwrap();
         t.update(n1, rte(0, 1), &mut shorter);
         t.update(n1, rte(1, 2), &mut shorter);
         t.update(n2, rte(0, 1), &mut shorter);
-        let mut changes = t.flush_src(SrcId::Channel(0));
-        changes.sort_by_key(|(n, _)| *n);
+        t.update(n3, rte(1, 1), &mut shorter);
+        t.update(n3, rte(0, 2), &mut shorter);
+        let changes = t.flush_src(SrcId::Channel(0));
+        // n3 (9/8) lost a non-best route: absent. Others in prefix order,
+        // straight off the trie — no sort in flush_src.
         assert_eq!(changes, vec![(n1, TableChange::BestChanged), (n2, TableChange::NetGone)]);
         assert_eq!(t.best(&n1).unwrap().src, SrcId::Channel(1));
         assert!(t.best(&n2).is_none());
+        assert_eq!(t.route_len(), 2);
+    }
+
+    #[test]
+    fn flush_src_of_sole_route_empties_the_table() {
+        let mut t = RTable::new();
+        let n1: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let n2: Ipv4Prefix = "192.0.2.0/24".parse().unwrap();
+        t.update(n1, rte(0, 1), &mut shorter);
+        t.update(n2, rte(0, 1), &mut shorter);
+        let changes = t.flush_src(SrcId::Channel(0));
+        assert_eq!(changes, vec![(n1, TableChange::NetGone), (n2, TableChange::NetGone)]);
+        assert!(t.is_empty());
+        assert_eq!(t.route_len(), 0);
+        assert_eq!(t.flush_src(SrcId::Channel(0)), vec![], "flush of empty table is a no-op");
     }
 
     #[test]
@@ -281,5 +344,47 @@ mod tests {
         assert_eq!(t.resort(&net, &mut longer), TableChange::BestChanged);
         assert_eq!(t.best(&net).unwrap().src, SrcId::Channel(1));
         assert_eq!(t.resort(&net, &mut longer), TableChange::NoBestChange);
+    }
+
+    #[test]
+    fn resort_is_stable_and_handles_missing_nets() {
+        let mut t = RTable::new();
+        let net: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let missing: Ipv4Prefix = "172.16.0.0/12".parse().unwrap();
+        assert_eq!(t.resort(&missing, &mut shorter), TableChange::NoBestChange);
+        // Equal-length paths: stable resort keeps insertion order, so the
+        // head must not flip between equally-preferred routes.
+        t.update(net, rte(0, 3), &mut shorter);
+        t.update(net, rte(1, 3), &mut shorter);
+        let head = t.best(&net).unwrap().src;
+        assert_eq!(t.resort(&net, &mut shorter), TableChange::NoBestChange);
+        assert_eq!(t.best(&net).unwrap().src, head);
+    }
+
+    #[test]
+    fn iter_best_is_prefix_ordered() {
+        let mut t = RTable::new();
+        for s in ["192.0.2.0/24", "10.0.0.0/8", "10.0.0.0/16", "172.16.0.0/12"] {
+            t.update(s.parse().unwrap(), rte(0, 1), &mut shorter);
+        }
+        let got: Vec<Ipv4Prefix> = t.iter_best().map(|(n, _)| n).collect();
+        let mut want = got.clone();
+        want.sort();
+        assert_eq!(got, want, "trie pre-order is (addr, len) order — no sort needed");
+    }
+
+    #[test]
+    fn replace_net_keeps_route_count() {
+        let mut t = RTable::new();
+        let net: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        t.update(net, rte(0, 1), &mut shorter);
+        t.update(net, rte(1, 2), &mut shorter);
+        let mut routes = t.routes(&net).to_vec();
+        routes.push(rte(2, 3));
+        t.replace_net(net, routes);
+        assert_eq!(t.route_len(), 3);
+        t.replace_net(net, Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.route_len(), 0);
     }
 }
