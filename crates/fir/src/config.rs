@@ -130,17 +130,60 @@ impl FirConfig {
         self
     }
 
-    /// Add a neighbor.
-    pub fn peer(mut self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
+    /// Add a neighbor (the unified [`xbgp_driver::DaemonSpec`] builder
+    /// vocabulary; wren spells this identically).
+    pub fn neighbor(mut self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
         xbgp_obs::debug!("fir {}: neighbor {peer_addr} (AS{peer_asn})", self.router_id);
         self.peers.push(PeerCfg { link, peer_addr, peer_asn, rr_client: false });
         self
     }
 
     /// Add a route-reflection client neighbor (iBGP).
-    pub fn rr_client_peer(mut self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
+    pub fn rr_client(mut self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
         xbgp_obs::debug!("fir {}: rr-client {peer_addr} (AS{peer_asn})", self.router_id);
         self.peers.push(PeerCfg { link, peer_addr, peer_asn, rr_client: true });
         self
+    }
+
+    /// Add a neighbor.
+    #[deprecated(since = "0.1.0", note = "renamed to `neighbor()` (unified builder vocabulary)")]
+    pub fn peer(self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
+        self.neighbor(link, peer_addr, peer_asn)
+    }
+
+    /// Add a route-reflection client neighbor (iBGP).
+    #[deprecated(since = "0.1.0", note = "renamed to `rr_client()` (unified builder vocabulary)")]
+    pub fn rr_client_peer(self, link: LinkId, peer_addr: u32, peer_asn: u32) -> Self {
+        self.rr_client(link, peer_addr, peer_asn)
+    }
+
+    /// Build a FIR configuration from the unified driver-seam spec (see
+    /// [`xbgp_driver::DaemonSpec`]): one neighbor vocabulary, fir field
+    /// names resolved here and nowhere else.
+    pub fn from_spec(spec: xbgp_driver::DaemonSpec) -> FirConfig {
+        let mut cfg = FirConfig::new(spec.asn, spec.router_id);
+        cfg.hold_time_secs = spec.hold_time_secs;
+        for n in &spec.neighbors {
+            cfg = if n.rr_client {
+                cfg.rr_client(n.link, n.addr, n.asn)
+            } else {
+                cfg.neighbor(n.link, n.addr, n.asn)
+            };
+        }
+        cfg.native_rr = spec.native_rr;
+        cfg.cluster_id = spec.cluster_id;
+        cfg.native_rov = spec.native_rov;
+        cfg.xbgp = spec.xbgp;
+        cfg.xbgp_roas = spec.xbgp_roas;
+        cfg.igp = spec.igp;
+        cfg.originate = spec.originate;
+        cfg.default_local_pref = spec.default_local_pref;
+        cfg.xtra = spec.xtra;
+        cfg.metrics = spec.metrics;
+        cfg.trace = spec.trace;
+        cfg.profile = spec.profile;
+        cfg.engine = spec.engine;
+        cfg.full_recompute = spec.full_recompute;
+        cfg
     }
 }

@@ -1331,6 +1331,55 @@ impl Node for FirDaemon {
     }
 }
 
+impl xbgp_driver::Daemon for FirDaemon {
+    fn kind(&self) -> xbgp_driver::Dut {
+        xbgp_driver::Dut::Fir
+    }
+
+    fn loc_rib_len(&self) -> usize {
+        FirDaemon::loc_rib_len(self)
+    }
+
+    fn has_best_route(&self, prefix: &Ipv4Prefix) -> bool {
+        self.best_route(prefix).is_some()
+    }
+
+    fn loc_rib_dump(&self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        FirDaemon::loc_rib_dump(self)
+    }
+
+    fn oracle_loc_rib_dump(&mut self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        FirDaemon::oracle_loc_rib_dump(self)
+    }
+
+    fn metrics_snapshot(&self) -> Snapshot {
+        FirDaemon::metrics_snapshot(self)
+    }
+
+    fn take_trace(&mut self) -> Option<TraceDump> {
+        FirDaemon::take_trace(self)
+    }
+
+    fn session_established(&self, addr: u32) -> bool {
+        FirDaemon::session_established(self, addr)
+    }
+
+    fn counters(&self) -> xbgp_driver::DaemonCounters {
+        let st = &self.stats;
+        xbgp_driver::DaemonCounters {
+            updates_rx: st.updates_rx,
+            prefixes_rx: st.prefixes_rx,
+            withdrawals_rx: st.withdrawals_rx,
+            updates_tx: st.updates_tx,
+            prefixes_tx: st.prefixes_tx,
+            withdrawals_tx: st.withdrawals_tx,
+            sessions_established: st.sessions_established,
+            first_update_rx: st.first_update_rx,
+            last_route_change: st.last_route_change,
+        }
+    }
+}
+
 // Unit tests for the daemon live in `tests/` (integration level) and in
 // the sibling modules; FSM-level tests that need a simulator are in
 // `crates/fir/tests/daemon_e2e.rs`.

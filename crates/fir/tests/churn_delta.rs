@@ -121,7 +121,7 @@ fn dut_with_scripted(scripts: Vec<Vec<Vec<Vec<u8>>>>) -> (Sim, netsim::NodeId) {
         let peer_asn = 65009 + i as u32;
         let peer = sim.add_node(Box::new(Scripted::new(peer_asn, peer_addr, steps)));
         let link = sim.connect(peer, dut, MS);
-        cfg = cfg.peer(link, peer_addr, peer_asn);
+        cfg = cfg.neighbor(link, peer_addr, peer_asn);
     }
     sim.replace_node(dut, Box::new(FirDaemon::new(cfg)));
     (sim, dut)

@@ -22,8 +22,8 @@ fn two_router_setup(
     let a = sim.add_node(Box::new(Placeholder));
     let b = sim.add_node(Box::new(Placeholder));
     let link = sim.connect(a, b, MS);
-    let cfg_a = a_cfg(FirConfig::new(65001, 1).peer(link, 2, 65002));
-    let cfg_b = b_cfg(FirConfig::new(65002, 2).peer(link, 1, 65001));
+    let cfg_a = a_cfg(FirConfig::new(65001, 1).neighbor(link, 2, 65002));
+    let cfg_b = b_cfg(FirConfig::new(65002, 2).neighbor(link, 1, 65001));
     sim.replace_node(a, Box::new(FirDaemon::new(cfg_a)));
     sim.replace_node(b, Box::new(FirDaemon::new(cfg_b)));
     (sim, a, b)
@@ -71,10 +71,10 @@ fn withdrawal_propagates_on_link_failure_between_three_routers() {
     let c = sim.add_node(Box::new(Placeholder));
     let l1 = sim.connect(a, dut, MS);
     let l2 = sim.connect(dut, c, MS);
-    let mut cfg_a = FirConfig::new(65001, 1).peer(l1, 2, 65002);
+    let mut cfg_a = FirConfig::new(65001, 1).neighbor(l1, 2, 65002);
     cfg_a.originate = vec![(p("192.0.2.0/24"), 1)];
-    let cfg_dut = FirConfig::new(65002, 2).peer(l1, 1, 65001).peer(l2, 3, 65003);
-    let cfg_c = FirConfig::new(65003, 3).peer(l2, 2, 65002);
+    let cfg_dut = FirConfig::new(65002, 2).neighbor(l1, 1, 65001).neighbor(l2, 3, 65003);
+    let cfg_c = FirConfig::new(65003, 3).neighbor(l2, 2, 65002);
     sim.replace_node(a, Box::new(FirDaemon::new(cfg_a)));
     sim.replace_node(dut, Box::new(FirDaemon::new(cfg_dut)));
     sim.replace_node(c, Box::new(FirDaemon::new(cfg_c)));
@@ -110,11 +110,11 @@ fn ibgp_routes_are_not_reflected_without_rr() {
     let l_x = sim.connect(dut, x, MS);
     let l_y = sim.connect(x, y, MS);
 
-    let mut cfg_up = FirConfig::new(65009, 9).peer(l_up, 2, 65000);
+    let mut cfg_up = FirConfig::new(65009, 9).neighbor(l_up, 2, 65000);
     cfg_up.originate = vec![(p("203.0.113.0/24"), 9)];
-    let cfg_dut = FirConfig::new(65000, 2).peer(l_up, 9, 65009).peer(l_x, 3, 65000);
-    let cfg_x = FirConfig::new(65000, 3).peer(l_x, 2, 65000).peer(l_y, 4, 65000);
-    let cfg_y = FirConfig::new(65000, 4).peer(l_y, 3, 65000);
+    let cfg_dut = FirConfig::new(65000, 2).neighbor(l_up, 9, 65009).neighbor(l_x, 3, 65000);
+    let cfg_x = FirConfig::new(65000, 3).neighbor(l_x, 2, 65000).neighbor(l_y, 4, 65000);
+    let cfg_y = FirConfig::new(65000, 4).neighbor(l_y, 3, 65000);
     sim.replace_node(up, Box::new(FirDaemon::new(cfg_up)));
     sim.replace_node(dut, Box::new(FirDaemon::new(cfg_dut)));
     sim.replace_node(x, Box::new(FirDaemon::new(cfg_x)));
@@ -140,13 +140,11 @@ fn native_route_reflection_reflects_with_originator_and_cluster_list() {
     let l_up = sim.connect(up, rr, MS);
     let l_down = sim.connect(rr, down, MS);
 
-    let mut cfg_up = FirConfig::new(65000, 1).peer(l_up, 2, 65000);
+    let mut cfg_up = FirConfig::new(65000, 1).neighbor(l_up, 2, 65000);
     cfg_up.originate = vec![(p("198.51.100.0/24"), 1)];
-    let mut cfg_rr = FirConfig::new(65000, 2)
-        .rr_client_peer(l_up, 1, 65000)
-        .rr_client_peer(l_down, 3, 65000);
+    let mut cfg_rr = FirConfig::new(65000, 2).rr_client(l_up, 1, 65000).rr_client(l_down, 3, 65000);
     cfg_rr.native_rr = true;
-    let cfg_down = FirConfig::new(65000, 3).peer(l_down, 2, 65000);
+    let cfg_down = FirConfig::new(65000, 3).neighbor(l_down, 2, 65000);
     sim.replace_node(up, Box::new(FirDaemon::new(cfg_up)));
     sim.replace_node(rr, Box::new(FirDaemon::new(cfg_rr)));
     sim.replace_node(down, Box::new(FirDaemon::new(cfg_down)));
@@ -174,11 +172,11 @@ fn reflection_loop_prevention_by_originator_id() {
     let l2 = sim.connect(rr1, rr2, MS);
     let l3 = sim.connect(rr2, client, MS);
 
-    let mut cfg_client = FirConfig::new(65000, 1).peer(l1, 2, 65000).peer(l3, 3, 65000);
+    let mut cfg_client = FirConfig::new(65000, 1).neighbor(l1, 2, 65000).neighbor(l3, 3, 65000);
     cfg_client.originate = vec![(p("10.9.9.0/24"), 1)];
-    let mut cfg_rr1 = FirConfig::new(65000, 2).rr_client_peer(l1, 1, 65000).peer(l2, 3, 65000);
+    let mut cfg_rr1 = FirConfig::new(65000, 2).rr_client(l1, 1, 65000).neighbor(l2, 3, 65000);
     cfg_rr1.native_rr = true;
-    let mut cfg_rr2 = FirConfig::new(65000, 3).rr_client_peer(l3, 1, 65000).peer(l2, 2, 65000);
+    let mut cfg_rr2 = FirConfig::new(65000, 3).rr_client(l3, 1, 65000).neighbor(l2, 2, 65000);
     cfg_rr2.native_rr = true;
     sim.replace_node(client, Box::new(FirDaemon::new(cfg_client)));
     sim.replace_node(rr1, Box::new(FirDaemon::new(cfg_rr1)));
@@ -238,10 +236,10 @@ fn ebgp_loop_detection_drops_looping_paths() {
     let c = sim.add_node(Box::new(Placeholder));
     let l1 = sim.connect(a, dut, MS);
     let l2 = sim.connect(dut, c, MS);
-    let mut cfg_a = FirConfig::new(65001, 1).peer(l1, 2, 65002);
+    let mut cfg_a = FirConfig::new(65001, 1).neighbor(l1, 2, 65002);
     cfg_a.originate = vec![(p("10.0.0.0/8"), 1)];
-    let cfg_dut = FirConfig::new(65002, 2).peer(l1, 1, 65001).peer(l2, 3, 65001);
-    let cfg_c = FirConfig::new(65001, 3).peer(l2, 2, 65002);
+    let cfg_dut = FirConfig::new(65002, 2).neighbor(l1, 1, 65001).neighbor(l2, 3, 65001);
+    let cfg_c = FirConfig::new(65001, 3).neighbor(l2, 2, 65002);
     sim.replace_node(a, Box::new(FirDaemon::new(cfg_a)));
     sim.replace_node(dut, Box::new(FirDaemon::new(cfg_dut)));
     sim.replace_node(c, Box::new(FirDaemon::new(cfg_c)));
@@ -263,11 +261,12 @@ fn best_path_selection_prefers_shorter_as_path_across_peers() {
     let l_mid_b = sim.connect(mid, b, MS);
     let l_b_dut = sim.connect(b, dut, MS);
 
-    let mut cfg_a = FirConfig::new(65001, 1).peer(l_a_dut, 4, 65004).peer(l_a_mid, 2, 65002);
+    let mut cfg_a =
+        FirConfig::new(65001, 1).neighbor(l_a_dut, 4, 65004).neighbor(l_a_mid, 2, 65002);
     cfg_a.originate = vec![(p("10.0.0.0/8"), 1)];
-    let cfg_mid = FirConfig::new(65002, 2).peer(l_a_mid, 1, 65001).peer(l_mid_b, 3, 65003);
-    let cfg_b = FirConfig::new(65003, 3).peer(l_mid_b, 2, 65002).peer(l_b_dut, 4, 65004);
-    let cfg_dut = FirConfig::new(65004, 4).peer(l_a_dut, 1, 65001).peer(l_b_dut, 3, 65003);
+    let cfg_mid = FirConfig::new(65002, 2).neighbor(l_a_mid, 1, 65001).neighbor(l_mid_b, 3, 65003);
+    let cfg_b = FirConfig::new(65003, 3).neighbor(l_mid_b, 2, 65002).neighbor(l_b_dut, 4, 65004);
+    let cfg_dut = FirConfig::new(65004, 4).neighbor(l_a_dut, 1, 65001).neighbor(l_b_dut, 3, 65003);
     sim.replace_node(a, Box::new(FirDaemon::new(cfg_a)));
     sim.replace_node(mid, Box::new(FirDaemon::new(cfg_mid)));
     sim.replace_node(b, Box::new(FirDaemon::new(cfg_b)));
@@ -353,7 +352,7 @@ fn hold_timer_expiry_tears_down_a_silent_session() {
         sim.add_node(Box::new(Mute { reader: xbgp_wire::MsgReader::new(), sent_keepalive: false }));
     let dut = sim.add_node(Box::new(Placeholder));
     let link = sim.connect(mute, dut, MS);
-    let cfg = FirConfig::new(65001, 1).peer(link, 9, 65009);
+    let cfg = FirConfig::new(65001, 1).neighbor(link, 9, 65009);
     sim.replace_node(dut, Box::new(FirDaemon::new(cfg)));
 
     // Session up + route learned well before the hold timer can fire.

@@ -21,13 +21,12 @@
 //! [`bgp_wren::WrenDaemon::oracle_loc_rib_dump`]). Sharded runs self-check
 //! each replica — the invariant is per-RIB, not per-deployment.
 
+use crate::dut::{build, DaemonSpec, DutNode};
 use crate::feeder::Feeder;
 use crate::fig3::{make_roas, Dut, UseCase};
 use crate::shard::shard_of;
 use crate::sink::Sink;
-use bgp_fir::{FirConfig, FirDaemon};
-use bgp_wren::{WrenConfig, WrenDaemon};
-use netsim::{NodeId, Sim, SimConfig};
+use netsim::{Sim, SimConfig};
 use routegen::churn::{churn_rounds, total_updates, ChurnRound, ChurnSpec};
 use routegen::{to_updates, Route, TableSpec};
 use rpki::Roa;
@@ -245,9 +244,7 @@ fn run_one(
     };
 
     let mut sim = Sim::new(SimConfig { cpu_accounting: true });
-    let f = sim.add_node(Box::new(
-        Feeder::new(feeder_asn, 1, frames).with_churn_manual(round_frames, spec.round_interval_ns),
-    ));
+    let f = sim.add_node(Box::new(Feeder::new(feeder_asn, 1, frames)));
     let d = sim.add_node(Box::new(Placeholder));
     let s = sim.add_node(Box::new(Sink::new(sink_asn, 3)));
     let l_up = sim.connect(f, d, 100_000);
@@ -267,42 +264,19 @@ fn run_one(
             ),
         };
 
-    match spec.dut {
-        Dut::Fir => {
-            let mut cfg = if ibgp {
-                FirConfig::new(dut_asn, 2)
-                    .rr_client_peer(l_up, 1, feeder_asn)
-                    .rr_client_peer(l_down, 3, sink_asn)
-            } else {
-                FirConfig::new(dut_asn, 2).peer(l_up, 1, feeder_asn).peer(l_down, 3, sink_asn)
-            };
-            cfg.native_rr = ibgp && !spec.extension;
-            cfg.native_rov = native_roas;
-            cfg.xbgp_roas = ext_roas;
-            cfg.xbgp = manifest;
-            cfg.engine = spec.engine;
-            cfg.full_recompute = spec.full_recompute;
-            sim.replace_node(d, Box::new(FirDaemon::new(cfg)));
-        }
-        Dut::Wren => {
-            let mut cfg = if ibgp {
-                WrenConfig::new(dut_asn, 2)
-                    .rr_client_channel(l_up, 1, feeder_asn)
-                    .rr_client_channel(l_down, 3, sink_asn)
-            } else {
-                WrenConfig::new(dut_asn, 2)
-                    .channel(l_up, 1, feeder_asn)
-                    .channel(l_down, 3, sink_asn)
-            };
-            cfg.rr_enabled = ibgp && !spec.extension;
-            cfg.roa_table = native_roas;
-            cfg.xbgp_roas = ext_roas;
-            cfg.xbgp = manifest;
-            cfg.engine = spec.engine;
-            cfg.full_recompute = spec.full_recompute;
-            sim.replace_node(d, Box::new(WrenDaemon::new(cfg)));
-        }
-    }
+    let mut dspec = DaemonSpec::new(dut_asn, 2);
+    dspec = if ibgp {
+        dspec.rr_client(l_up, 1, feeder_asn).rr_client(l_down, 3, sink_asn)
+    } else {
+        dspec.neighbor(l_up, 1, feeder_asn).neighbor(l_down, 3, sink_asn)
+    };
+    dspec.native_rr = ibgp && !spec.extension;
+    dspec.native_rov = native_roas;
+    dspec.xbgp_roas = ext_roas;
+    dspec.xbgp = manifest;
+    dspec.engine = spec.engine;
+    dspec.full_recompute = spec.full_recompute;
+    sim.replace_node(d, Box::new(build(spec.dut, dspec)));
 
     const SEC: u64 = 1_000_000_000;
     // Phase 1: initial blast until the sink has the whole shard table,
@@ -323,11 +297,12 @@ fn run_one(
 
     // Baselines at quiescence — the churn phase measures deltas off these.
     let c0 = sim.cpu_time(d);
-    let s0 = dut_updates_rx(spec.dut, &mut sim, d);
+    let s0 = sim.node_mut::<DutNode>(d).0.counters().routing_updates_rx();
 
-    // Phase 2: arm the storm and run until every round is out, then a
-    // settle window so the final (restore) round converges.
-    sim.node_mut::<Feeder>(f).arm_rounds();
+    // Phase 2: load the storm into the feeder (which arms it in the same
+    // call) and run until every round is out, then a settle window so the
+    // final (restore) round converges.
+    sim.node_mut::<Feeder>(f).load_rounds(round_frames, spec.round_interval_ns);
     loop {
         deadline += 120 * SEC;
         sim.run_until(deadline);
@@ -339,7 +314,7 @@ fn run_one(
     sim.run_until(sim.now() + 60 * SEC);
 
     let c1 = sim.cpu_time(d);
-    let s1 = dut_updates_rx(spec.dut, &mut sim, d);
+    let s1 = sim.node_mut::<DutNode>(d).0.counters().routing_updates_rx();
     let updates_applied = s1 - s0;
     debug_assert_eq!(
         updates_applied, stream_updates,
@@ -348,32 +323,17 @@ fn run_one(
     let churn_cpu_ns = c1 - c0;
 
     let last_round_sent = sim.node_ref::<Feeder>(f).last_round_sent.expect("rounds were sent");
-    let (last_change, metrics) = match spec.dut {
-        Dut::Fir => {
-            let dm: &FirDaemon = sim.node_ref(d);
-            (dm.stats.last_route_change, dm.metrics_snapshot())
-        }
-        Dut::Wren => {
-            let dm: &WrenDaemon = sim.node_ref(d);
-            (dm.stats.last_route_change, dm.metrics_snapshot())
-        }
+    let (last_change, metrics) = {
+        let dm = &sim.node_ref::<DutNode>(d).0;
+        (dm.counters().last_route_change, dm.metrics_snapshot())
     };
     let convergence_ns = last_change.map_or(0, |t| t.saturating_sub(last_round_sent));
     let best_changes = counter(&metrics, "xbgp_rib_best_changes_total");
 
     let oracle_mismatches = if spec.check_oracle {
-        match spec.dut {
-            Dut::Fir => {
-                let dm: &mut FirDaemon = sim.node_mut(d);
-                let incremental = dm.loc_rib_dump();
-                dump_diff(&incremental, &dm.oracle_loc_rib_dump())
-            }
-            Dut::Wren => {
-                let dm: &mut WrenDaemon = sim.node_mut(d);
-                let incremental = dm.loc_rib_dump();
-                dump_diff(&incremental, &dm.oracle_loc_rib_dump())
-            }
-        }
+        let dm = sim.node_mut::<DutNode>(d);
+        let incremental = dm.0.loc_rib_dump();
+        dump_diff(&incremental, &dm.0.oracle_loc_rib_dump())
     } else {
         0
     };
@@ -391,19 +351,6 @@ fn run_one(
         best_changes,
         oracle_mismatches,
         metrics,
-    }
-}
-
-fn dut_updates_rx(dut: Dut, sim: &mut Sim, d: NodeId) -> u64 {
-    match dut {
-        Dut::Fir => {
-            let dm: &FirDaemon = sim.node_ref(d);
-            dm.stats.prefixes_rx + dm.stats.withdrawals_rx
-        }
-        Dut::Wren => {
-            let dm: &WrenDaemon = sim.node_ref(d);
-            dm.stats.prefixes_rx + dm.stats.withdrawals_rx
-        }
     }
 }
 

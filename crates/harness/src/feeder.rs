@@ -80,10 +80,28 @@ impl Feeder {
         self
     }
 
+    /// Load pre-encoded churn `rounds` into a running feeder and arm them
+    /// in one step: the first round goes out on the next keepalive tick
+    /// (≤30 s of virtual time later), subsequent rounds every
+    /// `interval_ns`. Harnesses call this at storm time, *after* sampling
+    /// their quiescent baselines (CPU, update counters) — so the baseline
+    /// window is delimited by construction, not by a separate arming
+    /// call that is easy to forget.
+    pub fn load_rounds(&mut self, rounds: Vec<Vec<Vec<u8>>>, interval_ns: u64) {
+        self.rounds = rounds;
+        self.round_interval_ns = interval_ns;
+        self.next_round = 0;
+        self.rounds_sent = 0;
+        self.armed = true;
+    }
+
     /// Load churn `rounds` that wait for an explicit [`Feeder::arm_rounds`]
-    /// call instead of auto-starting after the blast — this is how the
-    /// churn harness keeps its baseline sampling (CPU, update counters at
-    /// quiescence) strictly before the storm begins.
+    /// call instead of auto-starting after the blast.
+    #[deprecated(
+        since = "0.1.0",
+        note = "call `load_rounds()` at storm time instead of the two-step \
+                with_churn_manual + arm_rounds dance"
+    )]
     pub fn with_churn_manual(mut self, rounds: Vec<Vec<Vec<u8>>>, interval_ns: u64) -> Feeder {
         self.rounds = rounds;
         self.round_interval_ns = interval_ns;
@@ -93,6 +111,7 @@ impl Feeder {
 
     /// Arm manually-loaded churn rounds: the first round goes out on the
     /// next keepalive tick (≤30 s of virtual time later).
+    #[deprecated(since = "0.1.0", note = "load_rounds() arms in the same call")]
     pub fn arm_rounds(&mut self) {
         self.armed = true;
     }

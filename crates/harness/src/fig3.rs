@@ -2,10 +2,9 @@
 //! sink, with CPU accounting enabled so the DUT's real compute cost
 //! becomes the measured quantity.
 
+use crate::dut::{build, DaemonSpec, DutNode};
 use crate::feeder::Feeder;
 use crate::sink::Sink;
-use bgp_fir::{FirConfig, FirDaemon};
-use bgp_wren::{WrenConfig, WrenDaemon};
 use netsim::{Sim, SimConfig};
 use routegen::{to_updates, Route, TableSpec};
 use rpki::Roa;
@@ -14,21 +13,7 @@ use xbgp_obs::trace::{TraceConfig, TraceDump};
 use xbgp_progs::{origin_validation, route_reflect};
 use xbgp_wire::{Ipv4Prefix, Message};
 
-/// Which implementation sits in the middle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Dut {
-    Fir,
-    Wren,
-}
-
-impl Dut {
-    pub fn name(self) -> &'static str {
-        match self {
-            Dut::Fir => "xFIR",
-            Dut::Wren => "xWREN",
-        }
-    }
-}
+pub use xbgp_driver::Dut;
 
 /// Which §3 use case runs on the DUT.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,46 +183,21 @@ pub(crate) fn run_frames(
             ),
         };
 
-    match spec.dut {
-        Dut::Fir => {
-            let mut cfg = if ibgp {
-                FirConfig::new(dut_asn, 2)
-                    .rr_client_peer(l_up, 1, feeder_asn)
-                    .rr_client_peer(l_down, 3, sink_asn)
-            } else {
-                FirConfig::new(dut_asn, 2).peer(l_up, 1, feeder_asn).peer(l_down, 3, sink_asn)
-            };
-            cfg.native_rr = ibgp && !spec.extension;
-            cfg.native_rov = native_roas;
-            cfg.xbgp_roas = ext_roas;
-            cfg.xbgp = manifest;
-            cfg.metrics = spec.metrics;
-            cfg.trace = trace_cfg;
-            cfg.profile = spec.profile;
-            cfg.engine = spec.engine;
-            sim.replace_node(d, Box::new(FirDaemon::new(cfg)));
-        }
-        Dut::Wren => {
-            let mut cfg = if ibgp {
-                WrenConfig::new(dut_asn, 2)
-                    .rr_client_channel(l_up, 1, feeder_asn)
-                    .rr_client_channel(l_down, 3, sink_asn)
-            } else {
-                WrenConfig::new(dut_asn, 2)
-                    .channel(l_up, 1, feeder_asn)
-                    .channel(l_down, 3, sink_asn)
-            };
-            cfg.rr_enabled = ibgp && !spec.extension;
-            cfg.roa_table = native_roas;
-            cfg.xbgp_roas = ext_roas;
-            cfg.xbgp = manifest;
-            cfg.metrics = spec.metrics;
-            cfg.trace = trace_cfg;
-            cfg.profile = spec.profile;
-            cfg.engine = spec.engine;
-            sim.replace_node(d, Box::new(WrenDaemon::new(cfg)));
-        }
-    }
+    let mut dspec = DaemonSpec::new(dut_asn, 2);
+    dspec = if ibgp {
+        dspec.rr_client(l_up, 1, feeder_asn).rr_client(l_down, 3, sink_asn)
+    } else {
+        dspec.neighbor(l_up, 1, feeder_asn).neighbor(l_down, 3, sink_asn)
+    };
+    dspec.native_rr = ibgp && !spec.extension;
+    dspec.native_rov = native_roas;
+    dspec.xbgp_roas = ext_roas;
+    dspec.xbgp = manifest;
+    dspec.metrics = spec.metrics;
+    dspec.trace = trace_cfg;
+    dspec.profile = spec.profile;
+    dspec.engine = spec.engine;
+    sim.replace_node(d, Box::new(build(spec.dut, dspec)));
 
     // Run in bounded virtual-time chunks until the sink has the whole
     // table. (Keepalive timers re-arm forever, so the event queue never
@@ -268,18 +228,9 @@ pub(crate) fn run_frames(
         let sink: &Sink = sim.node_ref(s);
         (sink.last_prefix_rx.expect("table reached the sink"), sink.prefixes_seen())
     };
-    let metrics = spec.metrics.then(|| match spec.dut {
-        Dut::Fir => sim.node_ref::<FirDaemon>(d).metrics_snapshot(),
-        Dut::Wren => sim.node_ref::<WrenDaemon>(d).metrics_snapshot(),
-    });
-    let loc_rib = spec.rib_dump.then(|| match spec.dut {
-        Dut::Fir => sim.node_ref::<FirDaemon>(d).loc_rib_dump(),
-        Dut::Wren => sim.node_ref::<WrenDaemon>(d).loc_rib_dump(),
-    });
-    let trace = trace_cfg.and_then(|_| match spec.dut {
-        Dut::Fir => sim.node_mut::<FirDaemon>(d).take_trace(),
-        Dut::Wren => sim.node_mut::<WrenDaemon>(d).take_trace(),
-    });
+    let metrics = spec.metrics.then(|| sim.node_ref::<DutNode>(d).0.metrics_snapshot());
+    let loc_rib = spec.rib_dump.then(|| sim.node_ref::<DutNode>(d).0.loc_rib_dump());
+    let trace = trace_cfg.and_then(|_| sim.node_mut::<DutNode>(d).0.take_trace());
     Fig3Outcome {
         elapsed_ns: last_rx.saturating_sub(first_sent),
         prefixes_delivered: delivered,

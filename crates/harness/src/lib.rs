@@ -15,6 +15,7 @@
 //! Binaries: `fig1`, `fig4`, `fig5_scenarios`, `loc_table`.
 
 pub mod churn;
+pub mod dut;
 pub mod feeder;
 pub mod fig1;
 pub mod fig3;
@@ -25,6 +26,7 @@ pub mod sink;
 pub mod stats;
 
 pub use churn::{ChurnOutcome, ChurnRunSpec};
+pub use dut::{build, Daemon, DaemonSpec, DutNode};
 pub use feeder::Feeder;
 pub use fig3::{Dut, Fig3Outcome, Fig3Spec, UseCase};
 pub use fig4::{fig4_run, Fig4Config, Fig4Report};

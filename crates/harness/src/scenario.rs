@@ -38,8 +38,7 @@
 //! rejected so typos in scenario files fail loudly instead of being
 //! silently ignored.
 
-use bgp_fir::{FirConfig, FirDaemon};
-use bgp_wren::{WrenConfig, WrenDaemon};
+use crate::dut::{build, DaemonSpec, Dut, DutNode};
 use netsim::{LinkId, NodeId, Sim, SimConfig};
 use std::collections::HashMap;
 use xbgp_core::Manifest;
@@ -662,11 +661,6 @@ impl netsim::Node for Placeholder {
     }
 }
 
-enum AnyRouter {
-    Fir,
-    Wren,
-}
-
 /// Run a scenario to completion with default observability options.
 pub fn run(scenario: &Scenario) -> Result<ScenarioReport, String> {
     run_with_options(scenario, &RunOptions::default())
@@ -779,7 +773,6 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
     };
 
     // Instantiate routers.
-    let mut kinds = Vec::new();
     for r in &scenario.routers {
         let my_addr = parse_addr(&r.router_id)?;
         let originate: Vec<(Ipv4Prefix, u32)> = r
@@ -813,67 +806,33 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
         let peers: Vec<(LinkId, String)> = links_of.get(&r.name).cloned().unwrap_or_default();
 
         let (idx, node) = by_name[&r.name];
-        match r.implementation.as_str() {
-            "fir" => {
-                let mut cfg = FirConfig::new(r.asn, my_addr);
-                for (link, peer_name) in &peers {
-                    let peer_addr = addr_of(peer_name)?;
-                    let peer_asn = scenario.routers[by_name[peer_name].0].asn;
-                    if r.rr_clients.contains(peer_name) {
-                        cfg = cfg.rr_client_peer(*link, peer_addr, peer_asn);
-                    } else {
-                        cfg = cfg.peer(*link, peer_addr, peer_asn);
-                    }
-                }
-                if let Some((_, l, _)) = churn_feed {
-                    if scenario.churn.as_ref().is_some_and(|c| c.feed == r.name) {
-                        cfg = cfg.peer(l, FEEDER_ADDR, FEEDER_ASN);
-                    }
-                }
-                cfg.originate = originate;
-                cfg.native_rr = r.native_rr;
-                cfg.native_rov = native_roas;
-                cfg.xbgp = manifest;
-                cfg.xbgp_roas = xbgp_roas;
-                cfg.igp = shared_igp.clone();
-                cfg.xtra = xtra;
-                cfg.trace = trace_cfg(idx);
-                cfg.profile = opts.profile;
-                cfg.engine = opts.engine;
-                sim.replace_node(node, Box::new(FirDaemon::new(cfg)));
-                kinds.push(AnyRouter::Fir);
-            }
-            "wren" => {
-                let mut cfg = WrenConfig::new(r.asn, my_addr);
-                for (link, peer_name) in &peers {
-                    let peer_addr = addr_of(peer_name)?;
-                    let peer_asn = scenario.routers[by_name[peer_name].0].asn;
-                    if r.rr_clients.contains(peer_name) {
-                        cfg = cfg.rr_client_channel(*link, peer_addr, peer_asn);
-                    } else {
-                        cfg = cfg.channel(*link, peer_addr, peer_asn);
-                    }
-                }
-                if let Some((_, l, _)) = churn_feed {
-                    if scenario.churn.as_ref().is_some_and(|c| c.feed == r.name) {
-                        cfg = cfg.channel(l, FEEDER_ADDR, FEEDER_ASN);
-                    }
-                }
-                cfg.originate = originate;
-                cfg.rr_enabled = r.native_rr;
-                cfg.roa_table = native_roas;
-                cfg.xbgp = manifest;
-                cfg.xbgp_roas = xbgp_roas;
-                cfg.igp = shared_igp.clone();
-                cfg.xtra = xtra;
-                cfg.trace = trace_cfg(idx);
-                cfg.profile = opts.profile;
-                cfg.engine = opts.engine;
-                sim.replace_node(node, Box::new(WrenDaemon::new(cfg)));
-                kinds.push(AnyRouter::Wren);
-            }
-            other => return Err(format!("unknown implementation `{other}` (fir|wren)")),
+        let dut: Dut = r.implementation.parse()?;
+        let mut dspec = DaemonSpec::new(r.asn, my_addr);
+        for (link, peer_name) in &peers {
+            let peer_addr = addr_of(peer_name)?;
+            let peer_asn = scenario.routers[by_name[peer_name].0].asn;
+            dspec = if r.rr_clients.contains(peer_name) {
+                dspec.rr_client(*link, peer_addr, peer_asn)
+            } else {
+                dspec.neighbor(*link, peer_addr, peer_asn)
+            };
         }
+        if let Some((_, l, _)) = churn_feed {
+            if scenario.churn.as_ref().is_some_and(|c| c.feed == r.name) {
+                dspec = dspec.neighbor(l, FEEDER_ADDR, FEEDER_ASN);
+            }
+        }
+        dspec.originate = originate;
+        dspec.native_rr = r.native_rr;
+        dspec.native_rov = native_roas;
+        dspec.xbgp = manifest;
+        dspec.xbgp_roas = xbgp_roas;
+        dspec.igp = shared_igp.clone();
+        dspec.xtra = xtra;
+        dspec.trace = trace_cfg(idx);
+        dspec.profile = opts.profile;
+        dspec.engine = opts.engine;
+        sim.replace_node(node, Box::new(build(dut, dspec)));
     }
 
     // Timeline.
@@ -881,12 +840,9 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
     let mut events: Vec<&Event> = scenario.events.iter().collect();
     events.sort_by_key(|e| e.at_secs);
     let has_route = |sim: &mut Sim, router: &str, prefix: &str| -> Result<bool, String> {
-        let (i, node) = *by_name.get(router).ok_or(format!("unknown router `{router}`"))?;
+        let (_, node) = *by_name.get(router).ok_or(format!("unknown router `{router}`"))?;
         let p: Ipv4Prefix = prefix.parse()?;
-        Ok(match kinds[i] {
-            AnyRouter::Fir => sim.node_ref::<FirDaemon>(node).best_route(&p).is_some(),
-            AnyRouter::Wren => sim.node_ref::<WrenDaemon>(node).best_route(&p).is_some(),
-        })
+        Ok(sim.node_ref::<DutNode>(node).0.has_best_route(&p))
     };
     let mut last = 0u64;
     for ev in events {
@@ -947,17 +903,10 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
         sim.run_until(settle);
         if scenario.churn.as_ref().is_some_and(|c| c.check_oracle) {
             for (i, r) in scenario.routers.iter().enumerate() {
-                let diff = match kinds[i] {
-                    AnyRouter::Fir => {
-                        let d = sim.node_mut::<FirDaemon>(nodes[i]);
-                        let incremental = d.loc_rib_dump();
-                        crate::churn::dump_diff(&incremental, &d.oracle_loc_rib_dump())
-                    }
-                    AnyRouter::Wren => {
-                        let d = sim.node_mut::<WrenDaemon>(nodes[i]);
-                        let incremental = d.loc_rib_dump();
-                        crate::churn::dump_diff(&incremental, &d.oracle_loc_rib_dump())
-                    }
+                let diff = {
+                    let d = sim.node_mut::<DutNode>(nodes[i]);
+                    let incremental = d.0.loc_rib_dump();
+                    crate::churn::dump_diff(&incremental, &d.0.oracle_loc_rib_dump())
                 };
                 checks.push((
                     format!("churn oracle: {} incremental Loc-RIB matches full recompute", r.name),
@@ -973,15 +922,9 @@ pub fn run_with_options(scenario: &Scenario, opts: &RunOptions) -> Result<Scenar
     let mut dumps = Vec::new();
     for (i, r) in scenario.routers.iter().enumerate() {
         let node = nodes[i];
-        let (n, snap, dump) = match kinds[i] {
-            AnyRouter::Fir => {
-                let d = sim.node_mut::<FirDaemon>(node);
-                (d.loc_rib_len(), d.metrics_snapshot(), d.take_trace())
-            }
-            AnyRouter::Wren => {
-                let d = sim.node_mut::<WrenDaemon>(node);
-                (d.table_len(), d.metrics_snapshot(), d.take_trace())
-            }
+        let (n, snap, dump) = {
+            let d = sim.node_mut::<DutNode>(node);
+            (d.0.loc_rib_len(), d.0.metrics_snapshot(), d.0.take_trace())
         };
         tables.push((r.name.clone(), n));
         metrics

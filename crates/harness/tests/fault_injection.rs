@@ -54,7 +54,7 @@ fn run_dut(kind: DutKind, manifest: Option<Manifest>, metrics: bool) -> DutOutco
     let dut = sim.add_node(Box::new(Placeholder));
     let link = sim.connect(origin, dut, MS);
 
-    let mut cfg_origin = FirConfig::new(65001, 1).peer(link, 2, 65002);
+    let mut cfg_origin = FirConfig::new(65001, 1).neighbor(link, 2, 65002);
     cfg_origin.originate = (0..ROUTES)
         .map(|i| (format!("10.{i}.0.0/16").parse::<Ipv4Prefix>().unwrap(), 1))
         .collect();
@@ -62,14 +62,14 @@ fn run_dut(kind: DutKind, manifest: Option<Manifest>, metrics: bool) -> DutOutco
 
     match kind {
         DutKind::Fir => {
-            let mut cfg = FirConfig::new(65002, 2).peer(link, 1, 65001);
+            let mut cfg = FirConfig::new(65002, 2).neighbor(link, 1, 65001);
             cfg.xbgp = manifest;
             cfg.metrics = metrics;
             cfg.engine = engine();
             sim.replace_node(dut, Box::new(FirDaemon::new(cfg)));
         }
         DutKind::Wren => {
-            let mut cfg = WrenConfig::new(65002, 2).channel(link, 1, 65001);
+            let mut cfg = WrenConfig::new(65002, 2).neighbor(link, 1, 65001);
             cfg.xbgp = manifest;
             cfg.metrics = metrics;
             cfg.engine = engine();

@@ -85,11 +85,11 @@ fn run_dut(fir: bool) -> TraceDump {
     let link = sim.connect(origin, dut, MS);
     let trace = TraceConfig { sample_every: 1, ..TraceConfig::default() };
     if fir {
-        let mut cfg = FirConfig::new(65001, 1).peer(link, 9, 65009).with_trace(trace);
+        let mut cfg = FirConfig::new(65001, 1).neighbor(link, 9, 65009).with_trace(trace);
         cfg.xbgp = Some(fault_inject::manifest(2));
         sim.replace_node(dut, Box::new(FirDaemon::new(cfg)));
     } else {
-        let mut cfg = WrenConfig::new(65001, 1).channel(link, 9, 65009).with_trace(trace);
+        let mut cfg = WrenConfig::new(65001, 1).neighbor(link, 9, 65009).with_trace(trace);
         cfg.xbgp = Some(fault_inject::manifest(2));
         sim.replace_node(dut, Box::new(WrenDaemon::new(cfg)));
     }

@@ -24,8 +24,10 @@
 //! convergence experiments need determinism more than parallelism (see the
 //! guides' advice that async buys nothing for pure computation).
 
+pub mod driver;
 pub mod sim;
 
+pub use driver::NodeDriver;
 pub use sim::{LinkId, Node, NodeCtx, NodeId, Sim, SimConfig};
 
 #[cfg(test)]

@@ -107,10 +107,24 @@ pub struct NodeCtx<'a> {
     actions: Vec<Action>,
 }
 
-enum Action {
+pub(crate) enum Action {
     Send { link: LinkId, data: Vec<u8> },
     SetTimer { delay: u64, token: u64 },
     CancelTimer { token: u64 },
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Build a context for a node hosted outside a [`Sim`] (see
+    /// [`crate::driver::NodeDriver`]). The caller supplies the clock and
+    /// applies the queued actions itself via [`NodeCtx::into_actions`].
+    pub(crate) fn standalone(now: u64, node: NodeId, links: &'a [LinkId]) -> NodeCtx<'a> {
+        NodeCtx { now, node, links, actions: Vec::new() }
+    }
+
+    /// Consume the context, returning the actions the handler queued.
+    pub(crate) fn into_actions(self) -> Vec<Action> {
+        self.actions
+    }
 }
 
 impl NodeCtx<'_> {

@@ -1,0 +1,145 @@
+//! Peer-scaling benchmark: sessions × update rate → propagation latency.
+//!
+//! Each cell runs the full loopback selftest machinery (so every cell is
+//! also a correctness check — parity against the netsim replay and the
+//! full-recompute oracle) and reports the socket-to-RIB latency
+//! histogram's p50/p99 alongside the achieved update rate. The output is
+//! `BENCH_peer_scaling.json`, in the same hand-written shape as
+//! `BENCH_churn.json`.
+//!
+//! Environment knobs (for CI-scale runs):
+//!
+//! * `PEER_BENCH_SESSIONS` — comma list, default `8,64,256`
+//! * `PEER_BENCH_ROUTES`   — initial table size, default `2000`
+//! * `PEER_BENCH_ROUNDS`   — churn rounds, default `6`
+//! * `PEER_BENCH_GAPS_MS`  — comma list of per-client round gaps,
+//!   default `0,100` (`0` = blast as fast as TCP accepts)
+
+use std::time::Duration;
+
+use xbgp_driver::Dut;
+
+use crate::selftest::{self, SelftestSpec};
+
+/// One measured grid cell.
+pub struct Cell {
+    pub dut: Dut,
+    pub sessions: usize,
+    pub routes: usize,
+    pub rounds: usize,
+    pub gap_ms: u64,
+    pub updates: u64,
+    pub updates_per_sec: f64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub best_changes: u64,
+    pub parity_mismatches: usize,
+    pub oracle_mismatches: usize,
+    pub established: usize,
+    pub elapsed_ms: u64,
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) => v
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad {name} entry: {s}")))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Run the full grid and return the measured cells.
+pub fn run_grid() -> Vec<Cell> {
+    let sessions = env_list("PEER_BENCH_SESSIONS", &[8, 64, 256]);
+    let gaps = env_list("PEER_BENCH_GAPS_MS", &[0, 100]);
+    let routes = env_usize("PEER_BENCH_ROUTES", 2000);
+    let rounds = env_usize("PEER_BENCH_ROUNDS", 6);
+
+    let mut cells = Vec::new();
+    for dut in [Dut::Fir, Dut::Wren] {
+        for &n in &sessions {
+            for &gap_ms in &gaps {
+                eprintln!(
+                    "peer-scaling: dut={} sessions={n} gap={gap_ms}ms routes={routes} \
+                     rounds={rounds}",
+                    dut.slug()
+                );
+                let mut spec = SelftestSpec::new(dut, n);
+                spec.routes = routes;
+                spec.rounds = rounds;
+                spec.round_gap = (gap_ms > 0).then(|| Duration::from_millis(gap_ms as u64));
+                let out = selftest::run(&spec);
+                assert!(out.passed(&spec), "bench cell failed correctness: {out:?}");
+                let secs = out.elapsed.as_secs_f64().max(1e-9);
+                cells.push(Cell {
+                    dut,
+                    sessions: n,
+                    routes,
+                    rounds,
+                    gap_ms: gap_ms as u64,
+                    updates: out.updates_applied,
+                    updates_per_sec: out.updates_applied as f64 / secs,
+                    p50_ns: out.latency.quantile(0.50),
+                    p99_ns: out.latency.quantile(0.99),
+                    best_changes: out.best_changes,
+                    parity_mismatches: out.parity_mismatches,
+                    oracle_mismatches: out.oracle_mismatches,
+                    established: out.established,
+                    elapsed_ms: out.elapsed.as_millis() as u64,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Serialize cells in the repo's hand-written benchmark JSON shape.
+pub fn to_json(cells: &[Cell], date: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"peer_scaling\",\n");
+    s.push_str(&format!("  \"date\": \"{date}\",\n"));
+    s.push_str("  \"command\": \"cargo run --release -p xbgp-serve -- bench\",\n");
+    s.push_str(
+        "  \"workload\": \"loopback TCP sessions, prefix-partitioned table blast + churn storm \
+         (routegen), each cell parity-checked against the netsim feeder replay and the \
+         full-recompute oracle\",\n",
+    );
+    s.push_str(
+        "  \"note\": \"latency = socket read to RIB applied (xbgp-obs histogram, ns); rate = \
+         routing updates absorbed / wall clock; gap_ms = per-client pause between churn \
+         rounds\",\n",
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dut\": \"{}\", \"sessions\": {}, \"routes\": {}, \"rounds\": {}, \
+             \"gap_ms\": {}, \"updates\": {}, \"updates_per_sec\": {:.1}, \"p50_latency_ns\": \
+             {}, \"p99_latency_ns\": {}, \"best_changes\": {}, \"established\": {}, \
+             \"parity_mismatches\": {}, \"oracle_mismatches\": {}, \"elapsed_ms\": {}}}{}\n",
+            c.dut.slug(),
+            c.sessions,
+            c.routes,
+            c.rounds,
+            c.gap_ms,
+            c.updates,
+            c.updates_per_sec,
+            c.p50_ns,
+            c.p99_ns,
+            c.best_changes,
+            c.established,
+            c.parity_mismatches,
+            c.oracle_mismatches,
+            c.elapsed_ms,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -1,0 +1,169 @@
+//! Loopback BGP client used by the selftest and the peer-scaling bench.
+//!
+//! Each client owns one TCP connection and its own [`xbgp_wire::Session`]
+//! FSM (the handshake is symmetric, so edge-vs-edge works). After
+//! Established it pushes its assigned UPDATE frames — optionally paced —
+//! and then **stays connected** until told to stop: disconnecting early
+//! would make the daemon tear the slot down and flush the routes this
+//! client announced, destroying Loc-RIB parity.
+//!
+//! Two rules keep hundreds of concurrent blasting sessions deadlock-free
+//! without nonblocking writes:
+//!
+//! 1. inbound is drained to empty before every write burst (the server
+//!    fans each best-path change to every established peer; a client that
+//!    stops reading eventually stalls TCP in both directions), and
+//! 2. write bursts are bounded ([`WRITE_BURST`] frames), so neither side
+//!    ever sits in a `write_all` larger than the loopback socket buffers
+//!    while the peer is doing the same.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use xbgp_wire::{Session, SessionConfig, SessionEvent, SessionState};
+
+/// Maximum frames per write burst between inbound drains.
+const WRITE_BURST: usize = 32;
+
+/// What one client pushes after establishing.
+pub struct ClientPlan {
+    /// UPDATE frames carrying the initial table slice.
+    pub initial: Vec<Vec<u8>>,
+    /// Per-round UPDATE frames (the churn storm), sent in order.
+    pub rounds: Vec<Vec<Vec<u8>>>,
+    /// Wall-clock pause between rounds; `None` = blast as fast as TCP
+    /// accepts.
+    pub round_gap: Option<Duration>,
+}
+
+/// Outcome of one client's run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClientOutcome {
+    pub established: bool,
+    pub frames_sent: u64,
+    /// UPDATE frames received back from the server (its Adj-RIB-Out fan).
+    pub frames_rx: u64,
+    /// The session closed before `stop` was raised.
+    pub closed_early: bool,
+}
+
+/// Connect, handshake, push the plan, then hold the session open until
+/// `stop` flips. Returns what happened for assertions upstream.
+pub fn run(
+    addr: SocketAddr,
+    asn: u32,
+    router_id: u32,
+    plan: ClientPlan,
+    stop: &AtomicBool,
+) -> std::io::Result<ClientOutcome> {
+    let mut stream = connect_with_retry(addr, Duration::from_secs(10))?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(Duration::from_millis(1)))?;
+
+    let epoch = Instant::now();
+    let now = move || epoch.elapsed().as_nanos() as u64;
+    let mut fsm = Session::new(SessionConfig {
+        local_asn: asn,
+        router_id,
+        hold_time_secs: 90,
+        expect_asn: None,
+    });
+    let mut out = ClientOutcome::default();
+
+    for ev in fsm.start(now()) {
+        if let SessionEvent::Send(bytes) = ev {
+            stream.write_all(&bytes)?;
+        }
+    }
+
+    let mut buf = [0u8; 16 * 1024];
+    let mut pending: VecDeque<Vec<u8>> = VecDeque::new();
+    let mut loaded_initial = false;
+    let mut next_round = 0usize;
+    let mut next_round_at = Instant::now();
+
+    'conn: loop {
+        // Drain inbound to empty before doing anything else.
+        let mut events = Vec::new();
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    out.closed_early = !stop.load(Ordering::Relaxed);
+                    break 'conn;
+                }
+                Ok(n) => events.extend(fsm.on_bytes(now(), &buf[..n])),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        events.extend(fsm.tick(now()));
+
+        let mut closed = false;
+        for ev in events {
+            match ev {
+                SessionEvent::Send(bytes) => stream.write_all(&bytes)?,
+                SessionEvent::Established { .. } => out.established = true,
+                SessionEvent::Update(_) => out.frames_rx += 1,
+                SessionEvent::Closed(_) => closed = true,
+            }
+        }
+        if closed {
+            out.closed_early = !stop.load(Ordering::Relaxed);
+            break;
+        }
+
+        if out.established && !loaded_initial {
+            pending.extend(plan.initial.iter().cloned());
+            loaded_initial = true;
+            next_round_at = Instant::now();
+        }
+        if loaded_initial
+            && pending.is_empty()
+            && next_round < plan.rounds.len()
+            && Instant::now() >= next_round_at
+        {
+            pending.extend(plan.rounds[next_round].iter().cloned());
+            next_round += 1;
+            if let Some(gap) = plan.round_gap {
+                next_round_at = Instant::now() + gap;
+            }
+        }
+
+        for _ in 0..WRITE_BURST {
+            let Some(frame) = pending.pop_front() else {
+                break;
+            };
+            stream.write_all(&frame)?;
+            out.frames_sent += 1;
+        }
+
+        if stop.load(Ordering::Relaxed) {
+            if !matches!(fsm.state(), SessionState::Closed) {
+                for ev in fsm.shutdown() {
+                    if let SessionEvent::Send(bytes) = ev {
+                        let _ = stream.write_all(&bytes);
+                    }
+                }
+            }
+            break;
+        }
+    }
+
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Ok(out)
+}
+
+fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # xbgp-serve — many-peer TCP runtime for the xBGP daemons
+//!
+//! The netsim harnesses drive fir and wren in virtual time; this crate
+//! drives the **same daemons, unmodified,** over real TCP sockets with
+//! hundreds of concurrent peers. The daemon never learns it left the
+//! simulator: it still lives single-threaded behind
+//! [`netsim::NodeDriver`], configured through the same
+//! [`xbgp_driver::DaemonSpec`], and speaks wire frames over `LinkId`s
+//! that now mean session slots instead of simulated cables.
+//!
+//! Layer map (one thread per box, wire frames on every edge):
+//!
+//! * [`server`] — accept loop + per-session threads; each session runs a
+//!   real BGP FSM ([`xbgp_wire::Session`]: OPEN/KEEPALIVE/NOTIFICATION,
+//!   hold-timer enforcement, NOTIFY-and-close on malformed input).
+//! * [`daemon_core`] — one daemon per shard core on a `NodeDriver`,
+//!   owning a disjoint prefix slice; sessions fan validated UPDATE
+//!   frames in over mpsc channels, best-path changes fan back out.
+//! * [`split`] — cuts UPDATE frames along prefix-hash shard boundaries
+//!   without re-encoding attribute bytes.
+//! * [`client`] — loopback test peers; [`selftest`] — end-to-end parity
+//!   harness (TCP Loc-RIB ≡ netsim-replay Loc-RIB ≡ oracle);
+//!   [`bench`] — the peer-scaling grid behind `BENCH_peer_scaling.json`.
+
+pub mod bench;
+pub mod client;
+pub mod daemon_core;
+pub mod selftest;
+pub mod server;
+pub mod split;
+
+pub use client::{ClientOutcome, ClientPlan};
+pub use selftest::{SelftestOutcome, SelftestSpec};
+pub use server::{ServeConfig, Server};
+pub use split::split_update;

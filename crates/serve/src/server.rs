@@ -1,0 +1,434 @@
+//! The TCP runtime: accept loop, per-session threads, shard cores.
+//!
+//! Layering (one box per thread):
+//!
+//! ```text
+//!   accept loop ── spawns ──▶ session thread (per TCP peer)
+//!                               │  xbgp_wire::Session — real BGP FSM,
+//!                               │  hold timer, NOTIFY-and-close
+//!                               │
+//!                               │ CoreMsg over mpsc (wire frames)
+//!                               ▼
+//!                             shard core(s) — daemon on a NodeDriver
+//!                               │
+//!                               │ outbox mpsc (UPDATE frames out)
+//!                               ▼
+//!                             session thread writes to the socket
+//! ```
+//!
+//! The daemon is never touched from more than one thread; sessions speak
+//! to it exclusively in wire frames. With `shards > 1` each UPDATE is cut
+//! along prefix-hash boundaries by [`crate::split::split_update`] and
+//! each piece goes to the core that owns those prefixes.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use xbgp_driver::{DaemonCounters, Dut};
+use xbgp_obs::{Histogram, HistogramSnapshot, Snapshot};
+use xbgp_wire::{Ipv4Prefix, Session, SessionConfig, SessionEvent};
+
+use crate::daemon_core::{self, CoreConfig, CoreMsg, Query};
+use crate::split::split_update;
+
+/// Maximum frames per write burst between inbound drains (see the
+/// deadlock note in [`crate::client`]).
+const WRITE_BURST: usize = 32;
+
+/// Runtime configuration for one [`Server`].
+#[derive(Clone)]
+pub struct ServeConfig {
+    pub dut: Dut,
+    /// Our ASN (the daemon's).
+    pub asn: u32,
+    pub router_id: u32,
+    /// ASN every peer must present in its OPEN.
+    pub peer_asn: u32,
+    /// Maximum concurrent sessions; later connections are dropped.
+    pub max_sessions: usize,
+    /// Shard cores. 1 = single daemon owning the whole table.
+    pub shards: usize,
+    /// Hold time we offer peers (real wall-clock liveness at the edge).
+    pub hold_time_secs: u16,
+    /// Enable daemon timing instrumentation.
+    pub metrics: bool,
+    /// Loopback port to listen on; 0 = ephemeral.
+    pub bind_port: u16,
+}
+
+impl ServeConfig {
+    pub fn new(dut: Dut, max_sessions: usize) -> ServeConfig {
+        ServeConfig {
+            dut,
+            asn: 65002,
+            router_id: 2,
+            peer_asn: 65001,
+            max_sessions,
+            shards: 1,
+            hold_time_secs: 90,
+            metrics: false,
+            bind_port: 0,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    cores: Vec<Sender<CoreMsg>>,
+    free_slots: Mutex<Vec<usize>>,
+    stop: AtomicBool,
+    epoch: Instant,
+    latency: Arc<Histogram>,
+    /// Peak concurrent edge-established sessions (for reporting).
+    established_peak: AtomicU64,
+    established_now: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A running many-peer runtime: owns the listener, the accept thread,
+/// every session thread, and one core thread per shard.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    cores: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind a loopback listener and bring the full runtime up.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.bind_port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let epoch = Instant::now();
+        let latency = Arc::new(Histogram::new());
+        let mut cores = Vec::new();
+        let mut core_handles = Vec::new();
+        for shard in 0..cfg.shards.max(1) {
+            let (tx, rx) = mpsc::channel();
+            let core_cfg = CoreConfig {
+                dut: cfg.dut,
+                asn: cfg.asn,
+                // Distinct router ids keep shard daemons distinguishable
+                // in traces; parity checks never compare router ids.
+                router_id: cfg.router_id + shard as u32,
+                peer_asn: cfg.peer_asn,
+                slots: cfg.max_sessions,
+                metrics: cfg.metrics,
+            };
+            core_handles.push(daemon_core::spawn(core_cfg, rx, Arc::clone(&latency), epoch));
+            cores.push(tx);
+        }
+
+        let shared = Arc::new(Shared {
+            free_slots: Mutex::new((0..cfg.max_sessions).rev().collect()),
+            cfg,
+            cores,
+            stop: AtomicBool::new(false),
+            epoch,
+            latency,
+            established_peak: AtomicU64::new(0),
+            established_now: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("xbgp-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server { shared, addr, accept: Some(accept), cores: core_handles })
+    }
+
+    /// Address peers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sum of daemon counters across shard cores.
+    pub fn counters(&self) -> DaemonCounters {
+        let mut total = DaemonCounters::default();
+        for core in &self.shared.cores {
+            let (tx, rx) = mpsc::channel();
+            let _ = core.send(CoreMsg::Query(Query::Counters(tx)));
+            if let Ok(c) = rx.recv() {
+                total.updates_rx += c.updates_rx;
+                total.prefixes_rx += c.prefixes_rx;
+                total.withdrawals_rx += c.withdrawals_rx;
+                total.updates_tx += c.updates_tx;
+                total.prefixes_tx += c.prefixes_tx;
+                total.withdrawals_tx += c.withdrawals_tx;
+                total.sessions_established += c.sessions_established;
+            }
+        }
+        total
+    }
+
+    /// Merged metrics snapshot across shard cores.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut merged = Snapshot::new();
+        for core in &self.shared.cores {
+            let (tx, rx) = mpsc::channel();
+            let _ = core.send(CoreMsg::Query(Query::Snapshot(tx)));
+            if let Ok(s) = rx.recv() {
+                let _ = merged.merge(s);
+            }
+        }
+        merged
+    }
+
+    /// Combined Loc-RIB across shards, sorted by prefix. Shards own
+    /// disjoint prefix sets, so concatenation is exact.
+    pub fn loc_rib(&self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        self.rib_query(Query::LocRib)
+    }
+
+    /// Combined oracle Loc-RIB across shards, sorted by prefix.
+    pub fn oracle_loc_rib(&self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        self.rib_query(Query::OracleLocRib)
+    }
+
+    fn rib_query(
+        &self,
+        make: impl Fn(Sender<Vec<(Ipv4Prefix, Vec<u8>)>>) -> Query,
+    ) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        let mut all = Vec::new();
+        for core in &self.shared.cores {
+            let (tx, rx) = mpsc::channel();
+            let _ = core.send(CoreMsg::Query(make(tx)));
+            if let Ok(mut rib) = rx.recv() {
+                all.append(&mut rib);
+            }
+        }
+        all.sort_by_key(|(p, _)| *p);
+        all
+    }
+
+    /// Sessions the *daemons* consider established (max across shards —
+    /// every shard sees the same session slots).
+    pub fn established_sessions(&self) -> usize {
+        let mut most = 0;
+        for core in &self.shared.cores {
+            let (tx, rx) = mpsc::channel();
+            let _ = core.send(CoreMsg::Query(Query::EstablishedSlots(tx)));
+            if let Ok(n) = rx.recv() {
+                most = most.max(n);
+            }
+        }
+        most
+    }
+
+    /// Peak concurrent sessions the edge FSMs reached Established.
+    pub fn established_peak(&self) -> u64 {
+        self.shared.established_peak.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped because all session slots were taken.
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Socket-to-RIB propagation latency histogram (ns).
+    pub fn latency(&self) -> HistogramSnapshot {
+        self.shared.latency.snapshot()
+    }
+
+    /// Stop accepting, close cores, join all runtime threads. Session
+    /// threads exit on their own when peers disconnect or their reads
+    /// time out against the stop flag.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Give lingering sessions a moment to observe the stop flag and
+        // send their SessionDown before the cores go away.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.shared.established_now.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for core in &self.shared.cores {
+            let _ = core.send(CoreMsg::Shutdown);
+        }
+        for h in self.cores.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let slot = shared.free_slots.lock().expect("slot lock").pop();
+                match slot {
+                    Some(slot) => {
+                        let shared = Arc::clone(&shared);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("xbgp-sess-{slot}"))
+                            .stack_size(256 * 1024)
+                            .spawn(move || session_thread(stream, slot, shared));
+                    }
+                    None => {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One TCP peer: run the edge FSM against the socket, fan validated
+/// UPDATE frames into the shard cores, write core outbox frames back.
+fn session_thread(mut stream: TcpStream, slot: usize, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2)));
+
+    let now = |shared: &Shared| shared.epoch.elapsed().as_nanos() as u64;
+    let mut fsm = Session::new(SessionConfig {
+        local_asn: shared.cfg.asn,
+        router_id: shared.cfg.router_id,
+        hold_time_secs: shared.cfg.hold_time_secs,
+        expect_asn: Some(shared.cfg.peer_asn),
+    });
+    let (outbox_tx, outbox_rx) = mpsc::channel::<Vec<u8>>();
+    let mut up = false;
+    let mut buf = [0u8; 16 * 1024];
+    let mut alive = true;
+    // Frames validated by the FSM this wakeup, flushed to cores in batch.
+    let mut updates: Vec<Vec<u8>> = Vec::new();
+    let mut recv_ns = 0u64;
+    let mut write_backlog: VecDeque<Vec<u8>> = VecDeque::new();
+
+    for ev in fsm.start(now(&shared)) {
+        if let SessionEvent::Send(bytes) = ev {
+            if stream.write_all(&bytes).is_err() {
+                alive = false;
+            }
+        }
+    }
+
+    'session: while alive {
+        // Drain inbound to empty before writing — see the deadlock note
+        // in [`crate::client`]; the same two rules apply on this side.
+        let mut events = Vec::new();
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break 'session,
+                Ok(n) => {
+                    if events.is_empty() {
+                        recv_ns = now(&shared);
+                    }
+                    events.extend(fsm.on_bytes(recv_ns, &buf[..n]));
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break 'session,
+            }
+        }
+        events.extend(fsm.tick(now(&shared)));
+        if shared.stop.load(Ordering::Relaxed)
+            && !matches!(fsm.state(), xbgp_wire::SessionState::Closed)
+        {
+            events.extend(fsm.shutdown());
+        }
+
+        for ev in events {
+            match ev {
+                SessionEvent::Send(bytes) => {
+                    if stream.write_all(&bytes).is_err() {
+                        break 'session;
+                    }
+                }
+                SessionEvent::Established { .. } => {
+                    for core in &shared.cores {
+                        let _ = core.send(CoreMsg::SessionUp { slot, outbox: outbox_tx.clone() });
+                    }
+                    up = true;
+                    shared.established_now.fetch_add(1, Ordering::Relaxed);
+                    let n = shared.established_now.load(Ordering::Relaxed);
+                    shared.established_peak.fetch_max(n, Ordering::Relaxed);
+                }
+                SessionEvent::Update(frame) => updates.push(frame),
+                SessionEvent::Closed(_) => {
+                    // NOTIFICATION (if any) was already emitted as Send.
+                    alive = false;
+                }
+            }
+        }
+
+        if !updates.is_empty() && up {
+            fan_out(&shared, slot, std::mem::take(&mut updates), recv_ns);
+        }
+        updates.clear();
+
+        // Drain the core outbox into a local queue, then write a bounded
+        // burst — the same anti-deadlock rule the client follows.
+        while let Ok(frame) = outbox_rx.try_recv() {
+            write_backlog.push_back(frame);
+        }
+        for _ in 0..WRITE_BURST {
+            let Some(frame) = write_backlog.pop_front() else {
+                break;
+            };
+            if stream.write_all(&frame).is_err() {
+                break 'session;
+            }
+        }
+    }
+
+    if up {
+        shared.established_now.fetch_sub(1, Ordering::Relaxed);
+        for core in &shared.cores {
+            let _ = core.send(CoreMsg::SessionDown { slot });
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    shared.free_slots.lock().expect("slot lock").push(slot);
+}
+
+/// Send a batch of validated UPDATE frames to the core(s) that own their
+/// prefixes, preserving per-prefix arrival order.
+fn fan_out(shared: &Shared, slot: usize, frames: Vec<Vec<u8>>, recv_ns: u64) {
+    let shards = shared.cores.len();
+    if shards == 1 {
+        let _ = shared.cores[0].send(CoreMsg::Frames { slot, frames, recv_ns });
+        return;
+    }
+    let mut per_shard: Vec<Vec<Vec<u8>>> = vec![Vec::new(); shards];
+    for frame in &frames {
+        match split_update(frame, shards) {
+            Ok(parts) => {
+                for (k, part) in parts.into_iter().enumerate() {
+                    if let Some(p) = part {
+                        per_shard[k].push(p);
+                    }
+                }
+            }
+            // The FSM already validated the frame; a split error here
+            // would be a codec bug — drop the frame rather than poison a
+            // shard with half an UPDATE.
+            Err(_) => continue,
+        }
+    }
+    for (k, frames) in per_shard.into_iter().enumerate() {
+        if !frames.is_empty() {
+            let _ = shared.cores[k].send(CoreMsg::Frames { slot, frames, recv_ns });
+        }
+    }
+}

@@ -27,12 +27,14 @@ pub mod capability;
 pub mod error;
 pub mod msg;
 pub mod prefix;
+pub mod session;
 
 pub use attr::{AsPath, AsSegment, AttrCode, AttrFlags, PathAttr, RawAttr, RawAttrIter};
 pub use capability::Capability;
 pub use error::WireError;
 pub use msg::{Message, MsgReader, MsgType, NotificationMsg, OpenMsg, UpdateMsg};
 pub use prefix::Ipv4Prefix;
+pub use session::{CloseReason, Session, SessionConfig, SessionEvent, SessionState};
 
 /// BGP protocol version implemented by every daemon in this workspace.
 pub const BGP_VERSION: u8 = 4;

@@ -115,13 +115,59 @@ impl WrenConfig {
         self
     }
 
-    pub fn channel(mut self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {
+    /// Add a neighbor channel (the unified [`xbgp_driver::DaemonSpec`]
+    /// builder vocabulary; fir spells this identically).
+    pub fn neighbor(mut self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {
         self.channels.push(ChannelCfg { link, neighbor, neighbor_as, rr_client: false });
         self
     }
 
-    pub fn rr_client_channel(mut self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {
+    /// Add a route-reflection client channel (iBGP).
+    pub fn rr_client(mut self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {
         self.channels.push(ChannelCfg { link, neighbor, neighbor_as, rr_client: true });
         self
+    }
+
+    /// Add a neighbor channel.
+    #[deprecated(since = "0.1.0", note = "renamed to `neighbor()` (unified builder vocabulary)")]
+    pub fn channel(self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {
+        self.neighbor(link, neighbor, neighbor_as)
+    }
+
+    /// Add a route-reflection client channel (iBGP).
+    #[deprecated(since = "0.1.0", note = "renamed to `rr_client()` (unified builder vocabulary)")]
+    pub fn rr_client_channel(self, link: LinkId, neighbor: u32, neighbor_as: u32) -> Self {
+        self.rr_client(link, neighbor, neighbor_as)
+    }
+
+    /// Build a WREN configuration from the unified driver-seam spec (see
+    /// [`xbgp_driver::DaemonSpec`]): one neighbor vocabulary, wren field
+    /// names (`local_as`, `rr_enabled`, `roa_table`, …) resolved here and
+    /// nowhere else.
+    pub fn from_spec(spec: xbgp_driver::DaemonSpec) -> WrenConfig {
+        let mut cfg = WrenConfig::new(spec.asn, spec.router_id);
+        cfg.hold_time_secs = spec.hold_time_secs;
+        for n in &spec.neighbors {
+            cfg = if n.rr_client {
+                cfg.rr_client(n.link, n.addr, n.asn)
+            } else {
+                cfg.neighbor(n.link, n.addr, n.asn)
+            };
+        }
+        cfg.rr_enabled = spec.native_rr;
+        cfg.rr_cluster_id = spec.cluster_id;
+        cfg.roa_table = spec.native_rov;
+        cfg.xbgp = spec.xbgp;
+        cfg.xbgp_roas = spec.xbgp_roas;
+        cfg.igp = spec.igp;
+        cfg.originate = spec.originate;
+        cfg.default_local_pref = spec.default_local_pref;
+        cfg.xtra = spec.xtra;
+        cfg.metrics = spec.metrics;
+        cfg.trace = spec.trace;
+        cfg.profile = spec.profile;
+        cfg.engine = spec.engine;
+        cfg.full_recompute = spec.full_recompute;
+        cfg
     }
 }

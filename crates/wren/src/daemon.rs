@@ -1202,6 +1202,55 @@ impl Node for WrenDaemon {
     }
 }
 
+impl xbgp_driver::Daemon for WrenDaemon {
+    fn kind(&self) -> xbgp_driver::Dut {
+        xbgp_driver::Dut::Wren
+    }
+
+    fn loc_rib_len(&self) -> usize {
+        self.table_len()
+    }
+
+    fn has_best_route(&self, prefix: &Ipv4Prefix) -> bool {
+        self.best_route(prefix).is_some()
+    }
+
+    fn loc_rib_dump(&self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        WrenDaemon::loc_rib_dump(self)
+    }
+
+    fn oracle_loc_rib_dump(&mut self) -> Vec<(Ipv4Prefix, Vec<u8>)> {
+        WrenDaemon::oracle_loc_rib_dump(self)
+    }
+
+    fn metrics_snapshot(&self) -> Snapshot {
+        WrenDaemon::metrics_snapshot(self)
+    }
+
+    fn take_trace(&mut self) -> Option<TraceDump> {
+        WrenDaemon::take_trace(self)
+    }
+
+    fn session_established(&self, addr: u32) -> bool {
+        WrenDaemon::session_established(self, addr)
+    }
+
+    fn counters(&self) -> xbgp_driver::DaemonCounters {
+        let st = &self.stats;
+        xbgp_driver::DaemonCounters {
+            updates_rx: st.updates_rx,
+            prefixes_rx: st.prefixes_rx,
+            withdrawals_rx: st.withdrawals_rx,
+            updates_tx: st.updates_tx,
+            prefixes_tx: st.prefixes_tx,
+            withdrawals_tx: st.withdrawals_tx,
+            sessions_established: st.sessions_established,
+            first_update_rx: st.first_update_rx,
+            last_route_change: st.last_route_change,
+        }
+    }
+}
+
 /// WREN's native RFC 4271 §9.1 preference, written over the lazy
 /// `ea_list` accessors. A free function so the fast-path table update can
 /// borrow the table mutably while comparing.

@@ -25,9 +25,9 @@ fn ebgp_session_and_route_propagation() {
     let a = sim.add_node(Box::new(Placeholder));
     let b = sim.add_node(Box::new(Placeholder));
     let link = sim.connect(a, b, MS);
-    let mut cfg_a = WrenConfig::new(65001, 1).channel(link, 2, 65002);
+    let mut cfg_a = WrenConfig::new(65001, 1).neighbor(link, 2, 65002);
     cfg_a.originate = vec![(p("10.1.0.0/16"), 1)];
-    let cfg_b = WrenConfig::new(65002, 2).channel(link, 1, 65001);
+    let cfg_b = WrenConfig::new(65002, 2).neighbor(link, 1, 65001);
     sim.replace_node(a, Box::new(WrenDaemon::new(cfg_a)));
     sim.replace_node(b, Box::new(WrenDaemon::new(cfg_b)));
     sim.run_until(5 * SEC);
@@ -50,10 +50,10 @@ fn withdrawal_on_upstream_failure() {
     let c = sim.add_node(Box::new(Placeholder));
     let l1 = sim.connect(a, dut, MS);
     let l2 = sim.connect(dut, c, MS);
-    let mut cfg_a = WrenConfig::new(65001, 1).channel(l1, 2, 65002);
+    let mut cfg_a = WrenConfig::new(65001, 1).neighbor(l1, 2, 65002);
     cfg_a.originate = vec![(p("192.0.2.0/24"), 1)];
-    let cfg_dut = WrenConfig::new(65002, 2).channel(l1, 1, 65001).channel(l2, 3, 65003);
-    let cfg_c = WrenConfig::new(65003, 3).channel(l2, 2, 65002);
+    let cfg_dut = WrenConfig::new(65002, 2).neighbor(l1, 1, 65001).neighbor(l2, 3, 65003);
+    let cfg_c = WrenConfig::new(65003, 3).neighbor(l2, 2, 65002);
     sim.replace_node(a, Box::new(WrenDaemon::new(cfg_a)));
     sim.replace_node(dut, Box::new(WrenDaemon::new(cfg_dut)));
     sim.replace_node(c, Box::new(WrenDaemon::new(cfg_c)));
@@ -75,13 +75,12 @@ fn native_route_reflection_with_hash_representation() {
     let l_up = sim.connect(up, rr, MS);
     let l_down = sim.connect(rr, down, MS);
 
-    let mut cfg_up = WrenConfig::new(65000, 1).channel(l_up, 2, 65000);
+    let mut cfg_up = WrenConfig::new(65000, 1).neighbor(l_up, 2, 65000);
     cfg_up.originate = vec![(p("198.51.100.0/24"), 1)];
-    let mut cfg_rr = WrenConfig::new(65000, 2)
-        .rr_client_channel(l_up, 1, 65000)
-        .rr_client_channel(l_down, 3, 65000);
+    let mut cfg_rr =
+        WrenConfig::new(65000, 2).rr_client(l_up, 1, 65000).rr_client(l_down, 3, 65000);
     cfg_rr.rr_enabled = true;
-    let cfg_down = WrenConfig::new(65000, 3).channel(l_down, 2, 65000);
+    let cfg_down = WrenConfig::new(65000, 3).neighbor(l_down, 2, 65000);
     sim.replace_node(up, Box::new(WrenDaemon::new(cfg_up)));
     sim.replace_node(rr, Box::new(WrenDaemon::new(cfg_rr)));
     sim.replace_node(down, Box::new(WrenDaemon::new(cfg_down)));
@@ -103,13 +102,13 @@ fn ibgp_routes_not_reflected_without_rr() {
     let down = sim.add_node(Box::new(Placeholder));
     let l1 = sim.connect(up, mid, MS);
     let l2 = sim.connect(mid, down, MS);
-    let mut cfg_up = WrenConfig::new(65009, 9).channel(l1, 2, 65000);
+    let mut cfg_up = WrenConfig::new(65009, 9).neighbor(l1, 2, 65000);
     cfg_up.originate = vec![(p("203.0.113.0/24"), 9)];
     // mid's iBGP neighbor 'down' must not receive iBGP-learned... here the
     // route arrives over eBGP at mid, so down DOES get it; extend the chain
     // inside the AS instead.
-    let cfg_mid = WrenConfig::new(65000, 2).channel(l1, 9, 65009).channel(l2, 3, 65000);
-    let cfg_down = WrenConfig::new(65000, 3).channel(l2, 2, 65000);
+    let cfg_mid = WrenConfig::new(65000, 2).neighbor(l1, 9, 65009).neighbor(l2, 3, 65000);
+    let cfg_down = WrenConfig::new(65000, 3).neighbor(l2, 2, 65000);
     sim.replace_node(up, Box::new(WrenDaemon::new(cfg_up)));
     sim.replace_node(mid, Box::new(WrenDaemon::new(cfg_mid)));
     sim.replace_node(down, Box::new(WrenDaemon::new(cfg_down)));
@@ -130,9 +129,9 @@ fn native_origin_validation_uses_hash_table_and_tags() {
     let a = sim.add_node(Box::new(Placeholder));
     let b = sim.add_node(Box::new(Placeholder));
     let link = sim.connect(a, b, MS);
-    let mut cfg_a = WrenConfig::new(65001, 1).channel(link, 2, 65002);
+    let mut cfg_a = WrenConfig::new(65001, 1).neighbor(link, 2, 65002);
     cfg_a.originate = vec![(p("10.1.0.0/16"), 1), (p("10.2.0.0/16"), 1), (p("10.3.0.0/16"), 1)];
-    let mut cfg_b = WrenConfig::new(65002, 2).channel(link, 1, 65001);
+    let mut cfg_b = WrenConfig::new(65002, 2).neighbor(link, 1, 65001);
     cfg_b.roa_table = Some(vec![
         Roa::new(p("10.1.0.0/16"), 16, 65001),
         Roa::new(p("10.2.0.0/16"), 16, 64999),
@@ -165,11 +164,19 @@ fn best_route_is_head_of_preference_ordered_list() {
     let l_mid_b = sim.connect(mid, b, MS);
     let l_b_dut = sim.connect(b, dut, MS);
 
-    let mut cfg_a = WrenConfig::new(65001, 1).channel(l_a_dut, 4, 65004).channel(l_a_mid, 2, 65002);
+    let mut cfg_a = WrenConfig::new(65001, 1)
+        .neighbor(l_a_dut, 4, 65004)
+        .neighbor(l_a_mid, 2, 65002);
     cfg_a.originate = vec![(p("10.0.0.0/8"), 1)];
-    let cfg_mid = WrenConfig::new(65002, 2).channel(l_a_mid, 1, 65001).channel(l_mid_b, 3, 65003);
-    let cfg_b = WrenConfig::new(65003, 3).channel(l_mid_b, 2, 65002).channel(l_b_dut, 4, 65004);
-    let cfg_dut = WrenConfig::new(65004, 4).channel(l_a_dut, 1, 65001).channel(l_b_dut, 3, 65003);
+    let cfg_mid = WrenConfig::new(65002, 2)
+        .neighbor(l_a_mid, 1, 65001)
+        .neighbor(l_mid_b, 3, 65003);
+    let cfg_b = WrenConfig::new(65003, 3)
+        .neighbor(l_mid_b, 2, 65002)
+        .neighbor(l_b_dut, 4, 65004);
+    let cfg_dut = WrenConfig::new(65004, 4)
+        .neighbor(l_a_dut, 1, 65001)
+        .neighbor(l_b_dut, 3, 65003);
     sim.replace_node(a, Box::new(WrenDaemon::new(cfg_a)));
     sim.replace_node(mid, Box::new(WrenDaemon::new(cfg_mid)));
     sim.replace_node(b, Box::new(WrenDaemon::new(cfg_b)));
@@ -198,15 +205,15 @@ fn withdraw_triggered_reannouncement_is_flushed_immediately() {
     let ld = sim.connect(mid, down, MS);
 
     // a's path will be shorter (preferred); b is the backup.
-    let mut cfg_a = WrenConfig::new(65001, 1).channel(la, 3, 65003);
+    let mut cfg_a = WrenConfig::new(65001, 1).neighbor(la, 3, 65003);
     cfg_a.originate = vec![(p("10.0.0.0/8"), 1)];
-    let mut cfg_b = WrenConfig::new(65002, 2).channel(lb, 3, 65003);
+    let mut cfg_b = WrenConfig::new(65002, 2).neighbor(lb, 3, 65003);
     cfg_b.originate = vec![(p("10.0.0.0/8"), 2)];
     let cfg_mid = WrenConfig::new(65003, 3)
-        .channel(la, 1, 65001)
-        .channel(lb, 2, 65002)
-        .channel(ld, 4, 65004);
-    let cfg_down = WrenConfig::new(65004, 4).channel(ld, 3, 65003);
+        .neighbor(la, 1, 65001)
+        .neighbor(lb, 2, 65002)
+        .neighbor(ld, 4, 65004);
+    let cfg_down = WrenConfig::new(65004, 4).neighbor(ld, 3, 65003);
     sim.replace_node(a, Box::new(WrenDaemon::new(cfg_a)));
     sim.replace_node(b, Box::new(WrenDaemon::new(cfg_b)));
     sim.replace_node(mid, Box::new(WrenDaemon::new(cfg_mid)));

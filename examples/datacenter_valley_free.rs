@@ -62,7 +62,7 @@ fn build(asns: [u32; 6], xbgp: bool) -> (Sim, Vec<NodeId>, LinkId, LinkId) {
         let mut cfg = FirConfig::new(asns[i], ids[i]);
         let nbs: Vec<usize> = if i < 2 { LEAVES.to_vec() } else { vec![S1, S2] };
         for nb in nbs {
-            cfg = cfg.peer(link(i, nb), ids[nb], asns[nb]);
+            cfg = cfg.neighbor(link(i, nb), ids[nb], asns[nb]);
         }
         if i == L13 {
             cfg.originate = vec![(p("10.13.0.0/16"), ids[L13])];

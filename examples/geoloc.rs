@@ -42,18 +42,19 @@ fn main() {
     let l_ext = sim.connect(external, london, 1_000_000);
     let l_ibgp = sim.connect(london, tokyo, 1_000_000);
 
-    let mut cfg_ext = FirConfig::new(65009, 9).peer(l_ext, 1, 65000);
+    let mut cfg_ext = FirConfig::new(65009, 9).neighbor(l_ext, 1, 65000);
     cfg_ext.originate = vec![(p("198.51.100.0/24"), 9)];
     sim.replace_node(external, Box::new(FirDaemon::new(cfg_ext)));
 
-    let mut cfg_london = FirConfig::new(65000, 1).peer(l_ext, 9, 65009).peer(l_ibgp, 2, 65000);
+    let mut cfg_london =
+        FirConfig::new(65000, 1).neighbor(l_ext, 9, 65009).neighbor(l_ibgp, 2, 65000);
     cfg_london.xbgp = Some(geoloc::manifest(None));
     cfg_london.xtra = vec![("geo".into(), geoloc::coords_bytes(51_507, -128))];
     sim.replace_node(london, Box::new(FirDaemon::new(cfg_london)));
 
     // Tokyo enforces a radius: 60 000 milli-degrees squared distance.
     let radius: u64 = 60_000;
-    let mut cfg_tokyo = FirConfig::new(65000, 2).peer(l_ibgp, 1, 65000);
+    let mut cfg_tokyo = FirConfig::new(65000, 2).neighbor(l_ibgp, 1, 65000);
     cfg_tokyo.xbgp = Some(geoloc::manifest(Some(radius * radius)));
     cfg_tokyo.xtra = vec![("geo".into(), geoloc::coords_bytes(35_676, 139_650))];
     sim.replace_node(tokyo, Box::new(FirDaemon::new(cfg_tokyo)));

@@ -57,17 +57,18 @@ fn main() {
     let l_ibgp = sim.connect(london, berlin, MS);
     let l_ebgp = sim.connect(berlin, peer, MS);
 
-    let mut cfg_london = FirConfig::new(65000, LONDON).peer(l_ibgp, BERLIN, 65000);
+    let mut cfg_london = FirConfig::new(65000, LONDON).neighbor(l_ibgp, BERLIN, 65000);
     cfg_london.originate = vec![(p("203.0.113.0/24"), LONDON)];
     sim.replace_node(london, Box::new(FirDaemon::new(cfg_london)));
 
-    let mut cfg_berlin =
-        FirConfig::new(65000, BERLIN).peer(l_ibgp, LONDON, 65000).peer(l_ebgp, 9, 65009);
+    let mut cfg_berlin = FirConfig::new(65000, BERLIN)
+        .neighbor(l_ibgp, LONDON, 65000)
+        .neighbor(l_ebgp, 9, 65009);
     cfg_berlin.igp = Some(shared.clone());
     cfg_berlin.xbgp = Some(igp_filter::manifest());
     sim.replace_node(berlin, Box::new(FirDaemon::new(cfg_berlin)));
 
-    let cfg_peer = FirConfig::new(65009, 9).peer(l_ebgp, BERLIN, 65000);
+    let cfg_peer = FirConfig::new(65009, 9).neighbor(l_ebgp, BERLIN, 65000);
     sim.replace_node(peer, Box::new(FirDaemon::new(cfg_peer)));
 
     sim.run_until(5 * SEC);

@@ -110,7 +110,7 @@ fn main() {
     ];
     sim.replace_node(feeder, Box::new(Feeder::new(65001, 1, frames)));
 
-    let mut cfg = FirConfig::new(65002, 2).peer(link, 1, 65001);
+    let mut cfg = FirConfig::new(65002, 2).neighbor(link, 1, 65001);
     cfg.xbgp = Some(manifest);
     sim.replace_node(router, Box::new(FirDaemon::new(cfg)));
 

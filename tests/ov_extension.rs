@@ -26,10 +26,10 @@ fn roas() -> Vec<Roa> {
 fn ov_extension_counts_and_keeps_routes_on_fir() {
     let (mut sim, n) = sim_with_nodes(2);
     let link = sim.connect(n[0], n[1], MS);
-    let mut cfg_origin = FirConfig::new(65001, 1).peer(link, 2, 65002);
+    let mut cfg_origin = FirConfig::new(65001, 1).neighbor(link, 2, 65002);
     cfg_origin.originate =
         vec![(p("10.1.0.0/16"), 1), (p("10.2.0.0/16"), 1), (p("10.3.0.0/16"), 1)];
-    let mut cfg_dut = FirConfig::new(65002, 2).peer(link, 1, 65001);
+    let mut cfg_dut = FirConfig::new(65002, 2).neighbor(link, 1, 65001);
     cfg_dut.xbgp = Some(origin_validation::manifest());
     cfg_dut.xbgp_roas = Some(roas());
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_origin)));
@@ -48,10 +48,10 @@ fn ov_extension_counts_and_keeps_routes_on_fir() {
 fn ov_extension_counts_and_keeps_routes_on_wren() {
     let (mut sim, n) = sim_with_nodes(2);
     let link = sim.connect(n[0], n[1], MS);
-    let mut cfg_origin = WrenConfig::new(65001, 1).channel(link, 2, 65002);
+    let mut cfg_origin = WrenConfig::new(65001, 1).neighbor(link, 2, 65002);
     cfg_origin.originate =
         vec![(p("10.1.0.0/16"), 1), (p("10.2.0.0/16"), 1), (p("10.3.0.0/16"), 1)];
-    let mut cfg_dut = WrenConfig::new(65002, 2).channel(link, 1, 65001);
+    let mut cfg_dut = WrenConfig::new(65002, 2).neighbor(link, 1, 65001);
     cfg_dut.xbgp = Some(origin_validation::manifest());
     cfg_dut.xbgp_roas = Some(roas());
     sim.replace_node(n[0], Box::new(WrenDaemon::new(cfg_origin)));
@@ -74,14 +74,14 @@ fn extension_and_native_validation_agree() {
     let (mut sim, n) = sim_with_nodes(3);
     let l1 = sim.connect(n[0], n[1], MS);
     let l2 = sim.connect(n[0], n[2], MS);
-    let mut cfg_origin = FirConfig::new(65001, 1).peer(l1, 2, 65002).peer(l2, 3, 65003);
+    let mut cfg_origin = FirConfig::new(65001, 1).neighbor(l1, 2, 65002).neighbor(l2, 3, 65003);
     cfg_origin.originate =
         vec![(p("10.1.0.0/16"), 1), (p("10.2.0.0/16"), 1), (p("10.3.0.0/16"), 1)];
     // DUT A: native trie validation.
-    let mut cfg_native = FirConfig::new(65002, 2).peer(l1, 1, 65001);
+    let mut cfg_native = FirConfig::new(65002, 2).neighbor(l1, 1, 65001);
     cfg_native.native_rov = Some(roas());
     // DUT B: extension validation.
-    let mut cfg_ext = FirConfig::new(65003, 3).peer(l2, 1, 65001);
+    let mut cfg_ext = FirConfig::new(65003, 3).neighbor(l2, 1, 65001);
     cfg_ext.xbgp = Some(origin_validation::manifest());
     cfg_ext.xbgp_roas = Some(roas());
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_origin)));

@@ -32,12 +32,13 @@ fn igp_filter_same_bytecode_both_daemons() {
                 net.add_link(1, 2, metric);
                 net
             });
-            let mut cfg_origin = FirConfig::new(65000, 1).peer(l1, 2, 65000);
+            let mut cfg_origin = FirConfig::new(65000, 1).neighbor(l1, 2, 65000);
             cfg_origin.originate = vec![(p("203.0.113.0/24"), 1)];
-            let mut cfg_dut = FirConfig::new(65000, 2).peer(l1, 1, 65000).peer(l2, 3, 65009);
+            let mut cfg_dut =
+                FirConfig::new(65000, 2).neighbor(l1, 1, 65000).neighbor(l2, 3, 65009);
             cfg_dut.xbgp = Some(igp_filter::manifest());
             cfg_dut.igp = Some(shared_igp.clone());
-            let cfg_peer = FirConfig::new(65009, 3).peer(l2, 2, 65000);
+            let cfg_peer = FirConfig::new(65009, 3).neighbor(l2, 2, 65000);
             sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_origin)));
             sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_dut)));
             sim.replace_node(n[2], Box::new(FirDaemon::new(cfg_peer)));
@@ -56,12 +57,13 @@ fn igp_filter_same_bytecode_both_daemons() {
                 net.add_link(1, 2, metric);
                 net
             });
-            let mut cfg_origin = WrenConfig::new(65000, 1).channel(l1, 2, 65000);
+            let mut cfg_origin = WrenConfig::new(65000, 1).neighbor(l1, 2, 65000);
             cfg_origin.originate = vec![(p("203.0.113.0/24"), 1)];
-            let mut cfg_dut = WrenConfig::new(65000, 2).channel(l1, 1, 65000).channel(l2, 3, 65009);
+            let mut cfg_dut =
+                WrenConfig::new(65000, 2).neighbor(l1, 1, 65000).neighbor(l2, 3, 65009);
             cfg_dut.xbgp = Some(igp_filter::manifest());
             cfg_dut.igp = Some(shared_igp.clone());
-            let cfg_peer = WrenConfig::new(65009, 3).channel(l2, 2, 65000);
+            let cfg_peer = WrenConfig::new(65009, 3).neighbor(l2, 2, 65000);
             sim.replace_node(n[0], Box::new(WrenDaemon::new(cfg_origin)));
             sim.replace_node(n[1], Box::new(WrenDaemon::new(cfg_dut)));
             sim.replace_node(n[2], Box::new(WrenDaemon::new(cfg_peer)));
@@ -80,12 +82,12 @@ fn geoloc_end_to_end_on_fir() {
     let l1 = sim.connect(n[0], n[1], MS); // eBGP ingress
     let l2 = sim.connect(n[1], n[2], MS); // iBGP inside the AS
 
-    let mut cfg_ext = FirConfig::new(65009, 9).peer(l1, 1, 65000);
+    let mut cfg_ext = FirConfig::new(65009, 9).neighbor(l1, 1, 65000);
     cfg_ext.originate = vec![(p("198.51.100.0/24"), 9)];
-    let mut cfg_border = FirConfig::new(65000, 1).peer(l1, 9, 65009).peer(l2, 2, 65000);
+    let mut cfg_border = FirConfig::new(65000, 1).neighbor(l1, 9, 65009).neighbor(l2, 2, 65000);
     cfg_border.xbgp = Some(geoloc::manifest(None));
     cfg_border.xtra = vec![("geo".into(), geoloc::coords_bytes(50_846, 4_352))];
-    let cfg_inner = FirConfig::new(65000, 2).peer(l2, 1, 65000);
+    let cfg_inner = FirConfig::new(65000, 2).neighbor(l2, 1, 65000);
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_ext)));
     sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_border)));
     sim.replace_node(n[2], Box::new(FirDaemon::new(cfg_inner)));
@@ -109,12 +111,12 @@ fn geoloc_end_to_end_on_wren() {
     let l1 = sim.connect(n[0], n[1], MS);
     let l2 = sim.connect(n[1], n[2], MS);
 
-    let mut cfg_ext = WrenConfig::new(65009, 9).channel(l1, 1, 65000);
+    let mut cfg_ext = WrenConfig::new(65009, 9).neighbor(l1, 1, 65000);
     cfg_ext.originate = vec![(p("198.51.100.0/24"), 9)];
-    let mut cfg_border = WrenConfig::new(65000, 1).channel(l1, 9, 65009).channel(l2, 2, 65000);
+    let mut cfg_border = WrenConfig::new(65000, 1).neighbor(l1, 9, 65009).neighbor(l2, 2, 65000);
     cfg_border.xbgp = Some(geoloc::manifest(None));
     cfg_border.xtra = vec![("geo".into(), geoloc::coords_bytes(50_846, 4_352))];
-    let cfg_inner = WrenConfig::new(65000, 2).channel(l2, 1, 65000);
+    let cfg_inner = WrenConfig::new(65000, 2).neighbor(l2, 1, 65000);
     sim.replace_node(n[0], Box::new(WrenDaemon::new(cfg_ext)));
     sim.replace_node(n[1], Box::new(WrenDaemon::new(cfg_border)));
     sim.replace_node(n[2], Box::new(WrenDaemon::new(cfg_inner)));
@@ -137,12 +139,13 @@ fn geoloc_distance_filter_drops_far_routes() {
         let l1 = sim.connect(n[0], n[1], MS);
         let l2 = sim.connect(n[1], n[2], MS);
 
-        let mut cfg_origin = FirConfig::new(65009, 9).peer(l1, 1, 65000);
+        let mut cfg_origin = FirConfig::new(65009, 9).neighbor(l1, 1, 65000);
         cfg_origin.originate = vec![(p("198.51.100.0/24"), 9)];
-        let mut cfg_stamper = FirConfig::new(65000, 1).peer(l1, 9, 65009).peer(l2, 2, 65000);
+        let mut cfg_stamper =
+            FirConfig::new(65000, 1).neighbor(l1, 9, 65009).neighbor(l2, 2, 65000);
         cfg_stamper.xbgp = Some(geoloc::manifest(None));
         cfg_stamper.xtra = vec![("geo".into(), geoloc::coords_bytes(10_000, 10_000))];
-        let mut cfg_filterer = FirConfig::new(65000, 2).peer(l2, 1, 65000);
+        let mut cfg_filterer = FirConfig::new(65000, 2).neighbor(l2, 1, 65000);
         cfg_filterer.xbgp = Some(geoloc::manifest(Some(threshold)));
         cfg_filterer.xtra = vec![("geo".into(), geoloc::coords_bytes(0, 0))];
         sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_origin)));
@@ -165,9 +168,9 @@ fn geoloc_distance_filter_drops_far_routes() {
 fn fir_and_wren_interoperate() {
     let (mut sim, n) = sim_with_nodes(2);
     let link = sim.connect(n[0], n[1], MS);
-    let mut cfg_fir = FirConfig::new(65001, 1).peer(link, 2, 65002);
+    let mut cfg_fir = FirConfig::new(65001, 1).neighbor(link, 2, 65002);
     cfg_fir.originate = vec![(p("10.1.0.0/16"), 1)];
-    let mut cfg_wren = WrenConfig::new(65002, 2).channel(link, 1, 65001);
+    let mut cfg_wren = WrenConfig::new(65002, 2).neighbor(link, 1, 65001);
     cfg_wren.originate = vec![(p("10.2.0.0/16"), 2)];
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_fir)));
     sim.replace_node(n[1], Box::new(WrenDaemon::new(cfg_wren)));
@@ -210,14 +213,14 @@ fn mixed_topology_converges_to_identical_tables() {
         let prefix = p(&format!("10.{id}.0.0/16"));
         if i % 2 == 0 {
             let mut cfg = FirConfig::new(asn, id)
-                .peer(left, left_id, left_asn)
-                .peer(right, right_id, right_asn);
+                .neighbor(left, left_id, left_asn)
+                .neighbor(right, right_id, right_asn);
             cfg.originate = vec![(prefix, id)];
             sim.replace_node(n[i], Box::new(FirDaemon::new(cfg)));
         } else {
             let mut cfg = WrenConfig::new(asn, id)
-                .channel(left, left_id, left_asn)
-                .channel(right, right_id, right_asn);
+                .neighbor(left, left_id, left_asn)
+                .neighbor(right, right_id, right_asn);
             cfg.originate = vec![(prefix, id)];
             sim.replace_node(n[i], Box::new(WrenDaemon::new(cfg)));
         }

@@ -24,18 +24,16 @@ fn run_fir(extension: bool) -> ReflectedView {
     let l_up = sim.connect(n[0], n[1], MS);
     let l_down = sim.connect(n[1], n[2], MS);
 
-    let mut cfg_up = FirConfig::new(65000, 1).peer(l_up, 2, 65000);
+    let mut cfg_up = FirConfig::new(65000, 1).neighbor(l_up, 2, 65000);
     cfg_up.originate = vec![(p("198.51.100.0/24"), 1)];
-    let mut cfg_rr = FirConfig::new(65000, 2)
-        .rr_client_peer(l_up, 1, 65000)
-        .rr_client_peer(l_down, 3, 65000);
+    let mut cfg_rr = FirConfig::new(65000, 2).rr_client(l_up, 1, 65000).rr_client(l_down, 3, 65000);
     if extension {
         cfg_rr.native_rr = false;
         cfg_rr.xbgp = Some(route_reflect::manifest());
     } else {
         cfg_rr.native_rr = true;
     }
-    let cfg_down = FirConfig::new(65000, 3).peer(l_down, 2, 65000);
+    let cfg_down = FirConfig::new(65000, 3).neighbor(l_down, 2, 65000);
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_up)));
     sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_rr)));
     sim.replace_node(n[2], Box::new(FirDaemon::new(cfg_down)));
@@ -58,18 +56,17 @@ fn run_wren(extension: bool) -> ReflectedView {
     let l_up = sim.connect(n[0], n[1], MS);
     let l_down = sim.connect(n[1], n[2], MS);
 
-    let mut cfg_up = WrenConfig::new(65000, 1).channel(l_up, 2, 65000);
+    let mut cfg_up = WrenConfig::new(65000, 1).neighbor(l_up, 2, 65000);
     cfg_up.originate = vec![(p("198.51.100.0/24"), 1)];
-    let mut cfg_rr = WrenConfig::new(65000, 2)
-        .rr_client_channel(l_up, 1, 65000)
-        .rr_client_channel(l_down, 3, 65000);
+    let mut cfg_rr =
+        WrenConfig::new(65000, 2).rr_client(l_up, 1, 65000).rr_client(l_down, 3, 65000);
     if extension {
         cfg_rr.rr_enabled = false;
         cfg_rr.xbgp = Some(route_reflect::manifest());
     } else {
         cfg_rr.rr_enabled = true;
     }
-    let cfg_down = WrenConfig::new(65000, 3).channel(l_down, 2, 65000);
+    let cfg_down = WrenConfig::new(65000, 3).neighbor(l_down, 2, 65000);
     sim.replace_node(n[0], Box::new(WrenDaemon::new(cfg_up)));
     sim.replace_node(n[1], Box::new(WrenDaemon::new(cfg_rr)));
     sim.replace_node(n[2], Box::new(WrenDaemon::new(cfg_down)));
@@ -125,11 +122,11 @@ fn extension_rr_loop_prevention_works() {
     let l2 = sim.connect(n[1], n[2], MS); // rr1 — rr2
     let l3 = sim.connect(n[2], n[0], MS); // rr2 — client
 
-    let mut cfg_client = FirConfig::new(65000, 1).peer(l1, 2, 65000).peer(l3, 3, 65000);
+    let mut cfg_client = FirConfig::new(65000, 1).neighbor(l1, 2, 65000).neighbor(l3, 3, 65000);
     cfg_client.originate = vec![(p("10.9.9.0/24"), 1)];
-    let mut cfg_rr1 = FirConfig::new(65000, 2).rr_client_peer(l1, 1, 65000).peer(l2, 3, 65000);
+    let mut cfg_rr1 = FirConfig::new(65000, 2).rr_client(l1, 1, 65000).neighbor(l2, 3, 65000);
     cfg_rr1.xbgp = Some(route_reflect::manifest());
-    let mut cfg_rr2 = FirConfig::new(65000, 3).rr_client_peer(l3, 1, 65000).peer(l2, 2, 65000);
+    let mut cfg_rr2 = FirConfig::new(65000, 3).rr_client(l3, 1, 65000).neighbor(l2, 2, 65000);
     cfg_rr2.xbgp = Some(route_reflect::manifest());
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_client)));
     sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_rr1)));
@@ -154,11 +151,11 @@ fn non_client_to_non_client_is_refused_by_extension() {
     let (mut sim, n) = sim_with_nodes(3);
     let l_up = sim.connect(n[0], n[1], MS);
     let l_down = sim.connect(n[1], n[2], MS);
-    let mut cfg_up = FirConfig::new(65000, 1).peer(l_up, 2, 65000);
+    let mut cfg_up = FirConfig::new(65000, 1).neighbor(l_up, 2, 65000);
     cfg_up.originate = vec![(p("198.51.100.0/24"), 1)];
-    let mut cfg_rr = FirConfig::new(65000, 2).peer(l_up, 1, 65000).peer(l_down, 3, 65000);
+    let mut cfg_rr = FirConfig::new(65000, 2).neighbor(l_up, 1, 65000).neighbor(l_down, 3, 65000);
     cfg_rr.xbgp = Some(route_reflect::manifest());
-    let cfg_down = FirConfig::new(65000, 3).peer(l_down, 2, 65000);
+    let cfg_down = FirConfig::new(65000, 3).neighbor(l_down, 2, 65000);
     sim.replace_node(n[0], Box::new(FirDaemon::new(cfg_up)));
     sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_rr)));
     sim.replace_node(n[2], Box::new(FirDaemon::new(cfg_down)));
@@ -176,13 +173,11 @@ fn cross_implementation_reflection_chain() {
     let (mut sim, n) = sim_with_nodes(3);
     let l_up = sim.connect(n[0], n[1], MS);
     let l_down = sim.connect(n[1], n[2], MS);
-    let mut cfg_up = WrenConfig::new(65000, 1).channel(l_up, 2, 65000);
+    let mut cfg_up = WrenConfig::new(65000, 1).neighbor(l_up, 2, 65000);
     cfg_up.originate = vec![(p("198.51.100.0/24"), 1)];
-    let mut cfg_rr = FirConfig::new(65000, 2)
-        .rr_client_peer(l_up, 1, 65000)
-        .rr_client_peer(l_down, 3, 65000);
+    let mut cfg_rr = FirConfig::new(65000, 2).rr_client(l_up, 1, 65000).rr_client(l_down, 3, 65000);
     cfg_rr.xbgp = Some(route_reflect::manifest());
-    let cfg_down = WrenConfig::new(65000, 3).channel(l_down, 2, 65000);
+    let cfg_down = WrenConfig::new(65000, 3).neighbor(l_down, 2, 65000);
     sim.replace_node(n[0], Box::new(WrenDaemon::new(cfg_up)));
     sim.replace_node(n[1], Box::new(FirDaemon::new(cfg_rr)));
     sim.replace_node(n[2], Box::new(WrenDaemon::new(cfg_down)));

@@ -72,7 +72,7 @@ fn build(asns: [u32; 6], xbgp: bool) -> Clos {
             vec![S1, S2]
         };
         for nb in neighbors {
-            cfg = cfg.peer(link(i, nb), ids[nb], asns[nb]);
+            cfg = cfg.neighbor(link(i, nb), ids[nb], asns[nb]);
         }
         if i == L13 {
             cfg.originate = vec![(p("10.13.0.0/16"), ids[L13])];
