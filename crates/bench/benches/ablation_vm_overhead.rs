@@ -75,12 +75,149 @@ fn bench(c: &mut Criterion) {
     c.bench_function("vm_overhead/3000_instruction_loop", |b| {
         b.iter(|| black_box(looper.run(InsertionPoint::BgpOutboundFilter, &mut host)))
     });
+    looper.set_check_elision(false);
+    c.bench_function("vm_overhead/3000_instruction_loop/no_elide", |b| {
+        b.iter(|| black_box(looper.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    looper.set_check_elision(true);
     // The same loop on the compiled engine: the interpretation-throughput
     // headline the block lowering targets (fuel and dispatch hoisted to
     // block entry).
     looper.set_engine(Engine::Compiled);
     c.bench_function("vm_overhead/3000_instruction_loop/compiled", |b| {
         b.iter(|| black_box(looper.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    looper.set_check_elision(false);
+    c.bench_function("vm_overhead/3000_instruction_loop/compiled/no_elide", |b| {
+        b.iter(|| black_box(looper.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+
+    // Memory-bound loop: a cursor/end-pointer walk over 256 bytes of
+    // frame. The abstract interpreter proves every `ldxb`/`stxb` in
+    // bounds (DESIGN.md §4i), so the elision-on runs take the fast
+    // region-indexed path instead of the full address-range check — the
+    // cell where check elision, not block compilation, is the lever.
+    let walk_src = r"
+        mov r0, 0
+        mov r1, r10
+        sub r1, 256
+        mov r2, r10
+    b:  ldxb r3, [r1]
+        add r3, 1
+        stxb [r1], r3
+        add r0, r3
+        add r1, 1
+    t:  jlt r1, r2, b
+        exit
+    ";
+    let mut walker = vmm_with(walk_src, &[]);
+    c.bench_function("vm_overhead/stack_walk_loop", |b| {
+        b.iter(|| black_box(walker.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    walker.set_check_elision(false);
+    c.bench_function("vm_overhead/stack_walk_loop/no_elide", |b| {
+        b.iter(|| black_box(walker.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    walker.set_check_elision(true);
+    walker.set_engine(Engine::Compiled);
+    c.bench_function("vm_overhead/stack_walk_loop/compiled", |b| {
+        b.iter(|| black_box(walker.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    walker.set_check_elision(false);
+    c.bench_function("vm_overhead/stack_walk_loop/compiled/no_elide", |b| {
+        b.iter(|| black_box(walker.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+
+    // The same walk over a `ctx_malloc`'d heap buffer — the shape real
+    // use cases have (attribute bytes live in heap windows, not on the
+    // frame). The heap region sits behind the stack in the checked
+    // path's scan order, so this is where proof-carrying elision pays
+    // on the stepping interpreter.
+    let heap_walk_src = r"
+        mov r6, 0
+        mov r1, 256
+        call ctx_malloc
+        jeq r0, 0, out
+        mov r1, r0
+        mov r2, r0
+        add r2, 256
+    b:  ldxb r3, [r1]
+        add r3, 1
+        stxb [r1], r3
+        add r6, r3
+        add r1, 1
+        jlt r1, r2, b
+    out:
+        mov r0, r6
+        exit
+    ";
+    let mut hwalker = vmm_with(heap_walk_src, &["ctx_malloc"]);
+    c.bench_function("vm_overhead/heap_walk_loop", |b| {
+        b.iter(|| black_box(hwalker.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    hwalker.set_check_elision(false);
+    c.bench_function("vm_overhead/heap_walk_loop/no_elide", |b| {
+        b.iter(|| black_box(hwalker.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    hwalker.set_check_elision(true);
+    hwalker.set_engine(Engine::Compiled);
+    c.bench_function("vm_overhead/heap_walk_loop/compiled", |b| {
+        b.iter(|| black_box(hwalker.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    hwalker.set_check_elision(false);
+    c.bench_function("vm_overhead/heap_walk_loop/compiled/no_elide", |b| {
+        b.iter(|| black_box(hwalker.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+
+    // Memory-op-dense variant: an unrolled 8-byte read-modify-write pass
+    // over the heap buffer, the shape attribute-rewrite extensions have
+    // (rr_encode, geoloc_encode move bytes between heap windows). Half
+    // the retired instructions are proven loads/stores, so this cell
+    // isolates what elision is worth when memory traffic, not dispatch,
+    // is the bottleneck.
+    // The outer repeat loop amortizes the fixed invocation cost
+    // (sandbox entry + ctx_malloc) so the cell measures the steady
+    // walk, not the setup.
+    let heap_rewrite_src = r"
+        mov r6, 0
+        mov r7, 8
+        mov r1, 1024
+        call ctx_malloc
+        jeq r0, 0, out
+    o:  mov r1, r0
+        mov r2, r0
+        add r2, 1009
+    b:  ldxdw r3, [r1]
+        add r3, 1
+        stxdw [r1], r3
+        ldxdw r4, [r1+8]
+        add r4, 1
+        stxdw [r1+8], r4
+        add r6, r3
+        add r1, 16
+        jlt r1, r2, b
+        sub r7, 1
+        jne r7, 0, o
+    out:
+        mov r0, r6
+        exit
+    ";
+    let mut rewriter = vmm_with(heap_rewrite_src, &["ctx_malloc"]);
+    c.bench_function("vm_overhead/heap_rewrite_loop", |b| {
+        b.iter(|| black_box(rewriter.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    rewriter.set_check_elision(false);
+    c.bench_function("vm_overhead/heap_rewrite_loop/no_elide", |b| {
+        b.iter(|| black_box(rewriter.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    rewriter.set_check_elision(true);
+    rewriter.set_engine(Engine::Compiled);
+    c.bench_function("vm_overhead/heap_rewrite_loop/compiled", |b| {
+        b.iter(|| black_box(rewriter.run(InsertionPoint::BgpOutboundFilter, &mut host)))
+    });
+    rewriter.set_check_elision(false);
+    c.bench_function("vm_overhead/heap_rewrite_loop/compiled/no_elide", |b| {
+        b.iter(|| black_box(rewriter.run(InsertionPoint::BgpOutboundFilter, &mut host)))
     });
 
     // Load-time side of the split: verify + pre-decode + sandbox build for
@@ -104,8 +241,17 @@ fn bench(c: &mut Criterion) {
     c.bench_function("vm_overhead/rov_check_per_route", |b| {
         b.iter(|| black_box(rov.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut rov_host)))
     });
+    rov.set_check_elision(false);
+    c.bench_function("vm_overhead/rov_check_per_route/no_elide", |b| {
+        b.iter(|| black_box(rov.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut rov_host)))
+    });
+    rov.set_check_elision(true);
     rov.set_engine(Engine::Compiled);
     c.bench_function("vm_overhead/rov_check_per_route/compiled", |b| {
+        b.iter(|| black_box(rov.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut rov_host)))
+    });
+    rov.set_check_elision(false);
+    c.bench_function("vm_overhead/rov_check_per_route/compiled/no_elide", |b| {
         b.iter(|| black_box(rov.run(xbgp_core::InsertionPoint::BgpInboundFilter, &mut rov_host)))
     });
 }

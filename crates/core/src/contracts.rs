@@ -1,0 +1,157 @@
+//! Helper contracts for the proof-carrying verifier.
+//!
+//! The VM-level abstract interpreter ([`xbgp_vm::absint`]) is
+//! host-agnostic: it only knows what a helper returns if the host tells
+//! it. This module is that telling — one [`HelperContract`] per xBGP API
+//! helper, resolved per insertion point, so `verify_and_load_with` can:
+//!
+//! * track pointer provenance through `get_peer_info`/`ctx_malloc`-style
+//!   returns and prove the subsequent field loads in-bounds,
+//! * model the `get_attr` family's `len | XBGP_FAIL` return shape,
+//! * reject at *load time* calls that are illegal at the insertion point
+//!   (`write_buf` outside `bgp_encode_message`, §2.2's per-point API
+//!   surface) or that pass a provably-bad pointer argument.
+//!
+//! Helpers absent from the table fall open in the analyzer (unknown
+//! scalar return, no constraints) — new helpers degrade verification
+//! precision, never soundness.
+
+use std::collections::BTreeMap;
+
+use xbgp_vm::{AnalysisOptions, HelperContract, HelperRet, MemKind};
+
+use crate::api::{helper, InsertionPoint, NEXTHOP_INFO_SIZE, PEER_INFO_SIZE, PREFIX_INFO_SIZE};
+
+fn scalar() -> HelperContract {
+    HelperContract { allowed: true, ptr_args: Vec::new(), ret: HelperRet::Scalar }
+}
+
+fn scalar_ptr_args(ptr_args: &[u8]) -> HelperContract {
+    HelperContract {
+        allowed: true,
+        ptr_args: ptr_args.to_vec(),
+        ret: HelperRet::Scalar,
+    }
+}
+
+fn len_or_fail(dst_arg: u8, cap_arg: u8) -> HelperContract {
+    HelperContract {
+        allowed: true,
+        ptr_args: vec![dst_arg],
+        ret: HelperRet::LenOrFail { cap_arg },
+    }
+}
+
+fn zero_or_ptr(kind: MemKind, size: Option<u64>) -> HelperContract {
+    HelperContract {
+        allowed: true,
+        ptr_args: Vec::new(),
+        ret: HelperRet::ZeroOrPtr { kind, size },
+    }
+}
+
+/// The analyzer configuration for one insertion point: the full helper
+/// table, with per-point availability applied.
+pub fn analysis_options(point: InsertionPoint) -> AnalysisOptions {
+    let mut contracts: BTreeMap<u32, HelperContract> = BTreeMap::new();
+    contracts.insert(helper::NEXT, scalar());
+    // get_arg(idx, dst, cap) / get_attr(code, dst, cap): dst (arg 1) is a
+    // pointer, the return is a length bounded by cap (arg 2) or XBGP_FAIL.
+    contracts.insert(helper::GET_ARG, len_or_fail(1, 2));
+    contracts.insert(helper::ARG_LEN, scalar());
+    contracts
+        .insert(helper::GET_PEER_INFO, zero_or_ptr(MemKind::Heap, Some(PEER_INFO_SIZE as u64)));
+    contracts
+        .insert(helper::GET_NEXTHOP, zero_or_ptr(MemKind::Heap, Some(NEXTHOP_INFO_SIZE as u64)));
+    contracts.insert(helper::GET_ATTR, len_or_fail(1, 2));
+    // set_attr(code, flags, ptr, len) / add_attr: ptr is arg 2.
+    contracts.insert(helper::SET_ATTR, scalar_ptr_args(&[2]));
+    contracts.insert(helper::ADD_ATTR, scalar_ptr_args(&[2]));
+    contracts.insert(helper::REMOVE_ATTR, scalar());
+    // get_xtra(key_ptr, key_len, dst, cap): two pointer args, length-or-fail
+    // return capped by arg 3.
+    contracts.insert(
+        helper::GET_XTRA,
+        HelperContract {
+            allowed: true,
+            ptr_args: vec![0, 2],
+            ret: HelperRet::LenOrFail { cap_arg: 3 },
+        },
+    );
+    // write_buf(ptr, len): the output buffer only exists while encoding a
+    // message, so any other insertion point rejects the call at load time.
+    contracts.insert(
+        helper::WRITE_BUF,
+        HelperContract {
+            allowed: point == InsertionPoint::BgpEncodeMessage,
+            ptr_args: vec![0],
+            ret: HelperRet::Scalar,
+        },
+    );
+    contracts.insert(helper::EBPF_MEMCPY, scalar_ptr_args(&[0, 1]));
+    contracts.insert(helper::BPF_HTONL, scalar());
+    contracts.insert(helper::BPF_NTOHL, scalar());
+    contracts.insert(helper::BPF_HTONS, scalar());
+    contracts.insert(helper::BPF_NTOHS, scalar());
+    contracts.insert(helper::EBPF_PRINT, scalar_ptr_args(&[0]));
+    // ctx_malloc(size): null or a heap pointer with at least `size` (arg 0)
+    // valid bytes.
+    contracts.insert(
+        helper::CTX_MALLOC,
+        HelperContract {
+            allowed: true,
+            ptr_args: Vec::new(),
+            ret: HelperRet::ZeroOrPtrSizedByArg { kind: MemKind::Heap, size_arg: 0 },
+        },
+    );
+    // ctx_shared_malloc(key, size): size is arg 1, region is the shared heap.
+    contracts.insert(
+        helper::CTX_SHARED_MALLOC,
+        HelperContract {
+            allowed: true,
+            ptr_args: Vec::new(),
+            ret: HelperRet::ZeroOrPtrSizedByArg { kind: MemKind::Shared, size_arg: 1 },
+        },
+    );
+    // ctx_shared_get(key): the allocation size is keyed state the verifier
+    // cannot see, so provenance is tracked but no window is provable.
+    contracts.insert(helper::CTX_SHARED_GET, zero_or_ptr(MemKind::Shared, None));
+    contracts.insert(helper::RPKI_CHECK_ORIGIN, scalar());
+    contracts.insert(helper::RIB_ADD_ROUTE, scalar());
+    contracts.insert(helper::GET_PREFIX, zero_or_ptr(MemKind::Heap, Some(PREFIX_INFO_SIZE as u64)));
+    AnalysisOptions { contracts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_api_helper_has_a_contract() {
+        let opts = analysis_options(InsertionPoint::BgpDecision);
+        for (name, id) in helper::TABLE {
+            assert!(opts.contracts.contains_key(id), "no contract for helper `{name}`");
+        }
+    }
+
+    #[test]
+    fn write_buf_gated_to_encode_point() {
+        for point in InsertionPoint::ALL {
+            let opts = analysis_options(point);
+            let allowed = opts.contracts[&helper::WRITE_BUF].allowed;
+            assert_eq!(allowed, point == InsertionPoint::BgpEncodeMessage, "{point:?}");
+        }
+    }
+
+    #[test]
+    fn marshalled_struct_windows_match_api_sizes() {
+        let opts = analysis_options(InsertionPoint::BgpDecision);
+        let size_of = |id: u32| match opts.contracts[&id].ret {
+            HelperRet::ZeroOrPtr { size, .. } => size,
+            _ => panic!("expected ZeroOrPtr"),
+        };
+        assert_eq!(size_of(helper::GET_PEER_INFO), Some(PEER_INFO_SIZE as u64));
+        assert_eq!(size_of(helper::GET_NEXTHOP), Some(NEXTHOP_INFO_SIZE as u64));
+        assert_eq!(size_of(helper::GET_PREFIX), Some(PREFIX_INFO_SIZE as u64));
+    }
+}

@@ -27,12 +27,14 @@
 //! and BIRD's — the same bytecode runs unmodified on both.
 
 pub mod api;
+pub mod contracts;
 pub mod host;
 pub mod manifest;
 pub mod policy;
 pub mod vmm;
 
 pub use api::{helper, InsertionPoint, NextHopInfo, PeerInfo, PeerType};
+pub use contracts::analysis_options;
 pub use host::{HostApi, HostError, HostOp};
 pub use manifest::{ExtensionSpec, Manifest};
 pub use policy::{ExecPolicy, OnFault};

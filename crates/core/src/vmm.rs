@@ -41,13 +41,13 @@ use std::time::Instant;
 use xbgp_obs::trace::{TraceConfig, TraceDump, TraceKind, Tracer, NO_EXT};
 use xbgp_obs::{Histogram, NoopRecorder, Recorder, Snapshot};
 use xbgp_vm::{
-    interp::HelperOutcome, verify_and_load, CompiledProgram, Engine, ExecOutcome, HelperDispatcher,
-    LoadedProgram, MemoryMap, Region, RegionKind, VerifyError, VmConfig, VmError, HEAP_BASE,
-    SHARED_BASE,
+    interp::HelperOutcome, verify_and_load_with, CompiledProgram, Engine, ExecOutcome,
+    HelperDispatcher, LoadedProgram, MemoryMap, Region, RegionKind, VerifyError, VmConfig, VmError,
+    HEAP_BASE, SHARED_BASE,
 };
 use xbgp_wire::Ipv4Prefix;
 
-/// Process-wide count of verify+pre-decode passes ([`verify_and_load`]
+/// Process-wide count of verify+pre-decode passes ([`verify_and_load_with`]
 /// calls). Loading a program is the expensive, once-per-VMM step; sharded
 /// deployments use this counter to prove each shard's VMM verified every
 /// program exactly once — per shard, never per batch of routes.
@@ -121,7 +121,7 @@ struct Extension {
     /// Index into `Vmm::shared` of this extension's program group.
     shared_idx: usize,
     /// The verified program, pre-decoded once at load time
-    /// ([`verify_and_load`]); invocations execute it directly with no
+    /// ([`verify_and_load_with`]); invocations execute it directly with no
     /// per-run decoding or jump-target resolution.
     prog: LoadedProgram,
     /// Basic-block lowering of `prog`, built on the first switch to
@@ -415,7 +415,11 @@ impl Vmm {
                     }
                 }
             }
-            let loaded = verify_and_load(&prog, &ids)
+            // Structural verification plus the abstract-interpretation
+            // pass, parameterized by this insertion point's helper
+            // contracts (e.g. `write_buf` is only legal while encoding).
+            let opts = crate::contracts::analysis_options(spec.insertion_point);
+            let loaded = verify_and_load_with(&prog, &ids, &opts)
                 .map_err(|error| VmmError::Rejected { extension: spec.name.clone(), error })?;
             VERIFY_LOADS.fetch_add(1, Ordering::Relaxed);
             let idx = vmm.exts.len();
@@ -513,6 +517,23 @@ impl Vmm {
     /// The currently selected execution engine.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Toggle proof-carrying runtime-check elision for every attached
+    /// extension (on by default). Off forces every memory access through
+    /// the fully checked path and re-arms the per-instruction fuel
+    /// ledger. The two modes are contractually bit-for-bit identical —
+    /// same outcomes, memory, metrics and faults at the same slot pcs
+    /// (the conformance and ablation suites assert it) — so this is an
+    /// experiment/diagnostics knob, not a safety valve.
+    pub fn set_check_elision(&mut self, on: bool) {
+        for (_, e) in &mut self.exts {
+            e.prog.set_elide(on);
+            // The compiled form snapshots the flag at lowering time.
+            if e.compiled.is_some() {
+                e.compiled = Some(CompiledProgram::compile(&e.prog));
+            }
+        }
     }
 
     /// Cap what `ctx_malloc` may hand extension `name` per run, in bytes
@@ -2428,6 +2449,64 @@ mod tests {
         // Quarantine metrics still line up with the trace.
         let s = vmm.metrics_snapshot();
         assert_eq!(s.counter_value("xbgp_vmm_quarantines_total", &[]), Some(1));
+    }
+
+    /// A faulting counted-loop program with elidable stack traffic and a
+    /// staged attribute write: toggling check elision must leave every
+    /// observable — outcomes, staged host mutations, per-extension
+    /// metrics — byte-identical on both engines (DESIGN.md §4i).
+    #[test]
+    fn check_elision_ablation_is_invisible_through_the_vmm() {
+        const LOOP_STAGE_TRAP: &str = "\
+        mov r6, 0
+        mov r7, 8
+loop:   stxdw [r10-8], r7
+        ldxdw r1, [r10-8]
+        add r6, r1
+        add r7, -1
+        jne r7, 0, loop
+        mov r1, 99
+        mov r2, ATTR_FLAGS_OPT_TRANS
+        mov r3, r10
+        sub r3, 8
+        stxdw [r10-8], r6
+        mov r4, 8
+        call set_attr
+        jne r6, 36, done
+        lddw r1, 0x999999999
+        ldxb r0, [r1]
+done:   mov r0, r6
+        exit";
+        let make = || {
+            load(vec![spec(
+                "abl",
+                InsertionPoint::BgpInboundFilter,
+                &["set_attr"],
+                LOOP_STAGE_TRAP,
+            )])
+        };
+        for engine in [Engine::Interp, Engine::Compiled] {
+            let mut on = make();
+            let mut off = make();
+            on.set_engine(engine);
+            off.set_engine(engine);
+            off.set_check_elision(false);
+            on.enable_metrics();
+            off.enable_metrics();
+            let mut host_on = MockHost::default();
+            let mut host_off = MockHost::default();
+            for _ in 0..5 {
+                let a = on.run(InsertionPoint::BgpInboundFilter, &mut host_on);
+                let b = off.run(InsertionPoint::BgpInboundFilter, &mut host_off);
+                assert_eq!(a, b, "outcome diverged under {engine:?}");
+            }
+            // The sum 8+7+..+1 = 36 trips the trap, so the staged write is
+            // rolled back every run: the host must have seen nothing.
+            assert_eq!(host_on.attrs, host_off.attrs);
+            assert!(host_on.attrs.is_empty(), "rollback erased the staged attr");
+            assert_eq!(on.stats(), off.stats(), "metrics diverged under {engine:?}");
+            assert!(on.stats()[0].insns_retired > 0, "metrics were actually recorded");
+        }
     }
 
     #[test]

@@ -1,0 +1,6 @@
+; Seeded defect: a constant-offset frame store one slot below the
+; 512-byte stack. The structural verifier must reject this before the
+; program ever runs.
+        stdw [r10-520], 7
+        mov r0, 0
+        exit

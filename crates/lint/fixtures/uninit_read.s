@@ -1,0 +1,5 @@
+; Seeded defect: r7 is callee-saved and read before any write. The
+; abstract-interpretation pass must reject this at load time; CI runs
+; xbgp-lint over this file and asserts a non-zero exit.
+        mov r0, r7
+        exit

@@ -46,8 +46,8 @@
 
 use crate::error::VmError;
 use crate::interp::{ExecOutcome, HelperDispatcher, HelperOutcome, RunMetrics, VmConfig};
-use crate::mem::{MemoryMap, Region, RegionKind};
-use crate::prep::{DInsn, DOp, LoadedProgram};
+use crate::mem::{ElideCtx, MemoryMap, Region, RegionKind};
+use crate::prep::{elide, DInsn, DOp, LoadedProgram};
 use crate::{STACK_BASE, STACK_SIZE};
 use std::fmt;
 use std::str::FromStr;
@@ -129,6 +129,26 @@ fn mem_write(w: MemW, mem: &mut MemoryMap, a: u64, v: u64) -> Result<(), VmError
         MemW::H => mem.store16(a, v as u16),
         MemW::W => mem.store32(a, v as u32),
         MemW::Dw => mem.store64(a, v),
+    }
+}
+
+#[inline(always)]
+fn fast_read(w: MemW, mem: &MemoryMap, ectx: &ElideCtx, kind: u8, a: u64) -> Option<u64> {
+    match w {
+        MemW::B => mem.fast_load8(ectx, kind, a),
+        MemW::H => mem.fast_load16(ectx, kind, a),
+        MemW::W => mem.fast_load32(ectx, kind, a),
+        MemW::Dw => mem.fast_load64(ectx, kind, a),
+    }
+}
+
+#[inline(always)]
+fn fast_write(w: MemW, mem: &mut MemoryMap, ectx: &ElideCtx, kind: u8, a: u64, v: u64) -> bool {
+    match w {
+        MemW::B => mem.fast_store8(ectx, kind, a, v as u8),
+        MemW::H => mem.fast_store16(ectx, kind, a, v as u16),
+        MemW::W => mem.fast_store32(ectx, kind, a, v as u32),
+        MemW::Dw => mem.fast_store64(ectx, kind, a, v),
     }
 }
 
@@ -286,14 +306,17 @@ enum Op {
         imm: u64,
     },
     /// `r[dst] = load<w>(mem, r[src] + off)?`, fault stamped with `slot`.
+    /// `flags` carries the verifier's bounds-proof bits ([`elide`]).
     Load {
         w: MemW,
         dst: u8,
         src: u8,
         off: u64,
         slot: u32,
+        flags: u8,
     },
     /// `store<w>(mem, r[dst] + off, operand)?`, fault stamped with `slot`.
+    /// `flags` carries the verifier's bounds-proof bits ([`elide`]).
     Store {
         w: MemW,
         dst: u8,
@@ -302,6 +325,7 @@ enum Op {
         off: u64,
         imm: u64,
         slot: u32,
+        flags: u8,
     },
     /// Runtime-checked `div`/`mod` by a register: zero divisor faults at
     /// `slot`, otherwise `r[dst] = alu_apply(k, r[dst], r[src])`. `w32`
@@ -374,6 +398,15 @@ struct Block {
 pub struct CompiledProgram {
     ops: Vec<Op>,
     blocks: Vec<Block>,
+    /// Static worst-case fuel bound proven by the verifier's abstract
+    /// interpretation, copied from the source [`LoadedProgram`].
+    worst_fuel: Option<u64>,
+    /// Whether proof-carrying check elision is armed (mirrors
+    /// [`LoadedProgram`]'s flag at compile time).
+    elide: bool,
+    /// Whether any access actually carries a proof bit (mirrors
+    /// [`LoadedProgram`]; gates the per-run region snapshot).
+    has_elided: bool,
 }
 
 fn alu(k: AluK, ins: &DInsn, use_src: bool) -> Op {
@@ -391,6 +424,7 @@ fn mem_load(w: MemW, ins: &DInsn) -> Op {
         src: ins.src,
         off: ins.off as i64 as u64,
         slot: ins.slot,
+        flags: ins.flags,
     }
 }
 
@@ -403,6 +437,7 @@ fn mem_store(w: MemW, ins: &DInsn, use_src: bool) -> Op {
         off: ins.off as i64 as u64,
         imm: ins.imm,
         slot: ins.slot,
+        flags: ins.flags,
     }
 }
 
@@ -947,7 +982,13 @@ impl CompiledProgram {
             blocks.push(Block { cost, spin, start, len, term });
             s = e;
         }
-        CompiledProgram { ops: pool, blocks }
+        CompiledProgram {
+            ops: pool,
+            blocks,
+            worst_fuel: prog.worst_fuel(),
+            elide: prog.elide(),
+            has_elided: prog.has_elided,
+        }
     }
 
     /// Number of basic blocks (diagnostics).
@@ -989,7 +1030,16 @@ impl CompiledProgram {
 
         let mut fuel: i64 = config.fuel.min(i64::MAX as u64) as i64;
         let budget = fuel;
+        // Same fuel-ledger elision as the interpreter: a proven worst case
+        // strictly under the budget means exhaustion cannot fire, so the
+        // ledger starts saturated and metrics come from `start - fuel`.
+        if self.elide && self.worst_fuel.is_some_and(|w| w < budget as u64) {
+            fuel = i64::MAX;
+        }
+        let start = fuel;
         let mut helper_calls: u64 = 0;
+        let elide_on = self.elide && self.has_elided;
+        let mut ectx = if elide_on { mem.elide_ctx() } else { ElideCtx::default() };
 
         let result = (|| -> Result<ExecOutcome, VmError> {
             let mut bi = 0usize;
@@ -1019,8 +1069,14 @@ impl CompiledProgram {
                             reg[d] = alu_apply(k, reg[d], s);
                             continue;
                         }
-                        Op::Load { w, dst, src, off, slot } => {
+                        Op::Load { w, dst, src, off, slot, flags } => {
                             let a = reg[usize::from(src) & REG_MASK].wrapping_add(off);
+                            if elide_on && flags & elide::BOUNDS != 0 {
+                                if let Some(v) = fast_read(w, mem, &ectx, elide::kind(flags), a) {
+                                    reg[usize::from(dst) & REG_MASK] = v;
+                                    continue;
+                                }
+                            }
                             match mem_read(w, mem, a) {
                                 Ok(v) => {
                                     reg[usize::from(dst) & REG_MASK] = v;
@@ -1029,9 +1085,15 @@ impl CompiledProgram {
                                 Err(e) => e.at_pc(slot as usize),
                             }
                         }
-                        Op::Store { w, dst, src, use_src, off, imm, slot } => {
+                        Op::Store { w, dst, src, use_src, off, imm, slot, flags } => {
                             let a = reg[usize::from(dst) & REG_MASK].wrapping_add(off);
                             let v = if use_src { reg[usize::from(src) & REG_MASK] } else { imm };
+                            if elide_on
+                                && flags & elide::BOUNDS != 0
+                                && fast_write(w, mem, &ectx, elide::kind(flags), a, v)
+                            {
+                                continue;
+                            }
                             match mem_write(w, mem, a, v) {
                                 Ok(()) => continue,
                                 Err(e) => e.at_pc(slot as usize),
@@ -1093,6 +1155,10 @@ impl CompiledProgram {
                                 reg[3] = 0;
                                 reg[4] = 0;
                                 reg[5] = 0;
+                                // Helpers may remap regions; track.
+                                if elide_on {
+                                    ectx.refresh(mem);
+                                }
                                 bi = next as usize;
                             }
                             Ok(HelperOutcome::Next) => return Ok(ExecOutcome::Next),
@@ -1109,7 +1175,7 @@ impl CompiledProgram {
                 }
             }
         })();
-        let fuel_consumed = (budget - fuel) as u64;
+        let fuel_consumed = (start - fuel) as u64;
         (result, RunMetrics { insns_retired: fuel_consumed, helper_calls, fuel_consumed })
     }
 }

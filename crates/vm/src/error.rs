@@ -110,7 +110,11 @@ impl fmt::Display for VmError {
             ),
             VmError::DivByZero { pc } => write!(f, "division by zero at pc {pc}"),
             VmError::BadInstruction { pc, opcode } => {
-                write!(f, "illegal instruction {opcode:#04x} at pc {pc}")
+                write!(
+                    f,
+                    "illegal instruction {opcode:#04x} (`{}`) at pc {pc}",
+                    crate::insn::mnemonic(*opcode)
+                )
             }
             VmError::FuelExhausted { pc } => {
                 write!(f, "instruction budget exhausted at pc {pc}")

@@ -7,8 +7,8 @@
 
 use crate::error::VmError;
 use crate::insn::Program;
-use crate::mem::{MemoryMap, Region, RegionKind};
-use crate::prep::{DOp, LoadedProgram};
+use crate::mem::{ElideCtx, MemoryMap, Region, RegionKind};
+use crate::prep::{elide, DOp, LoadedProgram};
 use crate::{STACK_BASE, STACK_SIZE};
 
 /// How a program run ended.
@@ -157,7 +157,20 @@ impl LoadedProgram {
         // back-edges and calls compare against zero.
         let mut fuel: i64 = config.fuel.min(i64::MAX as u64) as i64;
         let budget = fuel;
+        // Fuel-ledger elision: when the analyzer proved a worst case
+        // strictly under the budget, exhaustion cannot fire in *either*
+        // mode (consumed ≤ worst < budget), so the ledger may start
+        // saturated. Metrics stay instruction-exact via `start - fuel`.
+        if self.elide && self.worst_fuel.is_some_and(|w| w < budget as u64) {
+            fuel = i64::MAX;
+        }
+        let start = fuel;
         let mut helper_calls: u64 = 0;
+        // Proof-carrying memory elision: resolve the provable regions once
+        // up front; revalidated after helper returns (helpers may remap
+        // regions). Programs with no proven accesses skip all of it.
+        let elide_on = self.elide && self.has_elided;
+        let mut ectx = if elide_on { mem.elide_ctx() } else { ElideCtx::default() };
 
         // Binary ALU forms: f(dst, operand) → dst, then fall through.
         macro_rules! bin64i {
@@ -243,6 +256,39 @@ impl LoadedProgram {
                     pc + 1
                 }
             };
+        }
+        // Loads and stores carry the verifier's proof bits: when the
+        // analyzer proved the access in-bounds for a specific region kind,
+        // the slow find()+bounds walk is skipped and the access indexes the
+        // pre-resolved region directly. The fast path still returns None on
+        // any disagreement (region remapped, analysis bug), falling back to
+        // the checked path so faults are bit-identical with elision off.
+        macro_rules! ld {
+            ($ins:expr, $fast:ident, $slow:ident) => {{
+                let a = reg[$ins.src as usize].wrapping_add($ins.off as i64 as u64);
+                reg[$ins.dst as usize] = if elide_on && $ins.flags & elide::BOUNDS != 0 {
+                    match mem.$fast(&ectx, elide::kind($ins.flags), a) {
+                        Some(v) => v,
+                        None => mem.$slow(a).map_err(|e| e.at_pc($ins.slot as usize))?,
+                    }
+                } else {
+                    mem.$slow(a).map_err(|e| e.at_pc($ins.slot as usize))?
+                };
+                pc += 1;
+            }};
+        }
+        macro_rules! st {
+            ($ins:expr, $fast:ident, $slow:ident, $v:expr) => {{
+                let a = reg[$ins.dst as usize].wrapping_add($ins.off as i64 as u64);
+                let v = $v;
+                if !(elide_on
+                    && $ins.flags & elide::BOUNDS != 0
+                    && mem.$fast(&ectx, elide::kind($ins.flags), a, v))
+                {
+                    mem.$slow(a, v).map_err(|e| e.at_pc($ins.slot as usize))?;
+                }
+                pc += 1;
+            }};
         }
 
         // The body keeps its early `return`s by running inside an
@@ -391,74 +437,18 @@ impl LoadedProgram {
                         reg[ins.dst as usize] = ins.imm;
                         pc += 1;
                     }
-                    DOp::LdxDw => {
-                        let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
-                        reg[ins.dst as usize] =
-                            mem.load64(a).map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::LdxW => {
-                        let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
-                        reg[ins.dst as usize] =
-                            mem.load32(a).map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::LdxH => {
-                        let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
-                        reg[ins.dst as usize] =
-                            mem.load16(a).map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::LdxB => {
-                        let a = reg[ins.src as usize].wrapping_add(ins.off as i64 as u64);
-                        reg[ins.dst as usize] =
-                            mem.load8(a).map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::StDw => {
-                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store64(a, ins.imm).map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::StW => {
-                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store32(a, ins.imm as u32).map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::StH => {
-                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store16(a, ins.imm as u16).map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::StB => {
-                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store8(a, ins.imm as u8).map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::StxDw => {
-                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store64(a, reg[ins.src as usize])
-                            .map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::StxW => {
-                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store32(a, reg[ins.src as usize] as u32)
-                            .map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::StxH => {
-                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store16(a, reg[ins.src as usize] as u16)
-                            .map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
-                    DOp::StxB => {
-                        let a = reg[ins.dst as usize].wrapping_add(ins.off as i64 as u64);
-                        mem.store8(a, reg[ins.src as usize] as u8)
-                            .map_err(|e| e.at_pc(ins.slot as usize))?;
-                        pc += 1;
-                    }
+                    DOp::LdxDw => ld!(ins, fast_load64, load64),
+                    DOp::LdxW => ld!(ins, fast_load32, load32),
+                    DOp::LdxH => ld!(ins, fast_load16, load16),
+                    DOp::LdxB => ld!(ins, fast_load8, load8),
+                    DOp::StDw => st!(ins, fast_store64, store64, ins.imm),
+                    DOp::StW => st!(ins, fast_store32, store32, ins.imm as u32),
+                    DOp::StH => st!(ins, fast_store16, store16, ins.imm as u16),
+                    DOp::StB => st!(ins, fast_store8, store8, ins.imm as u8),
+                    DOp::StxDw => st!(ins, fast_store64, store64, reg[ins.src as usize]),
+                    DOp::StxW => st!(ins, fast_store32, store32, reg[ins.src as usize] as u32),
+                    DOp::StxH => st!(ins, fast_store16, store16, reg[ins.src as usize] as u16),
+                    DOp::StxB => st!(ins, fast_store8, store8, reg[ins.src as usize] as u8),
                     DOp::Ja => {
                         let t = ins.target as usize;
                         back_edge!(t, ins.slot);
@@ -480,6 +470,11 @@ impl LoadedProgram {
                                 reg[3] = 0;
                                 reg[4] = 0;
                                 reg[5] = 0;
+                                // Helpers may remap regions; the
+                                // pre-resolved elision slots must track.
+                                if elide_on {
+                                    ectx.refresh(mem);
+                                }
                                 pc += 1;
                             }
                             Ok(HelperOutcome::Next) => return Ok(ExecOutcome::Next),
@@ -540,7 +535,7 @@ impl LoadedProgram {
                 }
             }
         })();
-        let fuel_consumed = (budget - fuel) as u64;
+        let fuel_consumed = (start - fuel) as u64;
         (result, RunMetrics { insns_retired: fuel_consumed, helper_calls, fuel_consumed })
     }
 }

@@ -28,6 +28,7 @@
 //! `bpf_htonl`-family helpers in `xbgp-core` perform network-order
 //! conversions, exactly as xBGP extension code does in the paper.
 
+pub mod absint;
 pub mod compile;
 pub mod error;
 pub mod insn;
@@ -36,13 +37,14 @@ pub mod mem;
 pub mod prep;
 pub mod verify;
 
+pub use absint::{Analysis, AnalysisOptions, HelperContract, HelperRet, MemKind, Warning};
 pub use compile::{CompiledProgram, Engine};
 pub use error::VmError;
 pub use insn::{Insn, Program};
 pub use interp::{ExecOutcome, HelperDispatcher, NoHelpers, RunMetrics, Vm, VmConfig};
 pub use mem::{MemoryMap, Region, RegionKind};
 pub use prep::LoadedProgram;
-pub use verify::{verify, verify_and_load, VerifyError};
+pub use verify::{verify, verify_and_load, verify_and_load_with, VerifyError};
 
 /// Virtual base address of the 512-byte eBPF stack region.
 pub const STACK_BASE: u64 = 0x1000_0000;

@@ -50,11 +50,30 @@ impl Region {
 #[derive(Debug, Default)]
 pub struct MemoryMap {
     regions: Vec<Region>,
+    /// Bumped whenever the region *table* changes shape (map/unmap).
+    /// In-place data mutation does not count: region indices and bases
+    /// stay valid across it, which is what [`ElideCtx`] caches.
+    epoch: u64,
+    /// Memoized elision snapshot; valid while its epoch matches. A fresh
+    /// map (epoch 0, no regions) is exactly the default snapshot, so the
+    /// initial state is already consistent.
+    cached_elide: ElideCtx,
 }
 
 impl MemoryMap {
     pub fn new() -> MemoryMap {
-        MemoryMap { regions: Vec::new() }
+        MemoryMap::default()
+    }
+
+    /// The current elision snapshot, rescanned only when the region table
+    /// changed shape since the last call. Sandboxes are pooled across
+    /// runs, so the per-run cost is one compare instead of a region scan.
+    #[inline]
+    pub(crate) fn elide_ctx(&mut self) -> ElideCtx {
+        if self.cached_elide.epoch != self.epoch {
+            self.cached_elide = ElideCtx::capture(self);
+        }
+        self.cached_elide
     }
 
     /// Map a region. Panics if it overlaps an existing one (host bug, not
@@ -73,6 +92,7 @@ impl MemoryMap {
             );
         }
         self.regions.push(region);
+        self.epoch += 1;
     }
 
     /// Remove all regions of a kind, returning them (used to reclaim the
@@ -92,6 +112,9 @@ impl MemoryMap {
                 true
             }
         });
+        if !out.is_empty() {
+            self.epoch += 1;
+        }
         out
     }
 
@@ -241,6 +264,115 @@ impl MemoryMap {
         Ok(self.slice(addr, len)?.to_vec())
     }
 
+    // ------------------------------------------------------------------
+    // Proof-carrying fast path
+    //
+    // Accesses the abstract interpreter proved in-bounds skip the region
+    // scan and bounds/writability checks: the engine resolves the region
+    // once per run (per helper call, really — helpers may remap) into an
+    // `ElideCtx` and then reads the backing slice directly. The `get`
+    // below is a pure safety net: if the proof were ever wrong the access
+    // falls back to the checked path and faults identically, so elision
+    // can change performance but never behaviour.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn fast_slice(&self, ctx: &ElideCtx, kind: u8, addr: u64, len: usize) -> Option<&[u8]> {
+        // `kind` comes from `elide::pack` and is 0..=2; slot 3 is a
+        // permanent miss, so the mask needs no bounds check. A stale or
+        // absent slot has `idx == u32::MAX` and misses on `regions.get`.
+        let s = ctx.slots[(kind & 3) as usize];
+        let r = self.regions.get(s.idx as usize)?;
+        let off = addr.wrapping_sub(s.base) as usize;
+        // A wrapped end lands below `off`, and `get` rejects inverted or
+        // out-of-range windows, so one range check covers everything.
+        r.data.get(off..off.wrapping_add(len))
+    }
+
+    #[inline]
+    fn fast_slice_mut(
+        &mut self,
+        ctx: &ElideCtx,
+        kind: u8,
+        addr: u64,
+        len: usize,
+    ) -> Option<&mut [u8]> {
+        let s = ctx.slots[(kind & 3) as usize];
+        let r = self.regions.get_mut(s.idx as usize)?;
+        if !r.writable {
+            return None;
+        }
+        let off = addr.wrapping_sub(s.base) as usize;
+        r.data.get_mut(off..off.wrapping_add(len))
+    }
+
+    #[inline]
+    pub(crate) fn fast_load8(&self, ctx: &ElideCtx, kind: u8, addr: u64) -> Option<u64> {
+        self.fast_slice(ctx, kind, addr, 1).map(|s| u64::from(s[0]))
+    }
+
+    #[inline]
+    pub(crate) fn fast_load16(&self, ctx: &ElideCtx, kind: u8, addr: u64) -> Option<u64> {
+        self.fast_slice(ctx, kind, addr, 2)
+            .map(|s| u64::from(u16::from_le_bytes([s[0], s[1]])))
+    }
+
+    #[inline]
+    pub(crate) fn fast_load32(&self, ctx: &ElideCtx, kind: u8, addr: u64) -> Option<u64> {
+        self.fast_slice(ctx, kind, addr, 4)
+            .map(|s| u64::from(u32::from_le_bytes([s[0], s[1], s[2], s[3]])))
+    }
+
+    #[inline]
+    pub(crate) fn fast_load64(&self, ctx: &ElideCtx, kind: u8, addr: u64) -> Option<u64> {
+        self.fast_slice(ctx, kind, addr, 8)
+            .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    #[inline]
+    pub(crate) fn fast_store8(&mut self, ctx: &ElideCtx, kind: u8, addr: u64, v: u8) -> bool {
+        match self.fast_slice_mut(ctx, kind, addr, 1) {
+            Some(s) => {
+                s[0] = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn fast_store16(&mut self, ctx: &ElideCtx, kind: u8, addr: u64, v: u16) -> bool {
+        match self.fast_slice_mut(ctx, kind, addr, 2) {
+            Some(s) => {
+                s.copy_from_slice(&v.to_le_bytes());
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn fast_store32(&mut self, ctx: &ElideCtx, kind: u8, addr: u64, v: u32) -> bool {
+        match self.fast_slice_mut(ctx, kind, addr, 4) {
+            Some(s) => {
+                s.copy_from_slice(&v.to_le_bytes());
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn fast_store64(&mut self, ctx: &ElideCtx, kind: u8, addr: u64, v: u64) -> bool {
+        match self.fast_slice_mut(ctx, kind, addr, 8) {
+            Some(s) => {
+                s.copy_from_slice(&v.to_le_bytes());
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Copy `len` bytes inside extension memory (the `ebpf_memcpy` helper).
     ///
     /// Allocation-free: a same-region copy is a single (overlap-safe)
@@ -263,6 +395,63 @@ impl MemoryMap {
             dst_data[dofs..dofs + len].copy_from_slice(&src_data[so..so + len]);
         }
         Ok(())
+    }
+}
+
+/// One resolved elision slot: where a provable region kind sits in the
+/// table. `idx == u32::MAX` marks an absent kind; it always misses the
+/// `regions.get` in the fast path, with no `Option` layer in between.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ElideSlot {
+    idx: u32,
+    base: u64,
+}
+
+const NO_SLOT: ElideSlot = ElideSlot { idx: u32::MAX, base: 0 };
+
+/// Snapshot of where the provable region kinds sit in the table, taken at
+/// run start and revalidated after helper returns (dispatchers may map
+/// regions). Slots are indexed by [`crate::prep::elide`] kind codes; the
+/// fourth entry is a permanent miss so the index can be masked.
+///
+/// The snapshot caches the map's [`MemoryMap::epoch`]; [`ElideCtx::refresh`]
+/// and [`MemoryMap::elide_ctx`] only rescan when the region table changed
+/// shape, so the steady state costs one integer compare.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ElideCtx {
+    slots: [ElideSlot; 4],
+    epoch: u64,
+}
+
+impl Default for ElideCtx {
+    fn default() -> ElideCtx {
+        ElideCtx { slots: [NO_SLOT; 4], epoch: 0 }
+    }
+}
+
+impl ElideCtx {
+    pub(crate) fn capture(mem: &MemoryMap) -> ElideCtx {
+        let mut slots = [NO_SLOT; 4];
+        for (i, r) in mem.regions.iter().enumerate() {
+            let k = match r.kind {
+                RegionKind::Stack => 0usize,
+                RegionKind::Heap => 1,
+                RegionKind::Shared => 2,
+                _ => continue,
+            };
+            if slots[k].idx == u32::MAX {
+                slots[k] = ElideSlot { idx: i as u32, base: r.base };
+            }
+        }
+        ElideCtx { slots, epoch: mem.epoch }
+    }
+
+    /// Recapture only if the region table changed since this snapshot.
+    #[inline]
+    pub(crate) fn refresh(&mut self, mem: &mut MemoryMap) {
+        if self.epoch != mem.epoch {
+            *self = mem.elide_ctx();
+        }
     }
 }
 

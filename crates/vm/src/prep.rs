@@ -160,6 +160,10 @@ pub(crate) struct DInsn {
     pub op: DOp,
     pub dst: u8,
     pub src: u8,
+    /// Proof bits stamped by [`crate::absint`]; see [`elide`]. Zero straight
+    /// out of [`LoadedProgram::load`], so unanalyzed programs keep every
+    /// dynamic check.
+    pub flags: u8,
     /// Memory displacement for load/store forms; unused elsewhere.
     pub off: i16,
     /// Dense index of the taken branch (jumps), or the helper id (`Call`).
@@ -168,6 +172,27 @@ pub(crate) struct DInsn {
     pub slot: u32,
     /// Sign-extended immediate; the fused 64-bit constant for `LdDw`.
     pub imm: u64,
+}
+
+/// Proof-bit layout of [`DInsn::flags`], written by the abstract
+/// interpreter and consumed by both execution engines.
+pub(crate) mod elide {
+    /// The access is proven in-region: the engine may skip the
+    /// `MemoryMap` region scan and permission check.
+    pub const BOUNDS: u8 = 1;
+    /// Region kind of a proven access, `flags >> KIND_SHIFT`:
+    /// 0 = stack, 1 = heap, 2 = shared.
+    pub const KIND_SHIFT: u8 = 1;
+    pub const KIND_STACK: u8 = 0;
+    pub const KIND_HEAP: u8 = 1;
+    pub const KIND_SHARED: u8 = 2;
+
+    pub const fn pack(kind: u8) -> u8 {
+        BOUNDS | (kind << KIND_SHIFT)
+    }
+    pub const fn kind(flags: u8) -> u8 {
+        flags >> KIND_SHIFT
+    }
 }
 
 /// A [`Program`] decoded for execution. Build one with [`LoadedProgram::load`]
@@ -179,6 +204,18 @@ pub struct LoadedProgram {
     pub(crate) code: Vec<DInsn>,
     /// Number of slots in the source program (diagnostics only).
     slots: usize,
+    /// Static worst-case fuel cost proven by [`crate::absint`]: every run
+    /// of this program retires at most this many instructions. `None` when
+    /// the analysis has not run or could not bound every loop.
+    pub(crate) worst_fuel: Option<u64>,
+    /// Master switch for proof-based check elision. Proof bits stamped on
+    /// instructions are retained either way; turning this off makes both
+    /// engines take every dynamic check, which is how the bench ablation
+    /// and the soundness proptests compare the two modes.
+    pub(crate) elide: bool,
+    /// True when the analysis proved at least one access elidable. Programs
+    /// with nothing to elide skip the per-run region snapshot entirely.
+    pub(crate) has_elided: bool,
 }
 
 fn pick4(is64: bool, use_src: bool, i64v: DOp, r64v: DOp, i32v: DOp, r32v: DOp) -> DOp {
@@ -195,6 +232,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
         op: DOp::Trap,
         dst: insn.opcode,
         src: 0,
+        flags: 0,
         off: 0,
         target: 0,
         slot,
@@ -297,6 +335,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                 op: dop,
                 dst: insn.dst,
                 src: insn.src,
+                flags: 0,
                 off: 0,
                 target: 0,
                 slot,
@@ -310,6 +349,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                     op: DOp::Exit,
                     dst: 0,
                     src: 0,
+                    flags: 0,
                     off: 0,
                     target: 0,
                     slot,
@@ -319,6 +359,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                     op: DOp::Call,
                     dst: 0,
                     src: 0,
+                    flags: 0,
                     off: 0,
                     target: insn.imm as u32,
                     slot,
@@ -328,6 +369,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                     op: DOp::Ja,
                     dst: 0,
                     src: 0,
+                    flags: 0,
                     off: 0,
                     target: resolve(insn.offset),
                     slot,
@@ -433,6 +475,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                         op: dop,
                         dst: insn.dst,
                         src: insn.src,
+                        flags: 0,
                         off: 0,
                         target: resolve(insn.offset),
                         slot,
@@ -450,6 +493,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                     op: DOp::LdDw,
                     dst: insn.dst,
                     src: 0,
+                    flags: 0,
                     off: 0,
                     target: 0,
                     slot,
@@ -473,6 +517,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                 op: dop,
                 dst: insn.dst,
                 src: insn.src,
+                flags: 0,
                 off: insn.offset,
                 target: 0,
                 slot,
@@ -493,6 +538,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                 op: dop,
                 dst: insn.dst,
                 src: 0,
+                flags: 0,
                 off: insn.offset,
                 target: 0,
                 slot,
@@ -513,6 +559,7 @@ fn decode_slot(insn: Insn, slot: u32, hi_imm: Option<i32>, resolve: impl Fn(i16)
                 op: dop,
                 dst: insn.dst,
                 src: insn.src,
+                flags: 0,
                 off: insn.offset,
                 target: 0,
                 slot,
@@ -578,17 +625,43 @@ impl LoadedProgram {
             op: DOp::Trap,
             dst: 0,
             src: 0,
+            flags: 0,
             off: 0,
             target: 0,
             slot: n as u32,
             imm: 0,
         });
-        LoadedProgram { code, slots: n }
+        LoadedProgram {
+            code,
+            slots: n,
+            worst_fuel: None,
+            elide: true,
+            has_elided: false,
+        }
     }
 
     /// Number of slots in the source program.
     pub fn slots(&self) -> usize {
         self.slots
+    }
+
+    /// Static worst-case fuel bound proven by the abstract interpreter,
+    /// if every loop in the program was bounded.
+    pub fn worst_fuel(&self) -> Option<u64> {
+        self.worst_fuel
+    }
+
+    /// Enable or disable proof-based runtime check elision. Elision-on and
+    /// elision-off runs are contractually byte-identical (outcome, memory,
+    /// metrics, faults); the switch exists so that equivalence can be
+    /// measured and tested.
+    pub fn set_elide(&mut self, elide: bool) {
+        self.elide = elide;
+    }
+
+    /// Whether proof-based check elision is enabled.
+    pub fn elide(&self) -> bool {
+        self.elide
     }
 
     /// Number of decoded instructions (a fused `lddw` counts once).

@@ -54,6 +54,35 @@ pub enum VerifyError {
     BadShift {
         pc: usize,
     },
+    /// Constant-offset frame access provably outside `[r10-512, r10)`.
+    OobStackAccess {
+        pc: usize,
+        mnemonic: &'static str,
+        off: i32,
+        size: u32,
+    },
+    /// A register is (or may be) read before any write ([`crate::absint`]).
+    UninitRead {
+        pc: usize,
+        reg: u8,
+        mnemonic: &'static str,
+    },
+    /// A block no path can reach, even with every branch edge considered
+    /// possible ([`crate::absint`]).
+    UnreachableCode {
+        pc: usize,
+    },
+    /// The helper contract forbids this helper at this insertion point.
+    HelperNotAllowed {
+        pc: usize,
+        helper: u32,
+    },
+    /// A pointer argument is a provably-invalid non-null constant.
+    BadHelperArg {
+        pc: usize,
+        helper: u32,
+        arg: u8,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -76,6 +105,27 @@ impl fmt::Display for VerifyError {
                 write!(f, "call to unregistered helper {helper} at pc {pc}")
             }
             VerifyError::BadShift { pc } => write!(f, "oversized constant shift at pc {pc}"),
+            VerifyError::OobStackAccess { pc, mnemonic, off, size } => {
+                write!(
+                    f,
+                    "`{mnemonic}` at pc {pc}: frame access r10{off:+} of {size} bytes is outside [r10-512, r10)"
+                )
+            }
+            VerifyError::UninitRead { pc, reg, mnemonic } => {
+                write!(f, "`{mnemonic}` at pc {pc} reads r{reg} before any write")
+            }
+            VerifyError::UnreachableCode { pc } => {
+                write!(f, "unreachable code starting at pc {pc}")
+            }
+            VerifyError::HelperNotAllowed { pc, helper } => {
+                write!(f, "call at pc {pc}: helper {helper} is not allowed at this insertion point")
+            }
+            VerifyError::BadHelperArg { pc, helper, arg } => {
+                write!(
+                    f,
+                    "call at pc {pc}: helper {helper} argument {arg} is a provably-invalid pointer"
+                )
+            }
         }
     }
 }
@@ -121,6 +171,28 @@ fn valid_jmp_op(op_bits: u8, cls: u8) -> bool {
         | op::JMP_JSLE => true,
         _ => false,
     }
+}
+
+/// Reject constant-offset frame accesses that can only fault: `r10` is
+/// fixed at load time, so `[r10+off, r10+off+size)` must sit inside the
+/// 512-byte frame `[r10-512, r10)`.
+fn check_frame_offset(pc: usize, insn: &crate::insn::Insn) -> Result<(), VerifyError> {
+    let size: i32 = match insn.opcode & op::SIZE_MASK {
+        op::SIZE_B => 1,
+        op::SIZE_H => 2,
+        op::SIZE_W => 4,
+        _ => 8,
+    };
+    let off = i32::from(insn.offset);
+    if off < -(crate::STACK_SIZE as i32) || off + size > 0 {
+        return Err(VerifyError::OobStackAccess {
+            pc,
+            mnemonic: crate::insn::mnemonic(insn.opcode),
+            off,
+            size: size as u32,
+        });
+    }
+    Ok(())
 }
 
 /// Verify `prog` against the set of helper ids the host will provide.
@@ -244,6 +316,9 @@ pub fn verify(prog: &Program, known_helpers: &HashSet<u32>) -> Result<(), Verify
                 }
                 check_dst_writable(pc, insn.dst)?;
                 check_reg(pc, insn.src)?;
+                if insn.src == 10 {
+                    check_frame_offset(pc, insn)?;
+                }
             }
             op::CLS_ST | op::CLS_STX => {
                 if insn.opcode & op::MODE_MASK != op::MODE_MEM {
@@ -252,6 +327,9 @@ pub fn verify(prog: &Program, known_helpers: &HashSet<u32>) -> Result<(), Verify
                 check_reg(pc, insn.dst)?;
                 if cls == op::CLS_STX {
                     check_reg(pc, insn.src)?;
+                }
+                if insn.dst == 10 {
+                    check_frame_offset(pc, insn)?;
                 }
             }
             _ => unreachable!("class mask covers 0..=7"),
@@ -280,8 +358,21 @@ pub fn verify_and_load(
     prog: &Program,
     known_helpers: &HashSet<u32>,
 ) -> Result<LoadedProgram, VerifyError> {
+    verify_and_load_with(prog, known_helpers, &crate::absint::AnalysisOptions::default())
+}
+
+/// [`verify_and_load`] with explicit [`crate::absint`] options: the host
+/// supplies per-insertion-point helper contracts so the analysis can prove
+/// helper-returned pointers and reject contract violations at load time.
+pub fn verify_and_load_with(
+    prog: &Program,
+    known_helpers: &HashSet<u32>,
+    opts: &crate::absint::AnalysisOptions,
+) -> Result<LoadedProgram, VerifyError> {
     verify(prog, known_helpers)?;
-    Ok(LoadedProgram::load(prog))
+    let mut lp = LoadedProgram::load(prog);
+    crate::absint::analyze(&mut lp, prog, opts)?;
+    Ok(lp)
 }
 
 #[cfg(test)]

@@ -1,0 +1,372 @@
+//! Soundness of proof-carrying check elision: on every verifier-accepted
+//! program, running with elision armed (the default) must be bit-for-bit
+//! identical to running with every dynamic check in place — same outcome
+//! or typed fault at the same slot pc, same `RunMetrics` ledger, same
+//! final stack bytes — on **both** engines. The generator is the
+//! conformance suite's (ALU/shift/byteswap bodies, guarded skips, counted
+//! loops, in-bounds stack traffic, wild faulting accesses), so elided
+//! stack loads sit next to accesses the analysis cannot prove.
+//!
+//! Also here: the must-reject corpus (uninitialized reads, constant
+//! out-of-bounds frame slots) and the loop-bound inference contracts
+//! (counted loops get a static worst case, wrap-prone or data-dependent
+//! loops must stay `None`).
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use xbgp_vm::insn::{build, op, Insn, Program};
+use xbgp_vm::interp::NoHelpers;
+use xbgp_vm::verify::VerifyError;
+use xbgp_vm::{
+    verify_and_load, CompiledProgram, ExecOutcome, MemoryMap, RunMetrics, VmConfig, VmError,
+    STACK_BASE, STACK_SIZE,
+};
+
+const GEN_REGS: u8 = 6;
+
+fn reg() -> impl Strategy<Value = u8> {
+    0u8..GEN_REGS
+}
+
+fn alu_insn() -> impl Strategy<Value = Insn> {
+    let ops = prop_oneof![
+        Just(op::ALU_ADD),
+        Just(op::ALU_SUB),
+        Just(op::ALU_MUL),
+        Just(op::ALU_DIV),
+        Just(op::ALU_OR),
+        Just(op::ALU_AND),
+        Just(op::ALU_XOR),
+        Just(op::ALU_MOD),
+        Just(op::ALU_MOV),
+    ];
+    (any::<bool>(), ops, any::<bool>(), reg(), reg(), any::<i32>()).prop_map(
+        |(is64, opb, use_src, dst, src, imm)| {
+            let cls = if is64 { op::CLS_ALU64 } else { op::CLS_ALU };
+            let srcbit = if use_src { op::SRC_X } else { op::SRC_K };
+            let imm = if matches!(opb, op::ALU_DIV | op::ALU_MOD) && !use_src && imm == 0 {
+                1
+            } else {
+                imm
+            };
+            Insn::new(cls | opb | srcbit, dst, src, 0, imm)
+        },
+    )
+}
+
+fn shift_insn() -> impl Strategy<Value = Insn> {
+    let ops = prop_oneof![Just(op::ALU_LSH), Just(op::ALU_RSH), Just(op::ALU_ARSH)];
+    (any::<bool>(), ops, any::<bool>(), reg(), reg(), 0i32..64).prop_map(
+        |(is64, opb, use_src, dst, src, amt)| {
+            let cls = if is64 { op::CLS_ALU64 } else { op::CLS_ALU };
+            let srcbit = if use_src { op::SRC_X } else { op::SRC_K };
+            let amt = if !use_src && !is64 { amt % 32 } else { amt };
+            Insn::new(cls | opb | srcbit, dst, src, 0, amt)
+        },
+    )
+}
+
+/// In-bounds stack traffic through r10 — the accesses the analysis
+/// proves and elides.
+fn stack_insn() -> impl Strategy<Value = Insn> {
+    let slots = (STACK_SIZE / 8) as i16;
+    (any::<bool>(), reg(), 0i16..slots).prop_map(|(store, r, slot)| {
+        let off = -8 * (slot + 1);
+        if store {
+            build::stxdw(10, r, off)
+        } else {
+            build::ldxdw(r, 10, off)
+        }
+    })
+}
+
+/// An access through a data register: usually faults, never elidable —
+/// the fault must be identical with elision on and off.
+fn wild_mem_insn() -> impl Strategy<Value = Insn> {
+    (any::<bool>(), reg(), reg(), any::<i16>()).prop_map(|(store, a, b, off)| {
+        if store {
+            build::stxdw(a, b, off)
+        } else {
+            build::ldxb(a, b, off)
+        }
+    })
+}
+
+fn body_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        alu_insn(),
+        alu_insn(),
+        alu_insn(),
+        shift_insn(),
+        stack_insn(),
+        stack_insn(),
+        stack_insn(),
+        wild_mem_insn(),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Guard {
+    cls32: bool,
+    opb: u8,
+    use_src: bool,
+    dst: u8,
+    src: u8,
+    imm: i32,
+}
+
+fn guard() -> impl Strategy<Value = Guard> {
+    let ops = prop_oneof![
+        Just(op::JMP_JEQ),
+        Just(op::JMP_JGT),
+        Just(op::JMP_JGE),
+        Just(op::JMP_JSET),
+        Just(op::JMP_JNE),
+        Just(op::JMP_JLT),
+        Just(op::JMP_JLE),
+        Just(op::JMP_JSLT),
+        Just(op::JMP_JSLE),
+    ];
+    (any::<bool>(), ops, any::<bool>(), reg(), reg(), any::<i32>()).prop_map(
+        |(cls32, opb, use_src, dst, src, imm)| Guard { cls32, opb, use_src, dst, src, imm },
+    )
+}
+
+type Segment = (Option<Guard>, Vec<Insn>);
+
+fn segments() -> impl Strategy<Value = Vec<Segment>> {
+    proptest::collection::vec(
+        (proptest::option::of(guard()), proptest::collection::vec(body_insn(), 0..12)),
+        0..6,
+    )
+}
+
+fn assemble(seeds: [u64; GEN_REGS as usize], segs: &[Segment], loop_iters: Option<u8>) -> Program {
+    let mut p: Vec<Insn> = Vec::new();
+    for (r, s) in seeds.iter().enumerate() {
+        p.extend(build::lddw(r as u8, *s));
+    }
+    if let Some(iters) = loop_iters {
+        p.push(build::mov_imm(5, i32::from(iters)));
+    }
+    let body_start = p.len();
+    for (g, body) in segs {
+        if let Some(g) = g {
+            let cls = if g.cls32 { op::CLS_JMP32 } else { op::CLS_JMP };
+            let srcbit = if g.use_src { op::SRC_X } else { op::SRC_K };
+            p.push(Insn::new(cls | g.opb | srcbit, g.dst, g.src, body.len() as i16, g.imm));
+        }
+        p.extend(body.iter().copied());
+    }
+    if loop_iters.is_some() {
+        p.push(build::add_imm(5, -1));
+        let jne_slot = p.len() as i64;
+        let off = body_start as i64 - (jne_slot + 1);
+        p.push(build::jne_imm(5, 0, off as i16));
+    }
+    for r in 0..GEN_REGS {
+        p.push(build::stxdw(10, r, -8 * (i16::from(r) + 1)));
+    }
+    p.push(build::exit());
+    Program::new(p)
+}
+
+type RunResult = (Result<ExecOutcome, VmError>, RunMetrics, Vec<u8>);
+type RunFn<'a> = &'a dyn Fn(&mut MemoryMap) -> (Result<ExecOutcome, VmError>, RunMetrics);
+
+/// Run all four configurations (engine × elision) of the same program and
+/// assert they are byte-identical.
+fn assert_elision_sound(prog: &Program, fuel: u64, args: &[u64]) -> Result<(), TestCaseError> {
+    let helpers = HashSet::new();
+    let lp_on = match verify_and_load(prog, &helpers) {
+        Ok(lp) => lp,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!("generator emitted rejected program: {e}")))
+        }
+    };
+    let mut lp_off = verify_and_load(prog, &helpers).expect("same program verified twice");
+    lp_off.set_elide(false);
+    let cp_on = CompiledProgram::compile(&lp_on);
+    let cp_off = CompiledProgram::compile(&lp_off);
+    let cfg = VmConfig { fuel };
+
+    let run = |f: RunFn| -> RunResult {
+        let mut mem = MemoryMap::new();
+        let (out, metrics) = f(&mut mem);
+        let stack = mem.read_bytes(STACK_BASE, STACK_SIZE).expect("stack mapped");
+        (out, metrics, stack)
+    };
+    let base = run(&|m| lp_off.run_metered(cfg, m, &mut NoHelpers, args));
+    let elided = run(&|m| lp_on.run_metered(cfg, m, &mut NoHelpers, args));
+    let comp_base = run(&|m| cp_off.run_metered(cfg, m, &mut NoHelpers, args));
+    let comp_elided = run(&|m| cp_on.run_metered(cfg, m, &mut NoHelpers, args));
+    prop_assert_eq!(&base, &elided, "interpreter diverged with elision on");
+    prop_assert_eq!(&base, &comp_base, "engines diverged with elision off");
+    prop_assert_eq!(&base, &comp_elided, "compiled engine diverged with elision on");
+    Ok(())
+}
+
+proptest! {
+    /// Straight-line and guarded programs under generous fuel.
+    #[test]
+    fn elision_is_invisible_on_random_programs(
+        seeds in any::<[u64; GEN_REGS as usize]>(),
+        segs in segments(),
+        args in proptest::collection::vec(any::<u64>(), 0..5),
+    ) {
+        let prog = assemble(seeds, &segs, None);
+        assert_elision_sound(&prog, 1_000_000, &args)?;
+    }
+
+    /// Counted loops: exercises the static-fuel ledger (when the bound is
+    /// proven under the budget, exhaustion checks are elided too).
+    #[test]
+    fn elision_is_invisible_on_looped_programs(
+        seeds in any::<[u64; GEN_REGS as usize]>(),
+        segs in segments(),
+        iters in 1u8..6,
+    ) {
+        let prog = assemble(seeds, &segs, Some(iters));
+        assert_elision_sound(&prog, 1_000_000, &[])?;
+    }
+
+    /// Tight budgets: `FuelExhausted` at arbitrary points must be
+    /// identical in all four configurations — the fuel-ledger elision may
+    /// only arm when exhaustion is provably impossible.
+    #[test]
+    fn fuel_exhaustion_is_identical_with_elision(
+        seeds in any::<[u64; GEN_REGS as usize]>(),
+        segs in segments(),
+        iters in proptest::option::of(1u8..6),
+        fuel in 0u64..400,
+    ) {
+        let prog = assemble(seeds, &segs, iters);
+        assert_elision_sound(&prog, fuel, &[])?;
+    }
+}
+
+// ----- deterministic anchors -----
+
+/// The analysis must actually prove something on the canonical shape —
+/// otherwise the proptests above pass vacuously.
+#[test]
+fn stack_traffic_is_elided_and_still_identical() {
+    let mut p: Vec<Insn> = Vec::new();
+    p.push(build::mov_imm(0, 7));
+    for slot in 0..8i16 {
+        p.push(build::stxdw(10, 0, -8 * (slot + 1)));
+    }
+    for slot in 0..8i16 {
+        p.push(build::ldxdw(1, 10, -8 * (slot + 1)));
+    }
+    p.push(build::mov_reg(0, 1));
+    p.push(build::exit());
+    let prog = Program::new(p);
+    let lp = verify_and_load(&prog, &HashSet::new()).unwrap();
+    let mut mem = MemoryMap::new();
+    let (out, metrics) = lp.run_metered(VmConfig { fuel: 1000 }, &mut mem, &mut NoHelpers, &[]);
+    assert_eq!(out, Ok(ExecOutcome::Return(7)));
+    assert_eq!(metrics.insns_retired, 19, "metrics survive the saturated ledger");
+}
+
+/// A counted decrement loop gets a static worst-case fuel bound.
+#[test]
+fn counted_loop_has_static_fuel_bound() {
+    let p = vec![
+        build::mov_imm(1, 1000),
+        build::add_imm(1, -1),
+        build::jne_imm(1, 0, -2),
+        build::mov_imm(0, 0),
+        build::exit(),
+    ];
+    let lp = verify_and_load(&Program::new(p), &HashSet::new()).unwrap();
+    let w = lp.worst_fuel().expect("counted loop must be bounded");
+    // 1 seed + 1000 × (add + jne) + mov + exit.
+    assert_eq!(w, 1 + 2 * 1000 + 2);
+    // Budget above the bound: the run must complete and meter exactly.
+    let mut mem = MemoryMap::new();
+    let (out, metrics) = lp.run_metered(VmConfig { fuel: w + 1 }, &mut mem, &mut NoHelpers, &[]);
+    assert_eq!(out, Ok(ExecOutcome::Return(0)));
+    assert_eq!(metrics.fuel_consumed, w);
+}
+
+/// An increment loop whose counter can wrap before reaching the bound
+/// must NOT be claimed bounded (the first-iteration wrap hole).
+#[test]
+fn wrapping_increment_loop_is_unbounded() {
+    let mut p: Vec<Insn> = Vec::new();
+    p.extend(build::lddw(1, u64::MAX));
+    p.push(build::add_imm(1, 1)); // wraps to 0 on the first iteration
+    p.push(Insn::new(op::CLS_JMP | op::JMP_JLT | op::SRC_K, 1, 0, -2, 5));
+    p.push(build::mov_imm(0, 0));
+    p.push(build::exit());
+    let lp = verify_and_load(&Program::new(p), &HashSet::new()).unwrap();
+    assert!(
+        lp.worst_fuel().is_none(),
+        "wrap-prone loop claimed bounded: {:?}",
+        lp.worst_fuel()
+    );
+}
+
+/// A data-dependent loop (counter from an argument register) stays
+/// unbounded.
+#[test]
+fn data_dependent_loop_is_unbounded() {
+    let p = vec![
+        build::mov_reg(2, 1),
+        build::add_imm(2, -1),
+        build::jne_imm(2, 0, -2),
+        build::mov_imm(0, 0),
+        build::exit(),
+    ];
+    let lp = verify_and_load(&Program::new(p), &HashSet::new()).unwrap();
+    assert!(lp.worst_fuel().is_none());
+}
+
+// ----- must-reject corpus -----
+
+#[test]
+fn uninit_read_is_rejected() {
+    // r6 is callee-saved and never written.
+    let p = vec![build::mov_reg(0, 6), build::exit()];
+    let err = verify_and_load(&Program::new(p), &HashSet::new()).unwrap_err();
+    assert!(matches!(err, VerifyError::UninitRead { pc: 0, reg: 6, .. }), "{err:?}");
+}
+
+#[test]
+fn uninit_r0_at_exit_is_rejected() {
+    // `exit` returns r0, which was never written.
+    let p = vec![build::exit()];
+    let err = verify_and_load(&Program::new(p), &HashSet::new()).unwrap_err();
+    assert!(matches!(err, VerifyError::UninitRead { reg: 0, .. }), "{err:?}");
+}
+
+#[test]
+fn oob_constant_stack_slot_is_rejected() {
+    // One slot below the 512-byte frame.
+    let p = vec![build::mov_imm(0, 0), build::stxdw(10, 0, -520), build::exit()];
+    let err = verify_and_load(&Program::new(p), &HashSet::new()).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::OobStackAccess { pc: 1, off: -520, size: 8, .. }),
+        "{err:?}"
+    );
+    // At the boundary (r10-512, 8 bytes): legal.
+    let p = vec![build::mov_imm(0, 0), build::stxdw(10, 0, -512), build::exit()];
+    assert!(verify_and_load(&Program::new(p), &HashSet::new()).is_ok());
+    // Positive offsets (above the frame) are equally out.
+    let p = vec![build::mov_imm(0, 0), build::ldxdw(0, 10, 0), build::exit()];
+    let err = verify_and_load(&Program::new(p), &HashSet::new()).unwrap_err();
+    assert!(matches!(err, VerifyError::OobStackAccess { pc: 1, off: 0, .. }), "{err:?}");
+}
+
+#[test]
+fn unreachable_code_is_rejected() {
+    let p = vec![
+        build::mov_imm(0, 0),
+        build::exit(),
+        build::mov_imm(0, 1), // dead
+        build::exit(),
+    ];
+    let err = verify_and_load(&Program::new(p), &HashSet::new()).unwrap_err();
+    assert!(matches!(err, VerifyError::UnreachableCode { pc: 2 }), "{err:?}");
+}

@@ -146,10 +146,10 @@ fn faulty_extension_does_not_poison_healthy_chain_members() {
 
 #[test]
 fn helper_misuse_is_contained() {
-    // write_buf does not exist at the inbound filter: under the
-    // transactional contract that is a violation, not a testable
-    // condition — the run faults with a typed HelperFault and the route
-    // falls through to native processing.
+    // write_buf does not exist at the inbound filter: the per-point
+    // helper contract makes that a *load-time* rejection — the abstract
+    // interpreter refuses the program before it ever sees a route, so
+    // the router never has to contain this misuse at runtime.
     let mut m = Manifest::new();
     m.push(ext(
         "misuser",
@@ -159,7 +159,40 @@ fn helper_misuse_is_contained() {
             mov r1, r10
             sub r1, 8
             mov r2, 8
-            call write_buf      ; contract violation: faults the run
+            call write_buf      ; contract violation: rejected at load
+            mov r0, FILTER_REJECT
+            exit
+        ",
+    ));
+    match xbgp_core::vmm::Vmm::from_manifest(&m) {
+        Err(xbgp_core::vmm::VmmError::Rejected { extension, error }) => {
+            assert_eq!(extension, "misuser");
+            assert!(
+                error.to_string().contains("not allowed at this insertion point"),
+                "typed per-point rejection: {error}"
+            );
+        }
+        Err(other) => panic!("expected per-point rejection, got {other}"),
+        Ok(_) => panic!("write_buf outside the encode point must not load"),
+    }
+
+    // Misuse the verifier *cannot* see — a helper pointer argument that
+    // only becomes garbage at runtime (arg_len on the argument-less
+    // inbound point returns XBGP_FAIL, i.e. -1) — still faults the run,
+    // rolls back, and falls through to native processing.
+    let mut m = Manifest::new();
+    m.push(ext(
+        "misuser",
+        InsertionPoint::BgpInboundFilter,
+        &["arg_len", "set_attr"],
+        r"
+            mov r1, 0
+            call arg_len        ; no args at this point: returns -1
+            mov r3, r0          ; data-dependent garbage pointer
+            mov r1, 5
+            mov r2, 0
+            mov r4, 8
+            call set_attr       ; reads through r3: faults the run
             mov r0, FILTER_REJECT
             exit
         ",
@@ -168,7 +201,7 @@ fn helper_misuse_is_contained() {
     assert_eq!(routes, 20, "the reject after the misuse never executed");
     assert!(stats[0].errors > 0, "misuse is a hard fault");
     assert!(
-        logs.iter().any(|l| l.contains("no output buffer")),
+        logs.iter().any(|l| l.contains("misuser") && l.contains("aborted")),
         "typed error reached the host log: {logs:?}"
     );
 
